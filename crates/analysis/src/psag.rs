@@ -1,0 +1,237 @@
+//! Partial state access graphs (P-SAG).
+//!
+//! A P-SAG is built *statically* from contract code (paper §III-B): the CFG
+//! skeleton pruned to state-access operations, with a placeholder ("–") for
+//! every access whose key cannot be resolved without transaction data, loop
+//! nodes for loops that cannot be solved statically, and release points
+//! after the last reachable abortable statement.
+
+use std::collections::HashSet;
+
+use dmvcc_primitives::U256;
+use dmvcc_vm::Opcode;
+
+use crate::cfg::Cfg;
+
+/// The access kind of a SAG node (ρ, ω, or the commutative increment ω̄).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// ρ — a read.
+    Read,
+    /// ω — a write.
+    Write,
+    /// ω̄ — a commutative increment (write that never reads).
+    Add,
+}
+
+/// One state-access node of a SAG.
+///
+/// `slot` is `Some` when static analysis resolved the key (a constant-slot
+/// access like `PUSH1 0 SLOAD`); `None` is the paper's "–" placeholder that
+/// C-SAG refinement fills in with concrete transaction data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SagOp {
+    /// Program counter of the access instruction.
+    pub pc: usize,
+    /// ρ / ω / ω̄.
+    pub kind: AccessKind,
+    /// Statically resolved slot, if any.
+    pub slot: Option<U256>,
+}
+
+/// The statically-constructed partial state access graph of one contract.
+#[derive(Debug, Clone)]
+pub struct PSag {
+    /// The CFG skeleton.
+    pub cfg: Cfg,
+    /// All state-access nodes in code order.
+    pub ops: Vec<SagOp>,
+    /// Release-point pcs (block starts past the last reachable abort).
+    pub release_pcs: Vec<usize>,
+    /// Start pcs of loop-head blocks (the paper's *loop nodes*, unrolled
+    /// only at C-SAG time).
+    pub loop_head_pcs: Vec<usize>,
+}
+
+impl PSag {
+    /// Builds the P-SAG of `code`.
+    pub fn build(code: &[u8]) -> PSag {
+        let cfg = Cfg::build(code);
+        let mut ops = Vec::new();
+        for block in &cfg.blocks {
+            for (i, ins) in block.instructions.iter().enumerate() {
+                let kind = match ins.op {
+                    Opcode::Sload | Opcode::Balance => AccessKind::Read,
+                    Opcode::Sstore => AccessKind::Write,
+                    Opcode::Sadd => AccessKind::Add,
+                    _ => continue,
+                };
+                // Static key resolution: a PUSH immediately preceding the
+                // access pins the slot; anything else (SHA3 output, MLOAD)
+                // stays a placeholder.
+                let slot = i
+                    .checked_sub(1)
+                    .and_then(|j| block.instructions.get(j))
+                    .filter(|prev| matches!(prev.op, Opcode::Push(_)))
+                    .map(|prev| read_wide_imm(code, prev.pc));
+                ops.push(SagOp {
+                    pc: ins.pc,
+                    kind,
+                    slot,
+                });
+            }
+        }
+        let release_pcs = cfg.release_points();
+        let loop_head_pcs = loop_heads(&cfg);
+        PSag {
+            cfg,
+            ops,
+            release_pcs,
+            loop_head_pcs,
+        }
+    }
+
+    /// Nodes whose key is still the "–" placeholder.
+    pub fn unresolved(&self) -> impl Iterator<Item = &SagOp> {
+        self.ops.iter().filter(|op| op.slot.is_none())
+    }
+
+    /// Nodes with statically-known keys.
+    pub fn resolved(&self) -> impl Iterator<Item = &SagOp> {
+        self.ops.iter().filter(|op| op.slot.is_some())
+    }
+}
+
+/// Reads the full-width immediate of the `PUSH` at `pc`.
+fn read_wide_imm(code: &[u8], pc: usize) -> U256 {
+    let Some(Opcode::Push(n)) = Opcode::from_byte(code[pc]) else {
+        return U256::ZERO;
+    };
+    let start = pc + 1;
+    let end = (start + n as usize).min(code.len());
+    U256::from_be_slice(&code[start..end])
+}
+
+/// Detects loop-head blocks (targets of back edges) via iterative DFS.
+fn loop_heads(cfg: &Cfg) -> Vec<usize> {
+    let n = cfg.blocks.len();
+    let mut heads = HashSet::new();
+    let mut visited = vec![false; n];
+    let mut on_stack = vec![false; n];
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    on_stack[0] = true;
+    while let Some(&(block, next)) = stack.last() {
+        let succs = cfg.blocks[block].successors();
+        if next < succs.len() {
+            stack.last_mut().expect("stack is non-empty").1 += 1;
+            let succ = succs[next];
+            if on_stack[succ] {
+                heads.insert(cfg.blocks[succ].start_pc);
+            } else if !visited[succ] {
+                visited[succ] = true;
+                on_stack[succ] = true;
+                stack.push((succ, 0));
+            }
+        } else {
+            on_stack[block] = false;
+            stack.pop();
+        }
+    }
+    let mut out: Vec<usize> = heads.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_vm::{assemble, contracts};
+
+    fn psag(src: &str) -> PSag {
+        PSag::build(&assemble(src).expect("valid assembly"))
+    }
+
+    #[test]
+    fn constant_slot_resolved() {
+        let sag = psag("PUSH1 5 PUSH1 0 SSTORE PUSH1 0 SLOAD POP STOP");
+        assert_eq!(sag.ops.len(), 2);
+        assert_eq!(sag.ops[0].kind, AccessKind::Write);
+        assert_eq!(sag.ops[0].slot, Some(U256::ZERO));
+        assert_eq!(sag.ops[1].kind, AccessKind::Read);
+        assert_eq!(sag.ops[1].slot, Some(U256::ZERO));
+    }
+
+    #[test]
+    fn computed_slot_is_placeholder() {
+        // Slot comes off SHA3 → unresolved.
+        let sag = psag("PUSH1 32 PUSH1 0 SHA3 SLOAD POP STOP");
+        assert_eq!(sag.ops.len(), 1);
+        assert_eq!(sag.ops[0].slot, None);
+        assert_eq!(sag.unresolved().count(), 1);
+        assert_eq!(sag.resolved().count(), 0);
+    }
+
+    #[test]
+    fn sadd_classified_as_add() {
+        let sag = psag("PUSH1 1 PUSH1 0 SADD STOP");
+        assert_eq!(sag.ops[0].kind, AccessKind::Add);
+        assert_eq!(sag.ops[0].slot, Some(U256::ZERO));
+    }
+
+    #[test]
+    fn wide_push_immediate_resolved() {
+        let sag = psag("PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff01 SLOAD POP STOP");
+        let expected =
+            U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff01")
+                .unwrap();
+        assert_eq!(sag.ops[0].slot, Some(expected));
+    }
+
+    #[test]
+    fn loop_head_detected() {
+        let sag = psag("PUSH1 3 loop: JUMPDEST PUSH1 1 SWAP1 SUB DUP1 PUSH @loop JUMPI STOP");
+        assert_eq!(sag.loop_head_pcs.len(), 1);
+        assert_eq!(sag.loop_head_pcs[0], 2); // the JUMPDEST
+    }
+
+    #[test]
+    fn straight_line_has_no_loop_heads() {
+        let sag = psag("PUSH1 1 POP STOP");
+        assert!(sag.loop_head_pcs.is_empty());
+    }
+
+    #[test]
+    fn fig1_has_loop_and_placeholders() {
+        let sag = PSag::build(&contracts::fig1_example());
+        // The for-loop of UpdateB is a loop node.
+        assert!(!sag.loop_head_pcs.is_empty());
+        // A[x] access key depends on calldata → placeholder.
+        assert!(sag.unresolved().count() > 0);
+        // B[0]/B[1] constant-slot writes in branch 2 are resolved.
+        assert!(sag.resolved().count() > 0);
+        // Branch 2's post-assert suffix yields a release point.
+        assert!(!sag.release_pcs.is_empty());
+    }
+
+    #[test]
+    fn counter_psag_fully_resolved() {
+        let sag = PSag::build(&contracts::counter());
+        assert_eq!(sag.unresolved().count(), 0);
+        assert!(sag.ops.iter().any(|op| op.kind == AccessKind::Add));
+        // Counter never aborts → entry is a release point.
+        assert!(sag.release_pcs.contains(&0));
+    }
+
+    #[test]
+    fn balance_opcode_is_a_read_node() {
+        let mut code = vec![0x73]; // PUSH20
+        code.extend_from_slice(&[0u8; 20]);
+        code.push(0x31); // BALANCE
+        code.push(0x00); // STOP
+        let sag = PSag::build(&code);
+        assert_eq!(sag.ops.len(), 1);
+        assert_eq!(sag.ops[0].kind, AccessKind::Read);
+    }
+}

@@ -1,0 +1,244 @@
+//! Blocks, headers and receipts.
+//!
+//! Mirrors Ethereum's commitments: a header binds the parent hash, the
+//! state root after execution, the transactions root (an MPT over the
+//! RLP-encoded index → transaction-hash mapping) and a receipts root, so a
+//! chain of headers is tamper-evident end to end — which is what makes the
+//! RQ1 root comparison meaningful at chain scale.
+
+use dmvcc_primitives::rlp::{encode_bytes, encode_list, encode_uint};
+use dmvcc_primitives::{keccak256, H256};
+use dmvcc_state::Mpt;
+use dmvcc_vm::{ExecStatus, Transaction};
+
+/// Execution receipt of one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// `true` when the transaction succeeded (reverted transactions are
+    /// still included in the block, as on Ethereum).
+    pub success: bool,
+    /// Gas the transaction consumed.
+    pub gas_used: u64,
+    /// Cumulative gas of the block up to and including this transaction.
+    pub cumulative_gas: u64,
+}
+
+impl Receipt {
+    /// Canonical RLP encoding: `[success, gas_used, cumulative_gas]`.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        encode_list(&[
+            encode_uint(self.success as u64),
+            encode_uint(self.gas_used),
+            encode_uint(self.cumulative_gas),
+        ])
+    }
+}
+
+/// Builds receipts from per-transaction outcomes.
+pub fn build_receipts(statuses: &[(ExecStatus, u64)]) -> Vec<Receipt> {
+    let mut cumulative = 0;
+    statuses
+        .iter()
+        .map(|(status, gas_used)| {
+            cumulative += gas_used;
+            Receipt {
+                success: status.is_success(),
+                gas_used: *gas_used,
+                cumulative_gas: cumulative,
+            }
+        })
+        .collect()
+}
+
+/// A block header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockHeader {
+    /// Height (genesis = 0).
+    pub number: u64,
+    /// Hash of the parent header.
+    pub parent_hash: H256,
+    /// State root after executing this block.
+    pub state_root: H256,
+    /// MPT root over `rlp(index) → tx hash`.
+    pub transactions_root: H256,
+    /// MPT root over `rlp(index) → rlp(receipt)`.
+    pub receipts_root: H256,
+    /// Block timestamp.
+    pub timestamp: u64,
+    /// Total gas consumed by the block.
+    pub gas_used: u64,
+}
+
+impl BlockHeader {
+    /// The genesis header for a given initial state root.
+    pub fn genesis(state_root: H256) -> BlockHeader {
+        BlockHeader {
+            number: 0,
+            parent_hash: H256::ZERO,
+            state_root,
+            transactions_root: transactions_root(&[]),
+            receipts_root: receipts_root(&[]),
+            timestamp: 0,
+            gas_used: 0,
+        }
+    }
+
+    /// Canonical RLP encoding of the header.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        encode_list(&[
+            encode_uint(self.number),
+            encode_bytes(self.parent_hash.as_bytes()),
+            encode_bytes(self.state_root.as_bytes()),
+            encode_bytes(self.transactions_root.as_bytes()),
+            encode_bytes(self.receipts_root.as_bytes()),
+            encode_uint(self.timestamp),
+            encode_uint(self.gas_used),
+        ])
+    }
+
+    /// The block hash: `keccak256(rlp(header))`.
+    pub fn hash(&self) -> H256 {
+        keccak256(&self.rlp_encode())
+    }
+}
+
+/// The transactions root: an MPT keyed by `rlp(index)` holding each
+/// transaction's hash (Ethereum's layout, with the hash standing in for
+/// the full body).
+pub fn transactions_root(txs: &[Transaction]) -> H256 {
+    let mut trie = Mpt::new();
+    for (index, tx) in txs.iter().enumerate() {
+        trie.insert(
+            &encode_uint(index as u64),
+            encode_bytes(tx.hash().as_bytes()),
+        );
+    }
+    trie.root()
+}
+
+/// The receipts root: an MPT keyed by `rlp(index)` holding RLP receipts.
+pub fn receipts_root(receipts: &[Receipt]) -> H256 {
+    let mut trie = Mpt::new();
+    for (index, receipt) in receipts.iter().enumerate() {
+        trie.insert(&encode_uint(index as u64), receipt.rlp_encode());
+    }
+    trie.root()
+}
+
+/// Verifies the hash chain and per-block commitments of a header sequence
+/// against its blocks' contents. Returns the index of the first invalid
+/// block, or `None` when the chain verifies.
+pub fn verify_chain(
+    genesis: &BlockHeader,
+    headers: &[BlockHeader],
+    bodies: &[(Vec<Transaction>, Vec<Receipt>)],
+) -> Option<usize> {
+    let mut parent = genesis.hash();
+    for (i, header) in headers.iter().enumerate() {
+        if header.parent_hash != parent
+            || header.number != genesis.number + 1 + i as u64
+            || bodies.get(i).is_none_or(|(txs, receipts)| {
+                transactions_root(txs) != header.transactions_root
+                    || receipts_root(receipts) != header.receipts_root
+            })
+        {
+            return Some(i);
+        }
+        parent = header.hash();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::{Address, U256};
+
+    fn tx(i: u64) -> Transaction {
+        Transaction::transfer(Address::from_u64(i), Address::from_u64(i + 1), U256::ONE)
+    }
+
+    fn receipts_for(n: usize) -> Vec<Receipt> {
+        build_receipts(&vec![(ExecStatus::Success, 21_000); n])
+    }
+
+    #[test]
+    fn receipts_accumulate_gas() {
+        let receipts = build_receipts(&[
+            (ExecStatus::Success, 100),
+            (ExecStatus::Reverted, 50),
+            (ExecStatus::Success, 25),
+        ]);
+        assert_eq!(receipts[0].cumulative_gas, 100);
+        assert_eq!(receipts[1].cumulative_gas, 150);
+        assert!(!receipts[1].success);
+        assert_eq!(receipts[2].cumulative_gas, 175);
+    }
+
+    #[test]
+    fn roots_depend_on_contents() {
+        let a = transactions_root(&[tx(1), tx(2)]);
+        let b = transactions_root(&[tx(2), tx(1)]);
+        let c = transactions_root(&[tx(1)]);
+        assert_ne!(a, b); // order matters (index-keyed)
+        assert_ne!(a, c);
+        assert_eq!(a, transactions_root(&[tx(1), tx(2)]));
+    }
+
+    #[test]
+    fn header_hash_chains() {
+        let genesis = BlockHeader::genesis(H256::ZERO);
+        let txs = vec![tx(1)];
+        let receipts = receipts_for(1);
+        let header = BlockHeader {
+            number: 1,
+            parent_hash: genesis.hash(),
+            state_root: H256::ZERO,
+            transactions_root: transactions_root(&txs),
+            receipts_root: receipts_root(&receipts),
+            timestamp: 12,
+            gas_used: 21_000,
+        };
+        assert_eq!(
+            verify_chain(
+                &genesis,
+                std::slice::from_ref(&header),
+                &[(txs.clone(), receipts.clone())]
+            ),
+            None
+        );
+        // Tamper with a transaction: detected at index 0.
+        assert_eq!(
+            verify_chain(
+                &genesis,
+                std::slice::from_ref(&header),
+                &[(vec![tx(9)], receipts.clone())]
+            ),
+            Some(0)
+        );
+        // Tamper with the parent hash: detected.
+        let mut bad = header;
+        bad.parent_hash = H256::ZERO;
+        assert_eq!(verify_chain(&genesis, &[bad], &[(txs, receipts)]), Some(0));
+    }
+
+    #[test]
+    fn empty_roots_are_mpt_empty() {
+        assert_eq!(transactions_root(&[]), dmvcc_state::empty_root());
+        assert_eq!(receipts_root(&[]), dmvcc_state::empty_root());
+    }
+
+    #[test]
+    fn header_hash_covers_all_fields() {
+        let base = BlockHeader::genesis(H256::ZERO);
+        let mut variant = base.clone();
+        variant.timestamp = 1;
+        assert_ne!(base.hash(), variant.hash());
+        let mut variant = base.clone();
+        variant.gas_used = 1;
+        assert_ne!(base.hash(), variant.hash());
+        let mut variant = base.clone();
+        variant.state_root = keccak256(b"x");
+        assert_ne!(base.hash(), variant.hash());
+    }
+}

@@ -1,0 +1,424 @@
+//! Micro-testnet simulation for the blockchain-environment evaluation (RQ3).
+//!
+//! The paper builds a 20-validator testnet, tunes mining to one block every
+//! 12 s (or 1 s), raises the gas limit so a block packs up to 10 000
+//! transactions, and measures *throughput speedup*: with small blocks
+//! mining dominates and parallel execution barely matters; with large
+//! blocks and fast mining, execution becomes the bottleneck and the
+//! scheduler's makespan directly bounds throughput (§V-C RQ3).
+//!
+//! This module reproduces that pipeline as a discrete-event simulation:
+//! a packer drains the transaction pool, every validator executes the
+//! block with the configured scheduler, the block cycle is
+//! `max(mining_interval, execution_time)`, and state roots across
+//! validators (and against the serial reference) must match. Virtual
+//! execution time (gas) converts to seconds via
+//! [`ChainConfig::gas_per_second`], calibrated so a typical transaction
+//! costs a few milliseconds — matching the paper's observed
+//! "sub-milliseconds to tens of milliseconds".
+
+#![warn(missing_docs)]
+
+mod block;
+mod pool;
+
+pub use block::{
+    build_receipts, receipts_root, transactions_root, verify_chain, BlockHeader, Receipt,
+};
+pub use pool::{PoolStats, TxPool};
+
+use dmvcc_analysis::{Analyzer, CSag};
+use dmvcc_baselines::{simulate_dag, simulate_occ};
+use dmvcc_core::{
+    execute_block_serial, simulate_dmvcc, DmvccConfig, ParallelConfig, ParallelExecutor, SimReport,
+};
+use dmvcc_primitives::H256;
+use dmvcc_state::StateDb;
+use dmvcc_vm::{BlockEnv, Transaction};
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Which scheduler a validator runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Ordinary serial execution (the baseline EVM).
+    Serial,
+    /// DAG-based parallel execution.
+    Dag,
+    /// OCC-based parallel execution.
+    Occ,
+    /// DMVCC.
+    Dmvcc,
+}
+
+impl SchedulerKind {
+    /// All four schedulers, in the order the paper plots them.
+    pub const ALL: [SchedulerKind; 4] = [
+        SchedulerKind::Serial,
+        SchedulerKind::Dag,
+        SchedulerKind::Occ,
+        SchedulerKind::Dmvcc,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Serial => "Serial",
+            SchedulerKind::Dag => "DAG",
+            SchedulerKind::Occ => "OCC",
+            SchedulerKind::Dmvcc => "DMVCC",
+        }
+    }
+}
+
+/// One mined block: header plus body.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The sealed header (binds parent hash, state/tx/receipt roots).
+    pub header: BlockHeader,
+    /// Packed transactions.
+    pub txs: Vec<Transaction>,
+    /// Execution receipts, one per transaction.
+    pub receipts: Vec<Receipt>,
+}
+
+/// Testnet configuration.
+#[derive(Debug, Clone)]
+pub struct ChainConfig {
+    /// Validators that re-execute every block (roots must agree).
+    pub validators: usize,
+    /// Transactions per block (paper: 180 for stock mining, 10 000 with the
+    /// raised gas limit).
+    pub block_size: usize,
+    /// Mining interval in seconds (paper: 12 s, and 1 s for the
+    /// execution-bound configuration).
+    pub mining_interval_secs: f64,
+    /// Worker threads per validator.
+    pub threads: usize,
+    /// The scheduler under test.
+    pub scheduler: SchedulerKind,
+    /// Number of blocks to mine.
+    pub blocks: usize,
+    /// Virtual-gas-to-wall-clock conversion. The default (4 M gas/s) makes
+    /// a typical contract call cost 5–10 ms, the paper's observed range.
+    pub gas_per_second: u64,
+    /// Workload shape.
+    pub workload: WorkloadConfig,
+    /// Re-execute every k-th block on the real threaded DMVCC executor and
+    /// compare write sets against serial (0 disables; keep small — the
+    /// threaded executor is the slow, faithful path).
+    pub crosscheck_every: usize,
+    /// Fraction of transactions that reach the pool *without* a SAG
+    /// (late propagation; the paper's pool-desync scenario).
+    pub pool_miss_rate: f64,
+    /// Whether missing SAGs are rebuilt on the fly (paper's first option)
+    /// or executed with empty predictions "as what OCC does" (second).
+    pub rebuild_missing_sags: bool,
+}
+
+impl ChainConfig {
+    /// The paper's execution-bound configuration: 10 000-tx blocks, 1 s
+    /// mining, on the realistic workload.
+    pub fn execution_bound(scheduler: SchedulerKind, threads: usize, seed: u64) -> Self {
+        ChainConfig {
+            validators: 20,
+            block_size: 10_000,
+            mining_interval_secs: 1.0,
+            threads,
+            scheduler,
+            blocks: 4,
+            gas_per_second: 4_000_000,
+            workload: WorkloadConfig::ethereum_mix(seed),
+            crosscheck_every: 0,
+            pool_miss_rate: 0.0,
+            rebuild_missing_sags: true,
+        }
+    }
+}
+
+/// Outcome of a testnet run.
+#[derive(Debug, Clone)]
+pub struct ChainReport {
+    /// Blocks mined.
+    pub blocks: usize,
+    /// Transactions committed (all packed transactions commit; reverted
+    /// ones are committed as no-ops, as on Ethereum).
+    pub committed_txs: u64,
+    /// Total wall-clock seconds of the simulated chain.
+    pub total_seconds: f64,
+    /// Seconds spent executing (the scheduler's share of each cycle).
+    pub execution_seconds: f64,
+    /// Throughput in transactions per second.
+    pub tps: f64,
+    /// `true` if every validator produced identical roots on every block
+    /// (and the threaded cross-checks agreed with serial).
+    pub roots_consistent: bool,
+    /// Scheduler aborts accumulated over all blocks.
+    pub aborts: u64,
+    /// Final state root.
+    pub final_root: H256,
+    /// The mined chain.
+    pub chain: Vec<Block>,
+    /// SAG cache behaviour of the pool.
+    pub pool_stats: PoolStats,
+}
+
+/// Executes one block under `scheduler`, returning its virtual-time report.
+pub fn schedule_block(
+    scheduler: SchedulerKind,
+    trace: &dmvcc_core::BlockTrace,
+    csags: &[CSag],
+    threads: usize,
+) -> SimReport {
+    match scheduler {
+        SchedulerKind::Serial => dmvcc_baselines::serial_report(trace),
+        SchedulerKind::Dag => simulate_dag(trace, threads),
+        SchedulerKind::Occ => simulate_occ(trace, threads),
+        SchedulerKind::Dmvcc => simulate_dmvcc(trace, csags, &DmvccConfig::new(threads)),
+    }
+}
+
+/// Runs the micro testnet.
+///
+/// Every validator executes every block; the state roots must agree (the
+/// paper's RQ1 oracle applied per block). In this simulation validators
+/// share the deterministic scheduler implementations, so disagreement
+/// indicates a protocol bug — additionally, `crosscheck_every` blocks are
+/// re-executed on the *real threaded* DMVCC executor and compared against
+/// the serial write set.
+pub fn run_testnet(config: &ChainConfig) -> ChainReport {
+    use rand::{Rng, SeedableRng};
+    let mut generator = WorkloadGenerator::new(config.workload.clone());
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let mut db = StateDb::with_genesis(generator.genesis_entries());
+    // Replica DBs for the other validators (cheap: StateDb is persistent).
+    let mut replicas: Vec<StateDb> = (1..config.validators.max(1)).map(|_| db.clone()).collect();
+
+    let threaded = ParallelExecutor::new(
+        analyzer.clone(),
+        ParallelConfig {
+            threads: config.threads.clamp(1, 8),
+            max_attempts: 64,
+        },
+    );
+
+    let mut pool = TxPool::new();
+    let mut desync_rng = rand::rngs::StdRng::seed_from_u64(config.workload.seed ^ 0xdead);
+    let mut chain: Vec<Block> = Vec::with_capacity(config.blocks);
+    let mut parent = BlockHeader::genesis(db.current_root());
+    let genesis_header = parent.clone();
+    let mut total_seconds = 0.0;
+    let mut execution_seconds = 0.0;
+    let mut committed = 0u64;
+    let mut aborts = 0u64;
+    let mut consistent = true;
+
+    for height in 1..=config.blocks as u64 {
+        let block_env = BlockEnv::new(height, 1_700_000_000 + height * 12);
+        let snapshot = db.latest().clone();
+
+        // Arrival: the SAG analyzer processes transactions as they reach
+        // the pool (paper §III-A), against the then-latest snapshot. A
+        // fraction arrives without analysis (late propagation).
+        for tx in generator.block(config.block_size) {
+            if config.pool_miss_rate > 0.0 && desync_rng.gen_bool(config.pool_miss_rate) {
+                pool.submit_raw(tx);
+            } else {
+                let sag = analyzer.csag(&tx, &snapshot, &block_env);
+                pool.submit(tx, sag);
+            }
+        }
+
+        // Packing + SAG resolution; cache misses are rebuilt on the fly or
+        // run with empty predictions, as the paper allows.
+        let txs = pool.take(config.block_size);
+        let csags: Vec<CSag> = txs
+            .iter()
+            .zip(pool.resolve_sags(&txs))
+            .map(|(tx, cached)| match cached {
+                Some(sag) => sag,
+                None if config.rebuild_missing_sags => analyzer.csag(tx, &snapshot, &block_env),
+                None => CSag::default(),
+            })
+            .collect();
+
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &block_env);
+        let report = schedule_block(config.scheduler, &trace, &csags, config.threads);
+        aborts += report.aborts;
+
+        // Optional cross-check on the real threaded executor.
+        if config.crosscheck_every > 0 && (height as usize).is_multiple_of(config.crosscheck_every)
+        {
+            let outcome = threaded.execute_block_with_csags(&txs, &snapshot, &block_env, &csags);
+            if outcome.final_writes != trace.final_writes {
+                consistent = false;
+            }
+        }
+
+        // Commit on every validator and compare roots.
+        let root = db.commit(&trace.final_writes);
+        for replica in &mut replicas {
+            if replica.commit(&trace.final_writes) != root {
+                consistent = false;
+            }
+        }
+
+        // Seal the header.
+        let receipts = build_receipts(
+            &trace
+                .txs
+                .iter()
+                .map(|t| (t.status.clone(), t.gas_used))
+                .collect::<Vec<_>>(),
+        );
+        let header = BlockHeader {
+            number: height,
+            parent_hash: parent.hash(),
+            state_root: root,
+            transactions_root: transactions_root(&txs),
+            receipts_root: receipts_root(&receipts),
+            timestamp: block_env.timestamp,
+            gas_used: trace.total_gas,
+        };
+        parent = header.clone();
+
+        let exec_secs = report.makespan as f64 / config.gas_per_second as f64;
+        execution_seconds += exec_secs;
+        total_seconds += config.mining_interval_secs.max(exec_secs);
+        committed += txs.len() as u64;
+        chain.push(Block {
+            header,
+            txs,
+            receipts,
+        });
+    }
+
+    // The sealed chain must verify end to end.
+    let headers: Vec<BlockHeader> = chain.iter().map(|b| b.header.clone()).collect();
+    let bodies: Vec<(Vec<Transaction>, Vec<Receipt>)> = chain
+        .iter()
+        .map(|b| (b.txs.clone(), b.receipts.clone()))
+        .collect();
+    if verify_chain(&genesis_header, &headers, &bodies).is_some() {
+        consistent = false;
+    }
+
+    ChainReport {
+        blocks: config.blocks,
+        committed_txs: committed,
+        total_seconds,
+        execution_seconds,
+        tps: committed as f64 / total_seconds.max(f64::EPSILON),
+        roots_consistent: consistent,
+        aborts,
+        final_root: db.current_root(),
+        chain,
+        pool_stats: pool.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(scheduler: SchedulerKind) -> ChainConfig {
+        ChainConfig {
+            validators: 3,
+            block_size: 40,
+            mining_interval_secs: 0.5,
+            threads: 4,
+            scheduler,
+            blocks: 3,
+            gas_per_second: 4_000_000,
+            workload: WorkloadConfig {
+                accounts: 100,
+                token_contracts: 6,
+                amm_contracts: 3,
+                nft_contracts: 2,
+                counter_contracts: 1,
+                ballot_contracts: 1,
+                fig1_contracts: 1,
+                ..WorkloadConfig::ethereum_mix(11)
+            },
+            crosscheck_every: 1,
+            pool_miss_rate: 0.0,
+            rebuild_missing_sags: true,
+        }
+    }
+
+    #[test]
+    fn serial_testnet_runs_and_roots_agree() {
+        let report = run_testnet(&tiny_config(SchedulerKind::Serial));
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.committed_txs, 120);
+        assert!(report.roots_consistent);
+        assert!(report.tps > 0.0);
+        assert_eq!(report.chain.len(), 3);
+    }
+
+    #[test]
+    fn pool_misses_do_not_break_consistency() {
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.pool_miss_rate = 0.5;
+        config.rebuild_missing_sags = false; // OCC fallback for misses
+        let report = run_testnet(&config);
+        assert!(report.roots_consistent);
+        assert!(report.pool_stats.sag_misses > 0);
+        assert!(report.pool_stats.sag_hits > 0);
+        // Same chain as the fully-analyzed run.
+        let clean = run_testnet(&tiny_config(SchedulerKind::Dmvcc));
+        assert_eq!(report.final_root, clean.final_root);
+    }
+
+    #[test]
+    fn headers_form_a_verified_chain() {
+        let report = run_testnet(&tiny_config(SchedulerKind::Serial));
+        assert!(report.roots_consistent);
+        for pair in report.chain.windows(2) {
+            assert_eq!(pair[1].header.parent_hash, pair[0].header.hash());
+        }
+        assert_eq!(
+            report.chain.last().unwrap().header.state_root,
+            report.final_root
+        );
+        for block in &report.chain {
+            assert_eq!(block.receipts.len(), block.txs.len());
+            assert_eq!(
+                transactions_root(&block.txs),
+                block.header.transactions_root
+            );
+        }
+    }
+
+    #[test]
+    fn all_schedulers_produce_identical_chains() {
+        let roots: Vec<H256> = SchedulerKind::ALL
+            .iter()
+            .map(|&s| run_testnet(&tiny_config(s)).final_root)
+            .collect();
+        assert!(roots.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn dmvcc_not_slower_than_serial() {
+        let serial = run_testnet(&tiny_config(SchedulerKind::Serial));
+        let dmvcc = run_testnet(&tiny_config(SchedulerKind::Dmvcc));
+        assert!(dmvcc.execution_seconds <= serial.execution_seconds + 1e-9);
+        assert!(dmvcc.tps >= serial.tps - 1e-9);
+        assert!(dmvcc.roots_consistent);
+    }
+
+    #[test]
+    fn mining_floor_bounds_cycle_time() {
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.mining_interval_secs = 10.0;
+        let report = run_testnet(&config);
+        // Tiny blocks execute far faster than 10 s: mining dominates.
+        assert!((report.total_seconds - 30.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scheduler_labels() {
+        assert_eq!(SchedulerKind::Dmvcc.label(), "DMVCC");
+        assert_eq!(SchedulerKind::ALL.len(), 4);
+    }
+}

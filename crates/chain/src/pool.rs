@@ -1,0 +1,169 @@
+//! The transaction pool with cached SAGs.
+//!
+//! Paper §III-A: "the processed transactions are stored in the transaction
+//! pool, along with their SAGs, waiting to be scheduled"; when a mined
+//! block arrives, "the current validator attempts to retrieve the
+//! corresponding SAGs of the block cached in the local transaction pool.
+//! …If a transaction in the block is missing from the local pool, the
+//! validator constructs a SAG for it on-the-fly. Surely, the validator can
+//! also execute it without any information of the read/write set as what
+//! OCC does."
+//!
+//! This module implements exactly that: C-SAGs are attached at submission
+//! time (against the then-latest snapshot — so they can be *stale* by the
+//! time the block executes, which the abort machinery tolerates), lookups
+//! happen by transaction hash, and misses are surfaced so the caller can
+//! rebuild or fall back to OCC-style empty predictions.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use dmvcc_analysis::CSag;
+use dmvcc_primitives::H256;
+use dmvcc_vm::Transaction;
+
+/// Pool statistics (SAG cache behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// SAG lookups that hit the cache.
+    pub sag_hits: u64,
+    /// SAG lookups that missed (transaction unknown or submitted raw).
+    pub sag_misses: u64,
+}
+
+/// A FIFO transaction pool with a SAG side-cache.
+#[derive(Debug, Default)]
+pub struct TxPool {
+    queue: VecDeque<Transaction>,
+    sags: HashMap<H256, CSag>,
+    stats: PoolStats,
+}
+
+impl TxPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        TxPool::default()
+    }
+
+    /// Submits a transaction with its pre-built C-SAG (the normal path:
+    /// the SAG analyzer runs on arrival).
+    pub fn submit(&mut self, tx: Transaction, sag: CSag) {
+        self.sags.insert(tx.hash(), sag);
+        self.queue.push_back(tx);
+    }
+
+    /// Submits a transaction without a SAG (late propagation: the local
+    /// analyzer never saw it).
+    pub fn submit_raw(&mut self, tx: Transaction) {
+        self.queue.push_back(tx);
+    }
+
+    /// Pending transaction count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if no transaction is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The packer: drains up to `n` transactions in FIFO order.
+    pub fn take(&mut self, n: usize) -> Vec<Transaction> {
+        let take = n.min(self.queue.len());
+        self.queue.drain(..take).collect()
+    }
+
+    /// Resolves the cached C-SAG for each transaction of a mined block,
+    /// removing consumed entries. `None` marks a cache miss.
+    pub fn resolve_sags(&mut self, txs: &[Transaction]) -> Vec<Option<CSag>> {
+        txs.iter()
+            .map(|tx| match self.sags.remove(&tx.hash()) {
+                Some(sag) => {
+                    self.stats.sag_hits += 1;
+                    Some(sag)
+                }
+                None => {
+                    self.stats.sag_misses += 1;
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Cache statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::{Address, U256};
+
+    fn tx(i: u64) -> Transaction {
+        Transaction::transfer(Address::from_u64(i), Address::from_u64(i + 1), U256::ONE)
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut pool = TxPool::new();
+        for i in 1..=5 {
+            pool.submit(tx(i), CSag::default());
+        }
+        assert_eq!(pool.len(), 5);
+        let first = pool.take(3);
+        assert_eq!(first[0].sender(), Address::from_u64(1));
+        assert_eq!(first[2].sender(), Address::from_u64(3));
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.is_empty());
+    }
+
+    #[test]
+    fn take_more_than_available() {
+        let mut pool = TxPool::new();
+        pool.submit_raw(tx(1));
+        let all = pool.take(10);
+        assert_eq!(all.len(), 1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn sag_cache_hits_and_misses() {
+        let mut pool = TxPool::new();
+        let with_sag = tx(1);
+        let without = tx(2);
+        pool.submit(
+            with_sag.clone(),
+            CSag::for_transfer(with_sag.sender(), with_sag.to()),
+        );
+        pool.submit_raw(without.clone());
+        let block = pool.take(2);
+        let sags = pool.resolve_sags(&block);
+        assert!(sags[0].is_some());
+        assert!(sags[1].is_none());
+        assert_eq!(
+            pool.stats(),
+            PoolStats {
+                sag_hits: 1,
+                sag_misses: 1
+            }
+        );
+        // Entries are consumed.
+        let again = pool.resolve_sags(&block);
+        assert!(again[0].is_none());
+    }
+
+    #[test]
+    fn foreign_block_transactions_miss() {
+        // A block mined elsewhere containing transactions this pool never
+        // saw: every SAG lookup misses, execution still possible (OCC
+        // fallback / on-the-fly construction).
+        let mut pool = TxPool::new();
+        let foreign = vec![tx(7), tx(8)];
+        let sags = pool.resolve_sags(&foreign);
+        assert!(sags.iter().all(Option::is_none));
+        assert_eq!(pool.stats().sag_misses, 2);
+    }
+}

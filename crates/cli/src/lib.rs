@@ -1,0 +1,208 @@
+//! Command-line front end for the DMVCC reproduction.
+//!
+//! Subcommands (see `dmvcc help`):
+//!
+//! - `contracts` — list the built-in contract library;
+//! - `analyze <contract>` — P-SAG summary and optional DOT export;
+//! - `run` — execute generated blocks under a chosen scheduler and print
+//!   speedups;
+//! - `chain` — run the micro testnet and print throughput.
+//!
+//! Argument parsing is hand-rolled (the project's dependency policy keeps
+//! the tree to the sanctioned crates); [`parse_args`] is pure and fully
+//! unit-tested.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A parsed command line: subcommand, positional arguments and `--key
+/// value` options.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` and `--flag` (value `"true"`) options.
+    pub options: HashMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Returns option `key` parsed as `T`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the option is present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: `{raw}`")),
+        }
+    }
+
+    /// `true` when `--key` was passed (with any value).
+    pub fn has(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+}
+
+/// Parses an argument vector (without the program name).
+///
+/// Rules: the first bare word is the subcommand; `--key value` pairs become
+/// options; a `--flag` followed by another `--…` or the end is a boolean
+/// flag; remaining bare words are positionals.
+///
+/// # Errors
+///
+/// Returns a message for a leading `--option` before any subcommand.
+///
+/// # Examples
+///
+/// ```
+/// let parsed = dmvcc_cli::parse_args(&[
+///     "run".into(), "--threads".into(), "8".into(), "--hot".into(),
+/// ]).unwrap();
+/// assert_eq!(parsed.command, "run");
+/// assert_eq!(parsed.get_or("threads", 1usize).unwrap(), 8);
+/// assert!(parsed.has("hot"));
+/// ```
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut parsed = ParsedArgs::default();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(key) = arg.strip_prefix("--") {
+            if parsed.command.is_empty() {
+                return Err(format!("option --{key} before a subcommand"));
+            }
+            let value = match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    iter.next().expect("peeked value exists").clone()
+                }
+                _ => "true".to_string(),
+            };
+            parsed.options.insert(key.to_string(), value);
+        } else if parsed.command.is_empty() {
+            parsed.command = arg.clone();
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+    }
+    if parsed.command.is_empty() {
+        parsed.command = "help".to_string();
+    }
+    Ok(parsed)
+}
+
+/// The built-in contract library by name.
+pub fn contract_by_name(name: &str) -> Option<Vec<u8>> {
+    use dmvcc_vm::contracts;
+    Some(match name {
+        "token" => contracts::token(),
+        "counter" => contracts::counter(),
+        "amm" => contracts::amm(),
+        "nft" => contracts::nft(),
+        "ballot" => contracts::ballot(),
+        "fig1" => contracts::fig1_example(),
+        "auction" => contracts::auction(),
+        "crowdsale" => contracts::crowdsale(),
+        "batch_pay" => contracts::batch_pay(),
+        _ => return None,
+    })
+}
+
+/// Names of the built-in contracts.
+pub const CONTRACT_NAMES: [&str; 9] = [
+    "token",
+    "counter",
+    "amm",
+    "nft",
+    "ballot",
+    "fig1",
+    "auction",
+    "crowdsale",
+    "batch_pay",
+];
+
+/// Usage text.
+pub const USAGE: &str = "\
+dmvcc — deterministic multi-version concurrency control, reproduced
+
+USAGE:
+  dmvcc contracts
+      List the built-in contract library.
+  dmvcc analyze <contract> [--dot FILE]
+      Print the P-SAG summary of a library contract; optionally write
+      Graphviz DOT.
+  dmvcc run [--hot] [--blocks N] [--size M] [--threads T]
+            [--scheduler serial|dag|occ|dmvcc|all] [--seed S]
+      Generate blocks and report scheduler speedups (virtual time).
+  dmvcc chain [--hot] [--blocks N] [--size M] [--threads T]
+              [--scheduler serial|dag|occ|dmvcc] [--interval SECS]
+      Run the micro testnet and report throughput.
+  dmvcc help
+      Show this message.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_is_help() {
+        let parsed = parse_args(&[]).unwrap();
+        assert_eq!(parsed.command, "help");
+    }
+
+    #[test]
+    fn subcommand_with_options_and_positionals() {
+        let parsed = parse_args(&strs(&[
+            "analyze",
+            "token",
+            "--dot",
+            "out.dot",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(parsed.command, "analyze");
+        assert_eq!(parsed.positional, vec!["token"]);
+        assert_eq!(parsed.options.get("dot").unwrap(), "out.dot");
+        assert!(parsed.has("verbose"));
+        assert!(!parsed.has("quiet"));
+    }
+
+    #[test]
+    fn flag_before_subcommand_rejected() {
+        assert!(parse_args(&strs(&["--threads", "8", "run"])).is_err());
+    }
+
+    #[test]
+    fn typed_option_access() {
+        let parsed = parse_args(&strs(&["run", "--threads", "8"])).unwrap();
+        assert_eq!(parsed.get_or("threads", 1usize).unwrap(), 8);
+        assert_eq!(parsed.get_or("blocks", 4usize).unwrap(), 4);
+        let parsed = parse_args(&strs(&["run", "--threads", "lots"])).unwrap();
+        assert!(parsed.get_or("threads", 1usize).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_followed_by_option() {
+        let parsed = parse_args(&strs(&["run", "--hot", "--threads", "4"])).unwrap();
+        assert!(parsed.has("hot"));
+        assert_eq!(parsed.get_or("threads", 1usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn all_library_contracts_resolve() {
+        for name in CONTRACT_NAMES {
+            assert!(contract_by_name(name).is_some(), "{name} missing");
+        }
+        assert!(contract_by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! The `dmvcc` command-line tool.
+
+use dmvcc_analysis::{cfg_to_dot, static_gas_bounds, Analyzer, PSag};
+use dmvcc_baselines::{simulate_dag, simulate_occ};
+use dmvcc_chain::{run_testnet, ChainConfig, SchedulerKind};
+use dmvcc_cli::{contract_by_name, parse_args, ParsedArgs, CONTRACT_NAMES, USAGE};
+use dmvcc_core::{build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig};
+use dmvcc_state::Snapshot;
+use dmvcc_vm::BlockEnv;
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "contracts" => cmd_contracts(),
+        "analyze" => cmd_analyze(&parsed),
+        "run" => cmd_run(&parsed),
+        "chain" => cmd_chain(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn cmd_contracts() -> Result<(), String> {
+    println!("{:<12}{:>8}  description", "name", "bytes");
+    let descriptions = [
+        (
+            "token",
+            "ERC20-style token (transfer/mint/approve/transferFrom)",
+        ),
+        (
+            "counter",
+            "shared counter (commutative and checked increments)",
+        ),
+        ("amm", "constant-product pool (swap/add-liquidity/quote)"),
+        ("nft", "NFT collection with a hot mint counter"),
+        ("ballot", "one-vote-per-account ballot"),
+        (
+            "fig1",
+            "the paper's Fig. 1 example (runtime-dependent keys)",
+        ),
+        ("auction", "English auction with commutative refunds"),
+        ("crowdsale", "ICO-style sale (commutative contributions)"),
+        ("batch_pay", "one debit, three commutative credits"),
+    ];
+    for (name, description) in descriptions {
+        let code = contract_by_name(name).expect("listed contracts exist");
+        println!("{name:<12}{:>8}  {description}", code.len());
+    }
+    Ok(())
+}
+
+fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), String> {
+    let name = parsed
+        .positional
+        .first()
+        .ok_or_else(|| format!("analyze needs a contract name (one of {CONTRACT_NAMES:?})"))?;
+    let code = contract_by_name(name)
+        .ok_or_else(|| format!("unknown contract `{name}` (one of {CONTRACT_NAMES:?})"))?;
+    let sag = PSag::build(&code);
+    println!("== P-SAG of `{name}` ({} bytes of code) ==", code.len());
+    println!("basic blocks        : {}", sag.cfg.blocks.len());
+    println!("state-access nodes  : {}", sag.ops.len());
+    println!("  resolved statically : {}", sag.resolved().count());
+    println!("  placeholders '–'    : {}", sag.unresolved().count());
+    println!("loop nodes          : {:?}", sag.loop_head_pcs);
+    println!("release points      : {:?}", sag.release_pcs);
+    let bounds = static_gas_bounds(&sag.cfg);
+    for pc in &sag.release_pcs {
+        if let Some(block) = sag.cfg.blocks.iter().find(|b| b.start_pc == *pc) {
+            match bounds[block.index] {
+                Some(g) => println!("  release @{pc}: static gas bound {g}"),
+                None => println!("  release @{pc}: bound deferred to C-SAG (loop ahead)"),
+            }
+        }
+    }
+    if let Some(path) = parsed.options.get("dot") {
+        let dot = cfg_to_dot(&sag.cfg, &sag.release_pcs);
+        std::fs::write(path, dot).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn workload_from(parsed: &ParsedArgs) -> Result<WorkloadConfig, String> {
+    let seed = parsed.get_or("seed", 42u64)?;
+    Ok(if parsed.has("hot") {
+        WorkloadConfig::high_contention(seed)
+    } else {
+        WorkloadConfig::ethereum_mix(seed)
+    })
+}
+
+fn cmd_run(parsed: &ParsedArgs) -> Result<(), String> {
+    let blocks = parsed.get_or("blocks", 2usize)?;
+    let size = parsed.get_or("size", 500usize)?;
+    let threads = parsed.get_or("threads", 8usize)?;
+    let scheduler: String = parsed.get_or("scheduler", "all".to_string())?;
+
+    let mut generator = WorkloadGenerator::new(workload_from(parsed)?);
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let mut snapshot = Snapshot::from_entries(generator.genesis_entries());
+
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "block", "txs", "gas", "scheduler", "speedup", "aborts"
+    );
+    for height in 1..=blocks as u64 {
+        let txs = generator.block(size);
+        let env = BlockEnv::new(height, 1_700_000_000 + height * 12);
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &env);
+        let csags = build_csags(&txs, &snapshot, &analyzer, &env);
+        let report = |label: &str, r: dmvcc_core::SimReport| {
+            println!(
+                "{height:>6} {:>10} {:>10} {label:>12} {:>9.2}x {:>8}",
+                txs.len(),
+                trace.total_gas,
+                r.speedup(),
+                r.aborts
+            );
+        };
+        match scheduler.as_str() {
+            "serial" => report("serial", dmvcc_baselines::serial_report(&trace)),
+            "dag" => report("dag", simulate_dag(&trace, threads)),
+            "occ" => report("occ", simulate_occ(&trace, threads)),
+            "dmvcc" => report(
+                "dmvcc",
+                simulate_dmvcc(&trace, &csags, &DmvccConfig::new(threads)),
+            ),
+            "all" => {
+                report("dag", simulate_dag(&trace, threads));
+                report("occ", simulate_occ(&trace, threads));
+                report(
+                    "dmvcc",
+                    simulate_dmvcc(&trace, &csags, &DmvccConfig::new(threads)),
+                );
+            }
+            other => return Err(format!("unknown scheduler `{other}`")),
+        }
+        snapshot = snapshot.apply(&trace.final_writes);
+    }
+    Ok(())
+}
+
+fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
+    let scheduler = match parsed.get_or("scheduler", "dmvcc".to_string())?.as_str() {
+        "serial" => SchedulerKind::Serial,
+        "dag" => SchedulerKind::Dag,
+        "occ" => SchedulerKind::Occ,
+        "dmvcc" => SchedulerKind::Dmvcc,
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+    let config = ChainConfig {
+        validators: parsed.get_or("validators", 4usize)?,
+        block_size: parsed.get_or("size", 500usize)?,
+        mining_interval_secs: parsed.get_or("interval", 1.0f64)?,
+        threads: parsed.get_or("threads", 8usize)?,
+        scheduler,
+        blocks: parsed.get_or("blocks", 3usize)?,
+        gas_per_second: 4_000_000,
+        workload: workload_from(parsed)?,
+        crosscheck_every: 0,
+        pool_miss_rate: parsed.get_or("miss-rate", 0.0f64)?,
+        rebuild_missing_sags: true,
+    };
+    let report = run_testnet(&config);
+    println!("scheduler          : {}", scheduler.label());
+    println!("blocks             : {}", report.blocks);
+    println!("transactions       : {}", report.committed_txs);
+    println!("execution time     : {:.2}s", report.execution_seconds);
+    println!("chain time         : {:.2}s", report.total_seconds);
+    println!("throughput         : {:.0} TPS", report.tps);
+    println!("scheduler aborts   : {}", report.aborts);
+    println!(
+        "pool SAG cache     : {} hits / {} misses",
+        report.pool_stats.sag_hits, report.pool_stats.sag_misses
+    );
+    println!("roots consistent   : {}", report.roots_consistent);
+    println!("final state root   : {}", report.final_root);
+    if !report.roots_consistent {
+        return Err("validator roots diverged".into());
+    }
+    Ok(())
+}

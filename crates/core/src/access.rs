@@ -1,0 +1,695 @@
+//! Access sequences with write versioning and commutative merges.
+//!
+//! An *access sequence* `L_I` (paper Definition 4) records, per state item
+//! `I` and in block order, which transactions read (ρ), write (ω), do both
+//! (θ), or commutatively increment (ω̄) the item, together with each
+//! operation's status ("F") and value ("Val"). It is the buffer between
+//! concurrent EVM instances and the StateDB:
+//!
+//! - **Write versioning** (§IV-D, Algorithm 3): every write is kept as its
+//!   own version, so write-write pairs never conflict; a read resolves to
+//!   the version of the closest preceding transaction.
+//! - **Commutative writes**: ω̄ entries store deltas that are merged onto
+//!   the closest preceding full version when a read needs the value.
+//! - **Aborts** (§IV-E): inserting a write that post-dates completed reads
+//!   returns those readers for cascading abort; dropping a version does the
+//!   same for its readers.
+
+use std::collections::BTreeMap;
+
+use dmvcc_primitives::U256;
+use dmvcc_state::{Snapshot, StateKey, WriteSet};
+
+/// The access type of an entry: ρ, ω, θ, or the commutative ω̄.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOp {
+    /// ρ — read only.
+    Read,
+    /// ω — write only.
+    Write,
+    /// θ — both read and write.
+    ReadWrite,
+    /// ω̄ — commutative increment (delta merged at read/commit time).
+    Add,
+}
+
+/// Lifecycle of an entry's pending operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryState {
+    /// Predicted but not yet performed ("F = N").
+    Pending,
+    /// Performed; `value` is valid for writes/adds ("F = true").
+    Done,
+    /// Resolved as never-happening (deterministic abort of the owner, or a
+    /// misprediction); readers pass through to earlier versions.
+    Dropped,
+}
+
+/// One entry of an access sequence.
+#[derive(Debug, Clone)]
+pub struct AccessEntry {
+    /// Index of the owning transaction within the block.
+    pub tx: usize,
+    /// ρ / ω / θ / ω̄.
+    pub op: AccessOp,
+    /// Written value (ω, θ) or accumulated delta (ω̄) once `state == Done`.
+    pub value: Option<U256>,
+    /// Status of the write side.
+    pub state: EntryState,
+    /// Whether the read side has been performed (ρ, θ); a completed read
+    /// that becomes stale triggers an abort.
+    pub read_done: bool,
+}
+
+impl AccessEntry {
+    fn predicted(tx: usize, op: AccessOp) -> Self {
+        AccessEntry {
+            tx,
+            op,
+            value: None,
+            state: EntryState::Pending,
+            read_done: false,
+        }
+    }
+
+    /// `true` if this entry's write side can serve readers.
+    fn is_write_like(&self) -> bool {
+        matches!(self.op, AccessOp::Write | AccessOp::ReadWrite)
+    }
+}
+
+/// How a read resolves against a sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadResolution {
+    /// The value is available: base version (or snapshot) plus merged
+    /// deltas. `sources` lists the transactions whose versions were
+    /// consumed (base writer and add-ers), for dependency tracking.
+    Ready {
+        /// The merged value the reader observes.
+        value: U256,
+        /// Transactions whose versions contributed (empty = snapshot only).
+        sources: Vec<usize>,
+    },
+    /// A preceding predicted write (or delta) is not yet available; the
+    /// reader must wait for `writer`.
+    Blocked {
+        /// The transaction whose pending version blocks this read.
+        writer: usize,
+    },
+}
+
+/// Outcome of [`AccessSequence::version_write`] — the paper's Algorithm 3.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionWriteEffect {
+    /// Readers of this version that had not yet read: they may now proceed.
+    pub allowed: Vec<usize>,
+    /// Readers that already consumed a now-stale version: abort them.
+    pub aborted: Vec<usize>,
+}
+
+/// The access sequence of a single state item.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSequence {
+    /// Entries sorted by transaction index (at most one per transaction).
+    entries: Vec<AccessEntry>,
+}
+
+impl AccessSequence {
+    /// Creates an empty sequence.
+    pub fn new() -> Self {
+        AccessSequence::default()
+    }
+
+    /// The entries in block order (read-only view).
+    pub fn entries(&self) -> &[AccessEntry] {
+        &self.entries
+    }
+
+    fn position(&self, tx: usize) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&tx, |e| e.tx)
+    }
+
+    /// Registers a predicted access from a C-SAG. Merges with an existing
+    /// prediction for the same transaction (read + write → θ).
+    pub fn predict(&mut self, tx: usize, op: AccessOp) {
+        match self.position(tx) {
+            Ok(i) => {
+                let existing = &mut self.entries[i];
+                existing.op = merge_ops(existing.op, op);
+            }
+            Err(i) => self.entries.insert(i, AccessEntry::predicted(tx, op)),
+        }
+    }
+
+    /// Resolves the value transaction `tx` should read (paper §III-B2):
+    /// the closest preceding finished write (or the snapshot), plus all
+    /// finished ω̄ deltas in between.
+    ///
+    /// Does **not** mark the read as done — call [`Self::mark_read`] once
+    /// the reader actually consumes the value.
+    pub fn resolve_read(&self, tx: usize, key: &StateKey, snapshot: &Snapshot) -> ReadResolution {
+        let upper = match self.position(tx) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        let mut delta = U256::ZERO;
+        let mut sources = Vec::new();
+        for entry in self.entries[..upper].iter().rev() {
+            match entry.op {
+                AccessOp::Read => continue,
+                AccessOp::Add => match entry.state {
+                    EntryState::Done => {
+                        delta = delta.wrapping_add(entry.value.unwrap_or(U256::ZERO));
+                        sources.push(entry.tx);
+                    }
+                    EntryState::Pending => {
+                        return ReadResolution::Blocked { writer: entry.tx };
+                    }
+                    EntryState::Dropped => continue,
+                },
+                AccessOp::Write | AccessOp::ReadWrite => match entry.state {
+                    EntryState::Done => {
+                        let base = entry.value.unwrap_or(U256::ZERO);
+                        sources.push(entry.tx);
+                        return ReadResolution::Ready {
+                            value: base.wrapping_add(delta),
+                            sources,
+                        };
+                    }
+                    EntryState::Pending => {
+                        return ReadResolution::Blocked { writer: entry.tx };
+                    }
+                    EntryState::Dropped => continue,
+                },
+            }
+        }
+        ReadResolution::Ready {
+            value: snapshot.get(key).wrapping_add(delta),
+            sources,
+        }
+    }
+
+    /// Marks transaction `tx`'s read side as performed (inserting a ρ entry
+    /// if the read was not predicted).
+    pub fn mark_read(&mut self, tx: usize) {
+        match self.position(tx) {
+            Ok(i) => self.entries[i].read_done = true,
+            Err(i) => {
+                let mut entry = AccessEntry::predicted(tx, AccessOp::Read);
+                entry.read_done = true;
+                self.entries.insert(i, entry);
+            }
+        }
+    }
+
+    /// The paper's Algorithm 3 (`Version_Write`): records the value written
+    /// by `tx` (inserting an ω entry if unpredicted, upgrading ρ → θ), and
+    /// returns which later readers of this version may proceed (`allowed`)
+    /// and which already read a stale version (`aborted`).
+    ///
+    /// Pass `delta = true` for a commutative ω̄ value.
+    pub fn version_write(&mut self, tx: usize, value: U256, delta: bool) -> VersionWriteEffect {
+        let pos = match self.position(tx) {
+            Ok(i) => {
+                let entry = &mut self.entries[i];
+                if delta {
+                    // A delta folds onto whatever version this transaction
+                    // already holds (repeated adds accumulate; an add after
+                    // the transaction's own full write extends that write).
+                    // A dropped version is void: the delta starts fresh.
+                    if entry.op == AccessOp::Read || entry.state == EntryState::Dropped {
+                        entry.op = AccessOp::Add;
+                    }
+                    let current = match entry.state {
+                        EntryState::Done => entry.value.unwrap_or(U256::ZERO),
+                        _ => U256::ZERO,
+                    };
+                    entry.value = Some(current.wrapping_add(value));
+                } else {
+                    entry.op = merge_ops(entry.op, AccessOp::Write);
+                    entry.value = Some(value);
+                }
+                entry.state = EntryState::Done;
+                i
+            }
+            Err(i) => {
+                let mut entry = AccessEntry::predicted(
+                    tx,
+                    if delta {
+                        AccessOp::Add
+                    } else {
+                        AccessOp::Write
+                    },
+                );
+                entry.value = Some(value);
+                entry.state = EntryState::Done;
+                self.entries.insert(i, entry);
+                i
+            }
+        };
+        self.downstream_effect(pos)
+    }
+
+    /// Drops transaction `tx`'s version (deterministic abort, rollback of a
+    /// misprediction, or the `null` write of the paper's Algorithm 4),
+    /// returning readers that consumed it and must abort.
+    pub fn drop_version(&mut self, tx: usize) -> VersionWriteEffect {
+        let Ok(pos) = self.position(tx) else {
+            return VersionWriteEffect::default();
+        };
+        self.entries[pos].state = EntryState::Dropped;
+        self.entries[pos].value = None;
+        self.downstream_effect(pos)
+    }
+
+    /// Resets `tx`'s entry to pending (re-execution of an aborted
+    /// transaction re-announces its predicted accesses), returning affected
+    /// downstream readers.
+    pub fn reset(&mut self, tx: usize) -> VersionWriteEffect {
+        let Ok(pos) = self.position(tx) else {
+            return VersionWriteEffect::default();
+        };
+        let entry = &mut self.entries[pos];
+        entry.state = EntryState::Pending;
+        entry.value = None;
+        entry.read_done = false;
+        if entry.is_write_like() || entry.op == AccessOp::Add {
+            self.downstream_effect(pos)
+        } else {
+            VersionWriteEffect::default()
+        }
+    }
+
+    /// Scans forward from `pos` classifying affected readers: readers whose
+    /// resolution includes the version at `pos` are `allowed` (if still
+    /// waiting) or `aborted` (if they already read). The scan stops at the
+    /// next full write (its readers observe that version instead); ω̄
+    /// entries are transparent.
+    fn downstream_effect(&self, pos: usize) -> VersionWriteEffect {
+        let mut effect = VersionWriteEffect::default();
+        for entry in &self.entries[pos + 1..] {
+            match entry.op {
+                AccessOp::Read => {
+                    if entry.read_done {
+                        effect.aborted.push(entry.tx);
+                    } else {
+                        effect.allowed.push(entry.tx);
+                    }
+                }
+                AccessOp::ReadWrite => {
+                    if entry.read_done {
+                        effect.aborted.push(entry.tx);
+                    } else {
+                        effect.allowed.push(entry.tx);
+                    }
+                    if entry.state != EntryState::Dropped {
+                        break; // its write takes over for later readers
+                    }
+                }
+                AccessOp::Add => continue,
+                AccessOp::Write => {
+                    if entry.state != EntryState::Dropped {
+                        break;
+                    }
+                }
+            }
+        }
+        effect
+    }
+
+    /// The committed value of this item after all transactions finish: the
+    /// last non-dropped full write merged with subsequent deltas, or
+    /// `None` if only the snapshot value (plus deltas) applies — in which
+    /// case the merged delta is returned separately.
+    fn final_value(&self, key: &StateKey, snapshot: &Snapshot) -> Option<U256> {
+        let mut delta = U256::ZERO;
+        let mut any = false;
+        for entry in self.entries.iter().rev() {
+            match entry.op {
+                AccessOp::Read => continue,
+                AccessOp::Add => {
+                    if entry.state == EntryState::Done {
+                        delta = delta.wrapping_add(entry.value.unwrap_or(U256::ZERO));
+                        any = true;
+                    }
+                }
+                AccessOp::Write | AccessOp::ReadWrite => {
+                    if entry.state == EntryState::Done {
+                        return Some(entry.value.unwrap_or(U256::ZERO).wrapping_add(delta));
+                    }
+                }
+            }
+        }
+        if any {
+            Some(snapshot.get(key).wrapping_add(delta))
+        } else {
+            None
+        }
+    }
+}
+
+fn merge_ops(a: AccessOp, b: AccessOp) -> AccessOp {
+    use AccessOp::*;
+    match (a, b) {
+        (Read, Read) => Read,
+        (Read, Write) | (Write, Read) | (ReadWrite, _) | (_, ReadWrite) => ReadWrite,
+        (Write, Write) => Write,
+        // A full write subsumes deltas for ordering purposes.
+        (Add, Write) | (Write, Add) => ReadWrite,
+        (Add, Add) => Add,
+        (Add, Read) | (Read, Add) => ReadWrite,
+    }
+}
+
+/// All access sequences of one block (`M_l` in the paper).
+#[derive(Debug, Clone, Default)]
+pub struct AccessSequences {
+    sequences: BTreeMap<StateKey, AccessSequence>,
+}
+
+impl AccessSequences {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        AccessSequences::default()
+    }
+
+    /// The sequence for `key`, creating it on first use.
+    pub fn sequence_mut(&mut self, key: StateKey) -> &mut AccessSequence {
+        self.sequences.entry(key).or_default()
+    }
+
+    /// The sequence for `key`, if any access was recorded or predicted.
+    pub fn sequence(&self, key: &StateKey) -> Option<&AccessSequence> {
+        self.sequences.get(key)
+    }
+
+    /// Iterates over all (key, sequence) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &AccessSequence)> {
+        self.sequences.iter()
+    }
+
+    /// Number of distinct state items.
+    pub fn len(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// `true` if no state item was touched.
+    pub fn is_empty(&self) -> bool {
+        self.sequences.is_empty()
+    }
+
+    /// The commit-phase flush (paper Algorithm 1 line 20): the final write
+    /// of every sequence, merged with trailing deltas, as a [`WriteSet`].
+    ///
+    /// Writes whose value equals the snapshot value are omitted — they are
+    /// no-ops for both the snapshot map and the trie, and omitting them
+    /// keeps this flush byte-identical with the serial executor's.
+    pub fn final_writes(&self, snapshot: &Snapshot) -> WriteSet {
+        let mut writes = WriteSet::new();
+        for (key, sequence) in &self.sequences {
+            if let Some(value) = sequence.final_value(key, snapshot) {
+                if value != snapshot.get(key) {
+                    writes.insert(*key, value);
+                }
+            }
+        }
+        writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::Address;
+
+    fn key() -> StateKey {
+        StateKey::storage(Address::from_u64(1), U256::from(7u64))
+    }
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn read_with_no_writes_resolves_to_snapshot() {
+        let seq = AccessSequence::new();
+        let snapshot = Snapshot::from_entries([(key(), u(55))]);
+        match seq.resolve_read(3, &key(), &snapshot) {
+            ReadResolution::Ready { value, sources } => {
+                assert_eq!(value, u(55));
+                assert!(sources.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_blocks_on_pending_predicted_write() {
+        let mut seq = AccessSequence::new();
+        seq.predict(1, AccessOp::Write);
+        seq.predict(3, AccessOp::Read);
+        assert_eq!(
+            seq.resolve_read(3, &key(), &Snapshot::empty()),
+            ReadResolution::Blocked { writer: 1 }
+        );
+    }
+
+    #[test]
+    fn read_sees_closest_preceding_finished_write() {
+        let mut seq = AccessSequence::new();
+        seq.predict(1, AccessOp::Write);
+        seq.predict(5, AccessOp::Write);
+        seq.version_write(1, u(10), false);
+        seq.version_write(5, u(50), false);
+        // tx 3 reads tx 1's version, not tx 5's (versioning!).
+        match seq.resolve_read(3, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, sources } => {
+                assert_eq!(value, u(10));
+                assert_eq!(sources, vec![1]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // tx 7 reads tx 5's version.
+        match seq.resolve_read(7, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, u(50)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn own_write_is_not_read_back() {
+        // resolve_read(tx) looks strictly before tx: the executor handles
+        // read-own-write via its local buffer W, as in Algorithm 1.
+        let mut seq = AccessSequence::new();
+        seq.version_write(3, u(30), false);
+        match seq.resolve_read(3, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, U256::ZERO),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adds_merge_onto_base_version() {
+        let mut seq = AccessSequence::new();
+        seq.version_write(1, u(100), false);
+        seq.version_write(2, u(5), true);
+        seq.version_write(4, u(7), true);
+        match seq.resolve_read(6, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, sources } => {
+                assert_eq!(value, u(112));
+                assert_eq!(sources.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A reader between the adds sees only the first delta.
+        match seq.resolve_read(3, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, u(105)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adds_merge_onto_snapshot_when_no_write() {
+        let mut seq = AccessSequence::new();
+        seq.version_write(2, u(5), true);
+        let snapshot = Snapshot::from_entries([(key(), u(100))]);
+        match seq.resolve_read(4, &key(), &snapshot) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, u(105)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_blocks_on_pending_add() {
+        let mut seq = AccessSequence::new();
+        seq.predict(2, AccessOp::Add);
+        assert_eq!(
+            seq.resolve_read(4, &key(), &Snapshot::empty()),
+            ReadResolution::Blocked { writer: 2 }
+        );
+    }
+
+    #[test]
+    fn version_write_allows_waiting_readers() {
+        let mut seq = AccessSequence::new();
+        seq.predict(1, AccessOp::Write);
+        seq.predict(3, AccessOp::Read);
+        seq.predict(4, AccessOp::Read);
+        let effect = seq.version_write(1, u(10), false);
+        assert_eq!(effect.allowed, vec![3, 4]);
+        assert!(effect.aborted.is_empty());
+    }
+
+    #[test]
+    fn version_write_aborts_completed_stale_reads() {
+        // The Fig. 5 scenario: T1 writes, T3 reads it, then T2's write
+        // appears (undetected before) → T3 must abort.
+        let mut seq = AccessSequence::new();
+        seq.version_write(1, u(10), false);
+        seq.mark_read(3);
+        let effect = seq.version_write(2, u(20), false);
+        assert_eq!(effect.aborted, vec![3]);
+        assert!(effect.allowed.is_empty());
+    }
+
+    #[test]
+    fn version_write_scan_stops_at_next_write() {
+        let mut seq = AccessSequence::new();
+        seq.predict(3, AccessOp::Read);
+        seq.predict(5, AccessOp::Write);
+        seq.predict(7, AccessOp::Read);
+        let effect = seq.version_write(1, u(10), false);
+        // Reader 3 is mine; reader 7 belongs to writer 5.
+        assert_eq!(effect.allowed, vec![3]);
+    }
+
+    #[test]
+    fn version_write_scan_passes_adds_and_dropped() {
+        let mut seq = AccessSequence::new();
+        seq.predict(2, AccessOp::Add);
+        seq.predict(4, AccessOp::Write);
+        seq.predict(6, AccessOp::Read);
+        seq.drop_version(4);
+        let effect = seq.version_write(1, u(10), false);
+        // The dropped write at 4 is transparent; 6 reads my version.
+        assert_eq!(effect.allowed, vec![6]);
+    }
+
+    #[test]
+    fn theta_upgrade_on_read_then_write() {
+        let mut seq = AccessSequence::new();
+        seq.predict(2, AccessOp::Read);
+        seq.version_write(2, u(9), false);
+        assert_eq!(seq.entries()[0].op, AccessOp::ReadWrite);
+        assert_eq!(seq.entries()[0].value, Some(u(9)));
+    }
+
+    #[test]
+    fn theta_read_side_aborts_like_reads() {
+        let mut seq = AccessSequence::new();
+        seq.version_write(1, u(10), false);
+        seq.predict(3, AccessOp::ReadWrite);
+        seq.mark_read(3);
+        seq.version_write(3, u(30), false);
+        // tx 2's late write invalidates tx 3's read.
+        let effect = seq.version_write(2, u(20), false);
+        assert_eq!(effect.aborted, vec![3]);
+    }
+
+    #[test]
+    fn drop_version_aborts_consumers() {
+        let mut seq = AccessSequence::new();
+        seq.version_write(1, u(10), false);
+        seq.mark_read(2);
+        let effect = seq.drop_version(1);
+        assert_eq!(effect.aborted, vec![2]);
+        // After the drop, reads pass through to the snapshot.
+        let snapshot = Snapshot::from_entries([(key(), u(99))]);
+        match seq.resolve_read(2, &key(), &snapshot) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, u(99)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_returns_entry_to_pending() {
+        let mut seq = AccessSequence::new();
+        seq.predict(1, AccessOp::Write);
+        seq.version_write(1, u(10), false);
+        seq.reset(1);
+        assert_eq!(
+            seq.resolve_read(3, &key(), &Snapshot::empty()),
+            ReadResolution::Blocked { writer: 1 }
+        );
+    }
+
+    #[test]
+    fn repeated_adds_by_same_tx_accumulate() {
+        let mut seq = AccessSequence::new();
+        seq.version_write(1, u(5), true);
+        seq.version_write(1, u(7), true);
+        match seq.resolve_read(2, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, u(12)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_writes_take_last_version_plus_deltas() {
+        let mut sequences = AccessSequences::new();
+        let k = key();
+        let seq = sequences.sequence_mut(k);
+        seq.version_write(1, u(10), false);
+        seq.version_write(3, u(30), false);
+        seq.version_write(5, u(4), true);
+        let snapshot = Snapshot::empty();
+        let writes = sequences.final_writes(&snapshot);
+        assert_eq!(writes.get(&k), Some(&u(34)));
+    }
+
+    #[test]
+    fn final_writes_deltas_only_use_snapshot_base() {
+        let mut sequences = AccessSequences::new();
+        let k = key();
+        sequences.sequence_mut(k).version_write(2, u(5), true);
+        let snapshot = Snapshot::from_entries([(k, u(100))]);
+        let writes = sequences.final_writes(&snapshot);
+        assert_eq!(writes.get(&k), Some(&u(105)));
+    }
+
+    #[test]
+    fn final_writes_skip_read_only_and_dropped() {
+        let mut sequences = AccessSequences::new();
+        let k = key();
+        {
+            let seq = sequences.sequence_mut(k);
+            seq.mark_read(1);
+            seq.version_write(2, u(20), false);
+            seq.drop_version(2);
+        }
+        let writes = sequences.final_writes(&Snapshot::empty());
+        assert!(writes.is_empty());
+    }
+
+    #[test]
+    fn unpredicted_read_inserts_entry() {
+        let mut seq = AccessSequence::new();
+        seq.mark_read(4);
+        assert_eq!(seq.entries().len(), 1);
+        assert_eq!(seq.entries()[0].op, AccessOp::Read);
+        assert!(seq.entries()[0].read_done);
+    }
+
+    #[test]
+    fn predict_merges_ops() {
+        let mut seq = AccessSequence::new();
+        seq.predict(1, AccessOp::Read);
+        seq.predict(1, AccessOp::Write);
+        assert_eq!(seq.entries()[0].op, AccessOp::ReadWrite);
+        let mut seq2 = AccessSequence::new();
+        seq2.predict(1, AccessOp::Add);
+        seq2.predict(1, AccessOp::Add);
+        assert_eq!(seq2.entries()[0].op, AccessOp::Add);
+        assert_eq!(seq2.entries().len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! DMVCC — deterministic multi-version concurrency control for smart
+//! contract execution (the paper's core contribution).
+//!
+//! The crate provides:
+//!
+//! - [`AccessSequence`]/[`AccessSequences`]: the per-state-item version
+//!   buffers with write versioning and commutative merges (Definition 4,
+//!   Algorithm 3).
+//! - [`execute_block_serial`]: the reference serial executor, which doubles
+//!   as the trace oracle for virtual-time scheduling.
+//! - [`simulate_dmvcc`]: the DMVCC scheduler in virtual time (gas), with
+//!   feature toggles for early-write visibility, commutative writes and
+//!   write versioning — the quantities behind the paper's figures.
+//! - [`ParallelExecutor`]: a real multi-threaded executor implementing
+//!   Algorithms 1–4 over shared access sequences, validated against the
+//!   serial state root.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmvcc_primitives::{Address, U256};
+//! use dmvcc_state::Snapshot;
+//! use dmvcc_vm::{CodeRegistry, Transaction};
+//! use dmvcc_analysis::Analyzer;
+//! use dmvcc_core::{build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig};
+//!
+//! let analyzer = Analyzer::new(CodeRegistry::default());
+//! let a = Address::from_u64(1);
+//! let snapshot = Snapshot::from_entries([
+//!     (dmvcc_state::StateKey::balance(a), U256::from(100u64)),
+//! ]);
+//! let block: Vec<Transaction> = (0..4)
+//!     .map(|i| Transaction::transfer(a, Address::from_u64(2 + i), U256::ONE))
+//!     .collect();
+//! let env = Default::default();
+//! let trace = execute_block_serial(&block, &snapshot, &analyzer, &env);
+//! let csags = build_csags(&block, &snapshot, &analyzer, &env);
+//! let report = simulate_dmvcc(&trace, &csags, &DmvccConfig::new(4));
+//! assert!(report.speedup() >= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod access;
+mod oracle;
+mod parallel;
+mod sim;
+mod simulator;
+
+pub use access::{
+    AccessEntry, AccessOp, AccessSequence, AccessSequences, EntryState, ReadResolution,
+    VersionWriteEffect,
+};
+pub use oracle::{build_csags, execute_block_serial, BlockTrace, ReadRecord, TxTrace};
+pub use parallel::{ParallelConfig, ParallelExecutor, ParallelOutcome};
+pub use sim::{SimReport, ThreadTimeline};
+pub use simulator::{simulate_dmvcc, DmvccConfig};

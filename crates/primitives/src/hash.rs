@@ -1,0 +1,253 @@
+//! Fixed-size hash and address types.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::hex::{decode_hex, encode_hex};
+use crate::keccak::keccak256;
+use crate::U256;
+
+/// A 32-byte hash value (Keccak-256 digest, trie root, block hash, ...).
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::H256;
+///
+/// let h: H256 = "0x00000000000000000000000000000000000000000000000000000000000000ff"
+///     .parse()?;
+/// assert_eq!(h.0[31], 0xff);
+/// # Ok::<(), dmvcc_primitives::ParseHexError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct H256(pub [u8; 32]);
+
+impl H256 {
+    /// The all-zero hash.
+    pub const ZERO: H256 = H256([0u8; 32]);
+
+    /// Returns `true` if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Views the hash as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Converts to a [`U256`] interpreting the bytes as big-endian.
+    pub fn to_u256(&self) -> U256 {
+        U256::from_be_bytes(self.0)
+    }
+
+    /// Creates a hash from a big-endian [`U256`].
+    pub fn from_u256(value: U256) -> H256 {
+        H256(value.to_be_bytes())
+    }
+}
+
+impl fmt::Debug for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H256({})", self)
+    }
+}
+
+impl fmt::Display for H256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", encode_hex(&self.0))
+    }
+}
+
+impl FromStr for H256 {
+    type Err = crate::hex::ParseHexError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = decode_hex(s)?;
+        if bytes.len() != 32 {
+            return Err(crate::hex::ParseHexError);
+        }
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&bytes);
+        Ok(H256(out))
+    }
+}
+
+impl From<U256> for H256 {
+    fn from(value: U256) -> Self {
+        H256::from_u256(value)
+    }
+}
+
+impl From<H256> for U256 {
+    fn from(value: H256) -> Self {
+        value.to_u256()
+    }
+}
+
+impl AsRef<[u8]> for H256 {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A 20-byte account address.
+///
+/// Contract and user accounts are identified by addresses, mirroring
+/// Ethereum's layout (an address is the low 20 bytes of a Keccak-256 hash).
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::Address;
+///
+/// let a = Address::from_u64(42);
+/// let b = Address::from_u64(42);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Address(pub [u8; 20]);
+
+impl Address {
+    /// The all-zero address (used as the "mint/burn" peer in token
+    /// contracts and as the recipient of contract-creation transactions).
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Derives a deterministic test address from an integer id.
+    ///
+    /// Workload generators use this to produce stable, collision-free
+    /// account spaces: the id is hashed so addresses are uniformly spread.
+    pub fn from_u64(id: u64) -> Address {
+        let digest = keccak256(&id.to_be_bytes());
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&digest.0[12..32]);
+        Address(out)
+    }
+
+    /// Views the address as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns `true` if every byte is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&b| b == 0)
+    }
+
+    /// Widens the address to a [`U256`] (big-endian, left-padded).
+    pub fn to_u256(&self) -> U256 {
+        U256::from_be_slice(&self.0)
+    }
+
+    /// Truncates a [`U256`] to its low 20 bytes, mirroring the EVM's
+    /// address masking semantics.
+    pub fn from_u256(value: U256) -> Address {
+        let bytes = value.to_be_bytes();
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes[12..32]);
+        Address(out)
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Address({})", self)
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{}", encode_hex(&self.0))
+    }
+}
+
+impl FromStr for Address {
+    type Err = crate::hex::ParseHexError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = decode_hex(s)?;
+        if bytes.len() != 20 {
+            return Err(crate::hex::ParseHexError);
+        }
+        let mut out = [0u8; 20];
+        out.copy_from_slice(&bytes);
+        Ok(Address(out))
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h256_display_round_trip() {
+        let h = keccak256(b"x");
+        let text = h.to_string();
+        assert!(text.starts_with("0x"));
+        assert_eq!(text.len(), 66);
+        let parsed: H256 = text.parse().expect("round trip");
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn h256_u256_round_trip() {
+        let v = U256::from(0xdeadbeefu64);
+        assert_eq!(H256::from_u256(v).to_u256(), v);
+        let h: H256 = v.into();
+        let back: U256 = h.into();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn h256_zero() {
+        assert!(H256::ZERO.is_zero());
+        assert!(!keccak256(b"").is_zero());
+    }
+
+    #[test]
+    fn h256_parse_errors() {
+        assert!("0x1234".parse::<H256>().is_err());
+        assert!("zz".repeat(32).parse::<H256>().is_err());
+    }
+
+    #[test]
+    fn address_from_u64_is_deterministic_and_spread() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(1);
+        let c = Address::from_u64(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn address_u256_round_trip() {
+        let a = Address::from_u64(77);
+        assert_eq!(Address::from_u256(a.to_u256()), a);
+    }
+
+    #[test]
+    fn address_display_round_trip() {
+        let a = Address::from_u64(3);
+        let text = a.to_string();
+        assert_eq!(text.len(), 42);
+        let parsed: Address = text.parse().expect("round trip");
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn address_parse_errors() {
+        assert!("0x12".parse::<Address>().is_err());
+    }
+
+    #[test]
+    fn zero_address() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_u64(9).is_zero());
+    }
+}

@@ -1,0 +1,93 @@
+//! Minimal hexadecimal encode/decode helpers used by the display and parse
+//! implementations of [`crate::H256`] and [`crate::Address`].
+
+use core::fmt;
+
+/// Error returned when decoding an invalid hexadecimal string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseHexError;
+
+impl fmt::Display for ParseHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid hexadecimal syntax")
+    }
+}
+
+impl std::error::Error for ParseHexError {}
+
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes bytes as a lowercase hexadecimal string without a prefix.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dmvcc_primitives::encode_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(HEX_CHARS[(b >> 4) as usize] as char);
+        out.push(HEX_CHARS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (optional `0x` prefix, even length).
+///
+/// # Errors
+///
+/// Returns [`ParseHexError`] if the string has odd length or contains a
+/// non-hexadecimal character.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dmvcc_primitives::decode_hex("0xdead")?, vec![0xde, 0xad]);
+/// # Ok::<(), dmvcc_primitives::ParseHexError>(())
+/// ```
+pub fn decode_hex(s: &str) -> Result<Vec<u8>, ParseHexError> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    if !s.len().is_multiple_of(2) {
+        return Err(ParseHexError);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16).ok_or(ParseHexError)?;
+        let lo = (pair[1] as char).to_digit(16).ok_or(ParseHexError)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_empty() {
+        assert_eq!(encode_hex(&[]), "");
+    }
+
+    #[test]
+    fn round_trip() {
+        let data = vec![0x00, 0x01, 0xab, 0xff];
+        assert_eq!(decode_hex(&encode_hex(&data)).expect("round trip"), data);
+    }
+
+    #[test]
+    fn decode_with_prefix() {
+        assert_eq!(decode_hex("0x00ff").expect("valid"), vec![0x00, 0xff]);
+    }
+
+    #[test]
+    fn decode_rejects_odd_length() {
+        assert_eq!(decode_hex("abc"), Err(ParseHexError));
+    }
+
+    #[test]
+    fn decode_rejects_bad_chars() {
+        assert_eq!(decode_hex("zz"), Err(ParseHexError));
+    }
+}

@@ -1,0 +1,251 @@
+//! Keccak-256 implemented from scratch (the original Keccak padding used by
+//! Ethereum, not NIST SHA-3).
+//!
+//! The state commitments of the reproduced system (Merkle Patricia Trie
+//! roots, storage-slot derivations) all hash with Keccak-256, so a faithful
+//! implementation is required for the RQ1 root-equality oracle.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmvcc_primitives::keccak256;
+//!
+//! let digest = keccak256(b"");
+//! assert_eq!(
+//!     format!("{}", digest),
+//!     "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+//! );
+//! ```
+
+use crate::H256;
+
+const ROUNDS: usize = 24;
+/// Rate in bytes for Keccak-256 (1600 - 2*256 bits = 1088 bits = 136 bytes).
+const RATE: usize = 136;
+
+const ROUND_CONSTANTS: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets, indexed `[x][y]` per the Keccak reference.
+const ROTATION: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// The Keccak-f[1600] permutation applied in place to a 5x5 lane state.
+// Index loops mirror the (x, y) lane coordinates of the Keccak reference;
+// iterator forms would obscure the correspondence.
+#[allow(clippy::needless_range_loop)]
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for rc in ROUND_CONSTANTS.iter() {
+        // Theta.
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // Rho and Pi.
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(ROTATION[x][y]);
+            }
+        }
+        // Chi.
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // Iota.
+        state[0][0] ^= rc;
+    }
+}
+
+/// An incremental Keccak-256 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::{keccak256, Keccak256};
+///
+/// let mut hasher = Keccak256::new();
+/// hasher.update(b"hello ");
+/// hasher.update(b"world");
+/// assert_eq!(hasher.finalize(), keccak256(b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; RATE],
+    buffered: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Keccak256 {
+            state: [[0u64; 5]; 5],
+            buffer: [0u8; RATE],
+            buffered: 0,
+        }
+    }
+
+    /// Absorbs `data` into the sponge.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut input = data;
+        while !input.is_empty() {
+            let take = (RATE - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buffer[i * 8..i * 8 + 8]);
+            let (x, y) = (i % 5, i / 5);
+            self.state[x][y] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+        self.buffered = 0;
+    }
+
+    /// Applies padding and squeezes the 32-byte digest.
+    pub fn finalize(mut self) -> H256 {
+        // Original Keccak multi-rate padding: 0x01 ... 0x80.
+        self.buffer[self.buffered..].fill(0);
+        self.buffer[self.buffered] ^= 0x01;
+        self.buffer[RATE - 1] ^= 0x80;
+        self.buffered = RATE;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let (x, y) = (i % 5, i / 5);
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.state[x][y].to_le_bytes());
+        }
+        H256(out)
+    }
+}
+
+/// Computes the Keccak-256 digest of `data` in one shot.
+pub fn keccak256(data: &[u8]) -> H256 {
+    let mut hasher = Keccak256::new();
+    hasher.update(data);
+    hasher.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_digest(data: &[u8]) -> String {
+        format!("{}", keccak256(data))
+    }
+
+    #[test]
+    fn empty_input_vector() {
+        assert_eq!(
+            hex_digest(b""),
+            "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            hex_digest(b"abc"),
+            "0x4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn hello_vector() {
+        // Well-known Ethereum test vector.
+        assert_eq!(
+            hex_digest(b"hello"),
+            "0x1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"
+        );
+    }
+
+    #[test]
+    fn solidity_transfer_selector() {
+        // keccak256("transfer(address,uint256)") starts with a9059cbb —
+        // the canonical ERC20 transfer selector.
+        let digest = keccak256(b"transfer(address,uint256)");
+        assert_eq!(&digest.0[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn multi_block_input() {
+        // Exceeds one rate block (136 bytes) to exercise the absorb loop.
+        let data = vec![0xabu8; 300];
+        let one_shot = keccak256(&data);
+        let mut incremental = Keccak256::new();
+        for chunk in data.chunks(7) {
+            incremental.update(chunk);
+        }
+        assert_eq!(incremental.finalize(), one_shot);
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        // Exactly RATE and RATE-1 and RATE+1 byte inputs all differ.
+        let a = keccak256(&[0u8; RATE - 1]);
+        let b = keccak256(&[0u8; RATE]);
+        let c = keccak256(&[0u8; RATE + 1]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(keccak256(b"determinism"), keccak256(b"determinism"));
+        assert_ne!(keccak256(b"a"), keccak256(b"b"));
+    }
+}

@@ -1,0 +1,1155 @@
+//! A 256-bit unsigned integer implemented from scratch.
+//!
+//! The EVM word size is 256 bits; all stack items, storage keys and storage
+//! values in [`dmvcc-vm`](https://example.com/dmvcc) are [`U256`]. The type is
+//! a fixed array of four little-endian `u64` limbs and implements the full
+//! arithmetic needed by the interpreter: wrapping add/sub/mul, long division,
+//! modular arithmetic, exponentiation, comparisons, bit operations and shifts.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmvcc_primitives::U256;
+//!
+//! let a = U256::from(7u64);
+//! let b = U256::from(5u64);
+//! assert_eq!(a + b, U256::from(12u64));
+//! assert_eq!(a * b, U256::from(35u64));
+//! assert_eq!(a / b, U256::from(1u64));
+//! assert_eq!(a % b, U256::from(2u64));
+//! ```
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{
+    Add, AddAssign, BitAnd, BitOr, BitXor, Div, Mul, Not, Rem, Shl, Shr, Sub, SubAssign,
+};
+use core::str::FromStr;
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+///
+/// Arithmetic follows EVM semantics: `+`, `-` and `*` wrap modulo 2^256,
+/// division and remainder by zero yield zero (matching the `DIV`/`MOD`
+/// opcodes) rather than panicking.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// The value `0`.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+    /// The value `1`.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+    /// The maximum representable value, `2^256 - 1`.
+    pub const MAX: U256 = U256([u64::MAX; 4]);
+
+    /// Creates a value from four little-endian limbs.
+    #[inline]
+    pub const fn from_limbs(limbs: [u64; 4]) -> Self {
+        U256(limbs)
+    }
+
+    /// Returns the little-endian limbs.
+    #[inline]
+    pub const fn limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub const fn is_zero(&self) -> bool {
+        self.0[0] == 0 && self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0
+    }
+
+    /// Interprets the value as a boolean (EVM truthiness: nonzero is true).
+    #[inline]
+    pub const fn as_bool(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Returns the low 64 bits, discarding higher limbs.
+    #[inline]
+    pub const fn low_u64(&self) -> u64 {
+        self.0[0]
+    }
+
+    /// Returns the low 128 bits, discarding higher limbs.
+    #[inline]
+    pub const fn low_u128(&self) -> u128 {
+        (self.0[0] as u128) | ((self.0[1] as u128) << 64)
+    }
+
+    /// Returns the value as `usize` if it fits.
+    pub fn to_usize(&self) -> Option<usize> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            usize::try_from(self.0[0]).ok()
+        } else {
+            None
+        }
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.0[1] == 0 && self.0[2] == 0 && self.0[3] == 0 {
+            Some(self.0[0])
+        } else {
+            None
+        }
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bits(&self) -> u32 {
+        for i in (0..4).rev() {
+            if self.0[i] != 0 {
+                return (i as u32) * 64 + (64 - self.0[i].leading_zeros());
+            }
+        }
+        0
+    }
+
+    /// Returns bit `i` (little-endian bit order). Bits `>= 256` are zero.
+    pub fn bit(&self, i: u32) -> bool {
+        if i >= 256 {
+            return false;
+        }
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Wrapping addition; also reports whether overflow occurred.
+    #[allow(clippy::needless_range_loop)] // lockstep walk over both limb arrays
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for i in 0..4 {
+            let (s1, c1) = self.0[i].overflowing_add(rhs.0[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            out[i] = s2;
+            carry = c1 | c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping subtraction; also reports whether borrow occurred.
+    #[allow(clippy::needless_range_loop)] // lockstep walk over both limb arrays
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for i in 0..4 {
+            let (d1, b1) = self.0[i].overflowing_sub(rhs.0[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            out[i] = d2;
+            borrow = b1 | b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Addition that returns `None` on overflow.
+    pub fn checked_add(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_add(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Subtraction that returns `None` on underflow.
+    pub fn checked_sub(self, rhs: U256) -> Option<U256> {
+        match self.overflowing_sub(rhs) {
+            (v, false) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Wrapping addition modulo 2^256 (EVM `ADD`).
+    #[inline]
+    pub fn wrapping_add(self, rhs: U256) -> U256 {
+        self.overflowing_add(rhs).0
+    }
+
+    /// Wrapping subtraction modulo 2^256 (EVM `SUB`).
+    #[inline]
+    pub fn wrapping_sub(self, rhs: U256) -> U256 {
+        self.overflowing_sub(rhs).0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: U256) -> U256 {
+        match self.overflowing_add(rhs) {
+            (v, false) => v,
+            _ => U256::MAX,
+        }
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: U256) -> U256 {
+        match self.overflowing_sub(rhs) {
+            (v, false) => v,
+            _ => U256::ZERO,
+        }
+    }
+
+    /// Wrapping multiplication modulo 2^256 (EVM `MUL`).
+    pub fn wrapping_mul(self, rhs: U256) -> U256 {
+        let mut out = [0u64; 4];
+        for i in 0..4 {
+            if self.0[i] == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in 0..4 - i {
+                let idx = i + j;
+                let cur = out[idx] as u128;
+                let prod = (self.0[i] as u128) * (rhs.0[j] as u128) + cur + carry;
+                out[idx] = prod as u64;
+                carry = prod >> 64;
+            }
+        }
+        U256(out)
+    }
+
+    /// Multiplication that returns `None` on overflow.
+    pub fn checked_mul(self, rhs: U256) -> Option<U256> {
+        if self.is_zero() || rhs.is_zero() {
+            return Some(U256::ZERO);
+        }
+        if self.bits() + rhs.bits() > 257 {
+            return None;
+        }
+        let result = self.wrapping_mul(rhs);
+        // bits() bound is loose by one; verify via division.
+        if result / rhs == self {
+            Some(result)
+        } else {
+            None
+        }
+    }
+
+    /// Simultaneous quotient and remainder.
+    ///
+    /// Division by zero yields `(0, 0)` following EVM `DIV`/`MOD` semantics.
+    pub fn div_rem(self, rhs: U256) -> (U256, U256) {
+        if rhs.is_zero() {
+            return (U256::ZERO, U256::ZERO);
+        }
+        if self < rhs {
+            return (U256::ZERO, self);
+        }
+        if rhs.0[1] == 0 && rhs.0[2] == 0 && rhs.0[3] == 0 {
+            // Fast path: single-limb divisor.
+            let d = rhs.0[0];
+            let mut q = [0u64; 4];
+            let mut rem: u128 = 0;
+            for i in (0..4).rev() {
+                let cur = (rem << 64) | self.0[i] as u128;
+                q[i] = (cur / d as u128) as u64;
+                rem = cur % d as u128;
+            }
+            return (U256(q), U256([rem as u64, 0, 0, 0]));
+        }
+        // Bit-by-bit long division for the general case.
+        let mut quotient = U256::ZERO;
+        let mut remainder = U256::ZERO;
+        let bits = self.bits();
+        for i in (0..bits).rev() {
+            remainder = remainder << 1;
+            if self.bit(i) {
+                remainder.0[0] |= 1;
+            }
+            if remainder >= rhs {
+                remainder = remainder.wrapping_sub(rhs);
+                quotient.0[(i / 64) as usize] |= 1 << (i % 64);
+            }
+        }
+        (quotient, remainder)
+    }
+
+    /// Modular addition `(self + rhs) % modulus` (EVM `ADDMOD`).
+    ///
+    /// Returns zero if `modulus` is zero.
+    pub fn add_mod(self, rhs: U256, modulus: U256) -> U256 {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let (sum, carry) = self.overflowing_add(rhs);
+        if !carry {
+            return sum % modulus;
+        }
+        // Compute (2^256 + sum) mod modulus without 512-bit arithmetic:
+        // 2^256 mod m = ((MAX mod m) + 1) mod m.
+        let two256_mod = ((U256::MAX % modulus).wrapping_add(U256::ONE)) % modulus;
+        let sum_mod = sum % modulus;
+        let (s, c) = sum_mod.overflowing_add(two256_mod);
+        if c || s >= modulus {
+            s.wrapping_sub(modulus)
+        } else {
+            s
+        }
+    }
+
+    /// Modular multiplication `(self * rhs) % modulus` (EVM `MULMOD`).
+    ///
+    /// Returns zero if `modulus` is zero. Uses double-and-add to stay within
+    /// 256-bit arithmetic.
+    pub fn mul_mod(self, rhs: U256, modulus: U256) -> U256 {
+        if modulus.is_zero() {
+            return U256::ZERO;
+        }
+        let mut result = U256::ZERO;
+        let mut base = self % modulus;
+        let other = rhs % modulus;
+        for i in 0..other.bits() {
+            if other.bit(i) {
+                result = result.add_mod(base, modulus);
+            }
+            base = base.add_mod(base, modulus);
+        }
+        result
+    }
+
+    /// Returns `true` if the value is negative when interpreted as a
+    /// two's-complement 256-bit signed integer (bit 255 set).
+    #[inline]
+    pub const fn is_negative_signed(&self) -> bool {
+        self.0[3] >> 63 == 1
+    }
+
+    /// Two's-complement negation (`0 - self` modulo 2^256).
+    pub fn wrapping_neg(self) -> U256 {
+        U256::ZERO.wrapping_sub(self)
+    }
+
+    /// Signed division following EVM `SDIV` semantics: truncated division
+    /// of two's-complement operands; division by zero yields zero;
+    /// `MIN / -1` wraps to `MIN`.
+    pub fn sdiv(self, rhs: U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let negative = self.is_negative_signed() != rhs.is_negative_signed();
+        let a = if self.is_negative_signed() {
+            self.wrapping_neg()
+        } else {
+            self
+        };
+        let b = if rhs.is_negative_signed() {
+            rhs.wrapping_neg()
+        } else {
+            rhs
+        };
+        let q = a / b;
+        if negative {
+            q.wrapping_neg()
+        } else {
+            q
+        }
+    }
+
+    /// Signed remainder following EVM `SMOD` semantics: the result takes
+    /// the sign of the dividend; modulo by zero yields zero.
+    pub fn smod(self, rhs: U256) -> U256 {
+        if rhs.is_zero() {
+            return U256::ZERO;
+        }
+        let a = if self.is_negative_signed() {
+            self.wrapping_neg()
+        } else {
+            self
+        };
+        let b = if rhs.is_negative_signed() {
+            rhs.wrapping_neg()
+        } else {
+            rhs
+        };
+        let r = a % b;
+        if self.is_negative_signed() {
+            r.wrapping_neg()
+        } else {
+            r
+        }
+    }
+
+    /// Signed less-than over two's-complement values (EVM `SLT`).
+    pub fn slt(&self, rhs: &U256) -> bool {
+        match (self.is_negative_signed(), rhs.is_negative_signed()) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => self < rhs,
+        }
+    }
+
+    /// Signed greater-than over two's-complement values (EVM `SGT`).
+    pub fn sgt(&self, rhs: &U256) -> bool {
+        rhs.slt(self)
+    }
+
+    /// Sign-extends from byte position `byte_index` (EVM `SIGNEXTEND`):
+    /// bit `8*(byte_index+1) - 1` is copied upward. Indices ≥ 31 return
+    /// the value unchanged.
+    pub fn sign_extend(self, byte_index: U256) -> U256 {
+        let Some(index) = byte_index.to_u64().filter(|&i| i < 31) else {
+            return self;
+        };
+        let bit = (index as u32) * 8 + 7;
+        if self.bit(bit) {
+            // Set all bits above `bit`.
+            let mask = (U256::ONE << (bit + 1)).wrapping_sub(U256::ONE);
+            self | !mask
+        } else {
+            let mask = (U256::ONE << (bit + 1)).wrapping_sub(U256::ONE);
+            self & mask
+        }
+    }
+
+    /// Arithmetic right shift over the two's-complement value (EVM `SAR`).
+    pub fn sar(self, shift: u32) -> U256 {
+        if !self.is_negative_signed() {
+            return self >> shift.min(256);
+        }
+        if shift >= 256 {
+            return U256::MAX; // all ones
+        }
+        if shift == 0 {
+            return self;
+        }
+        // Shift right, then fill the vacated high bits with ones.
+        let shifted = self >> shift;
+        let fill = !(U256::MAX >> shift);
+        shifted | fill
+    }
+
+    /// Extracts byte `index` counting from the most significant (EVM
+    /// `BYTE`): index 0 is the high-order byte; indices ≥ 32 yield zero.
+    pub fn byte_be(&self, index: U256) -> U256 {
+        match index.to_u64() {
+            Some(i) if i < 32 => U256::from(self.to_be_bytes()[i as usize]),
+            _ => U256::ZERO,
+        }
+    }
+
+    /// Wrapping exponentiation modulo 2^256 (EVM `EXP`).
+    pub fn wrapping_pow(self, exp: U256) -> U256 {
+        let mut result = U256::ONE;
+        let mut base = self;
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.wrapping_mul(base);
+            }
+            base = base.wrapping_mul(base);
+        }
+        result
+    }
+
+    /// Big-endian 32-byte representation.
+    #[allow(clippy::needless_range_loop)] // limb index ↔ byte range mapping
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            out[32 - 8 * (i + 1)..32 - 8 * i].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        out
+    }
+
+    /// Parses a big-endian 32-byte representation.
+    #[allow(clippy::needless_range_loop)] // limb index ↔ byte range mapping
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for i in 0..4 {
+            let mut limb = [0u8; 8];
+            limb.copy_from_slice(&bytes[32 - 8 * (i + 1)..32 - 8 * i]);
+            limbs[i] = u64::from_be_bytes(limb);
+        }
+        U256(limbs)
+    }
+
+    /// Parses from a big-endian slice of at most 32 bytes.
+    ///
+    /// Shorter slices are interpreted as left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len() > 32`.
+    pub fn from_be_slice(bytes: &[u8]) -> Self {
+        assert!(bytes.len() <= 32, "U256::from_be_slice: more than 32 bytes");
+        let mut buf = [0u8; 32];
+        buf[32 - bytes.len()..].copy_from_slice(bytes);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Minimal big-endian byte representation (no leading zeros; empty for 0).
+    pub fn to_be_bytes_trimmed(&self) -> Vec<u8> {
+        let full = self.to_be_bytes();
+        let first = full.iter().position(|&b| b != 0).unwrap_or(32);
+        full[first..].to_vec()
+    }
+
+    /// Parses a hexadecimal string with optional `0x` prefix.
+    pub fn from_hex(s: &str) -> Result<Self, ParseU256Error> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.is_empty() || s.len() > 64 {
+            return Err(ParseU256Error);
+        }
+        let mut value = U256::ZERO;
+        for c in s.chars() {
+            let digit = c.to_digit(16).ok_or(ParseU256Error)? as u64;
+            value = (value << 4) | U256::from(digit);
+        }
+        Ok(value)
+    }
+
+    /// Parses a decimal string.
+    pub fn from_dec(s: &str) -> Result<Self, ParseU256Error> {
+        if s.is_empty() {
+            return Err(ParseU256Error);
+        }
+        let ten = U256::from(10u64);
+        let mut value = U256::ZERO;
+        for c in s.chars() {
+            let digit = c.to_digit(10).ok_or(ParseU256Error)? as u64;
+            value = value
+                .checked_mul(ten)
+                .and_then(|v| v.checked_add(U256::from(digit)))
+                .ok_or(ParseU256Error)?;
+        }
+        Ok(value)
+    }
+}
+
+/// Error returned when parsing a [`U256`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseU256Error;
+
+impl fmt::Display for ParseU256Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid 256-bit integer syntax")
+    }
+}
+
+impl std::error::Error for ParseU256Error {}
+
+impl FromStr for U256 {
+    type Err = ParseU256Error;
+
+    /// Parses decimal by default, hexadecimal with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x") {
+            U256::from_hex(hex)
+        } else {
+            U256::from_dec(s)
+        }
+    }
+}
+
+impl From<u64> for U256 {
+    fn from(v: u64) -> Self {
+        U256([v, 0, 0, 0])
+    }
+}
+
+impl From<u32> for U256 {
+    fn from(v: u32) -> Self {
+        U256([v as u64, 0, 0, 0])
+    }
+}
+
+impl From<u8> for U256 {
+    fn from(v: u8) -> Self {
+        U256([v as u64, 0, 0, 0])
+    }
+}
+
+impl From<usize> for U256 {
+    fn from(v: usize) -> Self {
+        U256([v as u64, 0, 0, 0])
+    }
+}
+
+impl From<u128> for U256 {
+    fn from(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+}
+
+impl From<bool> for U256 {
+    fn from(v: bool) -> Self {
+        if v {
+            U256::ONE
+        } else {
+            U256::ZERO
+        }
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl Add for U256 {
+    type Output = U256;
+    fn add(self, rhs: U256) -> U256 {
+        self.wrapping_add(rhs)
+    }
+}
+
+impl AddAssign for U256 {
+    fn add_assign(&mut self, rhs: U256) {
+        *self = self.wrapping_add(rhs);
+    }
+}
+
+impl Sub for U256 {
+    type Output = U256;
+    fn sub(self, rhs: U256) -> U256 {
+        self.wrapping_sub(rhs)
+    }
+}
+
+impl SubAssign for U256 {
+    fn sub_assign(&mut self, rhs: U256) {
+        *self = self.wrapping_sub(rhs);
+    }
+}
+
+impl Mul for U256 {
+    type Output = U256;
+    fn mul(self, rhs: U256) -> U256 {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl Div for U256 {
+    type Output = U256;
+    fn div(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for U256 {
+    type Output = U256;
+    fn rem(self, rhs: U256) -> U256 {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Not for U256 {
+    type Output = U256;
+    fn not(self) -> U256 {
+        U256([!self.0[0], !self.0[1], !self.0[2], !self.0[3]])
+    }
+}
+
+impl BitAnd for U256 {
+    type Output = U256;
+    fn bitand(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] & rhs.0[0],
+            self.0[1] & rhs.0[1],
+            self.0[2] & rhs.0[2],
+            self.0[3] & rhs.0[3],
+        ])
+    }
+}
+
+impl BitOr for U256 {
+    type Output = U256;
+    fn bitor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] | rhs.0[0],
+            self.0[1] | rhs.0[1],
+            self.0[2] | rhs.0[2],
+            self.0[3] | rhs.0[3],
+        ])
+    }
+}
+
+impl BitXor for U256 {
+    type Output = U256;
+    fn bitxor(self, rhs: U256) -> U256 {
+        U256([
+            self.0[0] ^ rhs.0[0],
+            self.0[1] ^ rhs.0[1],
+            self.0[2] ^ rhs.0[2],
+            self.0[3] ^ rhs.0[3],
+        ])
+    }
+}
+
+impl Shl<u32> for U256 {
+    type Output = U256;
+    fn shl(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in (limb_shift..4).rev() {
+            out[i] = self.0[i - limb_shift] << bit_shift;
+            if bit_shift > 0 && i > limb_shift {
+                out[i] |= self.0[i - limb_shift - 1] >> (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Shr<u32> for U256 {
+    type Output = U256;
+    #[allow(clippy::needless_range_loop)] // symmetric with Shl's limb walk
+    fn shr(self, shift: u32) -> U256 {
+        if shift >= 256 {
+            return U256::ZERO;
+        }
+        let limb_shift = (shift / 64) as usize;
+        let bit_shift = shift % 64;
+        let mut out = [0u64; 4];
+        for i in 0..4 - limb_shift {
+            out[i] = self.0[i + limb_shift] >> bit_shift;
+            if bit_shift > 0 && i + limb_shift + 1 < 4 {
+                out[i] |= self.0[i + limb_shift + 1] << (64 - bit_shift);
+            }
+        }
+        U256(out)
+    }
+}
+
+impl Sum for U256 {
+    fn sum<I: Iterator<Item = U256>>(iter: I) -> U256 {
+        iter.fold(U256::ZERO, |acc, v| acc.wrapping_add(v))
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U256(0x{:x})", self)
+    }
+}
+
+impl fmt::Display for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut digits = Vec::new();
+        let ten = U256::from(10u64);
+        let mut value = *self;
+        while !value.is_zero() {
+            let (q, r) = value.div_rem(ten);
+            digits.push(b'0' + r.low_u64() as u8);
+            value = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("digits are ASCII"))
+    }
+}
+
+impl fmt::LowerHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut started = false;
+        for i in (0..4).rev() {
+            if started {
+                write!(f, "{:016x}", self.0[i])?;
+            } else if self.0[i] != 0 {
+                write!(f, "{:x}", self.0[i])?;
+                started = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::UpperHex for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lower = format!("{:x}", self);
+        f.write_str(&lower.to_uppercase())
+    }
+}
+
+impl fmt::Binary for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let bits = self.bits();
+        for i in (0..bits).rev() {
+            f.write_str(if self.bit(i) { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Octal for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        let mut digits = Vec::new();
+        let mut value = *self;
+        let eight = U256::from(8u64);
+        while !value.is_zero() {
+            let (q, r) = value.div_rem(eight);
+            digits.push(b'0' + r.low_u64() as u8);
+            value = q;
+        }
+        digits.reverse();
+        f.write_str(std::str::from_utf8(&digits).expect("digits are ASCII"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn zero_and_one_constants() {
+        assert!(U256::ZERO.is_zero());
+        assert!(!U256::ONE.is_zero());
+        assert_eq!(U256::ONE.low_u64(), 1);
+        assert_eq!(U256::default(), U256::ZERO);
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        let b = u(1);
+        assert_eq!(a + b, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn add_wraps_at_max() {
+        assert_eq!(U256::MAX + U256::ONE, U256::ZERO);
+        let (v, carry) = U256::MAX.overflowing_add(U256::ONE);
+        assert!(carry);
+        assert_eq!(v, U256::ZERO);
+    }
+
+    #[test]
+    fn sub_borrows_across_limbs() {
+        let a = U256([0, 1, 0, 0]);
+        assert_eq!(a - u(1), U256([u64::MAX, 0, 0, 0]));
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        assert_eq!(U256::ZERO - U256::ONE, U256::MAX);
+    }
+
+    #[test]
+    fn checked_ops() {
+        assert_eq!(U256::MAX.checked_add(U256::ONE), None);
+        assert_eq!(U256::ZERO.checked_sub(U256::ONE), None);
+        assert_eq!(u(4).checked_add(u(5)), Some(u(9)));
+        assert_eq!(u(5).checked_sub(u(4)), Some(u(1)));
+        assert_eq!(U256::MAX.checked_mul(u(2)), None);
+        assert_eq!(u(1000).checked_mul(u(1000)), Some(u(1_000_000)));
+        assert_eq!(U256::MAX.checked_mul(U256::ONE), Some(U256::MAX));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(U256::MAX.saturating_add(u(7)), U256::MAX);
+        assert_eq!(u(3).saturating_sub(u(7)), U256::ZERO);
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = U256([0, 1, 0, 0]); // 2^64
+        let b = U256([0, 1, 0, 0]);
+        assert_eq!(a * b, U256([0, 0, 1, 0])); // 2^128
+    }
+
+    #[test]
+    fn mul_wraps() {
+        // (2^255) * 2 == 0 (mod 2^256)
+        let high = U256::ONE << 255;
+        assert_eq!(high * u(2), U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let (q, r) = u(17).div_rem(u(5));
+        assert_eq!(q, u(3));
+        assert_eq!(r, u(2));
+    }
+
+    #[test]
+    fn div_by_zero_is_zero() {
+        assert_eq!(u(17) / U256::ZERO, U256::ZERO);
+        assert_eq!(u(17) % U256::ZERO, U256::ZERO);
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = U256([0, 0, 5, 0]); // 5 * 2^128
+        let b = U256([0, 1, 0, 0]); // 2^64
+        assert_eq!(a / b, U256([0, 5, 0, 0]));
+        assert_eq!(a % b, U256::ZERO);
+        let c = a + u(7);
+        assert_eq!(c / b, U256([0, 5, 0, 0]));
+        assert_eq!(c % b, u(7));
+    }
+
+    #[test]
+    fn div_rem_by_multi_limb_divisor() {
+        let a = U256::MAX;
+        let b = U256([0, 0, 1, 0]); // 2^128
+        let q = a / b;
+        let r = a % b;
+        assert_eq!(q, U256([u64::MAX, u64::MAX, 0, 0]));
+        assert_eq!(r, U256([u64::MAX, u64::MAX, 0, 0]));
+        assert_eq!(q * b + r, a);
+    }
+
+    #[test]
+    fn comparison_across_limbs() {
+        let small = U256([u64::MAX, 0, 0, 0]);
+        let big = U256([0, 1, 0, 0]);
+        assert!(small < big);
+        assert!(big > small);
+        assert!(U256::MAX > U256::ZERO);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(u(1) << 0, u(1));
+        assert_eq!(u(1) << 64, U256([0, 1, 0, 0]));
+        assert_eq!(u(1) << 200 >> 200, u(1));
+        assert_eq!(u(1) << 256, U256::ZERO);
+        assert_eq!(U256::MAX >> 255, u(1));
+        assert_eq!(u(0b1010) >> 1, u(0b101));
+    }
+
+    #[test]
+    fn bit_ops() {
+        assert_eq!(u(0b1100) & u(0b1010), u(0b1000));
+        assert_eq!(u(0b1100) | u(0b1010), u(0b1110));
+        assert_eq!(u(0b1100) ^ u(0b1010), u(0b0110));
+        assert_eq!(!U256::ZERO, U256::MAX);
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(U256::ZERO.bits(), 0);
+        assert_eq!(u(1).bits(), 1);
+        assert_eq!(u(0xff).bits(), 8);
+        assert_eq!((u(1) << 200).bits(), 201);
+        assert!(U256::MAX.bit(255));
+        assert!(!u(2).bit(0));
+        assert!(u(2).bit(1));
+        assert!(!u(2).bit(300));
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(u(2).wrapping_pow(u(10)), u(1024));
+        assert_eq!(u(3).wrapping_pow(U256::ZERO), u(1));
+        assert_eq!(U256::ZERO.wrapping_pow(u(5)), U256::ZERO);
+        assert_eq!(u(10).wrapping_pow(u(18)), u(1_000_000_000_000_000_000));
+    }
+
+    #[test]
+    fn add_mod_basic_and_overflowing() {
+        assert_eq!(u(7).add_mod(u(8), u(10)), u(5));
+        assert_eq!(u(7).add_mod(u(8), U256::ZERO), U256::ZERO);
+        // Overflowing case: MAX + MAX mod 10.
+        // 2^256 - 1 ≡ 5 (mod 10), so (2^256-1)*2 ≡ 0 (mod 10).
+        assert_eq!(U256::MAX.add_mod(U256::MAX, u(10)), U256::ZERO);
+    }
+
+    #[test]
+    fn mul_mod_basic_and_large() {
+        assert_eq!(u(7).mul_mod(u(8), u(10)), u(6));
+        assert_eq!(u(7).mul_mod(u(8), U256::ZERO), U256::ZERO);
+        // MAX * MAX mod 10: (2^256-1) ≡ 5, 5*5 = 25 ≡ 5 (mod 10).
+        assert_eq!(U256::MAX.mul_mod(U256::MAX, u(10)), u(5));
+    }
+
+    #[test]
+    fn be_bytes_round_trip() {
+        let v = U256([0x1122334455667788, 0x99aa_bbcc_ddee_ff00, 0x1357, 0x2468]);
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        let bytes = u(0x01_02).to_be_bytes();
+        assert_eq!(bytes[30], 0x01);
+        assert_eq!(bytes[31], 0x02);
+    }
+
+    #[test]
+    fn be_slice_padding() {
+        assert_eq!(U256::from_be_slice(&[0x12, 0x34]), u(0x1234));
+        assert_eq!(U256::from_be_slice(&[]), U256::ZERO);
+    }
+
+    #[test]
+    fn trimmed_bytes() {
+        assert_eq!(u(0).to_be_bytes_trimmed(), Vec::<u8>::new());
+        assert_eq!(u(0x1234).to_be_bytes_trimmed(), vec![0x12, 0x34]);
+    }
+
+    #[test]
+    fn decimal_display_round_trip() {
+        let cases = [
+            "0",
+            "1",
+            "10",
+            "12345678901234567890123456789012345678",
+            "115792089237316195423570985008687907853269984665640564039457584007913129639935",
+        ];
+        for c in cases {
+            let v: U256 = c.parse().expect("valid decimal");
+            assert_eq!(v.to_string(), c);
+        }
+    }
+
+    #[test]
+    fn hex_parse_and_display() {
+        let v = U256::from_hex("0xdeadbeef").expect("valid hex");
+        assert_eq!(v, u(0xdeadbeef));
+        assert_eq!(format!("{:x}", v), "deadbeef");
+        assert_eq!(format!("{:X}", v), "DEADBEEF");
+        let big = U256::from_hex("ffffffffffffffffffffffffffffffff").expect("valid");
+        assert_eq!(big, U256([u64::MAX, u64::MAX, 0, 0]));
+        assert_eq!(format!("{:x}", big), "ffffffffffffffffffffffffffffffff");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(U256::from_dec("").is_err());
+        assert!(U256::from_dec("12a").is_err());
+        assert!(U256::from_hex("").is_err());
+        assert!(U256::from_hex("xyz").is_err());
+        // 65 hex digits overflows.
+        assert!(U256::from_hex(&"f".repeat(65)).is_err());
+        // Decimal overflow.
+        assert!(U256::from_dec(&"9".repeat(100)).is_err());
+    }
+
+    #[test]
+    fn binary_and_octal_formatting() {
+        assert_eq!(format!("{:b}", u(10)), "1010");
+        assert_eq!(format!("{:o}", u(8)), "10");
+        assert_eq!(format!("{:b}", U256::ZERO), "0");
+        assert_eq!(format!("{:o}", U256::ZERO), "0");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(U256::from(true), U256::ONE);
+        assert_eq!(U256::from(false), U256::ZERO);
+        assert_eq!(U256::from(7u8), u(7));
+        assert_eq!(U256::from(7u32), u(7));
+        assert_eq!(U256::from(u128::MAX).low_u128(), u128::MAX);
+        assert_eq!(u(42).to_usize(), Some(42));
+        assert_eq!((U256::ONE << 200).to_usize(), None);
+        assert_eq!(u(42).to_u64(), Some(42));
+        assert_eq!((U256::ONE << 200).to_u64(), None);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: U256 = (1..=10u64).map(U256::from).sum();
+        assert_eq!(total, u(55));
+    }
+
+    /// Two's-complement encoding of a small negative number.
+    fn neg(v: u64) -> U256 {
+        U256::from(v).wrapping_neg()
+    }
+
+    #[test]
+    fn signed_negation_and_sign_bit() {
+        assert!(neg(1).is_negative_signed());
+        assert!(!u(1).is_negative_signed());
+        assert!(!U256::ZERO.is_negative_signed());
+        assert_eq!(neg(1), U256::MAX);
+        assert_eq!(neg(5).wrapping_neg(), u(5));
+        assert_eq!(U256::ZERO.wrapping_neg(), U256::ZERO);
+    }
+
+    #[test]
+    fn sdiv_truncates_toward_zero() {
+        assert_eq!(u(7).sdiv(u(2)), u(3));
+        assert_eq!(neg(7).sdiv(u(2)), neg(3));
+        assert_eq!(u(7).sdiv(neg(2)), neg(3));
+        assert_eq!(neg(7).sdiv(neg(2)), u(3));
+        assert_eq!(u(7).sdiv(U256::ZERO), U256::ZERO);
+        // EVM edge case: MIN / -1 = MIN.
+        let min = U256::ONE << 255;
+        assert_eq!(min.sdiv(neg(1)), min);
+    }
+
+    #[test]
+    fn smod_takes_dividend_sign() {
+        assert_eq!(u(7).smod(u(3)), u(1));
+        assert_eq!(neg(7).smod(u(3)), neg(1));
+        assert_eq!(u(7).smod(neg(3)), u(1));
+        assert_eq!(neg(7).smod(neg(3)), neg(1));
+        assert_eq!(u(7).smod(U256::ZERO), U256::ZERO);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        assert!(neg(1).slt(&u(0)));
+        assert!(neg(2).slt(&neg(1)));
+        assert!(u(1).sgt(&neg(100)));
+        assert!(!u(1).slt(&u(1)));
+        assert!(u(2).sgt(&u(1)));
+    }
+
+    #[test]
+    fn sign_extend_cases() {
+        // 0xff at byte 0 → -1.
+        assert_eq!(u(0xff).sign_extend(u(0)), U256::MAX);
+        // 0x7f at byte 0 → positive, unchanged.
+        assert_eq!(u(0x7f).sign_extend(u(0)), u(0x7f));
+        // Garbage above the sign byte is cleared for positive values.
+        assert_eq!(u(0xaa7f).sign_extend(u(0)), u(0x7f));
+        // Index ≥ 31: unchanged.
+        assert_eq!(u(0xff).sign_extend(u(31)), u(0xff));
+        assert_eq!(u(0xff).sign_extend(U256::MAX), u(0xff));
+        // 0x80nn at byte 1 → negative 16-bit value extended.
+        let v = u(0x8000).sign_extend(u(1));
+        assert!(v.is_negative_signed());
+        assert_eq!(v.wrapping_neg(), u(0x8000));
+    }
+
+    #[test]
+    fn sar_fills_sign() {
+        assert_eq!(u(16).sar(2), u(4));
+        assert_eq!(neg(16).sar(2), neg(4));
+        assert_eq!(neg(1).sar(100), neg(1)); // stays all-ones
+        assert_eq!(neg(5).sar(256), U256::MAX);
+        assert_eq!(u(5).sar(256), U256::ZERO);
+        assert_eq!(neg(7).sar(0), neg(7));
+        // -7 >> 1 = -4 (arithmetic shift rounds toward -inf).
+        assert_eq!(neg(7).sar(1), neg(4));
+    }
+
+    #[test]
+    fn byte_extraction() {
+        let v = U256::from_hex("0x1122334455").expect("valid");
+        assert_eq!(v.byte_be(u(31)), u(0x55));
+        assert_eq!(v.byte_be(u(27)), u(0x11));
+        assert_eq!(v.byte_be(u(0)), U256::ZERO);
+        assert_eq!(v.byte_be(u(32)), U256::ZERO);
+        assert_eq!(v.byte_be(U256::MAX), U256::ZERO);
+    }
+}

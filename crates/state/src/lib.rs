@@ -1,0 +1,35 @@
+//! State model for the DMVCC reproduction: state keys, immutable snapshots,
+//! the StateDB and a Merkle Patricia Trie used as the correctness oracle.
+//!
+//! The paper treats each 256-bit storage slot as an independent state item
+//! (Definition 1, §V-A); this crate provides that key space ([`StateKey`]),
+//! the per-block snapshots `S^l` ([`Snapshot`], [`StateDb`]) and the root
+//! commitment that lets RQ1 compare parallel vs serial execution ([`Mpt`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use dmvcc_primitives::{Address, U256};
+//! use dmvcc_state::{StateDb, StateKey, WriteSet};
+//!
+//! let mut db = StateDb::with_genesis([
+//!     (StateKey::balance(Address::from_u64(1)), U256::from(100u64)),
+//! ]);
+//! let mut writes = WriteSet::new();
+//! writes.insert(StateKey::balance(Address::from_u64(2)), U256::from(40u64));
+//! writes.insert(StateKey::balance(Address::from_u64(1)), U256::from(60u64));
+//! let root = db.commit(&writes);
+//! assert_eq!(db.current_root(), root);
+//! ```
+
+#![warn(missing_docs)]
+
+mod key;
+mod mpt;
+mod snapshot;
+mod statedb;
+
+pub use key::{StateKey, BALANCE_SLOT, NONCE_SLOT};
+pub use mpt::{empty_root, Mpt};
+pub use snapshot::{Snapshot, WriteSet};
+pub use statedb::StateDb;

@@ -1,0 +1,170 @@
+//! Immutable state snapshots.
+//!
+//! The paper (§II-A) defines `S^l` as the blockchain state after executing
+//! all transactions up to block `l`; executors always read "the latest
+//! snapshot `S^{l-1}`" when a state item has no earlier write in the block.
+//! A [`Snapshot`] is therefore immutable and cheap to share across the many
+//! concurrent EVM instances of a block execution.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use dmvcc_primitives::U256;
+
+use crate::StateKey;
+
+/// The set of final writes a block execution produces, keyed
+/// deterministically so that applying it is order-independent.
+pub type WriteSet = BTreeMap<StateKey, U256>;
+
+/// An immutable point-in-time view of all state items.
+///
+/// Missing keys read as zero, mirroring EVM storage semantics. Cloning is
+/// O(1) (the map is behind an [`Arc`]).
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::{Address, U256};
+/// use dmvcc_state::{Snapshot, StateKey};
+///
+/// let key = StateKey::balance(Address::from_u64(1));
+/// let genesis = Snapshot::from_entries([(key, U256::from(100u64))]);
+/// assert_eq!(genesis.get(&key), U256::from(100u64));
+/// assert_eq!(genesis.get(&StateKey::balance(Address::from_u64(2))), U256::ZERO);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    entries: Arc<HashMap<StateKey, U256>>,
+    height: u64,
+}
+
+impl Snapshot {
+    /// Creates the empty snapshot at height zero (pre-genesis).
+    pub fn empty() -> Self {
+        Snapshot::default()
+    }
+
+    /// Builds a snapshot from initial entries (genesis allocation).
+    ///
+    /// Zero values are dropped: they are indistinguishable from absence.
+    pub fn from_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (StateKey, U256)>,
+    {
+        let map: HashMap<StateKey, U256> =
+            entries.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        Snapshot {
+            entries: Arc::new(map),
+            height: 0,
+        }
+    }
+
+    /// Reads a state item; absent keys are zero.
+    pub fn get(&self, key: &StateKey) -> U256 {
+        self.entries.get(key).copied().unwrap_or(U256::ZERO)
+    }
+
+    /// Returns `true` if the key holds a nonzero value.
+    pub fn contains(&self, key: &StateKey) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Number of nonzero state items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no state item is nonzero.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The block height this snapshot reflects (`0` = genesis).
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// Produces the next snapshot by applying a block's final writes.
+    ///
+    /// Writing zero deletes the entry, matching both EVM storage-clearing
+    /// semantics and the trie commitment in [`crate::StateDb`].
+    pub fn apply(&self, writes: &WriteSet) -> Snapshot {
+        let mut map = (*self.entries).clone();
+        for (key, value) in writes {
+            if value.is_zero() {
+                map.remove(key);
+            } else {
+                map.insert(*key, *value);
+            }
+        }
+        Snapshot {
+            entries: Arc::new(map),
+            height: self.height + 1,
+        }
+    }
+
+    /// Iterates over all nonzero entries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &U256)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::Address;
+
+    fn key(i: u64) -> StateKey {
+        StateKey::storage(Address::from_u64(1), U256::from(i))
+    }
+
+    #[test]
+    fn empty_reads_zero() {
+        let snapshot = Snapshot::empty();
+        assert_eq!(snapshot.get(&key(1)), U256::ZERO);
+        assert!(snapshot.is_empty());
+        assert_eq!(snapshot.height(), 0);
+    }
+
+    #[test]
+    fn from_entries_drops_zeros() {
+        let snapshot = Snapshot::from_entries([(key(1), U256::from(5u64)), (key(2), U256::ZERO)]);
+        assert_eq!(snapshot.len(), 1);
+        assert!(snapshot.contains(&key(1)));
+        assert!(!snapshot.contains(&key(2)));
+    }
+
+    #[test]
+    fn apply_advances_height_and_values() {
+        let s0 = Snapshot::from_entries([(key(1), U256::from(5u64))]);
+        let mut writes = WriteSet::new();
+        writes.insert(key(1), U256::from(9u64));
+        writes.insert(key(2), U256::from(7u64));
+        let s1 = s0.apply(&writes);
+        assert_eq!(s1.height(), 1);
+        assert_eq!(s1.get(&key(1)), U256::from(9u64));
+        assert_eq!(s1.get(&key(2)), U256::from(7u64));
+        // Original unchanged (snapshots are immutable).
+        assert_eq!(s0.get(&key(1)), U256::from(5u64));
+        assert_eq!(s0.get(&key(2)), U256::ZERO);
+    }
+
+    #[test]
+    fn apply_zero_deletes() {
+        let s0 = Snapshot::from_entries([(key(1), U256::from(5u64))]);
+        let mut writes = WriteSet::new();
+        writes.insert(key(1), U256::ZERO);
+        let s1 = s0.apply(&writes);
+        assert!(!s1.contains(&key(1)));
+        assert_eq!(s1.get(&key(1)), U256::ZERO);
+        assert_eq!(s1.len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_structure() {
+        let s0 = Snapshot::from_entries([(key(1), U256::from(5u64))]);
+        let s1 = s0.clone();
+        assert_eq!(s1.get(&key(1)), U256::from(5u64));
+    }
+}

@@ -1,0 +1,201 @@
+//! The `StateDB`: snapshots plus the Merkle Patricia Trie commitment.
+//!
+//! Mirrors the paper's architecture (§II-A, §V-A): after a block executes,
+//! the validator flushes the final write of every access sequence into the
+//! MPT, producing a new snapshot `S^l` whose root hash is the RQ1
+//! correctness oracle — parallel and serial execution must yield identical
+//! roots for every block.
+
+use dmvcc_primitives::rlp::encode_bytes;
+use dmvcc_primitives::{keccak256, H256, U256};
+
+use crate::mpt::Mpt;
+use crate::snapshot::{Snapshot, WriteSet};
+use crate::StateKey;
+
+/// The versioned state store of a single validator.
+///
+/// Holds the latest [`Snapshot`], the trie over all state items and the
+/// history of per-block root hashes. A *flat* trie layout is used — the key
+/// is `keccak256(address ++ slot)` — rather than Ethereum's two-level
+/// account/storage trie; root equality between two executions remains an
+/// equally strong oracle (documented in `DESIGN.md`).
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::{Address, U256};
+/// use dmvcc_state::{StateDb, StateKey, WriteSet};
+///
+/// let mut db = StateDb::new();
+/// let mut writes = WriteSet::new();
+/// writes.insert(StateKey::balance(Address::from_u64(1)), U256::from(10u64));
+/// let root = db.commit(&writes);
+/// assert_eq!(db.height(), 1);
+/// assert_eq!(db.root_at(1), Some(root));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateDb {
+    latest: Snapshot,
+    trie: Mpt,
+    roots: Vec<H256>,
+}
+
+impl Default for StateDb {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateDb {
+    /// Creates an empty StateDB (empty genesis).
+    pub fn new() -> Self {
+        let trie = Mpt::new();
+        StateDb {
+            latest: Snapshot::empty(),
+            roots: vec![trie.root()],
+            trie,
+        }
+    }
+
+    /// Creates a StateDB pre-loaded with a genesis allocation.
+    pub fn with_genesis<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (StateKey, U256)>,
+    {
+        let snapshot = Snapshot::from_entries(entries);
+        let mut trie = Mpt::new();
+        for (key, value) in snapshot.iter() {
+            trie.insert(
+                keccak256(&key.to_bytes()).as_bytes(),
+                encode_bytes(&value.to_be_bytes_trimmed()),
+            );
+        }
+        StateDb {
+            roots: vec![trie.root()],
+            latest: snapshot,
+            trie,
+        }
+    }
+
+    /// The latest committed snapshot `S^l`.
+    pub fn latest(&self) -> &Snapshot {
+        &self.latest
+    }
+
+    /// Current block height `l` (number of committed blocks).
+    pub fn height(&self) -> u64 {
+        self.latest.height()
+    }
+
+    /// Root hash after block `height` (`0` = genesis root).
+    pub fn root_at(&self, height: u64) -> Option<H256> {
+        self.roots.get(height as usize).copied()
+    }
+
+    /// The current state root.
+    pub fn current_root(&self) -> H256 {
+        *self.roots.last().expect("roots never empty")
+    }
+
+    /// Convenience read from the latest snapshot.
+    pub fn get(&self, key: &StateKey) -> U256 {
+        self.latest.get(key)
+    }
+
+    /// Commits a block's final writes: updates the trie, produces the next
+    /// snapshot and records its root hash, which is returned.
+    pub fn commit(&mut self, writes: &WriteSet) -> H256 {
+        for (key, value) in writes {
+            let trie_key = keccak256(&key.to_bytes());
+            if value.is_zero() {
+                self.trie.remove(trie_key.as_bytes());
+            } else {
+                self.trie.insert(
+                    trie_key.as_bytes(),
+                    encode_bytes(&value.to_be_bytes_trimmed()),
+                );
+            }
+        }
+        self.latest = self.latest.apply(writes);
+        let root = self.trie.root();
+        self.roots.push(root);
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::Address;
+
+    fn key(i: u64) -> StateKey {
+        StateKey::storage(Address::from_u64(9), U256::from(i))
+    }
+
+    fn writes(pairs: &[(u64, u64)]) -> WriteSet {
+        pairs
+            .iter()
+            .map(|&(k, v)| (key(k), U256::from(v)))
+            .collect()
+    }
+
+    #[test]
+    fn genesis_root_is_empty_trie() {
+        let db = StateDb::new();
+        assert_eq!(db.current_root(), crate::mpt::empty_root());
+        assert_eq!(db.height(), 0);
+    }
+
+    #[test]
+    fn commit_advances_height_and_tracks_roots() {
+        let mut db = StateDb::new();
+        let r1 = db.commit(&writes(&[(1, 10)]));
+        let r2 = db.commit(&writes(&[(2, 20)]));
+        assert_eq!(db.height(), 2);
+        assert_eq!(db.root_at(1), Some(r1));
+        assert_eq!(db.root_at(2), Some(r2));
+        assert_ne!(r1, r2);
+        assert_eq!(db.get(&key(1)), U256::from(10u64));
+        assert_eq!(db.get(&key(2)), U256::from(20u64));
+    }
+
+    #[test]
+    fn same_writes_same_root() {
+        let mut a = StateDb::new();
+        let mut b = StateDb::new();
+        let w = writes(&[(1, 10), (2, 20), (3, 30)]);
+        assert_eq!(a.commit(&w), b.commit(&w));
+    }
+
+    #[test]
+    fn write_then_delete_restores_root() {
+        let mut db = StateDb::new();
+        let r1 = db.commit(&writes(&[(1, 10)]));
+        db.commit(&writes(&[(2, 5)]));
+        let r3 = db.commit(&writes(&[(2, 0)]));
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn genesis_allocation_equals_incremental_build() {
+        let entries = vec![(key(1), U256::from(10u64)), (key(2), U256::from(20u64))];
+        let preloaded = StateDb::with_genesis(entries.clone());
+        let mut incremental = StateDb::new();
+        incremental.commit(&entries.into_iter().collect());
+        assert_eq!(preloaded.current_root(), incremental.current_root());
+        assert_eq!(preloaded.get(&key(2)), U256::from(20u64));
+    }
+
+    #[test]
+    fn order_of_commits_affects_only_history_not_final_root() {
+        let mut a = StateDb::new();
+        a.commit(&writes(&[(1, 10)]));
+        a.commit(&writes(&[(2, 20)]));
+        let mut b = StateDb::new();
+        b.commit(&writes(&[(2, 20)]));
+        b.commit(&writes(&[(1, 10)]));
+        assert_eq!(a.current_root(), b.current_root());
+        assert_ne!(a.root_at(1), b.root_at(1));
+    }
+}

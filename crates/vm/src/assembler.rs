@@ -1,0 +1,386 @@
+//! A small textual assembler for the miniature EVM.
+//!
+//! The contract library (tokens, AMM, NFT, the paper's Fig. 1 example) is
+//! written in this assembly so the bytecode the schedulers execute is
+//! readable and auditable.
+//!
+//! # Syntax
+//!
+//! - Tokens are whitespace-separated; `;` starts a comment to end of line.
+//! - `label:` defines a jump label at the current byte offset.
+//! - `PUSH @label` pushes a label address (fixed-width `PUSH2`).
+//! - `PUSHn lit` pushes an n-byte immediate; `PUSH lit` picks the minimal
+//!   width. Literals are decimal or `0x`-prefixed hexadecimal.
+//! - All other mnemonics map 1:1 to [`Opcode`]s.
+//!
+//! # Examples
+//!
+//! ```
+//! use dmvcc_vm::assemble;
+//!
+//! let code = assemble(
+//!     "PUSH1 1            ; condition
+//!      PUSH @done JUMPI
+//!      INVALID
+//!      done: JUMPDEST STOP",
+//! )?;
+//! assert_eq!(code.last(), Some(&0x00));
+//! # Ok::<(), dmvcc_vm::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+
+use core::fmt;
+
+use dmvcc_primitives::U256;
+
+use crate::opcode::Opcode;
+
+/// Error produced when assembling invalid source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    message: String,
+}
+
+impl AsmError {
+    fn new(message: impl Into<String>) -> Self {
+        AsmError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "assembly error: {}", self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Op(Opcode),
+    /// A push with a resolved immediate.
+    PushImm {
+        width: u8,
+        value: U256,
+    },
+    /// A push of a label address, patched in the second pass.
+    PushLabel(String),
+}
+
+impl Item {
+    fn len(&self) -> usize {
+        match self {
+            Item::Op(op) => 1 + op.immediate_len(),
+            Item::PushImm { width, .. } => 1 + *width as usize,
+            Item::PushLabel(_) => 3, // PUSH2 + two bytes
+        }
+    }
+}
+
+fn parse_literal(token: &str) -> Result<U256, AsmError> {
+    let parsed = if let Some(hex) = token.strip_prefix("0x") {
+        U256::from_hex(hex)
+    } else {
+        U256::from_dec(token)
+    };
+    parsed.map_err(|_| AsmError::new(format!("invalid literal `{token}`")))
+}
+
+fn min_width(value: U256) -> u8 {
+    (value.bits().div_ceil(8) as u8).max(1)
+}
+
+fn mnemonic_to_opcode(token: &str) -> Option<Opcode> {
+    use Opcode::*;
+    let fixed = match token {
+        "STOP" => Stop,
+        "ADD" => Add,
+        "MUL" => Mul,
+        "SUB" => Sub,
+        "DIV" => Div,
+        "SDIV" => SDiv,
+        "MOD" => Mod,
+        "SMOD" => SMod,
+        "ADDMOD" => AddMod,
+        "MULMOD" => MulMod,
+        "EXP" => Exp,
+        "SIGNEXTEND" => SignExtend,
+        "LT" => Lt,
+        "GT" => Gt,
+        "SLT" => Slt,
+        "SGT" => Sgt,
+        "EQ" => Eq,
+        "ISZERO" => IsZero,
+        "AND" => And,
+        "OR" => Or,
+        "XOR" => Xor,
+        "NOT" => Not,
+        "BYTE" => Byte,
+        "SHL" => Shl,
+        "SHR" => Shr,
+        "SAR" => Sar,
+        "SHA3" => Sha3,
+        "ADDRESS" => Address,
+        "BALANCE" => Balance,
+        "ORIGIN" => Origin,
+        "CALLER" => Caller,
+        "CALLVALUE" => CallValue,
+        "CALLDATALOAD" => CallDataLoad,
+        "CALLDATASIZE" => CallDataSize,
+        "CALLDATACOPY" => CallDataCopy,
+        "CODESIZE" => CodeSize,
+        "CODECOPY" => CodeCopy,
+        "RETURNDATASIZE" => ReturnDataSize,
+        "RETURNDATACOPY" => ReturnDataCopy,
+        "CALL" => Call,
+        "TIMESTAMP" => Timestamp,
+        "NUMBER" => Number,
+        "POP" => Pop,
+        "MLOAD" => MLoad,
+        "MSTORE" => MStore,
+        "MSTORE8" => MStore8,
+        "MSIZE" => MSize,
+        "SLOAD" => Sload,
+        "SSTORE" => Sstore,
+        "SADD" => Sadd,
+        "JUMP" => Jump,
+        "JUMPI" => JumpI,
+        "PC" => Pc,
+        "GAS" => Gas,
+        "JUMPDEST" => JumpDest,
+        "RETURN" => Return,
+        "REVERT" => Revert,
+        "INVALID" => Invalid,
+        _ => {
+            if let Some(n) = token.strip_prefix("DUP") {
+                let n: u8 = n.parse().ok()?;
+                if (1..=16).contains(&n) {
+                    return Some(Dup(n));
+                }
+            }
+            if let Some(n) = token.strip_prefix("SWAP") {
+                let n: u8 = n.parse().ok()?;
+                if (1..=16).contains(&n) {
+                    return Some(Swap(n));
+                }
+            }
+            if let Some(n) = token.strip_prefix("LOG") {
+                let n: u8 = n.parse().ok()?;
+                if n <= 2 {
+                    return Some(Log(n));
+                }
+            }
+            return None;
+        }
+    };
+    Some(fixed)
+}
+
+/// Assembles source text into bytecode.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on unknown mnemonics, malformed or oversized
+/// literals, missing push operands, duplicate or undefined labels, and
+/// label addresses above 65535.
+pub fn assemble(source: &str) -> Result<Vec<u8>, AsmError> {
+    // Strip comments, tokenize.
+    let mut tokens: Vec<&str> = Vec::new();
+    for line in source.lines() {
+        let line = line.split(';').next().unwrap_or("");
+        tokens.extend(line.split_whitespace());
+    }
+
+    // First pass: build items and record label offsets.
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut offset = 0usize;
+    let mut iter = tokens.iter().peekable();
+    while let Some(&token) = iter.next() {
+        if let Some(label) = token.strip_suffix(':') {
+            if labels.insert(label.to_string(), offset).is_some() {
+                return Err(AsmError::new(format!("duplicate label `{label}`")));
+            }
+            continue;
+        }
+        let item = if token == "PUSH" || (token.starts_with("PUSH") && token.len() > 4) {
+            let operand = iter
+                .next()
+                .ok_or_else(|| AsmError::new(format!("`{token}` missing operand")))?;
+            if let Some(label) = operand.strip_prefix('@') {
+                if token != "PUSH" && token != "PUSH2" {
+                    return Err(AsmError::new(format!(
+                        "label operand requires PUSH or PUSH2, got `{token}`"
+                    )));
+                }
+                Item::PushLabel(label.to_string())
+            } else {
+                let value = parse_literal(operand)?;
+                let width = if token == "PUSH" {
+                    min_width(value)
+                } else {
+                    let width: u8 = token[4..]
+                        .parse()
+                        .map_err(|_| AsmError::new(format!("unknown mnemonic `{token}`")))?;
+                    if !(1..=32).contains(&width) {
+                        return Err(AsmError::new(format!("unknown mnemonic `{token}`")));
+                    }
+                    if min_width(value) > width && !value.is_zero() {
+                        return Err(AsmError::new(format!(
+                            "literal `{operand}` does not fit in {width} byte(s)"
+                        )));
+                    }
+                    width
+                };
+                Item::PushImm { width, value }
+            }
+        } else {
+            let op = mnemonic_to_opcode(token)
+                .ok_or_else(|| AsmError::new(format!("unknown mnemonic `{token}`")))?;
+            if matches!(op, Opcode::Push(_)) {
+                // PUSHn handled above; reaching here means bare `PUSHn` with
+                // no operand pattern matched (defensive).
+                return Err(AsmError::new(format!("`{token}` missing operand")));
+            }
+            Item::Op(op)
+        };
+        offset += item.len();
+        items.push(item);
+    }
+
+    // Second pass: emit bytes, patching label pushes.
+    let mut code = Vec::with_capacity(offset);
+    for item in &items {
+        match item {
+            Item::Op(op) => code.push(op.to_byte()),
+            Item::PushImm { width, value } => {
+                code.push(Opcode::Push(*width).to_byte());
+                let bytes = value.to_be_bytes();
+                code.extend_from_slice(&bytes[32 - *width as usize..]);
+            }
+            Item::PushLabel(label) => {
+                let target = *labels
+                    .get(label)
+                    .ok_or_else(|| AsmError::new(format!("undefined label `{label}`")))?;
+                let target = u16::try_from(target)
+                    .map_err(|_| AsmError::new(format!("label `{label}` beyond 65535")))?;
+                code.push(Opcode::Push(2).to_byte());
+                code.extend_from_slice(&target.to_be_bytes());
+            }
+        }
+    }
+    Ok(code)
+}
+
+/// Disassembles bytecode into one instruction per line (for debugging and
+/// SAG inspection tooling).
+pub fn disassemble(code: &[u8]) -> String {
+    let mut out = String::new();
+    let mut pc = 0;
+    while pc < code.len() {
+        match Opcode::from_byte(code[pc]) {
+            Some(op) => {
+                let imm_len = op.immediate_len();
+                if imm_len > 0 {
+                    let end = (pc + 1 + imm_len).min(code.len());
+                    let imm = U256::from_be_slice(&code[pc + 1..end]);
+                    out.push_str(&format!("{pc:>5}: {op} 0x{imm:x}\n"));
+                    pc = end;
+                } else {
+                    out.push_str(&format!("{pc:>5}: {op}\n"));
+                    pc += 1;
+                }
+            }
+            None => {
+                out.push_str(&format!("{pc:>5}: DATA 0x{:02x}\n", code[pc]));
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sequence() {
+        let code = assemble("PUSH1 1 PUSH1 2 ADD STOP").expect("valid");
+        assert_eq!(code, vec![0x60, 1, 0x60, 2, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn auto_width_push() {
+        assert_eq!(assemble("PUSH 0").expect("valid"), vec![0x60, 0]);
+        assert_eq!(assemble("PUSH 255").expect("valid"), vec![0x60, 255]);
+        assert_eq!(assemble("PUSH 256").expect("valid"), vec![0x61, 1, 0]);
+        assert_eq!(
+            assemble("PUSH 0x10000").expect("valid"),
+            vec![0x62, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn hex_literals() {
+        assert_eq!(
+            assemble("PUSH2 0xbeef").expect("valid"),
+            vec![0x61, 0xbe, 0xef]
+        );
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let code = assemble("start: JUMPDEST PUSH @end JUMP end: JUMPDEST PUSH @start JUMP")
+            .expect("valid");
+        // Layout: 0 JUMPDEST, 1..3 PUSH2 end, 4 JUMP, 5 JUMPDEST, 6..8 PUSH2 start, 9 JUMP
+        assert_eq!(code[1], 0x61);
+        assert_eq!(u16::from_be_bytes([code[2], code[3]]), 5);
+        assert_eq!(u16::from_be_bytes([code[7], code[8]]), 0);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let code = assemble("PUSH1 1 ; the answer\n; full line comment\nSTOP").expect("valid");
+        assert_eq!(code, vec![0x60, 1, 0x00]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(assemble("FROBNICATE").is_err());
+        assert!(assemble("PUSH1").is_err());
+        assert!(assemble("PUSH1 256").is_err());
+        assert!(assemble("PUSH1 zz").is_err());
+        assert!(assemble("PUSH @nowhere").is_err());
+        assert!(assemble("a: JUMPDEST a: JUMPDEST").is_err());
+        assert!(assemble("PUSH33 1").is_err());
+        assert!(assemble("DUP17").is_err());
+        assert!(assemble("SWAP0").is_err());
+    }
+
+    #[test]
+    fn dup_swap_parse() {
+        assert_eq!(assemble("DUP1").expect("valid"), vec![0x80]);
+        assert_eq!(assemble("DUP16").expect("valid"), vec![0x8f]);
+        assert_eq!(assemble("SWAP3").expect("valid"), vec![0x92]);
+    }
+
+    #[test]
+    fn disassemble_round_trip_text() {
+        let code = assemble("PUSH1 5 PUSH2 0xbeef ADD STOP").expect("valid");
+        let text = disassemble(&code);
+        assert!(text.contains("PUSH1 0x5"));
+        assert!(text.contains("PUSH2 0xbeef"));
+        assert!(text.contains("ADD"));
+        assert!(text.contains("STOP"));
+    }
+
+    #[test]
+    fn disassemble_unknown_bytes() {
+        let text = disassemble(&[0x0c]);
+        assert!(text.contains("DATA 0x0c"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Execution environment: per-transaction and per-block context.
+
+use dmvcc_primitives::{Address, U256};
+
+/// Gas charged to every transaction before the first instruction runs
+/// (mirrors Ethereum's intrinsic cost).
+pub const INTRINSIC_GAS: u64 = 21_000;
+
+/// Default gas limit used by workloads when none is specified.
+pub const DEFAULT_GAS_LIMIT: u64 = 1_000_000;
+
+/// Per-transaction context visible to the contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxEnv {
+    /// The externally-owned account that signed the transaction.
+    pub caller: Address,
+    /// The contract being called (its storage is the default `address`
+    /// namespace for `SLOAD`/`SSTORE`).
+    pub contract: Address,
+    /// Ether attached to the call.
+    pub value: U256,
+    /// ABI-style input: a selector word followed by argument words.
+    pub input: Vec<u8>,
+    /// Maximum gas the sender pays for.
+    pub gas_limit: u64,
+}
+
+impl TxEnv {
+    /// Creates a call with the default gas limit and no attached value.
+    pub fn call(caller: Address, contract: Address, input: Vec<u8>) -> Self {
+        TxEnv {
+            caller,
+            contract,
+            value: U256::ZERO,
+            input,
+            gas_limit: DEFAULT_GAS_LIMIT,
+        }
+    }
+
+    /// Sets the gas limit (builder style).
+    pub fn with_gas_limit(mut self, gas_limit: u64) -> Self {
+        self.gas_limit = gas_limit;
+        self
+    }
+
+    /// Sets the attached value (builder style).
+    pub fn with_value(mut self, value: U256) -> Self {
+        self.value = value;
+        self
+    }
+
+    /// Reads the 32-byte calldata word at `index` (zero-padded past the
+    /// end) — the convention used by the contract library: word 0 is the
+    /// function selector, words 1.. are the arguments.
+    pub fn input_word(&self, index: usize) -> U256 {
+        word_at(&self.input, index * 32)
+    }
+}
+
+/// Reads a 32-byte big-endian word at a byte offset, zero-padding past the
+/// end of the buffer (EVM `CALLDATALOAD` semantics).
+pub fn word_at(data: &[u8], offset: usize) -> U256 {
+    let mut buf = [0u8; 32];
+    if offset < data.len() {
+        let take = (data.len() - offset).min(32);
+        buf[..take].copy_from_slice(&data[offset..offset + take]);
+    }
+    U256::from_be_bytes(buf)
+}
+
+/// Builds calldata from a selector and argument words.
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::U256;
+/// use dmvcc_vm::calldata;
+///
+/// let data = calldata(1, &[U256::from(7u64)]);
+/// assert_eq!(data.len(), 64);
+/// ```
+pub fn calldata(selector: u64, args: &[U256]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 * (1 + args.len()));
+    out.extend_from_slice(&U256::from(selector).to_be_bytes());
+    for arg in args {
+        out.extend_from_slice(&arg.to_be_bytes());
+    }
+    out
+}
+
+/// Per-block context (the paper treats these as special transaction
+/// inputs when resolving state access keys).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BlockEnv {
+    /// Block height.
+    pub number: u64,
+    /// Unix timestamp of the block.
+    pub timestamp: u64,
+}
+
+impl BlockEnv {
+    /// Creates a block context.
+    pub fn new(number: u64, timestamp: u64) -> Self {
+        BlockEnv { number, timestamp }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calldata_layout() {
+        let data = calldata(2, &[U256::from(10u64), U256::from(20u64)]);
+        assert_eq!(data.len(), 96);
+        let tx = TxEnv::call(Address::from_u64(1), Address::from_u64(2), data);
+        assert_eq!(tx.input_word(0), U256::from(2u64));
+        assert_eq!(tx.input_word(1), U256::from(10u64));
+        assert_eq!(tx.input_word(2), U256::from(20u64));
+        assert_eq!(tx.input_word(3), U256::ZERO); // past the end
+    }
+
+    #[test]
+    fn word_at_partial_tail() {
+        let data = vec![0xffu8; 40];
+        let w = word_at(&data, 16);
+        // 24 bytes of 0xff then 8 bytes of zero padding.
+        let bytes = w.to_be_bytes();
+        assert!(bytes[..24].iter().all(|&b| b == 0xff));
+        assert!(bytes[24..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn builders() {
+        let tx = TxEnv::call(Address::from_u64(1), Address::from_u64(2), vec![])
+            .with_gas_limit(55_555)
+            .with_value(U256::from(9u64));
+        assert_eq!(tx.gas_limit, 55_555);
+        assert_eq!(tx.value, U256::from(9u64));
+    }
+}

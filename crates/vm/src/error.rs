@@ -1,0 +1,163 @@
+//! Error and outcome types of the interpreter.
+
+use core::fmt;
+
+/// A fatal interpreter error (distinct from a contract-level revert).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// An operation needed more stack items than were present.
+    StackUnderflow,
+    /// The stack exceeded its 1024-item limit.
+    StackOverflow,
+    /// Jump to a destination that is not a `JUMPDEST`.
+    InvalidJump(usize),
+    /// An undefined opcode byte was encountered.
+    InvalidOpcode(u8),
+    /// Gas was exhausted.
+    OutOfGas,
+    /// Memory grew beyond the configured limit.
+    MemoryLimit,
+    /// The host interrupted the execution (e.g. the scheduler aborted this
+    /// transaction mid-flight to re-execute it with fresher values).
+    HostInterrupt,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::StackUnderflow => f.write_str("stack underflow"),
+            VmError::StackOverflow => f.write_str("stack overflow"),
+            VmError::InvalidJump(dest) => write!(f, "invalid jump destination {dest}"),
+            VmError::InvalidOpcode(byte) => write!(f, "invalid opcode 0x{byte:02x}"),
+            VmError::OutOfGas => f.write_str("out of gas"),
+            VmError::MemoryLimit => f.write_str("memory limit exceeded"),
+            VmError::HostInterrupt => f.write_str("execution interrupted by host"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// How an execution finished.
+///
+/// The paper distinguishes *deterministic aborts* (revert, out-of-gas —
+/// part of the contract semantics, never re-executed) from
+/// *non-deterministic aborts* (scheduler interrupts, always re-executed);
+/// [`ExecStatus::Interrupted`] is the latter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// Ran to completion; writes take effect.
+    Success,
+    /// Contract-initiated revert; writes are discarded but the outcome is
+    /// final (deterministic abort).
+    Reverted,
+    /// Gas exhausted; writes are discarded, outcome final (deterministic
+    /// abort).
+    OutOfGas,
+    /// A fatal code error (invalid jump/opcode); treated like a revert.
+    Failed(VmError),
+    /// The host interrupted execution (non-deterministic abort); the
+    /// scheduler must re-execute.
+    Interrupted,
+}
+
+impl ExecStatus {
+    /// Returns `true` if the transaction's writes should be applied.
+    pub fn is_success(&self) -> bool {
+        matches!(self, ExecStatus::Success)
+    }
+
+    /// Returns `true` for deterministic aborts that are final per the
+    /// contract semantics (no re-execution needed).
+    pub fn is_deterministic_abort(&self) -> bool {
+        matches!(
+            self,
+            ExecStatus::Reverted | ExecStatus::OutOfGas | ExecStatus::Failed(_)
+        )
+    }
+}
+
+/// An event emitted by a `LOG` instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Indexed topics (0–2).
+    pub topics: Vec<dmvcc_primitives::U256>,
+    /// Unindexed payload bytes.
+    pub data: Vec<u8>,
+}
+
+/// The result of executing one transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Terminal status.
+    pub status: ExecStatus,
+    /// Gas consumed (includes the intrinsic transaction cost).
+    pub gas_used: u64,
+    /// Bytes produced by `RETURN` / `REVERT` (empty otherwise).
+    pub output: Vec<u8>,
+    /// Events emitted (discarded by callers when the status is not a
+    /// success, mirroring receipt semantics).
+    pub logs: Vec<LogEntry>,
+}
+
+impl ExecOutcome {
+    /// Interprets the first 32 output bytes as a big-endian word, zero if
+    /// shorter.
+    pub fn output_word(&self) -> dmvcc_primitives::U256 {
+        if self.output.len() >= 32 {
+            let mut buf = [0u8; 32];
+            buf.copy_from_slice(&self.output[..32]);
+            dmvcc_primitives::U256::from_be_bytes(buf)
+        } else {
+            dmvcc_primitives::U256::from_be_slice(&self.output)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classification() {
+        assert!(ExecStatus::Success.is_success());
+        assert!(!ExecStatus::Reverted.is_success());
+        assert!(ExecStatus::Reverted.is_deterministic_abort());
+        assert!(ExecStatus::OutOfGas.is_deterministic_abort());
+        assert!(ExecStatus::Failed(VmError::StackUnderflow).is_deterministic_abort());
+        assert!(!ExecStatus::Interrupted.is_deterministic_abort());
+        assert!(!ExecStatus::Success.is_deterministic_abort());
+    }
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(VmError::OutOfGas.to_string(), "out of gas");
+        assert_eq!(
+            VmError::InvalidOpcode(0xab).to_string(),
+            "invalid opcode 0xab"
+        );
+        assert_eq!(
+            VmError::InvalidJump(7).to_string(),
+            "invalid jump destination 7"
+        );
+    }
+
+    #[test]
+    fn output_word_parsing() {
+        use dmvcc_primitives::U256;
+        let outcome = ExecOutcome {
+            status: ExecStatus::Success,
+            gas_used: 0,
+            output: U256::from(42u64).to_be_bytes().to_vec(),
+            logs: Vec::new(),
+        };
+        assert_eq!(outcome.output_word(), U256::from(42u64));
+        let short = ExecOutcome {
+            status: ExecStatus::Success,
+            gas_used: 0,
+            output: vec![0x12, 0x34],
+            logs: Vec::new(),
+        };
+        assert_eq!(short.output_word(), U256::from(0x1234u64));
+    }
+}

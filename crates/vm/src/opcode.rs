@@ -1,0 +1,488 @@
+//! The instruction set of the miniature EVM.
+//!
+//! Byte encodings follow the real EVM where an equivalent instruction
+//! exists, so readers can cross-reference the Yellow Paper. One extension
+//! exists: [`Opcode::Sadd`], the *commutative storage increment* the paper's
+//! commutativity analysis (§IV-D, citing Pîrlea et al.) identifies in
+//! patterns like `balances[to] += amount` that never observe the old value.
+//! Modelling it as one instruction lets every scheduler choose its own
+//! semantics (read-modify-write serially, buffered delta under DMVCC).
+
+use core::fmt;
+
+/// One instruction of the miniature EVM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// Halt execution successfully.
+    Stop,
+    /// `a + b` (wrapping).
+    Add,
+    /// `a * b` (wrapping).
+    Mul,
+    /// `a - b` (wrapping).
+    Sub,
+    /// `a / b` (`0` on division by zero).
+    Div,
+    /// Signed `a / b` over two's-complement values.
+    SDiv,
+    /// `a % b` (`0` on modulo by zero).
+    Mod,
+    /// Signed `a % b` (result takes the dividend's sign).
+    SMod,
+    /// `(a + b) % n` without intermediate overflow.
+    AddMod,
+    /// `(a * b) % n` without intermediate overflow.
+    MulMod,
+    /// `a ** b` (wrapping).
+    Exp,
+    /// Sign-extends `b` from byte position `a`.
+    SignExtend,
+    /// `a < b`.
+    Lt,
+    /// `a > b`.
+    Gt,
+    /// Signed `a < b`.
+    Slt,
+    /// Signed `a > b`.
+    Sgt,
+    /// `a == b`.
+    Eq,
+    /// `a == 0`.
+    IsZero,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise not.
+    Not,
+    /// Byte `i` of `x`, counting from the most significant.
+    Byte,
+    /// `value << shift`.
+    Shl,
+    /// `value >> shift`.
+    Shr,
+    /// Arithmetic (sign-filling) right shift.
+    Sar,
+    /// Keccak-256 of a memory range: pops `offset`, `len`.
+    Sha3,
+    /// Pushes the executing contract's address.
+    Address,
+    /// Pushes the balance of the popped address.
+    Balance,
+    /// Pushes the transaction originator (same as `Caller` here: the VM
+    /// has no internal message calls).
+    Origin,
+    /// Pushes the transaction sender.
+    Caller,
+    /// Pushes the transaction's attached value.
+    CallValue,
+    /// Loads a 32-byte word of calldata at the popped offset.
+    CallDataLoad,
+    /// Pushes the calldata length in bytes.
+    CallDataSize,
+    /// Copies calldata to memory: pops `mem_offset`, `data_offset`, `len`.
+    CallDataCopy,
+    /// Pushes the executing code's length in bytes.
+    CodeSize,
+    /// Copies code to memory: pops `mem_offset`, `code_offset`, `len`.
+    CodeCopy,
+    /// Pushes the size of the last call's return data.
+    ReturnDataSize,
+    /// Copies return data to memory: pops `mem_offset`, `data_offset`,
+    /// `len`.
+    ReturnDataCopy,
+    /// Pushes the block timestamp.
+    Timestamp,
+    /// Pushes the block number.
+    Number,
+    /// Discards the top of stack.
+    Pop,
+    /// Loads a 32-byte word from memory.
+    MLoad,
+    /// Stores a 32-byte word to memory.
+    MStore,
+    /// Stores a single byte to memory.
+    MStore8,
+    /// Pushes the current memory size in bytes.
+    MSize,
+    /// Reads a storage slot (a state access the scheduler mediates).
+    Sload,
+    /// Writes a storage slot (a state access the scheduler mediates).
+    Sstore,
+    /// Commutative storage increment: pops `slot`, `delta`; semantically
+    /// `storage[slot] += delta` without observing the old value.
+    Sadd,
+    /// Unconditional jump to the popped destination (must be `JumpDest`).
+    Jump,
+    /// Conditional jump: pops `dest`, `cond`.
+    JumpI,
+    /// Pushes the current program counter.
+    Pc,
+    /// Pushes the remaining gas.
+    Gas,
+    /// A valid jump target; otherwise a no-op.
+    JumpDest,
+    /// Pushes an `n`-byte immediate (`1..=32`).
+    Push(u8),
+    /// Duplicates the `n`-th stack item (`1..=16`).
+    Dup(u8),
+    /// Swaps the top with the `n+1`-th stack item (`1..=16`).
+    Swap(u8),
+    /// Emits an event with `n` topics (`0..=2`): pops `offset`, `len`,
+    /// then `n` topic words.
+    Log(u8),
+    /// Message call into another contract: pops `gas`, `addr`, `value`,
+    /// `args_offset`, `args_len`, `ret_offset`, `ret_len`; pushes 1 on
+    /// success. A reverting callee aborts the whole transaction (see the
+    /// interpreter docs), so `CALL` is an abortable statement.
+    Call,
+    /// Halts returning a memory range: pops `offset`, `len`.
+    Return,
+    /// Aborts reverting all state changes: pops `offset`, `len`.
+    Revert,
+    /// Designated invalid instruction (consumes all gas).
+    Invalid,
+}
+
+impl Opcode {
+    /// Decodes an opcode from its byte encoding.
+    pub fn from_byte(byte: u8) -> Option<Opcode> {
+        use Opcode::*;
+        Some(match byte {
+            0x00 => Stop,
+            0x01 => Add,
+            0x02 => Mul,
+            0x03 => Sub,
+            0x04 => Div,
+            0x05 => SDiv,
+            0x06 => Mod,
+            0x07 => SMod,
+            0x08 => AddMod,
+            0x09 => MulMod,
+            0x0a => Exp,
+            0x0b => SignExtend,
+            0x10 => Lt,
+            0x11 => Gt,
+            0x12 => Slt,
+            0x13 => Sgt,
+            0x14 => Eq,
+            0x15 => IsZero,
+            0x16 => And,
+            0x17 => Or,
+            0x18 => Xor,
+            0x19 => Not,
+            0x1a => Byte,
+            0x1b => Shl,
+            0x1c => Shr,
+            0x1d => Sar,
+            0x20 => Sha3,
+            0x30 => Address,
+            0x31 => Balance,
+            0x32 => Origin,
+            0x33 => Caller,
+            0x34 => CallValue,
+            0x35 => CallDataLoad,
+            0x36 => CallDataSize,
+            0x37 => CallDataCopy,
+            0x38 => CodeSize,
+            0x39 => CodeCopy,
+            0x3d => ReturnDataSize,
+            0x3e => ReturnDataCopy,
+            0x42 => Timestamp,
+            0x43 => Number,
+            0x50 => Pop,
+            0x51 => MLoad,
+            0x52 => MStore,
+            0x53 => MStore8,
+            0x59 => MSize,
+            0x54 => Sload,
+            0x55 => Sstore,
+            0xb0 => Sadd,
+            0x56 => Jump,
+            0x57 => JumpI,
+            0x58 => Pc,
+            0x5a => Gas,
+            0x5b => JumpDest,
+            0x60..=0x7f => Push(byte - 0x5f),
+            0x80..=0x8f => Dup(byte - 0x7f),
+            0x90..=0x9f => Swap(byte - 0x8f),
+            0xa0..=0xa2 => Log(byte - 0xa0),
+            0xf1 => Call,
+            0xf3 => Return,
+            0xfd => Revert,
+            0xfe => Invalid,
+            _ => return None,
+        })
+    }
+
+    /// Encodes the opcode to its byte value.
+    pub fn to_byte(self) -> u8 {
+        use Opcode::*;
+        match self {
+            Stop => 0x00,
+            Add => 0x01,
+            Mul => 0x02,
+            Sub => 0x03,
+            Div => 0x04,
+            SDiv => 0x05,
+            Mod => 0x06,
+            SMod => 0x07,
+            AddMod => 0x08,
+            MulMod => 0x09,
+            Exp => 0x0a,
+            SignExtend => 0x0b,
+            Lt => 0x10,
+            Gt => 0x11,
+            Slt => 0x12,
+            Sgt => 0x13,
+            Eq => 0x14,
+            IsZero => 0x15,
+            And => 0x16,
+            Or => 0x17,
+            Xor => 0x18,
+            Not => 0x19,
+            Byte => 0x1a,
+            Shl => 0x1b,
+            Shr => 0x1c,
+            Sar => 0x1d,
+            Sha3 => 0x20,
+            Address => 0x30,
+            Balance => 0x31,
+            Origin => 0x32,
+            Caller => 0x33,
+            CallValue => 0x34,
+            CallDataLoad => 0x35,
+            CallDataSize => 0x36,
+            CallDataCopy => 0x37,
+            CodeSize => 0x38,
+            CodeCopy => 0x39,
+            ReturnDataSize => 0x3d,
+            ReturnDataCopy => 0x3e,
+            Timestamp => 0x42,
+            Number => 0x43,
+            Pop => 0x50,
+            MLoad => 0x51,
+            MStore => 0x52,
+            MStore8 => 0x53,
+            MSize => 0x59,
+            Sload => 0x54,
+            Sstore => 0x55,
+            Sadd => 0xb0,
+            Jump => 0x56,
+            JumpI => 0x57,
+            Pc => 0x58,
+            Gas => 0x5a,
+            JumpDest => 0x5b,
+            Push(n) => 0x5f + n,
+            Dup(n) => 0x7f + n,
+            Swap(n) => 0x8f + n,
+            Log(n) => 0xa0 + n,
+            Call => 0xf1,
+            Return => 0xf3,
+            Revert => 0xfd,
+            Invalid => 0xfe,
+        }
+    }
+
+    /// Number of immediate bytes following this opcode in the bytecode.
+    pub fn immediate_len(self) -> usize {
+        match self {
+            Opcode::Push(n) => n as usize,
+            _ => 0,
+        }
+    }
+
+    /// Base gas cost (dynamic components are added by the interpreter).
+    pub fn base_gas(self) -> u64 {
+        use Opcode::*;
+        match self {
+            Stop | JumpDest => 1,
+            Add | Sub | Lt | Gt | Eq | IsZero | And | Or | Xor | Not | Pop | Pc | Gas
+            | CallDataSize | Caller | CallValue | Address | Timestamp | Number | Shl | Shr => 3,
+            Mul | Div | Mod | CallDataLoad | MLoad | MStore | Push(_) | Dup(_) | Swap(_) => 3,
+            SDiv | SMod | SignExtend | Slt | Sgt | Byte | Sar | MStore8 | MSize | Origin
+            | CodeSize => 3,
+            CallDataCopy | CodeCopy | ReturnDataCopy => 3,
+            ReturnDataSize => 2,
+            Call => 700,
+            Log(n) => 375 * (1 + n as u64),
+            AddMod | MulMod => 8,
+            Exp => 10,
+            Jump => 8,
+            JumpI => 10,
+            Sha3 => 30,
+            Balance | Sload => 200,
+            Sstore | Sadd => 5000,
+            Return | Revert => 0,
+            Invalid => 0,
+        }
+    }
+
+    /// Returns `true` if this instruction can abort the transaction
+    /// (deterministically). Release-point analysis (paper §III-B, §IV-C)
+    /// places release points only after the last reachable abortable
+    /// instruction.
+    pub fn is_abortable(self) -> bool {
+        // A reverting callee aborts the caller in this VM (no partial
+        // rollback), so CALL is abortable too.
+        matches!(self, Opcode::Revert | Opcode::Invalid | Opcode::Call)
+    }
+
+    /// Returns `true` if this instruction terminates the current execution.
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            Opcode::Stop | Opcode::Return | Opcode::Revert | Opcode::Invalid | Opcode::Jump
+        )
+    }
+
+    /// The canonical mnemonic (as accepted by the assembler).
+    pub fn mnemonic(self) -> String {
+        use Opcode::*;
+        match self {
+            Push(n) => format!("PUSH{n}"),
+            Dup(n) => format!("DUP{n}"),
+            Swap(n) => format!("SWAP{n}"),
+            Log(n) => format!("LOG{n}"),
+            Call => "CALL".into(),
+            Stop => "STOP".into(),
+            Add => "ADD".into(),
+            Mul => "MUL".into(),
+            Sub => "SUB".into(),
+            Div => "DIV".into(),
+            SDiv => "SDIV".into(),
+            Mod => "MOD".into(),
+            SMod => "SMOD".into(),
+            AddMod => "ADDMOD".into(),
+            MulMod => "MULMOD".into(),
+            Exp => "EXP".into(),
+            SignExtend => "SIGNEXTEND".into(),
+            Lt => "LT".into(),
+            Gt => "GT".into(),
+            Slt => "SLT".into(),
+            Sgt => "SGT".into(),
+            Eq => "EQ".into(),
+            IsZero => "ISZERO".into(),
+            And => "AND".into(),
+            Or => "OR".into(),
+            Xor => "XOR".into(),
+            Not => "NOT".into(),
+            Byte => "BYTE".into(),
+            Shl => "SHL".into(),
+            Shr => "SHR".into(),
+            Sar => "SAR".into(),
+            Sha3 => "SHA3".into(),
+            Address => "ADDRESS".into(),
+            Balance => "BALANCE".into(),
+            Origin => "ORIGIN".into(),
+            Caller => "CALLER".into(),
+            CallValue => "CALLVALUE".into(),
+            CallDataLoad => "CALLDATALOAD".into(),
+            CallDataSize => "CALLDATASIZE".into(),
+            CallDataCopy => "CALLDATACOPY".into(),
+            CodeSize => "CODESIZE".into(),
+            CodeCopy => "CODECOPY".into(),
+            ReturnDataSize => "RETURNDATASIZE".into(),
+            ReturnDataCopy => "RETURNDATACOPY".into(),
+            Timestamp => "TIMESTAMP".into(),
+            Number => "NUMBER".into(),
+            Pop => "POP".into(),
+            MLoad => "MLOAD".into(),
+            MStore => "MSTORE".into(),
+            MStore8 => "MSTORE8".into(),
+            MSize => "MSIZE".into(),
+            Sload => "SLOAD".into(),
+            Sstore => "SSTORE".into(),
+            Sadd => "SADD".into(),
+            Jump => "JUMP".into(),
+            JumpI => "JUMPI".into(),
+            Pc => "PC".into(),
+            Gas => "GAS".into(),
+            JumpDest => "JUMPDEST".into(),
+            Return => "RETURN".into(),
+            Revert => "REVERT".into(),
+            Invalid => "INVALID".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip_all() {
+        for byte in 0u8..=255 {
+            if let Some(op) = Opcode::from_byte(byte) {
+                assert_eq!(op.to_byte(), byte, "round trip failed for 0x{byte:02x}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_range() {
+        assert_eq!(Opcode::from_byte(0x60), Some(Opcode::Push(1)));
+        assert_eq!(Opcode::from_byte(0x7f), Some(Opcode::Push(32)));
+        assert_eq!(Opcode::Push(1).immediate_len(), 1);
+        assert_eq!(Opcode::Push(32).immediate_len(), 32);
+        assert_eq!(Opcode::Add.immediate_len(), 0);
+    }
+
+    #[test]
+    fn dup_swap_ranges() {
+        assert_eq!(Opcode::from_byte(0x80), Some(Opcode::Dup(1)));
+        assert_eq!(Opcode::from_byte(0x8f), Some(Opcode::Dup(16)));
+        assert_eq!(Opcode::from_byte(0x90), Some(Opcode::Swap(1)));
+        assert_eq!(Opcode::from_byte(0x9f), Some(Opcode::Swap(16)));
+    }
+
+    #[test]
+    fn unknown_bytes_rejected() {
+        assert_eq!(Opcode::from_byte(0x0c), None); // undefined gap
+        assert_eq!(Opcode::from_byte(0xff), None); // SELFDESTRUCT not supported
+        assert_eq!(Opcode::from_byte(0xa3), None); // LOG3 not supported
+    }
+
+    #[test]
+    fn abortable_classification() {
+        assert!(Opcode::Revert.is_abortable());
+        assert!(Opcode::Invalid.is_abortable());
+        assert!(!Opcode::Sstore.is_abortable());
+        assert!(!Opcode::Stop.is_abortable());
+    }
+
+    #[test]
+    fn terminators() {
+        for op in [
+            Opcode::Stop,
+            Opcode::Return,
+            Opcode::Revert,
+            Opcode::Invalid,
+            Opcode::Jump,
+        ] {
+            assert!(op.is_terminator());
+        }
+        assert!(!Opcode::JumpI.is_terminator());
+        assert!(!Opcode::Add.is_terminator());
+    }
+
+    #[test]
+    fn storage_ops_cost_dominates() {
+        assert!(Opcode::Sstore.base_gas() > Opcode::Sload.base_gas());
+        assert!(Opcode::Sload.base_gas() > Opcode::Add.base_gas());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Opcode::Push(3).mnemonic(), "PUSH3");
+        assert_eq!(Opcode::Sadd.to_string(), "SADD");
+    }
+}

@@ -1,0 +1,118 @@
+//! Deployed-code registry.
+//!
+//! Contract code is immutable after deployment, so it lives outside the
+//! versioned state: the registry is a shared read-only map from address to
+//! bytecode that every executor thread can consult without synchronization.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dmvcc_primitives::Address;
+
+/// Immutable map from contract address to deployed bytecode.
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::Address;
+/// use dmvcc_vm::{contracts, CodeRegistry};
+///
+/// let addr = Address::from_u64(1);
+/// let registry = CodeRegistry::builder()
+///     .deploy(addr, contracts::counter())
+///     .build();
+/// assert!(registry.code(&addr).is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CodeRegistry {
+    code: Arc<HashMap<Address, Arc<Vec<u8>>>>,
+}
+
+impl CodeRegistry {
+    /// Starts building a registry.
+    pub fn builder() -> CodeRegistryBuilder {
+        CodeRegistryBuilder::default()
+    }
+
+    /// Returns the bytecode deployed at `address`, if any.
+    pub fn code(&self, address: &Address) -> Option<Arc<Vec<u8>>> {
+        self.code.get(address).cloned()
+    }
+
+    /// Returns `true` if a contract is deployed at `address`.
+    pub fn is_contract(&self, address: &Address) -> bool {
+        self.code.contains_key(address)
+    }
+
+    /// Number of deployed contracts.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Returns `true` if no contract is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// Iterates over all deployments.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &Arc<Vec<u8>>)> {
+        self.code.iter()
+    }
+}
+
+/// Builder for [`CodeRegistry`].
+#[derive(Debug, Default)]
+pub struct CodeRegistryBuilder {
+    code: HashMap<Address, Arc<Vec<u8>>>,
+}
+
+impl CodeRegistryBuilder {
+    /// Deploys `bytecode` at `address` (replacing any previous deployment).
+    pub fn deploy(mut self, address: Address, bytecode: Vec<u8>) -> Self {
+        self.code.insert(address, Arc::new(bytecode));
+        self
+    }
+
+    /// Finalizes the registry.
+    pub fn build(self) -> CodeRegistry {
+        CodeRegistry {
+            code: Arc::new(self.code),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contracts;
+
+    #[test]
+    fn deploy_and_lookup() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(2);
+        let registry = CodeRegistry::builder()
+            .deploy(a, contracts::counter())
+            .deploy(b, contracts::token())
+            .build();
+        assert_eq!(registry.len(), 2);
+        assert!(registry.is_contract(&a));
+        assert!(!registry.is_contract(&Address::from_u64(3)));
+        assert_eq!(*registry.code(&a).unwrap(), contracts::counter());
+    }
+
+    #[test]
+    fn empty_registry() {
+        let registry = CodeRegistry::default();
+        assert!(registry.is_empty());
+        assert!(registry.code(&Address::from_u64(1)).is_none());
+    }
+
+    #[test]
+    fn clone_shares() {
+        let registry = CodeRegistry::builder()
+            .deploy(Address::from_u64(1), contracts::counter())
+            .build();
+        let clone = registry.clone();
+        assert_eq!(clone.len(), registry.len());
+    }
+}

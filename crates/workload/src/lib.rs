@@ -1,0 +1,858 @@
+//! Synthetic workload generation calibrated to the paper's dataset (§V-B).
+//!
+//! The paper evaluates on four months of Ethereum mainnet traffic: 31 %
+//! plain Ether transfers and 69 % contract calls, of which ~60 % ERC20
+//! token traffic, ~29 % DeFi and ~10 % NFTs, spread over tens of thousands
+//! of contracts. That trace is not redistributable, so this crate
+//! regenerates its *shape*: a deterministic, seeded generator producing
+//! blocks with the same category mix, plus the skewed variant used for the
+//! high-contention experiments ("we selected 1 % of the smart contracts as
+//! the hot contracts and each transaction has a 50 % probability to access
+//! the hot accounts").
+//!
+//! # Examples
+//!
+//! ```
+//! use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+//!
+//! let mut generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(42));
+//! let block = generator.block(100);
+//! assert_eq!(block.len(), 100);
+//! // Deterministic: same seed, same block.
+//! let mut again = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(42));
+//! assert_eq!(again.block(100), block);
+//! ```
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dmvcc_primitives::{Address, U256};
+use dmvcc_state::StateKey;
+use dmvcc_vm::{calldata, contracts, CodeRegistry, Transaction, TxEnv};
+
+/// The kind of contract deployed at an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContractKind {
+    /// ERC20-style token.
+    Token,
+    /// Constant-product AMM pool.
+    Amm,
+    /// NFT collection (hot mint counter).
+    Nft,
+    /// Shared counter.
+    Counter,
+    /// One-vote ballot.
+    Ballot,
+    /// The paper's Fig. 1 example (runtime-dependent keys).
+    Fig1,
+    /// English auction (hot highest-bid RMW chain + commutative refunds).
+    Auction,
+    /// Crowdsale / ICO (fully commutative contributions).
+    Crowdsale,
+    /// Batched payments (one debit, three commutative credits).
+    BatchPay,
+    /// DEX router bound to one AMM (nested CALL frames).
+    Router,
+}
+
+/// Workload shape parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Number of user accounts.
+    pub accounts: usize,
+    /// Token contract count (ERC20 category).
+    pub token_contracts: usize,
+    /// AMM pool count (DeFi category).
+    pub amm_contracts: usize,
+    /// NFT collection count.
+    pub nft_contracts: usize,
+    /// Shared counters ("other" category).
+    pub counter_contracts: usize,
+    /// Ballots ("other" category).
+    pub ballot_contracts: usize,
+    /// Fig. 1 example deployments ("other" category; exercises
+    /// key-resolution mispredictions).
+    pub fig1_contracts: usize,
+    /// English auctions ("other" category).
+    pub auction_contracts: usize,
+    /// Crowdsales ("other" category; ICO-style commutative hot spots).
+    pub crowdsale_contracts: usize,
+    /// Batch-payment contracts ("other" category).
+    pub batch_pay_contracts: usize,
+    /// DEX routers (DeFi category; each binds to an AMM round-robin).
+    pub router_contracts: usize,
+    /// Fraction of plain Ether transfers (the paper's non-contract 31 %).
+    pub transfer_ratio: f64,
+    /// Within contract calls: fraction hitting tokens (~0.60).
+    pub erc20_share: f64,
+    /// Within contract calls: fraction hitting DeFi pools (~0.29).
+    pub defi_share: f64,
+    /// Within contract calls: fraction hitting NFTs (~0.10); the remainder
+    /// goes to counters/ballots/Fig. 1.
+    pub nft_share: f64,
+    /// Fraction of contracts designated *hot* (paper: 0.01). Zero disables
+    /// skew.
+    pub hot_contract_fraction: f64,
+    /// Probability that a contract call targets a hot contract (paper: 0.5).
+    pub hot_access_probability: f64,
+    /// Zipf exponent for contract popularity within a pool (0 = uniform).
+    /// Real Ethereum traffic is heavy-tailed: a handful of token/DEX
+    /// contracts dominate, which is what caps DAG/OCC speedups on the
+    /// paper's mainnet trace.
+    pub contract_zipf: f64,
+    /// Zipf exponent for account popularity (0 = uniform). Popular
+    /// accounts (exchanges, airdrop distributors) concentrate balance-slot
+    /// traffic — commutative credits under DMVCC, conflicts elsewhere.
+    pub account_zipf: f64,
+    /// Probability that a token transaction is a mint/credit (the
+    /// ICO/airdrop pattern the paper names as the canonical hot scenario:
+    /// a commutative credit plus a `totalSupply += x` on one shared slot).
+    pub token_mint_bias: f64,
+    /// Number of designated hot accounts (0 disables).
+    pub hot_accounts: usize,
+    /// Probability that an account pick lands on a hot account — the
+    /// paper's "each transaction has a 50 % probability to access the hot
+    /// accounts".
+    pub hot_account_probability: f64,
+}
+
+impl WorkloadConfig {
+    /// The realistic mainnet-shaped mix (low contention) used by Fig. 7(a)
+    /// and Fig. 8(a).
+    pub fn ethereum_mix(seed: u64) -> Self {
+        WorkloadConfig {
+            seed,
+            accounts: 2_000,
+            token_contracts: 120,
+            amm_contracts: 60,
+            nft_contracts: 20,
+            counter_contracts: 4,
+            ballot_contracts: 4,
+            fig1_contracts: 4,
+            auction_contracts: 2,
+            crowdsale_contracts: 2,
+            batch_pay_contracts: 2,
+            router_contracts: 20,
+            transfer_ratio: 0.31,
+            erc20_share: 0.60,
+            defi_share: 0.29,
+            nft_share: 0.10,
+            hot_contract_fraction: 0.0,
+            hot_access_probability: 0.0,
+            contract_zipf: 1.5,
+            account_zipf: 1.0,
+            token_mint_bias: 0.15,
+            hot_accounts: 0,
+            hot_account_probability: 0.0,
+        }
+    }
+
+    /// The skewed high-contention mix used by Fig. 7(b) and Fig. 8(b):
+    /// 1 % hot contracts, 50 % probability of hitting one.
+    pub fn high_contention(seed: u64) -> Self {
+        WorkloadConfig {
+            hot_contract_fraction: 0.01,
+            hot_access_probability: 0.5,
+            contract_zipf: 1.5,
+            account_zipf: 1.5,
+            token_mint_bias: 0.60,
+            hot_accounts: 16,
+            hot_account_probability: 0.5,
+            ..WorkloadConfig::ethereum_mix(seed)
+        }
+    }
+
+    /// Total deployed contracts.
+    pub fn total_contracts(&self) -> usize {
+        self.token_contracts
+            + self.amm_contracts
+            + self.nft_contracts
+            + self.counter_contracts
+            + self.ballot_contracts
+            + self.fig1_contracts
+            + self.auction_contracts
+            + self.crowdsale_contracts
+            + self.batch_pay_contracts
+            + self.router_contracts
+    }
+}
+
+/// Address range offsets: user accounts are `1..=accounts`; contracts live
+/// above this base so the two id spaces never collide.
+const CONTRACT_ID_BASE: u64 = 1 << 32;
+
+/// The deterministic block generator.
+#[derive(Debug)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+    rng: StdRng,
+    registry: CodeRegistry,
+    by_kind: Vec<(Address, ContractKind)>,
+    tokens: Vec<Address>,
+    amms: Vec<Address>,
+    hot: Vec<usize>,
+    cold: Vec<usize>,
+    account_cdf: Vec<f64>,
+}
+
+impl WorkloadGenerator {
+    /// Deploys the contract universe and seeds the RNG.
+    pub fn new(config: WorkloadConfig) -> Self {
+        type DeployPlan = [(usize, ContractKind, fn() -> Vec<u8>); 9];
+        let plan: DeployPlan = [
+            (
+                config.token_contracts,
+                ContractKind::Token,
+                contracts::token,
+            ),
+            (config.amm_contracts, ContractKind::Amm, contracts::amm),
+            (config.nft_contracts, ContractKind::Nft, contracts::nft),
+            (
+                config.counter_contracts,
+                ContractKind::Counter,
+                contracts::counter,
+            ),
+            (
+                config.ballot_contracts,
+                ContractKind::Ballot,
+                contracts::ballot,
+            ),
+            (
+                config.fig1_contracts,
+                ContractKind::Fig1,
+                contracts::fig1_example,
+            ),
+            (
+                config.auction_contracts,
+                ContractKind::Auction,
+                contracts::auction,
+            ),
+            (
+                config.crowdsale_contracts,
+                ContractKind::Crowdsale,
+                contracts::crowdsale,
+            ),
+            (
+                config.batch_pay_contracts,
+                ContractKind::BatchPay,
+                contracts::batch_pay,
+            ),
+        ];
+        let mut builder = CodeRegistry::builder();
+        let mut by_kind = Vec::new();
+        let mut next_id = CONTRACT_ID_BASE;
+        for (count, kind, code) in plan {
+            // One compiled image per kind, shared across deployments.
+            let image = code();
+            for _ in 0..count {
+                let address = Address::from_u64(next_id);
+                next_id += 1;
+                builder = builder.deploy(address, image.clone());
+                by_kind.push((address, kind));
+            }
+        }
+        // Routers deploy last, bound round-robin to the AMMs above.
+        let amm_addresses: Vec<Address> = by_kind
+            .iter()
+            .filter(|(_, k)| *k == ContractKind::Amm)
+            .map(|(a, _)| *a)
+            .collect();
+        for i in 0..config.router_contracts {
+            if amm_addresses.is_empty() {
+                break;
+            }
+            let address = Address::from_u64(next_id);
+            next_id += 1;
+            let amm = amm_addresses[i % amm_addresses.len()];
+            builder = builder.deploy(address, contracts::dex_router(amm));
+            by_kind.push((address, ContractKind::Router));
+        }
+        let registry = builder.build();
+
+        let tokens = by_kind
+            .iter()
+            .filter(|(_, k)| *k == ContractKind::Token)
+            .map(|(a, _)| *a)
+            .collect();
+        let amms = by_kind
+            .iter()
+            .filter(|(_, k)| *k == ContractKind::Amm)
+            .map(|(a, _)| *a)
+            .collect();
+
+        // Hot set: category-stratified so every major traffic class always
+        // has a hot target (otherwise a hot set that happens to contain no
+        // token would silently dilute the paper's 50 % hot-access rate).
+        let total = by_kind.len();
+        let hot_count = if config.hot_contract_fraction > 0.0 {
+            ((total as f64 * config.hot_contract_fraction).ceil() as usize).max(1)
+        } else {
+            0
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut hot: Vec<usize> = Vec::new();
+        if hot_count > 0 {
+            // Categories in descending traffic share; shuffle within each.
+            let category_order = [
+                ContractKind::Token,
+                ContractKind::Amm,
+                ContractKind::Nft,
+                ContractKind::Router,
+                ContractKind::Crowdsale,
+                ContractKind::Counter,
+                ContractKind::Ballot,
+                ContractKind::Auction,
+                ContractKind::Fig1,
+                ContractKind::BatchPay,
+            ];
+            let mut pools: Vec<Vec<usize>> = category_order
+                .iter()
+                .map(|kind| {
+                    let mut pool: Vec<usize> =
+                        (0..total).filter(|&i| by_kind[i].1 == *kind).collect();
+                    for i in (1..pool.len()).rev() {
+                        let j = rng.gen_range(0..=i);
+                        pool.swap(i, j);
+                    }
+                    pool
+                })
+                .collect();
+            'outer: loop {
+                let mut progressed = false;
+                for pool in &mut pools {
+                    if let Some(index) = pool.pop() {
+                        hot.push(index);
+                        progressed = true;
+                        if hot.len() == hot_count {
+                            break 'outer;
+                        }
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+        let hot_set: std::collections::HashSet<usize> = hot.iter().copied().collect();
+        let cold: Vec<usize> = (0..total).filter(|i| !hot_set.contains(i)).collect();
+
+        let account_cdf = zipf_cdf(config.accounts, config.account_zipf);
+
+        WorkloadGenerator {
+            config,
+            rng,
+            registry,
+            by_kind,
+            tokens,
+            amms,
+            hot,
+            cold,
+            account_cdf,
+        }
+    }
+
+    /// The contract registry (pass to the analyzer).
+    pub fn registry(&self) -> &CodeRegistry {
+        &self.registry
+    }
+
+    /// The workload configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// All deployed contracts with their kinds.
+    pub fn contracts(&self) -> &[(Address, ContractKind)] {
+        &self.by_kind
+    }
+
+    /// Addresses of the hot contracts (empty without skew).
+    pub fn hot_contracts(&self) -> Vec<Address> {
+        self.hot.iter().map(|&i| self.by_kind[i].0).collect()
+    }
+
+    /// Genesis allocation: Ether for every user account, token balances in
+    /// every token contract and AMM liquidity — so the bulk of generated
+    /// transactions are executable (failed balance checks stay possible,
+    /// as on mainnet, but rare).
+    pub fn genesis_entries(&self) -> Vec<(StateKey, U256)> {
+        let mut entries = Vec::new();
+        let ether = U256::from(1_000_000_000u64);
+        for id in 1..=self.config.accounts as u64 {
+            entries.push((StateKey::balance(Address::from_u64(id)), ether));
+        }
+        let token_balance = U256::from(1_000_000u64);
+        for token in &self.tokens {
+            for id in 1..=self.config.accounts as u64 {
+                let owner = Address::from_u64(id).to_u256();
+                entries.push((
+                    StateKey::storage(*token, contracts::map_slot(owner, 1)),
+                    token_balance,
+                ));
+            }
+        }
+        let reserve = U256::from(10_000_000u64);
+        for amm in &self.amms {
+            entries.push((StateKey::storage(*amm, U256::ZERO), reserve));
+            entries.push((StateKey::storage(*amm, U256::ONE), reserve));
+        }
+        // Crowdsale caps high enough that most capped contributions pass;
+        // batch-pay accounts pre-funded.
+        for (address, kind) in &self.by_kind {
+            match kind {
+                ContractKind::Crowdsale => {
+                    entries.push((
+                        StateKey::storage(*address, U256::ONE),
+                        U256::from(1_000_000_000u64),
+                    ));
+                }
+                ContractKind::BatchPay => {
+                    for id in 1..=self.config.accounts as u64 {
+                        let owner = Address::from_u64(id).to_u256();
+                        entries.push((
+                            StateKey::storage(*address, contracts::map_slot(owner, 0)),
+                            U256::from(100_000u64),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        entries
+    }
+
+    fn account(&mut self) -> Address {
+        if self.config.hot_accounts > 0
+            && self
+                .rng
+                .gen_bool(self.config.hot_account_probability.clamp(0.0, 1.0))
+        {
+            let hot = self.rng.gen_range(0..self.config.hot_accounts as u64);
+            return Address::from_u64(1 + hot);
+        }
+        let rank = sample_cdf(&self.account_cdf, self.rng.gen());
+        Address::from_u64(1 + rank as u64)
+    }
+
+    /// Picks a contract matching `kind_filter`, honoring the hot/cold skew.
+    fn pick_contract(&mut self, kind_filter: fn(ContractKind) -> bool) -> Option<Address> {
+        let want_hot = !self.hot.is_empty()
+            && self
+                .rng
+                .gen_bool(self.config.hot_access_probability.clamp(0.0, 1.0));
+        let primary = if want_hot { &self.hot } else { &self.cold };
+        let fallback = if want_hot { &self.cold } else { &self.hot };
+        let mut pool: Vec<usize> = primary
+            .iter()
+            .copied()
+            .filter(|&i| kind_filter(self.by_kind[i].1))
+            .collect();
+        if pool.is_empty() {
+            pool = fallback
+                .iter()
+                .copied()
+                .filter(|&i| kind_filter(self.by_kind[i].1))
+                .collect();
+        }
+        if pool.is_empty() {
+            return None;
+        }
+        // Heavy-tailed popularity within the pool (rank = position).
+        let cdf = zipf_cdf(pool.len(), self.config.contract_zipf);
+        let index = pool[sample_cdf(&cdf, self.rng.gen())];
+        Some(self.by_kind[index].0)
+    }
+
+    fn ether_transfer(&mut self) -> Transaction {
+        let from = self.account();
+        let to = self.account();
+        let value = U256::from(self.rng.gen_range(1..100u64));
+        Transaction::transfer(from, to, value)
+    }
+
+    fn token_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        let roll: f64 = self.rng.gen();
+        let mint_bias = self.config.token_mint_bias.clamp(0.0, 1.0);
+        let transfer_share = (1.0 - mint_bias) * 0.82;
+        let input = if roll < transfer_share {
+            let to = self.account().to_u256();
+            let amount = U256::from(self.rng.gen_range(1..50u64));
+            calldata(contracts::token_fn::TRANSFER, &[to, amount])
+        } else if roll < transfer_share + mint_bias {
+            // ICO/airdrop-style commutative credit.
+            let to = self.account().to_u256();
+            let amount = U256::from(self.rng.gen_range(1..50u64));
+            calldata(contracts::token_fn::MINT, &[to, amount])
+        } else if roll < transfer_share + mint_bias + 0.10 {
+            let spender = self.account().to_u256();
+            let amount = U256::from(self.rng.gen_range(1..100u64));
+            calldata(contracts::token_fn::APPROVE, &[spender, amount])
+        } else {
+            let owner = self.account().to_u256();
+            calldata(contracts::token_fn::BALANCE_OF, &[owner])
+        };
+        Transaction::call(TxEnv::call(caller, contract, input))
+    }
+
+    fn amm_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        let roll: f64 = self.rng.gen();
+        let input = if roll < 0.40 {
+            let amount = U256::from(self.rng.gen_range(1..1_000u64));
+            let selector = if self.rng.gen_bool(0.5) {
+                contracts::amm_fn::SWAP_A_FOR_B
+            } else {
+                contracts::amm_fn::SWAP_B_FOR_A
+            };
+            calldata(selector, &[amount])
+        } else if roll < 0.55 {
+            let a = U256::from(self.rng.gen_range(1..500u64));
+            let b = U256::from(self.rng.gen_range(1..500u64));
+            calldata(contracts::amm_fn::ADD_LIQUIDITY, &[a, b])
+        } else {
+            // Price quote: a read-only consult of the pool reserves —
+            // routers and aggregators make these the most common DEX call.
+            // Read-mostly hot state is where anti-dependencies hurt the
+            // DAG baseline while OCC and DMVCC sail through.
+            calldata(contracts::amm_fn::RESERVES, &[])
+        };
+        Transaction::call(TxEnv::call(caller, contract, input))
+    }
+
+    fn router_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        let amount = U256::from(self.rng.gen_range(1..1_000u64));
+        let input = if self.rng.gen_bool(0.6) {
+            calldata(contracts::router_fn::QUOTE, &[amount])
+        } else {
+            // Mostly permissive slippage; 10 % of swaps set an impossible
+            // bound and revert (failed arbitrage attempts are real traffic).
+            let min_out = if self.rng.gen_bool(0.9) {
+                U256::ZERO
+            } else {
+                U256::from(u64::MAX)
+            };
+            calldata(contracts::router_fn::SWAP_EXACT, &[amount, min_out])
+        };
+        Transaction::call(TxEnv::call(caller, contract, input))
+    }
+
+    fn nft_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        // Mostly mints (drops/launches dominate NFT traffic).
+        let input = if self.rng.gen_bool(0.85) {
+            calldata(contracts::nft_fn::MINT, &[])
+        } else {
+            let id = U256::from(self.rng.gen_range(0..50u64));
+            let to = self.account().to_u256();
+            calldata(contracts::nft_fn::TRANSFER, &[id, to])
+        };
+        Transaction::call(TxEnv::call(caller, contract, input))
+    }
+
+    fn other_tx(&mut self, contract: Address, kind: ContractKind) -> Transaction {
+        let caller = self.account();
+        let input = match kind {
+            ContractKind::Counter => {
+                if self.rng.gen_bool(0.7) {
+                    calldata(contracts::counter_fn::INCREMENT, &[])
+                } else {
+                    calldata(contracts::counter_fn::INCREMENT_CHECKED, &[])
+                }
+            }
+            ContractKind::Ballot => {
+                let proposal = U256::from(self.rng.gen_range(0..8u64));
+                calldata(contracts::ballot_fn::VOTE, &[proposal])
+            }
+            ContractKind::Fig1 => {
+                let x = self.account().to_u256();
+                if self.rng.gen_bool(0.3) {
+                    // Seeds A[x]: the runtime-dependent-key pattern that can
+                    // invalidate other transactions' C-SAGs.
+                    let v = U256::from(self.rng.gen_range(0..6u64));
+                    calldata(contracts::fig1_fn::SET_A, &[x, v])
+                } else {
+                    let y = U256::from(self.rng.gen_range(0..12u64));
+                    calldata(contracts::fig1_fn::UPDATE_B, &[x, y])
+                }
+            }
+            ContractKind::Auction => {
+                if self.rng.gen_bool(0.8) {
+                    // Bids trend upward so a realistic share succeeds.
+                    let amount = U256::from(self.rng.gen_range(1..10_000u64));
+                    calldata(contracts::auction_fn::BID, &[amount])
+                } else {
+                    calldata(contracts::auction_fn::WITHDRAW, &[])
+                }
+            }
+            ContractKind::Crowdsale => {
+                let amount = U256::from(self.rng.gen_range(1..500u64));
+                if self.rng.gen_bool(0.8) {
+                    calldata(contracts::crowdsale_fn::CONTRIBUTE, &[amount])
+                } else {
+                    calldata(contracts::crowdsale_fn::CONTRIBUTE_CAPPED, &[amount])
+                }
+            }
+            ContractKind::BatchPay => {
+                if self.rng.gen_bool(0.6) {
+                    let args = [
+                        self.account().to_u256(),
+                        U256::from(self.rng.gen_range(1..10u64)),
+                        self.account().to_u256(),
+                        U256::from(self.rng.gen_range(1..10u64)),
+                        self.account().to_u256(),
+                        U256::from(self.rng.gen_range(1..10u64)),
+                    ];
+                    calldata(contracts::batch_pay_fn::PAY3, &args)
+                } else {
+                    let amount = U256::from(self.rng.gen_range(1..200u64));
+                    calldata(contracts::batch_pay_fn::DEPOSIT, &[amount])
+                }
+            }
+            _ => unreachable!("other_tx only handles the 'other' kinds"),
+        };
+        Transaction::call(TxEnv::call(caller, contract, input))
+    }
+
+    /// Generates one transaction following the configured mix.
+    pub fn transaction(&mut self) -> Transaction {
+        if self
+            .rng
+            .gen_bool(self.config.transfer_ratio.clamp(0.0, 1.0))
+        {
+            return self.ether_transfer();
+        }
+        let roll: f64 = self.rng.gen();
+        let erc = self.config.erc20_share;
+        let defi = erc + self.config.defi_share;
+        let nft = defi + self.config.nft_share;
+        if roll < erc {
+            if let Some(c) = self.pick_contract(|k| k == ContractKind::Token) {
+                return self.token_tx(c);
+            }
+        } else if roll < defi {
+            if let Some(c) =
+                self.pick_contract(|k| matches!(k, ContractKind::Amm | ContractKind::Router))
+            {
+                let kind = self
+                    .by_kind
+                    .iter()
+                    .find(|(a, _)| *a == c)
+                    .map(|(_, k)| *k)
+                    .expect("picked contract is deployed");
+                return match kind {
+                    ContractKind::Router => self.router_tx(c),
+                    _ => self.amm_tx(c),
+                };
+            }
+        } else if roll < nft {
+            if let Some(c) = self.pick_contract(|k| k == ContractKind::Nft) {
+                return self.nft_tx(c);
+            }
+        } else if let Some(c) = self.pick_contract(|k| {
+            matches!(
+                k,
+                ContractKind::Counter
+                    | ContractKind::Ballot
+                    | ContractKind::Fig1
+                    | ContractKind::Auction
+                    | ContractKind::Crowdsale
+                    | ContractKind::BatchPay
+            )
+        }) {
+            let kind = self
+                .by_kind
+                .iter()
+                .find(|(a, _)| *a == c)
+                .map(|(_, k)| *k)
+                .expect("picked contract is deployed");
+            return self.other_tx(c, kind);
+        }
+        // Degenerate configs (a category with zero contracts): fall back to
+        // an Ether transfer.
+        self.ether_transfer()
+    }
+
+    /// Generates a block of `size` transactions.
+    pub fn block(&mut self, size: usize) -> Vec<Transaction> {
+        (0..size).map(|_| self.transaction()).collect()
+    }
+}
+
+/// Cumulative distribution of a Zipf law with exponent `s` over `n` ranks
+/// (uniform when `s == 0`).
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut weights: Vec<f64> = (0..n.max(1))
+        .map(|i| 1.0 / ((i + 1) as f64).powf(s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut acc = 0.0;
+    for w in &mut weights {
+        acc += *w / total;
+        *w = acc;
+    }
+    weights
+}
+
+/// Binary-searches a CDF for the rank of a uniform draw in `[0, 1)`.
+fn sample_cdf(cdf: &[f64], roll: f64) -> usize {
+    cdf.partition_point(|&c| c < roll).min(cdf.len() - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_vm::TxKind;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(7));
+        let mut b = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(7));
+        assert_eq!(a.block(200), b.block(200));
+        let mut c = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(8));
+        assert_ne!(a.block(200), c.block(200));
+    }
+
+    #[test]
+    fn mix_roughly_matches_configuration() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(1));
+        let block = generator.block(4_000);
+        let transfers = block.iter().filter(|t| t.kind == TxKind::Transfer).count();
+        let ratio = transfers as f64 / block.len() as f64;
+        assert!((ratio - 0.31).abs() < 0.05, "transfer ratio {ratio}");
+    }
+
+    #[test]
+    fn contract_universe_sizes() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(1));
+        let config = generator.config().clone();
+        assert_eq!(generator.contracts().len(), config.total_contracts());
+        assert_eq!(generator.registry().len(), config.total_contracts());
+    }
+
+    #[test]
+    fn genesis_covers_accounts_and_pools() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(1));
+        let entries = generator.genesis_entries();
+        let config = generator.config();
+        let expected = config.accounts // ether
+            + config.accounts * config.token_contracts // token balances
+            + 2 * config.amm_contracts // reserves
+            + config.crowdsale_contracts // caps
+            + config.accounts * config.batch_pay_contracts; // pre-funding
+        assert_eq!(entries.len(), expected);
+        assert!(entries.iter().all(|(_, v)| !v.is_zero()));
+    }
+
+    #[test]
+    fn high_contention_concentrates_traffic() {
+        let mut skewed = WorkloadGenerator::new(WorkloadConfig::high_contention(5));
+        let hot_addresses: std::collections::HashSet<Address> =
+            skewed.hot_contracts().into_iter().collect();
+        assert!(!hot_addresses.is_empty());
+        let block = skewed.block(2_000);
+        let calls: Vec<_> = block.iter().filter(|t| t.kind == TxKind::Call).collect();
+        let hot_calls = calls
+            .iter()
+            .filter(|t| hot_addresses.contains(&t.to()))
+            .count();
+        let ratio = hot_calls as f64 / calls.len() as f64;
+        // ~50 % of contract calls should hit the (tiny) hot set; wide
+        // tolerance because category filtering can fall back to cold.
+        assert!(ratio > 0.25, "hot ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_config_spreads_traffic() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(5));
+        let block = generator.block(2_000);
+        let distinct: std::collections::HashSet<Address> = block
+            .iter()
+            .filter(|t| t.kind == TxKind::Call)
+            .map(|t| t.to())
+            .collect();
+        assert!(
+            distinct.len() > 50,
+            "only {} contracts touched",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn generated_calls_target_deployed_contracts() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::high_contention(9));
+        let registry = generator.registry().clone();
+        for tx in generator.block(500) {
+            if tx.kind == TxKind::Call {
+                assert!(registry.is_contract(&tx.to()));
+            }
+        }
+    }
+
+    #[test]
+    fn no_skew_without_hot_fraction() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(2));
+        assert!(generator.hot_contracts().is_empty());
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        for s in [0.0, 0.5, 1.0, 1.5] {
+            let cdf = zipf_cdf(100, s);
+            assert_eq!(cdf.len(), 100);
+            assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "monotone (s={s})");
+            assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9, "normalized (s={s})");
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let cdf = zipf_cdf(4, 0.0);
+        for (i, &c) in cdf.iter().enumerate() {
+            assert!((c - (i + 1) as f64 * 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zipf_concentrates_mass_on_low_ranks() {
+        let cdf = zipf_cdf(1_000, 1.5);
+        // Top 10 ranks get the majority of the mass at s = 1.5.
+        assert!(cdf[9] > 0.5, "top-10 mass {}", cdf[9]);
+    }
+
+    #[test]
+    fn sample_cdf_boundaries() {
+        let cdf = zipf_cdf(5, 0.0); // [0.2, 0.4, 0.6, 0.8, 1.0]
+        assert_eq!(sample_cdf(&cdf, 0.0), 0);
+        assert_eq!(sample_cdf(&cdf, 0.19), 0);
+        assert_eq!(sample_cdf(&cdf, 0.21), 1);
+        assert_eq!(sample_cdf(&cdf, 0.99), 4);
+        // Degenerate draw exactly 1.0 stays in range.
+        assert_eq!(sample_cdf(&cdf, 1.0), 4);
+    }
+
+    #[test]
+    fn hot_set_is_category_stratified() {
+        let generator = WorkloadGenerator::new(WorkloadConfig::high_contention(77));
+        let hot = generator.hot_contracts();
+        assert!(!hot.is_empty());
+        // The first hot entry is always a token (largest traffic share).
+        let kinds: Vec<ContractKind> = hot
+            .iter()
+            .map(|a| {
+                generator
+                    .contracts()
+                    .iter()
+                    .find(|(addr, _)| addr == a)
+                    .map(|(_, k)| *k)
+                    .expect("hot contract is deployed")
+            })
+            .collect();
+        assert_eq!(kinds[0], ContractKind::Token);
+    }
+}

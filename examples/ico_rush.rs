@@ -1,0 +1,69 @@
+//! ICO rush: the paper's motivating high-contention scenario ("almost all
+//! transactions in the recent blocks access the same ICO contract").
+//! Compares all four schedulers on a block dominated by one hot token plus
+//! background traffic, and shows early-write visibility's contribution.
+//!
+//! Run with: `cargo run --release -p dmvcc-examples --bin ico_rush`
+
+use dmvcc_analysis::Analyzer;
+use dmvcc_baselines::{simulate_dag, simulate_occ};
+use dmvcc_core::{build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig};
+use dmvcc_state::Snapshot;
+use dmvcc_vm::BlockEnv;
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn main() {
+    // The library's skewed profile: 1 % hot contracts, 50 % hot traffic,
+    // ICO-style mint bias.
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::high_contention(7));
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let snapshot = Snapshot::from_entries(generator.genesis_entries());
+    let env = BlockEnv::new(1, 1_700_000_000);
+    let block = generator.block(1_000);
+
+    let trace = execute_block_serial(&block, &snapshot, &analyzer, &env);
+    let csags = build_csags(&block, &snapshot, &analyzer, &env);
+
+    println!(
+        "ICO-rush block: {} txs, {} gas serial",
+        block.len(),
+        trace.total_gas
+    );
+    println!(
+        "hot contracts: {:?}\n",
+        generator
+            .hot_contracts()
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "{:>8}{:>10}{:>10}{:>12}{:>18}",
+        "threads", "DAG", "OCC", "DMVCC", "DMVCC -early"
+    );
+    for threads in [4, 8, 16, 32] {
+        let dag = simulate_dag(&trace, threads);
+        let occ = simulate_occ(&trace, threads);
+        let dmvcc = simulate_dmvcc(&trace, &csags, &DmvccConfig::new(threads));
+        let no_early = simulate_dmvcc(
+            &trace,
+            &csags,
+            &DmvccConfig {
+                early_write: false,
+                ..DmvccConfig::new(threads)
+            },
+        );
+        println!(
+            "{threads:>8}{:>9.2}x{:>9.2}x{:>11.2}x{:>17.2}x",
+            dag.speedup(),
+            occ.speedup(),
+            dmvcc.speedup(),
+            no_early.speedup()
+        );
+    }
+    println!(
+        "\nUnder hot-contract pressure the baselines flatten while DMVCC keeps\n\
+         scaling; disabling early-write visibility shows how much of that edge\n\
+         comes from publishing versions at release points."
+    );
+}

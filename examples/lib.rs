@@ -1,0 +1,10 @@
+//! Example applications for the DMVCC reproduction.
+//!
+//! Each binary in this directory is a self-contained scenario:
+//!
+//! - `quickstart` — mint/transfer block, serial vs DMVCC, root equality.
+//! - `token_airdrop` — the commutative-write showcase.
+//! - `ico_rush` — the paper's hot-contract scenario with an early-write
+//!   ablation.
+//! - `analyze_contract` — P-SAG/C-SAG inspection of the paper's Fig. 1
+//!   contract.

@@ -1,0 +1,158 @@
+//! Shared fixtures for the integration tests: a deterministic contract
+//! universe and transaction builders spanning every contract kind.
+
+use dmvcc_analysis::Analyzer;
+use dmvcc_primitives::{Address, U256};
+use dmvcc_vm::{calldata, contracts, CodeRegistry, Transaction, TxEnv};
+
+/// Addresses of the fixture deployments.
+pub const TOKEN: u64 = 10_001;
+/// AMM pool address id.
+pub const AMM: u64 = 10_002;
+/// NFT collection address id.
+pub const NFT: u64 = 10_003;
+/// Counter address id.
+pub const COUNTER: u64 = 10_004;
+/// Ballot address id.
+pub const BALLOT: u64 = 10_005;
+/// Fig. 1 example address id.
+pub const FIG1: u64 = 10_006;
+/// DEX router address id (bound to [`AMM`]).
+pub const ROUTER: u64 = 10_007;
+
+/// Deploys one contract of every kind.
+pub fn registry() -> CodeRegistry {
+    CodeRegistry::builder()
+        .deploy(Address::from_u64(TOKEN), contracts::token())
+        .deploy(Address::from_u64(AMM), contracts::amm())
+        .deploy(Address::from_u64(NFT), contracts::nft())
+        .deploy(Address::from_u64(COUNTER), contracts::counter())
+        .deploy(Address::from_u64(BALLOT), contracts::ballot())
+        .deploy(Address::from_u64(FIG1), contracts::fig1_example())
+        .deploy(
+            Address::from_u64(ROUTER),
+            contracts::dex_router(Address::from_u64(AMM)),
+        )
+        .build()
+}
+
+/// An analyzer over [`registry`].
+pub fn analyzer() -> Analyzer {
+    Analyzer::new(registry())
+}
+
+/// A compact encoding of a transaction for property-test generation:
+/// `(contract_choice, selector_choice, caller, a, b)` — every value of the
+/// tuple space maps to a *valid* transaction, so proptest shrinking stays
+/// in-domain.
+pub fn decode_tx(choice: u8, selector: u8, caller: u8, a: u8, b: u8) -> Transaction {
+    let caller_addr = Address::from_u64(1 + caller as u64 % 12);
+    let peer = Address::from_u64(1 + a as u64 % 12).to_u256();
+    let small = U256::from(1 + b as u64 % 40);
+    match choice % 7 {
+        0 => Transaction::transfer(caller_addr, Address::from_u64(1 + a as u64 % 12), small),
+        1 => {
+            let sel = match selector % 4 {
+                0 => contracts::token_fn::TRANSFER,
+                1 => contracts::token_fn::MINT,
+                2 => contracts::token_fn::APPROVE,
+                _ => contracts::token_fn::BALANCE_OF,
+            };
+            Transaction::call(TxEnv::call(
+                caller_addr,
+                Address::from_u64(TOKEN),
+                calldata(sel, &[peer, small]),
+            ))
+        }
+        2 => {
+            let sel = match selector % 3 {
+                0 => contracts::amm_fn::SWAP_A_FOR_B,
+                1 => contracts::amm_fn::SWAP_B_FOR_A,
+                _ => contracts::amm_fn::ADD_LIQUIDITY,
+            };
+            Transaction::call(TxEnv::call(
+                caller_addr,
+                Address::from_u64(AMM),
+                calldata(sel, &[small, small]),
+            ))
+        }
+        3 => {
+            let sel = match selector % 3 {
+                0 => contracts::nft_fn::MINT,
+                1 => contracts::nft_fn::TRANSFER,
+                _ => contracts::nft_fn::OWNER_OF,
+            };
+            Transaction::call(TxEnv::call(
+                caller_addr,
+                Address::from_u64(NFT),
+                calldata(sel, &[U256::from(a as u64 % 5), peer]),
+            ))
+        }
+        4 => {
+            let sel = match selector % 3 {
+                0 => contracts::counter_fn::INCREMENT,
+                1 => contracts::counter_fn::INCREMENT_CHECKED,
+                _ => contracts::counter_fn::ADD,
+            };
+            Transaction::call(TxEnv::call(
+                caller_addr,
+                Address::from_u64(COUNTER),
+                calldata(sel, &[small]),
+            ))
+        }
+        5 => {
+            let sel = match selector % 3 {
+                0 => contracts::fig1_fn::UPDATE_B,
+                1 => contracts::fig1_fn::SET_A,
+                _ => contracts::ballot_fn::VOTE,
+            };
+            let target = if selector % 3 == 2 { BALLOT } else { FIG1 };
+            Transaction::call(TxEnv::call(
+                caller_addr,
+                Address::from_u64(target),
+                calldata(sel, &[peer, U256::from(b as u64 % 14)]),
+            ))
+        }
+        _ => {
+            // Cross-contract composition: quotes and swaps through the
+            // router (nested CALL frames; slippage reverts included).
+            let input = match selector % 3 {
+                0 => calldata(contracts::router_fn::QUOTE, &[small]),
+                1 => calldata(contracts::router_fn::SWAP_EXACT, &[small, U256::ZERO]),
+                _ => calldata(
+                    contracts::router_fn::SWAP_EXACT,
+                    &[small, U256::MAX], // impossible slippage bound
+                ),
+            };
+            Transaction::call(TxEnv::call(caller_addr, Address::from_u64(ROUTER), input))
+        }
+    }
+}
+
+/// Genesis entries funding the fixture accounts and pools.
+pub fn genesis() -> Vec<(dmvcc_state::StateKey, U256)> {
+    use dmvcc_state::StateKey;
+    let mut entries = Vec::new();
+    for i in 1..=12u64 {
+        entries.push((
+            StateKey::balance(Address::from_u64(i)),
+            U256::from(10_000u64),
+        ));
+        entries.push((
+            StateKey::storage(
+                Address::from_u64(TOKEN),
+                contracts::map_slot(Address::from_u64(i).to_u256(), 1),
+            ),
+            U256::from(5_000u64),
+        ));
+    }
+    entries.push((
+        StateKey::storage(Address::from_u64(AMM), U256::ZERO),
+        U256::from(100_000u64),
+    ));
+    entries.push((
+        StateKey::storage(Address::from_u64(AMM), U256::ONE),
+        U256::from(100_000u64),
+    ));
+    entries
+}

@@ -1,0 +1,109 @@
+//! Property tests for the Merkle Patricia Trie: model equivalence against
+//! a BTreeMap, canonical-form convergence (incremental ≡ rebuilt), and
+//! history independence of the root.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use dmvcc_state::{empty_root, Mpt};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>, Vec<u8>),
+    Remove(Vec<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let key = prop::collection::vec(0u8..=3, 0..6); // narrow alphabet → collisions
+    let value = prop::collection::vec(any::<u8>(), 1..20);
+    prop_oneof![
+        3 => (key.clone(), value).prop_map(|(k, v)| Op::Insert(k, v)),
+        1 => key.prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn matches_btreemap_model(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let mut trie = Mpt::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => {
+                    trie.insert(k, v.clone());
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Remove(k) => {
+                    let trie_removed = trie.remove(k);
+                    let model_removed = model.remove(k).is_some();
+                    prop_assert_eq!(trie_removed, model_removed);
+                }
+            }
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(trie.get(k), Some(v.clone()));
+        }
+        // Canonical form: incremental updates reach the same root as a
+        // fresh build from the final contents.
+        let mut rebuilt = Mpt::new();
+        for (k, v) in &model {
+            rebuilt.insert(k, v.clone());
+        }
+        prop_assert_eq!(trie.root(), rebuilt.root());
+        if model.is_empty() {
+            prop_assert_eq!(trie.root(), empty_root());
+        }
+    }
+
+    #[test]
+    fn root_is_history_independent(
+        pairs in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 1..8),
+            prop::collection::vec(any::<u8>(), 1..8),
+            1..40,
+        ),
+        seed in any::<u64>(),
+    ) {
+        let ordered: Vec<_> = pairs.iter().collect();
+        let mut forward = Mpt::new();
+        for (k, v) in &ordered {
+            forward.insert(k, (*v).clone());
+        }
+        // A deterministic pseudo-shuffle of the insertion order.
+        let mut shuffled = ordered.clone();
+        let mut state = seed;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut backward = Mpt::new();
+        for (k, v) in shuffled {
+            backward.insert(k, v.clone());
+        }
+        prop_assert_eq!(forward.root(), backward.root());
+    }
+
+    #[test]
+    fn insert_then_remove_is_identity(
+        base in prop::collection::btree_map(
+            prop::collection::vec(any::<u8>(), 1..6),
+            prop::collection::vec(any::<u8>(), 1..6),
+            0..20,
+        ),
+        extra_key in prop::collection::vec(any::<u8>(), 1..6),
+        extra_value in prop::collection::vec(any::<u8>(), 1..6),
+    ) {
+        prop_assume!(!base.contains_key(&extra_key));
+        let mut trie = Mpt::new();
+        for (k, v) in &base {
+            trie.insert(k, v.clone());
+        }
+        let before = trie.root();
+        trie.insert(&extra_key, extra_value);
+        prop_assert_ne!(trie.root(), before);
+        prop_assert!(trie.remove(&extra_key));
+        prop_assert_eq!(trie.root(), before);
+    }
+}

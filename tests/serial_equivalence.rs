@@ -1,0 +1,115 @@
+//! The RQ1 oracle as a property: for ANY batch of transactions, the real
+//! multi-threaded DMVCC executor commits exactly the serial write set, and
+//! the Merkle roots agree — across thread counts and analysis accuracy.
+
+use proptest::prelude::*;
+
+use dmvcc_analysis::{AnalysisConfig, Analyzer};
+use dmvcc_core::{execute_block_serial, ParallelConfig, ParallelExecutor};
+use dmvcc_integration_tests::{analyzer, decode_tx, genesis, registry};
+use dmvcc_state::{Snapshot, StateDb};
+use dmvcc_vm::{BlockEnv, Transaction};
+
+fn check_block(txs: &[Transaction], threads: usize, hide: f64) {
+    let snapshot = Snapshot::from_entries(genesis());
+    let env = BlockEnv::new(1, 1_700_000_000);
+    let reference = analyzer();
+    let trace = execute_block_serial(txs, &snapshot, &reference, &env);
+
+    let lossy = Analyzer::with_config(
+        registry(),
+        AnalysisConfig {
+            hide_fraction: hide,
+            seed: 5,
+        },
+    );
+    let executor = ParallelExecutor::new(
+        lossy,
+        ParallelConfig {
+            threads,
+            max_attempts: 64,
+        },
+    );
+    let outcome = executor.execute_block(txs, &snapshot, &env);
+    assert_eq!(
+        outcome.final_writes, trace.final_writes,
+        "write sets diverged (threads={threads}, hide={hide})"
+    );
+
+    // And the root-level check, exactly as the paper validates RQ1.
+    let mut serial_db = StateDb::with_genesis(genesis());
+    let mut parallel_db = serial_db.clone();
+    let serial_root = serial_db.commit(&trace.final_writes);
+    let parallel_root = parallel_db.commit(&outcome.final_writes);
+    assert_eq!(serial_root, parallel_root, "Merkle roots diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn parallel_equals_serial_precise_analysis(
+        raw in prop::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..24),
+        threads in 1usize..5,
+    ) {
+        let txs: Vec<Transaction> = raw
+            .into_iter()
+            .map(|(c, s, k, a, b)| decode_tx(c, s, k, a, b))
+            .collect();
+        check_block(&txs, threads, 0.0);
+    }
+
+    #[test]
+    fn parallel_equals_serial_lossy_analysis(
+        raw in prop::collection::vec((0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255), 1..16),
+        hide in prop::sample::select(vec![0.25f64, 0.5, 1.0]),
+    ) {
+        let txs: Vec<Transaction> = raw
+            .into_iter()
+            .map(|(c, s, k, a, b)| decode_tx(c, s, k, a, b))
+            .collect();
+        check_block(&txs, 4, hide);
+    }
+}
+
+#[test]
+fn long_dependent_chain_all_threads() {
+    // A pathological chain: every tx reads the previous one's write.
+    use dmvcc_integration_tests::COUNTER;
+    use dmvcc_primitives::Address;
+    use dmvcc_vm::{calldata, contracts, TxEnv};
+    let txs: Vec<Transaction> = (0..30)
+        .map(|i| {
+            Transaction::call(TxEnv::call(
+                Address::from_u64(100 + i),
+                Address::from_u64(COUNTER),
+                calldata(contracts::counter_fn::INCREMENT_CHECKED, &[]),
+            ))
+        })
+        .collect();
+    for threads in [1, 2, 4, 8] {
+        check_block(&txs, threads, 0.0);
+    }
+}
+
+#[test]
+fn repeated_nft_mints_resolve_sequence_numbers() {
+    // NFT mints mispredict the id under stale snapshots: the abort /
+    // versioning machinery must still converge to the serial ids.
+    use dmvcc_integration_tests::NFT;
+    use dmvcc_primitives::Address;
+    use dmvcc_vm::{calldata, contracts, TxEnv};
+    let txs: Vec<Transaction> = (0..12)
+        .map(|i| {
+            Transaction::call(TxEnv::call(
+                Address::from_u64(100 + i),
+                Address::from_u64(NFT),
+                calldata(contracts::nft_fn::MINT, &[]),
+            ))
+        })
+        .collect();
+    check_block(&txs, 4, 0.0);
+}

@@ -1,0 +1,110 @@
+//! Stress tests for the multi-threaded executor: consecutive workload
+//! blocks, both contention profiles, pool-style stale C-SAGs — the root
+//! chain must match serial execution block for block.
+
+use dmvcc_analysis::{AnalysisConfig, Analyzer};
+use dmvcc_core::{build_csags, execute_block_serial, ParallelConfig, ParallelExecutor};
+use dmvcc_state::StateDb;
+use dmvcc_vm::BlockEnv;
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn small(base: WorkloadConfig) -> WorkloadConfig {
+    WorkloadConfig {
+        accounts: 120,
+        token_contracts: 6,
+        amm_contracts: 3,
+        nft_contracts: 2,
+        counter_contracts: 1,
+        ballot_contracts: 1,
+        fig1_contracts: 1,
+        auction_contracts: 1,
+        crowdsale_contracts: 1,
+        batch_pay_contracts: 1,
+        router_contracts: 2,
+        ..base
+    }
+}
+
+fn run_chain(workload: WorkloadConfig, blocks: usize, block_size: usize, hide: f64) {
+    let mut generator = WorkloadGenerator::new(workload);
+    let analyzer = Analyzer::with_config(
+        generator.registry().clone(),
+        AnalysisConfig {
+            hide_fraction: hide,
+            seed: 3,
+        },
+    );
+    let executor = ParallelExecutor::new(
+        analyzer.clone(),
+        ParallelConfig {
+            threads: 4,
+            max_attempts: 64,
+        },
+    );
+    let mut serial_db = StateDb::with_genesis(generator.genesis_entries());
+    let mut parallel_db = serial_db.clone();
+    for height in 1..=blocks as u64 {
+        let txs = generator.block(block_size);
+        let env = BlockEnv::new(height, 1_700_000_000 + height * 12);
+        let snapshot = serial_db.latest().clone();
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &env);
+        let outcome = executor.execute_block(&txs, &snapshot, &env);
+        let serial_root = serial_db.commit(&trace.final_writes);
+        let parallel_root = parallel_db.commit(&outcome.final_writes);
+        assert_eq!(
+            serial_root, parallel_root,
+            "root mismatch at block {height} (hide={hide})"
+        );
+    }
+}
+
+#[test]
+fn realistic_chain_three_blocks() {
+    run_chain(small(WorkloadConfig::ethereum_mix(21)), 3, 120, 0.0);
+}
+
+#[test]
+fn hot_chain_three_blocks() {
+    run_chain(small(WorkloadConfig::high_contention(22)), 3, 120, 0.0);
+}
+
+#[test]
+fn hot_chain_with_lossy_analysis() {
+    // A quarter of the state keys invisible to the analyzer: the abort
+    // machinery must still converge to serial roots on every block.
+    run_chain(small(WorkloadConfig::high_contention(23)), 3, 100, 0.25);
+}
+
+#[test]
+fn stale_csags_from_previous_snapshot() {
+    // The pool scenario: C-SAGs built against the PREVIOUS block's
+    // snapshot (stale predictions), executed against the current one.
+    let mut generator = WorkloadGenerator::new(small(WorkloadConfig::high_contention(24)));
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let executor = ParallelExecutor::new(
+        analyzer.clone(),
+        ParallelConfig {
+            threads: 4,
+            max_attempts: 64,
+        },
+    );
+    let mut db = StateDb::with_genesis(generator.genesis_entries());
+    let stale_snapshot = db.latest().clone();
+
+    // Advance one block so the live snapshot differs from the stale one.
+    let env1 = BlockEnv::new(1, 1_700_000_000);
+    let warmup = generator.block(100);
+    let trace1 = execute_block_serial(&warmup, &stale_snapshot, &analyzer, &env1);
+    db.commit(&trace1.final_writes);
+
+    let env2 = BlockEnv::new(2, 1_700_000_012);
+    let txs = generator.block(100);
+    let live_snapshot = db.latest().clone();
+    // Predictions against the stale snapshot…
+    let stale_csags = build_csags(&txs, &stale_snapshot, &analyzer, &env2);
+    // …executed against the live one.
+    let trace = execute_block_serial(&txs, &live_snapshot, &analyzer, &env2);
+    let outcome =
+        executor.execute_block_with_csags(&txs, &live_snapshot, &env2, &stale_csags);
+    assert_eq!(outcome.final_writes, trace.final_writes);
+}

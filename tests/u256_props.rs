@@ -1,0 +1,106 @@
+//! Property tests for the 256-bit arithmetic substrate: algebraic laws,
+//! agreement with native 128-bit arithmetic on small operands, and the
+//! division invariant.
+
+use proptest::prelude::*;
+
+use dmvcc_primitives::U256;
+
+fn u256(limbs: [u64; 4]) -> U256 {
+    U256::from_limbs(limbs)
+}
+
+proptest! {
+    #[test]
+    fn add_sub_round_trip(a: [u64; 4], b: [u64; 4]) {
+        let (a, b) = (u256(a), u256(b));
+        prop_assert_eq!(a.wrapping_add(b).wrapping_sub(b), a);
+    }
+
+    #[test]
+    fn add_commutes(a: [u64; 4], b: [u64; 4]) {
+        let (a, b) = (u256(a), u256(b));
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_commutes(a: [u64; 4], b: [u64; 4]) {
+        let (a, b) = (u256(a), u256(b));
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_distributes(a: [u64; 4], b: [u64; 4], c: [u64; 4]) {
+        let (a, b, c) = (u256(a), u256(b), u256(c));
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn div_rem_invariant(a: [u64; 4], b: [u64; 4]) {
+        let (a, b) = (u256(a), u256(b));
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q * b + r, a);
+    }
+
+    #[test]
+    fn agrees_with_u128(a: u64, b: u64) {
+        let (wa, wb) = (U256::from(a), U256::from(b));
+        prop_assert_eq!(wa.wrapping_add(wb).low_u128(), a as u128 + b as u128);
+        prop_assert_eq!(wa.wrapping_mul(wb).low_u128(), a as u128 * b as u128);
+        if let (Some(q), Some(r)) = (a.checked_div(b), a.checked_rem(b)) {
+            prop_assert_eq!((wa / wb).low_u128(), q as u128);
+            prop_assert_eq!((wa % wb).low_u128(), r as u128);
+        }
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a: [u64; 4], shift in 0u32..255) {
+        let a = u256(a);
+        let pow = U256::ONE << shift;
+        prop_assert_eq!(a << shift, a.wrapping_mul(pow));
+        prop_assert_eq!(a >> shift, a / pow);
+    }
+
+    #[test]
+    fn bytes_round_trip(a: [u64; 4]) {
+        let a = u256(a);
+        prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn decimal_round_trip(a: [u64; 4]) {
+        let a = u256(a);
+        prop_assert_eq!(U256::from_dec(&a.to_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_round_trip(a: [u64; 4]) {
+        let a = u256(a);
+        prop_assert_eq!(U256::from_hex(&format!("{a:x}")).unwrap(), a);
+    }
+
+    #[test]
+    fn add_mod_matches_wide_math(a: u64, b: u64, m in 1u64..) {
+        let got = U256::from(a).add_mod(U256::from(b), U256::from(m));
+        let expected = ((a as u128 + b as u128) % m as u128) as u64;
+        prop_assert_eq!(got, U256::from(expected));
+    }
+
+    #[test]
+    fn mul_mod_matches_wide_math(a: u64, b: u64, m in 1u64..) {
+        let got = U256::from(a).mul_mod(U256::from(b), U256::from(m));
+        let expected = ((a as u128 * b as u128) % m as u128) as u64;
+        prop_assert_eq!(got, U256::from(expected));
+    }
+
+    #[test]
+    fn ordering_is_total(a: [u64; 4], b: [u64; 4]) {
+        let (a, b) = (u256(a), u256(b));
+        let lt = a < b;
+        let gt = a > b;
+        let eq = a == b;
+        prop_assert_eq!([lt, gt, eq].iter().filter(|&&x| x).count(), 1);
+    }
+}
