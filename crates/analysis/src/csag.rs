@@ -91,7 +91,6 @@ impl CSag {
         };
         sag.reads.insert(from_key);
         sag.writes.insert(from_key);
-        sag.adds.insert(to_key);
         sag.trace = vec![
             AccessEvent {
                 pc: 0,
@@ -103,12 +102,18 @@ impl CSag {
                 kind: AccessKind::Write,
                 key: from_key,
             },
-            AccessEvent {
+        ];
+        // A self-transfer's credit folds into the pending debit write (the
+        // executor merges `sadd` into an own buffered full write), so only
+        // a distinct recipient contributes a commutative add.
+        if to_key != from_key {
+            sag.adds.insert(to_key);
+            sag.trace.push(AccessEvent {
                 pc: 0,
                 kind: AccessKind::Add,
                 key: to_key,
-            },
-        ];
+            });
+        }
         sag.last_write_pc.insert(from_key, 0);
         sag.last_write_pc.insert(to_key, 0);
         // A transfer aborts only on insufficient balance, which is checked
@@ -432,6 +437,10 @@ impl Analyzer {
             }
             sag.trace.push(event);
         }
+        // Execution hosts fold commutative adds into a buffered full write
+        // of the same key (in either order), so a key with any full write
+        // ends up in the write set only; `adds` keeps pure-add keys.
+        sag.adds.retain(|key| !sag.writes.contains(key));
         sag
     }
 }

@@ -1,0 +1,230 @@
+//! Threaded scaling: wall-clock block throughput of the two executor
+//! generations at 1/2/4/8 worker threads.
+//!
+//! The "before" series is [`GlobalLockParallelExecutor`] — one mutex over
+//! all access sequences, every publish a condvar broadcast. The "after"
+//! series is the sharded [`ParallelExecutor`] — per-shard locks, a reverse
+//! waiter index with targeted wakeups, and work-stealing ready deques.
+//! Both run the same prepared blocks on a realistic and a high-contention
+//! workload; every outcome is checked against the serial write set before
+//! it is timed into the report (a wrong-but-fast executor scores zero).
+//!
+//! Scale knobs: `DMVCC_BLOCKS` (default 3), `DMVCC_BLOCK_SIZE` (default
+//! 200). Writes `bench-results/threaded_scaling.json`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use dmvcc_analysis::Analyzer;
+use dmvcc_bench::env_usize;
+use dmvcc_core::{
+    execute_block_serial, GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor,
+    ParallelOutcome,
+};
+use dmvcc_state::{Snapshot, WriteSet};
+use dmvcc_vm::{BlockEnv, Transaction};
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Block {
+    txs: Vec<Transaction>,
+    snapshot: Snapshot,
+    env: BlockEnv,
+    expected: WriteSet,
+}
+
+#[derive(Debug, Serialize)]
+struct ScalingPoint {
+    executor: &'static str,
+    workload: &'static str,
+    threads: usize,
+    wall_ms: f64,
+    tx_per_s: f64,
+    aborts: u64,
+    attempts: u64,
+    publishes: u64,
+    targeted_wakeups: u64,
+    wakeups_avoided: u64,
+    broadcast_wakeups: u64,
+    steals: u64,
+    parks: u64,
+    /// Wakeups issued per committed transaction: broadcasts for the
+    /// global-lock executor, targeted signals for the sharded one.
+    wakeups_per_commit: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ScalingReport {
+    blocks: usize,
+    block_size: usize,
+    host_threads: usize,
+    before: Vec<ScalingPoint>,
+    after: Vec<ScalingPoint>,
+}
+
+/// Prepares a chain of blocks with their serial reference write sets, so
+/// every timed run executes identical work.
+fn prepare(workload: WorkloadConfig, blocks: usize, block_size: usize) -> (Analyzer, Vec<Block>) {
+    let mut generator = WorkloadGenerator::new(workload);
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let mut snapshot = Snapshot::from_entries(generator.genesis_entries());
+    let mut out = Vec::with_capacity(blocks);
+    for height in 1..=blocks as u64 {
+        let txs = generator.block(block_size);
+        let env = BlockEnv::new(height, 1_700_000_000 + height * 12);
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &env);
+        let next = snapshot.apply(&trace.final_writes);
+        out.push(Block {
+            txs,
+            snapshot,
+            env,
+            expected: trace.final_writes,
+        });
+        snapshot = next;
+    }
+    (analyzer, out)
+}
+
+fn measure(
+    workload: &'static str,
+    executor: &'static str,
+    threads: usize,
+    blocks: &[Block],
+    run: impl Fn(&Block) -> ParallelOutcome,
+) -> ScalingPoint {
+    // One warmup pass (untimed) so allocator and page-cache effects hit
+    // both series equally.
+    for block in blocks {
+        let outcome = run(block);
+        assert_eq!(
+            outcome.final_writes, block.expected,
+            "{executor}@{threads} diverged from serial on {workload}"
+        );
+    }
+    let mut aborts = 0u64;
+    let mut stats = dmvcc_core::ExecutorStats::default();
+    let mut txs = 0u64;
+    let start = Instant::now();
+    for block in blocks {
+        let outcome = run(block);
+        txs += block.txs.len() as u64;
+        aborts += outcome.aborts;
+        stats.attempts += outcome.stats.attempts;
+        stats.publishes += outcome.stats.publishes;
+        stats.targeted_wakeups += outcome.stats.targeted_wakeups;
+        stats.wakeups_avoided += outcome.stats.wakeups_avoided;
+        stats.broadcast_wakeups += outcome.stats.broadcast_wakeups;
+        stats.steals += outcome.stats.steals;
+        stats.parks += outcome.stats.parks;
+    }
+    let wall = start.elapsed();
+    let wall_ms = wall.as_secs_f64() * 1e3;
+    let wakeups = if stats.broadcast_wakeups > 0 {
+        stats.broadcast_wakeups
+    } else {
+        stats.targeted_wakeups
+    };
+    ScalingPoint {
+        executor,
+        workload,
+        threads,
+        wall_ms,
+        tx_per_s: txs as f64 / wall.as_secs_f64(),
+        aborts,
+        attempts: stats.attempts,
+        publishes: stats.publishes,
+        targeted_wakeups: stats.targeted_wakeups,
+        wakeups_avoided: stats.wakeups_avoided,
+        broadcast_wakeups: stats.broadcast_wakeups,
+        steals: stats.steals,
+        parks: stats.parks,
+        wakeups_per_commit: wakeups as f64 / txs.max(1) as f64,
+    }
+}
+
+fn main() {
+    let blocks = env_usize("DMVCC_BLOCKS", 3);
+    let block_size = env_usize("DMVCC_BLOCK_SIZE", 200);
+    let mut report = ScalingReport {
+        blocks,
+        block_size,
+        host_threads: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        before: Vec::new(),
+        after: Vec::new(),
+    };
+
+    println!(
+        "{:<12} {:<16} {:>7} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "executor", "workload", "threads", "wall_ms", "tx/s", "aborts", "steals", "wake/commit"
+    );
+    for (name, workload) in [
+        ("realistic", WorkloadConfig::ethereum_mix(31)),
+        ("high-contention", WorkloadConfig::high_contention(31)),
+    ] {
+        let (analyzer, chain) = prepare(workload, blocks, block_size);
+        for threads in THREADS {
+            let config = ParallelConfig {
+                threads,
+                max_attempts: 64,
+            };
+            let global = GlobalLockParallelExecutor::new(analyzer.clone(), config);
+            let sharded = ParallelExecutor::new(analyzer.clone(), config);
+            for (label, point) in [
+                (
+                    "global-lock",
+                    measure(name, "global-lock", threads, &chain, |b| {
+                        global.execute_block(&b.txs, &b.snapshot, &b.env)
+                    }),
+                ),
+                (
+                    "sharded",
+                    measure(name, "sharded", threads, &chain, |b| {
+                        sharded.execute_block(&b.txs, &b.snapshot, &b.env)
+                    }),
+                ),
+            ] {
+                println!(
+                    "{:<12} {:<16} {:>7} {:>10.2} {:>10.0} {:>8} {:>8} {:>10.2}",
+                    label,
+                    name,
+                    threads,
+                    point.wall_ms,
+                    point.tx_per_s,
+                    point.aborts,
+                    point.steals,
+                    point.wakeups_per_commit
+                );
+                if label == "global-lock" {
+                    report.before.push(point);
+                } else {
+                    report.after.push(point);
+                }
+            }
+        }
+    }
+
+    // The targeted-wakeup design must do strictly less waking per commit
+    // than condvar broadcasts under contention.
+    let hot_wakeups = |points: &[ScalingPoint]| {
+        points
+            .iter()
+            .filter(|p| p.workload == "high-contention" && p.threads >= 4)
+            .map(|p| p.wakeups_per_commit)
+            .fold(0.0f64, f64::max)
+    };
+    let before_hot = hot_wakeups(&report.before);
+    let after_hot = hot_wakeups(&report.after);
+    println!(
+        "\nhigh-contention wakeups/commit (worst at >=4 threads): \
+         global-lock {before_hot:.2} vs sharded {after_hot:.2}"
+    );
+    assert!(
+        after_hot <= before_hot,
+        "targeted wakeups should not exceed broadcasts per commit"
+    );
+
+    dmvcc_bench::write_json("threaded_scaling", &report);
+    println!("wrote bench-results/threaded_scaling.json");
+}

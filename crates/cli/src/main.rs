@@ -108,7 +108,9 @@ fn workload_from(parsed: &ParsedArgs) -> Result<WorkloadConfig, String> {
 fn cmd_run(parsed: &ParsedArgs) -> Result<(), String> {
     let blocks = parsed.get_or("blocks", 2usize)?;
     let size = parsed.get_or("size", 500usize)?;
-    let threads = parsed.get_or("threads", 8usize)?;
+    // Default to one simulated thread per logical CPU (what the threaded
+    // executor would use), overridable with --threads.
+    let threads = parsed.get_or("threads", dmvcc_core::ParallelConfig::default().threads)?;
     let scheduler: String = parsed.get_or("scheduler", "all".to_string())?;
 
     let mut generator = WorkloadGenerator::new(workload_from(parsed)?);

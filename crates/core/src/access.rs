@@ -78,6 +78,89 @@ impl AccessEntry {
     }
 }
 
+/// Number of source transactions stored inline in a [`SourceList`] before
+/// spilling to the heap. Reads rarely merge more than a base version plus a
+/// couple of ω̄ deltas, so four slots cover the hot path allocation-free.
+const INLINE_SOURCES: usize = 4;
+
+/// The transactions whose versions a read consumed.
+///
+/// A small-vector replacement for the `Vec<usize>` that used to ride along
+/// every [`ReadResolution::Ready`]: the first [`INLINE_SOURCES`] entries
+/// live inline (no allocation — `Vec::new` for the spill buffer is free),
+/// and only longer merge chains touch the heap.
+#[derive(Clone, Default)]
+pub struct SourceList {
+    len: usize,
+    inline: [usize; INLINE_SOURCES],
+    spill: Vec<usize>,
+}
+
+impl SourceList {
+    /// Creates an empty list (allocation-free).
+    pub fn new() -> Self {
+        SourceList::default()
+    }
+
+    /// Appends a source transaction index.
+    pub fn push(&mut self, tx: usize) {
+        if self.len < INLINE_SOURCES {
+            self.inline[self.len] = tx;
+        } else {
+            self.spill.push(tx);
+        }
+        self.len += 1;
+    }
+
+    /// Number of recorded sources.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no version contributed (snapshot-only read).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates the sources in push order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.inline[..self.len.min(INLINE_SOURCES)]
+            .iter()
+            .copied()
+            .chain(self.spill.iter().copied())
+    }
+}
+
+impl std::fmt::Debug for SourceList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for SourceList {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for SourceList {}
+
+impl PartialEq<Vec<usize>> for SourceList {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.len == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl FromIterator<usize> for SourceList {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut list = SourceList::new();
+        for tx in iter {
+            list.push(tx);
+        }
+        list
+    }
+}
+
 /// How a read resolves against a sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReadResolution {
@@ -88,7 +171,7 @@ pub enum ReadResolution {
         /// The merged value the reader observes.
         value: U256,
         /// Transactions whose versions contributed (empty = snapshot only).
-        sources: Vec<usize>,
+        sources: SourceList,
     },
     /// A preceding predicted write (or delta) is not yet available; the
     /// reader must wait for `writer`.
@@ -153,7 +236,7 @@ impl AccessSequence {
             Err(i) => i,
         };
         let mut delta = U256::ZERO;
-        let mut sources = Vec::new();
+        let mut sources = SourceList::new();
         for entry in self.entries[..upper].iter().rev() {
             match entry.op {
                 AccessOp::Read => continue,
@@ -321,7 +404,7 @@ impl AccessSequence {
     /// last non-dropped full write merged with subsequent deltas, or
     /// `None` if only the snapshot value (plus deltas) applies — in which
     /// case the merged delta is returned separately.
-    fn final_value(&self, key: &StateKey, snapshot: &Snapshot) -> Option<U256> {
+    pub(crate) fn final_value(&self, key: &StateKey, snapshot: &Snapshot) -> Option<U256> {
         let mut delta = U256::ZERO;
         let mut any = false;
         for entry in self.entries.iter().rev() {

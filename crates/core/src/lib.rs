@@ -12,8 +12,12 @@
 //!   feature toggles for early-write visibility, commutative writes and
 //!   write versioning — the quantities behind the paper's figures.
 //! - [`ParallelExecutor`]: a real multi-threaded executor implementing
-//!   Algorithms 1–4 over shared access sequences, validated against the
-//!   serial state root.
+//!   Algorithms 1–4 over [`ShardedSequences`] (per-shard locks, a reverse
+//!   waiter index for targeted wakeups, and a work-stealing ready queue),
+//!   validated against the serial state root.
+//! - [`GlobalLockParallelExecutor`]: the first-generation executor (one
+//!   global mutex plus condvar broadcasts), kept as a differential-testing
+//!   partner and as the "before" side of the scaling benchmarks.
 //!
 //! # Examples
 //!
@@ -44,14 +48,18 @@
 mod access;
 mod oracle;
 mod parallel;
+mod parallel_global;
+mod sharded;
 mod sim;
 mod simulator;
 
 pub use access::{
-    AccessEntry, AccessOp, AccessSequence, AccessSequences, EntryState, ReadResolution,
+    AccessEntry, AccessOp, AccessSequence, AccessSequences, EntryState, ReadResolution, SourceList,
     VersionWriteEffect,
 };
 pub use oracle::{build_csags, execute_block_serial, BlockTrace, ReadRecord, TxTrace};
-pub use parallel::{ParallelConfig, ParallelExecutor, ParallelOutcome};
+pub use parallel::{ExecutorStats, ParallelConfig, ParallelExecutor, ParallelOutcome};
+pub use parallel_global::GlobalLockParallelExecutor;
+pub use sharded::{Shard, ShardedSequences, DEFAULT_SHARDS};
 pub use sim::{SimReport, ThreadTimeline};
 pub use simulator::{simulate_dmvcc, DmvccConfig};

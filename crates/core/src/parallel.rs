@@ -1,18 +1,47 @@
-//! A real multi-threaded DMVCC executor.
+//! The sharded multi-threaded DMVCC executor.
 //!
 //! Where [`crate::simulate_dmvcc`] evaluates the schedule in virtual time,
 //! this module actually runs the protocol concurrently: worker threads pop
-//! ready transactions (Algorithm 1), execute them on the shared
-//! [`AccessSequences`] with per-version blocking reads, publish writes at
-//! release points (Algorithm 2) via write versioning (Algorithm 3), and
-//! abort/re-execute stale readers with cascades (Algorithm 4).
+//! ready transactions (Algorithm 1), execute them on shared access
+//! sequences with per-version blocking reads, publish writes at release
+//! points (Algorithm 2) via write versioning (Algorithm 3), and abort and
+//! re-execute stale readers with cascades (Algorithm 4).
+//!
+//! This is the second-generation executor. The first generation — kept as
+//! [`crate::GlobalLockParallelExecutor`] — funnels every sequence access
+//! through one mutex and wakes every sleeper on every publish. Here the
+//! synchronization is decomposed along the state it actually protects:
+//!
+//! - **Sharded sequences** ([`crate::ShardedSequences`]): access sequences
+//!   live in hash-addressed shards, each behind its own lock, so
+//!   transactions over disjoint keys never contend.
+//! - **Targeted wakeups**: each shard keeps a reverse waiter index
+//!   (key → blocked readers); a publish drains and signals exactly the
+//!   transactions waiting on that key via their per-transaction event
+//!   instead of broadcasting on a global condvar.
+//! - **Work-stealing ready queue**: admitted transactions go to the
+//!   admitting worker's own `crossbeam` deque (or a shared injector from
+//!   outside worker context); idle workers steal.
+//! - **Per-transaction cores**: the scheduling state of a transaction
+//!   (phase, attempt count, touched/published keys) sits behind its own
+//!   small mutex, with the abort generation as an atomic for cheap
+//!   staleness checks.
+//!
+//! Lock discipline: a thread holds at most one shard lock and at most one
+//! transaction core lock at a time, and never acquires one kind while
+//! holding the other (effects are staged and applied after unlocking).
+//! Every timed wait carries a timeout backstop, so a missed wakeup costs
+//! latency, never progress.
 //!
 //! Correctness oracle: for any interleaving, the committed write set equals
 //! the serial execution's (Theorem 1) — integration tests compare Merkle
 //! roots over randomized workloads.
 
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 
 use dmvcc_primitives::U256;
@@ -21,7 +50,16 @@ use dmvcc_vm::{execute, BlockEnv, ExecParams, ExecStatus, Host, HostError, Trans
 
 use dmvcc_analysis::{Analyzer, CSag};
 
-use crate::access::{AccessOp, AccessSequences, ReadResolution};
+use crate::access::{AccessOp, ReadResolution, SourceList, VersionWriteEffect};
+use crate::sharded::ShardedSequences;
+
+/// Backstop for a read blocked on a pending version: the waiter is signaled
+/// by the publisher, so this only bounds the cost of a (theoretically
+/// impossible, practically paranoid) missed wakeup.
+const BLOCKED_PARK: Duration = Duration::from_millis(1);
+
+/// Backstop for an idle worker with nothing to run or steal.
+const IDLE_PARK: Duration = Duration::from_millis(1);
 
 /// Configuration of the threaded executor.
 #[derive(Debug, Clone, Copy)]
@@ -35,11 +73,40 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
+        // One worker per logical CPU. `available_parallelism` can fail
+        // (exotic platforms, restricted sandboxes); fall back to 4, the
+        // paper's smallest evaluated thread count, rather than guessing
+        // higher on a machine we know nothing about.
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
         ParallelConfig {
-            threads: 4,
+            threads,
             max_attempts: 64,
         }
     }
+}
+
+/// Counters describing how a parallel execution actually behaved, surfaced
+/// through [`ParallelOutcome::stats`]. All counters are per-block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Execution attempts across all transactions (≥ block size; the
+    /// excess is re-execution work caused by aborts).
+    pub attempts: u64,
+    /// Versions made visible in the access sequences.
+    pub publishes: u64,
+    /// Waiters signaled individually through the reverse waiter index.
+    pub targeted_wakeups: u64,
+    /// Publishes that found no waiter on the key — each one is a
+    /// `notify_all` the global-lock executor would have issued for nothing.
+    pub wakeups_avoided: u64,
+    /// Global condvar broadcasts (only the global-lock executor has these).
+    pub broadcast_wakeups: u64,
+    /// Ready-queue entries obtained by stealing from another worker.
+    pub steals: u64,
+    /// Times a worker went to sleep (idle or blocked on a read).
+    pub parks: u64,
 }
 
 /// Result of a parallel block execution.
@@ -51,10 +118,12 @@ pub struct ParallelOutcome {
     pub statuses: Vec<ExecStatus>,
     /// Non-deterministic aborts (re-executions) that occurred.
     pub aborts: u64,
+    /// Scheduler behavior counters for this block.
+    pub stats: ExecutorStats,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Phase {
+pub(crate) enum Phase {
     /// Not yet ready: some predicted read is unavailable.
     Waiting,
     /// In the ready queue.
@@ -65,10 +134,40 @@ enum Phase {
     Finished,
 }
 
+/// An edge-triggered event: an epoch counter under a mutex plus a condvar.
+/// Waiters sample the epoch *before* checking the condition they sleep on;
+/// `signal` bumps the epoch, so a signal between sampling and sleeping
+/// turns the sleep into a no-op instead of a lost wakeup.
+#[derive(Debug, Default)]
+struct Event {
+    epoch: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl Event {
+    fn epoch(&self) -> u64 {
+        *self.epoch.lock()
+    }
+
+    fn signal(&self) {
+        let mut epoch = self.epoch.lock();
+        *epoch += 1;
+        self.cond.notify_all();
+    }
+
+    /// Sleeps until the epoch moves past `seen` or the timeout elapses.
+    fn wait_while(&self, seen: u64, timeout: Duration) {
+        let mut epoch = self.epoch.lock();
+        if *epoch == seen {
+            self.cond.wait_for(&mut epoch, timeout);
+        }
+    }
+}
+
+/// The lock-protected scheduling state of one transaction.
 #[derive(Debug)]
-struct TxSlot {
+struct TxCore {
     phase: Phase,
-    generation: u32,
     attempts: u32,
     status: Option<ExecStatus>,
     /// Keys whose versions this tx materialized in the sequences during
@@ -79,33 +178,95 @@ struct TxSlot {
     touched: HashSet<StateKey>,
 }
 
-struct Inner {
-    sequences: AccessSequences,
-    slots: Vec<TxSlot>,
-    ready: VecDeque<(usize, u32)>,
-    finished: usize,
-    aborts: u64,
-    idle: usize,
-    blocked: usize,
+/// One transaction's full concurrent state: the core behind its own small
+/// mutex, the abort generation as an atomic (checked far more often than
+/// the core is mutated), and the event its blocked reads park on.
+#[derive(Debug)]
+struct TxState {
+    generation: AtomicU32,
+    core: Mutex<TxCore>,
+    event: Event,
 }
 
+/// Monotonic counters shared by all workers (see [`ExecutorStats`]).
+#[derive(Debug, Default)]
+struct AtomicStats {
+    publishes: AtomicU64,
+    targeted_wakeups: AtomicU64,
+    wakeups_avoided: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ExecutorStats {
+        ExecutorStats {
+            attempts: 0, // filled from the per-tx cores by the caller
+            publishes: self.publishes.load(Ordering::Relaxed),
+            targeted_wakeups: self.targeted_wakeups.load(Ordering::Relaxed),
+            wakeups_avoided: self.wakeups_avoided.load(Ordering::Relaxed),
+            broadcast_wakeups: 0,
+            steals: self.steals.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+type ReadyEntry = (usize, u32);
+
 struct Shared<'a> {
-    inner: Mutex<Inner>,
-    cond: Condvar,
+    sequences: ShardedSequences,
+    states: Vec<TxState>,
+    injector: Injector<ReadyEntry>,
+    stealers: Vec<Stealer<ReadyEntry>>,
+    /// Transactions currently in phase `Finished` whose finalization
+    /// completed (incremented/decremented strictly under the tx's core
+    /// lock, so `finished == n` implies a quiescent, fully-executed block).
+    finished: AtomicUsize,
+    /// Workers currently sleeping inside a blocked read.
+    blocked: AtomicUsize,
+    /// Workers currently parked with nothing to run.
+    idle: AtomicUsize,
+    /// Entries currently sitting in the ready deques (stale ones included).
+    ready_count: AtomicUsize,
+    aborts: AtomicU64,
+    stats: AtomicStats,
+    /// Parked idle workers wait here; signaled when work is admitted or
+    /// the block completes.
+    idle_event: Event,
     snapshot: &'a Snapshot,
     csags: &'a [CSag],
     txs: &'a [Transaction],
     config: ParallelConfig,
 }
 
-impl Inner {
-    /// Checks whether all predicted reads of `tx` resolve right now.
-    fn is_ready(&self, tx: usize, csags: &[CSag], snapshot: &Snapshot) -> bool {
-        let csag = &csags[tx];
-        for key in &csag.reads {
-            if let Some(seq) = self.sequences.sequence(key) {
+impl Shared<'_> {
+    fn generation_of(&self, tx: usize) -> u32 {
+        self.states[tx].generation.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a ready transaction — on the admitting worker's own deque
+    /// when there is one (locality), otherwise on the shared injector —
+    /// and wakes a parked worker if any.
+    fn push_ready(&self, entry: ReadyEntry, local: Option<&Worker<ReadyEntry>>) {
+        self.ready_count.fetch_add(1, Ordering::SeqCst);
+        match local {
+            Some(worker) => worker.push(entry),
+            None => self.injector.push(entry),
+        }
+        if self.idle.load(Ordering::SeqCst) > 0 {
+            self.idle_event.signal();
+        }
+    }
+
+    /// Checks whether all predicted reads of `tx` resolve right now,
+    /// taking one shard lock at a time.
+    fn is_ready(&self, tx: usize) -> bool {
+        for key in &self.csags[tx].reads {
+            let shard = self.sequences.shard(key);
+            if let Some(seq) = shard.sequence(key) {
                 if matches!(
-                    seq.resolve_read(tx, key, snapshot),
+                    seq.resolve_read(tx, key, self.snapshot),
                     ReadResolution::Blocked { .. }
                 ) {
                     return false;
@@ -115,68 +276,142 @@ impl Inner {
         true
     }
 
-    /// Moves `tx` to the ready queue if its predicted reads resolve.
-    fn admit_if_ready(&mut self, tx: usize, csags: &[CSag], snapshot: &Snapshot) -> bool {
-        if self.slots[tx].phase != Phase::Waiting {
+    /// Admits `tx` to the ready queue if it is waiting and its predicted
+    /// reads resolve. The readiness check runs without the core lock, so a
+    /// version appearing concurrently can cause a *spurious* admission —
+    /// harmless, the attempt just blocks (or aborts) like any mispredicted
+    /// read — but never a missed one.
+    fn try_admit(&self, tx: usize, local: Option<&Worker<ReadyEntry>>) -> bool {
+        if self.states[tx].core.lock().phase != Phase::Waiting {
             return false;
         }
-        if !self.is_ready(tx, csags, snapshot) {
+        if !self.is_ready(tx) {
             return false;
         }
-        self.slots[tx].phase = Phase::Ready;
-        self.ready.push_back((tx, self.slots[tx].generation));
+        let entry = {
+            let mut core = self.states[tx].core.lock();
+            if core.phase != Phase::Waiting {
+                return false;
+            }
+            core.phase = Phase::Ready;
+            // Generation read under the core lock: an abort (which holds
+            // this lock to bump it) cannot interleave, so the queue entry
+            // is coherent.
+            (tx, self.generation_of(tx))
+        };
+        self.push_ready(entry, local);
         true
     }
 
-    /// Aborts `tx` (Algorithm 4) and cascades to readers of its versions.
-    fn abort_tx(&mut self, tx: usize, csags: &[CSag], snapshot: &Snapshot) {
-        let mut worklist = vec![tx];
+    /// Aborts `root` (Algorithm 4) and cascades to readers of its
+    /// versions. Per victim: bump the generation and demote to `Waiting`
+    /// under the core lock *first* (any in-flight attempt now fails its
+    /// next staleness check), then reset the victim's entries shard by
+    /// shard, feeding newly-stale readers back into the worklist.
+    fn abort_cascade(&self, root: usize, local: Option<&Worker<ReadyEntry>>) {
+        let mut worklist = vec![root];
         let mut seen = HashSet::new();
+        let mut admit_candidates: Vec<usize> = Vec::new();
         while let Some(victim) = worklist.pop() {
             if !seen.insert(victim) {
                 continue;
             }
-            if self.slots[victim].phase == Phase::Finished {
-                self.finished -= 1;
-            }
-            self.slots[victim].generation = self.slots[victim].generation.wrapping_add(1);
-            self.slots[victim].phase = Phase::Waiting;
-            self.slots[victim].status = None;
-            self.slots[victim].published.clear();
-            self.aborts += 1;
-            let touched: Vec<StateKey> = self.slots[victim].touched.iter().copied().collect();
+            let touched: Vec<StateKey> = {
+                let mut core = self.states[victim].core.lock();
+                if core.phase == Phase::Finished {
+                    self.finished.fetch_sub(1, Ordering::SeqCst);
+                }
+                let generation = self.states[victim].generation.load(Ordering::SeqCst);
+                self.states[victim]
+                    .generation
+                    .store(generation.wrapping_add(1), Ordering::SeqCst);
+                core.phase = Phase::Waiting;
+                core.status = None;
+                core.published.clear();
+                core.touched.iter().copied().collect()
+            };
+            self.aborts.fetch_add(1, Ordering::Relaxed);
+            let mut to_wake: Vec<usize> = Vec::new();
             for key in touched {
-                let effect = self.sequences.sequence_mut(key).reset(victim);
+                let (effect, waiters) = {
+                    let mut shard = self.sequences.shard(&key);
+                    let effect = shard.sequence_mut(key).reset(victim);
+                    // A reset only re-pends the entry, but waiters are
+                    // drained and signaled anyway: one of them may be the
+                    // victim's own in-flight attempt, which must wake to
+                    // observe its stale generation and unwind.
+                    let waiters = shard.drain_waiters(&key);
+                    (effect, waiters)
+                };
+                to_wake.extend(waiters);
                 for reader in effect.aborted {
                     if reader != victim && !seen.contains(&reader) {
                         worklist.push(reader);
                     }
                 }
+                for reader in effect.allowed {
+                    admit_candidates.push(reader);
+                }
             }
-            self.admit_if_ready(victim, csags, snapshot);
+            for waiter in to_wake {
+                self.states[waiter].event.signal();
+            }
+        }
+        // Re-admit everything the cascade touched or unblocked.
+        for victim in seen {
+            self.try_admit(victim, local);
+        }
+        for reader in admit_candidates {
+            self.try_admit(reader, local);
         }
     }
 
-    /// Applies a version-write effect: wakes allowed waiters, aborts stale
-    /// readers.
-    fn apply_effect(
-        &mut self,
-        effect: crate::access::VersionWriteEffect,
-        csags: &[CSag],
-        snapshot: &Snapshot,
-    ) {
+    /// Applies a version-write/drop effect: aborts stale readers, admits
+    /// the newly unblocked. Must be called with no shard lock held.
+    fn apply_effect(&self, effect: VersionWriteEffect, local: Option<&Worker<ReadyEntry>>) {
         for reader in effect.aborted {
-            self.abort_tx(reader, csags, snapshot);
+            self.abort_cascade(reader, local);
         }
         for reader in effect.allowed {
-            self.admit_if_ready(reader, csags, snapshot);
+            self.try_admit(reader, local);
+        }
+    }
+
+    /// Signals the waiters drained from a key after a version change.
+    fn wake_waiters(&self, waiters: Vec<usize>) {
+        if waiters.is_empty() {
+            self.stats.wakeups_avoided.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.stats
+            .targeted_wakeups
+            .fetch_add(waiters.len() as u64, Ordering::Relaxed);
+        for waiter in waiters {
+            self.states[waiter].event.signal();
+        }
+    }
+
+    /// Marks `tx` finished with `status`. The counter increment happens
+    /// under the core lock so `finished` never exceeds the number of
+    /// transactions whose phase is `Finished`.
+    fn finish(&self, tx: usize, generation: u32, status: ExecStatus) {
+        let mut core = self.states[tx].core.lock();
+        if self.generation_of(tx) != generation {
+            return; // aborted concurrently; the new attempt supersedes us
+        }
+        core.phase = Phase::Finished;
+        core.status = Some(status);
+        let done = self.finished.fetch_add(1, Ordering::SeqCst) + 1;
+        if done == self.txs.len() {
+            self.idle_event.signal();
         }
     }
 }
 
-/// Host bridging one VM execution onto the shared sequences.
+/// Host bridging one VM execution onto the sharded sequences.
 struct ThreadHost<'a, 'b> {
     shared: &'a Shared<'b>,
+    local: Option<&'a Worker<ReadyEntry>>,
     tx: usize,
     generation: u32,
     /// Buffered full writes and commutative deltas of this attempt.
@@ -192,24 +427,62 @@ struct ThreadHost<'a, 'b> {
 }
 
 impl ThreadHost<'_, '_> {
-    fn check_generation(&self, inner: &Inner) -> Result<(), HostError> {
-        if inner.slots[self.tx].generation != self.generation {
+    fn stale(&self) -> bool {
+        self.shared.generation_of(self.tx) != self.generation
+    }
+
+    /// Records `key` in this tx's touched set (so an abort resets it) —
+    /// must happen *before* the corresponding sequence mutation, so a
+    /// concurrent abort either sees the key or invalidates us first.
+    fn touch(&self, key: StateKey) -> Result<(), HostError> {
+        let mut core = self.shared.states[self.tx].core.lock();
+        if self.stale() {
             return Err(HostError::Aborted);
         }
+        core.touched.insert(key);
         Ok(())
     }
 
-    /// Publishes one buffered key into the sequences (assumes `inner`
-    /// locked and generation valid).
-    fn publish_key(&self, inner: &mut Inner, key: StateKey, value: U256, delta: bool) {
-        let effect = inner
-            .sequences
-            .sequence_mut(key)
-            .version_write(self.tx, value, delta);
-        inner.slots[self.tx].published.insert(key);
-        inner.slots[self.tx].touched.insert(key);
-        inner.apply_effect(effect, self.shared.csags, self.shared.snapshot);
-        self.shared.cond.notify_all();
+    /// Publishes one buffered key into its shard (write versioning,
+    /// Algorithm 3) and wakes exactly the readers blocked on it.
+    fn publish_key(&self, key: StateKey, value: U256, delta: bool) -> Result<(), HostError> {
+        {
+            let mut core = self.shared.states[self.tx].core.lock();
+            if self.stale() {
+                return Err(HostError::Aborted);
+            }
+            core.touched.insert(key);
+            core.published.insert(key);
+        }
+        let (effect, waiters) = {
+            let mut shard = self.shared.sequences.shard(&key);
+            // Re-check under the shard lock: if an abort got in between,
+            // writing now would leak a version the abort's reset already
+            // passed over.
+            if self.stale() {
+                return Err(HostError::Aborted);
+            }
+            let effect = shard.sequence_mut(key).version_write(self.tx, value, delta);
+            let waiters = shard.drain_waiters(&key);
+            (effect, waiters)
+        };
+        self.shared.stats.publishes.fetch_add(1, Ordering::Relaxed);
+        self.shared.wake_waiters(waiters);
+        self.shared.apply_effect(effect, self.local);
+        Ok(())
+    }
+
+    /// Drops this tx's version of `key` (misprediction or deterministic
+    /// abort), unblocking and re-admitting downstream readers.
+    fn drop_key(&self, key: StateKey) {
+        let (effect, waiters) = {
+            let mut shard = self.shared.sequences.shard(&key);
+            let effect = shard.sequence_mut(key).drop_version(self.tx);
+            let waiters = shard.drain_waiters(&key);
+            (effect, waiters)
+        };
+        self.shared.wake_waiters(waiters);
+        self.shared.apply_effect(effect, self.local);
     }
 }
 
@@ -221,40 +494,65 @@ impl Host for ThreadHost<'_, '_> {
             return Ok(merged);
         }
         let own_delta = self.adds.get(&key).copied().unwrap_or(U256::ZERO);
-        let mut inner = self.shared.inner.lock();
+        self.touch(key)?;
         loop {
-            self.check_generation(&inner)?;
-            let resolution = match inner.sequences.sequence(&key) {
-                Some(seq) => seq.resolve_read(self.tx, &key, self.shared.snapshot),
-                None => ReadResolution::Ready {
-                    value: self.shared.snapshot.get(&key),
-                    sources: Vec::new(),
-                },
-            };
-            match resolution {
-                ReadResolution::Ready { value, .. } => {
-                    inner.sequences.sequence_mut(key).mark_read(self.tx);
-                    inner.slots[self.tx].touched.insert(key);
-                    return Ok(value.wrapping_add(own_delta));
+            // Sample our event's epoch before resolving: a publish signal
+            // racing the registration below then prevents the sleep.
+            let seen_epoch = self.shared.states[self.tx].event.epoch();
+            let value = {
+                let mut shard = self.shared.sequences.shard(&key);
+                if self.stale() {
+                    return Err(HostError::Aborted);
                 }
-                ReadResolution::Blocked { .. } => {
-                    // Deadlock breaker: if every worker is blocked or idle
-                    // while work sits in the queue, yield this execution so
-                    // the thread can run something else.
-                    inner.blocked += 1;
-                    if inner.blocked + inner.idle >= self.shared.config.threads
-                        && !inner.ready.is_empty()
-                    {
-                        inner.blocked -= 1;
-                        let (csags, snapshot) = (self.shared.csags, self.shared.snapshot);
-                        inner.abort_tx(self.tx, csags, snapshot);
-                        self.shared.cond.notify_all();
-                        return Err(HostError::Aborted);
+                let resolution = match shard.sequence(&key) {
+                    Some(seq) => seq.resolve_read(self.tx, &key, self.shared.snapshot),
+                    None => ReadResolution::Ready {
+                        value: self.shared.snapshot.get(&key),
+                        sources: SourceList::new(),
+                    },
+                };
+                match resolution {
+                    ReadResolution::Ready { value, .. } => {
+                        shard.sequence_mut(key).mark_read(self.tx);
+                        Some(value)
                     }
-                    self.shared.cond.wait(&mut inner);
-                    inner.blocked -= 1;
+                    ReadResolution::Blocked { .. } => {
+                        // Register in the reverse waiter index under the
+                        // same lock hold as the failed resolve.
+                        shard.register_waiter(key, self.tx);
+                        None
+                    }
+                }
+            };
+            if let Some(value) = value {
+                return Ok(value.wrapping_add(own_delta));
+            }
+            let blocked = self.shared.blocked.fetch_add(1, Ordering::SeqCst) + 1;
+            // Deadlock breaker: if this is the last worker not asleep,
+            // make sure runnable work exists (admitting any quiescent
+            // waiter ourselves), then yield this execution so the thread
+            // can go run it.
+            if blocked + self.shared.idle.load(Ordering::SeqCst) >= self.shared.config.threads {
+                if self.shared.ready_count.load(Ordering::SeqCst) == 0 {
+                    for i in 0..self.shared.txs.len() {
+                        self.shared.try_admit(i, self.local);
+                    }
+                }
+                if self.shared.ready_count.load(Ordering::SeqCst) > 0 {
+                    self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
+                    self.shared
+                        .sequences
+                        .shard(&key)
+                        .unregister_waiter(&key, self.tx);
+                    self.shared.abort_cascade(self.tx, self.local);
+                    return Err(HostError::Aborted);
                 }
             }
+            self.shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            self.shared.states[self.tx]
+                .event
+                .wait_while(seen_epoch, BLOCKED_PARK);
+            self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
@@ -292,22 +590,18 @@ impl Host for ThreadHost<'_, '_> {
             .chain(self.adds.iter().map(|(k, v)| (*k, *v, true)))
             .filter(|(k, _, _)| self.last_write_pc.get(k).is_some_and(|&last| last < pc))
             .collect();
-        if publishable.is_empty() {
-            return;
-        }
-        let mut inner = self.shared.inner.lock();
-        if self.check_generation(&inner).is_err() {
-            return; // the VM unwinds at the next state access
-        }
         for (key, value, delta) in publishable {
-            self.publish_key(&mut inner, key, value, delta);
+            if self.publish_key(key, value, delta).is_err() {
+                return; // stale generation; the VM unwinds at the next access
+            }
             self.writes.remove(&key);
             self.adds.remove(&key);
         }
     }
 }
 
-/// The multi-threaded DMVCC block executor.
+/// The multi-threaded DMVCC block executor (sharded locks, targeted
+/// wakeups, work-stealing scheduling — see the module docs).
 ///
 /// # Examples
 ///
@@ -377,127 +671,195 @@ impl ParallelExecutor {
                 final_writes: WriteSet::new(),
                 statuses: Vec::new(),
                 aborts: 0,
+                stats: ExecutorStats::default(),
             };
         }
 
-        // Build predicted sequences (the preprocessing of §IV-A).
-        let mut sequences = AccessSequences::new();
+        // Build predicted sequences (the preprocessing of §IV-A) —
+        // single-threaded, but already in their shards.
+        let sequences = ShardedSequences::new();
         for (i, csag) in csags.iter().enumerate() {
             for key in &csag.reads {
-                sequences.sequence_mut(*key).predict(i, AccessOp::Read);
+                sequences.predict(*key, i, AccessOp::Read);
             }
             for key in &csag.writes {
-                sequences.sequence_mut(*key).predict(i, AccessOp::Write);
+                sequences.predict(*key, i, AccessOp::Write);
             }
             for key in &csag.adds {
-                sequences.sequence_mut(*key).predict(i, AccessOp::Add);
+                sequences.predict(*key, i, AccessOp::Add);
             }
         }
-        let slots = (0..n)
-            .map(|i| TxSlot {
-                phase: Phase::Waiting,
-                generation: 0,
-                attempts: 0,
-                status: None,
-                published: HashSet::new(),
-                touched: csags[i].touched().into_iter().collect(),
+        let states: Vec<TxState> = (0..n)
+            .map(|i| TxState {
+                generation: AtomicU32::new(0),
+                core: Mutex::new(TxCore {
+                    phase: Phase::Waiting,
+                    attempts: 0,
+                    status: None,
+                    published: HashSet::new(),
+                    touched: csags[i].touched().into_iter().collect(),
+                }),
+                event: Event::default(),
             })
             .collect();
 
-        let mut inner = Inner {
-            sequences,
-            slots,
-            ready: VecDeque::new(),
-            finished: 0,
-            aborts: 0,
-            idle: 0,
-            blocked: 0,
-        };
-        // Initial admission (Algorithm 1 line 1).
-        for i in 0..n {
-            inner.admit_if_ready(i, csags, snapshot);
-        }
+        let workers: Vec<Worker<ReadyEntry>> = (0..self.config.threads)
+            .map(|_| Worker::new_fifo())
+            .collect();
+        let stealers = workers.iter().map(Worker::stealer).collect();
 
         let shared = Shared {
-            inner: Mutex::new(inner),
-            cond: Condvar::new(),
+            sequences,
+            states,
+            injector: Injector::new(),
+            stealers,
+            finished: AtomicUsize::new(0),
+            blocked: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            ready_count: AtomicUsize::new(0),
+            aborts: AtomicU64::new(0),
+            stats: AtomicStats::default(),
+            idle_event: Event::default(),
             snapshot,
             csags,
             txs,
             config: self.config,
         };
+        // Initial admission (Algorithm 1 line 1) — into the injector; the
+        // first workers to start will spread the entries by stealing.
+        for i in 0..n {
+            shared.try_admit(i, None);
+        }
 
         std::thread::scope(|scope| {
-            for _ in 0..self.config.threads {
-                scope.spawn(|| self.worker(&shared, block_env));
+            for (index, local) in workers.into_iter().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || self.worker(shared, block_env, local, index));
             }
         });
 
-        let inner = shared.inner.into_inner();
-        let final_writes = inner.sequences.final_writes(snapshot);
-        let statuses = inner
-            .slots
-            .iter()
-            .map(|s| s.status.clone().unwrap_or(ExecStatus::Interrupted))
-            .collect();
+        let final_writes = shared.sequences.final_writes(snapshot);
+        let mut stats = shared.stats.snapshot();
+        let mut statuses = Vec::with_capacity(n);
+        for state in shared.states {
+            let core = state.core.into_inner();
+            stats.attempts += core.attempts as u64;
+            statuses.push(core.status.unwrap_or(ExecStatus::Interrupted));
+        }
         ParallelOutcome {
             final_writes,
             statuses,
-            aborts: inner.aborts,
+            aborts: shared.aborts.into_inner(),
+            stats,
         }
     }
 
-    fn worker(&self, shared: &Shared<'_>, block_env: &BlockEnv) {
+    /// Pops the next ready entry: own deque first, then the injector, then
+    /// stealing from the other workers.
+    fn next_entry(
+        &self,
+        shared: &Shared<'_>,
+        local: &Worker<ReadyEntry>,
+        index: usize,
+    ) -> Option<ReadyEntry> {
+        if let Some(entry) = local.pop() {
+            return Some(entry);
+        }
         loop {
-            let (tx, generation) = {
-                let mut inner = shared.inner.lock();
-                loop {
-                    if inner.finished == shared.txs.len() {
-                        shared.cond.notify_all();
-                        return;
-                    }
-                    // Pop the next live ready entry.
-                    let mut popped = None;
-                    while let Some((tx, generation)) = inner.ready.pop_front() {
-                        if inner.slots[tx].generation == generation
-                            && inner.slots[tx].phase == Phase::Ready
-                        {
-                            popped = Some((tx, generation));
-                            break;
+            match shared.injector.steal() {
+                Steal::Success(entry) => return Some(entry),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+        for (i, stealer) in shared.stealers.iter().enumerate() {
+            if i == index {
+                continue;
+            }
+            if let Steal::Success(entry) = stealer.steal() {
+                shared.stats.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(entry);
+            }
+        }
+        None
+    }
+
+    fn worker(
+        &self,
+        shared: &Shared<'_>,
+        block_env: &BlockEnv,
+        local: Worker<ReadyEntry>,
+        index: usize,
+    ) {
+        let n = shared.txs.len();
+        loop {
+            if shared.finished.load(Ordering::SeqCst) == n {
+                shared.idle_event.signal();
+                return;
+            }
+            if let Some((tx, generation)) = self.next_entry(shared, &local, index) {
+                shared.ready_count.fetch_sub(1, Ordering::SeqCst);
+                let run = {
+                    let mut core = shared.states[tx].core.lock();
+                    if shared.generation_of(tx) != generation || core.phase != Phase::Ready {
+                        false // stale queue entry
+                    } else {
+                        core.phase = Phase::Running;
+                        core.attempts += 1;
+                        if core.attempts > self.config.max_attempts {
+                            // Bug guard: finalize as interrupted rather
+                            // than spinning forever. Increment under the
+                            // core lock, like every finish.
+                            core.phase = Phase::Finished;
+                            core.status = Some(ExecStatus::Interrupted);
+                            let done = shared.finished.fetch_add(1, Ordering::SeqCst) + 1;
+                            if done == n {
+                                shared.idle_event.signal();
+                            }
+                            false
+                        } else {
+                            true
                         }
                     }
-                    if let Some((tx, generation)) = popped {
-                        inner.slots[tx].phase = Phase::Running;
-                        inner.slots[tx].attempts += 1;
-                        if inner.slots[tx].attempts > self.config.max_attempts {
-                            // Bug guard: finalize as interrupted rather than
-                            // spinning forever.
-                            inner.slots[tx].phase = Phase::Finished;
-                            inner.slots[tx].status = Some(ExecStatus::Interrupted);
-                            inner.finished += 1;
-                            continue;
-                        }
-                        break (tx, generation);
-                    }
-                    // Self-heal: re-check all waiting transactions before
-                    // idling (guards against lost wakeups).
-                    let mut admitted = false;
-                    for i in 0..shared.txs.len() {
-                        admitted |= inner.admit_if_ready(i, shared.csags, shared.snapshot);
-                    }
-                    if admitted {
-                        continue;
-                    }
-                    inner.idle += 1;
-                    shared.cond.wait(&mut inner);
-                    inner.idle -= 1;
+                };
+                if run {
+                    self.run_attempt(shared, block_env, tx, generation, &local);
                 }
-            };
-            self.run_attempt(shared, block_env, tx, generation);
+                continue;
+            }
+            // Self-heal: re-check all waiting transactions before idling
+            // (covers admissions whose `allowed` effect never fired, e.g.
+            // dynamically discovered keys).
+            let mut admitted = false;
+            for i in 0..n {
+                admitted |= shared.try_admit(i, Some(&local));
+            }
+            if admitted {
+                continue;
+            }
+            let seen = shared.idle_event.epoch();
+            // Re-check for work after sampling the epoch: a push between
+            // the failed pop above and here would otherwise be sleepable.
+            if shared.ready_count.load(Ordering::SeqCst) > 0
+                || shared.finished.load(Ordering::SeqCst) == n
+            {
+                continue;
+            }
+            shared.idle.fetch_add(1, Ordering::SeqCst);
+            shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            shared.idle_event.wait_while(seen, IDLE_PARK);
+            shared.idle.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
-    fn run_attempt(&self, shared: &Shared<'_>, block_env: &BlockEnv, tx: usize, generation: u32) {
+    fn run_attempt(
+        &self,
+        shared: &Shared<'_>,
+        block_env: &BlockEnv,
+        tx: usize,
+        generation: u32,
+        local: &Worker<ReadyEntry>,
+    ) {
         let transaction = &shared.txs[tx];
         let csag = &shared.csags[tx];
         let release_bounds: HashMap<usize, u64> = csag
@@ -515,6 +877,7 @@ impl ParallelExecutor {
 
         let mut host = ThreadHost {
             shared,
+            local: Some(local),
             tx,
             generation,
             writes: BTreeMap::new(),
@@ -554,24 +917,19 @@ impl ParallelExecutor {
             },
         };
 
-        let mut inner = shared.inner.lock();
-        if inner.slots[tx].generation != generation {
-            // Aborted while running: nothing to finalize; the abort already
-            // rolled back any published versions.
-            shared.cond.notify_all();
+        if host.stale() {
+            // Aborted while running: nothing to finalize; the abort
+            // already rolled back any published versions.
             return;
         }
         match status {
-            ExecStatus::Success => finalize_success(&mut inner, &mut host, shared),
+            ExecStatus::Success => finalize_success(&mut host),
             ExecStatus::Interrupted => {
                 // The host returned Aborted (stale generation or deadlock
-                // yield); abort_tx already handled the bookkeeping.
+                // yield); abort_cascade already handled the bookkeeping.
             }
-            deterministic => {
-                finalize_deterministic_abort(&mut inner, &mut host, shared, deterministic)
-            }
+            deterministic => finalize_deterministic_abort(&mut host, deterministic),
         }
-        shared.cond.notify_all();
     }
 
     /// Pure Ether transfer executed directly against the sequences.
@@ -595,48 +953,64 @@ impl ParallelExecutor {
 }
 
 /// Publishes remaining writes, drops unfulfilled predictions, marks done.
-fn finalize_success(inner: &mut Inner, host: &mut ThreadHost<'_, '_>, shared: &Shared<'_>) {
+fn finalize_success(host: &mut ThreadHost<'_, '_>) {
+    let shared = host.shared;
     let tx = host.tx;
     for (key, value) in std::mem::take(&mut host.writes) {
-        host.publish_key(inner, key, value, false);
+        if host.publish_key(key, value, false).is_err() {
+            return;
+        }
     }
     for (key, delta) in std::mem::take(&mut host.adds) {
-        host.publish_key(inner, key, delta, true);
+        if host.publish_key(key, delta, true).is_err() {
+            return;
+        }
     }
     // Predicted writes that never materialized: drop so readers pass
     // through (mispredicted branch).
+    let published = {
+        let core = shared.states[tx].core.lock();
+        if host.stale() {
+            return;
+        }
+        core.published.clone()
+    };
     let predicted: Vec<StateKey> = shared.csags[tx]
         .writes
         .union(&shared.csags[tx].adds)
         .copied()
         .collect();
     for key in predicted {
-        if !inner.slots[tx].published.contains(&key) {
-            let effect = inner.sequences.sequence_mut(key).drop_version(tx);
-            inner.apply_effect(effect, shared.csags, shared.snapshot);
+        if !published.contains(&key) {
+            if host.stale() {
+                return;
+            }
+            host.drop_key(key);
         }
     }
-    inner.slots[tx].phase = Phase::Finished;
-    inner.slots[tx].status = Some(ExecStatus::Success);
-    inner.finished += 1;
+    shared.finish(tx, host.generation, ExecStatus::Success);
 }
 
 /// Rolls back a deterministic abort (revert / out-of-gas / code fault):
 /// buffered writes are discarded; versions already published early are
 /// dropped, cascading aborts to their readers (paper §IV-F case 2).
-fn finalize_deterministic_abort(
-    inner: &mut Inner,
-    host: &mut ThreadHost<'_, '_>,
-    shared: &Shared<'_>,
-    status: ExecStatus,
-) {
+fn finalize_deterministic_abort(host: &mut ThreadHost<'_, '_>, status: ExecStatus) {
+    let shared = host.shared;
     let tx = host.tx;
     host.writes.clear();
     host.adds.clear();
-    let published: Vec<StateKey> = inner.slots[tx].published.drain().collect();
+    let published: Vec<StateKey> = {
+        let mut core = shared.states[tx].core.lock();
+        if host.stale() {
+            return;
+        }
+        core.published.drain().collect()
+    };
     for key in published {
-        let effect = inner.sequences.sequence_mut(key).drop_version(tx);
-        inner.apply_effect(effect, shared.csags, shared.snapshot);
+        if host.stale() {
+            return;
+        }
+        host.drop_key(key);
     }
     // Unfulfilled predictions unblock readers.
     let predicted: Vec<StateKey> = shared.csags[tx]
@@ -645,12 +1019,12 @@ fn finalize_deterministic_abort(
         .copied()
         .collect();
     for key in predicted {
-        let effect = inner.sequences.sequence_mut(key).drop_version(tx);
-        inner.apply_effect(effect, shared.csags, shared.snapshot);
+        if host.stale() {
+            return;
+        }
+        host.drop_key(key);
     }
-    inner.slots[tx].phase = Phase::Finished;
-    inner.slots[tx].status = Some(status);
-    inner.finished += 1;
+    shared.finish(tx, host.generation, status);
 }
 
 #[cfg(test)]
@@ -838,5 +1212,52 @@ mod tests {
                 .final_writes;
             assert_eq!(again, first);
         }
+    }
+
+    #[test]
+    fn default_config_uses_available_parallelism() {
+        let config = ParallelConfig::default();
+        let expected = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        assert_eq!(config.threads, expected);
+        assert!(config.threads >= 1);
+    }
+
+    #[test]
+    fn stats_track_attempts_and_publishes() {
+        let txs = vec![mint(900, 1, 100), transfer(1, 2, 30)];
+        let outcome = executor(2).execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        // At least one attempt per transaction, plus one re-execution per
+        // abort.
+        assert!(outcome.stats.attempts >= txs.len() as u64);
+        assert!(outcome.stats.publishes > 0);
+        // The sharded executor never broadcasts.
+        assert_eq!(outcome.stats.broadcast_wakeups, 0);
+    }
+
+    #[test]
+    fn matches_global_lock_executor() {
+        // Differential test between the two executor generations.
+        let txs: Vec<_> = (0..12)
+            .map(|i| {
+                if i % 3 == 0 {
+                    mint(900 + i, 1 + i % 4, 50)
+                } else {
+                    transfer(1 + (i + 1) % 4, 1 + i % 4, 3)
+                }
+            })
+            .collect();
+        let sharded = executor(4).execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        let global = crate::GlobalLockParallelExecutor::new(
+            Analyzer::new(registry()),
+            ParallelConfig {
+                threads: 4,
+                max_attempts: 64,
+            },
+        )
+        .execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        assert_eq!(sharded.final_writes, global.final_writes);
+        assert_eq!(sharded.statuses, global.statuses);
     }
 }

@@ -1,0 +1,735 @@
+//! The first-generation threaded executor: one global lock, broadcast
+//! wakeups.
+//!
+//! This is the baseline the sharded executor in [`crate::parallel`]
+//! replaces: every [`AccessSequences`] access serializes on a single mutex,
+//! every publish does `Condvar::notify_all`, and idle workers rescan the
+//! whole block for admissible transactions. It is kept (a) as the
+//! before-side of the `threaded_scaling` benchmark, so the lock-granularity
+//! comparison measures two real implementations rather than a remembered
+//! number, and (b) as a second, independently-derived executor for
+//! differential testing against the serial oracle.
+//!
+//! Protocol-wise it is identical to the sharded executor: Algorithm 1
+//! scheduling, Algorithm 2 release points, Algorithm 3 write versioning,
+//! Algorithm 4 cascading aborts.
+
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+use parking_lot::{Condvar, Mutex};
+
+use dmvcc_primitives::U256;
+use dmvcc_state::{Snapshot, StateKey, WriteSet};
+use dmvcc_vm::{execute, BlockEnv, ExecParams, ExecStatus, Host, HostError, Transaction, TxKind};
+
+use dmvcc_analysis::{Analyzer, CSag};
+
+use crate::access::{AccessOp, AccessSequences, ReadResolution, SourceList};
+use crate::parallel::{ExecutorStats, ParallelConfig, ParallelOutcome, Phase};
+
+#[derive(Debug)]
+struct TxSlot {
+    phase: Phase,
+    generation: u32,
+    attempts: u32,
+    status: Option<ExecStatus>,
+    /// Keys whose versions this tx materialized in the sequences during
+    /// the current attempt (for rollback on abort).
+    published: HashSet<StateKey>,
+    /// All keys this tx has entries for (predictions plus dynamic
+    /// insertions), so aborts can reset them.
+    touched: HashSet<StateKey>,
+}
+
+struct Inner {
+    sequences: AccessSequences,
+    slots: Vec<TxSlot>,
+    ready: VecDeque<(usize, u32)>,
+    finished: usize,
+    aborts: u64,
+    idle: usize,
+    blocked: usize,
+    stats: ExecutorStats,
+}
+
+struct Shared<'a> {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    snapshot: &'a Snapshot,
+    csags: &'a [CSag],
+    txs: &'a [Transaction],
+    config: ParallelConfig,
+}
+
+impl Shared<'_> {
+    /// Every wakeup in this executor is a broadcast to all sleepers —
+    /// that's the cost the sharded executor's targeted wakeups remove.
+    fn broadcast(&self, inner: &mut Inner) {
+        inner.stats.broadcast_wakeups += 1;
+        self.cond.notify_all();
+    }
+}
+
+impl Inner {
+    /// Checks whether all predicted reads of `tx` resolve right now.
+    fn is_ready(&self, tx: usize, csags: &[CSag], snapshot: &Snapshot) -> bool {
+        let csag = &csags[tx];
+        for key in &csag.reads {
+            if let Some(seq) = self.sequences.sequence(key) {
+                if matches!(
+                    seq.resolve_read(tx, key, snapshot),
+                    ReadResolution::Blocked { .. }
+                ) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Moves `tx` to the ready queue if its predicted reads resolve.
+    fn admit_if_ready(&mut self, tx: usize, csags: &[CSag], snapshot: &Snapshot) -> bool {
+        if self.slots[tx].phase != Phase::Waiting {
+            return false;
+        }
+        if !self.is_ready(tx, csags, snapshot) {
+            return false;
+        }
+        self.slots[tx].phase = Phase::Ready;
+        self.ready.push_back((tx, self.slots[tx].generation));
+        true
+    }
+
+    /// Aborts `tx` (Algorithm 4) and cascades to readers of its versions.
+    fn abort_tx(&mut self, tx: usize, csags: &[CSag], snapshot: &Snapshot) {
+        let mut worklist = vec![tx];
+        let mut seen = HashSet::new();
+        while let Some(victim) = worklist.pop() {
+            if !seen.insert(victim) {
+                continue;
+            }
+            if self.slots[victim].phase == Phase::Finished {
+                self.finished -= 1;
+            }
+            self.slots[victim].generation = self.slots[victim].generation.wrapping_add(1);
+            self.slots[victim].phase = Phase::Waiting;
+            self.slots[victim].status = None;
+            self.slots[victim].published.clear();
+            self.aborts += 1;
+            let touched: Vec<StateKey> = self.slots[victim].touched.iter().copied().collect();
+            for key in touched {
+                let effect = self.sequences.sequence_mut(key).reset(victim);
+                for reader in effect.aborted {
+                    if reader != victim && !seen.contains(&reader) {
+                        worklist.push(reader);
+                    }
+                }
+            }
+            self.admit_if_ready(victim, csags, snapshot);
+        }
+    }
+
+    /// Applies a version-write effect: wakes allowed waiters, aborts stale
+    /// readers.
+    fn apply_effect(
+        &mut self,
+        effect: crate::access::VersionWriteEffect,
+        csags: &[CSag],
+        snapshot: &Snapshot,
+    ) {
+        for reader in effect.aborted {
+            self.abort_tx(reader, csags, snapshot);
+        }
+        for reader in effect.allowed {
+            self.admit_if_ready(reader, csags, snapshot);
+        }
+    }
+}
+
+/// Host bridging one VM execution onto the shared sequences.
+struct ThreadHost<'a, 'b> {
+    shared: &'a Shared<'b>,
+    tx: usize,
+    generation: u32,
+    /// Buffered full writes and commutative deltas of this attempt.
+    writes: BTreeMap<StateKey, U256>,
+    adds: BTreeMap<StateKey, U256>,
+    /// `true` once a release point passed with sufficient gas.
+    released: bool,
+    /// pc → gas bound of this tx's release points.
+    release_bounds: HashMap<usize, u64>,
+    /// Keys may be published once execution is past their last predicted
+    /// write pc.
+    last_write_pc: &'a HashMap<StateKey, usize>,
+}
+
+impl ThreadHost<'_, '_> {
+    fn check_generation(&self, inner: &Inner) -> Result<(), HostError> {
+        if inner.slots[self.tx].generation != self.generation {
+            return Err(HostError::Aborted);
+        }
+        Ok(())
+    }
+
+    /// Publishes one buffered key into the sequences (assumes `inner`
+    /// locked and generation valid).
+    fn publish_key(&self, inner: &mut Inner, key: StateKey, value: U256, delta: bool) {
+        let effect = inner
+            .sequences
+            .sequence_mut(key)
+            .version_write(self.tx, value, delta);
+        inner.slots[self.tx].published.insert(key);
+        inner.slots[self.tx].touched.insert(key);
+        inner.stats.publishes += 1;
+        inner.apply_effect(effect, self.shared.csags, self.shared.snapshot);
+        self.shared.broadcast(inner);
+    }
+}
+
+impl Host for ThreadHost<'_, '_> {
+    fn sload(&mut self, key: StateKey) -> Result<U256, HostError> {
+        // Own writes win (read-your-writes inside the attempt).
+        if let Some(&v) = self.writes.get(&key) {
+            let merged = v.wrapping_add(self.adds.get(&key).copied().unwrap_or(U256::ZERO));
+            return Ok(merged);
+        }
+        let own_delta = self.adds.get(&key).copied().unwrap_or(U256::ZERO);
+        let mut inner = self.shared.inner.lock();
+        loop {
+            self.check_generation(&inner)?;
+            let resolution = match inner.sequences.sequence(&key) {
+                Some(seq) => seq.resolve_read(self.tx, &key, self.shared.snapshot),
+                None => ReadResolution::Ready {
+                    value: self.shared.snapshot.get(&key),
+                    sources: SourceList::new(),
+                },
+            };
+            match resolution {
+                ReadResolution::Ready { value, .. } => {
+                    inner.sequences.sequence_mut(key).mark_read(self.tx);
+                    inner.slots[self.tx].touched.insert(key);
+                    return Ok(value.wrapping_add(own_delta));
+                }
+                ReadResolution::Blocked { .. } => {
+                    // Deadlock breaker: if every worker is blocked or idle
+                    // while work sits in the queue, yield this execution so
+                    // the thread can run something else.
+                    inner.blocked += 1;
+                    if inner.blocked + inner.idle >= self.shared.config.threads
+                        && !inner.ready.is_empty()
+                    {
+                        inner.blocked -= 1;
+                        let (csags, snapshot) = (self.shared.csags, self.shared.snapshot);
+                        inner.abort_tx(self.tx, csags, snapshot);
+                        self.shared.broadcast(&mut inner);
+                        return Err(HostError::Aborted);
+                    }
+                    self.shared.cond.wait(&mut inner);
+                    inner.blocked -= 1;
+                }
+            }
+        }
+    }
+
+    fn sstore(&mut self, key: StateKey, value: U256) -> Result<(), HostError> {
+        self.adds.remove(&key);
+        self.writes.insert(key, value);
+        Ok(())
+    }
+
+    fn sadd(&mut self, key: StateKey, delta: U256) -> Result<(), HostError> {
+        if let Some(v) = self.writes.get_mut(&key) {
+            *v = v.wrapping_add(delta);
+        } else {
+            let entry = self.adds.entry(key).or_insert(U256::ZERO);
+            *entry = entry.wrapping_add(delta);
+        }
+        Ok(())
+    }
+
+    fn on_release_point(&mut self, pc: usize, gas_left: u64) {
+        if let Some(&bound) = self.release_bounds.get(&pc) {
+            if gas_left >= bound {
+                self.released = true;
+            }
+        }
+        if !self.released {
+            return;
+        }
+        // Publish buffered keys whose last predicted write is behind us
+        // (Algorithm 2: "no write of I in successor nodes").
+        let publishable: Vec<(StateKey, U256, bool)> = self
+            .writes
+            .iter()
+            .map(|(k, v)| (*k, *v, false))
+            .chain(self.adds.iter().map(|(k, v)| (*k, *v, true)))
+            .filter(|(k, _, _)| self.last_write_pc.get(k).is_some_and(|&last| last < pc))
+            .collect();
+        if publishable.is_empty() {
+            return;
+        }
+        let mut inner = self.shared.inner.lock();
+        if self.check_generation(&inner).is_err() {
+            return; // the VM unwinds at the next state access
+        }
+        for (key, value, delta) in publishable {
+            self.publish_key(&mut inner, key, value, delta);
+            self.writes.remove(&key);
+            self.adds.remove(&key);
+        }
+    }
+}
+
+/// The global-lock threaded executor (see module docs for why it exists).
+///
+/// # Examples
+///
+/// ```
+/// use dmvcc_primitives::{Address, U256};
+/// use dmvcc_state::{Snapshot, StateKey};
+/// use dmvcc_vm::{CodeRegistry, Transaction};
+/// use dmvcc_analysis::Analyzer;
+/// use dmvcc_core::{GlobalLockParallelExecutor, ParallelConfig};
+///
+/// let analyzer = Analyzer::new(CodeRegistry::default());
+/// let executor = GlobalLockParallelExecutor::new(analyzer, ParallelConfig::default());
+/// let a = Address::from_u64(1);
+/// let snapshot = Snapshot::from_entries([(StateKey::balance(a), U256::from(10u64))]);
+/// let block = vec![Transaction::transfer(a, Address::from_u64(2), U256::ONE)];
+/// let outcome = executor.execute_block(&block, &snapshot, &Default::default());
+/// assert_eq!(outcome.final_writes.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalLockParallelExecutor {
+    analyzer: Analyzer,
+    config: ParallelConfig,
+}
+
+impl GlobalLockParallelExecutor {
+    /// Creates an executor over the given analyzer (contract registry).
+    pub fn new(analyzer: Analyzer, config: ParallelConfig) -> Self {
+        GlobalLockParallelExecutor { analyzer, config }
+    }
+
+    /// The analyzer in use.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Executes a block in parallel, returning the final write set (equal
+    /// to the serial one, per Theorem 1) plus abort statistics.
+    pub fn execute_block(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+    ) -> ParallelOutcome {
+        let csags: Vec<CSag> = txs
+            .iter()
+            .map(|tx| self.analyzer.csag(tx, snapshot, block_env))
+            .collect();
+        self.execute_block_with_csags(txs, snapshot, block_env, &csags)
+    }
+
+    /// Executes a block with precomputed C-SAGs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `csags.len() != txs.len()`.
+    pub fn execute_block_with_csags(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+        csags: &[CSag],
+    ) -> ParallelOutcome {
+        assert_eq!(csags.len(), txs.len(), "one C-SAG per transaction");
+        let n = txs.len();
+        if n == 0 {
+            return ParallelOutcome {
+                final_writes: WriteSet::new(),
+                statuses: Vec::new(),
+                aborts: 0,
+                stats: ExecutorStats::default(),
+            };
+        }
+
+        // Build predicted sequences (the preprocessing of §IV-A).
+        let mut sequences = AccessSequences::new();
+        for (i, csag) in csags.iter().enumerate() {
+            for key in &csag.reads {
+                sequences.sequence_mut(*key).predict(i, AccessOp::Read);
+            }
+            for key in &csag.writes {
+                sequences.sequence_mut(*key).predict(i, AccessOp::Write);
+            }
+            for key in &csag.adds {
+                sequences.sequence_mut(*key).predict(i, AccessOp::Add);
+            }
+        }
+        let slots = (0..n)
+            .map(|i| TxSlot {
+                phase: Phase::Waiting,
+                generation: 0,
+                attempts: 0,
+                status: None,
+                published: HashSet::new(),
+                touched: csags[i].touched().into_iter().collect(),
+            })
+            .collect();
+
+        let mut inner = Inner {
+            sequences,
+            slots,
+            ready: VecDeque::new(),
+            finished: 0,
+            aborts: 0,
+            idle: 0,
+            blocked: 0,
+            stats: ExecutorStats::default(),
+        };
+        // Initial admission (Algorithm 1 line 1).
+        for i in 0..n {
+            inner.admit_if_ready(i, csags, snapshot);
+        }
+
+        let shared = Shared {
+            inner: Mutex::new(inner),
+            cond: Condvar::new(),
+            snapshot,
+            csags,
+            txs,
+            config: self.config,
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.threads {
+                scope.spawn(|| self.worker(&shared, block_env));
+            }
+        });
+
+        let inner = shared.inner.into_inner();
+        let final_writes = inner.sequences.final_writes(snapshot);
+        let statuses = inner
+            .slots
+            .iter()
+            .map(|s| s.status.clone().unwrap_or(ExecStatus::Interrupted))
+            .collect();
+        let mut stats = inner.stats;
+        stats.attempts = inner.slots.iter().map(|s| s.attempts as u64).sum();
+        ParallelOutcome {
+            final_writes,
+            statuses,
+            aborts: inner.aborts,
+            stats,
+        }
+    }
+
+    fn worker(&self, shared: &Shared<'_>, block_env: &BlockEnv) {
+        loop {
+            let (tx, generation) = {
+                let mut inner = shared.inner.lock();
+                loop {
+                    if inner.finished == shared.txs.len() {
+                        shared.broadcast(&mut inner);
+                        return;
+                    }
+                    // Pop the next live ready entry.
+                    let mut popped = None;
+                    while let Some((tx, generation)) = inner.ready.pop_front() {
+                        if inner.slots[tx].generation == generation
+                            && inner.slots[tx].phase == Phase::Ready
+                        {
+                            popped = Some((tx, generation));
+                            break;
+                        }
+                    }
+                    if let Some((tx, generation)) = popped {
+                        inner.slots[tx].phase = Phase::Running;
+                        inner.slots[tx].attempts += 1;
+                        if inner.slots[tx].attempts > self.config.max_attempts {
+                            // Bug guard: finalize as interrupted rather than
+                            // spinning forever.
+                            inner.slots[tx].phase = Phase::Finished;
+                            inner.slots[tx].status = Some(ExecStatus::Interrupted);
+                            inner.finished += 1;
+                            continue;
+                        }
+                        break (tx, generation);
+                    }
+                    // Self-heal: re-check all waiting transactions before
+                    // idling (guards against lost wakeups).
+                    let mut admitted = false;
+                    for i in 0..shared.txs.len() {
+                        admitted |= inner.admit_if_ready(i, shared.csags, shared.snapshot);
+                    }
+                    if admitted {
+                        continue;
+                    }
+                    inner.idle += 1;
+                    inner.stats.parks += 1;
+                    shared.cond.wait(&mut inner);
+                    inner.idle -= 1;
+                }
+            };
+            self.run_attempt(shared, block_env, tx, generation);
+        }
+    }
+
+    fn run_attempt(&self, shared: &Shared<'_>, block_env: &BlockEnv, tx: usize, generation: u32) {
+        let transaction = &shared.txs[tx];
+        let csag = &shared.csags[tx];
+        let release_bounds: HashMap<usize, u64> = csag
+            .release_points
+            .iter()
+            .map(|rp| (rp.pc, rp.gas_bound))
+            .collect();
+        // Fire callbacks at release points and right after each key's last
+        // predicted write, so publication happens as early as Algorithm 2
+        // allows.
+        let mut release_set: HashSet<usize> = release_bounds.keys().copied().collect();
+        for &pc in csag.last_write_pc.values() {
+            release_set.insert(pc.saturating_add(1));
+        }
+
+        let mut host = ThreadHost {
+            shared,
+            tx,
+            generation,
+            writes: BTreeMap::new(),
+            adds: BTreeMap::new(),
+            released: false,
+            release_bounds,
+            last_write_pc: &csag.last_write_pc,
+        };
+        // Entry release point: the transaction cannot abort at all.
+        if let Some(rp) = csag.release_points.first() {
+            if rp.pc == 0
+                && transaction
+                    .env
+                    .gas_limit
+                    .saturating_sub(dmvcc_vm::INTRINSIC_GAS)
+                    >= rp.gas_bound
+            {
+                host.released = true;
+            }
+        }
+
+        let status = match transaction.kind {
+            TxKind::Transfer => self.run_transfer(&mut host, transaction),
+            TxKind::Call => match self.analyzer.registry().code(&transaction.to()) {
+                Some(code) => {
+                    let params = ExecParams {
+                        code: &code,
+                        tx: &transaction.env,
+                        block: block_env,
+                        release_points: Some(&release_set),
+                        registry: Some(self.analyzer.registry()),
+                    };
+                    execute(&params, &mut host).status
+                }
+                // Unknown contract: nothing to execute, trivial success.
+                None => ExecStatus::Success,
+            },
+        };
+
+        let mut inner = shared.inner.lock();
+        if inner.slots[tx].generation != generation {
+            // Aborted while running: nothing to finalize; the abort already
+            // rolled back any published versions.
+            shared.broadcast(&mut inner);
+            return;
+        }
+        match status {
+            ExecStatus::Success => finalize_success(&mut inner, &mut host, shared),
+            ExecStatus::Interrupted => {
+                // The host returned Aborted (stale generation or deadlock
+                // yield); abort_tx already handled the bookkeeping.
+            }
+            deterministic => {
+                finalize_deterministic_abort(&mut inner, &mut host, shared, deterministic)
+            }
+        }
+        shared.broadcast(&mut inner);
+    }
+
+    /// Pure Ether transfer executed directly against the sequences.
+    fn run_transfer(&self, host: &mut ThreadHost<'_, '_>, tx: &Transaction) -> ExecStatus {
+        let from = StateKey::balance(tx.sender());
+        let to = StateKey::balance(tx.to());
+        let balance = match host.sload(from) {
+            Ok(v) => v,
+            Err(HostError::Aborted) => return ExecStatus::Interrupted,
+        };
+        if balance < tx.env.value {
+            return ExecStatus::Reverted;
+        }
+        if host.sstore(from, balance - tx.env.value).is_err()
+            || host.sadd(to, tx.env.value).is_err()
+        {
+            return ExecStatus::Interrupted;
+        }
+        ExecStatus::Success
+    }
+}
+
+/// Publishes remaining writes, drops unfulfilled predictions, marks done.
+fn finalize_success(inner: &mut Inner, host: &mut ThreadHost<'_, '_>, shared: &Shared<'_>) {
+    let tx = host.tx;
+    for (key, value) in std::mem::take(&mut host.writes) {
+        host.publish_key(inner, key, value, false);
+    }
+    for (key, delta) in std::mem::take(&mut host.adds) {
+        host.publish_key(inner, key, delta, true);
+    }
+    // Predicted writes that never materialized: drop so readers pass
+    // through (mispredicted branch).
+    let predicted: Vec<StateKey> = shared.csags[tx]
+        .writes
+        .union(&shared.csags[tx].adds)
+        .copied()
+        .collect();
+    for key in predicted {
+        if !inner.slots[tx].published.contains(&key) {
+            let effect = inner.sequences.sequence_mut(key).drop_version(tx);
+            inner.apply_effect(effect, shared.csags, shared.snapshot);
+        }
+    }
+    inner.slots[tx].phase = Phase::Finished;
+    inner.slots[tx].status = Some(ExecStatus::Success);
+    inner.finished += 1;
+}
+
+/// Rolls back a deterministic abort (revert / out-of-gas / code fault):
+/// buffered writes are discarded; versions already published early are
+/// dropped, cascading aborts to their readers (paper §IV-F case 2).
+fn finalize_deterministic_abort(
+    inner: &mut Inner,
+    host: &mut ThreadHost<'_, '_>,
+    shared: &Shared<'_>,
+    status: ExecStatus,
+) {
+    let tx = host.tx;
+    host.writes.clear();
+    host.adds.clear();
+    let published: Vec<StateKey> = inner.slots[tx].published.drain().collect();
+    for key in published {
+        let effect = inner.sequences.sequence_mut(key).drop_version(tx);
+        inner.apply_effect(effect, shared.csags, shared.snapshot);
+    }
+    // Unfulfilled predictions unblock readers.
+    let predicted: Vec<StateKey> = shared.csags[tx]
+        .writes
+        .union(&shared.csags[tx].adds)
+        .copied()
+        .collect();
+    for key in predicted {
+        let effect = inner.sequences.sequence_mut(key).drop_version(tx);
+        inner.apply_effect(effect, shared.csags, shared.snapshot);
+    }
+    inner.slots[tx].phase = Phase::Finished;
+    inner.slots[tx].status = Some(status);
+    inner.finished += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::Address;
+    use dmvcc_vm::{calldata, contracts, CodeRegistry, TxEnv};
+
+    const TOKEN: u64 = 800;
+    const COUNTER: u64 = 801;
+
+    fn registry() -> CodeRegistry {
+        CodeRegistry::builder()
+            .deploy(Address::from_u64(TOKEN), contracts::token())
+            .deploy(Address::from_u64(COUNTER), contracts::counter())
+            .build()
+    }
+
+    fn executor(threads: usize) -> GlobalLockParallelExecutor {
+        GlobalLockParallelExecutor::new(
+            Analyzer::new(registry()),
+            ParallelConfig {
+                threads,
+                max_attempts: 64,
+            },
+        )
+    }
+
+    fn mint(caller: u64, to: u64, amount: u64) -> Transaction {
+        Transaction::call(TxEnv::call(
+            Address::from_u64(caller),
+            Address::from_u64(TOKEN),
+            calldata(
+                contracts::token_fn::MINT,
+                &[Address::from_u64(to).to_u256(), U256::from(amount)],
+            ),
+        ))
+    }
+
+    fn transfer(caller: u64, to: u64, amount: u64) -> Transaction {
+        Transaction::call(TxEnv::call(
+            Address::from_u64(caller),
+            Address::from_u64(TOKEN),
+            calldata(
+                contracts::token_fn::TRANSFER,
+                &[Address::from_u64(to).to_u256(), U256::from(amount)],
+            ),
+        ))
+    }
+
+    fn check_equivalence(txs: Vec<Transaction>, snapshot: Snapshot, threads: usize) {
+        let analyzer = Analyzer::new(registry());
+        let expected =
+            crate::oracle::execute_block_serial(&txs, &snapshot, &analyzer, &BlockEnv::default())
+                .final_writes;
+        let outcome = executor(threads).execute_block(&txs, &snapshot, &BlockEnv::default());
+        assert_eq!(
+            outcome.final_writes, expected,
+            "global-lock result diverged from serial"
+        );
+    }
+
+    #[test]
+    fn independent_mints_match_serial() {
+        let txs: Vec<_> = (0..16).map(|i| mint(900 + i, 10 + i, 5)).collect();
+        check_equivalence(txs, Snapshot::empty(), 4);
+    }
+
+    #[test]
+    fn dependent_chain_matches_serial() {
+        let txs = vec![
+            mint(900, 1, 100),
+            transfer(1, 2, 30),
+            transfer(2, 3, 10),
+            transfer(3, 4, 5),
+        ];
+        check_equivalence(txs, Snapshot::empty(), 4);
+    }
+
+    #[test]
+    fn hot_counter_contention_matches_serial() {
+        let txs: Vec<_> = (0..20)
+            .map(|i| {
+                Transaction::call(TxEnv::call(
+                    Address::from_u64(900 + i),
+                    Address::from_u64(COUNTER),
+                    calldata(contracts::counter_fn::INCREMENT_CHECKED, &[]),
+                ))
+            })
+            .collect();
+        check_equivalence(txs, Snapshot::empty(), 4);
+    }
+
+    #[test]
+    fn publishes_count_broadcast_wakeups() {
+        let txs = vec![mint(900, 1, 100), transfer(1, 2, 30)];
+        let outcome = executor(2).execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        assert!(outcome.stats.publishes > 0);
+        // Every publish broadcasts, and finalization broadcasts again.
+        assert!(outcome.stats.broadcast_wakeups >= outcome.stats.publishes);
+        assert_eq!(outcome.stats.targeted_wakeups, 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Sharded access sequences: per-key locking for the threaded executor.
+//!
+//! The first-generation executor kept every [`AccessSequence`] behind one
+//! global mutex, so two transactions touching disjoint state items still
+//! serialized on the same lock. This module spreads the sequences over `N`
+//! power-of-two shards, each a `parking_lot::Mutex` over a plain `HashMap`,
+//! with the shard chosen by the [`StateKey`] hash. Transactions touching
+//! different shards proceed fully in parallel; the global lock only
+//! reappears for keys that genuinely collide.
+//!
+//! Each shard also carries the *reverse waiter index* for its keys: the set
+//! of transactions whose read is currently blocked on a pending version of
+//! that key. A publisher drains exactly those waiters under the same lock
+//! hold that makes the version visible, which is what lets the executor
+//! wake only the transactions that can actually make progress instead of
+//! broadcasting on a global condition variable.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::{Mutex, MutexGuard};
+
+use dmvcc_state::{Snapshot, StateKey, WriteSet};
+
+use crate::access::{AccessOp, AccessSequence};
+
+/// Default shard count. Sixteen shards keep the collision probability low
+/// for realistic working sets (a few hundred hot keys) while the array of
+/// mutexes still fits comfortably in cache.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// One shard: the sequences of the keys that hash here, plus the blocked
+/// readers per key.
+#[derive(Debug, Default)]
+pub struct Shard {
+    sequences: HashMap<StateKey, AccessSequence>,
+    waiters: HashMap<StateKey, Vec<usize>>,
+}
+
+impl Shard {
+    /// The sequence for `key`, creating it on first use.
+    pub fn sequence_mut(&mut self, key: StateKey) -> &mut AccessSequence {
+        self.sequences.entry(key).or_default()
+    }
+
+    /// The sequence for `key`, if any access was recorded or predicted.
+    pub fn sequence(&self, key: &StateKey) -> Option<&AccessSequence> {
+        self.sequences.get(key)
+    }
+
+    /// Records that `tx`'s read is blocked on `key`. The registration must
+    /// happen under the same lock hold as the failed resolve, so a
+    /// concurrent publisher either sees the waiter or has already made the
+    /// version visible to the retry.
+    pub fn register_waiter(&mut self, key: StateKey, tx: usize) {
+        let list = self.waiters.entry(key).or_default();
+        if !list.contains(&tx) {
+            list.push(tx);
+        }
+    }
+
+    /// Removes and returns the transactions blocked on `key`, if any.
+    pub fn drain_waiters(&mut self, key: &StateKey) -> Vec<usize> {
+        self.waiters.remove(key).unwrap_or_default()
+    }
+
+    /// Drops a waiter registration (the reader gave up, e.g. self-abort).
+    pub fn unregister_waiter(&mut self, key: &StateKey, tx: usize) {
+        if let Some(list) = self.waiters.get_mut(key) {
+            list.retain(|&t| t != tx);
+            if list.is_empty() {
+                self.waiters.remove(key);
+            }
+        }
+    }
+
+    /// `true` if any transaction is blocked on `key`.
+    pub fn has_waiters(&self, key: &StateKey) -> bool {
+        self.waiters.get(key).is_some_and(|l| !l.is_empty())
+    }
+}
+
+/// All access sequences of one block, spread over hash-addressed shards.
+#[derive(Debug)]
+pub struct ShardedSequences {
+    shards: Vec<Mutex<Shard>>,
+    mask: usize,
+}
+
+impl ShardedSequences {
+    /// Creates an empty set with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> Self {
+        ShardedSequences::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty set with at least `shards` shards (rounded up to a
+    /// power of two so the shard index is a mask, not a modulo).
+    pub fn with_shards(shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        ShardedSequences {
+            shards: (0..count).map(|_| Mutex::new(Shard::default())).collect(),
+            mask: count - 1,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_index(&self, key: &StateKey) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish() as usize & self.mask
+    }
+
+    /// Locks and returns the shard owning `key`. Callers must not acquire
+    /// a second shard lock while holding the guard.
+    pub fn shard(&self, key: &StateKey) -> MutexGuard<'_, Shard> {
+        self.shards[self.shard_index(key)].lock()
+    }
+
+    /// `true` when `a` and `b` live in the same shard (and thus contend on
+    /// the same lock even though the keys differ).
+    pub fn same_shard(&self, a: &StateKey, b: &StateKey) -> bool {
+        self.shard_index(a) == self.shard_index(b)
+    }
+
+    /// Registers a predicted access (preprocessing; single-threaded).
+    pub fn predict(&self, key: StateKey, tx: usize, op: AccessOp) {
+        self.shard(&key).sequence_mut(key).predict(tx, op);
+    }
+
+    /// The commit-phase flush: the final write of every sequence across all
+    /// shards, merged into one sorted [`WriteSet`]. Semantically identical
+    /// to [`crate::AccessSequences::final_writes`].
+    pub fn final_writes(&self, snapshot: &Snapshot) -> WriteSet {
+        let mut writes = WriteSet::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (key, sequence) in &shard.sequences {
+                if let Some(value) = sequence.final_value(key, snapshot) {
+                    if value != snapshot.get(key) {
+                        writes.insert(*key, value);
+                    }
+                }
+            }
+        }
+        writes
+    }
+}
+
+impl Default for ShardedSequences {
+    fn default() -> Self {
+        ShardedSequences::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessSequences;
+    use dmvcc_primitives::{Address, U256};
+    use proptest::prelude::*;
+
+    fn key(i: u64) -> StateKey {
+        StateKey::storage(Address::from_u64(1 + i % 3), U256::from(i))
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(ShardedSequences::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedSequences::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedSequences::with_shards(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn same_key_always_same_shard() {
+        let sharded = ShardedSequences::new();
+        for i in 0..64 {
+            assert!(sharded.same_shard(&key(i), &key(i)));
+        }
+    }
+
+    #[test]
+    fn waiters_register_dedup_and_drain() {
+        let sharded = ShardedSequences::new();
+        let k = key(1);
+        {
+            let mut shard = sharded.shard(&k);
+            shard.register_waiter(k, 3);
+            shard.register_waiter(k, 5);
+            shard.register_waiter(k, 3);
+            assert!(shard.has_waiters(&k));
+        }
+        {
+            let mut shard = sharded.shard(&k);
+            shard.unregister_waiter(&k, 5);
+            assert_eq!(shard.drain_waiters(&k), vec![3]);
+            assert!(!shard.has_waiters(&k));
+            assert!(shard.drain_waiters(&k).is_empty());
+        }
+    }
+
+    /// One random operation against both representations.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Predict(u8),
+        MarkRead,
+        VersionWrite(u64, bool),
+        DropVersion,
+        Reset,
+    }
+
+    fn apply(op: Op, tx: usize, seq: &mut AccessSequence) {
+        match op {
+            Op::Predict(o) => {
+                let op = match o % 4 {
+                    0 => AccessOp::Read,
+                    1 => AccessOp::Write,
+                    2 => AccessOp::ReadWrite,
+                    _ => AccessOp::Add,
+                };
+                seq.predict(tx, op);
+            }
+            Op::MarkRead => seq.mark_read(tx),
+            Op::VersionWrite(v, delta) => {
+                seq.version_write(tx, U256::from(v), delta);
+            }
+            Op::DropVersion => {
+                seq.drop_version(tx);
+            }
+            Op::Reset => {
+                seq.reset(tx);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig {
+            cases: 64,
+            .. ProptestConfig::default()
+        })]
+
+        /// Sharding is a pure partitioning of the key space: replaying any
+        /// operation stream against [`ShardedSequences`] and the flat
+        /// [`AccessSequences`] yields identical final write sets and
+        /// identical per-key read resolutions.
+        #[test]
+        fn sharded_equals_unsharded(
+            ops in prop::collection::vec(
+                (0u64..12, 0usize..8, 0u8..5, 0u8..4, 0u64..100, any::<bool>()),
+                1..80,
+            ),
+        ) {
+            let snapshot = Snapshot::from_entries(
+                (0..12).map(|i| (key(i), U256::from(1000 + i))),
+            );
+            let mut flat = AccessSequences::new();
+            let sharded = ShardedSequences::with_shards(4);
+            for (k, tx, opcode, predict_op, value, delta) in ops {
+                let op = match opcode {
+                    0 => Op::Predict(predict_op),
+                    1 => Op::MarkRead,
+                    2 => Op::VersionWrite(value, delta),
+                    3 => Op::DropVersion,
+                    _ => Op::Reset,
+                };
+                let state_key = key(k);
+                apply(op, tx, flat.sequence_mut(state_key));
+                apply(op, tx, sharded.shard(&state_key).sequence_mut(state_key));
+            }
+            prop_assert_eq!(sharded.final_writes(&snapshot), flat.final_writes(&snapshot));
+            for k in 0..12 {
+                let state_key = key(k);
+                for tx in 0..8 {
+                    let flat_resolution = flat
+                        .sequence(&state_key)
+                        .map(|s| s.resolve_read(tx, &state_key, &snapshot));
+                    let sharded_resolution = sharded
+                        .shard(&state_key)
+                        .sequence(&state_key)
+                        .map(|s| s.resolve_read(tx, &state_key, &snapshot));
+                    prop_assert_eq!(&flat_resolution, &sharded_resolution);
+                }
+            }
+        }
+    }
+}

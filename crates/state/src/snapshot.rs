@@ -1,10 +1,19 @@
-//! Immutable state snapshots.
+//! Immutable state snapshots with copy-on-write block application.
 //!
 //! The paper (§II-A) defines `S^l` as the blockchain state after executing
 //! all transactions up to block `l`; executors always read "the latest
 //! snapshot `S^{l-1}`" when a state item has no earlier write in the block.
 //! A [`Snapshot`] is therefore immutable and cheap to share across the many
 //! concurrent EVM instances of a block execution.
+//!
+//! [`Snapshot::apply`] is copy-on-write: instead of cloning the full state
+//! map per block (O(state) work and memory for a block that wrote a handful
+//! of keys), the new snapshot layers the block's writes as an overlay over
+//! the `Arc`-shared parent state. Reads scan overlays newest → oldest and
+//! fall through to the base; a zero value in an overlay is a tombstone
+//! (EVM storage-clearing), indistinguishable from absence as required.
+//! After [`MAX_OVERLAYS`] layers the chain is flattened into a fresh base
+//! so read cost stays O(1) amortized rather than growing with chain length.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -17,10 +26,17 @@ use crate::StateKey;
 /// deterministically so that applying it is order-independent.
 pub type WriteSet = BTreeMap<StateKey, U256>;
 
+/// Overlay depth at which [`Snapshot::apply`] flattens the layer chain back
+/// into a single base map. Small enough that a read never scans more than a
+/// handful of maps, large enough that flattening cost is amortized over
+/// many cheap block applications.
+const MAX_OVERLAYS: usize = 8;
+
 /// An immutable point-in-time view of all state items.
 ///
 /// Missing keys read as zero, mirroring EVM storage semantics. Cloning is
-/// O(1) (the map is behind an [`Arc`]).
+/// O(overlays) `Arc` bumps; [`Snapshot::apply`] is O(block writes), not
+/// O(total state).
 ///
 /// # Examples
 ///
@@ -35,7 +51,10 @@ pub type WriteSet = BTreeMap<StateKey, U256>;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
-    entries: Arc<HashMap<StateKey, U256>>,
+    /// The flattened bottom layer. Never contains zero values.
+    base: Arc<HashMap<StateKey, U256>>,
+    /// Write layers, oldest → newest. Zero values are tombstones.
+    overlays: Vec<Arc<HashMap<StateKey, U256>>>,
     height: u64,
 }
 
@@ -55,29 +74,39 @@ impl Snapshot {
         let map: HashMap<StateKey, U256> =
             entries.into_iter().filter(|(_, v)| !v.is_zero()).collect();
         Snapshot {
-            entries: Arc::new(map),
+            base: Arc::new(map),
+            overlays: Vec::new(),
             height: 0,
         }
     }
 
     /// Reads a state item; absent keys are zero.
     pub fn get(&self, key: &StateKey) -> U256 {
-        self.entries.get(key).copied().unwrap_or(U256::ZERO)
+        for overlay in self.overlays.iter().rev() {
+            if let Some(&value) = overlay.get(key) {
+                return value; // a stored zero is a tombstone — reads as zero
+            }
+        }
+        self.base.get(key).copied().unwrap_or(U256::ZERO)
     }
 
     /// Returns `true` if the key holds a nonzero value.
     pub fn contains(&self, key: &StateKey) -> bool {
-        self.entries.contains_key(key)
+        !self.get(key).is_zero()
     }
 
     /// Number of nonzero state items.
+    ///
+    /// Walks the full layer chain (cold path; hot reads use [`get`]).
+    ///
+    /// [`get`]: Snapshot::get
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.merged().len()
     }
 
     /// Returns `true` if no state item is nonzero.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// The block height this snapshot reflects (`0` = genesis).
@@ -85,28 +114,54 @@ impl Snapshot {
         self.height
     }
 
+    /// Number of copy-on-write layers above the base (0 when flat).
+    pub fn overlay_depth(&self) -> usize {
+        self.overlays.len()
+    }
+
     /// Produces the next snapshot by applying a block's final writes.
     ///
-    /// Writing zero deletes the entry, matching both EVM storage-clearing
-    /// semantics and the trie commitment in [`crate::StateDb`].
+    /// Copy-on-write: the parent's layers are shared via `Arc`, and the
+    /// writes become a new top overlay (zeros recorded as tombstones,
+    /// matching EVM storage-clearing semantics and the trie commitment in
+    /// [`crate::StateDb`]). Once the chain reaches [`MAX_OVERLAYS`] layers
+    /// it is flattened into a fresh base.
     pub fn apply(&self, writes: &WriteSet) -> Snapshot {
-        let mut map = (*self.entries).clone();
-        for (key, value) in writes {
-            if value.is_zero() {
-                map.remove(key);
-            } else {
-                map.insert(*key, *value);
+        let mut next = Snapshot {
+            base: Arc::clone(&self.base),
+            overlays: self.overlays.clone(),
+            height: self.height + 1,
+        };
+        let layer: HashMap<StateKey, U256> = writes.iter().map(|(k, v)| (*k, *v)).collect();
+        next.overlays.push(Arc::new(layer));
+        if next.overlays.len() > MAX_OVERLAYS {
+            next.base = Arc::new(next.merged());
+            next.overlays.clear();
+        }
+        next
+    }
+
+    /// The fully-merged view: base plus overlays, tombstones resolved.
+    fn merged(&self) -> HashMap<StateKey, U256> {
+        let mut map = (*self.base).clone();
+        for overlay in &self.overlays {
+            for (key, value) in overlay.iter() {
+                if value.is_zero() {
+                    map.remove(key);
+                } else {
+                    map.insert(*key, *value);
+                }
             }
         }
-        Snapshot {
-            entries: Arc::new(map),
-            height: self.height + 1,
-        }
+        map
     }
 
     /// Iterates over all nonzero entries (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &U256)> {
-        self.entries.iter()
+    ///
+    /// Materializes the merged view — a cold path used for genesis
+    /// commitment, not block execution.
+    pub fn iter(&self) -> impl Iterator<Item = (StateKey, U256)> {
+        self.merged().into_iter()
     }
 }
 
@@ -166,5 +221,49 @@ mod tests {
         let s0 = Snapshot::from_entries([(key(1), U256::from(5u64))]);
         let s1 = s0.clone();
         assert_eq!(s1.get(&key(1)), U256::from(5u64));
+    }
+
+    #[test]
+    fn apply_is_copy_on_write() {
+        let s0 = Snapshot::from_entries([(key(1), U256::from(5u64))]);
+        let mut writes = WriteSet::new();
+        writes.insert(key(2), U256::from(7u64));
+        let s1 = s0.apply(&writes);
+        // The parent's base map is shared, not copied.
+        assert!(Arc::ptr_eq(&s0.base, &s1.base));
+        assert_eq!(s1.overlay_depth(), 1);
+        assert_eq!(s1.get(&key(1)), U256::from(5u64));
+    }
+
+    #[test]
+    fn cow_flattens_after_n_layers() {
+        let mut snapshot = Snapshot::from_entries([(key(0), U256::from(1u64))]);
+        // Apply more blocks than MAX_OVERLAYS; depth must stay bounded and
+        // every value — including ones only present in flattened-away
+        // layers and deleted keys — must stay correct.
+        for i in 1..=(MAX_OVERLAYS as u64 * 3) {
+            let mut writes = WriteSet::new();
+            writes.insert(key(i), U256::from(i));
+            if i % 4 == 0 {
+                writes.insert(key(i - 1), U256::ZERO); // delete previous
+            }
+            snapshot = snapshot.apply(&writes);
+            assert!(
+                snapshot.overlay_depth() <= MAX_OVERLAYS,
+                "depth {} exceeded cap after block {}",
+                snapshot.overlay_depth(),
+                i
+            );
+        }
+        assert!(snapshot.overlay_depth() < MAX_OVERLAYS * 3);
+        for i in 1..=(MAX_OVERLAYS as u64 * 3) {
+            let expected = if (i + 1) % 4 == 0 && i < MAX_OVERLAYS as u64 * 3 {
+                U256::ZERO
+            } else {
+                U256::from(i)
+            };
+            assert_eq!(snapshot.get(&key(i)), expected, "key {i}");
+        }
+        assert_eq!(snapshot.height(), MAX_OVERLAYS as u64 * 3);
     }
 }

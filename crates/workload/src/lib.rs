@@ -806,7 +806,10 @@ mod tests {
             let cdf = zipf_cdf(100, s);
             assert_eq!(cdf.len(), 100);
             assert!(cdf.windows(2).all(|w| w[0] <= w[1]), "monotone (s={s})");
-            assert!((cdf.last().unwrap() - 1.0).abs() < 1e-9, "normalized (s={s})");
+            assert!(
+                (cdf.last().unwrap() - 1.0).abs() < 1e-9,
+                "normalized (s={s})"
+            );
         }
     }
 

@@ -1,0 +1,261 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `deque` module (work-stealing scheduler queues) is provided —
+//! that is the sole surface the DMVCC executor uses. The implementation
+//! trades crossbeam's lock-free Chase-Lev algorithm for short critical
+//! sections over per-deque spin-friendly mutexes: owners push/pop at the
+//! back of their own deque, thieves steal from the front, and the global
+//! [`deque::Injector`] is a FIFO overflow queue. The *sharding* property
+//! that matters for scalability — each worker contends only on its own
+//! deque — is preserved; only the instruction-level lock-freedom is not.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// A race was lost; the caller may retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// `true` for [`Steal::Success`].
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// Extracts the stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+    }
+
+    #[derive(Debug)]
+    struct Buffer<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    /// A per-worker double-ended queue. The owning worker pushes and pops
+    /// at one end; [`Stealer`]s take from the other.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        buffer: Arc<Buffer<T>>,
+        lifo: bool,
+    }
+
+    /// A handle for stealing tasks from another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        buffer: Arc<Buffer<T>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                buffer: Arc::clone(&self.buffer),
+            }
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a FIFO worker deque (pop from the front).
+        pub fn new_fifo() -> Self {
+            Worker {
+                buffer: Arc::new(Buffer {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                lifo: false,
+            }
+        }
+
+        /// Creates a LIFO worker deque (pop from the back).
+        pub fn new_lifo() -> Self {
+            Worker {
+                buffer: Arc::new(Buffer {
+                    queue: Mutex::new(VecDeque::new()),
+                }),
+                lifo: true,
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.buffer
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(task);
+        }
+
+        /// Pops a task from the owner's end.
+        pub fn pop(&self) -> Option<T> {
+            let mut queue = self.buffer.queue.lock().unwrap_or_else(|p| p.into_inner());
+            if self.lifo {
+                queue.pop_back()
+            } else {
+                queue.pop_front()
+            }
+        }
+
+        /// `true` when the deque holds no tasks.
+        pub fn is_empty(&self) -> bool {
+            self.buffer
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.buffer
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .len()
+        }
+
+        /// Creates a stealer handle onto this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                buffer: Arc::clone(&self.buffer),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the front of the deque.
+        pub fn steal(&self) -> Steal<T> {
+            let mut queue = match self.buffer.queue.try_lock() {
+                Ok(queue) => queue,
+                Err(std::sync::TryLockError::WouldBlock) => return Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            };
+            match queue.pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.buffer
+                .queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
+        }
+    }
+
+    /// A global FIFO injector queue shared by all workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push_back(task);
+        }
+
+        /// Steals one task from the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            let mut queue = match self.queue.try_lock() {
+                Ok(queue) => queue,
+                Err(std::sync::TryLockError::WouldBlock) => return Steal::Retry,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            };
+            match queue.pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// `true` when the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.queue
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal, Worker};
+
+    #[test]
+    fn worker_fifo_order() {
+        let w: Worker<u32> = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_takes_from_front() {
+        let w: Worker<u32> = Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        // Owner pops LIFO (2), thief steals FIFO (1).
+        assert_eq!(s.steal(), Steal::Success(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn injector_roundtrip_across_threads() {
+        let injector = std::sync::Arc::new(Injector::new());
+        for i in 0..100 {
+            injector.push(i);
+        }
+        let mut handles = Vec::new();
+        let total = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        for _ in 0..4 {
+            let injector = std::sync::Arc::clone(&injector);
+            let total = std::sync::Arc::clone(&total);
+            handles.push(std::thread::spawn(move || loop {
+                match injector.steal() {
+                    Steal::Success(v) => {
+                        total.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    Steal::Empty => break,
+                    Steal::Retry => continue,
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total.load(std::sync::atomic::Ordering::Relaxed), 4950);
+    }
+}

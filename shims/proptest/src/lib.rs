@@ -1,0 +1,714 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's test suite uses:
+//! the [`proptest!`] macro (both `arg: Type` and `pat in strategy` binding
+//! forms), strategies over integer ranges / tuples / collections,
+//! [`prop_oneof!`] with optional weights, `prop::sample::select`,
+//! `prop_map`, and the `prop_assert*` family.
+//!
+//! Differences from upstream, deliberate for offline minimalism:
+//! - **No shrinking.** A failing case reports its case number and values
+//!   (via the assertion message) but is not minimized.
+//! - **Deterministic seeding.** Case `i` of every test derives its RNG from
+//!   a fixed base seed (override with `PROPTEST_SEED`), so failures
+//!   reproduce without persistence files; `proptest-regressions/` is
+//!   ignored.
+//! - Case count comes from `ProptestConfig.cases` as upstream, default 256,
+//!   override with `PROPTEST_CASES`.
+
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+pub mod test_runner {
+    //! Runner plumbing used by the [`proptest!`](crate::proptest) macro.
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject,
+        /// A `prop_assert*!` failed with this message.
+        Fail(String),
+    }
+
+    /// Configuration accepted by `#![proptest_config(...)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for upstream compatibility; unused (no shrinking).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Applies the `PROPTEST_CASES` environment override.
+    pub fn resolve_cases(configured: u32) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(configured)
+            .max(1)
+    }
+
+    /// The per-case RNG: xoshiro256++ seeded from a splitmix64 expansion
+    /// of `base_seed ^ case_index`.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the current test.
+        pub fn for_case(case: u64) -> Self {
+            let base = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x9E3779B97F4A7C15u64);
+            let mut state = base ^ case.wrapping_mul(0xA24BAED4963EE407);
+            let mut next = || {
+                state = state.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "empty range");
+            loop {
+                let x = self.next_u64();
+                let m = (x as u128) * (bound as u128);
+                let low = m as u64;
+                if low < bound && low < bound.wrapping_neg() % bound {
+                    continue;
+                }
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy for storage in heterogeneous collections.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted union of strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    choices: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    total: u64,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(choices: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total = choices.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Union { choices, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut roll = rng.below(self.total);
+        for (weight, strategy) in &self.choices {
+            if roll < *weight as u64 {
+                return strategy.generate(rng);
+            }
+            roll -= *weight as u64;
+        }
+        unreachable!("roll below total weight")
+    }
+}
+
+/// Types with a canonical "any value" strategy (upstream's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+/// The `any::<T>()` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy yielding any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (<$t>::MAX - self.start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                self.start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategies!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Collection-size specification (`1..60`, `0..=5`, or an exact `usize`).
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive.
+    max: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// The `prop::` namespace re-exported by the prelude.
+pub mod prop {
+    /// Strategies over collections.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy, TestRng};
+
+        /// Strategy for `Vec`s of `element` with length in `size`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors from an element strategy.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.sample(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeSet`s (best-effort target size; duplicates
+        /// drawn from small domains may yield fewer elements, never fewer
+        /// than one when the minimum size is at least one).
+        #[derive(Debug, Clone)]
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates ordered sets from an element strategy.
+        pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            BTreeSetStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.sample(rng);
+                let mut set = std::collections::BTreeSet::new();
+                let mut attempts = 0usize;
+                while set.len() < target && attempts < target.saturating_mul(50) + 100 {
+                    set.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+
+        /// Strategy for `BTreeMap`s (same sizing semantics as sets).
+        #[derive(Debug, Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            keys: K,
+            values: V,
+            size: SizeRange,
+        }
+
+        /// Generates ordered maps from key and value strategies.
+        pub fn btree_map<K, V>(
+            keys: K,
+            values: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            BTreeMapStrategy {
+                keys,
+                values,
+                size: size.into(),
+            }
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            K::Value: Ord,
+            V: Strategy,
+        {
+            type Value = std::collections::BTreeMap<K::Value, V::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.sample(rng);
+                let mut map = std::collections::BTreeMap::new();
+                let mut attempts = 0usize;
+                while map.len() < target && attempts < target.saturating_mul(50) + 100 {
+                    map.insert(self.keys.generate(rng), self.values.generate(rng));
+                    attempts += 1;
+                }
+                map
+            }
+        }
+    }
+
+    /// Strategies sampling from explicit choices.
+    pub mod sample {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy choosing uniformly from a fixed list.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            choices: Vec<T>,
+        }
+
+        /// Uniform choice from `choices` (must be non-empty).
+        pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+            assert!(!choices.is_empty(), "select from empty list");
+            Select { choices }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = rng.below(self.choices.len() as u64) as usize;
+                self.choices[i].clone()
+            }
+        }
+    }
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Just, Strategy,
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Weighted or unweighted union of strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Declares property tests. Supports `arg: Type` (implicit `any`),
+/// `pat in strategy`, mixed forms, and `#![proptest_config(...)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $crate::__proptest_params!{ @parse ($config) ($name) ($body) [] $($params)* }
+        $crate::__proptest_fns!{ ($config) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    (@parse ($config:expr) ($name:ident) ($body:block) [$($acc:tt)*]) => {
+        $crate::__proptest_emit!{ ($config) ($name) ($body) [$($acc)*] }
+    };
+    (@parse ($config:expr) ($name:ident) ($body:block) [$($acc:tt)*] $pname:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!{ @parse ($config) ($name) ($body)
+            [$($acc)* (($pname) ($crate::any::<$ty>()))] $($rest)* }
+    };
+    (@parse ($config:expr) ($name:ident) ($body:block) [$($acc:tt)*] $pname:ident : $ty:ty) => {
+        $crate::__proptest_params!{ @parse ($config) ($name) ($body)
+            [$($acc)* (($pname) ($crate::any::<$ty>()))] }
+    };
+    (@parse ($config:expr) ($name:ident) ($body:block) [$($acc:tt)*] $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!{ @parse ($config) ($name) ($body)
+            [$($acc)* (($pat) ($strategy))] $($rest)* }
+    };
+    (@parse ($config:expr) ($name:ident) ($body:block) [$($acc:tt)*] $pat:pat in $strategy:expr) => {
+        $crate::__proptest_params!{ @parse ($config) ($name) ($body)
+            [$($acc)* (($pat) ($strategy))] }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_emit {
+    (($config:expr) ($name:ident) ($body:block) [$((($pat:pat) ($strategy:expr)))*]) => {
+        #[test]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
+            for case in 0..cases {
+                let mut __proptest_rng = $crate::test_runner::TestRng::for_case(case as u64);
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __proptest_rng);)*
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case #{case} failed: {msg}");
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(0);
+        for _ in 0..1000 {
+            let v = (5u64..10).generate(&mut rng);
+            assert!((5..10).contains(&v));
+            let w = (0u8..=3).generate(&mut rng);
+            assert!(w <= 3);
+            let x = (1u64..).generate(&mut rng);
+            assert!(x >= 1);
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = crate::test_runner::TestRng::for_case(1);
+        let strategy = prop_oneof![3 => Just(0u8), 1 => Just(1u8)];
+        let ones: usize = (0..4000)
+            .map(|_| strategy.generate(&mut rng) as usize)
+            .sum();
+        assert!((800..1200).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn collections_hit_requested_sizes() {
+        let mut rng = crate::test_runner::TestRng::for_case(2);
+        for _ in 0..200 {
+            let v = prop::collection::vec(0u8..=255, 1..24).generate(&mut rng);
+            assert!((1..24).contains(&v.len()));
+            let s = prop::collection::btree_set(0usize..10, 1..5).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_typed_and_strategy_args(a: u64, b in 1u64..100, pair in (0usize..4, 0u8..=3)) {
+            prop_assert!((1..100).contains(&b));
+            prop_assert!(pair.0 < 4 && pair.1 <= 3);
+            prop_assert_eq!(a.wrapping_add(0), a);
+            prop_assume!(a != u64::MAX);
+            prop_assert_ne!(a + 1, a);
+        }
+
+        #[test]
+        fn macro_array_args(limbs: [u64; 4], tail in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert_eq!(limbs.len(), 4);
+            prop_assert!(tail.len() < 8);
+        }
+    }
+}

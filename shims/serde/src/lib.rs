@@ -1,0 +1,142 @@
+//! Offline stand-in for `serde` (serialization only).
+//!
+//! Instead of upstream's visitor-based `Serializer` machinery, types
+//! serialize into a small [`Content`] tree that `serde_json` renders.
+//! `#[derive(Serialize)]` (re-exported from the companion `serde_derive`
+//! shim) supports named-field structs, which is every derive site in this
+//! workspace.
+
+pub use serde_derive::Serialize;
+
+/// A serialized value: the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Array(Vec<Content>),
+    /// Ordered key/value map (field order preserved).
+    Object(Vec<(String, Content)>),
+}
+
+/// Types serializable into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_content(&self) -> Content;
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(7u64.to_content(), Content::U64(7));
+        assert_eq!((-3i64).to_content(), Content::I64(-3));
+        assert_eq!("hi".to_content(), Content::Str("hi".to_string()));
+        assert_eq!(
+            vec![1u8, 2].to_content(),
+            Content::Array(vec![Content::U64(1), Content::U64(2)])
+        );
+        assert_eq!(None::<u64>.to_content(), Content::Null);
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline `#[derive(Serialize)]` built directly on `proc_macro` (no
+//! `syn`/`quote`). Supports structs with named fields — the only shape this
+//! workspace derives — and emits an `impl ::serde::Serialize` that builds a
+//! `::serde::Content::Object` from the fields in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut tokens = input.into_iter();
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            if id.to_string() == "struct" {
+                match tokens.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("derive(Serialize): expected struct name, got {other:?}"),
+                }
+                for tt in tokens.by_ref() {
+                    if let TokenTree::Group(g) = tt {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive(Serialize): input is not a struct");
+    let body = body.expect("derive(Serialize): only named-field structs are supported");
+    let fields = field_names(body);
+
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "(\"{field}\".to_string(), ::serde::Serialize::to_content(&self.{field})),\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n\
+                 ::serde::Content::Object(vec![\n{entries}])\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize): generated impl failed to parse")
+}
+
+/// Extracts field identifiers from the token stream inside the struct braces.
+fn field_names(stream: TokenStream) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip `#[...]` attributes (doc comments included).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Skip `pub` / `pub(...)` visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            None => break,
+            other => panic!("derive(Serialize): unsupported struct shape at {other:?}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive(Serialize): expected ':' after field name, got {other:?}"),
+        }
+        // Skip the type: everything up to a comma outside angle brackets.
+        let mut angle_depth = 0i64;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    names
+}

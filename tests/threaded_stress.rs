@@ -25,7 +25,13 @@ fn small(base: WorkloadConfig) -> WorkloadConfig {
     }
 }
 
-fn run_chain(workload: WorkloadConfig, blocks: usize, block_size: usize, hide: f64) {
+fn run_chain(
+    workload: WorkloadConfig,
+    blocks: usize,
+    block_size: usize,
+    hide: f64,
+    threads: usize,
+) {
     let mut generator = WorkloadGenerator::new(workload);
     let analyzer = Analyzer::with_config(
         generator.registry().clone(),
@@ -37,7 +43,7 @@ fn run_chain(workload: WorkloadConfig, blocks: usize, block_size: usize, hide: f
     let executor = ParallelExecutor::new(
         analyzer.clone(),
         ParallelConfig {
-            threads: 4,
+            threads,
             max_attempts: 64,
         },
     );
@@ -60,19 +66,35 @@ fn run_chain(workload: WorkloadConfig, blocks: usize, block_size: usize, hide: f
 
 #[test]
 fn realistic_chain_three_blocks() {
-    run_chain(small(WorkloadConfig::ethereum_mix(21)), 3, 120, 0.0);
+    run_chain(small(WorkloadConfig::ethereum_mix(21)), 3, 120, 0.0, 4);
 }
 
 #[test]
 fn hot_chain_three_blocks() {
-    run_chain(small(WorkloadConfig::high_contention(22)), 3, 120, 0.0);
+    run_chain(small(WorkloadConfig::high_contention(22)), 3, 120, 0.0, 4);
 }
 
 #[test]
 fn hot_chain_with_lossy_analysis() {
     // A quarter of the state keys invisible to the analyzer: the abort
     // machinery must still converge to serial roots on every block.
-    run_chain(small(WorkloadConfig::high_contention(23)), 3, 100, 0.25);
+    run_chain(small(WorkloadConfig::high_contention(23)), 3, 100, 0.25, 4);
+}
+
+#[test]
+fn hot_chain_eight_threads_matches_serial_roots() {
+    // Oversubscribed high-contention stress: eight workers hammer the
+    // sharded sequences, the waiter index and the abort cascades far past
+    // the physical core count; the MPT root chain must still match serial
+    // block for block.
+    run_chain(small(WorkloadConfig::high_contention(25)), 3, 150, 0.0, 8);
+}
+
+#[test]
+fn hot_chain_eight_threads_lossy_analysis() {
+    // Same, with a fifth of the keys hidden from the analyzer so dynamic
+    // insertions and cascading aborts are exercised under oversubscription.
+    run_chain(small(WorkloadConfig::high_contention(26)), 2, 120, 0.2, 8);
 }
 
 #[test]
@@ -104,7 +126,6 @@ fn stale_csags_from_previous_snapshot() {
     let stale_csags = build_csags(&txs, &stale_snapshot, &analyzer, &env2);
     // …executed against the live one.
     let trace = execute_block_serial(&txs, &live_snapshot, &analyzer, &env2);
-    let outcome =
-        executor.execute_block_with_csags(&txs, &live_snapshot, &env2, &stale_csags);
+    let outcome = executor.execute_block_with_csags(&txs, &live_snapshot, &env2, &stale_csags);
     assert_eq!(outcome.final_writes, trace.final_writes);
 }
