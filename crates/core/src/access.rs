@@ -368,33 +368,24 @@ impl AccessSequence {
     /// waiting) or `aborted` (if they already read). The scan stops at the
     /// next full write (its readers observe that version instead); ω̄
     /// entries are transparent.
+    ///
+    /// The stale-read check keys on `read_done` for *every* entry op, not
+    /// just ρ/θ: [`Self::mark_read`] records unpredicted reads on existing
+    /// ω/ω̄ entries without changing their op, so a pure-write or add entry
+    /// can carry a consumed read that this version invalidates.
     fn downstream_effect(&self, pos: usize) -> VersionWriteEffect {
         let mut effect = VersionWriteEffect::default();
         for entry in &self.entries[pos + 1..] {
-            match entry.op {
-                AccessOp::Read => {
-                    if entry.read_done {
-                        effect.aborted.push(entry.tx);
-                    } else {
-                        effect.allowed.push(entry.tx);
-                    }
-                }
-                AccessOp::ReadWrite => {
-                    if entry.read_done {
-                        effect.aborted.push(entry.tx);
-                    } else {
-                        effect.allowed.push(entry.tx);
-                    }
-                    if entry.state != EntryState::Dropped {
-                        break; // its write takes over for later readers
-                    }
-                }
-                AccessOp::Add => continue,
-                AccessOp::Write => {
-                    if entry.state != EntryState::Dropped {
-                        break;
-                    }
-                }
+            if entry.read_done {
+                effect.aborted.push(entry.tx);
+            } else if matches!(entry.op, AccessOp::Read | AccessOp::ReadWrite) {
+                effect.allowed.push(entry.tx);
+            }
+            // A non-dropped full write takes over for later readers.
+            if matches!(entry.op, AccessOp::Write | AccessOp::ReadWrite)
+                && entry.state != EntryState::Dropped
+            {
+                break;
             }
         }
         effect
@@ -656,6 +647,49 @@ mod tests {
         let effect = seq.version_write(1, u(10), false);
         // The dropped write at 4 is transparent; 6 reads my version.
         assert_eq!(effect.allowed, vec![6]);
+    }
+
+    #[test]
+    fn version_write_aborts_stale_read_on_write_entry() {
+        // The seed-82 shape: tx 8 holds a predicted ω entry but its read
+        // was unpredicted (`mark_read` flags it without changing the op).
+        // When tx 3's unpredicted write surfaces upstream, tx 8's consumed
+        // read is stale and must abort — the scan cannot simply stop at
+        // tx 8's write barrier.
+        let mut seq = AccessSequence::new();
+        seq.predict(8, AccessOp::Write);
+        seq.mark_read(8);
+        seq.version_write(8, u(2), false);
+        let effect = seq.version_write(3, u(26), false);
+        assert_eq!(effect.aborted, vec![8]);
+        assert!(effect.allowed.is_empty());
+    }
+
+    #[test]
+    fn version_write_aborts_stale_read_on_add_entry() {
+        // Same with an ω̄ entry: a check-then-increment transaction reads
+        // the key it adds to; a new upstream version invalidates the read
+        // even though the add itself is commutative.
+        let mut seq = AccessSequence::new();
+        seq.predict(5, AccessOp::Add);
+        seq.mark_read(5);
+        seq.version_write(5, u(1), true);
+        let effect = seq.version_write(2, u(40), false);
+        assert_eq!(effect.aborted, vec![5]);
+    }
+
+    #[test]
+    fn version_write_scan_still_stops_at_stale_write_barrier() {
+        // The stale writer aborts, but its (about-to-be-reset) write still
+        // bounds the scan: readers past it belong to that version and are
+        // handled by the cascade's own reset effect.
+        let mut seq = AccessSequence::new();
+        seq.predict(4, AccessOp::Write);
+        seq.mark_read(4);
+        seq.version_write(4, u(7), false);
+        seq.mark_read(6);
+        let effect = seq.version_write(1, u(3), false);
+        assert_eq!(effect.aborted, vec![4]);
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! - [`GlobalLockParallelExecutor`]: the first-generation executor (one
 //!   global mutex plus condvar broadcasts), kept as a differential-testing
 //!   partner and as the "before" side of the scaling benchmarks.
+//! - [`SchedHook`]: the observation/perturbation surface both threaded
+//!   executors expose at every scheduling decision point, used by the
+//!   `dmvcc-dst` crate for deterministic schedule fuzzing and fault
+//!   injection (no-op and branch-predicted-away in production).
 //!
 //! # Examples
 //!
@@ -46,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod access;
+mod hook;
 mod oracle;
 mod parallel;
 mod parallel_global;
@@ -57,6 +62,7 @@ pub use access::{
     AccessEntry, AccessOp, AccessSequence, AccessSequences, EntryState, ReadResolution, SourceList,
     VersionWriteEffect,
 };
+pub use hook::{NoopHook, SchedHook};
 pub use oracle::{build_csags, execute_block_serial, BlockTrace, ReadRecord, TxTrace};
 pub use parallel::{ExecutorStats, ParallelConfig, ParallelExecutor, ParallelOutcome};
 pub use parallel_global::GlobalLockParallelExecutor;

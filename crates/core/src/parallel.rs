@@ -39,6 +39,7 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
@@ -51,6 +52,7 @@ use dmvcc_vm::{execute, BlockEnv, ExecParams, ExecStatus, Host, HostError, Trans
 use dmvcc_analysis::{Analyzer, CSag};
 
 use crate::access::{AccessOp, ReadResolution, SourceList, VersionWriteEffect};
+use crate::hook::SchedHook;
 use crate::sharded::ShardedSequences;
 
 /// Backstop for a read blocked on a pending version: the waiter is signaled
@@ -60,6 +62,10 @@ const BLOCKED_PARK: Duration = Duration::from_millis(1);
 
 /// Backstop for an idle worker with nothing to run or steal.
 const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// Consecutive signal-free park timeouts a blocked read tolerates before
+/// the deadlock breaker aborts it (see the breaker comment in `sload`).
+const STUCK_PARKS: u32 = 3;
 
 /// Configuration of the threaded executor.
 #[derive(Debug, Clone, Copy)]
@@ -238,9 +244,19 @@ struct Shared<'a> {
     csags: &'a [CSag],
     txs: &'a [Transaction],
     config: ParallelConfig,
+    /// Optional scheduling hook (`None` in production; see
+    /// [`crate::SchedHook`]).
+    hook: Option<Arc<dyn SchedHook>>,
 }
 
 impl Shared<'_> {
+    /// The installed hook, if any — every call site branches on this
+    /// `Option`, so the disabled path has no dynamic dispatch.
+    #[inline]
+    fn hook(&self) -> Option<&dyn SchedHook> {
+        self.hook.as_deref()
+    }
+
     fn generation_of(&self, tx: usize) -> u32 {
         self.states[tx].generation.load(Ordering::SeqCst)
     }
@@ -316,25 +332,45 @@ impl Shared<'_> {
             if !seen.insert(victim) {
                 continue;
             }
-            let touched: Vec<StateKey> = {
+            if let Some(hook) = self.hook() {
+                hook.on_abort(root, victim);
+            }
+            let (touched, aborted_generation): (Vec<StateKey>, u32) = {
                 let mut core = self.states[victim].core.lock();
                 if core.phase == Phase::Finished {
                     self.finished.fetch_sub(1, Ordering::SeqCst);
                 }
                 let generation = self.states[victim].generation.load(Ordering::SeqCst);
-                self.states[victim]
-                    .generation
-                    .store(generation.wrapping_add(1), Ordering::SeqCst);
-                core.phase = Phase::Waiting;
+                let next = generation.wrapping_add(1);
+                self.states[victim].generation.store(next, Ordering::SeqCst);
+                // Park the victim in a *non-admissible* phase while its
+                // entries are reset below: `try_admit` only admits
+                // `Waiting` transactions, so no new attempt can start (and
+                // publish) until this cascade's resets are done. Demoting
+                // straight to `Waiting` here loses writes: a concurrent
+                // admission (idle self-heal, an `allowed` effect) can run
+                // the new attempt to completion between our generation
+                // bump and a straggling reset, which then silently
+                // re-pends the new attempt's published version — nothing
+                // ever restores it (found by DST schedule fuzzing).
+                core.phase = Phase::Running;
                 core.status = None;
                 core.published.clear();
-                core.touched.iter().copied().collect()
+                (core.touched.iter().copied().collect(), next)
             };
             self.aborts.fetch_add(1, Ordering::Relaxed);
             let mut to_wake: Vec<usize> = Vec::new();
             for key in touched {
                 let (effect, waiters) = {
                     let mut shard = self.sequences.shard(&key);
+                    // A newer cascade owns the victim now. Its `touched`
+                    // snapshot is a superset of ours (the set only grows),
+                    // so its resets cover the rest — and resetting here
+                    // could clobber a version published by the attempt it
+                    // re-admits.
+                    if self.generation_of(victim) != aborted_generation {
+                        break;
+                    }
                     let effect = shard.sequence_mut(key).reset(victim);
                     // A reset only re-pends the entry, but waiters are
                     // drained and signaled anyway: one of them may be the
@@ -355,6 +391,16 @@ impl Shared<'_> {
             }
             for waiter in to_wake {
                 self.states[waiter].event.signal();
+            }
+            // Resets done: make the victim admissible again — unless a
+            // newer cascade superseded us, in which case its own flip
+            // re-opens admission after *its* resets.
+            {
+                let mut core = self.states[victim].core.lock();
+                if self.generation_of(victim) == aborted_generation && core.phase == Phase::Running
+                {
+                    core.phase = Phase::Waiting;
+                }
             }
         }
         // Re-admit everything the cascade touched or unblocked.
@@ -395,6 +441,11 @@ impl Shared<'_> {
     /// under the core lock so `finished` never exceeds the number of
     /// transactions whose phase is `Finished`.
     fn finish(&self, tx: usize, generation: u32, status: ExecStatus) {
+        // Commit decision point — observed before the core lock so a
+        // stalling hook delays this commit, never other transactions.
+        if let Some(hook) = self.hook() {
+            hook.on_commit(tx);
+        }
         let mut core = self.states[tx].core.lock();
         if self.generation_of(tx) != generation {
             return; // aborted concurrently; the new attempt supersedes us
@@ -446,6 +497,11 @@ impl ThreadHost<'_, '_> {
     /// Publishes one buffered key into its shard (write versioning,
     /// Algorithm 3) and wakes exactly the readers blocked on it.
     fn publish_key(&self, key: StateKey, value: U256, delta: bool) -> Result<(), HostError> {
+        // Publish decision point — observed before any lock so a stalling
+        // hook models a delayed publish without blocking other workers.
+        if let Some(hook) = self.shared.hook() {
+            hook.on_publish(self.tx, &key, delta);
+        }
         {
             let mut core = self.shared.states[self.tx].core.lock();
             if self.stale() {
@@ -474,15 +530,24 @@ impl ThreadHost<'_, '_> {
 
     /// Drops this tx's version of `key` (misprediction or deterministic
     /// abort), unblocking and re-admitting downstream readers.
-    fn drop_key(&self, key: StateKey) {
+    fn drop_key(&self, key: StateKey) -> Result<(), HostError> {
         let (effect, waiters) = {
             let mut shard = self.shared.sequences.shard(&key);
+            // Re-check under the shard lock, exactly like `publish_key`: if
+            // an abort cascade got in between, a new attempt of this tx may
+            // already have re-published this key — dropping now would erase
+            // the new attempt's version, which nothing would ever restore
+            // (found by DST schedule fuzzing).
+            if self.stale() {
+                return Err(HostError::Aborted);
+            }
             let effect = shard.sequence_mut(key).drop_version(self.tx);
             let waiters = shard.drain_waiters(&key);
             (effect, waiters)
         };
         self.shared.wake_waiters(waiters);
         self.shared.apply_effect(effect, self.local);
+        Ok(())
     }
 }
 
@@ -495,6 +560,9 @@ impl Host for ThreadHost<'_, '_> {
         }
         let own_delta = self.adds.get(&key).copied().unwrap_or(U256::ZERO);
         self.touch(key)?;
+        // Consecutive parks whose timeout elapsed with no event signal —
+        // the stuckness measure the deadlock breaker below keys off.
+        let mut stuck_parks = 0u32;
         loop {
             // Sample our event's epoch before resolving: a publish signal
             // racing the registration below then prevents the sleep.
@@ -528,31 +596,54 @@ impl Host for ThreadHost<'_, '_> {
                 return Ok(value.wrapping_add(own_delta));
             }
             let blocked = self.shared.blocked.fetch_add(1, Ordering::SeqCst) + 1;
-            // Deadlock breaker: if this is the last worker not asleep,
-            // make sure runnable work exists (admitting any quiescent
-            // waiter ourselves), then yield this execution so the thread
-            // can go run it.
+            // Deadlock breaker, last resort only. Reads wait exclusively on
+            // *earlier* transactions, so the wait-for graph is acyclic: if
+            // any worker is idle (not blocked), it alone guarantees
+            // progress, and if our writer is running it will publish.
+            // Intervention is needed only when every worker is asleep,
+            // runnable work exists that none of them can reach, and our own
+            // event has been silent across several full park timeouts
+            // (`stuck_parks`). Aborting eagerly instead livelocks: the
+            // re-admitted transaction is itself the "runnable work" the
+            // next blocked reader sees, and the block storms with
+            // self-aborts until someone trips `max_attempts` (found by DST
+            // schedule fuzzing).
             if blocked + self.shared.idle.load(Ordering::SeqCst) >= self.shared.config.threads {
                 if self.shared.ready_count.load(Ordering::SeqCst) == 0 {
                     for i in 0..self.shared.txs.len() {
                         self.shared.try_admit(i, self.local);
                     }
                 }
-                if self.shared.ready_count.load(Ordering::SeqCst) > 0 {
+                if stuck_parks >= STUCK_PARKS && self.shared.ready_count.load(Ordering::SeqCst) > 0
+                {
                     self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
                     self.shared
                         .sequences
                         .shard(&key)
                         .unregister_waiter(&key, self.tx);
-                    self.shared.abort_cascade(self.tx, self.local);
+                    // Re-admissions go to the shared injector (`local:
+                    // None`): this worker's next pop must find the stuck
+                    // writer, not our own just-re-admitted transaction.
+                    self.shared.abort_cascade(self.tx, None);
                     return Err(HostError::Aborted);
                 }
             }
             self.shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            if let Some(hook) = self.shared.hook() {
+                hook.on_park(Some(self.tx));
+            }
             self.shared.states[self.tx]
                 .event
                 .wait_while(seen_epoch, BLOCKED_PARK);
             self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
+            if self.shared.states[self.tx].event.epoch() == seen_epoch {
+                stuck_parks += 1;
+            } else {
+                stuck_parks = 0;
+            }
+            if let Some(hook) = self.shared.hook() {
+                hook.on_wake(Some(self.tx));
+            }
         }
     }
 
@@ -574,7 +665,11 @@ impl Host for ThreadHost<'_, '_> {
 
     fn on_release_point(&mut self, pc: usize, gas_left: u64) {
         if let Some(&bound) = self.release_bounds.get(&pc) {
-            if gas_left >= bound {
+            let passed = match self.shared.hook() {
+                Some(hook) => hook.release_gate(self.tx, pc, gas_left, bound),
+                None => gas_left >= bound,
+            };
+            if passed {
                 self.released = true;
             }
         }
@@ -624,12 +719,24 @@ impl Host for ThreadHost<'_, '_> {
 pub struct ParallelExecutor {
     analyzer: Analyzer,
     config: ParallelConfig,
+    hook: Option<Arc<dyn SchedHook>>,
 }
 
 impl ParallelExecutor {
     /// Creates an executor over the given analyzer (contract registry).
     pub fn new(analyzer: Analyzer, config: ParallelConfig) -> Self {
-        ParallelExecutor { analyzer, config }
+        ParallelExecutor {
+            analyzer,
+            config,
+            hook: None,
+        }
+    }
+
+    /// Installs a [`SchedHook`] consulted at every scheduling decision
+    /// point (DST only; executors without a hook skip all hook branches).
+    pub fn with_hook(mut self, hook: Arc<dyn SchedHook>) -> Self {
+        self.hook = Some(hook);
+        self
     }
 
     /// The analyzer in use.
@@ -677,7 +784,10 @@ impl ParallelExecutor {
 
         // Build predicted sequences (the preprocessing of §IV-A) —
         // single-threaded, but already in their shards.
-        let sequences = ShardedSequences::new();
+        let sequences = match &self.hook {
+            Some(hook) => ShardedSequences::new().with_hook(Arc::clone(hook)),
+            None => ShardedSequences::new(),
+        };
         for (i, csag) in csags.iter().enumerate() {
             for key in &csag.reads {
                 sequences.predict(*key, i, AccessOp::Read);
@@ -724,6 +834,7 @@ impl ParallelExecutor {
             csags,
             txs,
             config: self.config,
+            hook: self.hook.clone(),
         };
         // Initial admission (Algorithm 1 line 1) — into the injector; the
         // first workers to start will spread the entries by stealing.
@@ -802,7 +913,7 @@ impl ParallelExecutor {
                 let run = {
                     let mut core = shared.states[tx].core.lock();
                     if shared.generation_of(tx) != generation || core.phase != Phase::Ready {
-                        false // stale queue entry
+                        None // stale queue entry
                     } else {
                         core.phase = Phase::Running;
                         core.attempts += 1;
@@ -816,13 +927,24 @@ impl ParallelExecutor {
                             if done == n {
                                 shared.idle_event.signal();
                             }
-                            false
+                            None
                         } else {
-                            true
+                            Some(core.attempts)
                         }
                     }
                 };
-                if run {
+                if let Some(attempt) = run {
+                    if let Some(hook) = shared.hook() {
+                        hook.on_dequeue(tx, attempt);
+                        // Fault injection: abort storms on demand. The
+                        // cascade demotes the transaction back to Waiting
+                        // and re-admits it, exactly like a real abort that
+                        // lands between dequeue and first read.
+                        if hook.inject_abort(tx, attempt) {
+                            shared.abort_cascade(tx, Some(&local));
+                            continue;
+                        }
+                    }
                     self.run_attempt(shared, block_env, tx, generation, &local);
                 }
                 continue;
@@ -847,8 +969,14 @@ impl ParallelExecutor {
             }
             shared.idle.fetch_add(1, Ordering::SeqCst);
             shared.stats.parks.fetch_add(1, Ordering::Relaxed);
+            if let Some(hook) = shared.hook() {
+                hook.on_park(None);
+            }
             shared.idle_event.wait_while(seen, IDLE_PARK);
             shared.idle.fetch_sub(1, Ordering::SeqCst);
+            if let Some(hook) = shared.hook() {
+                hook.on_wake(None);
+            }
         }
     }
 
@@ -888,14 +1016,18 @@ impl ParallelExecutor {
         };
         // Entry release point: the transaction cannot abort at all.
         if let Some(rp) = csag.release_points.first() {
-            if rp.pc == 0
-                && transaction
+            if rp.pc == 0 {
+                let gas_left = transaction
                     .env
                     .gas_limit
-                    .saturating_sub(dmvcc_vm::INTRINSIC_GAS)
-                    >= rp.gas_bound
-            {
-                host.released = true;
+                    .saturating_sub(dmvcc_vm::INTRINSIC_GAS);
+                let passed = match shared.hook() {
+                    Some(hook) => hook.release_gate(tx, rp.pc, gas_left, rp.gas_bound),
+                    None => gas_left >= rp.gas_bound,
+                };
+                if passed {
+                    host.released = true;
+                }
             }
         }
 
@@ -981,11 +1113,8 @@ fn finalize_success(host: &mut ThreadHost<'_, '_>) {
         .copied()
         .collect();
     for key in predicted {
-        if !published.contains(&key) {
-            if host.stale() {
-                return;
-            }
-            host.drop_key(key);
+        if !published.contains(&key) && host.drop_key(key).is_err() {
+            return;
         }
     }
     shared.finish(tx, host.generation, ExecStatus::Success);
@@ -1006,11 +1135,24 @@ fn finalize_deterministic_abort(host: &mut ThreadHost<'_, '_>, status: ExecStatu
         }
         core.published.drain().collect()
     };
+    // Mutation testing: `skip_rollback` (always false in production) leaks
+    // the keys the hook names — they stay `Done` in their sequences and
+    // reach the final write set even though the transaction failed.
+    let leaked: HashSet<StateKey> = match shared.hook() {
+        Some(hook) => published
+            .iter()
+            .filter(|key| hook.skip_rollback(tx, key))
+            .copied()
+            .collect(),
+        None => HashSet::new(),
+    };
     for key in published {
-        if host.stale() {
+        if leaked.contains(&key) {
+            continue;
+        }
+        if host.drop_key(key).is_err() {
             return;
         }
-        host.drop_key(key);
     }
     // Unfulfilled predictions unblock readers.
     let predicted: Vec<StateKey> = shared.csags[tx]
@@ -1019,10 +1161,12 @@ fn finalize_deterministic_abort(host: &mut ThreadHost<'_, '_>, status: ExecStatu
         .copied()
         .collect();
     for key in predicted {
-        if host.stale() {
+        if leaked.contains(&key) {
+            continue;
+        }
+        if host.drop_key(key).is_err() {
             return;
         }
-        host.drop_key(key);
     }
     shared.finish(tx, host.generation, status);
 }

@@ -15,6 +15,7 @@
 //! Algorithm 4 cascading aborts.
 
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -25,6 +26,7 @@ use dmvcc_vm::{execute, BlockEnv, ExecParams, ExecStatus, Host, HostError, Trans
 use dmvcc_analysis::{Analyzer, CSag};
 
 use crate::access::{AccessOp, AccessSequences, ReadResolution, SourceList};
+use crate::hook::SchedHook;
 use crate::parallel::{ExecutorStats, ParallelConfig, ParallelOutcome, Phase};
 
 #[derive(Debug)]
@@ -50,6 +52,9 @@ struct Inner {
     idle: usize,
     blocked: usize,
     stats: ExecutorStats,
+    /// Mirror of [`Shared::hook`] so `abort_tx` (a method on `Inner`, which
+    /// cannot see `Shared`) can report cascade victims.
+    hook: Option<Arc<dyn SchedHook>>,
 }
 
 struct Shared<'a> {
@@ -59,9 +64,19 @@ struct Shared<'a> {
     csags: &'a [CSag],
     txs: &'a [Transaction],
     config: ParallelConfig,
+    /// Optional scheduling hook (`None` in production). Unlike the sharded
+    /// executor, most call sites here run under the one global lock — a
+    /// stalling hook therefore serializes everything, which is exactly the
+    /// contention profile this executor models.
+    hook: Option<Arc<dyn SchedHook>>,
 }
 
 impl Shared<'_> {
+    #[inline]
+    fn hook(&self) -> Option<&dyn SchedHook> {
+        self.hook.as_deref()
+    }
+
     /// Every wakeup in this executor is a broadcast to all sleepers —
     /// that's the cost the sharded executor's targeted wakeups remove.
     fn broadcast(&self, inner: &mut Inner) {
@@ -107,6 +122,9 @@ impl Inner {
         while let Some(victim) = worklist.pop() {
             if !seen.insert(victim) {
                 continue;
+            }
+            if let Some(hook) = &self.hook {
+                hook.on_abort(tx, victim);
             }
             if self.slots[victim].phase == Phase::Finished {
                 self.finished -= 1;
@@ -174,6 +192,9 @@ impl ThreadHost<'_, '_> {
     /// Publishes one buffered key into the sequences (assumes `inner`
     /// locked and generation valid).
     fn publish_key(&self, inner: &mut Inner, key: StateKey, value: U256, delta: bool) {
+        if let Some(hook) = self.shared.hook() {
+            hook.on_publish(self.tx, &key, delta);
+        }
         let effect = inner
             .sequences
             .sequence_mut(key)
@@ -224,8 +245,14 @@ impl Host for ThreadHost<'_, '_> {
                         self.shared.broadcast(&mut inner);
                         return Err(HostError::Aborted);
                     }
+                    if let Some(hook) = self.shared.hook() {
+                        hook.on_park(Some(self.tx));
+                    }
                     self.shared.cond.wait(&mut inner);
                     inner.blocked -= 1;
+                    if let Some(hook) = self.shared.hook() {
+                        hook.on_wake(Some(self.tx));
+                    }
                 }
             }
         }
@@ -249,7 +276,11 @@ impl Host for ThreadHost<'_, '_> {
 
     fn on_release_point(&mut self, pc: usize, gas_left: u64) {
         if let Some(&bound) = self.release_bounds.get(&pc) {
-            if gas_left >= bound {
+            let passed = match self.shared.hook() {
+                Some(hook) => hook.release_gate(self.tx, pc, gas_left, bound),
+                None => gas_left >= bound,
+            };
+            if passed {
                 self.released = true;
             }
         }
@@ -303,12 +334,24 @@ impl Host for ThreadHost<'_, '_> {
 pub struct GlobalLockParallelExecutor {
     analyzer: Analyzer,
     config: ParallelConfig,
+    hook: Option<Arc<dyn SchedHook>>,
 }
 
 impl GlobalLockParallelExecutor {
     /// Creates an executor over the given analyzer (contract registry).
     pub fn new(analyzer: Analyzer, config: ParallelConfig) -> Self {
-        GlobalLockParallelExecutor { analyzer, config }
+        GlobalLockParallelExecutor {
+            analyzer,
+            config,
+            hook: None,
+        }
+    }
+
+    /// Installs a [`SchedHook`] consulted at every scheduling decision
+    /// point (DST only; executors without a hook skip all hook branches).
+    pub fn with_hook(mut self, hook: Arc<dyn SchedHook>) -> Self {
+        self.hook = Some(hook);
+        self
     }
 
     /// The analyzer in use.
@@ -387,6 +430,7 @@ impl GlobalLockParallelExecutor {
             idle: 0,
             blocked: 0,
             stats: ExecutorStats::default(),
+            hook: self.hook.clone(),
         };
         // Initial admission (Algorithm 1 line 1).
         for i in 0..n {
@@ -400,6 +444,7 @@ impl GlobalLockParallelExecutor {
             csags,
             txs,
             config: self.config,
+            hook: self.hook.clone(),
         };
 
         std::thread::scope(|scope| {
@@ -427,7 +472,7 @@ impl GlobalLockParallelExecutor {
 
     fn worker(&self, shared: &Shared<'_>, block_env: &BlockEnv) {
         loop {
-            let (tx, generation) = {
+            let (tx, generation, attempt) = {
                 let mut inner = shared.inner.lock();
                 loop {
                     if inner.finished == shared.txs.len() {
@@ -455,7 +500,7 @@ impl GlobalLockParallelExecutor {
                             inner.finished += 1;
                             continue;
                         }
-                        break (tx, generation);
+                        break (tx, generation, inner.slots[tx].attempts);
                     }
                     // Self-heal: re-check all waiting transactions before
                     // idling (guards against lost wakeups).
@@ -468,10 +513,30 @@ impl GlobalLockParallelExecutor {
                     }
                     inner.idle += 1;
                     inner.stats.parks += 1;
+                    if let Some(hook) = shared.hook() {
+                        hook.on_park(None);
+                    }
                     shared.cond.wait(&mut inner);
                     inner.idle -= 1;
+                    if let Some(hook) = shared.hook() {
+                        hook.on_wake(None);
+                    }
                 }
             };
+            if let Some(hook) = shared.hook() {
+                hook.on_dequeue(tx, attempt);
+                // Fault injection: abort storms on demand, mirroring the
+                // sharded executor's injection point between dequeue and
+                // first read.
+                if hook.inject_abort(tx, attempt) {
+                    let mut inner = shared.inner.lock();
+                    if inner.slots[tx].generation == generation {
+                        inner.abort_tx(tx, shared.csags, shared.snapshot);
+                        shared.broadcast(&mut inner);
+                    }
+                    continue;
+                }
+            }
             self.run_attempt(shared, block_env, tx, generation);
         }
     }
@@ -504,14 +569,18 @@ impl GlobalLockParallelExecutor {
         };
         // Entry release point: the transaction cannot abort at all.
         if let Some(rp) = csag.release_points.first() {
-            if rp.pc == 0
-                && transaction
+            if rp.pc == 0 {
+                let gas_left = transaction
                     .env
                     .gas_limit
-                    .saturating_sub(dmvcc_vm::INTRINSIC_GAS)
-                    >= rp.gas_bound
-            {
-                host.released = true;
+                    .saturating_sub(dmvcc_vm::INTRINSIC_GAS);
+                let passed = match shared.hook() {
+                    Some(hook) => hook.release_gate(tx, rp.pc, gas_left, rp.gas_bound),
+                    None => gas_left >= rp.gas_bound,
+                };
+                if passed {
+                    host.released = true;
+                }
             }
         }
 
@@ -576,6 +645,9 @@ impl GlobalLockParallelExecutor {
 /// Publishes remaining writes, drops unfulfilled predictions, marks done.
 fn finalize_success(inner: &mut Inner, host: &mut ThreadHost<'_, '_>, shared: &Shared<'_>) {
     let tx = host.tx;
+    if let Some(hook) = shared.hook() {
+        hook.on_commit(tx);
+    }
     for (key, value) in std::mem::take(&mut host.writes) {
         host.publish_key(inner, key, value, false);
     }
@@ -610,10 +682,27 @@ fn finalize_deterministic_abort(
     status: ExecStatus,
 ) {
     let tx = host.tx;
+    if let Some(hook) = shared.hook() {
+        hook.on_commit(tx);
+    }
     host.writes.clear();
     host.adds.clear();
     let published: Vec<StateKey> = inner.slots[tx].published.drain().collect();
+    // Mutation testing: `skip_rollback` (always false in production) leaks
+    // the keys the hook names — their versions stay in the sequences and
+    // reach the final write set even though the transaction failed.
+    let leaked: HashSet<StateKey> = match shared.hook() {
+        Some(hook) => published
+            .iter()
+            .filter(|key| hook.skip_rollback(tx, key))
+            .copied()
+            .collect(),
+        None => HashSet::new(),
+    };
     for key in published {
+        if leaked.contains(&key) {
+            continue;
+        }
         let effect = inner.sequences.sequence_mut(key).drop_version(tx);
         inner.apply_effect(effect, shared.csags, shared.snapshot);
     }
@@ -624,6 +713,9 @@ fn finalize_deterministic_abort(
         .copied()
         .collect();
     for key in predicted {
+        if leaked.contains(&key) {
+            continue;
+        }
         let effect = inner.sequences.sequence_mut(key).drop_version(tx);
         inner.apply_effect(effect, shared.csags, shared.snapshot);
     }

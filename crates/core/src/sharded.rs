@@ -17,12 +17,14 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard};
 
 use dmvcc_state::{Snapshot, StateKey, WriteSet};
 
 use crate::access::{AccessOp, AccessSequence};
+use crate::hook::SchedHook;
 
 /// Default shard count. Sixteen shards keep the collision probability low
 /// for realistic working sets (a few hundred hot keys) while the array of
@@ -85,6 +87,9 @@ impl Shard {
 pub struct ShardedSequences {
     shards: Vec<Mutex<Shard>>,
     mask: usize,
+    /// Optional scheduling hook, consulted inside the shard critical
+    /// section (`None` in production — one predicted-not-taken branch).
+    hook: Option<Arc<dyn SchedHook>>,
 }
 
 impl ShardedSequences {
@@ -100,7 +105,16 @@ impl ShardedSequences {
         ShardedSequences {
             shards: (0..count).map(|_| Mutex::new(Shard::default())).collect(),
             mask: count - 1,
+            hook: None,
         }
+    }
+
+    /// Installs a [`SchedHook`] whose [`SchedHook::on_shard_lock`] fires on
+    /// every shard-lock acquisition (DST only: stalling there forces
+    /// shard-lock contention).
+    pub fn with_hook(mut self, hook: Arc<dyn SchedHook>) -> Self {
+        self.hook = Some(hook);
+        self
     }
 
     /// Number of shards.
@@ -117,7 +131,12 @@ impl ShardedSequences {
     /// Locks and returns the shard owning `key`. Callers must not acquire
     /// a second shard lock while holding the guard.
     pub fn shard(&self, key: &StateKey) -> MutexGuard<'_, Shard> {
-        self.shards[self.shard_index(key)].lock()
+        let index = self.shard_index(key);
+        let guard = self.shards[index].lock();
+        if let Some(hook) = &self.hook {
+            hook.on_shard_lock(index);
+        }
+        guard
     }
 
     /// `true` when `a` and `b` live in the same shard (and thus contend on

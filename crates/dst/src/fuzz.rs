@@ -1,0 +1,473 @@
+//! The differential fuzz driver: one seed → one perturbed block → every
+//! executor must agree with the serial oracle.
+//!
+//! For each seed the driver (a) generates a workload block, (b) applies the
+//! seeded [`FaultPlan`] (gas squeezes, C-SAG mispredictions, optionally
+//! stale-snapshot predictions), (c) runs the serial oracle, both threaded
+//! executors under a seeded [`VirtualScheduler`], and the virtual-time
+//! simulator, and (d) reports any disagreement as a [`Divergence`] that
+//! carries everything needed to replay it: the seed, the (possibly shrunk)
+//! block size, and the thread count.
+//!
+//! Shrinking exploits a structural property of the workload generator:
+//! `block(n)` draws transactions sequentially, so the block of size `s < n`
+//! is a strict prefix of the block of size `n` for the same seed. A
+//! divergence is therefore minimized by re-running the same seed at smaller
+//! sizes, and `(seed, size)` fully identifies the repro.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dmvcc_analysis::{AnalysisConfig, Analyzer};
+use dmvcc_core::{
+    build_csags, execute_block_serial, simulate_dmvcc, BlockTrace, DmvccConfig,
+    GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome,
+};
+use dmvcc_state::{Snapshot, StateDb, WriteSet};
+use dmvcc_vm::BlockEnv;
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+use crate::faults::{FaultPlan, Mutation};
+use crate::sched::{SchedConfig, VirtualScheduler};
+
+/// Workload shape under fuzz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// The paper's mainnet category mix.
+    EthereumMix,
+    /// The skewed hot-contract variant (§V-B high contention).
+    HighContention,
+}
+
+impl Profile {
+    /// Parses the CLI spelling of a profile.
+    pub fn parse(name: &str) -> Option<Profile> {
+        match name {
+            "ethereum" => Some(Profile::EthereumMix),
+            "hot" => Some(Profile::HighContention),
+            _ => None,
+        }
+    }
+
+    /// The workload config for one fuzz case: the named contention profile
+    /// scaled down so a single case runs in milliseconds (the fuzzer's
+    /// throughput *is* its coverage).
+    fn config(self, seed: u64) -> WorkloadConfig {
+        let base = match self {
+            Profile::EthereumMix => WorkloadConfig::ethereum_mix(seed),
+            Profile::HighContention => WorkloadConfig::high_contention(seed),
+        };
+        WorkloadConfig {
+            accounts: 80,
+            token_contracts: 4,
+            amm_contracts: 2,
+            nft_contracts: 2,
+            counter_contracts: 1,
+            ballot_contracts: 1,
+            fig1_contracts: 1,
+            auction_contracts: 1,
+            crowdsale_contracts: 1,
+            batch_pay_contracts: 1,
+            router_contracts: 1,
+            ..base
+        }
+    }
+}
+
+/// One fuzz campaign's fixed parameters (the seed varies per case).
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Worker threads for both threaded executors and the simulator.
+    pub threads: usize,
+    /// Block size per case (shrinking lowers it per-repro).
+    pub size: usize,
+    /// Workload contention profile.
+    pub profile: Profile,
+    /// Fraction of accesses hidden from the analyzer (organic
+    /// mispredictions, on top of the fault plan's injected ones).
+    pub hide_fraction: f64,
+    /// Every `stale_every`-th seed builds its C-SAGs against the previous
+    /// block's snapshot (the mempool scenario); `0` disables.
+    pub stale_every: u64,
+    /// Disables schedule perturbation and input faults (differential
+    /// testing only).
+    pub quiet: bool,
+    /// Active executor mutation (see [`Mutation`]).
+    pub mutation: Mutation,
+    /// Check the virtual-time simulator's structural invariants too.
+    pub check_simulator: bool,
+    /// Overrides the scheduler knobs (the per-case seed still replaces the
+    /// template's); `None` uses [`SchedConfig::stormy`] (or `quiet`).
+    pub sched_template: Option<SchedConfig>,
+    /// Overrides the input-fault knobs (per-case seed applied on top);
+    /// `None` uses [`FaultPlan::standard`] (or `none`).
+    pub fault_template: Option<FaultPlan>,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            threads: 4,
+            size: 60,
+            profile: Profile::HighContention,
+            hide_fraction: 0.15,
+            stale_every: 4,
+            quiet: false,
+            mutation: Mutation::None,
+            check_simulator: true,
+            sched_template: None,
+            fault_template: None,
+        }
+    }
+}
+
+impl FuzzConfig {
+    fn sched_config(&self, seed: u64) -> SchedConfig {
+        let mut config = match self.sched_template {
+            Some(template) => SchedConfig { seed, ..template },
+            None if self.quiet => SchedConfig::quiet(seed),
+            None => SchedConfig::stormy(seed),
+        };
+        if self.mutation == Mutation::SkipReleaseGasBound {
+            // The mutation under test: every release gate passes and the
+            // "unnecessary" rollback is skipped (see `Mutation`).
+            config.force_release_ppm = 1_000_000;
+            config.skip_rollback = true;
+        }
+        config
+    }
+
+    fn fault_plan(&self, seed: u64) -> FaultPlan {
+        // Decorrelate the fault streams from the scheduler streams.
+        let seed = seed ^ 0x5EED_5EED;
+        match self.fault_template {
+            Some(template) => FaultPlan { seed, ..template },
+            None if self.quiet => FaultPlan::none(seed),
+            None => FaultPlan::standard(seed),
+        }
+    }
+}
+
+/// A replayable disagreement between an executor and the serial oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// The diverging seed.
+    pub seed: u64,
+    /// Block size at which the divergence (still) reproduces.
+    pub size: usize,
+    /// Thread count of the diverging run.
+    pub threads: usize,
+    /// Which executor diverged (`sharded`, `global-lock`, `simulator`).
+    pub executor: &'static str,
+    /// Sorted, deterministic description of the disagreement.
+    pub details: Vec<String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "divergence: executor={} seed={} size={} threads={}",
+            self.executor, self.seed, self.size, self.threads
+        )?;
+        for line in &self.details {
+            writeln!(f, "  {line}")?;
+        }
+        write!(
+            f,
+            "replay: cargo run -p dmvcc-dst -- replay --seed {} --size {} --threads {}",
+            self.seed, self.size, self.threads
+        )
+    }
+}
+
+const MAX_DETAIL_LINES: usize = 24;
+
+/// Sorted per-key diff of two final write sets (capped, deterministic).
+fn diff_writes(serial: &WriteSet, parallel: &WriteSet) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (key, value) in serial {
+        match parallel.get(key) {
+            None => lines.push(format!("missing {key}: serial={value}")),
+            Some(got) if got != value => {
+                lines.push(format!("value {key}: serial={value} executor={got}"));
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, value) in parallel {
+        if !serial.contains_key(key) {
+            lines.push(format!("extra {key}: executor={value}"));
+        }
+    }
+    lines.sort();
+    if lines.len() > MAX_DETAIL_LINES {
+        let more = lines.len() - MAX_DETAIL_LINES;
+        lines.truncate(MAX_DETAIL_LINES);
+        lines.push(format!("... and {more} more"));
+    }
+    lines
+}
+
+/// Per-transaction status diff (capped, deterministic).
+fn diff_statuses(trace: &BlockTrace, outcome: &ParallelOutcome) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (i, t) in trace.txs.iter().enumerate() {
+        if outcome.statuses[i] != t.status {
+            lines.push(format!(
+                "status tx {i}: serial={:?} executor={:?}",
+                t.status, outcome.statuses[i]
+            ));
+        }
+    }
+    if lines.len() > MAX_DETAIL_LINES {
+        let more = lines.len() - MAX_DETAIL_LINES;
+        lines.truncate(MAX_DETAIL_LINES);
+        lines.push(format!("... and {more} more"));
+    }
+    lines
+}
+
+fn check_outcome(
+    executor: &'static str,
+    seed: u64,
+    config: &FuzzConfig,
+    trace: &BlockTrace,
+    outcome: &ParallelOutcome,
+) -> Option<Divergence> {
+    let mut details = diff_writes(&trace.final_writes, &outcome.final_writes);
+    details.extend(diff_statuses(trace, outcome));
+    if details.is_empty() {
+        return None;
+    }
+    Some(Divergence {
+        seed,
+        size: config.size,
+        threads: config.threads,
+        executor,
+        details,
+    })
+}
+
+/// Runs one fuzz case end to end; `None` means every executor agreed with
+/// the serial oracle and the simulator invariants held.
+pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
+    let mut generator = WorkloadGenerator::new(config.profile.config(seed));
+    let analyzer = Analyzer::with_config(
+        generator.registry().clone(),
+        AnalysisConfig {
+            hide_fraction: config.hide_fraction,
+            seed: seed ^ 0xA11A,
+        },
+    );
+    let genesis = Snapshot::from_entries(generator.genesis_entries());
+
+    // The mempool scenario on a seeded subset of cases: predictions are
+    // built against the previous block's snapshot, execution runs on the
+    // current one.
+    let stale = config.stale_every != 0 && seed.is_multiple_of(config.stale_every);
+    let (live, prediction_snapshot, env) = if stale {
+        let warmup = generator.block(config.size / 2 + 1);
+        let env1 = BlockEnv::new(1, 1_700_000_000);
+        let warmup_trace = execute_block_serial(&warmup, &genesis, &analyzer, &env1);
+        let mut db = StateDb::with_genesis(generator.genesis_entries());
+        db.commit(&warmup_trace.final_writes);
+        (
+            db.latest().clone(),
+            genesis.clone(),
+            BlockEnv::new(2, 1_700_000_012),
+        )
+    } else {
+        (genesis.clone(), genesis, BlockEnv::new(1, 1_700_000_000))
+    };
+
+    let mut txs = generator.block(config.size);
+    let plan = config.fault_plan(seed);
+    let mut trace = execute_block_serial(&txs, &live, &analyzer, &env);
+    if plan.squeeze_gas(&mut txs, &trace) {
+        // The squeezed block is the block under test for every executor,
+        // including the oracle.
+        trace = execute_block_serial(&txs, &live, &analyzer, &env);
+    }
+    let mut csags = build_csags(&txs, &prediction_snapshot, &analyzer, &env);
+    plan.perturb_csags(&mut csags);
+
+    let parallel_config = ParallelConfig {
+        threads: config.threads,
+        max_attempts: 64,
+    };
+
+    let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
+    let sharded = ParallelExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
+    let outcome = sharded.execute_block_with_csags(&txs, &live, &env, &csags);
+    if let Some(divergence) = check_outcome("sharded", seed, config, &trace, &outcome) {
+        return Some(divergence);
+    }
+
+    let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
+    let global = GlobalLockParallelExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
+    let outcome = global.execute_block_with_csags(&txs, &live, &env, &csags);
+    if let Some(divergence) = check_outcome("global-lock", seed, config, &trace, &outcome) {
+        return Some(divergence);
+    }
+
+    if config.check_simulator {
+        let report = simulate_dmvcc(&trace, &csags, &DmvccConfig::new(config.threads));
+        let mut details = Vec::new();
+        let n = trace.txs.len() as u64;
+        if report.attempts != n + report.aborts {
+            details.push(format!(
+                "attempts {} != txs {} + aborts {}",
+                report.attempts, n, report.aborts
+            ));
+        }
+        let longest = trace.txs.iter().map(|t| t.gas_used).max().unwrap_or(0);
+        if report.makespan < longest {
+            details.push(format!(
+                "makespan {} < longest transaction {longest}",
+                report.makespan
+            ));
+        }
+        if report.busy_gas < report.serial_cost {
+            details.push(format!(
+                "busy_gas {} < serial cost {}",
+                report.busy_gas, report.serial_cost
+            ));
+        }
+        if !details.is_empty() {
+            return Some(Divergence {
+                seed,
+                size: config.size,
+                threads: config.threads,
+                executor: "simulator",
+                details,
+            });
+        }
+    }
+    None
+}
+
+/// Shrinks a divergence by replaying the same seed at smaller block sizes
+/// (prefix blocks — see the module docs). Returns the smallest reproducer
+/// found; the original if no smaller size still diverges.
+pub fn shrink(seed: u64, config: &FuzzConfig, found: Divergence) -> Divergence {
+    let mut best = found;
+    // Binary descent: halve while the divergence survives.
+    while best.size > 1 {
+        let mut candidate = config.clone();
+        candidate.size = best.size / 2;
+        match run_seed(seed, &candidate) {
+            Some(divergence) => best = divergence,
+            None => break,
+        }
+    }
+    // Linear polish: shave single transactions off the tail.
+    for _ in 0..8 {
+        if best.size <= 1 {
+            break;
+        }
+        let mut candidate = config.clone();
+        candidate.size = best.size - 1;
+        match run_seed(seed, &candidate) {
+            Some(divergence) => best = divergence,
+            None => break,
+        }
+    }
+    best
+}
+
+/// Result of a fuzz campaign.
+#[derive(Debug)]
+pub struct FuzzOutcome {
+    /// Seeds fully executed (budget exhaustion can stop a campaign early).
+    pub seeds_run: u64,
+    /// The first divergence found, already shrunk; `None` if all agreed.
+    pub divergence: Option<Divergence>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+/// Runs seeds `start .. start + count`, stopping at the first divergence
+/// (after shrinking it) or when the wall-clock `budget` runs out.
+/// `progress` is invoked after every case with the number of seeds done.
+pub fn fuzz(
+    start: u64,
+    count: u64,
+    config: &FuzzConfig,
+    budget: Option<Duration>,
+    mut progress: impl FnMut(u64),
+) -> FuzzOutcome {
+    let started = Instant::now();
+    for i in 0..count {
+        if budget.is_some_and(|b| started.elapsed() >= b) {
+            return FuzzOutcome {
+                seeds_run: i,
+                divergence: None,
+                elapsed: started.elapsed(),
+            };
+        }
+        let seed = start + i;
+        if let Some(found) = run_seed(seed, config) {
+            let shrunk = shrink(seed, config, found);
+            return FuzzOutcome {
+                seeds_run: i + 1,
+                divergence: Some(shrunk),
+                elapsed: started.elapsed(),
+            };
+        }
+        progress(i + 1);
+    }
+    FuzzOutcome {
+        seeds_run: count,
+        divergence: None,
+        elapsed: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_differential_seeds_agree() {
+        let config = FuzzConfig {
+            quiet: true,
+            size: 30,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..4 {
+            assert!(
+                run_seed(seed, &config).is_none(),
+                "quiet seed {seed} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stormy_seeds_agree_without_mutation() {
+        let config = FuzzConfig {
+            size: 40,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..4 {
+            let result = run_seed(seed, &config);
+            assert!(result.is_none(), "seed {seed} diverged: {:?}", result);
+        }
+    }
+
+    #[test]
+    fn divergence_report_is_deterministic_text() {
+        let divergence = Divergence {
+            seed: 9,
+            size: 12,
+            threads: 4,
+            executor: "sharded",
+            details: vec!["missing k: serial=1".into()],
+        };
+        let text = format!("{divergence}");
+        assert!(text.contains("seed=9"));
+        assert!(text.contains("replay: cargo run -p dmvcc-dst -- replay --seed 9 --size 12"));
+        assert_eq!(text, format!("{divergence}"));
+    }
+}

@@ -1,0 +1,148 @@
+//! `dmvcc-dst` binary: the DST fuzz driver and seed replayer.
+//!
+//! ```text
+//! dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]
+//!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
+//!                  [--budget-secs N] [--quiet]
+//! dmvcc-dst replay --seed S [--size N] [--threads N]
+//!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
+//! ```
+//!
+//! `fuzz` runs a seed campaign and exits non-zero on the first divergence,
+//! printing a shrunk, replayable report. `replay` re-runs one `(seed,
+//! size)` case and prints the identical report (byte-for-byte: every
+//! scheduler and fault decision is a pure function of the seed).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dmvcc_dst::{fuzz, run_seed, FuzzConfig, Mutation, Profile};
+
+fn usage(error: &str) -> ExitCode {
+    eprintln!("error: {error}");
+    eprintln!("usage: dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]");
+    eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
+    eprintln!("                        [--budget-secs N] [--quiet]");
+    eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
+    eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
+    eprintln!("mutations: none, skip-release-gas-bound");
+    ExitCode::from(2)
+}
+
+struct Args {
+    config: FuzzConfig,
+    seeds: u64,
+    start: u64,
+    seed: Option<u64>,
+    budget: Option<Duration>,
+}
+
+fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let command = argv.next().ok_or("missing command (fuzz | replay)")?;
+    let mut args = Args {
+        config: FuzzConfig::default(),
+        seeds: 200,
+        start: 0,
+        seed: None,
+        budget: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--start" => args.start = value("--start")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => {
+                args.seed = Some(value("--seed")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--size" => {
+                args.config.size = value("--size")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--threads" => {
+                args.config.threads = value("--threads")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--profile" => {
+                let name = value("--profile")?;
+                args.config.profile =
+                    Profile::parse(&name).ok_or_else(|| format!("unknown profile {name}"))?;
+            }
+            "--mutate" => {
+                let name = value("--mutate")?;
+                args.config.mutation =
+                    Mutation::parse(&name).ok_or_else(|| format!("unknown mutation {name}"))?;
+            }
+            "--budget-secs" => {
+                let secs: u64 = value("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                args.budget = Some(Duration::from_secs(secs));
+            }
+            "--quiet" => args.config.quiet = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok((command, args))
+}
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args();
+    argv.next(); // program name
+    let (command, args) = match parse(argv) {
+        Ok(parsed) => parsed,
+        Err(error) => return usage(&error),
+    };
+    match command.as_str() {
+        "fuzz" => {
+            println!(
+                "fuzzing {} seeds from {} (size={}, threads={}, mutation={:?})",
+                args.seeds, args.start, args.config.size, args.config.threads, args.config.mutation
+            );
+            let outcome = fuzz(args.start, args.seeds, &args.config, args.budget, |done| {
+                if done % 50 == 0 {
+                    println!("  {done} seeds clean");
+                }
+            });
+            match outcome.divergence {
+                Some(divergence) => {
+                    println!("{divergence}");
+                    ExitCode::FAILURE
+                }
+                None => {
+                    if outcome.seeds_run < args.seeds {
+                        println!(
+                            "budget exhausted after {} of {} seeds ({:.1?}), no divergence",
+                            outcome.seeds_run, args.seeds, outcome.elapsed
+                        );
+                    } else {
+                        println!(
+                            "{} seeds, no divergence ({:.1?})",
+                            outcome.seeds_run, outcome.elapsed
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        "replay" => {
+            let Some(seed) = args.seed else {
+                return usage("replay requires --seed");
+            };
+            match run_seed(seed, &args.config) {
+                Some(divergence) => {
+                    println!("{divergence}");
+                    ExitCode::FAILURE
+                }
+                None => {
+                    println!(
+                        "seed {seed} (size={}, threads={}): no divergence",
+                        args.config.size, args.config.threads
+                    );
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        other => usage(&format!("unknown command {other}")),
+    }
+}

@@ -1,0 +1,115 @@
+//! Abort-cascade property test (paper Algorithm 4): under increasingly
+//! lossy C-SAG predictions the cascading re-executions must still converge
+//! to the serial state, and the virtual-time simulator — configured with
+//! commutativity off and early writes on, the setting where every ω̄ becomes
+//! a chained read-modify-write — must report abort counts that grow with
+//! the misprediction rate.
+//!
+//! The analyzer hides keys by thresholding a per-key hash roll against
+//! `hide_fraction`, so the hidden-key sets of an increasing ladder are
+//! nested: every misprediction present at a lower rung is present at the
+//! higher ones, which is what makes the abort-count comparison meaningful
+//! per case rather than only in aggregate.
+
+use proptest::prelude::*;
+
+use dmvcc_analysis::{AnalysisConfig, Analyzer};
+use dmvcc_core::{
+    build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig, ParallelConfig,
+    ParallelExecutor,
+};
+use dmvcc_state::Snapshot;
+use dmvcc_vm::BlockEnv;
+use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn small(base: WorkloadConfig) -> WorkloadConfig {
+    WorkloadConfig {
+        accounts: 80,
+        token_contracts: 4,
+        amm_contracts: 2,
+        nft_contracts: 2,
+        counter_contracts: 1,
+        ballot_contracts: 1,
+        fig1_contracts: 1,
+        auction_contracts: 1,
+        crowdsale_contracts: 1,
+        batch_pay_contracts: 1,
+        router_contracts: 1,
+        ..base
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cascades_converge_and_aborts_grow_with_misprediction(
+        seed in 0u64..10_000,
+        size in 20usize..50,
+    ) {
+        let ladder = [0.0, 0.3, 0.6];
+        let mut previous_aborts = 0u64;
+        for (rung, &hide) in ladder.iter().enumerate() {
+            let mut generator =
+                WorkloadGenerator::new(small(WorkloadConfig::high_contention(seed)));
+            let analyzer = Analyzer::with_config(
+                generator.registry().clone(),
+                AnalysisConfig {
+                    hide_fraction: hide,
+                    seed: 77,
+                },
+            );
+            let genesis = Snapshot::from_entries(generator.genesis_entries());
+            let env = BlockEnv::new(1, 1_700_000_000);
+            let txs = generator.block(size);
+            let trace = execute_block_serial(&txs, &genesis, &analyzer, &env);
+            let csags = build_csags(&txs, &genesis, &analyzer, &env);
+
+            // Cascading re-executions reach the serial state (Theorem 1),
+            // no matter how lossy the predictions are.
+            let executor = ParallelExecutor::new(
+                analyzer.clone(),
+                ParallelConfig {
+                    threads: 4,
+                    max_attempts: 64,
+                },
+            );
+            let outcome = executor.execute_block_with_csags(&txs, &genesis, &env, &csags);
+            prop_assert_eq!(
+                &outcome.final_writes,
+                &trace.final_writes,
+                "threaded execution diverged from serial at hide={}",
+                hide
+            );
+
+            // The virtual-time scheduler with commutativity off: ω̄ chains
+            // like ordinary writes, so mispredictions surface as aborts.
+            let config = DmvccConfig {
+                commutative: false,
+                ..DmvccConfig::new(4)
+            };
+            prop_assert!(config.early_write, "DmvccConfig::new must enable early writes");
+            let report = simulate_dmvcc(&trace, &csags, &config);
+            prop_assert_eq!(
+                report.attempts,
+                txs.len() as u64 + report.aborts,
+                "attempt accounting broke at hide={}",
+                hide
+            );
+            if rung == 0 {
+                prop_assert_eq!(
+                    report.aborts, 0,
+                    "exact predictions must schedule without any abort"
+                );
+            }
+            prop_assert!(
+                report.aborts >= previous_aborts,
+                "abort count fell from {} to {} when hide rose to {}",
+                previous_aborts,
+                report.aborts,
+                hide
+            );
+            previous_aborts = report.aborts;
+        }
+    }
+}

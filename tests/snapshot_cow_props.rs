@@ -1,0 +1,105 @@
+//! Model-based property test for [`Snapshot::apply`]'s copy-on-write
+//! layering: random chains of block writes — overwrites, zero tombstones
+//! (EVM storage clearing), and enough blocks to trigger the internal
+//! flatten — must read identically to a flat `HashMap` model, the overlay
+//! depth must stay bounded, and historical snapshots must be immutable
+//! under later applies.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dmvcc_primitives::{Address, U256};
+use dmvcc_state::{Snapshot, StateKey, WriteSet};
+
+/// Small key pool so writes collide across blocks (overwrites and
+/// tombstone-then-rewrite sequences are the interesting cases).
+fn pool_key(index: u8) -> StateKey {
+    if index.is_multiple_of(3) {
+        StateKey::balance(Address::from_u64(u64::from(index / 3)))
+    } else {
+        StateKey::storage(
+            Address::from_u64(u64::from(index % 5)),
+            U256::from(u64::from(index / 5)),
+        )
+    }
+}
+
+/// One block: a handful of (key index, value) writes; value 0 is a
+/// tombstone.
+fn block_strategy() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((0u8..24, 0u64..50), 1..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cow_layers_match_flat_model(
+        // Up to 24 blocks: comfortably past the flatten threshold (8
+        // overlays), so the chain flattens mid-history at least twice.
+        blocks in prop::collection::vec(block_strategy(), 1..24),
+        genesis in prop::collection::vec((0u8..24, 1u64..50), 0..8),
+    ) {
+        let mut snapshot = Snapshot::from_entries(
+            genesis.iter().map(|&(k, v)| (pool_key(k), U256::from(v))),
+        );
+        let mut model: HashMap<StateKey, U256> = genesis
+            .iter()
+            .map(|&(k, v)| (pool_key(k), U256::from(v)))
+            .collect();
+        // Every historical snapshot paired with the model state it froze.
+        let mut history: Vec<(Snapshot, HashMap<StateKey, U256>)> =
+            vec![(snapshot.clone(), model.clone())];
+
+        for block in &blocks {
+            let writes: WriteSet = block
+                .iter()
+                .map(|&(k, v)| (pool_key(k), U256::from(v)))
+                .collect();
+            snapshot = snapshot.apply(&writes);
+            for (key, value) in &writes {
+                if value.is_zero() {
+                    model.remove(key);
+                } else {
+                    model.insert(*key, *value);
+                }
+            }
+
+            // Reads agree with the flat model on the whole key pool
+            // (absent keys read as zero on both sides).
+            for index in 0..24u8 {
+                let key = pool_key(index);
+                prop_assert_eq!(
+                    snapshot.get(&key),
+                    model.get(&key).copied().unwrap_or(U256::ZERO),
+                    "read mismatch on {:?} at height {}",
+                    key,
+                    snapshot.height()
+                );
+            }
+            prop_assert!(
+                snapshot.overlay_depth() <= 8,
+                "overlay depth {} exceeds the flatten threshold",
+                snapshot.overlay_depth()
+            );
+            prop_assert_eq!(snapshot.len(), model.len());
+            history.push((snapshot.clone(), model.clone()));
+        }
+
+        // Historical snapshots are immutable: later applies (including the
+        // flattens they triggered) must not have disturbed any frozen view.
+        for (old, frozen) in &history {
+            for index in 0..24u8 {
+                let key = pool_key(index);
+                prop_assert_eq!(
+                    old.get(&key),
+                    frozen.get(&key).copied().unwrap_or(U256::ZERO),
+                    "historical snapshot at height {} mutated on {:?}",
+                    old.height(),
+                    key
+                );
+            }
+        }
+    }
+}

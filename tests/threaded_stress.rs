@@ -1,10 +1,16 @@
 //! Stress tests for the multi-threaded executor: consecutive workload
-//! blocks, both contention profiles, pool-style stale C-SAGs — the root
-//! chain must match serial execution block for block.
+//! blocks, both contention profiles, pool-style stale C-SAGs, and a
+//! DST-driven injected-misprediction variant — the root chain must match
+//! serial execution block for block.
+
+use std::sync::Arc;
 
 use dmvcc_analysis::{AnalysisConfig, Analyzer};
-use dmvcc_core::{build_csags, execute_block_serial, ParallelConfig, ParallelExecutor};
-use dmvcc_state::StateDb;
+use dmvcc_core::{
+    build_csags, execute_block_serial, GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor,
+};
+use dmvcc_dst::{FaultPlan, SchedConfig, VirtualScheduler};
+use dmvcc_state::{Snapshot, StateDb};
 use dmvcc_vm::BlockEnv;
 use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -128,4 +134,59 @@ fn stale_csags_from_previous_snapshot() {
     let trace = execute_block_serial(&txs, &live_snapshot, &analyzer, &env2);
     let outcome = executor.execute_block_with_csags(&txs, &live_snapshot, &env2, &stale_csags);
     assert_eq!(outcome.final_writes, trace.final_writes);
+}
+
+#[test]
+fn injected_mispredictions_eight_threads_match_serial() {
+    // The DST plane turned on the stress suite: the fault plan drops
+    // predicted keys and grafts phantom writes onto the C-SAGs, the
+    // virtual scheduler perturbs the interleaving (preemption bursts,
+    // delayed publishes, injected abort storms, forced release gates) on
+    // eight oversubscribed workers — and both threaded executors must
+    // still agree with the serial oracle, key for key and status for
+    // status.
+    let mut generator = WorkloadGenerator::new(small(WorkloadConfig::high_contention(27)));
+    let analyzer = Analyzer::with_config(
+        generator.registry().clone(),
+        AnalysisConfig {
+            hide_fraction: 0.15,
+            seed: 27,
+        },
+    );
+    let genesis = Snapshot::from_entries(generator.genesis_entries());
+    let env = BlockEnv::new(1, 1_700_000_000);
+    let txs = generator.block(120);
+    let trace = execute_block_serial(&txs, &genesis, &analyzer, &env);
+    let mut csags = build_csags(&txs, &genesis, &analyzer, &env);
+    FaultPlan::standard(0xD57).perturb_csags(&mut csags);
+
+    let config = ParallelConfig {
+        threads: 8,
+        max_attempts: 64,
+    };
+    let serial_statuses: Vec<_> = trace.txs.iter().map(|t| t.status.clone()).collect();
+
+    let sharded = ParallelExecutor::new(analyzer.clone(), config)
+        .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(27))));
+    let outcome = sharded.execute_block_with_csags(&txs, &genesis, &env, &csags);
+    assert_eq!(
+        outcome.final_writes, trace.final_writes,
+        "sharded executor diverged from serial under injected mispredictions"
+    );
+    assert_eq!(
+        outcome.statuses, serial_statuses,
+        "sharded statuses diverged"
+    );
+
+    let global = GlobalLockParallelExecutor::new(analyzer.clone(), config)
+        .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(27))));
+    let outcome = global.execute_block_with_csags(&txs, &genesis, &env, &csags);
+    assert_eq!(
+        outcome.final_writes, trace.final_writes,
+        "global-lock executor diverged from serial under injected mispredictions"
+    );
+    assert_eq!(
+        outcome.statuses, serial_statuses,
+        "global-lock statuses diverged"
+    );
 }
