@@ -1,0 +1,849 @@
+//! Abstract interpretation of contract bytecode over the symbolic domain.
+//!
+//! Each basic block is executed symbolically over an abstract stack and a
+//! word-tiled abstract memory ([`SymExpr`] values at 32-byte-aligned
+//! constant offsets). A worklist fixpoint joins the entry states of blocks
+//! with several predecessors (equal expressions survive, anything else
+//! widens to `Unknown`; a stack-height mismatch poisons the block).
+//!
+//! Three things come out of the pass:
+//!
+//! 1. **Jump patching** — value-set propagation through the stack resolves
+//!    `PUSH`/`JUMP` pairs that are *not* adjacent (the pattern the plain
+//!    CFG builder gives up on), so release-point and gas-bound coverage
+//!    stops degrading to [`BlockExit::Unknown`]. A constant target that is
+//!    not a valid `JUMPDEST` stays `Unknown`: the jump faults at runtime
+//!    and must keep counting as abortable.
+//! 2. **Symbolic key templates** — every `SLOAD`/`SSTORE`/`SADD`/`BALANCE`
+//!    gets a key expression parameterized by transaction input, the
+//!    paper's "–" placeholders narrowed to the values that actually vary.
+//! 3. **Block plans** — per-block access/condition/gas facts precise
+//!    enough for [`crate::csag`] to *bind* a C-SAG without re-executing
+//!    the contract, falling back to speculative pre-execution exactly
+//!    where a plan is marked incomplete.
+//!
+//! Deliberate imprecision points (each one falls back, never mispredicts):
+//! unaligned or non-constant memory addressing, `MSTORE8`/copy opcodes
+//! (they poison the abstract memory), `GAS`/`MSIZE`/`ADDMOD`/`MULMOD`
+//! (always `Unknown`), `CALL` (the callee is outside the plan), and any
+//! loop whose carried state changes per iteration (the join widens it to
+//! `Unknown`).
+
+use std::collections::BTreeMap;
+
+use dmvcc_primitives::U256;
+use dmvcc_vm::{Opcode, MEMORY_LIMIT, STACK_LIMIT};
+
+use crate::cfg::{BlockExit, Cfg};
+use crate::psag::AccessKind;
+use crate::symbolic::{BinOp, SymExpr, UnOp};
+
+/// The key template of one access: a storage slot of the executing
+/// contract, or the balance of a computed address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyExpr {
+    /// `StateKey::storage(self, slot)` with a symbolic slot.
+    Storage(SymExpr),
+    /// `StateKey::balance(addr)` with a symbolic address.
+    Balance(SymExpr),
+}
+
+impl KeyExpr {
+    /// The inner symbolic expression.
+    pub fn expr(&self) -> &SymExpr {
+        match self {
+            KeyExpr::Storage(e) | KeyExpr::Balance(e) => e,
+        }
+    }
+
+    /// Statically-constant key value, if any.
+    pub fn as_const(&self) -> Option<U256> {
+        self.expr().as_const()
+    }
+
+    /// `true` when the key is a closed template (no `Unknown` inside).
+    pub fn is_template(&self) -> bool {
+        self.expr().is_template()
+    }
+}
+
+/// One state access of a block plan, in execution order.
+#[derive(Debug, Clone)]
+pub struct PlanAccess {
+    /// Program counter of the access instruction.
+    pub pc: usize,
+    /// ρ / ω / ω̄.
+    pub kind: AccessKind,
+    /// Symbolic key template.
+    pub key: KeyExpr,
+    /// Stored value (ω) or delta (ω̄); `None` for reads.
+    pub value: Option<SymExpr>,
+    /// For reads: the load id other expressions refer to via
+    /// [`SymExpr::Load`].
+    pub load: Option<usize>,
+}
+
+/// Facts about one basic block, sufficient to walk it concretely.
+#[derive(Debug, Clone, Default)]
+pub struct BlockPlan {
+    /// State accesses in execution order.
+    pub accesses: Vec<PlanAccess>,
+    /// The `JUMPI` condition, when the block branches.
+    pub cond: Option<SymExpr>,
+    /// Base gas of all instructions plus constant dynamic costs (hash,
+    /// copy and log payloads with constant lengths).
+    pub static_gas: u64,
+    /// `EXP` exponents whose dynamic cost must be evaluated at bind time.
+    pub exp_terms: Vec<SymExpr>,
+    /// Memory extents `(offset, len)` touched, in execution order, for
+    /// exact expansion-gas accounting.
+    pub mem_touches: Vec<(usize, usize)>,
+    /// `true` when the walk can execute this block without falling back:
+    /// every key/value/condition is a closed template, all memory
+    /// addressing is constant, gas is fully accounted, and the block
+    /// neither `CALL`s nor hits `INVALID`.
+    pub complete: bool,
+}
+
+/// The compiled plan of one contract: block plans parallel to
+/// [`Cfg::blocks`] plus the load-id space shared by their expressions.
+#[derive(Debug, Clone, Default)]
+pub struct ContractPlan {
+    /// Per-block facts, indexed like `cfg.blocks`.
+    pub blocks: Vec<BlockPlan>,
+    /// Number of read-access load ids in the plan.
+    pub load_count: usize,
+}
+
+impl ContractPlan {
+    /// All accesses of the plan in code order.
+    pub fn accesses(&self) -> impl Iterator<Item = &PlanAccess> {
+        self.blocks.iter().flat_map(|b| b.accesses.iter())
+    }
+}
+
+/// Abstract memory: symbolic words at 32-byte-aligned offsets. Anything
+/// unaligned, non-constant or byte-granular poisons the whole image.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct AbsMem {
+    words: BTreeMap<usize, SymExpr>,
+    poisoned: bool,
+}
+
+impl AbsMem {
+    fn store(&mut self, offset: Option<usize>, value: SymExpr) {
+        match offset {
+            Some(o) if o % 32 == 0 => {
+                self.words.insert(o, value);
+            }
+            _ => self.poison(),
+        }
+    }
+
+    fn load(&self, offset: Option<usize>) -> SymExpr {
+        if self.poisoned {
+            return SymExpr::Unknown;
+        }
+        match offset {
+            Some(o) if o % 32 == 0 => self
+                .words
+                .get(&o)
+                .cloned()
+                .unwrap_or(SymExpr::Const(U256::ZERO)),
+            _ => SymExpr::Unknown,
+        }
+    }
+
+    fn poison(&mut self) {
+        self.poisoned = true;
+        self.words.clear();
+    }
+
+    fn join(&self, other: &AbsMem) -> AbsMem {
+        if self.poisoned || other.poisoned {
+            return AbsMem {
+                words: BTreeMap::new(),
+                poisoned: true,
+            };
+        }
+        let mut words = BTreeMap::new();
+        let zero = SymExpr::Const(U256::ZERO);
+        for key in self.words.keys().chain(other.words.keys()) {
+            let a = self.words.get(key).unwrap_or(&zero);
+            let b = other.words.get(key).unwrap_or(&zero);
+            if a == b {
+                words.insert(*key, a.clone());
+            } else {
+                words.insert(*key, SymExpr::Unknown);
+            }
+        }
+        AbsMem {
+            words,
+            poisoned: false,
+        }
+    }
+}
+
+/// Abstract machine state at a block boundary.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct AbsState {
+    stack: Vec<SymExpr>,
+    mem: AbsMem,
+}
+
+impl AbsState {
+    /// `None` on a stack-height conflict — the successor block cannot be
+    /// given a well-typed entry state and its plan stays incomplete.
+    fn join(&self, other: &AbsState) -> Option<AbsState> {
+        if self.stack.len() != other.stack.len() {
+            return None;
+        }
+        let stack = self
+            .stack
+            .iter()
+            .zip(&other.stack)
+            .map(|(a, b)| if a == b { a.clone() } else { SymExpr::Unknown })
+            .collect();
+        Some(AbsState {
+            stack,
+            mem: self.mem.join(&other.mem),
+        })
+    }
+}
+
+/// Result of symbolically executing one block from a given entry state.
+struct BlockEffect {
+    plan: BlockPlan,
+    /// Out-state for successors (`None` when the block halts, aborts, or
+    /// underflows).
+    out: Option<AbsState>,
+    /// Jump target expression for `JUMP`/`JUMPI` terminators.
+    target: Option<SymExpr>,
+}
+
+/// Runs the abstract interpretation over `cfg`, patching resolvable
+/// `Unknown` jump exits in place, and returns the contract plan.
+pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
+    // Stable load ids: one per read instruction, in code order, assigned
+    // up front so expressions compare equal across fixpoint iterations.
+    let mut load_ids: BTreeMap<usize, usize> = BTreeMap::new();
+    for block in &cfg.blocks {
+        for ins in &block.instructions {
+            if matches!(ins.op, Opcode::Sload | Opcode::Balance) {
+                let id = load_ids.len();
+                load_ids.insert(ins.pc, id);
+            }
+        }
+    }
+    let block_of_start: BTreeMap<usize, usize> =
+        cfg.blocks.iter().map(|b| (b.start_pc, b.index)).collect();
+
+    let n = cfg.blocks.len();
+    let mut entry: Vec<Option<AbsState>> = vec![None; n];
+    let mut conflict = vec![false; n];
+    let mut seen = vec![false; n];
+    entry[0] = Some(AbsState::default());
+    seen[0] = true;
+    let mut worklist = vec![0usize];
+
+    // Fixpoint: propagate entry states, resolving Unknown jump exits from
+    // the symbolic stack as they become constant. Patching only refines
+    // Unknown → Jump/Branch (monotone), and the per-slot join lattice has
+    // height 2, so this terminates.
+    while let Some(index) = worklist.pop() {
+        if conflict[index] {
+            continue;
+        }
+        let Some(state) = entry[index].clone() else {
+            continue;
+        };
+        let effect = interpret_block(code, &cfg.blocks[index], state, &load_ids);
+        patch_exit(cfg, index, &effect, &block_of_start);
+        let Some(out) = effect.out else { continue };
+        for succ in cfg.blocks[index].successors() {
+            let joined = match &entry[succ] {
+                None => Some(out.clone()),
+                Some(existing) => match existing.join(&out) {
+                    Some(j) => Some(j),
+                    None => {
+                        conflict[succ] = true;
+                        continue;
+                    }
+                },
+            };
+            if !seen[succ] || joined != entry[succ] {
+                seen[succ] = true;
+                entry[succ] = joined;
+                worklist.push(succ);
+            }
+        }
+    }
+    cfg.has_unknown_jumps = cfg
+        .blocks
+        .iter()
+        .any(|b| matches!(b.exit, BlockExit::Unknown));
+
+    // Final facts pass from the fixed entry states.
+    let blocks = (0..n)
+        .map(|index| {
+            if conflict[index] {
+                return fallback_plan(&cfg.blocks[index], &load_ids);
+            }
+            match entry[index].clone() {
+                Some(state) => interpret_block(code, &cfg.blocks[index], state, &load_ids).plan,
+                // Unreachable (or unreached due to an upstream conflict):
+                // keep the access nodes, nothing else is known.
+                None => fallback_plan(&cfg.blocks[index], &load_ids),
+            }
+        })
+        .collect();
+
+    ContractPlan {
+        blocks,
+        load_count: load_ids.len(),
+    }
+}
+
+/// Refines an `Unknown` jump exit when the symbolic target folded to a
+/// constant naming a valid `JUMPDEST` leader.
+fn patch_exit(
+    cfg: &mut Cfg,
+    index: usize,
+    effect: &BlockEffect,
+    block_of_start: &BTreeMap<usize, usize>,
+) {
+    if !matches!(cfg.blocks[index].exit, BlockExit::Unknown) {
+        return;
+    }
+    let Some(target) = effect.target.as_ref().and_then(SymExpr::as_const) else {
+        return;
+    };
+    let Some(target_index) = target
+        .to_usize()
+        .and_then(|pc| block_of_start.get(&pc).copied())
+    else {
+        return;
+    };
+    let valid_dest = cfg.blocks[target_index]
+        .instructions
+        .first()
+        .is_some_and(|ins| ins.op == Opcode::JumpDest);
+    if !valid_dest {
+        return; // faults at runtime; stays abortable
+    }
+    let last = cfg.blocks[index].instructions.last().map(|i| i.op);
+    match last {
+        Some(Opcode::Jump) => cfg.blocks[index].exit = BlockExit::Jump(target_index),
+        Some(Opcode::JumpI) => {
+            let fall_pc = cfg.blocks[index]
+                .instructions
+                .last()
+                .map(|i| i.pc + 1 + i.op.immediate_len());
+            if let Some(fall_index) = fall_pc.and_then(|pc| block_of_start.get(&pc).copied()) {
+                cfg.blocks[index].exit = BlockExit::Branch(target_index, fall_index);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Plan for a block the interpretation never reached: its access nodes
+/// with fully-unknown keys, marked incomplete.
+fn fallback_plan(block: &crate::cfg::BasicBlock, load_ids: &BTreeMap<usize, usize>) -> BlockPlan {
+    let accesses = block
+        .instructions
+        .iter()
+        .filter_map(|ins| {
+            let kind = access_kind(ins.op)?;
+            Some(PlanAccess {
+                pc: ins.pc,
+                kind,
+                key: key_expr(ins.op, SymExpr::Unknown),
+                value: matches!(kind, AccessKind::Write | AccessKind::Add)
+                    .then_some(SymExpr::Unknown),
+                load: load_ids.get(&ins.pc).copied(),
+            })
+        })
+        .collect();
+    BlockPlan {
+        accesses,
+        complete: false,
+        ..BlockPlan::default()
+    }
+}
+
+fn access_kind(op: Opcode) -> Option<AccessKind> {
+    match op {
+        Opcode::Sload | Opcode::Balance => Some(AccessKind::Read),
+        Opcode::Sstore => Some(AccessKind::Write),
+        Opcode::Sadd => Some(AccessKind::Add),
+        _ => None,
+    }
+}
+
+fn key_expr(op: Opcode, key: SymExpr) -> KeyExpr {
+    if op == Opcode::Balance {
+        KeyExpr::Balance(key)
+    } else {
+        KeyExpr::Storage(key)
+    }
+}
+
+/// Symbolically executes one block. Mirrors the interpreter's `step`
+/// exactly where the domain is precise, and degrades to `Unknown` plus
+/// `complete = false` everywhere else.
+fn interpret_block(
+    code: &[u8],
+    block: &crate::cfg::BasicBlock,
+    mut state: AbsState,
+    load_ids: &BTreeMap<usize, usize>,
+) -> BlockEffect {
+    let mut plan = BlockPlan {
+        complete: true,
+        ..BlockPlan::default()
+    };
+    let mut target = None;
+    let mut halted = false;
+
+    // Popping with underflow tracking: the real machine faults, so the
+    // plan can never be walked; keep scanning only to emit access nodes.
+    let mut underflow = false;
+    macro_rules! pop {
+        () => {
+            match state.stack.pop() {
+                Some(value) => value,
+                None => {
+                    underflow = true;
+                    SymExpr::Unknown
+                }
+            }
+        };
+    }
+
+    for ins in &block.instructions {
+        use Opcode::*;
+        plan.static_gas += ins.op.base_gas();
+        match ins.op {
+            Stop => halted = true,
+            Add | Mul | Sub | Div | SDiv | Mod | SMod | SignExtend | Lt | Gt | Slt | Sgt | Eq
+            | And | Or | Xor | Byte | Shl | Shr | Sar => {
+                let (a, b) = (pop!(), pop!());
+                state.stack.push(SymExpr::binary(bin_op(ins.op), a, b));
+            }
+            Exp => {
+                let (a, b) = (pop!(), pop!());
+                match b.as_const() {
+                    Some(exponent) => {
+                        plan.static_gas += 50 * exponent.bits().div_ceil(8) as u64;
+                    }
+                    None if b.is_template() => plan.exp_terms.push(b.clone()),
+                    None => plan.complete = false,
+                }
+                state.stack.push(SymExpr::binary(BinOp::Exp, a, b));
+            }
+            AddMod | MulMod => {
+                let (_, _, _) = (pop!(), pop!(), pop!());
+                state.stack.push(SymExpr::Unknown);
+            }
+            IsZero => {
+                let a = pop!();
+                state.stack.push(SymExpr::unary(UnOp::IsZero, a));
+            }
+            Not => {
+                let a = pop!();
+                state.stack.push(SymExpr::unary(UnOp::Not, a));
+            }
+            Sha3 => {
+                let (offset, len) = (pop!(), pop!());
+                let extent = const_extent(&offset, &len);
+                match extent {
+                    Some((o, l)) => {
+                        plan.static_gas += 6 * (l.div_ceil(32)) as u64;
+                        touch(&mut plan, o, l);
+                    }
+                    None => plan.complete = false,
+                }
+                let hashed = match extent {
+                    Some((o, l)) if o % 32 == 0 && l % 32 == 0 && !state.mem.poisoned => {
+                        let words: Vec<SymExpr> = (0..l / 32)
+                            .map(|i| state.mem.load(Some(o + 32 * i)))
+                            .collect();
+                        if words.iter().all(SymExpr::is_template) {
+                            SymExpr::Keccak(words)
+                        } else {
+                            SymExpr::Unknown
+                        }
+                    }
+                    _ => SymExpr::Unknown,
+                };
+                state.stack.push(hashed);
+            }
+            Address => state.stack.push(SymExpr::SelfAddr),
+            Balance | Sload => {
+                let key = pop!();
+                let load = load_ids.get(&ins.pc).copied();
+                plan.accesses.push(PlanAccess {
+                    pc: ins.pc,
+                    kind: AccessKind::Read,
+                    key: key_expr(ins.op, key),
+                    value: None,
+                    load,
+                });
+                state
+                    .stack
+                    .push(load.map_or(SymExpr::Unknown, SymExpr::Load));
+            }
+            Sstore | Sadd => {
+                let (key, value) = (pop!(), pop!());
+                plan.accesses.push(PlanAccess {
+                    pc: ins.pc,
+                    kind: if ins.op == Sstore {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Add
+                    },
+                    key: KeyExpr::Storage(key),
+                    value: Some(value),
+                    load: None,
+                });
+            }
+            Origin | Caller => state.stack.push(SymExpr::Caller),
+            CallValue => state.stack.push(SymExpr::CallValue),
+            CallDataLoad => {
+                let offset = pop!();
+                state.stack.push(match offset.as_const() {
+                    Some(o) => match o.to_usize() {
+                        Some(o) => SymExpr::CallDataWord(o),
+                        // Interpreter reads zero past any addressable
+                        // offset.
+                        None => SymExpr::Const(U256::ZERO),
+                    },
+                    None => SymExpr::Unknown,
+                });
+            }
+            CallDataSize => state.stack.push(SymExpr::CallDataSize),
+            CodeSize => state.stack.push(SymExpr::Const(U256::from(code.len()))),
+            CallDataCopy | CodeCopy | ReturnDataCopy => {
+                let (mem_offset, _data_offset, len) = (pop!(), pop!(), pop!());
+                match const_extent(&mem_offset, &len) {
+                    Some((o, l)) => {
+                        plan.static_gas += 3 * (l.div_ceil(32)) as u64;
+                        touch(&mut plan, o, l);
+                    }
+                    None => plan.complete = false,
+                }
+                // Byte-granular writes of data the domain does not model.
+                state.mem.poison();
+            }
+            Timestamp => state.stack.push(SymExpr::BlockTimestamp),
+            Number => state.stack.push(SymExpr::BlockNumber),
+            Pop => {
+                pop!();
+            }
+            MLoad => {
+                let offset = pop!();
+                let o = offset.as_const().and_then(|v| v.to_usize());
+                match o {
+                    Some(o) => touch(&mut plan, o, 32),
+                    None => plan.complete = false,
+                }
+                state.stack.push(state.mem.load(o));
+            }
+            MStore => {
+                let (offset, value) = (pop!(), pop!());
+                let o = offset.as_const().and_then(|v| v.to_usize());
+                match o {
+                    Some(o) => touch(&mut plan, o, 32),
+                    None => plan.complete = false,
+                }
+                state.mem.store(o, value);
+            }
+            MStore8 => {
+                let (offset, _value) = (pop!(), pop!());
+                match offset.as_const().and_then(|v| v.to_usize()) {
+                    Some(o) => touch(&mut plan, o, 1),
+                    None => plan.complete = false,
+                }
+                state.mem.poison();
+            }
+            MSize | Gas | ReturnDataSize => state.stack.push(SymExpr::Unknown),
+            Jump | JumpI => {
+                target = Some(pop!());
+                if ins.op == JumpI {
+                    plan.cond = Some(pop!());
+                }
+            }
+            Pc => state.stack.push(SymExpr::Const(U256::from(ins.pc))),
+            JumpDest => {}
+            Push(_) => state
+                .stack
+                .push(SymExpr::Const(ins.imm.unwrap_or(U256::ZERO))),
+            Dup(n) => {
+                let n = n as usize;
+                if state.stack.len() < n {
+                    underflow = true;
+                    state.stack.push(SymExpr::Unknown);
+                } else {
+                    let value = state.stack[state.stack.len() - n].clone();
+                    state.stack.push(value);
+                }
+            }
+            Swap(n) => {
+                let n = n as usize;
+                if state.stack.len() < n + 1 {
+                    underflow = true;
+                } else {
+                    let top = state.stack.len() - 1;
+                    state.stack.swap(top, top - n);
+                }
+            }
+            Call => {
+                // The callee's accesses and gas are outside the plan.
+                for _ in 0..7 {
+                    pop!();
+                }
+                state.stack.push(SymExpr::Unknown);
+                state.mem.poison();
+                plan.complete = false;
+                halted = true; // stop modelling past the call
+            }
+            Log(n) => {
+                let (offset, len) = (pop!(), pop!());
+                for _ in 0..n {
+                    pop!();
+                }
+                match const_extent(&offset, &len) {
+                    Some((o, l)) => {
+                        plan.static_gas += 8 * l as u64;
+                        touch(&mut plan, o, l);
+                    }
+                    None => plan.complete = false,
+                }
+            }
+            Return | Revert => {
+                let (offset, len) = (pop!(), pop!());
+                match const_extent(&offset, &len) {
+                    Some((o, l)) => touch(&mut plan, o, l),
+                    None => plan.complete = false,
+                }
+                halted = true;
+            }
+            Invalid => {
+                // Consumes all gas at runtime; the walk cannot model it.
+                plan.complete = false;
+                halted = true;
+            }
+        }
+        // The real machine faults on overflow; such a block can never be
+        // walked to completion.
+        if state.stack.len() > STACK_LIMIT {
+            plan.complete = false;
+        }
+        if halted {
+            break;
+        }
+    }
+
+    if underflow {
+        plan.complete = false;
+    }
+    // A walkable block needs closed templates everywhere the walk
+    // evaluates: keys, stored values, the branch condition.
+    if plan
+        .accesses
+        .iter()
+        .any(|a| !a.key.is_template() || a.value.as_ref().is_some_and(|v| !v.is_template()))
+    {
+        plan.complete = false;
+    }
+    if plan.cond.as_ref().is_some_and(|c| !c.is_template()) {
+        plan.complete = false;
+    }
+
+    BlockEffect {
+        plan,
+        out: (!halted && !underflow).then_some(state),
+        target,
+    }
+}
+
+fn bin_op(op: Opcode) -> BinOp {
+    match op {
+        Opcode::Add => BinOp::Add,
+        Opcode::Mul => BinOp::Mul,
+        Opcode::Sub => BinOp::Sub,
+        Opcode::Div => BinOp::Div,
+        Opcode::SDiv => BinOp::SDiv,
+        Opcode::Mod => BinOp::Mod,
+        Opcode::SMod => BinOp::SMod,
+        Opcode::SignExtend => BinOp::SignExtend,
+        Opcode::Lt => BinOp::Lt,
+        Opcode::Gt => BinOp::Gt,
+        Opcode::Slt => BinOp::Slt,
+        Opcode::Sgt => BinOp::Sgt,
+        Opcode::Eq => BinOp::Eq,
+        Opcode::And => BinOp::And,
+        Opcode::Or => BinOp::Or,
+        Opcode::Xor => BinOp::Xor,
+        Opcode::Byte => BinOp::Byte,
+        Opcode::Shl => BinOp::Shl,
+        Opcode::Shr => BinOp::Shr,
+        Opcode::Sar => BinOp::Sar,
+        other => unreachable!("not a binary opcode: {other:?}"),
+    }
+}
+
+/// Both operands constant and inside the memory limit → `(offset, len)`.
+fn const_extent(offset: &SymExpr, len: &SymExpr) -> Option<(usize, usize)> {
+    let o = offset.as_const()?.to_usize()?;
+    let l = len.as_const()?.to_usize()?;
+    if l > 0 && o.checked_add(l)? > MEMORY_LIMIT {
+        return None;
+    }
+    Some((o, l))
+}
+
+fn touch(plan: &mut BlockPlan, offset: usize, len: usize) {
+    if len > 0 {
+        plan.mem_touches.push((offset, len));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_vm::{assemble, contracts};
+
+    fn analyzed(src: &str) -> (Cfg, ContractPlan) {
+        let code = assemble(src).expect("valid assembly");
+        let mut cfg = Cfg::build(&code);
+        let plan = analyze(&code, &mut cfg);
+        (cfg, plan)
+    }
+
+    #[test]
+    fn non_adjacent_push_jump_resolved() {
+        // The target sits below a SWAP — the plain CFG builder cannot see
+        // it, value-set propagation can.
+        let (cfg, _) = analyzed("PUSH @dest PUSH1 7 SWAP1 JUMP dest: JUMPDEST POP STOP");
+        assert!(!cfg.has_unknown_jumps);
+        let entry = &cfg.blocks[0];
+        assert!(matches!(entry.exit, BlockExit::Jump(_)));
+    }
+
+    #[test]
+    fn folded_target_must_be_a_jumpdest() {
+        // 2 + 2 = pc 4, which is not a JUMPDEST: stays Unknown (the jump
+        // faults at runtime and must keep counting as abortable).
+        let (cfg, _) = analyzed("PUSH1 2 PUSH1 2 ADD JUMP JUMPDEST STOP");
+        assert!(cfg.has_unknown_jumps);
+        assert!(cfg.release_points().is_empty());
+    }
+
+    #[test]
+    fn patched_jumps_restore_release_points() {
+        // Same shape but folding to a real JUMPDEST: release-point
+        // coverage no longer degrades.
+        let (cfg, _) = analyzed("PUSH1 2 PUSH1 4 ADD JUMP JUMPDEST PUSH1 5 PUSH1 0 SSTORE STOP");
+        assert!(!cfg.has_unknown_jumps);
+        assert!(!cfg.release_points().is_empty());
+    }
+
+    #[test]
+    fn mapping_key_becomes_keccak_template() {
+        let (_, plan) = analyzed(
+            "CALLER PUSH1 0 MSTORE PUSH1 1 PUSH1 32 MSTORE \
+             PUSH1 64 PUSH1 0 SHA3 SLOAD POP STOP",
+        );
+        let access = plan.accesses().next().expect("one access");
+        assert_eq!(access.kind, AccessKind::Read);
+        match access.key.expr() {
+            SymExpr::Keccak(words) => {
+                assert_eq!(
+                    words.as_slice(),
+                    &[SymExpr::Caller, SymExpr::Const(U256::ONE)]
+                );
+            }
+            other => panic!("expected keccak template, got {other}"),
+        }
+        assert!(access.key.is_template());
+        assert!(plan.blocks[0].complete);
+    }
+
+    #[test]
+    fn calldata_flows_through_memory() {
+        let (_, plan) = analyzed(
+            "PUSH1 32 CALLDATALOAD PUSH1 128 MSTORE \
+             PUSH1 128 MLOAD SLOAD POP STOP",
+        );
+        let access = plan.accesses().next().expect("one access");
+        assert_eq!(access.key.expr(), &SymExpr::CallDataWord(32));
+    }
+
+    #[test]
+    fn loop_variant_state_widens_to_unknown() {
+        // A counter decremented in memory across a back edge: the join
+        // widens the cell, the loop body's plan is incomplete.
+        let (_, plan) = analyzed(
+            "PUSH1 3 PUSH1 0 MSTORE \
+             loop: JUMPDEST PUSH1 0 MLOAD SLOAD POP \
+             PUSH1 1 PUSH1 0 MLOAD SUB PUSH1 0 MSTORE \
+             PUSH1 0 MLOAD PUSH @loop JUMPI STOP",
+        );
+        let in_loop = plan.accesses().next().expect("the loop body has an access");
+        assert_eq!(in_loop.key.expr(), &SymExpr::Unknown);
+        assert!(plan.blocks.iter().any(|b| !b.complete));
+    }
+
+    #[test]
+    fn call_marks_block_incomplete() {
+        let (_, plan) =
+            analyzed("PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 16 GAS CALL POP STOP");
+        assert!(!plan.blocks[0].complete);
+    }
+
+    #[test]
+    fn library_contracts_have_complete_dispatch() {
+        // Every contract's entry (dispatch) block must be walkable.
+        for (name, code) in [
+            ("token", contracts::token()),
+            ("counter", contracts::counter()),
+            ("amm", contracts::amm()),
+            ("nft", contracts::nft()),
+            ("ballot", contracts::ballot()),
+            ("auction", contracts::auction()),
+            ("crowdsale", contracts::crowdsale()),
+            ("batch_pay", contracts::batch_pay()),
+        ] {
+            let mut cfg = Cfg::build(&code);
+            let plan = analyze(&code, &mut cfg);
+            assert!(plan.blocks[0].complete, "{name}: dispatch not walkable");
+            // And all storage keys are closed templates.
+            for access in plan.accesses() {
+                let block = cfg
+                    .blocks
+                    .iter()
+                    .position(|b| b.instructions.iter().any(|i| i.pc == access.pc))
+                    .expect("access belongs to a block");
+                if plan.blocks[block].complete {
+                    assert!(
+                        access.key.is_template(),
+                        "{name}: access at pc {} in a complete block lacks a template",
+                        access.pc
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn static_gas_matches_base_costs() {
+        let (cfg, plan) = analyzed("PUSH1 1 PUSH1 2 ADD POP STOP");
+        let expected: u64 = cfg.blocks[0]
+            .instructions
+            .iter()
+            .map(|i| i.op.base_gas())
+            .sum();
+        assert_eq!(plan.blocks[0].static_gas, expected);
+    }
+}

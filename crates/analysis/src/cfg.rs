@@ -10,6 +10,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 
+use dmvcc_primitives::U256;
 use dmvcc_vm::Opcode;
 
 /// One decoded instruction.
@@ -19,9 +20,9 @@ pub struct Instruction {
     pub pc: usize,
     /// The operation.
     pub op: Opcode,
-    /// Immediate value for `PUSH` (low 8 bytes; enough for jump targets and
-    /// selectors — full-width immediates are re-read from code when needed).
-    pub imm: Option<u64>,
+    /// Full-width immediate value for `PUSH` — 32-byte mapping-slot
+    /// constants must survive decoding intact for symbolic key resolution.
+    pub imm: Option<U256>,
 }
 
 /// How a basic block ends.
@@ -85,13 +86,7 @@ pub fn decode(code: &[u8]) -> Vec<Instruction> {
                 let imm_len = op.immediate_len();
                 let imm = if imm_len > 0 {
                     let end = (pc + 1 + imm_len).min(code.len());
-                    let slice = &code[pc + 1..end];
-                    // Low 8 bytes are enough for jump targets.
-                    let mut value = 0u64;
-                    for &b in slice.iter().rev().take(8).rev() {
-                        value = (value << 8) | b as u64;
-                    }
-                    Some(value)
+                    Some(U256::from_be_slice(&code[pc + 1..end]))
                 } else {
                     None
                 };
@@ -199,7 +194,10 @@ impl Cfg {
                 Opcode::Stop | Opcode::Return => BlockExit::Halt,
                 Opcode::Revert | Opcode::Invalid => BlockExit::Abort,
                 Opcode::Jump => {
-                    match prev_imm.and_then(|t| block_of_pc.get(&(t as usize)).copied()) {
+                    match prev_imm
+                        .and_then(|t| t.to_usize())
+                        .and_then(|t| block_of_pc.get(&t).copied())
+                    {
                         Some(target) => BlockExit::Jump(target),
                         None => {
                             has_unknown = true;
@@ -209,7 +207,9 @@ impl Cfg {
                 }
                 Opcode::JumpI => {
                     let fall = next_pc.and_then(|np| block_of_pc.get(&np).copied());
-                    let taken = prev_imm.and_then(|t| block_of_pc.get(&(t as usize)).copied());
+                    let taken = prev_imm
+                        .and_then(|t| t.to_usize())
+                        .and_then(|t| block_of_pc.get(&t).copied());
                     match (taken, fall) {
                         (Some(t), Some(f)) => BlockExit::Branch(t, f),
                         _ => {
@@ -408,7 +408,18 @@ mod tests {
         let code = vec![0x61, 0x01];
         let instructions = decode(&code);
         assert_eq!(instructions.len(), 1);
-        assert_eq!(instructions[0].imm, Some(1));
+        assert_eq!(instructions[0].imm, Some(U256::ONE));
+    }
+
+    #[test]
+    fn decode_keeps_full_width_immediates() {
+        // PUSH32 of a value whose high bytes matter: the old low-8-byte
+        // truncation would mangle mapping-slot constants like this one.
+        let mut code = vec![0x7f];
+        code.extend_from_slice(&[0xab; 32]);
+        code.push(0x00); // STOP
+        let instructions = decode(&code);
+        assert_eq!(instructions[0].imm, Some(U256::from_be_bytes([0xab; 32])));
     }
 
     #[test]

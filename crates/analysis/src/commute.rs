@@ -1,0 +1,181 @@
+//! Static classification of storage increments (ω̄ detection).
+//!
+//! The paper's analyzer marks a write as a *commutative increment* ω̄ when
+//! it has the shape `k ← k + e` and the old value of `k` flows nowhere
+//! else; such writes merge instead of conflicting (Definition 3). Our VM
+//! surfaces ω̄ as an explicit `SADD` opcode, but contracts compiled from
+//! ordinary source still express increments as `SLOAD k … ADD … SSTORE k`.
+//! This module runs a def-use pass over the abstract-interpretation plan
+//! ([`crate::absint`]) to find those stores and decide — *statically,
+//! per contract* — whether each one commutes.
+//!
+//! The result is diagnostic only (it feeds `dmvcc lint`): promoting a
+//! plain store to the runtime add set would be unsound if the static
+//! reasoning missed a use, so the scheduler keeps trusting the per-
+//! transaction C-SAG refinement instead.
+
+use crate::absint::{ContractPlan, KeyExpr, PlanAccess};
+use crate::psag::AccessKind;
+use crate::symbolic::{BinOp, SymExpr};
+
+/// Verdict on one `SLOAD k … ADD … SSTORE k` pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrementClass {
+    /// The loaded value flows *only* into the stored sum: the write
+    /// commutes (ω̄) and is an `SADD` candidate.
+    Commutable,
+    /// The loaded value also feeds a branch condition, another key, or
+    /// another stored value — reordering would change behaviour.
+    NonCommutable,
+}
+
+/// One classified increment of a contract.
+#[derive(Debug, Clone)]
+pub struct IncrementReport {
+    /// Program counter of the `SSTORE`.
+    pub store_pc: usize,
+    /// Program counter of the matching `SLOAD`.
+    pub load_pc: usize,
+    /// The shared key template (display form).
+    pub key: SymExpr,
+    /// Whether the increment commutes.
+    pub class: IncrementClass,
+}
+
+/// Classifies every `k ← k + e` store of `plan`.
+///
+/// A store qualifies when its value is `Add(Load(i), e)` (either operand
+/// order) and its key template equals the key of read `i`. It is
+/// [`IncrementClass::Commutable`] iff `Load(i)` occurs exactly once across
+/// *all* plan facts — keys, stored values/deltas, branch conditions and
+/// `EXP` gas terms — i.e. only inside this store's sum.
+pub fn classify_increments(plan: &ContractPlan) -> Vec<IncrementReport> {
+    // Def site of each load id: (pc, key template).
+    let mut defs: Vec<Option<&PlanAccess>> = vec![None; plan.load_count];
+    for access in plan.accesses() {
+        if let Some(id) = access.load {
+            defs[id] = Some(access);
+        }
+    }
+
+    // Use counts of each load id across every plan fact.
+    let mut uses = vec![0usize; plan.load_count];
+    let mut count = |expr: &SymExpr| {
+        let mut ids = Vec::new();
+        expr.collect_loads(&mut ids);
+        for id in ids {
+            uses[id] += 1;
+        }
+    };
+    for block in &plan.blocks {
+        for access in &block.accesses {
+            count(access.key.expr());
+            if let Some(value) = &access.value {
+                count(value);
+            }
+        }
+        if let Some(cond) = &block.cond {
+            count(cond);
+        }
+        for term in &block.exp_terms {
+            count(term);
+        }
+    }
+
+    let mut reports = Vec::new();
+    for access in plan.accesses() {
+        if access.kind != AccessKind::Write {
+            continue;
+        }
+        let Some(SymExpr::Binary(BinOp::Add, a, b)) = &access.value else {
+            continue;
+        };
+        let load_id = match (a.as_ref(), b.as_ref()) {
+            (SymExpr::Load(id), _) | (_, SymExpr::Load(id)) => *id,
+            _ => continue,
+        };
+        let Some(def) = defs[load_id] else { continue };
+        // Balance reads can never match a storage store key, and two
+        // unresolved (`Unknown`-bearing) keys are *not* known to be the
+        // same slot even though they compare equal.
+        if !matches!(def.key, KeyExpr::Storage(_))
+            || !access.key.is_template()
+            || def.key != access.key
+        {
+            continue;
+        }
+        reports.push(IncrementReport {
+            store_pc: access.pc,
+            load_pc: def.pc,
+            key: access.key.expr().clone(),
+            class: if uses[load_id] == 1 {
+                IncrementClass::Commutable
+            } else {
+                IncrementClass::NonCommutable
+            },
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use dmvcc_vm::{assemble, contracts};
+
+    fn plan_of(code: &[u8]) -> ContractPlan {
+        let mut cfg = Cfg::build(code);
+        crate::absint::analyze(code, &mut cfg)
+    }
+
+    #[test]
+    fn plain_increment_commutes() {
+        let code = assemble("PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 0 SSTORE STOP").unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].class, IncrementClass::Commutable);
+        assert_eq!(reports[0].load_pc, 2);
+    }
+
+    #[test]
+    fn branch_on_loaded_value_blocks_commuting() {
+        // The loaded value feeds both the sum and a JUMPI condition.
+        let code = assemble(
+            "PUSH1 0 SLOAD DUP1 PUSH1 1 ADD PUSH1 0 SSTORE \
+             PUSH @skip JUMPI STOP skip: JUMPDEST STOP",
+        )
+        .unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].class, IncrementClass::NonCommutable);
+    }
+
+    #[test]
+    fn store_to_a_different_slot_is_not_an_increment() {
+        let code = assemble("PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 7 SSTORE STOP").unwrap();
+        assert!(classify_increments(&plan_of(&code)).is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_are_never_matched() {
+        // fig1's loop body stores through a loop-variant key: both key
+        // templates widen to Unknown, compare equal, and must *not* be
+        // reported as an increment of "the same" slot.
+        let plan = plan_of(&contracts::fig1_example());
+        for report in classify_increments(&plan) {
+            assert!(report.key.is_template(), "matched an unresolved key");
+        }
+    }
+
+    #[test]
+    fn counter_rmw_increment_is_a_sadd_candidate() {
+        // INCREMENT_CHECKED spells `count ← count + 1` with SLOAD/ADD/
+        // SSTORE and the loaded value flows nowhere else: the lint should
+        // flag it as a commutable SADD candidate.
+        let plan = plan_of(&contracts::counter());
+        let reports = classify_increments(&plan);
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].class, IncrementClass::Commutable);
+    }
+}

@@ -15,16 +15,18 @@
 //! [`AnalysisConfig::hide_fraction`] additionally injects artificial
 //! imprecision so those paths can be exercised and measured.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use dmvcc_primitives::{Address, U256};
 use dmvcc_state::{Snapshot, StateKey};
 use dmvcc_vm::{
-    execute_traced, CodeRegistry, ExecParams, ExecStatus, Host, HostError, Opcode, Tracer,
-    Transaction, TxKind,
+    execute_traced, BlockEnv, CodeRegistry, ExecParams, ExecStatus, Host, HostError, Opcode,
+    Tracer, Transaction, TxKind, INTRINSIC_GAS, MEMORY_LIMIT,
 };
 
-use crate::psag::AccessKind;
+use crate::absint::KeyExpr;
+use crate::psag::{AccessKind, PSag};
+use crate::symbolic::BindCtx;
 
 /// One recorded state access, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,25 @@ pub struct ReleasePoint {
     /// Upper bound on the gas needed to finish execution from `pc`
     /// (measured on the predicted path; the paper's `gas` field).
     pub gas_bound: u64,
+}
+
+/// Which refinement path produced a C-SAG.
+///
+/// The paper refines every P-SAG by re-executing the contract against the
+/// snapshot; this implementation adds a *symbolic* fast tier that binds
+/// the P-SAG's key templates directly (substituting calldata/caller and
+/// reading only the snapshot values the templates name) and falls back to
+/// speculative pre-execution when a template is incomplete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinementTier {
+    /// Exact by construction: Ether transfers, or a call to an unknown
+    /// contract (empty SAG, OCC fallback).
+    #[default]
+    Exact,
+    /// Bound from the P-SAG's symbolic templates without executing code.
+    Symbolic,
+    /// Full speculative pre-execution against the snapshot.
+    Speculative,
 }
 
 /// The complete (per-transaction) state access graph.
@@ -75,6 +96,8 @@ pub struct CSag {
     pub predicted_success: bool,
     /// Gas consumed on the predicted path.
     pub predicted_gas: u64,
+    /// Which refinement tier produced this prediction.
+    pub tier: RefinementTier,
 }
 
 impl CSag {
@@ -147,6 +170,19 @@ impl CSag {
     }
 }
 
+/// Which refinement path [`Analyzer::csag`] may take for contract calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinementMode {
+    /// Try the symbolic binding fast path first, falling back to
+    /// speculative pre-execution wherever a block plan is incomplete
+    /// (the default).
+    #[default]
+    TwoTier,
+    /// Always speculatively pre-execute (the paper's baseline behaviour;
+    /// useful as a differential oracle for the symbolic tier).
+    SpeculativeOnly,
+}
+
 /// Configuration of the analyzer.
 #[derive(Debug, Clone, Copy)]
 pub struct AnalysisConfig {
@@ -156,6 +192,8 @@ pub struct AnalysisConfig {
     pub hide_fraction: f64,
     /// Seed for the deterministic choice of hidden accesses.
     pub seed: u64,
+    /// Refinement strategy for contract calls.
+    pub refinement: RefinementMode,
 }
 
 impl Default for AnalysisConfig {
@@ -163,6 +201,7 @@ impl Default for AnalysisConfig {
         AnalysisConfig {
             hide_fraction: 0.0,
             seed: 0,
+            refinement: RefinementMode::TwoTier,
         }
     }
 }
@@ -325,10 +364,13 @@ impl Analyzer {
     /// Builds the C-SAG of `tx` against snapshot `snapshot`.
     ///
     /// For Ether transfers the result is exact ([`CSag::for_transfer`]).
-    /// For contract calls the transaction is speculatively executed against
-    /// the snapshot; calls to unknown contracts yield an empty C-SAG
-    /// (the scheduler then falls back to OCC-style handling, as the paper
-    /// prescribes for missing SAGs).
+    /// For contract calls, [`RefinementMode::TwoTier`] first tries to
+    /// *bind* the P-SAG's symbolic templates against the transaction —
+    /// no bytecode execution, only the snapshot reads the templates name —
+    /// and falls back to speculative pre-execution whenever the walked
+    /// path leaves the statically-planned region. Calls to unknown
+    /// contracts yield an empty C-SAG (the scheduler then falls back to
+    /// OCC-style handling, as the paper prescribes for missing SAGs).
     pub fn csag(&self, tx: &Transaction, snapshot: &Snapshot, block: &dmvcc_vm::BlockEnv) -> CSag {
         if tx.kind == TxKind::Transfer {
             return CSag::for_transfer(tx.sender(), tx.to());
@@ -337,8 +379,18 @@ impl Analyzer {
             return CSag::default();
         };
         let psag = self.psag(&tx.to()).expect("code exists, psag builds");
-        let release_set: std::collections::HashSet<usize> =
-            psag.release_pcs.iter().copied().collect();
+        let release_set: HashSet<usize> = psag.release_pcs.iter().copied().collect();
+
+        if self.config.refinement == RefinementMode::TwoTier {
+            if let Some(raw) = bind_symbolic(&psag, tx, block, snapshot, &release_set) {
+                return self.finish(
+                    raw,
+                    tx.env.gas_limit,
+                    &release_set,
+                    RefinementTier::Symbolic,
+                );
+            }
+        }
 
         let mut host = SpecHost {
             snapshot,
@@ -359,18 +411,44 @@ impl Analyzer {
             registry: Some(&self.registry),
         };
         let outcome = execute_traced(&params, &mut host, &mut recorder);
-
-        let mut sag = CSag {
-            predicted_success: matches!(outcome.status, ExecStatus::Success),
-            predicted_gas: outcome.gas_used,
+        let raw = RawPrediction {
+            events: recorder.events,
+            releases: host.releases,
             snapshot_deps: host.snapshot_deps,
+            predicted_success: matches!(outcome.status, ExecStatus::Success),
+            gas_used: outcome.gas_used,
+        };
+        self.finish(
+            raw,
+            tx.env.gas_limit,
+            &release_set,
+            RefinementTier::Speculative,
+        )
+    }
+
+    /// Shared post-processing of both refinement tiers: release-point
+    /// assembly, imprecision injection, and read/write/add set
+    /// construction. Keeping this common is what makes the symbolic tier
+    /// bit-identical to the speculative one whenever it binds.
+    fn finish(
+        &self,
+        raw: RawPrediction,
+        gas_limit: u64,
+        release_set: &HashSet<usize>,
+        tier: RefinementTier,
+    ) -> CSag {
+        let mut sag = CSag {
+            predicted_success: raw.predicted_success,
+            predicted_gas: raw.gas_used,
+            snapshot_deps: raw.snapshot_deps,
+            tier,
             ..CSag::default()
         };
 
         // Gas bound of a release point = gas it still needed on the
         // predicted path = gas_left at the point − gas_left at the end.
-        let gas_left_end = tx.env.gas_limit - outcome.gas_used;
-        for (pc, gas_left) in host.releases {
+        let gas_left_end = gas_limit - raw.gas_used;
+        for (pc, gas_left) in raw.releases {
             sag.release_points.push(ReleasePoint {
                 pc,
                 gas_bound: gas_left.saturating_sub(gas_left_end),
@@ -382,7 +460,7 @@ impl Analyzer {
         if release_set.contains(&0) {
             sag.release_points.push(ReleasePoint {
                 pc: 0,
-                gas_bound: outcome.gas_used.saturating_sub(dmvcc_vm::INTRINSIC_GAS),
+                gas_bound: raw.gas_used.saturating_sub(INTRINSIC_GAS),
             });
         }
         sag.release_points.sort_by_key(|rp| rp.pc);
@@ -394,7 +472,7 @@ impl Analyzer {
         // semantics of "the analyzer cannot see accesses to this slot".
         let hidden: BTreeSet<StateKey> = if self.config.hide_fraction > 0.0 {
             let mut hidden = BTreeSet::new();
-            let keys: BTreeSet<StateKey> = recorder.events.iter().map(|(e, _)| e.key).collect();
+            let keys: BTreeSet<StateKey> = raw.events.iter().map(|(e, _)| e.key).collect();
             for key in keys {
                 let mut state = self.config.seed ^ 0x9e37_79b9_7f4a_7c15;
                 for chunk in key.to_bytes().chunks(8) {
@@ -415,7 +493,7 @@ impl Analyzer {
             BTreeSet::new()
         };
 
-        for (event, depth) in recorder.events {
+        for (event, depth) in raw.events {
             if hidden.contains(&event.key) {
                 continue;
             }
@@ -443,6 +521,180 @@ impl Analyzer {
         sag.adds.retain(|key| !sag.writes.contains(key));
         sag
     }
+}
+
+/// Raw facts a refinement tier produces before shared post-processing:
+/// depth-tagged access events, raw release observations, snapshot
+/// dependencies and the predicted outcome.
+struct RawPrediction {
+    events: Vec<(AccessEvent, usize)>,
+    releases: Vec<(usize, u64)>,
+    snapshot_deps: BTreeMap<StateKey, U256>,
+    predicted_success: bool,
+    gas_used: u64,
+}
+
+/// The symbolic fast tier: walks the contract's block plans, evaluating
+/// key/value/condition templates against the concrete transaction and
+/// reading only the snapshot values named by `Load` holes — no bytecode
+/// is executed.
+///
+/// Returns `None` (fall back to speculative pre-execution) the moment the
+/// walked path leaves the statically-planned region: an incomplete block
+/// plan, an unresolved jump, out-of-gas or a memory fault on the walked
+/// path, or a loop running past the unroll budget. A successful walk
+/// reproduces the speculative tier's observations *exactly*, including
+/// block-boundary gas (release gas bounds are load-bearing: the scheduler
+/// releases locks against them).
+fn bind_symbolic(
+    psag: &PSag,
+    tx: &Transaction,
+    block: &BlockEnv,
+    snapshot: &Snapshot,
+    release_set: &HashSet<usize>,
+) -> Option<RawPrediction> {
+    use crate::cfg::BlockExit;
+    /// Loop-unroll budget: beyond this many block visits the walk is
+    /// cheaper to redo speculatively than to keep simulating.
+    const MAX_BLOCK_VISITS: usize = 4096;
+
+    let env = &tx.env;
+    let contract = tx.to();
+    if env.gas_limit < INTRINSIC_GAS {
+        return None; // the interpreter prices this edge case
+    }
+    let mut gas_left = env.gas_limit - INTRINSIC_GAS;
+    // Memory high-water mark in 32-byte words, for expansion gas.
+    let mut mem_words: u64 = 0;
+    let mut loads: Vec<Option<U256>> = vec![None; psag.plan.load_count];
+    let mut overlay: HashMap<StateKey, U256> = HashMap::new();
+    let mut deltas: HashMap<StateKey, U256> = HashMap::new();
+    let mut snapshot_deps: BTreeMap<StateKey, U256> = BTreeMap::new();
+    let mut events: Vec<(AccessEvent, usize)> = Vec::new();
+    let mut releases: Vec<(usize, u64)> = Vec::new();
+
+    let mut index = 0usize;
+    let mut visits = 0usize;
+    let predicted_success = loop {
+        visits += 1;
+        if visits > MAX_BLOCK_VISITS {
+            return None;
+        }
+        let bb = &psag.cfg.blocks[index];
+        let plan = &psag.plan.blocks[index];
+        if !plan.complete {
+            return None;
+        }
+
+        // Gas: static base + bound EXP exponents + memory expansion,
+        // charged at block granularity. gas_left only ever decreases, so a
+        // boundary check detects out-of-gas on the walked path (the exact
+        // faulting pc does not matter — an unfinishable walk falls back).
+        let mut charge = plan.static_gas;
+        for term in &plan.exp_terms {
+            let ctx = BindCtx {
+                tx: env,
+                block,
+                loads: &loads,
+            };
+            let exponent = term.eval(&ctx)?;
+            charge += 50 * exponent.bits().div_ceil(8) as u64;
+        }
+        for &(offset, len) in &plan.mem_touches {
+            let end = offset.checked_add(len).filter(|&e| e <= MEMORY_LIMIT)?;
+            let end_words = end.div_ceil(32) as u64;
+            if end_words > mem_words {
+                charge += 3 * (end_words - mem_words);
+                mem_words = end_words;
+            }
+        }
+        if charge > gas_left {
+            return None;
+        }
+        gas_left -= charge;
+
+        for access in &plan.accesses {
+            let ctx = BindCtx {
+                tx: env,
+                block,
+                loads: &loads,
+            };
+            let key_value = access.key.expr().eval(&ctx)?;
+            let key = match access.key {
+                KeyExpr::Storage(_) => StateKey::storage(contract, key_value),
+                KeyExpr::Balance(_) => StateKey::balance(Address::from_u256(key_value)),
+            };
+            // Mirror SpecHost's merge semantics: reads see own writes plus
+            // pending commutative deltas; a full write folds the delta.
+            match access.kind {
+                AccessKind::Read => {
+                    let delta = deltas.get(&key).copied().unwrap_or(U256::ZERO);
+                    let value = match overlay.get(&key) {
+                        Some(&v) => v.wrapping_add(delta),
+                        None => {
+                            let base = snapshot.get(&key);
+                            snapshot_deps.insert(key, base);
+                            base.wrapping_add(delta)
+                        }
+                    };
+                    loads[access.load?] = Some(value);
+                }
+                AccessKind::Write => {
+                    let value = access.value.as_ref()?.eval(&ctx)?;
+                    deltas.remove(&key);
+                    overlay.insert(key, value);
+                }
+                AccessKind::Add => {
+                    let delta = access.value.as_ref()?.eval(&ctx)?;
+                    let entry = deltas.entry(key).or_insert(U256::ZERO);
+                    *entry = entry.wrapping_add(delta);
+                }
+            }
+            events.push((
+                AccessEvent {
+                    pc: access.pc,
+                    kind: access.kind,
+                    key,
+                },
+                0,
+            ));
+        }
+
+        let next = match bb.exit {
+            BlockExit::Halt => break true,
+            BlockExit::Abort => break false,
+            BlockExit::FallThrough(succ) | BlockExit::Jump(succ) => succ,
+            BlockExit::Branch(taken, fall) => {
+                let ctx = BindCtx {
+                    tx: env,
+                    block,
+                    loads: &loads,
+                };
+                let cond = plan.cond.as_ref()?.eval(&ctx)?;
+                if cond.is_zero() {
+                    fall
+                } else {
+                    taken
+                }
+            }
+            BlockExit::Unknown => return None,
+        };
+        // Same observation point as the interpreter's release callback:
+        // landing on a release pc, with the gas left at that moment.
+        let next_pc = psag.cfg.blocks[next].start_pc;
+        if release_set.contains(&next_pc) {
+            releases.push((next_pc, gas_left));
+        }
+        index = next;
+    };
+
+    Some(RawPrediction {
+        events,
+        releases,
+        snapshot_deps,
+        predicted_success,
+        gas_used: env.gas_limit - gas_left,
+    })
 }
 
 #[cfg(test)]
@@ -655,6 +907,7 @@ mod tests {
             AnalysisConfig {
                 hide_fraction: 1.0,
                 seed: 7,
+                ..AnalysisConfig::default()
             },
         );
         let tx = call_tx(COUNTER, 1, contracts::counter_fn::INCREMENT, &[]);
@@ -670,10 +923,117 @@ mod tests {
             AnalysisConfig {
                 hide_fraction: 1.0,
                 seed: 7,
+                ..AnalysisConfig::default()
             },
         )
         .csag(&tx, &snapshot, &block);
         assert_eq!(lossy_sag.adds.len(), lossy_sag2.adds.len());
+    }
+
+    /// Everything except `tier` must agree between the two refinement
+    /// tiers — the symbolic walk is only allowed to exist because it is
+    /// bit-identical to speculation whenever it binds.
+    fn assert_same_prediction(symbolic: &CSag, speculative: &CSag, what: &str) {
+        assert_eq!(symbolic.reads, speculative.reads, "{what}: reads");
+        assert_eq!(symbolic.writes, speculative.writes, "{what}: writes");
+        assert_eq!(symbolic.adds, speculative.adds, "{what}: adds");
+        assert_eq!(symbolic.trace, speculative.trace, "{what}: trace");
+        assert_eq!(
+            symbolic.release_points, speculative.release_points,
+            "{what}: release points"
+        );
+        assert_eq!(
+            symbolic.last_write_pc, speculative.last_write_pc,
+            "{what}: last_write_pc"
+        );
+        assert_eq!(
+            symbolic.snapshot_deps, speculative.snapshot_deps,
+            "{what}: snapshot_deps"
+        );
+        assert_eq!(
+            symbolic.predicted_success, speculative.predicted_success,
+            "{what}: predicted_success"
+        );
+        assert_eq!(
+            symbolic.predicted_gas, speculative.predicted_gas,
+            "{what}: predicted_gas"
+        );
+    }
+
+    #[test]
+    fn symbolic_tier_matches_speculation_exactly() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let alice_slot = contracts::map_slot(Address::from_u64(1).to_u256(), 1);
+        let snapshot = Snapshot::from_entries([(
+            StateKey::storage(Address::from_u64(TOKEN), alice_slot),
+            U256::from(100u64),
+        )]);
+        let block = BlockEnv::default();
+        let cases = [
+            (
+                "counter add",
+                call_tx(COUNTER, 1, contracts::counter_fn::INCREMENT, &[]),
+            ),
+            (
+                "token transfer (succeeds)",
+                call_tx(
+                    TOKEN,
+                    1,
+                    contracts::token_fn::TRANSFER,
+                    &[Address::from_u64(2).to_u256(), U256::from(30u64)],
+                ),
+            ),
+            (
+                "token transfer (reverts)",
+                call_tx(
+                    TOKEN,
+                    3,
+                    contracts::token_fn::TRANSFER,
+                    &[Address::from_u64(2).to_u256(), U256::from(30u64)],
+                ),
+            ),
+        ];
+        for (what, tx) in cases {
+            let s = two_tier.csag(&tx, &snapshot, &block);
+            let p = speculative.csag(&tx, &snapshot, &block);
+            assert_eq!(s.tier, RefinementTier::Symbolic, "{what}: expected a bind");
+            assert_eq!(p.tier, RefinementTier::Speculative);
+            assert_same_prediction(&s, &p, what);
+        }
+    }
+
+    #[test]
+    fn loop_paths_fall_back_to_speculation() {
+        let a = analyzer();
+        let x = Address::from_u64(42).to_u256();
+        let key_ax = StateKey::storage(Address::from_u64(FIG1), contracts::map_slot(x, 0));
+        // A[x] = 3 steers fig1's UpdateB into its for-loop, whose plan is
+        // incomplete (loop-variant memory): the two-tier analyzer must
+        // fall back — and still agree with the pure speculative analyzer.
+        let snapshot = Snapshot::from_entries([(key_ax, U256::from(3u64))]);
+        let tx = call_tx(
+            FIG1,
+            1,
+            contracts::fig1_fn::UPDATE_B,
+            &[x, U256::from(4u64)],
+        );
+        let sag = a.csag(&tx, &snapshot, &BlockEnv::default());
+        assert_eq!(sag.tier, RefinementTier::Speculative);
+        assert!(sag.predicted_success);
+    }
+
+    #[test]
+    fn transfers_are_exact_tier() {
+        let sag = CSag::for_transfer(Address::from_u64(1), Address::from_u64(2));
+        assert_eq!(sag.tier, RefinementTier::Exact);
     }
 
     #[test]

@@ -23,12 +23,22 @@
 
 #![warn(missing_docs)]
 
+mod absint;
 mod cfg;
+mod commute;
 mod csag;
 mod gas;
+mod lint;
 mod psag;
+mod symbolic;
 
+pub use absint::{analyze, BlockPlan, ContractPlan, KeyExpr, PlanAccess};
 pub use cfg::{decode, BasicBlock, BlockExit, Cfg, Instruction};
-pub use csag::{AccessEvent, AnalysisConfig, Analyzer, CSag, ReleasePoint};
+pub use commute::{classify_increments, IncrementClass, IncrementReport};
+pub use csag::{
+    AccessEvent, AnalysisConfig, Analyzer, CSag, RefinementMode, RefinementTier, ReleasePoint,
+};
 pub use gas::{cfg_to_dot, static_gas_bounds};
+pub use lint::{lint_contract, ContractLint, Finding, Severity};
 pub use psag::{AccessKind, PSag, SagOp};
+pub use symbolic::{apply_bin, BinOp, BindCtx, SymExpr, UnOp};

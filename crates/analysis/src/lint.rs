@@ -1,0 +1,243 @@
+//! Prediction-quality lint over a contract's static analysis results.
+//!
+//! DMVCC's performance rests on the analyzer's predictions: unresolved
+//! keys degrade C-SAG refinement to speculative pre-execution, missing
+//! release points keep locks held to completion, unbounded blocks lose
+//! their gas bounds, and read-modify-write increments conflict where an
+//! `SADD` would commute. [`lint_contract`] surfaces all four as findings
+//! so contract authors (and CI) can see prediction quality *before*
+//! anything executes; the `dmvcc lint` subcommand renders them.
+
+use crate::absint::ContractPlan;
+use crate::cfg::Cfg;
+use crate::commute::{classify_increments, IncrementClass};
+use crate::gas::static_gas_bounds;
+use crate::psag::PSag;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: an optimisation opportunity.
+    Note,
+    /// Degrades prediction quality (falls back, holds locks longer).
+    Warning,
+    /// Defeats the analyzer entirely; fails the lint.
+    Error,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description, including the pc where relevant.
+    pub message: String,
+}
+
+/// The lint result for one contract.
+#[derive(Debug, Clone)]
+pub struct ContractLint {
+    /// Contract name (as registered).
+    pub name: String,
+    /// Total state-access nodes in the P-SAG.
+    pub access_ops: usize,
+    /// Accesses whose key is a closed symbolic template (bindable without
+    /// speculative execution).
+    pub template_resolved: usize,
+    /// Accesses whose key is a literal constant.
+    pub const_resolved: usize,
+    /// Number of release points.
+    pub release_points: usize,
+    /// All findings, in severity-then-discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl ContractLint {
+    /// `true` when any finding is an [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Error)
+    }
+}
+
+/// Lints `code`, reporting unresolved keys, missing release points,
+/// unbounded blocks and non-commutable increments.
+///
+/// Errors (which fail `dmvcc lint`): a contract with state accesses none
+/// of which resolve to a template, and a contract with no release points
+/// at all — both defeat the point of static analysis.
+pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
+    let psag = PSag::build(code);
+    let plan = &psag.plan;
+    let access_ops = psag.ops.len();
+    let template_resolved = psag.template_resolved().count();
+    let const_resolved = psag.resolved().count();
+
+    let mut findings = Vec::new();
+
+    if access_ops > 0 && template_resolved == 0 {
+        findings.push(Finding {
+            severity: Severity::Error,
+            message: format!(
+                "none of the {access_ops} state accesses resolve to a key template; \
+                 every C-SAG refinement will fall back to speculative execution"
+            ),
+        });
+    }
+    if psag.release_pcs.is_empty() {
+        findings.push(Finding {
+            severity: Severity::Error,
+            message: "no release points: an abort stays reachable to the end of every path, \
+                      so locks are held until commit"
+                .to_string(),
+        });
+    }
+
+    for access in plan.accesses() {
+        if !access.key.is_template() {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "access at pc {} has an unresolved key (the paper's \"–\" placeholder)",
+                    access.pc
+                ),
+            });
+        }
+    }
+
+    unbounded_gas_findings(&psag.cfg, plan, &mut findings);
+
+    for report in classify_increments(plan) {
+        match report.class {
+            IncrementClass::Commutable => findings.push(Finding {
+                severity: Severity::Note,
+                message: format!(
+                    "store at pc {} is a commutable increment of key {} (loaded at pc {}); \
+                     compiling it to SADD would remove the read-write conflict",
+                    report.store_pc, report.key, report.load_pc
+                ),
+            }),
+            IncrementClass::NonCommutable => findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "store at pc {} increments key {} but the value loaded at pc {} \
+                     flows into other facts; the increment cannot commute",
+                    report.store_pc, report.key, report.load_pc
+                ),
+            }),
+        }
+    }
+
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    ContractLint {
+        name: name.to_string(),
+        access_ops,
+        template_resolved,
+        const_resolved,
+        release_points: psag.release_pcs.len(),
+        findings,
+    }
+}
+
+/// Warns on release points whose static gas bound is unknown and on
+/// unresolved jumps (which poison bounds downstream).
+fn unbounded_gas_findings(cfg: &Cfg, plan: &ContractPlan, findings: &mut Vec<Finding>) {
+    if cfg.has_unknown_jumps {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            message: "the CFG still has unresolved jump targets after value-set propagation; \
+                      release-point and gas-bound coverage degrade conservatively"
+                .to_string(),
+        });
+    }
+    let bounds = static_gas_bounds(cfg);
+    let release_pcs = cfg.release_points();
+    for block in &cfg.blocks {
+        if release_pcs.contains(&block.start_pc) && bounds[block.index].is_none() {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "release point at pc {} has no static gas bound (a loop or unresolved \
+                     jump is reachable); the bound is only known per transaction",
+                    block.start_pc
+                ),
+            });
+        }
+    }
+    for (index, block_plan) in plan.blocks.iter().enumerate() {
+        if !block_plan.complete {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                message: format!(
+                    "block at pc {} is not symbolically walkable; paths through it \
+                     refine via speculative execution",
+                    cfg.blocks[index].start_pc
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_vm::{assemble, contracts};
+
+    #[test]
+    fn clean_contract_has_no_errors() {
+        let lint = lint_contract("counter", &contracts::counter());
+        assert!(!lint.has_errors(), "{:#?}", lint.findings);
+        assert!(lint.access_ops > 0);
+        assert!(lint.template_resolved > 0);
+        assert!(lint.release_points > 0);
+        // The read-modify-write increment is flagged as an SADD candidate.
+        assert!(lint
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Note && f.message.contains("SADD")));
+    }
+
+    #[test]
+    fn missing_release_points_is_an_error() {
+        // An abort at the very end of the only path → no release points
+        // anywhere.
+        let code = assemble("PUSH1 5 PUSH1 0 SSTORE PUSH1 0 PUSH1 0 REVERT").unwrap();
+        let lint = lint_contract("always-abortable", &code);
+        assert!(lint.has_errors());
+        assert!(lint
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Error && f.message.contains("release")));
+    }
+
+    #[test]
+    fn fully_opaque_keys_are_an_error() {
+        // Key depends on GAS → not a template, and the only access.
+        let code = assemble("GAS SLOAD POP STOP").unwrap();
+        let lint = lint_contract("opaque", &code);
+        assert_eq!(lint.access_ops, 1);
+        assert_eq!(lint.template_resolved, 0);
+        assert!(lint.has_errors());
+    }
+
+    #[test]
+    fn library_contracts_lint_clean() {
+        for (name, code) in [
+            ("token", contracts::token()),
+            ("counter", contracts::counter()),
+            ("amm", contracts::amm()),
+            ("nft", contracts::nft()),
+            ("ballot", contracts::ballot()),
+            ("fig1", contracts::fig1_example()),
+            ("auction", contracts::auction()),
+            ("crowdsale", contracts::crowdsale()),
+            ("batch_pay", contracts::batch_pay()),
+        ] {
+            let lint = lint_contract(name, &code);
+            assert!(
+                !lint.has_errors(),
+                "{name} has lint errors: {:#?}",
+                lint.findings
+            );
+        }
+    }
+}

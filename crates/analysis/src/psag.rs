@@ -9,8 +9,8 @@
 use std::collections::HashSet;
 
 use dmvcc_primitives::U256;
-use dmvcc_vm::Opcode;
 
+use crate::absint::{self, ContractPlan};
 use crate::cfg::Cfg;
 
 /// The access kind of a SAG node (ρ, ω, or the commutative increment ω̄).
@@ -42,45 +42,41 @@ pub struct SagOp {
 /// The statically-constructed partial state access graph of one contract.
 #[derive(Debug, Clone)]
 pub struct PSag {
-    /// The CFG skeleton.
+    /// The CFG skeleton, with jump exits patched by value-set propagation
+    /// (see [`crate::absint`]).
     pub cfg: Cfg,
     /// All state-access nodes in code order.
     pub ops: Vec<SagOp>,
-    /// Release-point pcs (block starts past the last reachable abort).
+    /// Release-point pcs (block starts past the last reachable abort),
+    /// computed on the patched CFG.
     pub release_pcs: Vec<usize>,
     /// Start pcs of loop-head blocks (the paper's *loop nodes*, unrolled
     /// only at C-SAG time).
     pub loop_head_pcs: Vec<usize>,
+    /// Per-block symbolic plan: key templates, conditions and gas facts
+    /// that let C-SAG refinement bind instead of re-executing.
+    pub plan: ContractPlan,
 }
 
 impl PSag {
     /// Builds the P-SAG of `code`.
     pub fn build(code: &[u8]) -> PSag {
-        let cfg = Cfg::build(code);
-        let mut ops = Vec::new();
-        for block in &cfg.blocks {
-            for (i, ins) in block.instructions.iter().enumerate() {
-                let kind = match ins.op {
-                    Opcode::Sload | Opcode::Balance => AccessKind::Read,
-                    Opcode::Sstore => AccessKind::Write,
-                    Opcode::Sadd => AccessKind::Add,
-                    _ => continue,
-                };
-                // Static key resolution: a PUSH immediately preceding the
-                // access pins the slot; anything else (SHA3 output, MLOAD)
-                // stays a placeholder.
-                let slot = i
-                    .checked_sub(1)
-                    .and_then(|j| block.instructions.get(j))
-                    .filter(|prev| matches!(prev.op, Opcode::Push(_)))
-                    .map(|prev| read_wide_imm(code, prev.pc));
-                ops.push(SagOp {
-                    pc: ins.pc,
-                    kind,
-                    slot,
-                });
-            }
-        }
+        let mut cfg = Cfg::build(code);
+        let plan = absint::analyze(code, &mut cfg);
+        // One SagOp per access node, in code order (blocks are sorted by
+        // start pc, plan accesses by instruction order). `slot` keeps its
+        // historical meaning — a key the code names as a literal constant;
+        // parameterized templates live in `plan`.
+        let ops = cfg
+            .blocks
+            .iter()
+            .flat_map(|block| plan.blocks[block.index].accesses.iter())
+            .map(|access| SagOp {
+                pc: access.pc,
+                kind: access.kind,
+                slot: access.key.as_const(),
+            })
+            .collect();
         let release_pcs = cfg.release_points();
         let loop_head_pcs = loop_heads(&cfg);
         PSag {
@@ -88,6 +84,7 @@ impl PSag {
             ops,
             release_pcs,
             loop_head_pcs,
+            plan,
         }
     }
 
@@ -100,16 +97,13 @@ impl PSag {
     pub fn resolved(&self) -> impl Iterator<Item = &SagOp> {
         self.ops.iter().filter(|op| op.slot.is_some())
     }
-}
 
-/// Reads the full-width immediate of the `PUSH` at `pc`.
-fn read_wide_imm(code: &[u8], pc: usize) -> U256 {
-    let Some(Opcode::Push(n)) = Opcode::from_byte(code[pc]) else {
-        return U256::ZERO;
-    };
-    let start = pc + 1;
-    let end = (start + n as usize).min(code.len());
-    U256::from_be_slice(&code[start..end])
+    /// Nodes whose key is a *closed template* — resolvable per transaction
+    /// by substituting calldata/caller/snapshot values, without
+    /// speculative execution. A superset of [`PSag::resolved`].
+    pub fn template_resolved(&self) -> impl Iterator<Item = &crate::absint::PlanAccess> {
+        self.plan.accesses().filter(|a| a.key.is_template())
+    }
 }
 
 /// Detects loop-head blocks (targets of back edges) via iterative DFS.

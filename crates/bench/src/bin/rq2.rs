@@ -47,6 +47,7 @@ fn main() {
                 AnalysisConfig {
                     hide_fraction: hide,
                     seed: 1,
+                    ..AnalysisConfig::default()
                 },
             );
             let mut dmvcc = SimReport::zero(threads);

@@ -50,6 +50,12 @@ struct ScalingPoint {
     broadcast_wakeups: u64,
     steals: u64,
     parks: u64,
+    symbolic_bindings: u64,
+    speculative_fallbacks: u64,
+    /// Fraction of refined C-SAGs served by the symbolic binding fast
+    /// tier instead of speculative pre-execution (transfers, which need
+    /// neither, are excluded from the denominator).
+    symbolic_hit_rate: f64,
     /// Wakeups issued per committed transaction: broadcasts for the
     /// global-lock executor, targeted signals for the sharded one.
     wakeups_per_commit: f64,
@@ -118,6 +124,8 @@ fn measure(
         stats.broadcast_wakeups += outcome.stats.broadcast_wakeups;
         stats.steals += outcome.stats.steals;
         stats.parks += outcome.stats.parks;
+        stats.symbolic_bindings += outcome.stats.symbolic_bindings;
+        stats.speculative_fallbacks += outcome.stats.speculative_fallbacks;
     }
     let wall = start.elapsed();
     let wall_ms = wall.as_secs_f64() * 1e3;
@@ -140,6 +148,10 @@ fn measure(
         broadcast_wakeups: stats.broadcast_wakeups,
         steals: stats.steals,
         parks: stats.parks,
+        symbolic_bindings: stats.symbolic_bindings,
+        speculative_fallbacks: stats.speculative_fallbacks,
+        symbolic_hit_rate: stats.symbolic_bindings as f64
+            / (stats.symbolic_bindings + stats.speculative_fallbacks).max(1) as f64,
         wakeups_per_commit: wakeups as f64 / txs.max(1) as f64,
     }
 }
@@ -156,8 +168,16 @@ fn main() {
     };
 
     println!(
-        "{:<12} {:<16} {:>7} {:>10} {:>10} {:>8} {:>8} {:>10}",
-        "executor", "workload", "threads", "wall_ms", "tx/s", "aborts", "steals", "wake/commit"
+        "{:<12} {:<16} {:>7} {:>10} {:>10} {:>8} {:>8} {:>10} {:>6}",
+        "executor",
+        "workload",
+        "threads",
+        "wall_ms",
+        "tx/s",
+        "aborts",
+        "steals",
+        "wake/commit",
+        "sym%"
     );
     for (name, workload) in [
         ("realistic", WorkloadConfig::ethereum_mix(31)),
@@ -186,7 +206,7 @@ fn main() {
                 ),
             ] {
                 println!(
-                    "{:<12} {:<16} {:>7} {:>10.2} {:>10.0} {:>8} {:>8} {:>10.2}",
+                    "{:<12} {:<16} {:>7} {:>10.2} {:>10.0} {:>8} {:>8} {:>10.2} {:>5.0}%",
                     label,
                     name,
                     threads,
@@ -194,7 +214,8 @@ fn main() {
                     point.tx_per_s,
                     point.aborts,
                     point.steals,
-                    point.wakeups_per_commit
+                    point.wakeups_per_commit,
+                    point.symbolic_hit_rate * 100.0
                 );
                 if label == "global-lock" {
                     report.before.push(point);

@@ -4,6 +4,8 @@
 //!
 //! - `contracts` — list the built-in contract library;
 //! - `analyze <contract>` — P-SAG summary and optional DOT export;
+//! - `lint [<contract>…|--all]` — prediction-quality lint with stable
+//!   exit codes (0 clean, 1 findings, 2 usage);
 //! - `run` — execute generated blocks under a chosen scheduler and print
 //!   speedups;
 //! - `chain` — run the micro testnet and print throughput.
@@ -136,6 +138,10 @@ USAGE:
   dmvcc analyze <contract> [--dot FILE]
       Print the P-SAG summary of a library contract; optionally write
       Graphviz DOT.
+  dmvcc lint [<contract>…|--all]
+      Check prediction quality of library contracts: unresolved keys,
+      missing release points, unbounded blocks, non-commutable
+      increments. Exits nonzero when any contract has lint errors.
   dmvcc run [--hot] [--blocks N] [--size M] [--threads T]
             [--scheduler serial|dag|occ|dmvcc|all] [--seed S]
       Generate blocks and report scheduler speedups (virtual time).

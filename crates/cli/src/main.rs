@@ -1,6 +1,6 @@
 //! The `dmvcc` command-line tool.
 
-use dmvcc_analysis::{cfg_to_dot, static_gas_bounds, Analyzer, PSag};
+use dmvcc_analysis::{cfg_to_dot, lint_contract, static_gas_bounds, Analyzer, PSag, Severity};
 use dmvcc_baselines::{simulate_dag, simulate_occ};
 use dmvcc_chain::{run_testnet, ChainConfig, SchedulerKind};
 use dmvcc_cli::{contract_by_name, parse_args, ParsedArgs, CONTRACT_NAMES, USAGE};
@@ -21,6 +21,7 @@ fn main() {
     let result = match parsed.command.as_str() {
         "contracts" => cmd_contracts(),
         "analyze" => cmd_analyze(&parsed),
+        "lint" => cmd_lint(&parsed),
         "run" => cmd_run(&parsed),
         "chain" => cmd_chain(&parsed),
         "help" | "--help" | "-h" => {
@@ -76,6 +77,10 @@ fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), String> {
     println!("basic blocks        : {}", sag.cfg.blocks.len());
     println!("state-access nodes  : {}", sag.ops.len());
     println!("  resolved statically : {}", sag.resolved().count());
+    println!(
+        "  symbolic templates  : {}",
+        sag.template_resolved().count()
+    );
     println!("  placeholders '–'    : {}", sag.unresolved().count());
     println!("loop nodes          : {:?}", sag.loop_head_pcs);
     println!("release points      : {:?}", sag.release_pcs);
@@ -92,6 +97,46 @@ fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), String> {
         let dot = cfg_to_dot(&sag.cfg, &sag.release_pcs);
         std::fs::write(path, dot).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_lint(parsed: &ParsedArgs) -> Result<(), String> {
+    if let Some(flag) = parsed.options.keys().find(|k| k.as_str() != "all") {
+        eprintln!("error: lint does not take --{flag}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+    let names: Vec<String> = if parsed.has("all") || parsed.positional.is_empty() {
+        CONTRACT_NAMES.iter().map(|s| s.to_string()).collect()
+    } else {
+        parsed.positional.clone()
+    };
+    let mut failed: Vec<String> = Vec::new();
+    for name in &names {
+        let code = contract_by_name(name)
+            .ok_or_else(|| format!("unknown contract `{name}` (one of {CONTRACT_NAMES:?})"))?;
+        let lint = lint_contract(name, &code);
+        println!(
+            "== {name}: {} accesses, {} template-resolved ({} constant), {} release points ==",
+            lint.access_ops, lint.template_resolved, lint.const_resolved, lint.release_points
+        );
+        if lint.findings.is_empty() {
+            println!("  clean");
+        }
+        for finding in &lint.findings {
+            let tag = match finding.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warn ",
+                Severity::Note => "note ",
+            };
+            println!("  [{tag}] {}", finding.message);
+        }
+        if lint.has_errors() {
+            failed.push(name.clone());
+        }
+    }
+    if !failed.is_empty() {
+        return Err(format!("lint failed for: {}", failed.join(", ")));
     }
     Ok(())
 }

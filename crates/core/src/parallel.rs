@@ -113,6 +113,24 @@ pub struct ExecutorStats {
     pub steals: u64,
     /// Times a worker went to sleep (idle or blocked on a read).
     pub parks: u64,
+    /// C-SAGs refined by the symbolic binding fast tier (no speculative
+    /// pre-execution was needed).
+    pub symbolic_bindings: u64,
+    /// C-SAGs that fell back to speculative pre-execution.
+    pub speculative_fallbacks: u64,
+}
+
+/// Counts how each block C-SAG was refined, for [`ExecutorStats`].
+pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64) {
+    let symbolic = csags
+        .iter()
+        .filter(|c| c.tier == dmvcc_analysis::RefinementTier::Symbolic)
+        .count() as u64;
+    let speculative = csags
+        .iter()
+        .filter(|c| c.tier == dmvcc_analysis::RefinementTier::Speculative)
+        .count() as u64;
+    (symbolic, speculative)
 }
 
 /// Result of a parallel block execution.
@@ -214,6 +232,8 @@ impl AtomicStats {
             broadcast_wakeups: 0,
             steals: self.steals.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
+            symbolic_bindings: 0,     // filled from the C-SAGs by the caller
+            speculative_fallbacks: 0, // likewise
         }
     }
 }
@@ -851,6 +871,7 @@ impl ParallelExecutor {
 
         let final_writes = shared.sequences.final_writes(snapshot);
         let mut stats = shared.stats.snapshot();
+        (stats.symbolic_bindings, stats.speculative_fallbacks) = tier_counts(csags);
         let mut statuses = Vec::with_capacity(n);
         for state in shared.states {
             let core = state.core.into_inner();
@@ -1311,6 +1332,7 @@ mod tests {
             dmvcc_analysis::AnalysisConfig {
                 hide_fraction: 1.0,
                 seed: 11,
+                ..Default::default()
             },
         );
         let txs = vec![

@@ -462,6 +462,8 @@ impl GlobalLockParallelExecutor {
             .collect();
         let mut stats = inner.stats;
         stats.attempts = inner.slots.iter().map(|s| s.attempts as u64).sum();
+        (stats.symbolic_bindings, stats.speculative_fallbacks) =
+            crate::parallel::tier_counts(csags);
         ParallelOutcome {
             final_writes,
             statuses,

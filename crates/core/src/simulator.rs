@@ -440,6 +440,7 @@ mod tests {
             AnalysisConfig {
                 hide_fraction: 1.0,
                 seed: 3,
+                ..Default::default()
             },
         );
         let snapshot = Snapshot::empty();

@@ -19,7 +19,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use dmvcc_analysis::{AnalysisConfig, Analyzer};
+use dmvcc_analysis::{AnalysisConfig, Analyzer, RefinementMode};
 use dmvcc_core::{
     build_csags, execute_block_serial, simulate_dmvcc, BlockTrace, DmvccConfig,
     GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome,
@@ -103,6 +103,9 @@ pub struct FuzzConfig {
     /// Overrides the input-fault knobs (per-case seed applied on top);
     /// `None` uses [`FaultPlan::standard`] (or `none`).
     pub fault_template: Option<FaultPlan>,
+    /// C-SAG refinement strategy (two-tier symbolic binding by default;
+    /// `SpeculativeOnly` pins the paper's baseline path).
+    pub refinement: RefinementMode,
 }
 
 impl Default for FuzzConfig {
@@ -118,6 +121,7 @@ impl Default for FuzzConfig {
             check_simulator: true,
             sched_template: None,
             fault_template: None,
+            refinement: RefinementMode::TwoTier,
         }
     }
 }
@@ -259,6 +263,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
         AnalysisConfig {
             hide_fraction: config.hide_fraction,
             seed: seed ^ 0xA11A,
+            refinement: config.refinement,
         },
     );
     let genesis = Snapshot::from_entries(generator.genesis_entries());

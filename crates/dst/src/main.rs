@@ -3,9 +3,11 @@
 //! ```text
 //! dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]
 //!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
+//!                  [--refinement two-tier|speculative]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
 //!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
+//!                  [--refinement two-tier|speculative]
 //! ```
 //!
 //! `fuzz` runs a seed campaign and exits non-zero on the first divergence,
@@ -22,9 +24,11 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!("usage: dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
+    eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
+    eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("mutations: none, skip-release-gas-bound");
     ExitCode::from(2)
 }
@@ -72,6 +76,13 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 let name = value("--mutate")?;
                 args.config.mutation =
                     Mutation::parse(&name).ok_or_else(|| format!("unknown mutation {name}"))?;
+            }
+            "--refinement" => {
+                args.config.refinement = match value("--refinement")?.as_str() {
+                    "two-tier" => dmvcc_analysis::RefinementMode::TwoTier,
+                    "speculative" => dmvcc_analysis::RefinementMode::SpeculativeOnly,
+                    other => return Err(format!("unknown refinement {other}")),
+                };
             }
             "--budget-secs" => {
                 let secs: u64 = value("--budget-secs")?

@@ -330,6 +330,29 @@ impl Opcode {
         matches!(self, Opcode::Revert | Opcode::Invalid | Opcode::Call)
     }
 
+    /// Stack effect: `(pops, pushes)`. `Swap(n)` reports the depth it
+    /// requires as pops and restores the same items, so static analyses can
+    /// check underflow uniformly; it is encoded as `(n + 1, n + 1)`.
+    pub fn stack_io(self) -> (usize, usize) {
+        use Opcode::*;
+        match self {
+            Stop | JumpDest | Invalid => (0, 0),
+            Add | Mul | Sub | Div | SDiv | Mod | SMod | Exp | SignExtend | Lt | Gt | Slt | Sgt
+            | Eq | And | Or | Xor | Byte | Shl | Shr | Sar | Sha3 => (2, 1),
+            AddMod | MulMod => (3, 1),
+            IsZero | Not | Balance | CallDataLoad | MLoad | Sload => (1, 1),
+            Address | Origin | Caller | CallValue | CallDataSize | CodeSize | ReturnDataSize
+            | Timestamp | Number | Pc | Gas | MSize | Push(_) => (0, 1),
+            CallDataCopy | CodeCopy | ReturnDataCopy => (3, 0),
+            Pop | Jump => (1, 0),
+            MStore | MStore8 | Sstore | Sadd | JumpI | Return | Revert => (2, 0),
+            Dup(n) => (n as usize, n as usize + 1),
+            Swap(n) => (n as usize + 1, n as usize + 1),
+            Log(n) => (2 + n as usize, 0),
+            Call => (7, 1),
+        }
+    }
+
     /// Returns `true` if this instruction terminates the current execution.
     pub fn is_terminator(self) -> bool {
         matches!(
@@ -472,6 +495,17 @@ mod tests {
         }
         assert!(!Opcode::JumpI.is_terminator());
         assert!(!Opcode::Add.is_terminator());
+    }
+
+    #[test]
+    fn stack_io_matches_interpreter_arity() {
+        assert_eq!(Opcode::Add.stack_io(), (2, 1));
+        assert_eq!(Opcode::AddMod.stack_io(), (3, 1));
+        assert_eq!(Opcode::Dup(3).stack_io(), (3, 4));
+        assert_eq!(Opcode::Swap(2).stack_io(), (3, 3));
+        assert_eq!(Opcode::Log(2).stack_io(), (4, 0));
+        assert_eq!(Opcode::Call.stack_io(), (7, 1));
+        assert_eq!(Opcode::Push(32).stack_io(), (0, 1));
     }
 
     #[test]

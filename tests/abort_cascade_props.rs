@@ -57,6 +57,7 @@ proptest! {
                 AnalysisConfig {
                     hide_fraction: hide,
                     seed: 77,
+                    ..Default::default()
                 },
             );
             let genesis = Snapshot::from_entries(generator.genesis_entries());

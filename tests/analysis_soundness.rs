@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 
+use dmvcc_analysis::{AnalysisConfig, Analyzer, RefinementMode, RefinementTier};
 use dmvcc_core::execute_block_serial;
-use dmvcc_integration_tests::{analyzer, decode_tx, genesis};
+use dmvcc_integration_tests::{analyzer, decode_tx, genesis, registry};
 use dmvcc_state::Snapshot;
 use dmvcc_vm::{BlockEnv, ExecStatus, Transaction, TxKind};
 
@@ -61,6 +62,44 @@ proptest! {
         }
     }
 
+    /// The two-tier refinement (symbolic binding with speculative
+    /// fallback) must be an optimization, never a semantic change: for any
+    /// generated transaction its C-SAG is bit-identical to the one a
+    /// speculative-only analyzer produces — every key set, the access
+    /// trace, release gas bounds, snapshot dependencies, the success
+    /// verdict, and the gas estimate. Only the `tier` tag may differ.
+    #[test]
+    fn two_tier_and_speculative_only_predictions_agree(
+        (c, s, k, a, b) in (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
+    ) {
+        let tx = decode_tx(c, s, k, a, b);
+        let snapshot = Snapshot::from_entries(genesis());
+        let env = BlockEnv::new(1, 1_700_000_000);
+        let two_tier = Analyzer::with_config(registry(), AnalysisConfig::default());
+        let spec_only = Analyzer::with_config(
+            registry(),
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let fast = two_tier.csag(&tx, &snapshot, &env);
+        let slow = spec_only.csag(&tx, &snapshot, &env);
+
+        prop_assert_eq!(&fast.reads, &slow.reads);
+        prop_assert_eq!(&fast.writes, &slow.writes);
+        prop_assert_eq!(&fast.adds, &slow.adds);
+        prop_assert_eq!(&fast.trace, &slow.trace);
+        prop_assert_eq!(&fast.release_points, &slow.release_points);
+        prop_assert_eq!(&fast.last_write_pc, &slow.last_write_pc);
+        prop_assert_eq!(&fast.snapshot_deps, &slow.snapshot_deps);
+        prop_assert_eq!(fast.predicted_success, slow.predicted_success);
+        prop_assert_eq!(fast.predicted_gas, slow.predicted_gas);
+        if tx.kind == TxKind::Call {
+            prop_assert_eq!(slow.tier, RefinementTier::Speculative);
+        }
+    }
+
     #[test]
     fn release_offsets_exist_for_successful_known_contracts(
         (c, s, k, a, b) in (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255),
@@ -97,6 +136,39 @@ proptest! {
             }
         }
     }
+}
+
+/// The symbolic binding tier has to carry its weight: on the realistic
+/// workload mix, well over half of the contract calls must refine through
+/// the fast path, with speculative pre-execution reserved for the genuinely
+/// data-dependent tail (loops, opaque jumps). A regression here means the
+/// abstract interpreter lost precision somewhere.
+#[test]
+fn symbolic_tier_binds_most_realistic_transactions() {
+    use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+
+    let mut generator = WorkloadGenerator::new(WorkloadConfig::ethereum_mix(7));
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let snapshot = Snapshot::from_entries(generator.genesis_entries());
+    let env = BlockEnv::new(1, 1_700_000_000);
+    let txs = generator.block(400);
+
+    let mut symbolic = 0u64;
+    let mut speculative = 0u64;
+    for tx in &txs {
+        match analyzer.csag(tx, &snapshot, &env).tier {
+            RefinementTier::Symbolic => symbolic += 1,
+            RefinementTier::Speculative => speculative += 1,
+            RefinementTier::Exact => {}
+        }
+    }
+    let refined = symbolic + speculative;
+    assert!(refined > 0, "workload produced no contract calls");
+    let hit_rate = symbolic as f64 / refined as f64;
+    assert!(
+        hit_rate >= 0.60,
+        "symbolic binding hit rate {hit_rate:.2} ({symbolic}/{refined}) below 60%"
+    );
 }
 
 /// The prediction is *allowed* to diverge at later block positions — that

@@ -21,6 +21,7 @@ fn check_block(txs: &[Transaction], threads: usize, hide: f64) {
         AnalysisConfig {
             hide_fraction: hide,
             seed: 5,
+            ..Default::default()
         },
     );
     let executor = ParallelExecutor::new(

@@ -44,6 +44,7 @@ fn run_chain(
         AnalysisConfig {
             hide_fraction: hide,
             seed: 3,
+            ..Default::default()
         },
     );
     let executor = ParallelExecutor::new(
@@ -151,6 +152,7 @@ fn injected_mispredictions_eight_threads_match_serial() {
         AnalysisConfig {
             hide_fraction: 0.15,
             seed: 27,
+            ..Default::default()
         },
     );
     let genesis = Snapshot::from_entries(generator.genesis_entries());
