@@ -50,6 +50,7 @@ fn main() {
             ParallelConfig {
                 threads: 4,
                 max_attempts: 64,
+                scheduler: dmvcc_core::SchedulerPolicy::CriticalPath,
             },
         );
         let mut serial_db = StateDb::with_genesis(generator.genesis_entries());

@@ -30,7 +30,8 @@ pub use pool::{PoolStats, TxPool};
 use dmvcc_analysis::{Analyzer, CSag};
 use dmvcc_baselines::{simulate_dag, simulate_occ};
 use dmvcc_core::{
-    execute_block_serial, simulate_dmvcc, DmvccConfig, ParallelConfig, ParallelExecutor, SimReport,
+    execute_block_serial, simulate_dmvcc, BlockPipeline, DmvccConfig, ParallelConfig,
+    ParallelExecutor, SchedulerPolicy, SimReport,
 };
 use dmvcc_primitives::H256;
 use dmvcc_state::StateDb;
@@ -113,6 +114,12 @@ pub struct ChainConfig {
     /// Whether missing SAGs are rebuilt on the fly (paper's first option)
     /// or executed with empty predictions "as what OCC does" (second).
     pub rebuild_missing_sags: bool,
+    /// Ready-queue ordering of the real threaded executor (crosschecks
+    /// and the pipelined front-end).
+    pub policy: SchedulerPolicy,
+    /// Execute blocks through the pipelined front-end
+    /// ([`run_pipelined_chain`]) instead of the virtual-time testnet.
+    pub pipeline: bool,
 }
 
 impl ChainConfig {
@@ -131,6 +138,8 @@ impl ChainConfig {
             crosscheck_every: 0,
             pool_miss_rate: 0.0,
             rebuild_missing_sags: true,
+            policy: SchedulerPolicy::CriticalPath,
+            pipeline: false,
         }
     }
 }
@@ -198,6 +207,7 @@ pub fn run_testnet(config: &ChainConfig) -> ChainReport {
         ParallelConfig {
             threads: config.threads.clamp(1, 8),
             max_attempts: 64,
+            scheduler: config.policy,
         },
     );
 
@@ -316,6 +326,101 @@ pub fn run_testnet(config: &ChainConfig) -> ChainReport {
     }
 }
 
+/// Outcome of a pipelined real-executor chain run — wall-clock, not
+/// virtual time, so the refine/execute overlap is directly visible.
+#[derive(Debug, Clone)]
+pub struct PipelinedChainReport {
+    /// Blocks executed.
+    pub blocks: usize,
+    /// Transactions committed.
+    pub committed_txs: u64,
+    /// Wall-clock seconds spent refining C-SAGs (all blocks).
+    pub refine_seconds: f64,
+    /// Wall-clock seconds spent inside the threaded executor.
+    pub execute_seconds: f64,
+    /// Refinement seconds hidden behind execution of the previous block
+    /// (zero without pipelining; the whole point of the front-end).
+    pub overlap_seconds: f64,
+    /// Executor aborts over all blocks (stale pipelined predictions show
+    /// up here, absorbed by the abort path).
+    pub aborts: u64,
+    /// `true` if every block's write set matched the serial oracle.
+    pub roots_consistent: bool,
+    /// Final state root after committing every block.
+    pub final_root: H256,
+}
+
+impl PipelinedChainReport {
+    /// Fraction of refinement wall-time hidden behind execution.
+    pub fn overlap_fraction(&self) -> f64 {
+        if self.refine_seconds == 0.0 {
+            0.0
+        } else {
+            self.overlap_seconds / self.refine_seconds
+        }
+    }
+}
+
+/// Runs the chain with the pipelined block front-end: block N executes on
+/// the real threaded executor while block N+1's C-SAGs are refined
+/// against the snapshot from *before* block N — exactly the staleness the
+/// transaction pool already produces, so mispredictions land in the
+/// executor's existing abort path.
+///
+/// Unlike [`run_testnet`] this path bypasses the pool and the virtual-time
+/// schedulers: it measures the real front-end, wall-clock, and checks
+/// every block's write set against the serial oracle.
+pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
+    let mut generator = WorkloadGenerator::new(config.workload.clone());
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let mut db = StateDb::with_genesis(generator.genesis_entries());
+    // The generator emits transactions independent of execution state, so
+    // the whole chain's blocks can be drawn up front — the pipeline needs
+    // block N+1's transactions while block N runs.
+    let blocks: Vec<Vec<Transaction>> = (0..config.blocks)
+        .map(|_| generator.block(config.block_size))
+        .collect();
+    let env_of = |i: usize| BlockEnv::new(1 + i as u64, 1_700_000_000 + (1 + i as u64) * 12);
+
+    let executor = ParallelExecutor::new(
+        analyzer.clone(),
+        ParallelConfig {
+            threads: config.threads.clamp(1, 8),
+            max_attempts: 64,
+            scheduler: config.policy,
+        },
+    );
+    let pipeline = BlockPipeline::new(executor);
+    let genesis = db.latest().clone();
+    let (outcomes, _, stats) = pipeline.run_blocks(&blocks, &genesis, env_of);
+
+    let mut consistent = true;
+    let mut committed = 0u64;
+    let mut aborts = 0u64;
+    let mut oracle = genesis;
+    for (i, (txs, outcome)) in blocks.iter().zip(&outcomes).enumerate() {
+        let trace = execute_block_serial(txs, &oracle, &analyzer, &env_of(i));
+        if outcome.final_writes != trace.final_writes {
+            consistent = false;
+        }
+        oracle = oracle.apply(&trace.final_writes);
+        db.commit(&outcome.final_writes);
+        committed += txs.len() as u64;
+        aborts += outcome.aborts;
+    }
+
+    PipelinedChainReport {
+        blocks: config.blocks,
+        committed_txs: committed,
+        refine_seconds: stats.refine_nanos as f64 / 1e9,
+        execute_seconds: stats.execute_nanos as f64 / 1e9,
+        overlap_seconds: stats.overlapped_refine_nanos as f64 / 1e9,
+        aborts,
+        roots_consistent: consistent,
+        final_root: db.current_root(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +447,8 @@ mod tests {
             crosscheck_every: 1,
             pool_miss_rate: 0.0,
             rebuild_missing_sags: true,
+            policy: SchedulerPolicy::CriticalPath,
+            pipeline: false,
         }
     }
 
@@ -420,5 +527,41 @@ mod tests {
     fn scheduler_labels() {
         assert_eq!(SchedulerKind::Dmvcc.label(), "DMVCC");
         assert_eq!(SchedulerKind::ALL.len(), 4);
+    }
+
+    #[test]
+    fn pipelined_chain_matches_serial_oracle() {
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.pipeline = true;
+        let report = run_pipelined_chain(&config);
+        assert!(report.roots_consistent);
+        assert_eq!(report.blocks, 3);
+        assert_eq!(report.committed_txs, 120);
+        assert!(report.refine_seconds > 0.0);
+        assert!(report.execute_seconds > 0.0);
+        assert!(report.overlap_seconds <= report.refine_seconds + 1e-12);
+        assert!((0.0..=1.0).contains(&report.overlap_fraction()));
+    }
+
+    #[test]
+    fn pipelined_chain_root_matches_testnet() {
+        // Same workload seed → same transactions → the pipelined
+        // real-executor chain must land on the virtual testnet's root.
+        let testnet = run_testnet(&tiny_config(SchedulerKind::Serial));
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.pipeline = true;
+        let pipelined = run_pipelined_chain(&config);
+        assert_eq!(pipelined.final_root, testnet.final_root);
+    }
+
+    #[test]
+    fn fifo_policy_chain_stays_consistent() {
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.policy = SchedulerPolicy::Fifo;
+        let testnet = run_testnet(&config);
+        assert!(testnet.roots_consistent);
+        config.pipeline = true;
+        let pipelined = run_pipelined_chain(&config);
+        assert!(pipelined.roots_consistent);
     }
 }

@@ -147,7 +147,11 @@ USAGE:
       Generate blocks and report scheduler speedups (virtual time).
   dmvcc chain [--hot] [--blocks N] [--size M] [--threads T]
               [--scheduler serial|dag|occ|dmvcc] [--interval SECS]
-      Run the micro testnet and report throughput.
+              [--policy fifo|critical-path] [--pipeline]
+      Run the micro testnet and report throughput. --policy picks the
+      threaded executor's ready-queue order; --pipeline executes blocks
+      on the real executor with C-SAG refinement overlapped one block
+      ahead and reports the refine/execute overlap.
   dmvcc help
       Show this message.
 ";

@@ -2,7 +2,7 @@
 
 use dmvcc_analysis::{cfg_to_dot, lint_contract, static_gas_bounds, Analyzer, PSag, Severity};
 use dmvcc_baselines::{simulate_dag, simulate_occ};
-use dmvcc_chain::{run_testnet, ChainConfig, SchedulerKind};
+use dmvcc_chain::{run_pipelined_chain, run_testnet, ChainConfig, SchedulerKind};
 use dmvcc_cli::{contract_by_name, parse_args, ParsedArgs, CONTRACT_NAMES, USAGE};
 use dmvcc_core::{build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig};
 use dmvcc_state::Snapshot;
@@ -211,6 +211,9 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
         "dmvcc" => SchedulerKind::Dmvcc,
         other => return Err(format!("unknown scheduler `{other}`")),
     };
+    let policy_name: String = parsed.get_or("policy", "critical-path".to_string())?;
+    let policy = dmvcc_core::SchedulerPolicy::parse(&policy_name)
+        .ok_or_else(|| format!("unknown policy `{policy_name}` (fifo | critical-path)"))?;
     let config = ChainConfig {
         validators: parsed.get_or("validators", 4usize)?,
         block_size: parsed.get_or("size", 500usize)?,
@@ -223,7 +226,29 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
         crosscheck_every: 0,
         pool_miss_rate: parsed.get_or("miss-rate", 0.0f64)?,
         rebuild_missing_sags: true,
+        policy,
+        pipeline: parsed.has("pipeline"),
     };
+    if config.pipeline {
+        let report = run_pipelined_chain(&config);
+        println!("policy             : {}", policy.label());
+        println!("blocks             : {}", report.blocks);
+        println!("transactions       : {}", report.committed_txs);
+        println!("refine time        : {:.3}s", report.refine_seconds);
+        println!("execute time       : {:.3}s", report.execute_seconds);
+        println!(
+            "refine overlapped  : {:.3}s ({:.0}% hidden)",
+            report.overlap_seconds,
+            report.overlap_fraction() * 100.0
+        );
+        println!("executor aborts    : {}", report.aborts);
+        println!("roots consistent   : {}", report.roots_consistent);
+        println!("final state root   : {}", report.final_root);
+        if !report.roots_consistent {
+            return Err("pipelined execution diverged from serial".into());
+        }
+        return Ok(());
+    }
     let report = run_testnet(&config);
     println!("scheduler          : {}", scheduler.label());
     println!("blocks             : {}", report.blocks);

@@ -54,6 +54,8 @@ mod hook;
 mod oracle;
 mod parallel;
 mod parallel_global;
+mod pipeline;
+mod rank;
 mod sharded;
 mod sim;
 mod simulator;
@@ -66,6 +68,8 @@ pub use hook::{NoopHook, SchedHook};
 pub use oracle::{build_csags, execute_block_serial, BlockTrace, ReadRecord, TxTrace};
 pub use parallel::{ExecutorStats, ParallelConfig, ParallelExecutor, ParallelOutcome};
 pub use parallel_global::GlobalLockParallelExecutor;
+pub use pipeline::{refine_csags, BlockPipeline, PipelineStats};
+pub use rank::{BlockDag, SchedulerPolicy, TxRank, NUM_LANES};
 pub use sharded::{Shard, ShardedSequences, DEFAULT_SHARDS};
 pub use sim::{SimReport, ThreadTimeline};
 pub use simulator::{simulate_dmvcc, DmvccConfig};

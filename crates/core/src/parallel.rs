@@ -53,6 +53,7 @@ use dmvcc_analysis::{Analyzer, CSag};
 
 use crate::access::{AccessOp, ReadResolution, SourceList, VersionWriteEffect};
 use crate::hook::SchedHook;
+use crate::rank::{BlockDag, SchedulerPolicy, NUM_LANES};
 use crate::sharded::ShardedSequences;
 
 /// Backstop for a read blocked on a pending version: the waiter is signaled
@@ -75,6 +76,9 @@ pub struct ParallelConfig {
     /// Hard cap on attempts per transaction (the protocol converges long
     /// before; this guards against bugs, not livelock).
     pub max_attempts: u32,
+    /// Ready-queue ordering policy (critical-path rank order by default;
+    /// `Fifo` restores the original arrival-order deques).
+    pub scheduler: SchedulerPolicy,
 }
 
 impl Default for ParallelConfig {
@@ -89,6 +93,7 @@ impl Default for ParallelConfig {
         ParallelConfig {
             threads,
             max_attempts: 64,
+            scheduler: SchedulerPolicy::default(),
         }
     }
 }
@@ -118,6 +123,33 @@ pub struct ExecutorStats {
     pub symbolic_bindings: u64,
     /// C-SAGs that fell back to speculative pre-execution.
     pub speculative_fallbacks: u64,
+    /// Gas of the block's heaviest predicted dependency chain (the max
+    /// [`crate::BlockDag`] rank): no schedule finishes in less virtual
+    /// time.
+    pub critical_path_gas: u64,
+    /// Sum of predicted gas over the block (the numerator of
+    /// [`ExecutorStats::speedup_bound`]).
+    pub predicted_gas: u64,
+    /// Valid dequeues that ran a transaction while a strictly
+    /// higher-priority lane still held entries — how far the actual
+    /// dispatch order strayed from rank order (FIFO accumulates these;
+    /// critical-path dispatch keeps them near zero).
+    pub rank_inversions: u64,
+    /// Wall-clock nanoseconds spent refining the block's C-SAGs
+    /// (`execute_block` only; zero when precomputed C-SAGs are supplied).
+    pub refine_nanos: u64,
+}
+
+impl ExecutorStats {
+    /// Upper bound on achievable speedup for the executed block: total
+    /// predicted gas over critical-path gas (1.0 when unknown).
+    pub fn speedup_bound(&self) -> f64 {
+        if self.critical_path_gas == 0 {
+            1.0
+        } else {
+            self.predicted_gas as f64 / self.critical_path_gas as f64
+        }
+    }
 }
 
 /// Counts how each block C-SAG was refined, for [`ExecutorStats`].
@@ -220,6 +252,7 @@ struct AtomicStats {
     wakeups_avoided: AtomicU64,
     steals: AtomicU64,
     parks: AtomicU64,
+    rank_inversions: AtomicU64,
 }
 
 impl AtomicStats {
@@ -234,6 +267,10 @@ impl AtomicStats {
             parks: self.parks.load(Ordering::Relaxed),
             symbolic_bindings: 0,     // filled from the C-SAGs by the caller
             speculative_fallbacks: 0, // likewise
+            critical_path_gas: 0,     // filled from the BlockDag by the caller
+            predicted_gas: 0,         // likewise
+            rank_inversions: self.rank_inversions.load(Ordering::Relaxed),
+            refine_nanos: 0, // filled by execute_block
         }
     }
 }
@@ -245,6 +282,16 @@ struct Shared<'a> {
     states: Vec<TxState>,
     injector: Injector<ReadyEntry>,
     stealers: Vec<Stealer<ReadyEntry>>,
+    /// Critical-path ranks of the block (always built: the stats report
+    /// critical-path gas and inversions under either policy).
+    dag: &'a BlockDag,
+    /// Rank-bucketed sharded priority injectors, drained lane 0 first
+    /// (used only under [`SchedulerPolicy::CriticalPath`]).
+    lanes: Vec<Injector<ReadyEntry>>,
+    /// Entries currently queued per lane, under either policy — the
+    /// rank-inversion probe ("is a higher lane non-empty?") needs the
+    /// occupancy even when dispatch itself is FIFO.
+    lane_counts: Vec<AtomicUsize>,
     /// Transactions currently in phase `Finished` whose finalization
     /// completed (incremented/decremented strictly under the tx's core
     /// lock, so `finished == n` implies a quiescent, fully-executed block).
@@ -281,17 +328,41 @@ impl Shared<'_> {
         self.states[tx].generation.load(Ordering::SeqCst)
     }
 
-    /// Enqueues a ready transaction — on the admitting worker's own deque
-    /// when there is one (locality), otherwise on the shared injector —
-    /// and wakes a parked worker if any.
+    /// Enqueues a ready transaction and wakes a parked worker if any.
+    ///
+    /// FIFO policy: onto the admitting worker's own deque when there is
+    /// one (locality), otherwise the shared injector. Critical-path
+    /// policy: into the transaction's rank lane — re-admissions after an
+    /// abort therefore re-enter at their rank, not at the back.
     fn push_ready(&self, entry: ReadyEntry, local: Option<&Worker<ReadyEntry>>) {
         self.ready_count.fetch_add(1, Ordering::SeqCst);
-        match local {
-            Some(worker) => worker.push(entry),
-            None => self.injector.push(entry),
+        self.lane_counts[self.dag.lane_of(entry.0)].fetch_add(1, Ordering::SeqCst);
+        match self.config.scheduler {
+            SchedulerPolicy::Fifo => match local {
+                Some(worker) => worker.push(entry),
+                None => self.injector.push(entry),
+            },
+            SchedulerPolicy::CriticalPath => {
+                self.lanes[self.dag.lane_of(entry.0)].push(entry);
+            }
         }
         if self.idle.load(Ordering::SeqCst) > 0 {
             self.idle_event.signal();
+        }
+    }
+
+    /// Bookkeeping for a popped entry: lane occupancy down; if the entry
+    /// actually runs while a strictly higher-priority lane still has
+    /// queued work, that is a rank inversion.
+    fn note_dequeue(&self, tx: usize, runs: bool) {
+        let lane = self.dag.lane_of(tx);
+        self.lane_counts[lane].fetch_sub(1, Ordering::SeqCst);
+        if runs
+            && self.lane_counts[..lane]
+                .iter()
+                .any(|count| count.load(Ordering::SeqCst) > 0)
+        {
+            self.stats.rank_inversions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -764,6 +835,11 @@ impl ParallelExecutor {
         &self.analyzer
     }
 
+    /// The executor's configuration.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
     /// Executes a block in parallel, returning the final write set (equal
     /// to the serial one, per Theorem 1) plus abort statistics.
     pub fn execute_block(
@@ -772,11 +848,18 @@ impl ParallelExecutor {
         snapshot: &Snapshot,
         block_env: &BlockEnv,
     ) -> ParallelOutcome {
-        let csags: Vec<CSag> = txs
-            .iter()
-            .map(|tx| self.analyzer.csag(tx, snapshot, block_env))
-            .collect();
-        self.execute_block_with_csags(txs, snapshot, block_env, &csags)
+        let refine_start = std::time::Instant::now();
+        let csags = crate::pipeline::refine_csags(
+            &self.analyzer,
+            txs,
+            snapshot,
+            block_env,
+            self.config.threads,
+        );
+        let refine_nanos = refine_start.elapsed().as_nanos() as u64;
+        let mut outcome = self.execute_block_with_csags(txs, snapshot, block_env, &csags);
+        outcome.stats.refine_nanos = refine_nanos;
+        outcome
     }
 
     /// Executes a block with precomputed C-SAGs.
@@ -838,11 +921,15 @@ impl ParallelExecutor {
             .collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
 
+        let dag = BlockDag::build(csags);
         let shared = Shared {
             sequences,
             states,
             injector: Injector::new(),
             stealers,
+            dag: &dag,
+            lanes: (0..NUM_LANES).map(|_| Injector::new()).collect(),
+            lane_counts: (0..NUM_LANES).map(|_| AtomicUsize::new(0)).collect(),
             finished: AtomicUsize::new(0),
             blocked: AtomicUsize::new(0),
             idle: AtomicUsize::new(0),
@@ -872,6 +959,8 @@ impl ParallelExecutor {
         let final_writes = shared.sequences.final_writes(snapshot);
         let mut stats = shared.stats.snapshot();
         (stats.symbolic_bindings, stats.speculative_fallbacks) = tier_counts(csags);
+        stats.critical_path_gas = dag.critical_path_gas;
+        stats.predicted_gas = dag.total_gas;
         let mut statuses = Vec::with_capacity(n);
         for state in shared.states {
             let core = state.core.into_inner();
@@ -886,7 +975,9 @@ impl ParallelExecutor {
         }
     }
 
-    /// Pops the next ready entry: own deque first, then the injector, then
+    /// Pops the next ready entry. Critical-path policy: scan the rank
+    /// lanes highest-priority first (lane 0 holds the heaviest downstream
+    /// chains). FIFO policy: own deque first, then the injector, then
     /// stealing from the other workers.
     fn next_entry(
         &self,
@@ -894,6 +985,18 @@ impl ParallelExecutor {
         local: &Worker<ReadyEntry>,
         index: usize,
     ) -> Option<ReadyEntry> {
+        if self.config.scheduler == SchedulerPolicy::CriticalPath {
+            for lane in &shared.lanes {
+                loop {
+                    match lane.steal() {
+                        Steal::Success(entry) => return Some(entry),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                }
+            }
+            return None;
+        }
         if let Some(entry) = local.pop() {
             return Some(entry);
         }
@@ -931,7 +1034,7 @@ impl ParallelExecutor {
             }
             if let Some((tx, generation)) = self.next_entry(shared, &local, index) {
                 shared.ready_count.fetch_sub(1, Ordering::SeqCst);
-                let run = {
+                let run: Option<u32> = {
                     let mut core = shared.states[tx].core.lock();
                     if shared.generation_of(tx) != generation || core.phase != Phase::Ready {
                         None // stale queue entry
@@ -954,6 +1057,7 @@ impl ParallelExecutor {
                         }
                     }
                 };
+                shared.note_dequeue(tx, run.is_some());
                 if let Some(attempt) = run {
                     if let Some(hook) = shared.hook() {
                         hook.on_dequeue(tx, attempt);
@@ -1209,11 +1313,16 @@ mod tests {
     }
 
     fn executor(threads: usize) -> ParallelExecutor {
+        executor_with(threads, SchedulerPolicy::CriticalPath)
+    }
+
+    fn executor_with(threads: usize, scheduler: SchedulerPolicy) -> ParallelExecutor {
         ParallelExecutor::new(
             Analyzer::new(registry()),
             ParallelConfig {
                 threads,
                 max_attempts: 64,
+                scheduler,
             },
         )
     }
@@ -1347,6 +1456,7 @@ mod tests {
             ParallelConfig {
                 threads: 4,
                 max_attempts: 64,
+                scheduler: SchedulerPolicy::CriticalPath,
             },
         );
         let outcome = exec.execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
@@ -1420,10 +1530,67 @@ mod tests {
             ParallelConfig {
                 threads: 4,
                 max_attempts: 64,
+                scheduler: SchedulerPolicy::CriticalPath,
             },
         )
         .execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
         assert_eq!(sharded.final_writes, global.final_writes);
         assert_eq!(sharded.statuses, global.statuses);
+    }
+
+    #[test]
+    fn fifo_policy_still_matches_serial() {
+        let txs = vec![
+            mint(900, 1, 100),
+            transfer(1, 2, 30),
+            transfer(2, 3, 10),
+            mint(901, 2, 7),
+        ];
+        let expected = serial_writes(&txs, &Snapshot::empty());
+        let outcome = executor_with(4, SchedulerPolicy::Fifo).execute_block(
+            &txs,
+            &Snapshot::empty(),
+            &BlockEnv::default(),
+        );
+        assert_eq!(outcome.final_writes, expected);
+    }
+
+    #[test]
+    fn stats_expose_critical_path_and_refine_time() {
+        let txs = vec![mint(900, 1, 100), transfer(1, 2, 30), transfer(2, 3, 10)];
+        let outcome = executor(2).execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        // A dependent chain has a critical path spanning more than one tx
+        // but less than the whole block's gas, so the bound sits in
+        // (1.0, n].
+        assert!(outcome.stats.critical_path_gas > 0);
+        assert!(outcome.stats.predicted_gas >= outcome.stats.critical_path_gas);
+        assert!(outcome.stats.speedup_bound() >= 1.0);
+        // `execute_block` refines C-SAGs itself and must time that phase.
+        assert!(outcome.stats.refine_nanos > 0);
+    }
+
+    #[test]
+    fn both_policies_agree_on_contended_block() {
+        let txs: Vec<_> = (0..20)
+            .map(|i| {
+                if i % 4 == 0 {
+                    mint(900 + i, 1 + i % 5, 40)
+                } else {
+                    transfer(1 + (i + 2) % 5, 1 + i % 5, 2)
+                }
+            })
+            .collect();
+        let expected = serial_writes(&txs, &Snapshot::empty());
+        for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::CriticalPath] {
+            let outcome = executor_with(4, policy).execute_block(
+                &txs,
+                &Snapshot::empty(),
+                &BlockEnv::default(),
+            );
+            assert_eq!(
+                outcome.final_writes, expected,
+                "{policy:?} diverged from serial"
+            );
+        }
     }
 }

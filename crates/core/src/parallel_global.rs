@@ -28,6 +28,7 @@ use dmvcc_analysis::{Analyzer, CSag};
 use crate::access::{AccessOp, AccessSequences, ReadResolution, SourceList};
 use crate::hook::SchedHook;
 use crate::parallel::{ExecutorStats, ParallelConfig, ParallelOutcome, Phase};
+use crate::rank::{BlockDag, SchedulerPolicy};
 
 #[derive(Debug)]
 struct TxSlot {
@@ -63,6 +64,9 @@ struct Shared<'a> {
     snapshot: &'a Snapshot,
     csags: &'a [CSag],
     txs: &'a [Transaction],
+    /// Critical-path ranks: the pop order under
+    /// [`SchedulerPolicy::CriticalPath`], the inversion probe under both.
+    dag: &'a BlockDag,
     config: ParallelConfig,
     /// Optional scheduling hook (`None` in production). Unlike the sharded
     /// executor, most call sites here run under the one global lock — a
@@ -367,11 +371,18 @@ impl GlobalLockParallelExecutor {
         snapshot: &Snapshot,
         block_env: &BlockEnv,
     ) -> ParallelOutcome {
-        let csags: Vec<CSag> = txs
-            .iter()
-            .map(|tx| self.analyzer.csag(tx, snapshot, block_env))
-            .collect();
-        self.execute_block_with_csags(txs, snapshot, block_env, &csags)
+        let refine_start = std::time::Instant::now();
+        let csags = crate::pipeline::refine_csags(
+            &self.analyzer,
+            txs,
+            snapshot,
+            block_env,
+            self.config.threads,
+        );
+        let refine_nanos = refine_start.elapsed().as_nanos() as u64;
+        let mut outcome = self.execute_block_with_csags(txs, snapshot, block_env, &csags);
+        outcome.stats.refine_nanos = refine_nanos;
+        outcome
     }
 
     /// Executes a block with precomputed C-SAGs.
@@ -437,12 +448,14 @@ impl GlobalLockParallelExecutor {
             inner.admit_if_ready(i, csags, snapshot);
         }
 
+        let dag = BlockDag::build(csags);
         let shared = Shared {
             inner: Mutex::new(inner),
             cond: Condvar::new(),
             snapshot,
             csags,
             txs,
+            dag: &dag,
             config: self.config,
             hook: self.hook.clone(),
         };
@@ -464,6 +477,8 @@ impl GlobalLockParallelExecutor {
         stats.attempts = inner.slots.iter().map(|s| s.attempts as u64).sum();
         (stats.symbolic_bindings, stats.speculative_fallbacks) =
             crate::parallel::tier_counts(csags);
+        stats.critical_path_gas = dag.critical_path_gas;
+        stats.predicted_gas = dag.total_gas;
         ParallelOutcome {
             final_writes,
             statuses,
@@ -481,17 +496,34 @@ impl GlobalLockParallelExecutor {
                         shared.broadcast(&mut inner);
                         return;
                     }
-                    // Pop the next live ready entry.
-                    let mut popped = None;
-                    while let Some((tx, generation)) = inner.ready.pop_front() {
-                        if inner.slots[tx].generation == generation
-                            && inner.slots[tx].phase == Phase::Ready
-                        {
-                            popped = Some((tx, generation));
-                            break;
+                    // Pop the next live ready entry: the front in FIFO
+                    // order, or the highest-ranked entry under the
+                    // critical-path policy (an O(queue) scan — the single
+                    // global lock already serializes pops, so a fancier
+                    // structure would only relocate the bottleneck).
+                    let popped = {
+                        let Inner { ready, slots, .. } = &mut *inner;
+                        ready.retain(|&(tx, generation)| {
+                            slots[tx].generation == generation && slots[tx].phase == Phase::Ready
+                        });
+                        match self.config.scheduler {
+                            SchedulerPolicy::Fifo => ready.pop_front(),
+                            SchedulerPolicy::CriticalPath => (0..ready.len())
+                                .max_by_key(|&i| shared.dag.priority(ready[i].0))
+                                .and_then(|best| ready.remove(best)),
                         }
-                    }
+                    };
                     if let Some((tx, generation)) = popped {
+                        // A dispatch below the rank of something still
+                        // queued is a rank inversion (FIFO accumulates
+                        // these; the max-pop above keeps them at zero).
+                        if inner
+                            .ready
+                            .iter()
+                            .any(|&(other, _)| shared.dag.priority(other) > shared.dag.priority(tx))
+                        {
+                            inner.stats.rank_inversions += 1;
+                        }
                         inner.slots[tx].phase = Phase::Running;
                         inner.slots[tx].attempts += 1;
                         if inner.slots[tx].attempts > self.config.max_attempts {
@@ -748,6 +780,7 @@ mod tests {
             ParallelConfig {
                 threads,
                 max_attempts: 64,
+                scheduler: SchedulerPolicy::CriticalPath,
             },
         )
     }

@@ -1,0 +1,375 @@
+//! Critical-path ranks over a block's C-SAGs.
+//!
+//! The access sequences already encode the block's dependency DAG: a read
+//! (or, for RMW purposes, nothing else — adds are commutative) of key `k`
+//! by transaction `j` hangs off every earlier transaction `i < j` with `k`
+//! in its predicted write/add set. Write-write pairs do not conflict
+//! (write versioning, Algorithm 3) and add-add pairs do not conflict
+//! (commutative merges, §IV-D), so those contribute no edges.
+//!
+//! [`BlockDag::build`] weights that DAG by predicted gas and computes each
+//! transaction's *rank*: its own gas plus the heaviest gas path through its
+//! downstream readers (classic list-scheduling priority). The longest rank
+//! is the block's **critical-path gas** — no schedule, on any number of
+//! threads, finishes the block in less virtual time — and
+//! `total_gas / critical_path_gas` is the achievable speedup bound the
+//! executors report in [`crate::ExecutorStats`].
+//!
+//! Because every edge goes from a lower to a higher transaction index
+//! (readers depend on *earlier* writers only), reverse index order is a
+//! reverse topological order, and ranks are computable in one backward
+//! sweep with a per-key suffix maximum — O(total accesses), never the
+//! O(n²) edge list a hot key would otherwise produce.
+
+use std::collections::HashMap;
+
+use dmvcc_analysis::CSag;
+use dmvcc_state::StateKey;
+
+/// Number of priority lanes the sharded executor's ready queue is bucketed
+/// into. Lane 0 holds the highest-ranked transactions; workers drain lanes
+/// in order.
+pub const NUM_LANES: usize = 8;
+
+/// Ready-queue ordering policy of the threaded executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerPolicy {
+    /// Arrival-order dispatch (the original work-stealing FIFO deques).
+    Fifo,
+    /// Rank-ordered dispatch: longest downstream gas path first, dependent
+    /// count as tie-break.
+    #[default]
+    CriticalPath,
+}
+
+impl SchedulerPolicy {
+    /// Parses the CLI spelling of a policy.
+    pub fn parse(name: &str) -> Option<SchedulerPolicy> {
+        match name {
+            "fifo" => Some(SchedulerPolicy::Fifo),
+            "critical-path" => Some(SchedulerPolicy::CriticalPath),
+            _ => None,
+        }
+    }
+
+    /// Display label (the CLI spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Fifo => "fifo",
+            SchedulerPolicy::CriticalPath => "critical-path",
+        }
+    }
+}
+
+/// One transaction's scheduling priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxRank {
+    /// Own predicted gas plus the heaviest downstream gas path.
+    pub rank_gas: u64,
+    /// Direct downstream readers across all written/added keys (the
+    /// tie-break: more dependents unblock more work).
+    pub dependents: u64,
+    /// Priority lane (0 = highest) derived from `rank_gas`.
+    pub lane: u8,
+}
+
+/// The gas-weighted dependency DAG of one block, reduced to per-transaction
+/// ranks (see the module docs for the construction).
+#[derive(Debug, Clone, Default)]
+pub struct BlockDag {
+    /// Per-transaction ranks, indexed by transaction position.
+    pub ranks: Vec<TxRank>,
+    /// The heaviest gas path through the block (max rank).
+    pub critical_path_gas: u64,
+    /// Sum of predicted gas over all transactions.
+    pub total_gas: u64,
+}
+
+impl BlockDag {
+    /// Builds the DAG ranks from a block's C-SAGs.
+    ///
+    /// A transaction with an empty C-SAG (unknown contract, OCC fallback)
+    /// predicts zero gas; its weight is clamped to the intrinsic cost so
+    /// ranks stay strictly positive and lane math stays meaningful.
+    pub fn build(csags: &[CSag]) -> BlockDag {
+        let n = csags.len();
+        let mut ranks = vec![
+            TxRank {
+                rank_gas: 0,
+                dependents: 0,
+                lane: 0,
+            };
+            n
+        ];
+        // Per key: (max rank, count) over the *readers with a higher index
+        // than the transaction currently being processed* — maintained by
+        // the backward sweep.
+        let mut suffix: HashMap<StateKey, (u64, u64)> = HashMap::new();
+        let mut critical = 0u64;
+        let mut total = 0u64;
+        for i in (0..n).rev() {
+            let gas = csags[i].predicted_gas.max(dmvcc_vm::INTRINSIC_GAS);
+            total += gas;
+            let mut downstream = 0u64;
+            let mut dependents = 0u64;
+            for key in csags[i].writes.iter().chain(csags[i].adds.iter()) {
+                if let Some(&(max_rank, count)) = suffix.get(key) {
+                    downstream = downstream.max(max_rank);
+                    dependents += count;
+                }
+            }
+            let rank = gas + downstream;
+            critical = critical.max(rank);
+            ranks[i].rank_gas = rank;
+            ranks[i].dependents = dependents;
+            // Register this transaction's reads *after* computing its own
+            // rank, so an RMW transaction never depends on itself.
+            for key in &csags[i].reads {
+                let entry = suffix.entry(*key).or_insert((0, 0));
+                entry.0 = entry.0.max(rank);
+                entry.1 += 1;
+            }
+        }
+        for rank in &mut ranks {
+            rank.lane = lane_for(rank.rank_gas, critical);
+        }
+        BlockDag {
+            ranks,
+            critical_path_gas: critical,
+            total_gas: total,
+        }
+    }
+
+    /// Priority lane of a transaction (0 = dispatch first).
+    #[inline]
+    pub fn lane_of(&self, tx: usize) -> usize {
+        self.ranks.get(tx).map_or(0, |r| r.lane as usize)
+    }
+
+    /// Exact dispatch order: higher is served first. Rank gas dominates,
+    /// dependent count breaks ties, and the *lower* transaction index wins
+    /// remaining ties (deterministic, and index order is always a valid
+    /// topological order here).
+    #[inline]
+    pub fn priority(&self, tx: usize) -> (u64, u64, std::cmp::Reverse<usize>) {
+        let rank = &self.ranks[tx];
+        (rank.rank_gas, rank.dependents, std::cmp::Reverse(tx))
+    }
+
+    /// Upper bound on achievable speedup: total gas over critical-path gas
+    /// (1.0 for an empty block).
+    pub fn speedup_bound(&self) -> f64 {
+        if self.critical_path_gas == 0 {
+            1.0
+        } else {
+            self.total_gas as f64 / self.critical_path_gas as f64
+        }
+    }
+}
+
+/// Buckets a rank into a lane: the critical path lands in lane 0, ranks
+/// near zero in the last lane, proportionally in between.
+fn lane_for(rank_gas: u64, critical: u64) -> u8 {
+    if critical == 0 {
+        return 0;
+    }
+    let lane = ((critical - rank_gas.min(critical)) as u128 * NUM_LANES as u128
+        / (critical as u128 + 1)) as u64;
+    lane.min(NUM_LANES as u64 - 1) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_primitives::Address;
+
+    fn key(id: u64) -> StateKey {
+        StateKey::balance(Address::from_u64(id))
+    }
+
+    /// A C-SAG with explicit key sets and predicted gas.
+    fn sag(reads: &[u64], writes: &[u64], adds: &[u64], gas: u64) -> CSag {
+        let mut c = CSag {
+            predicted_gas: gas,
+            ..CSag::default()
+        };
+        c.reads.extend(reads.iter().map(|&k| key(k)));
+        c.writes.extend(writes.iter().map(|&k| key(k)));
+        c.adds.extend(adds.iter().map(|&k| key(k)));
+        c
+    }
+
+    const G: u64 = 50_000;
+
+    #[test]
+    fn empty_block_is_trivial() {
+        let dag = BlockDag::build(&[]);
+        assert_eq!(dag.critical_path_gas, 0);
+        assert_eq!(dag.total_gas, 0);
+        assert!((dag.speedup_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chain_ranks_accumulate() {
+        // 0 writes a, 1 reads a writes b, 2 reads b: a pure chain.
+        let csags = vec![
+            sag(&[], &[1], &[], G),
+            sag(&[1], &[2], &[], G),
+            sag(&[2], &[], &[], G),
+        ];
+        let dag = BlockDag::build(&csags);
+        assert_eq!(dag.ranks[2].rank_gas, G);
+        assert_eq!(dag.ranks[1].rank_gas, 2 * G);
+        assert_eq!(dag.ranks[0].rank_gas, 3 * G);
+        assert_eq!(dag.critical_path_gas, 3 * G);
+        assert_eq!(dag.total_gas, 3 * G);
+        // One direct reader each, none for the tail.
+        assert_eq!(dag.ranks[0].dependents, 1);
+        assert_eq!(dag.ranks[1].dependents, 1);
+        assert_eq!(dag.ranks[2].dependents, 0);
+        // The chain head is the critical path: lane 0; the tail is the
+        // lightest transaction in the block.
+        assert_eq!(dag.ranks[0].lane, 0);
+        assert!(dag.ranks[2].lane > dag.ranks[1].lane || dag.ranks[1].lane > 0);
+        assert!((dag.speedup_bound() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diamond_takes_heavier_shoulder() {
+        // 0 writes a; 1 and 2 both read a and write b/c; 3 reads b and c.
+        // Shoulder 1 is heavier than shoulder 2.
+        let csags = vec![
+            sag(&[], &[1], &[], G),
+            sag(&[1], &[2], &[], 4 * G),
+            sag(&[1], &[3], &[], G),
+            sag(&[2, 3], &[], &[], G),
+        ];
+        let dag = BlockDag::build(&csags);
+        assert_eq!(dag.ranks[3].rank_gas, G);
+        assert_eq!(dag.ranks[1].rank_gas, 5 * G); // heavy shoulder + sink
+        assert_eq!(dag.ranks[2].rank_gas, 2 * G); // light shoulder + sink
+        assert_eq!(dag.ranks[0].rank_gas, 6 * G); // source through shoulder 1
+        assert_eq!(dag.critical_path_gas, 6 * G);
+        assert_eq!(dag.total_gas, 7 * G);
+        // The source feeds both shoulders.
+        assert_eq!(dag.ranks[0].dependents, 2);
+        // Both shoulders feed only the sink.
+        assert_eq!(dag.ranks[1].dependents, 1);
+        assert_eq!(dag.ranks[2].dependents, 1);
+        assert!(dag.speedup_bound() > 1.0);
+    }
+
+    #[test]
+    fn hot_key_fans_out_without_quadratic_edges() {
+        // One writer of a hot key, many readers: the writer's rank tops
+        // every reader's, and its dependent count equals the fan-out.
+        let mut csags = vec![sag(&[], &[7], &[], G)];
+        for _ in 0..64 {
+            csags.push(sag(&[7], &[], &[], G));
+        }
+        let dag = BlockDag::build(&csags);
+        assert_eq!(dag.ranks[0].rank_gas, 2 * G);
+        assert_eq!(dag.ranks[0].dependents, 64);
+        for reader in 1..=64 {
+            assert_eq!(dag.ranks[reader].rank_gas, G);
+            assert_eq!(dag.ranks[reader].dependents, 0);
+            assert!(dag.ranks[reader].lane >= dag.ranks[0].lane);
+        }
+        assert_eq!(dag.critical_path_gas, 2 * G);
+        assert_eq!(dag.total_gas, 65 * G);
+    }
+
+    #[test]
+    fn rmw_transaction_does_not_self_depend() {
+        // A single read-modify-write of one key: rank is its own gas, no
+        // dependents, no infinite self-edge.
+        let csags = vec![sag(&[5], &[5], &[], G)];
+        let dag = BlockDag::build(&csags);
+        assert_eq!(dag.ranks[0].rank_gas, G);
+        assert_eq!(dag.ranks[0].dependents, 0);
+    }
+
+    #[test]
+    fn write_write_and_add_add_do_not_conflict() {
+        // Two writers of the same key (versioned), two adders of another
+        // (commutative): no edges, all ranks standalone.
+        let csags = vec![
+            sag(&[], &[1], &[], G),
+            sag(&[], &[1], &[], G),
+            sag(&[], &[], &[2], G),
+            sag(&[], &[], &[2], G),
+        ];
+        let dag = BlockDag::build(&csags);
+        for rank in &dag.ranks {
+            assert_eq!(rank.rank_gas, G);
+            assert_eq!(rank.dependents, 0);
+        }
+        assert_eq!(dag.critical_path_gas, G);
+        assert!((dag.speedup_bound() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adds_block_readers_like_writes() {
+        // A read of a key some earlier transaction *adds* to depends on
+        // that adder (the merged value must be visible).
+        let csags = vec![sag(&[], &[], &[9], G), sag(&[9], &[], &[], G)];
+        let dag = BlockDag::build(&csags);
+        assert_eq!(dag.ranks[0].rank_gas, 2 * G);
+        assert_eq!(dag.ranks[0].dependents, 1);
+    }
+
+    #[test]
+    fn empty_csag_gas_clamped_to_intrinsic() {
+        let dag = BlockDag::build(&[CSag::default()]);
+        assert_eq!(dag.ranks[0].rank_gas, dmvcc_vm::INTRINSIC_GAS);
+        assert_eq!(dag.total_gas, dmvcc_vm::INTRINSIC_GAS);
+    }
+
+    #[test]
+    fn priority_orders_rank_then_dependents_then_index() {
+        // 0 and 2: same rank, but 0 has a dependent; 1 is heaviest.
+        let csags = vec![
+            sag(&[], &[], &[4], G),
+            sag(&[], &[1], &[], 3 * G),
+            sag(&[], &[], &[], G),
+            sag(&[4], &[], &[], G),
+        ];
+        let dag = BlockDag::build(&csags);
+        let mut order: Vec<usize> = (0..4).collect();
+        order.sort_by_key(|&tx| std::cmp::Reverse(dag.priority(tx)));
+        assert_eq!(order, vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn policy_parses_and_labels() {
+        assert_eq!(SchedulerPolicy::parse("fifo"), Some(SchedulerPolicy::Fifo));
+        assert_eq!(
+            SchedulerPolicy::parse("critical-path"),
+            Some(SchedulerPolicy::CriticalPath)
+        );
+        assert_eq!(SchedulerPolicy::parse("priority"), None);
+        assert_eq!(SchedulerPolicy::default(), SchedulerPolicy::CriticalPath);
+        assert_eq!(SchedulerPolicy::Fifo.label(), "fifo");
+        assert_eq!(SchedulerPolicy::CriticalPath.label(), "critical-path");
+    }
+
+    #[test]
+    fn lanes_cover_the_range() {
+        // A long chain spreads ranks from G to n*G: the head must land in
+        // lane 0 and the tail in the last lane.
+        let n = 32;
+        let csags: Vec<CSag> = (0..n)
+            .map(|i| {
+                let r: Vec<u64> = if i == 0 { vec![] } else { vec![i as u64] };
+                sag(&r, &[i as u64 + 1], &[], G)
+            })
+            .collect();
+        let dag = BlockDag::build(&csags);
+        assert_eq!(dag.ranks[0].lane, 0);
+        assert_eq!(dag.ranks[n - 1].lane, (NUM_LANES - 1) as u8);
+        // Lanes are monotone along the chain.
+        for pair in dag.ranks.windows(2) {
+            assert!(pair[0].lane <= pair[1].lane);
+        }
+    }
+}

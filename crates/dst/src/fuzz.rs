@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 use dmvcc_analysis::{AnalysisConfig, Analyzer, RefinementMode};
 use dmvcc_core::{
     build_csags, execute_block_serial, simulate_dmvcc, BlockTrace, DmvccConfig,
-    GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome,
+    GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome, SchedulerPolicy,
 };
 use dmvcc_state::{Snapshot, StateDb, WriteSet};
 use dmvcc_vm::BlockEnv;
@@ -106,6 +106,10 @@ pub struct FuzzConfig {
     /// C-SAG refinement strategy (two-tier symbolic binding by default;
     /// `SpeculativeOnly` pins the paper's baseline path).
     pub refinement: RefinementMode,
+    /// Ready-queue ordering of both threaded executors (critical-path
+    /// rank dispatch by default, matching production; `Fifo` fuzzes the
+    /// arrival-order deques).
+    pub scheduler: SchedulerPolicy,
 }
 
 impl Default for FuzzConfig {
@@ -122,6 +126,7 @@ impl Default for FuzzConfig {
             sched_template: None,
             fault_template: None,
             refinement: RefinementMode::TwoTier,
+            scheduler: SchedulerPolicy::CriticalPath,
         }
     }
 }
@@ -164,6 +169,9 @@ pub struct Divergence {
     pub threads: usize,
     /// Which executor diverged (`sharded`, `global-lock`, `simulator`).
     pub executor: &'static str,
+    /// Ready-queue policy of the diverging run (part of the replay
+    /// command — schedule-dependent bugs often reproduce under only one).
+    pub policy: &'static str,
     /// Sorted, deterministic description of the disagreement.
     pub details: Vec<String>,
 }
@@ -172,16 +180,17 @@ impl fmt::Display for Divergence {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "divergence: executor={} seed={} size={} threads={}",
-            self.executor, self.seed, self.size, self.threads
+            "divergence: executor={} seed={} size={} threads={} scheduler={}",
+            self.executor, self.seed, self.size, self.threads, self.policy
         )?;
         for line in &self.details {
             writeln!(f, "  {line}")?;
         }
         write!(
             f,
-            "replay: cargo run -p dmvcc-dst -- replay --seed {} --size {} --threads {}",
-            self.seed, self.size, self.threads
+            "replay: cargo run -p dmvcc-dst -- replay --seed {} --size {} --threads {} \
+             --scheduler {}",
+            self.seed, self.size, self.threads, self.policy
         )
     }
 }
@@ -250,6 +259,7 @@ fn check_outcome(
         size: config.size,
         threads: config.threads,
         executor,
+        policy: config.scheduler.label(),
         details,
     })
 }
@@ -301,6 +311,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
     let parallel_config = ParallelConfig {
         threads: config.threads,
         max_attempts: 64,
+        scheduler: config.scheduler,
     };
 
     let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
@@ -346,6 +357,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
                 size: config.size,
                 threads: config.threads,
                 executor: "simulator",
+                policy: config.scheduler.label(),
                 details,
             });
         }
@@ -468,11 +480,26 @@ mod tests {
             size: 12,
             threads: 4,
             executor: "sharded",
+            policy: "critical-path",
             details: vec!["missing k: serial=1".into()],
         };
         let text = format!("{divergence}");
         assert!(text.contains("seed=9"));
         assert!(text.contains("replay: cargo run -p dmvcc-dst -- replay --seed 9 --size 12"));
+        assert!(text.contains("--scheduler critical-path"));
         assert_eq!(text, format!("{divergence}"));
+    }
+
+    #[test]
+    fn fifo_seeds_agree_too() {
+        let config = FuzzConfig {
+            size: 30,
+            scheduler: SchedulerPolicy::Fifo,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..3 {
+            let result = run_seed(seed, &config);
+            assert!(result.is_none(), "fifo seed {seed} diverged: {:?}", result);
+        }
     }
 }

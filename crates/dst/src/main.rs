@@ -4,10 +4,12 @@
 //! dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]
 //!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
+//!                  [--scheduler fifo|critical-path]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
 //!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
+//!                  [--scheduler fifo|critical-path]
 //! ```
 //!
 //! `fuzz` runs a seed campaign and exits non-zero on the first divergence,
@@ -25,10 +27,12 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("usage: dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
+    eprintln!("                        [--scheduler fifo|critical-path]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
+    eprintln!("                        [--scheduler fifo|critical-path]");
     eprintln!("mutations: none, skip-release-gas-bound");
     ExitCode::from(2)
 }
@@ -84,6 +88,11 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                     other => return Err(format!("unknown refinement {other}")),
                 };
             }
+            "--scheduler" => {
+                let name = value("--scheduler")?;
+                args.config.scheduler = dmvcc_core::SchedulerPolicy::parse(&name)
+                    .ok_or_else(|| format!("unknown scheduler {name}"))?;
+            }
             "--budget-secs" => {
                 let secs: u64 = value("--budget-secs")?
                     .parse()
@@ -107,8 +116,13 @@ fn main() -> ExitCode {
     match command.as_str() {
         "fuzz" => {
             println!(
-                "fuzzing {} seeds from {} (size={}, threads={}, mutation={:?})",
-                args.seeds, args.start, args.config.size, args.config.threads, args.config.mutation
+                "fuzzing {} seeds from {} (size={}, threads={}, mutation={:?}, scheduler={})",
+                args.seeds,
+                args.start,
+                args.config.size,
+                args.config.threads,
+                args.config.mutation,
+                args.config.scheduler.label()
             );
             let outcome = fuzz(args.start, args.seeds, &args.config, args.budget, |done| {
                 if done % 50 == 0 {
@@ -147,8 +161,10 @@ fn main() -> ExitCode {
                 }
                 None => {
                     println!(
-                        "seed {seed} (size={}, threads={}): no divergence",
-                        args.config.size, args.config.threads
+                        "seed {seed} (size={}, threads={}, scheduler={}): no divergence",
+                        args.config.size,
+                        args.config.threads,
+                        args.config.scheduler.label()
                     );
                     ExitCode::SUCCESS
                 }

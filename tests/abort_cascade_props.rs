@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use dmvcc_analysis::{AnalysisConfig, Analyzer};
 use dmvcc_core::{
     build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig, ParallelConfig,
-    ParallelExecutor,
+    ParallelExecutor, SchedulerPolicy,
 };
 use dmvcc_state::Snapshot;
 use dmvcc_vm::BlockEnv;
@@ -73,6 +73,7 @@ proptest! {
                 ParallelConfig {
                     threads: 4,
                     max_attempts: 64,
+                    scheduler: SchedulerPolicy::CriticalPath,
                 },
             );
             let outcome = executor.execute_block_with_csags(&txs, &genesis, &env, &csags);

@@ -27,6 +27,8 @@ fn config(scheduler: SchedulerKind, seed: u64) -> ChainConfig {
         crosscheck_every: 2,
         pool_miss_rate: 0.0,
         rebuild_missing_sags: true,
+        policy: dmvcc_core::SchedulerPolicy::CriticalPath,
+        pipeline: false,
     }
 }
 

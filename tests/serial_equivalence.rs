@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use dmvcc_analysis::{AnalysisConfig, Analyzer};
-use dmvcc_core::{execute_block_serial, ParallelConfig, ParallelExecutor};
+use dmvcc_core::{execute_block_serial, ParallelConfig, ParallelExecutor, SchedulerPolicy};
 use dmvcc_integration_tests::{analyzer, decode_tx, genesis, registry};
 use dmvcc_state::{Snapshot, StateDb};
 use dmvcc_vm::{BlockEnv, Transaction};
@@ -16,33 +16,41 @@ fn check_block(txs: &[Transaction], threads: usize, hide: f64) {
     let reference = analyzer();
     let trace = execute_block_serial(txs, &snapshot, &reference, &env);
 
-    let lossy = Analyzer::with_config(
-        registry(),
-        AnalysisConfig {
-            hide_fraction: hide,
-            seed: 5,
-            ..Default::default()
-        },
-    );
-    let executor = ParallelExecutor::new(
-        lossy,
-        ParallelConfig {
-            threads,
-            max_attempts: 64,
-        },
-    );
-    let outcome = executor.execute_block(txs, &snapshot, &env);
-    assert_eq!(
-        outcome.final_writes, trace.final_writes,
-        "write sets diverged (threads={threads}, hide={hide})"
-    );
+    // Both ready-queue policies must be serially equivalent: the FIFO
+    // baseline and the critical-path scheduler only reorder *ready*
+    // transactions, never the commit order.
+    for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::CriticalPath] {
+        let lossy = Analyzer::with_config(
+            registry(),
+            AnalysisConfig {
+                hide_fraction: hide,
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let executor = ParallelExecutor::new(
+            lossy,
+            ParallelConfig {
+                threads,
+                max_attempts: 64,
+                scheduler: policy,
+            },
+        );
+        let outcome = executor.execute_block(txs, &snapshot, &env);
+        assert_eq!(
+            outcome.final_writes,
+            trace.final_writes,
+            "write sets diverged (threads={threads}, hide={hide}, policy={})",
+            policy.label()
+        );
 
-    // And the root-level check, exactly as the paper validates RQ1.
-    let mut serial_db = StateDb::with_genesis(genesis());
-    let mut parallel_db = serial_db.clone();
-    let serial_root = serial_db.commit(&trace.final_writes);
-    let parallel_root = parallel_db.commit(&outcome.final_writes);
-    assert_eq!(serial_root, parallel_root, "Merkle roots diverged");
+        // And the root-level check, exactly as the paper validates RQ1.
+        let mut serial_db = StateDb::with_genesis(genesis());
+        let mut parallel_db = serial_db.clone();
+        let serial_root = serial_db.commit(&trace.final_writes);
+        let parallel_root = parallel_db.commit(&outcome.final_writes);
+        assert_eq!(serial_root, parallel_root, "Merkle roots diverged");
+    }
 }
 
 proptest! {

@@ -7,7 +7,8 @@ use std::sync::Arc;
 
 use dmvcc_analysis::{AnalysisConfig, Analyzer};
 use dmvcc_core::{
-    build_csags, execute_block_serial, GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor,
+    build_csags, execute_block_serial, GlobalLockParallelExecutor, ParallelConfig,
+    ParallelExecutor, SchedulerPolicy,
 };
 use dmvcc_dst::{FaultPlan, SchedConfig, VirtualScheduler};
 use dmvcc_state::{Snapshot, StateDb};
@@ -52,6 +53,7 @@ fn run_chain(
         ParallelConfig {
             threads,
             max_attempts: 64,
+            scheduler: SchedulerPolicy::CriticalPath,
         },
     );
     let mut serial_db = StateDb::with_genesis(generator.genesis_entries());
@@ -115,6 +117,7 @@ fn stale_csags_from_previous_snapshot() {
         ParallelConfig {
             threads: 4,
             max_attempts: 64,
+            scheduler: SchedulerPolicy::CriticalPath,
         },
     );
     let mut db = StateDb::with_genesis(generator.genesis_entries());
@@ -162,33 +165,45 @@ fn injected_mispredictions_eight_threads_match_serial() {
     let mut csags = build_csags(&txs, &genesis, &analyzer, &env);
     FaultPlan::standard(0xD57).perturb_csags(&mut csags);
 
-    let config = ParallelConfig {
-        threads: 8,
-        max_attempts: 64,
-    };
     let serial_statuses: Vec<_> = trace.txs.iter().map(|t| t.status.clone()).collect();
 
-    let sharded = ParallelExecutor::new(analyzer.clone(), config)
-        .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(27))));
-    let outcome = sharded.execute_block_with_csags(&txs, &genesis, &env, &csags);
-    assert_eq!(
-        outcome.final_writes, trace.final_writes,
-        "sharded executor diverged from serial under injected mispredictions"
-    );
-    assert_eq!(
-        outcome.statuses, serial_statuses,
-        "sharded statuses diverged"
-    );
+    for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::CriticalPath] {
+        let config = ParallelConfig {
+            threads: 8,
+            max_attempts: 64,
+            scheduler: policy,
+        };
 
-    let global = GlobalLockParallelExecutor::new(analyzer.clone(), config)
-        .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(27))));
-    let outcome = global.execute_block_with_csags(&txs, &genesis, &env, &csags);
-    assert_eq!(
-        outcome.final_writes, trace.final_writes,
-        "global-lock executor diverged from serial under injected mispredictions"
-    );
-    assert_eq!(
-        outcome.statuses, serial_statuses,
-        "global-lock statuses diverged"
-    );
+        let sharded = ParallelExecutor::new(analyzer.clone(), config)
+            .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(27))));
+        let outcome = sharded.execute_block_with_csags(&txs, &genesis, &env, &csags);
+        assert_eq!(
+            outcome.final_writes,
+            trace.final_writes,
+            "sharded executor diverged from serial under injected mispredictions ({})",
+            policy.label()
+        );
+        assert_eq!(
+            outcome.statuses,
+            serial_statuses,
+            "sharded statuses diverged ({})",
+            policy.label()
+        );
+
+        let global = GlobalLockParallelExecutor::new(analyzer.clone(), config)
+            .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(27))));
+        let outcome = global.execute_block_with_csags(&txs, &genesis, &env, &csags);
+        assert_eq!(
+            outcome.final_writes,
+            trace.final_writes,
+            "global-lock executor diverged from serial under injected mispredictions ({})",
+            policy.label()
+        );
+        assert_eq!(
+            outcome.statuses,
+            serial_statuses,
+            "global-lock statuses diverged ({})",
+            policy.label()
+        );
+    }
 }
