@@ -22,14 +22,29 @@
 //!    the contract, falling back to speculative pre-execution exactly
 //!    where a plan is marked incomplete.
 //!
+//! Loop-carried state does **not** widen at loop heads: the target of a
+//! retreating edge (blocks are pc-sorted, so every cycle has one into its
+//! minimum-index block) gets a *canonical* entry state in which every
+//! tracked cell — each stack slot and each known memory word — is a φ
+//! variable ([`SymExpr::LoopVar`]). The plan records, per in-edge of the
+//! head, the expression each variable takes when that edge is traversed
+//! ([`ContractPlan::phi_edges`], parallel-copy semantics). The C-SAG walk
+//! re-binds the variables on every edge into the head, which is what lets
+//! it unroll loops concretely instead of falling back (see
+//! [`crate::loops`] for the static summaries built on top of the φs).
+//! Joins at *non-head* blocks are recomputed fresh from the predecessors'
+//! current out-states (equal expressions survive, anything else widens to
+//! `Unknown`), so a head refinement propagates by replacement instead of
+//! widening against its own stale pre-φ value.
+//!
 //! Deliberate imprecision points (each one falls back, never mispredicts):
 //! unaligned or non-constant memory addressing, `MSTORE8`/copy opcodes
 //! (they poison the abstract memory), `GAS`/`MSIZE`/`ADDMOD`/`MULMOD`
-//! (always `Unknown`), `CALL` (the callee is outside the plan), and any
-//! loop whose carried state changes per iteration (the join widens it to
-//! `Unknown`).
+//! (always `Unknown`), `CALL` (the callee is outside the plan), and
+//! loop-carried values whose defining edge is itself `Unknown` (the φ
+//! exists but fails to evaluate, so the walk bails on that path).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dmvcc_primitives::U256;
 use dmvcc_vm::{Opcode, MEMORY_LIMIT, STACK_LIMIT};
@@ -113,6 +128,16 @@ pub struct ContractPlan {
     pub blocks: Vec<BlockPlan>,
     /// Number of read-access load ids in the plan.
     pub load_count: usize,
+    /// Number of loop-carried φ variables ([`SymExpr::LoopVar`] ids).
+    pub loop_var_count: usize,
+    /// φ assignments per CFG edge `(pred, head)`: traversing the edge
+    /// re-binds each listed variable to its expression. All expressions
+    /// are evaluated against the pre-edge state before any variable is
+    /// committed (parallel-copy semantics).
+    pub phi_edges: HashMap<(usize, usize), Vec<(usize, SymExpr)>>,
+    /// Per φ-head block index: the variables that every in-edge of the
+    /// head must re-bind (the walk bails if an edge misses one).
+    pub phi_heads: HashMap<usize, Vec<usize>>,
 }
 
 impl ContractPlan {
@@ -240,16 +265,34 @@ pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
 
     let n = cfg.blocks.len();
     let mut entry: Vec<Option<AbsState>> = vec![None; n];
+    let mut outs: Vec<Option<AbsState>> = vec![None; n];
     let mut conflict = vec![false; n];
-    let mut seen = vec![false; n];
     entry[0] = Some(AbsState::default());
-    seen[0] = true;
     let mut worklist = vec![0usize];
+    let mut phi = PhiState::new(n);
+    // Head pre-pass: blocks are sorted by start pc, so an edge that does
+    // not move forward closes a cycle, and every cycle contains such an
+    // edge — the one into its minimum-index block. Edges materialized
+    // later by jump patching are converted on the fly below.
+    for index in 0..n {
+        for succ in cfg.blocks[index].successors() {
+            if succ <= index {
+                phi.is_head[succ] = true;
+            }
+        }
+    }
+    // The entry block starts from the fixed initial state; if it is also a
+    // loop head, that state (empty, so no cells) is its canonical form.
+    if phi.is_head[0] {
+        phi.absorb(0, &AbsState::default());
+    }
 
     // Fixpoint: propagate entry states, resolving Unknown jump exits from
-    // the symbolic stack as they become constant. Patching only refines
-    // Unknown → Jump/Branch (monotone), and the per-slot join lattice has
-    // height 2, so this terminates.
+    // the symbolic stack as they become constant. Terminates because the
+    // one-shot events are finite (each exit is patched at most once, each
+    // head placed once, φ sets only grow and are bounded by the cells in
+    // play) and, between events, every cycle passes through a fixed
+    // canonical head entry — so plain propagation stabilizes.
     while let Some(index) = worklist.pop() {
         if conflict[index] {
             continue;
@@ -259,22 +302,75 @@ pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
         };
         let effect = interpret_block(code, &cfg.blocks[index], state, &load_ids);
         patch_exit(cfg, index, &effect, &block_of_start);
-        let Some(out) = effect.out else { continue };
+        // A patched exit can close a cycle whose head was joined as a
+        // plain merge point so far: convert its accumulated entry to
+        // canonical φ form and let the predecessors re-record their edges.
         for succ in cfg.blocks[index].successors() {
-            let joined = match &entry[succ] {
-                None => Some(out.clone()),
-                Some(existing) => match existing.join(&out) {
-                    Some(j) => Some(j),
-                    None => {
-                        conflict[succ] = true;
-                        continue;
+            if succ <= index && !phi.is_head[succ] {
+                phi.is_head[succ] = true;
+                if let Some(existing) = entry[succ].clone() {
+                    phi.absorb(succ, &existing);
+                    entry[succ] = Some(phi.canonical(succ));
+                    worklist.push(succ);
+                    worklist.extend(preds_of(cfg, succ));
+                }
+            }
+        }
+        outs[index] = effect.out;
+        let Some(out) = outs[index].clone() else {
+            continue;
+        };
+        for succ in cfg.blocks[index].successors() {
+            if conflict[succ] {
+                continue;
+            }
+            if phi.is_head[succ] {
+                if phi.placed[succ] && phi.height[succ] != out.stack.len() {
+                    conflict[succ] = true;
+                    continue;
+                }
+                let first = !phi.placed[succ];
+                // New variables (first placement, or a memory word first
+                // written inside the loop body) change the canonical
+                // state: downstream re-derives it, predecessors re-record
+                // their edge assignments for the new variables.
+                if phi.absorb(succ, &out) {
+                    entry[succ] = Some(phi.canonical(succ));
+                    worklist.push(succ);
+                    if !first {
+                        worklist.extend(preds_of(cfg, succ));
                     }
-                },
-            };
-            if !seen[succ] || joined != entry[succ] {
-                seen[succ] = true;
-                entry[succ] = joined;
-                worklist.push(succ);
+                }
+                phi.record((index, succ), &out);
+            } else {
+                // Fresh join over every predecessor's current out-state:
+                // refinements replace stale values instead of widening
+                // against them.
+                let mut fresh: Option<AbsState> = None;
+                let mut clash = false;
+                for pred in preds_of(cfg, succ) {
+                    let Some(pred_out) = &outs[pred] else {
+                        continue;
+                    };
+                    match fresh.take() {
+                        None => fresh = Some(pred_out.clone()),
+                        Some(acc) => match acc.join(pred_out) {
+                            Some(joined) => fresh = Some(joined),
+                            None => {
+                                clash = true;
+                                break;
+                            }
+                        },
+                    }
+                }
+                if clash {
+                    conflict[succ] = true;
+                    continue;
+                }
+                if fresh.is_some() && fresh != entry[succ] {
+                    entry[succ] = fresh;
+                    worklist.push(succ);
+                }
             }
         }
     }
@@ -301,7 +397,133 @@ pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
     ContractPlan {
         blocks,
         load_count: load_ids.len(),
+        loop_var_count: phi.count,
+        phi_edges: phi
+            .edges
+            .into_iter()
+            .map(|(edge, vars)| (edge, vars.into_iter().collect()))
+            .collect(),
+        phi_heads: phi
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, cells)| !cells.is_empty())
+            .map(|(head, cells)| (head, cells.values().copied().collect()))
+            .collect(),
     }
+}
+
+/// A loop-carried cell at a φ head: a stack position (from the bottom) or
+/// a 32-byte-aligned memory word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Cell {
+    Stack(usize),
+    Mem(usize),
+}
+
+/// φ bookkeeping for the fixpoint: which blocks are loop heads, which of
+/// their cells carry a variable, and what each in-edge assigns to it.
+struct PhiState {
+    is_head: Vec<bool>,
+    /// Whether the head's canonical entry has been established yet.
+    placed: Vec<bool>,
+    /// Stack height fixed at placement; later arrivals must match.
+    height: Vec<usize>,
+    /// Whether the head's memory image is poisoned (no memory φs then).
+    poisoned: Vec<bool>,
+    count: usize,
+    /// Per head block: cell → variable id.
+    cells: Vec<BTreeMap<Cell, usize>>,
+    /// Per edge `(pred, head)`: variable id → assigned expression.
+    edges: HashMap<(usize, usize), BTreeMap<usize, SymExpr>>,
+}
+
+impl PhiState {
+    fn new(n: usize) -> PhiState {
+        PhiState {
+            is_head: vec![false; n],
+            placed: vec![false; n],
+            height: vec![0; n],
+            poisoned: vec![false; n],
+            count: 0,
+            cells: vec![BTreeMap::new(); n],
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Ensures every cell of `state` carries a φ variable at `head`: the
+    /// first arrival fixes the stack height and allocates one variable per
+    /// stack slot and per known memory word; later arrivals can only grow
+    /// the set with memory words first written inside the loop body.
+    /// Returns `true` when new variables were allocated (the canonical
+    /// entry changed).
+    fn absorb(&mut self, head: usize, state: &AbsState) -> bool {
+        let before = self.count;
+        if !self.placed[head] {
+            self.placed[head] = true;
+            self.height[head] = state.stack.len();
+            self.poisoned[head] = state.mem.poisoned;
+            for i in 0..state.stack.len() {
+                self.cells[head].insert(Cell::Stack(i), self.count);
+                self.count += 1;
+            }
+        }
+        if !self.poisoned[head] && !state.mem.poisoned {
+            for &offset in state.mem.words.keys() {
+                if let std::collections::btree_map::Entry::Vacant(slot) =
+                    self.cells[head].entry(Cell::Mem(offset))
+                {
+                    slot.insert(self.count);
+                    self.count += 1;
+                }
+            }
+        }
+        self.count != before
+    }
+
+    /// The head's canonical entry state: every tracked cell is its φ
+    /// variable.
+    fn canonical(&self, head: usize) -> AbsState {
+        let mut state = AbsState {
+            stack: vec![SymExpr::Unknown; self.height[head]],
+            mem: AbsMem {
+                words: BTreeMap::new(),
+                poisoned: self.poisoned[head],
+            },
+        };
+        for (&cell, &var) in &self.cells[head] {
+            match cell {
+                Cell::Stack(i) => state.stack[i] = SymExpr::LoopVar(var),
+                Cell::Mem(offset) => {
+                    state.mem.words.insert(offset, SymExpr::LoopVar(var));
+                }
+            }
+        }
+        state
+    }
+
+    /// Records what `state` assigns to every φ of the edge's head when the
+    /// edge is traversed. Re-recording overwrites, so the map converges to
+    /// the predecessor's final out-state.
+    fn record(&mut self, edge: (usize, usize), state: &AbsState) {
+        let map = self.edges.entry(edge).or_default();
+        for (&cell, &var) in &self.cells[edge.1] {
+            map.insert(var, read_cell(state, cell));
+        }
+    }
+}
+
+fn read_cell(state: &AbsState, cell: Cell) -> SymExpr {
+    match cell {
+        Cell::Stack(i) => state.stack.get(i).cloned().unwrap_or(SymExpr::Unknown),
+        Cell::Mem(offset) => state.mem.load(Some(offset)),
+    }
+}
+
+fn preds_of(cfg: &Cfg, block: usize) -> Vec<usize> {
+    (0..cfg.blocks.len())
+        .filter(|&p| cfg.blocks[p].successors().contains(&block))
+        .collect()
 }
 
 /// Refines an `Unknown` jump exit when the symbolic target folded to a
@@ -781,9 +1003,10 @@ mod tests {
     }
 
     #[test]
-    fn loop_variant_state_widens_to_unknown() {
-        // A counter decremented in memory across a back edge: the join
-        // widens the cell, the loop body's plan is incomplete.
+    fn loop_variant_state_gets_a_phi_variable() {
+        // A counter decremented in memory across a back edge: the head
+        // join allocates a φ instead of widening, the loop key becomes a
+        // bindable template, and every block stays walkable.
         let (_, plan) = analyzed(
             "PUSH1 3 PUSH1 0 MSTORE \
              loop: JUMPDEST PUSH1 0 MLOAD SLOAD POP \
@@ -791,8 +1014,24 @@ mod tests {
              PUSH1 0 MLOAD PUSH @loop JUMPI STOP",
         );
         let in_loop = plan.accesses().next().expect("the loop body has an access");
-        assert_eq!(in_loop.key.expr(), &SymExpr::Unknown);
-        assert!(plan.blocks.iter().any(|b| !b.complete));
+        assert!(
+            matches!(in_loop.key.expr(), SymExpr::LoopVar(_)),
+            "expected a φ key, got {}",
+            in_loop.key.expr()
+        );
+        assert!(in_loop.key.is_template());
+        assert!(plan.blocks.iter().all(|b| b.complete));
+        assert_eq!(plan.loop_var_count, 1);
+        // Both in-edges of the head assign the variable: the init edge its
+        // initial value, the latch the decremented value.
+        let (&head, vars) = plan.phi_heads.iter().next().expect("one φ head");
+        assert_eq!(vars.len(), 1);
+        let assigning_edges = plan
+            .phi_edges
+            .iter()
+            .filter(|((_, h), assigns)| *h == head && !assigns.is_empty())
+            .count();
+        assert_eq!(assigning_edges, 2);
     }
 
     #[test]
@@ -814,6 +1053,8 @@ mod tests {
             ("auction", contracts::auction()),
             ("crowdsale", contracts::crowdsale()),
             ("batch_pay", contracts::batch_pay()),
+            ("airdrop", contracts::airdrop()),
+            ("batch_transfer", contracts::batch_transfer()),
         ] {
             let mut cfg = Cfg::build(&code);
             let plan = analyze(&code, &mut cfg);

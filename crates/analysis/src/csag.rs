@@ -64,6 +64,10 @@ pub enum RefinementTier {
     Exact,
     /// Bound from the P-SAG's symbolic templates without executing code.
     Symbolic,
+    /// Bound symbolically through at least one loop: the walk re-bound
+    /// loop-carried φ variables ([`crate::SymExpr::LoopVar`]) on loop-head
+    /// edges, unrolling the loop at bind time instead of falling back.
+    LoopSummarized,
     /// Full speculative pre-execution against the snapshot.
     Speculative,
 }
@@ -382,13 +386,13 @@ impl Analyzer {
         let release_set: HashSet<usize> = psag.release_pcs.iter().copied().collect();
 
         if self.config.refinement == RefinementMode::TwoTier {
-            if let Some(raw) = bind_symbolic(&psag, tx, block, snapshot, &release_set) {
-                return self.finish(
-                    raw,
-                    tx.env.gas_limit,
-                    &release_set,
-                    RefinementTier::Symbolic,
-                );
+            if let Some((raw, looped)) = bind_symbolic(&psag, tx, block, snapshot, &release_set) {
+                let tier = if looped {
+                    RefinementTier::LoopSummarized
+                } else {
+                    RefinementTier::Symbolic
+                };
+                return self.finish(raw, tx.env.gas_limit, &release_set, tier);
             }
         }
 
@@ -539,20 +543,28 @@ struct RawPrediction {
 /// reading only the snapshot values named by `Load` holes — no bytecode
 /// is executed.
 ///
+/// Loops are unrolled *at bind time*: crossing an edge into a φ head
+/// re-binds the head's loop-carried variables from the plan's per-edge
+/// assignments (all right-hand sides evaluated before any commit —
+/// parallel copy), so loop-variant keys, values and trip conditions
+/// evaluate concretely on every iteration. The returned flag is `true`
+/// when at least one φ was bound (the walk crossed a loop), which the
+/// caller surfaces as [`RefinementTier::LoopSummarized`].
+///
 /// Returns `None` (fall back to speculative pre-execution) the moment the
 /// walked path leaves the statically-planned region: an incomplete block
 /// plan, an unresolved jump, out-of-gas or a memory fault on the walked
-/// path, or a loop running past the unroll budget. A successful walk
-/// reproduces the speculative tier's observations *exactly*, including
-/// block-boundary gas (release gas bounds are load-bearing: the scheduler
-/// releases locks against them).
+/// path, a φ assignment that fails to evaluate, or a loop running past
+/// the unroll budget. A successful walk reproduces the speculative tier's
+/// observations *exactly*, including block-boundary gas (release gas
+/// bounds are load-bearing: the scheduler releases locks against them).
 fn bind_symbolic(
     psag: &PSag,
     tx: &Transaction,
     block: &BlockEnv,
     snapshot: &Snapshot,
     release_set: &HashSet<usize>,
-) -> Option<RawPrediction> {
+) -> Option<(RawPrediction, bool)> {
     use crate::cfg::BlockExit;
     /// Loop-unroll budget: beyond this many block visits the walk is
     /// cheaper to redo speculatively than to keep simulating.
@@ -567,6 +579,8 @@ fn bind_symbolic(
     // Memory high-water mark in 32-byte words, for expansion gas.
     let mut mem_words: u64 = 0;
     let mut loads: Vec<Option<U256>> = vec![None; psag.plan.load_count];
+    let mut loop_vars: Vec<Option<U256>> = vec![None; psag.plan.loop_var_count];
+    let mut looped = false;
     let mut overlay: HashMap<StateKey, U256> = HashMap::new();
     let mut deltas: HashMap<StateKey, U256> = HashMap::new();
     let mut snapshot_deps: BTreeMap<StateKey, U256> = BTreeMap::new();
@@ -596,6 +610,7 @@ fn bind_symbolic(
                 tx: env,
                 block,
                 loads: &loads,
+                loop_vars: &loop_vars,
             };
             let exponent = term.eval(&ctx)?;
             charge += 50 * exponent.bits().div_ceil(8) as u64;
@@ -618,6 +633,7 @@ fn bind_symbolic(
                 tx: env,
                 block,
                 loads: &loads,
+                loop_vars: &loop_vars,
             };
             let key_value = access.key.expr().eval(&ctx)?;
             let key = match access.key {
@@ -669,6 +685,7 @@ fn bind_symbolic(
                     tx: env,
                     block,
                     loads: &loads,
+                    loop_vars: &loop_vars,
                 };
                 let cond = plan.cond.as_ref()?.eval(&ctx)?;
                 if cond.is_zero() {
@@ -685,16 +702,42 @@ fn bind_symbolic(
         if release_set.contains(&next_pc) {
             releases.push((next_pc, gas_left));
         }
+        // Crossing an edge into a φ head re-binds the head's loop-carried
+        // variables: every assignment's right-hand side is evaluated
+        // against the pre-edge state, then all are committed at once
+        // (parallel copy). An edge that misses a variable, or a
+        // right-hand side that fails to evaluate, falls back.
+        if let Some(vars) = psag.plan.phi_heads.get(&next) {
+            let assigns = psag.plan.phi_edges.get(&(index, next))?;
+            let ctx = BindCtx {
+                tx: env,
+                block,
+                loads: &loads,
+                loop_vars: &loop_vars,
+            };
+            let mut committed = Vec::with_capacity(vars.len());
+            for var in vars {
+                let (_, expr) = assigns.iter().find(|(v, _)| v == var)?;
+                committed.push((*var, expr.eval(&ctx)?));
+            }
+            for (var, value) in committed {
+                loop_vars[var] = Some(value);
+            }
+            looped = true;
+        }
         index = next;
     };
 
-    Some(RawPrediction {
-        events,
-        releases,
-        snapshot_deps,
-        predicted_success,
-        gas_used: env.gas_limit - gas_left,
-    })
+    Some((
+        RawPrediction {
+            events,
+            releases,
+            snapshot_deps,
+            predicted_success,
+            gas_used: env.gas_limit - gas_left,
+        },
+        looped,
+    ))
 }
 
 #[cfg(test)]
@@ -1011,13 +1054,22 @@ mod tests {
     }
 
     #[test]
-    fn loop_paths_fall_back_to_speculation() {
-        let a = analyzer();
+    fn loop_paths_bind_loop_summarized_and_match_speculation() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
         let x = Address::from_u64(42).to_u256();
         let key_ax = StateKey::storage(Address::from_u64(FIG1), contracts::map_slot(x, 0));
-        // A[x] = 3 steers fig1's UpdateB into its for-loop, whose plan is
-        // incomplete (loop-variant memory): the two-tier analyzer must
-        // fall back — and still agree with the pure speculative analyzer.
+        // A[x] = 3 steers fig1's UpdateB into its for-loop. The loop's
+        // carried counter is a φ variable now, so the two-tier analyzer
+        // unrolls at bind time instead of falling back — and must still be
+        // bit-identical to the pure speculative analyzer.
         let snapshot = Snapshot::from_entries([(key_ax, U256::from(3u64))]);
         let tx = call_tx(
             FIG1,
@@ -1025,9 +1077,12 @@ mod tests {
             contracts::fig1_fn::UPDATE_B,
             &[x, U256::from(4u64)],
         );
-        let sag = a.csag(&tx, &snapshot, &BlockEnv::default());
-        assert_eq!(sag.tier, RefinementTier::Speculative);
-        assert!(sag.predicted_success);
+        let s = two_tier.csag(&tx, &snapshot, &BlockEnv::default());
+        let p = speculative.csag(&tx, &snapshot, &BlockEnv::default());
+        assert_eq!(s.tier, RefinementTier::LoopSummarized);
+        assert_eq!(p.tier, RefinementTier::Speculative);
+        assert!(s.predicted_success);
+        assert_same_prediction(&s, &p, "fig1 loop");
     }
 
     #[test]

@@ -3,14 +3,19 @@
 //! A release point carries "an upper bound estimation to the gas needed
 //! for the remaining statements" (paper §III-B). C-SAGs measure the bound
 //! on the concrete unrolled path; this module computes the *static*
-//! counterpart on the CFG — the maximum gas over all acyclic paths from a
-//! block to any terminator — which exists only when no loop is reachable
-//! ("the gas estimation is done for C-SAGs since loops may not be unrolled
-//! for P-SAGs" — for loop-reachable points the static bound is `None`).
+//! counterpart on the CFG. [`static_gas_bounds`] is the acyclic-path
+//! maximum, `None` wherever a loop is reachable. [`loop_gas_bounds`]
+//! extends it through *summarized* loops: a loop with a hard trip cap and
+//! a fully-costed body ([`LoopSummary::bounded`]) contributes
+//! `(cap + 1) × per_iter_gas + mem_gas` plus the worst exit path, so
+//! release points inside and after capped loops get finite bounds too —
+//! only unbounded loops (and unresolved jumps) still yield `None`.
 
 use std::collections::HashMap;
 
+use crate::absint::ContractPlan;
 use crate::cfg::{BlockExit, Cfg};
+use crate::loops::{LoopInfo, LoopSummary};
 
 /// Gas cost of one basic block: the sum of its instructions' base costs
 /// (dynamic components like `EXP`'s per-byte charge are bounded separately
@@ -90,6 +95,76 @@ pub fn static_gas_bounds(cfg: &Cfg) -> Vec<Option<u64>> {
     (0..n)
         .map(|i| visit(cfg, i, &mut state, &mut memo))
         .collect()
+}
+
+/// Like [`static_gas_bounds`], but finite through *summarized* loops: any
+/// loop with a hard static trip cap and a fully-costed body (see
+/// [`LoopSummary::bounded`]) is collapsed to
+/// `(cap + 1) × per_iter_gas + mem_gas + worst exit`, and the result is
+/// propagated upstream. `plan` must be the [`ContractPlan`] the loop
+/// summaries were built from (it is unused today but pins the signature to
+/// the facts the bound depends on).
+pub fn loop_gas_bounds(cfg: &Cfg, plan: &ContractPlan, loops: &LoopInfo) -> Vec<Option<u64>> {
+    let _ = plan;
+    let n = cfg.blocks.len();
+    let mut bounds = static_gas_bounds(cfg);
+    let mut owner: Vec<Option<&LoopSummary>> = vec![None; n];
+    for summary in loops.loops.iter().filter(|l| l.bounded()) {
+        for &b in &summary.body {
+            owner[b] = Some(summary);
+        }
+    }
+    // Relaxation over the loop-collapsed graph: every cycle sits inside a
+    // summarized body (or keeps its `None`), so n passes reach a fixpoint.
+    for _ in 0..n {
+        let mut changed = false;
+        for index in 0..n {
+            if bounds[index].is_some() {
+                continue;
+            }
+            let candidate = match owner[index] {
+                // Any body block's remaining gas is covered by the whole
+                // collapsed loop: at most cap body passes plus the final
+                // guard visit, each bounded by the summed body gas.
+                Some(summary) => collapsed_bound(summary, &bounds),
+                None => match &cfg.blocks[index].exit {
+                    BlockExit::Unknown => None,
+                    BlockExit::Halt | BlockExit::Abort => Some(block_gas(cfg, index)),
+                    _ => cfg.blocks[index]
+                        .successors()
+                        .iter()
+                        .map(|&s| bounds[s])
+                        .try_fold(0u64, |best, b| b.map(|b| best.max(b)))
+                        .map(|best| block_gas(cfg, index).saturating_add(best)),
+                },
+            };
+            if candidate.is_some() {
+                bounds[index] = candidate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    bounds
+}
+
+/// `(cap + 1) × per_iter + mem_gas + max(exit bounds)`, once every exit
+/// target is itself bounded.
+fn collapsed_bound(summary: &LoopSummary, bounds: &[Option<u64>]) -> Option<u64> {
+    let cap = summary.trip.as_ref()?.cap?;
+    let per_iter = summary.per_iter_gas?;
+    let mut exit_max = 0u64;
+    for &target in &summary.exit_targets {
+        exit_max = exit_max.max(bounds[target]?);
+    }
+    Some(
+        cap.saturating_add(1)
+            .saturating_mul(per_iter)
+            .saturating_add(summary.mem_gas)
+            .saturating_add(exit_max),
+    )
 }
 
 /// Renders a CFG (the SAG skeleton) as Graphviz DOT, with state-access
@@ -178,6 +253,77 @@ mod tests {
             .find(|b| b.start_pc > 0 && matches!(b.exit, BlockExit::Halt))
             .expect("stop block");
         assert!(bounds[stop_block.index].is_some());
+    }
+
+    #[test]
+    fn capped_loop_gets_a_finite_loop_aware_bound() {
+        let src =
+            "PUSH1 3 loop: JUMPDEST PUSH1 1 SWAP1 SUB DUP1 PUSH1 0 SWAP1 GT PUSH @loop JUMPI STOP";
+        let code = assemble(src).expect("valid assembly");
+        let mut g = Cfg::build(&code);
+        let plan = crate::absint::analyze(&code, &mut g);
+        let loops = crate::loops::analyze_loops(&g, &plan);
+        assert_eq!(static_gas_bounds(&g)[0], None, "static pass must give up");
+        let bounds = loop_gas_bounds(&g, &plan, &loops);
+        let bound = bounds[0].expect("capped loop must get a finite bound");
+        // 3 iterations of the body plus the final failed-guard pass plus
+        // the STOP tail; the collapsed formula over-approximates, so only
+        // check it is sane (positive, and at least one body's gas).
+        let summary = &loops.loops[0];
+        let per_iter = summary.per_iter_gas.expect("body fully costed");
+        assert!(
+            bound >= per_iter,
+            "bound {bound} below one iteration {per_iter}"
+        );
+        assert!(bound <= (3 + 1) * per_iter + summary.mem_gas + 13);
+    }
+
+    #[test]
+    fn uncapped_loop_stays_unbounded_in_loop_aware_pass() {
+        // Trip count comes off storage with no dominating guard → no cap.
+        let src = "PUSH1 0 SLOAD loop: JUMPDEST PUSH1 1 SWAP1 SUB DUP1 PUSH1 0 SWAP1 GT PUSH @loop JUMPI STOP";
+        let code = assemble(src).expect("valid assembly");
+        let mut g = Cfg::build(&code);
+        let plan = crate::absint::analyze(&code, &mut g);
+        let loops = crate::loops::analyze_loops(&g, &plan);
+        let bounds = loop_gas_bounds(&g, &plan, &loops);
+        assert_eq!(bounds[0], None);
+    }
+
+    #[test]
+    fn airdrop_release_point_inside_summarized_loop_is_bounded() {
+        // The airdrop contract's credit loop is abort-free and its head is
+        // a release point; the calldata-derived trip count is clamped to 32
+        // by the dominating guard, so the loop-aware pass must produce a
+        // finite bound *at* that release point.
+        let code = contracts::airdrop();
+        let mut g = Cfg::build(&code);
+        let plan = crate::absint::analyze(&code, &mut g);
+        let loops = crate::loops::analyze_loops(&g, &plan);
+        let summary = loops
+            .loops
+            .iter()
+            .find(|l| l.bounded())
+            .expect("airdrop loop must be summarized with a cap");
+        assert!(
+            g.release_points().contains(&summary.head_pc),
+            "loop head at pc {} must be a release point",
+            summary.head_pc
+        );
+        assert_eq!(
+            static_gas_bounds(&g)[summary.head],
+            None,
+            "static pass alone cannot bound the loop"
+        );
+        let bounds = loop_gas_bounds(&g, &plan, &loops);
+        assert!(
+            bounds[summary.head].is_some(),
+            "release point inside the summarized loop must get a finite bound"
+        );
+        // Blocks of the body (not just the head) are bounded too.
+        for &b in &summary.body {
+            assert!(bounds[b].is_some(), "body block {b} unbounded");
+        }
     }
 
     #[test]
@@ -275,6 +421,8 @@ mod safety_tests {
             ("auction", contracts::auction()),
             ("crowdsale", contracts::crowdsale()),
             ("batch_pay", contracts::batch_pay()),
+            ("airdrop", contracts::airdrop()),
+            ("batch_transfer", contracts::batch_transfer()),
         ] {
             let cfg = Cfg::build(&code);
             for pc in cfg.release_points() {

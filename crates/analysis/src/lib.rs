@@ -29,6 +29,7 @@ mod commute;
 mod csag;
 mod gas;
 mod lint;
+mod loops;
 mod psag;
 mod symbolic;
 
@@ -38,7 +39,10 @@ pub use commute::{classify_increments, IncrementClass, IncrementReport};
 pub use csag::{
     AccessEvent, AnalysisConfig, Analyzer, CSag, RefinementMode, RefinementTier, ReleasePoint,
 };
-pub use gas::{cfg_to_dot, static_gas_bounds};
+pub use gas::{cfg_to_dot, loop_gas_bounds, static_gas_bounds};
 pub use lint::{lint_contract, ContractLint, Finding, Severity};
+pub use loops::{
+    analyze_loops, InductionVar, KeyFamily, LoopInfo, LoopSummary, Step, TripCount, TripSource,
+};
 pub use psag::{AccessKind, PSag, SagOp};
 pub use symbolic::{apply_bin, BinOp, BindCtx, SymExpr, UnOp};

@@ -11,7 +11,8 @@
 use crate::absint::ContractPlan;
 use crate::cfg::Cfg;
 use crate::commute::{classify_increments, IncrementClass};
-use crate::gas::static_gas_bounds;
+use crate::gas::loop_gas_bounds;
+use crate::loops::LoopInfo;
 use crate::psag::PSag;
 
 /// How bad a finding is.
@@ -30,6 +31,11 @@ pub enum Severity {
 pub struct Finding {
     /// Severity class.
     pub severity: Severity,
+    /// Stable machine-readable code (kebab-case), e.g. `unbounded-trip-count`.
+    pub code: &'static str,
+    /// The pc the finding anchors to (a loop head, an access, a block
+    /// start), when it has one.
+    pub pc: Option<usize>,
     /// Human-readable description, including the pc where relevant.
     pub message: String,
 }
@@ -77,6 +83,8 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
     if access_ops > 0 && template_resolved == 0 {
         findings.push(Finding {
             severity: Severity::Error,
+            code: "no-template-keys",
+            pc: None,
             message: format!(
                 "none of the {access_ops} state accesses resolve to a key template; \
                  every C-SAG refinement will fall back to speculative execution"
@@ -86,6 +94,8 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
     if psag.release_pcs.is_empty() {
         findings.push(Finding {
             severity: Severity::Error,
+            code: "no-release-points",
+            pc: None,
             message: "no release points: an abort stays reachable to the end of every path, \
                       so locks are held until commit"
                 .to_string(),
@@ -96,6 +106,8 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
         if !access.key.is_template() {
             findings.push(Finding {
                 severity: Severity::Warning,
+                code: "unresolved-key",
+                pc: Some(access.pc),
                 message: format!(
                     "access at pc {} has an unresolved key (the paper's \"–\" placeholder)",
                     access.pc
@@ -104,12 +116,15 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
         }
     }
 
-    unbounded_gas_findings(&psag.cfg, plan, &mut findings);
+    unbounded_gas_findings(&psag.cfg, plan, &psag.loops, &mut findings);
+    loop_findings(&psag.cfg, plan, &psag.loops, &mut findings);
 
     for report in classify_increments(plan) {
         match report.class {
             IncrementClass::Commutable => findings.push(Finding {
                 severity: Severity::Note,
+                code: "sadd-candidate",
+                pc: Some(report.store_pc),
                 message: format!(
                     "store at pc {} is a commutable increment of key {} (loaded at pc {}); \
                      compiling it to SADD would remove the read-write conflict",
@@ -118,6 +133,8 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
             }),
             IncrementClass::NonCommutable => findings.push(Finding {
                 severity: Severity::Warning,
+                code: "non-commutable-increment",
+                pc: Some(report.store_pc),
                 message: format!(
                     "store at pc {} increments key {} but the value loaded at pc {} \
                      flows into other facts; the increment cannot commute",
@@ -138,26 +155,37 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
     }
 }
 
-/// Warns on release points whose static gas bound is unknown and on
-/// unresolved jumps (which poison bounds downstream).
-fn unbounded_gas_findings(cfg: &Cfg, plan: &ContractPlan, findings: &mut Vec<Finding>) {
+/// Warns on release points whose gas bound is unknown even after loop
+/// summarization (see [`loop_gas_bounds`]) and on unresolved jumps (which
+/// poison bounds downstream).
+fn unbounded_gas_findings(
+    cfg: &Cfg,
+    plan: &ContractPlan,
+    loops: &LoopInfo,
+    findings: &mut Vec<Finding>,
+) {
     if cfg.has_unknown_jumps {
         findings.push(Finding {
             severity: Severity::Warning,
+            code: "unresolved-jumps",
+            pc: None,
             message: "the CFG still has unresolved jump targets after value-set propagation; \
                       release-point and gas-bound coverage degrade conservatively"
                 .to_string(),
         });
     }
-    let bounds = static_gas_bounds(cfg);
+    let bounds = loop_gas_bounds(cfg, plan, loops);
     let release_pcs = cfg.release_points();
     for block in &cfg.blocks {
         if release_pcs.contains(&block.start_pc) && bounds[block.index].is_none() {
             findings.push(Finding {
                 severity: Severity::Warning,
+                code: "unbounded-release-gas",
+                pc: Some(block.start_pc),
                 message: format!(
-                    "release point at pc {} has no static gas bound (a loop or unresolved \
-                     jump is reachable); the bound is only known per transaction",
+                    "release point at pc {} has no static gas bound even with loop \
+                     summaries (an uncapped loop or unresolved jump is reachable); \
+                     the bound is only known per transaction",
                     block.start_pc
                 ),
             });
@@ -167,12 +195,84 @@ fn unbounded_gas_findings(cfg: &Cfg, plan: &ContractPlan, findings: &mut Vec<Fin
         if !block_plan.complete {
             findings.push(Finding {
                 severity: Severity::Warning,
+                code: "opaque-block",
+                pc: Some(cfg.blocks[index].start_pc),
                 message: format!(
                     "block at pc {} is not symbolically walkable; paths through it \
                      refine via speculative execution",
                     cfg.blocks[index].start_pc
                 ),
             });
+        }
+    }
+}
+
+/// Loop-summary findings: irreducible regions (never summarized), loops
+/// without a static trip cap (no finite gas through them), and loop-variant
+/// keys the summary could not express as a strided family.
+fn loop_findings(cfg: &Cfg, plan: &ContractPlan, loops: &LoopInfo, findings: &mut Vec<Finding>) {
+    let _ = cfg;
+    for &pc in &loops.irreducible_head_pcs {
+        findings.push(Finding {
+            severity: Severity::Warning,
+            code: "irreducible-loop",
+            pc: Some(pc),
+            message: format!(
+                "irreducible (multiple-entry) loop region entered at pc {pc}; it is never \
+                 summarized and always refines via speculative execution"
+            ),
+        });
+    }
+    for summary in &loops.loops {
+        let capped = summary.trip.as_ref().is_some_and(|t| t.cap.is_some());
+        if !capped {
+            let detail = match &summary.trip {
+                Some(t) => format!(
+                    "trip count {} ({:?}-derived) has no static cap",
+                    t.bound, t.source
+                ),
+                None => "no trip-count template was recognized".to_string(),
+            };
+            findings.push(Finding {
+                severity: Severity::Warning,
+                code: "unbounded-trip-count",
+                pc: Some(summary.head_pc),
+                message: format!(
+                    "loop at pc {}: {detail}; gas bounds through this loop stay unknown",
+                    summary.head_pc
+                ),
+            });
+        }
+        // Keys written in the body that vary with an induction variable but
+        // have no affine stride widen the predicted key family.
+        for family in summary.families.iter().filter(|f| f.stride.is_none()) {
+            findings.push(Finding {
+                severity: Severity::Note,
+                code: "loop-variant-key-widened",
+                pc: Some(summary.head_pc),
+                message: format!(
+                    "loop at pc {}: access at pc {} has a loop-variant key with no affine \
+                     stride; the key family widens to the whole iteration space",
+                    summary.head_pc, family.pc
+                ),
+            });
+        }
+        // Body accesses whose key the abstract interpreter lost entirely.
+        for &b in &summary.body {
+            for access in &plan.blocks[b].accesses {
+                if !access.key.is_template() {
+                    findings.push(Finding {
+                        severity: Severity::Note,
+                        code: "loop-variant-key-widened",
+                        pc: Some(summary.head_pc),
+                        message: format!(
+                            "loop at pc {}: access at pc {} inside the body has an opaque \
+                             key; the summary cannot name its key family",
+                            summary.head_pc, access.pc
+                        ),
+                    });
+                }
+            }
         }
     }
 }
@@ -220,6 +320,68 @@ mod tests {
     }
 
     #[test]
+    fn uncapped_loop_reports_unbounded_trip_count_at_its_head() {
+        // Count comes off storage with no dominating guard → no cap.
+        let code = assemble(
+            "PUSH1 0 SLOAD loop: JUMPDEST PUSH1 1 SWAP1 SUB DUP1 \
+             PUSH1 0 SWAP1 GT PUSH @loop JUMPI PUSH1 1 PUSH1 1 SSTORE STOP",
+        )
+        .unwrap();
+        let lint = lint_contract("uncapped", &code);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "unbounded-trip-count")
+            .expect("uncapped loop must be flagged");
+        assert_eq!(finding.severity, Severity::Warning);
+        assert_eq!(finding.pc, Some(3), "finding must anchor to the loop head");
+    }
+
+    #[test]
+    fn capped_loop_is_not_flagged_unbounded() {
+        let code = assemble(
+            "PUSH1 3 loop: JUMPDEST PUSH1 1 SWAP1 SUB DUP1 \
+             PUSH1 0 SWAP1 GT PUSH @loop JUMPI PUSH1 1 PUSH1 1 SSTORE STOP",
+        )
+        .unwrap();
+        let lint = lint_contract("capped", &code);
+        assert!(
+            !lint
+                .findings
+                .iter()
+                .any(|f| f.code == "unbounded-trip-count"),
+            "{:#?}",
+            lint.findings
+        );
+        // The capped loop also rescues the release-point gas bound.
+        assert!(
+            !lint
+                .findings
+                .iter()
+                .any(|f| f.code == "unbounded-release-gas"),
+            "{:#?}",
+            lint.findings
+        );
+    }
+
+    #[test]
+    fn irreducible_region_reports_its_entry_pc() {
+        let code = assemble(
+            "PUSH1 0 CALLDATALOAD PUSH @mid JUMPI \
+             top: JUMPDEST PUSH1 1 PUSH @mid JUMPI STOP \
+             mid: JUMPDEST PUSH1 1 PUSH @top JUMPI STOP",
+        )
+        .unwrap();
+        let lint = lint_contract("irreducible", &code);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "irreducible-loop")
+            .expect("irreducible region must be flagged");
+        assert!(finding.pc.is_some());
+    }
+
+    #[test]
     fn library_contracts_lint_clean() {
         for (name, code) in [
             ("token", contracts::token()),
@@ -231,6 +393,8 @@ mod tests {
             ("auction", contracts::auction()),
             ("crowdsale", contracts::crowdsale()),
             ("batch_pay", contracts::batch_pay()),
+            ("airdrop", contracts::airdrop()),
+            ("batch_transfer", contracts::batch_transfer()),
         ] {
             let lint = lint_contract(name, &code);
             assert!(

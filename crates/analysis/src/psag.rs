@@ -6,12 +6,11 @@
 //! nodes for loops that cannot be solved statically, and release points
 //! after the last reachable abortable statement.
 
-use std::collections::HashSet;
-
 use dmvcc_primitives::U256;
 
 use crate::absint::{self, ContractPlan};
 use crate::cfg::Cfg;
+use crate::loops::{self, LoopInfo};
 
 /// The access kind of a SAG node (ρ, ω, or the commutative increment ω̄).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,12 +49,19 @@ pub struct PSag {
     /// Release-point pcs (block starts past the last reachable abort),
     /// computed on the patched CFG.
     pub release_pcs: Vec<usize>,
-    /// Start pcs of loop-head blocks (the paper's *loop nodes*, unrolled
-    /// only at C-SAG time).
+    /// Start pcs of *natural* loop-head blocks (the paper's *loop nodes*,
+    /// unrolled only at C-SAG time), one per head — nested back edges
+    /// sharing a head are deduplicated. Heads of irreducible
+    /// (multiple-entry) regions are deliberately *not* listed here; see
+    /// [`LoopInfo::irreducible_head_pcs`] on [`PSag::loops`].
     pub loop_head_pcs: Vec<usize>,
     /// Per-block symbolic plan: key templates, conditions and gas facts
     /// that let C-SAG refinement bind instead of re-executing.
     pub plan: ContractPlan,
+    /// Static loop summaries: induction variables, trip-count templates,
+    /// per-iteration gas, strided key families, and irreducible-region
+    /// flags (see [`crate::analyze_loops`]).
+    pub loops: LoopInfo,
 }
 
 impl PSag {
@@ -78,13 +84,15 @@ impl PSag {
             })
             .collect();
         let release_pcs = cfg.release_points();
-        let loop_head_pcs = loop_heads(&cfg);
+        let loops = loops::analyze_loops(&cfg, &plan);
+        let loop_head_pcs = loops.loops.iter().map(|l| l.head_pc).collect();
         PSag {
             cfg,
             ops,
             release_pcs,
             loop_head_pcs,
             plan,
+            loops,
         }
     }
 
@@ -104,38 +112,6 @@ impl PSag {
     pub fn template_resolved(&self) -> impl Iterator<Item = &crate::absint::PlanAccess> {
         self.plan.accesses().filter(|a| a.key.is_template())
     }
-}
-
-/// Detects loop-head blocks (targets of back edges) via iterative DFS.
-fn loop_heads(cfg: &Cfg) -> Vec<usize> {
-    let n = cfg.blocks.len();
-    let mut heads = HashSet::new();
-    let mut visited = vec![false; n];
-    let mut on_stack = vec![false; n];
-    // Iterative DFS with an explicit stack of (block, next-successor-index).
-    let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
-    visited[0] = true;
-    on_stack[0] = true;
-    while let Some(&(block, next)) = stack.last() {
-        let succs = cfg.blocks[block].successors();
-        if next < succs.len() {
-            stack.last_mut().expect("stack is non-empty").1 += 1;
-            let succ = succs[next];
-            if on_stack[succ] {
-                heads.insert(cfg.blocks[succ].start_pc);
-            } else if !visited[succ] {
-                visited[succ] = true;
-                on_stack[succ] = true;
-                stack.push((succ, 0));
-            }
-        } else {
-            on_stack[block] = false;
-            stack.pop();
-        }
-    }
-    let mut out: Vec<usize> = heads.into_iter().collect();
-    out.sort_unstable();
-    out
 }
 
 #[cfg(test)]
@@ -188,6 +164,24 @@ mod tests {
         let sag = psag("PUSH1 3 loop: JUMPDEST PUSH1 1 SWAP1 SUB DUP1 PUSH @loop JUMPI STOP");
         assert_eq!(sag.loop_head_pcs.len(), 1);
         assert_eq!(sag.loop_head_pcs[0], 2); // the JUMPDEST
+    }
+
+    #[test]
+    fn irreducible_entry_is_flagged_not_a_loop_node() {
+        // A cycle with a second entry jumping into its middle: no natural
+        // loop head, an explicit irreducible flag instead.
+        let sag = psag(
+            "PUSH1 0 CALLDATALOAD PUSH @mid JUMPI \
+             top: JUMPDEST PUSH1 1 PUSH @mid JUMPI STOP \
+             mid: JUMPDEST PUSH1 1 PUSH @top JUMPI STOP",
+        );
+        assert!(!sag.loops.irreducible_head_pcs.is_empty());
+        for pc in &sag.loops.irreducible_head_pcs {
+            assert!(
+                !sag.loop_head_pcs.contains(pc),
+                "irreducible head {pc} must not be listed as summarizable"
+            );
+        }
     }
 
     #[test]

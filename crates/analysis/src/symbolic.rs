@@ -102,6 +102,12 @@ pub enum SymExpr {
     /// The value produced by the plan's read access with this id,
     /// bound during the C-SAG walk (a `snapshot_deps` template hole).
     Load(usize),
+    /// A loop-carried value (a φ at a loop head): the analysis cannot
+    /// name it in closed form, but the C-SAG walk can — on every back
+    /// edge the walk re-binds the variable from the plan's per-edge
+    /// assignment (see [`crate::absint::ContractPlan::phi_edges`]),
+    /// which is what "unrolling the loop at bind time" means.
+    LoopVar(usize),
     /// Keccak-256 over a word-tiled memory image — the mapping-key shape
     /// `keccak(key ++ slot)` solidity emits.
     Keccak(Vec<SymExpr>),
@@ -119,6 +125,9 @@ pub struct BindCtx<'a> {
     pub block: &'a BlockEnv,
     /// Values produced by read accesses earlier in the walk, by load id.
     pub loads: &'a [Option<U256>],
+    /// Current values of the loop-carried φ variables, by variable id
+    /// (re-bound by the walk on every loop-head edge).
+    pub loop_vars: &'a [Option<U256>],
 }
 
 /// Applies `op` to operands in pop order, mirroring the interpreter.
@@ -215,6 +224,20 @@ impl SymExpr {
         }
     }
 
+    /// Calls `f` on this node and every sub-expression, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&SymExpr)) {
+        f(self);
+        match self {
+            SymExpr::Keccak(words) => words.iter().for_each(|w| w.visit(f)),
+            SymExpr::Unary(_, a) => a.visit(f),
+            SymExpr::Binary(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            _ => {}
+        }
+    }
+
     /// Evaluates the template against one transaction. `None` when the
     /// expression contains `Unknown` or references a load that has not
     /// been bound yet.
@@ -230,6 +253,7 @@ impl SymExpr {
             SymExpr::BlockNumber => Some(U256::from(ctx.block.number)),
             SymExpr::BlockTimestamp => Some(U256::from(ctx.block.timestamp)),
             SymExpr::Load(id) => *ctx.loads.get(*id)?,
+            SymExpr::LoopVar(id) => *ctx.loop_vars.get(*id)?,
             SymExpr::Keccak(words) => {
                 let mut bytes = Vec::with_capacity(words.len() * 32);
                 for word in words {
@@ -262,6 +286,7 @@ impl fmt::Display for SymExpr {
             SymExpr::BlockNumber => write!(f, "block.number"),
             SymExpr::BlockTimestamp => write!(f, "block.timestamp"),
             SymExpr::Load(id) => write!(f, "load#{id}"),
+            SymExpr::LoopVar(id) => write!(f, "i#{id}"),
             SymExpr::Keccak(words) => {
                 write!(f, "keccak(")?;
                 for (i, word) in words.iter().enumerate() {
@@ -312,7 +337,12 @@ mod tests {
     use dmvcc_primitives::Address;
 
     fn ctx<'a>(tx: &'a TxEnv, block: &'a BlockEnv, loads: &'a [Option<U256>]) -> BindCtx<'a> {
-        BindCtx { tx, block, loads }
+        BindCtx {
+            tx,
+            block,
+            loads,
+            loop_vars: &[],
+        }
     }
 
     #[test]

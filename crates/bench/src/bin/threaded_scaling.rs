@@ -5,8 +5,9 @@
 //! all access sequences, every publish a condvar broadcast. The "after"
 //! series is the sharded [`ParallelExecutor`] — per-shard locks, a reverse
 //! waiter index with targeted wakeups, and work-stealing ready deques.
-//! Both run the same prepared blocks on a realistic and a high-contention
-//! workload; every outcome is checked against the serial write set before
+//! Both run the same prepared blocks on a realistic, a high-contention and
+//! a loop-heavy workload (the last dominated by summarizable credit
+//! loops, exercising bind-time loop unrolling); every outcome is checked against the serial write set before
 //! it is timed into the report (a wrong-but-fast executor scores zero).
 //!
 //! Every (executor, workload, threads) cell is measured under both
@@ -58,10 +59,11 @@ struct ScalingPoint {
     steals: u64,
     parks: u64,
     symbolic_bindings: u64,
+    loop_summarized_bindings: u64,
     speculative_fallbacks: u64,
-    /// Fraction of refined C-SAGs served by the symbolic binding fast
-    /// tier instead of speculative pre-execution (transfers, which need
-    /// neither, are excluded from the denominator).
+    /// Fraction of refined C-SAGs served without speculative pre-execution
+    /// — straight symbolic bindings plus bind-time loop unrolls (transfers,
+    /// which need neither, are excluded from the denominator).
     symbolic_hit_rate: f64,
     /// Wakeups issued per committed transaction: broadcasts for the
     /// global-lock executor, targeted signals for the sharded one.
@@ -143,6 +145,7 @@ fn measure(
         stats.steals += outcome.stats.steals;
         stats.parks += outcome.stats.parks;
         stats.symbolic_bindings += outcome.stats.symbolic_bindings;
+        stats.loop_summarized_bindings += outcome.stats.loop_summarized_bindings;
         stats.speculative_fallbacks += outcome.stats.speculative_fallbacks;
         stats.critical_path_gas += outcome.stats.critical_path_gas;
         stats.predicted_gas += outcome.stats.predicted_gas;
@@ -172,9 +175,13 @@ fn measure(
         steals: stats.steals,
         parks: stats.parks,
         symbolic_bindings: stats.symbolic_bindings,
+        loop_summarized_bindings: stats.loop_summarized_bindings,
         speculative_fallbacks: stats.speculative_fallbacks,
-        symbolic_hit_rate: stats.symbolic_bindings as f64
-            / (stats.symbolic_bindings + stats.speculative_fallbacks).max(1) as f64,
+        symbolic_hit_rate: (stats.symbolic_bindings + stats.loop_summarized_bindings) as f64
+            / (stats.symbolic_bindings
+                + stats.loop_summarized_bindings
+                + stats.speculative_fallbacks)
+                .max(1) as f64,
         wakeups_per_commit: wakeups as f64 / txs.max(1) as f64,
         critical_path_gas: stats.critical_path_gas,
         speedup_bound: stats.predicted_gas as f64 / stats.critical_path_gas.max(1) as f64,
@@ -210,6 +217,7 @@ fn main() {
     for (name, workload) in [
         ("realistic", WorkloadConfig::ethereum_mix(31)),
         ("high-contention", WorkloadConfig::high_contention(31)),
+        ("loop-heavy", WorkloadConfig::loop_heavy(31)),
     ] {
         let (analyzer, chain) = prepare(workload, blocks, block_size);
         for threads in THREADS {
@@ -302,6 +310,23 @@ fn main() {
         "critical-path scheduling regressed throughput under contention \
          (fifo {fifo_hot:.0} tx/s vs critical-path {cp_hot:.0} tx/s)"
     );
+
+    // Loop summarization must carry the loop-heavy workload: speculative
+    // pre-execution is the exception there, not the rule.
+    for point in report.after.iter().filter(|p| p.workload == "loop-heavy") {
+        let refinements =
+            point.symbolic_bindings + point.loop_summarized_bindings + point.speculative_fallbacks;
+        assert!(
+            (point.speculative_fallbacks as f64) < 0.10 * refinements.max(1) as f64,
+            "loop-heavy workload fell back to speculation {}x of {} refinements",
+            point.speculative_fallbacks,
+            refinements
+        );
+        assert!(
+            point.loop_summarized_bindings > 0,
+            "loop-heavy workload produced no loop-summarized bindings"
+        );
+    }
 
     dmvcc_bench::write_json("threaded_scaling", &report);
     println!("wrote bench-results/threaded_scaling.json");

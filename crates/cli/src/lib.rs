@@ -111,12 +111,14 @@ pub fn contract_by_name(name: &str) -> Option<Vec<u8>> {
         "auction" => contracts::auction(),
         "crowdsale" => contracts::crowdsale(),
         "batch_pay" => contracts::batch_pay(),
+        "airdrop" => contracts::airdrop(),
+        "batch_transfer" => contracts::batch_transfer(),
         _ => return None,
     })
 }
 
 /// Names of the built-in contracts.
-pub const CONTRACT_NAMES: [&str; 9] = [
+pub const CONTRACT_NAMES: [&str; 11] = [
     "token",
     "counter",
     "amm",
@@ -126,6 +128,8 @@ pub const CONTRACT_NAMES: [&str; 9] = [
     "auction",
     "crowdsale",
     "batch_pay",
+    "airdrop",
+    "batch_transfer",
 ];
 
 /// Usage text.
@@ -138,10 +142,12 @@ USAGE:
   dmvcc analyze <contract> [--dot FILE]
       Print the P-SAG summary of a library contract; optionally write
       Graphviz DOT.
-  dmvcc lint [<contract>…|--all]
+  dmvcc lint [<contract>…|--all] [--json]
       Check prediction quality of library contracts: unresolved keys,
-      missing release points, unbounded blocks, non-commutable
-      increments. Exits nonzero when any contract has lint errors.
+      missing release points, unbounded blocks, unbounded or
+      irreducible loops, non-commutable increments. --json emits one
+      finding object per line (contract, severity, code, pc, message).
+      Exits nonzero when any contract has lint errors.
   dmvcc run [--hot] [--blocks N] [--size M] [--threads T]
             [--scheduler serial|dag|occ|dmvcc|all] [--seed S]
       Generate blocks and report scheduler speedups (virtual time).

@@ -1,6 +1,8 @@
 //! The `dmvcc` command-line tool.
 
-use dmvcc_analysis::{cfg_to_dot, lint_contract, static_gas_bounds, Analyzer, PSag, Severity};
+use dmvcc_analysis::{
+    cfg_to_dot, lint_contract, loop_gas_bounds, static_gas_bounds, Analyzer, PSag, Severity,
+};
 use dmvcc_baselines::{simulate_dag, simulate_occ};
 use dmvcc_chain::{run_pipelined_chain, run_testnet, ChainConfig, SchedulerKind};
 use dmvcc_cli::{contract_by_name, parse_args, ParsedArgs, CONTRACT_NAMES, USAGE};
@@ -37,7 +39,7 @@ fn main() {
 }
 
 fn cmd_contracts() -> Result<(), String> {
-    println!("{:<12}{:>8}  description", "name", "bytes");
+    println!("{:<15}{:>8}  description", "name", "bytes");
     let descriptions = [
         (
             "token",
@@ -57,10 +59,15 @@ fn cmd_contracts() -> Result<(), String> {
         ("auction", "English auction with commutative refunds"),
         ("crowdsale", "ICO-style sale (commutative contributions)"),
         ("batch_pay", "one debit, three commutative credits"),
+        ("airdrop", "calldata-bounded credit loop (≤32 recipients)"),
+        (
+            "batch_transfer",
+            "snapshot-bounded transfer loop (count in slot 0)",
+        ),
     ];
     for (name, description) in descriptions {
         let code = contract_by_name(name).expect("listed contracts exist");
-        println!("{name:<12}{:>8}  {description}", code.len());
+        println!("{name:<15}{:>8}  {description}", code.len());
     }
     Ok(())
 }
@@ -83,13 +90,36 @@ fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), String> {
     );
     println!("  placeholders '–'    : {}", sag.unresolved().count());
     println!("loop nodes          : {:?}", sag.loop_head_pcs);
+    for summary in &sag.loops.loops {
+        let trip = match &summary.trip {
+            Some(trip) => match trip.cap {
+                Some(cap) => format!("{:?}-bounded, cap {cap}", trip.source),
+                None => format!("{:?}-bounded, no static cap", trip.source),
+            },
+            None => "unbounded".to_string(),
+        };
+        println!(
+            "  loop @{}: {} ({} body blocks, {} key families{})",
+            summary.head_pc,
+            trip,
+            summary.body.len(),
+            summary.families.len(),
+            if summary.bounded() {
+                ", summarizable"
+            } else {
+                ""
+            }
+        );
+    }
     println!("release points      : {:?}", sag.release_pcs);
-    let bounds = static_gas_bounds(&sag.cfg);
+    let static_bounds = static_gas_bounds(&sag.cfg);
+    let loop_bounds = loop_gas_bounds(&sag.cfg, &sag.plan, &sag.loops);
     for pc in &sag.release_pcs {
         if let Some(block) = sag.cfg.blocks.iter().find(|b| b.start_pc == *pc) {
-            match bounds[block.index] {
-                Some(g) => println!("  release @{pc}: static gas bound {g}"),
-                None => println!("  release @{pc}: bound deferred to C-SAG (loop ahead)"),
+            match (static_bounds[block.index], loop_bounds[block.index]) {
+                (Some(g), _) => println!("  release @{pc}: static gas bound {g}"),
+                (None, Some(g)) => println!("  release @{pc}: loop-summarized gas bound {g}"),
+                (None, None) => println!("  release @{pc}: bound deferred to C-SAG (loop ahead)"),
             }
         }
     }
@@ -102,10 +132,15 @@ fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), String> {
 }
 
 fn cmd_lint(parsed: &ParsedArgs) -> Result<(), String> {
-    if let Some(flag) = parsed.options.keys().find(|k| k.as_str() != "all") {
+    if let Some(flag) = parsed
+        .options
+        .keys()
+        .find(|k| !matches!(k.as_str(), "all" | "json"))
+    {
         eprintln!("error: lint does not take --{flag}\n\n{USAGE}");
         std::process::exit(2);
     }
+    let json = parsed.has("json");
     let names: Vec<String> = if parsed.has("all") || parsed.positional.is_empty() {
         CONTRACT_NAMES.iter().map(|s| s.to_string()).collect()
     } else {
@@ -116,20 +151,26 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), String> {
         let code = contract_by_name(name)
             .ok_or_else(|| format!("unknown contract `{name}` (one of {CONTRACT_NAMES:?})"))?;
         let lint = lint_contract(name, &code);
-        println!(
-            "== {name}: {} accesses, {} template-resolved ({} constant), {} release points ==",
-            lint.access_ops, lint.template_resolved, lint.const_resolved, lint.release_points
-        );
-        if lint.findings.is_empty() {
-            println!("  clean");
-        }
-        for finding in &lint.findings {
-            let tag = match finding.severity {
-                Severity::Error => "error",
-                Severity::Warning => "warn ",
-                Severity::Note => "note ",
-            };
-            println!("  [{tag}] {}", finding.message);
+        if json {
+            for finding in &lint.findings {
+                println!("{}", finding_json(name, finding));
+            }
+        } else {
+            println!(
+                "== {name}: {} accesses, {} template-resolved ({} constant), {} release points ==",
+                lint.access_ops, lint.template_resolved, lint.const_resolved, lint.release_points
+            );
+            if lint.findings.is_empty() {
+                println!("  clean");
+            }
+            for finding in &lint.findings {
+                let tag = match finding.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warn ",
+                    Severity::Note => "note ",
+                };
+                println!("  [{tag}] {}: {}", finding.code, finding.message);
+            }
         }
         if lint.has_errors() {
             failed.push(name.clone());
@@ -139,6 +180,28 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), String> {
         return Err(format!("lint failed for: {}", failed.join(", ")));
     }
     Ok(())
+}
+
+/// One finding as a single-line JSON object (JSON Lines output for
+/// `lint --json`). The message text never contains `"` or `\`, but the
+/// escape keeps the output well-formed regardless.
+fn finding_json(contract: &str, finding: &dmvcc_analysis::Finding) -> String {
+    let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let severity = match finding.severity {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Note => "note",
+    };
+    let pc = match finding.pc {
+        Some(pc) => pc.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"contract\":\"{}\",\"severity\":\"{severity}\",\"code\":\"{}\",\"pc\":{pc},\"message\":\"{}\"}}",
+        escape(contract),
+        escape(finding.code),
+        escape(&finding.message)
+    )
 }
 
 fn workload_from(parsed: &ParsedArgs) -> Result<WorkloadConfig, String> {

@@ -121,6 +121,9 @@ pub struct ExecutorStats {
     /// C-SAGs refined by the symbolic binding fast tier (no speculative
     /// pre-execution was needed).
     pub symbolic_bindings: u64,
+    /// C-SAGs bound symbolically *through a loop*: the binder unrolled one
+    /// or more summarized loops at bind time instead of speculating.
+    pub loop_summarized_bindings: u64,
     /// C-SAGs that fell back to speculative pre-execution.
     pub speculative_fallbacks: u64,
     /// Gas of the block's heaviest predicted dependency chain (the max
@@ -152,17 +155,16 @@ impl ExecutorStats {
     }
 }
 
-/// Counts how each block C-SAG was refined, for [`ExecutorStats`].
-pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64) {
-    let symbolic = csags
-        .iter()
-        .filter(|c| c.tier == dmvcc_analysis::RefinementTier::Symbolic)
-        .count() as u64;
-    let speculative = csags
-        .iter()
-        .filter(|c| c.tier == dmvcc_analysis::RefinementTier::Speculative)
-        .count() as u64;
-    (symbolic, speculative)
+/// Counts how each block C-SAG was refined, for [`ExecutorStats`]:
+/// `(symbolic, loop_summarized, speculative)`.
+pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64, u64) {
+    use dmvcc_analysis::RefinementTier;
+    let count = |tier: RefinementTier| csags.iter().filter(|c| c.tier == tier).count() as u64;
+    (
+        count(RefinementTier::Symbolic),
+        count(RefinementTier::LoopSummarized),
+        count(RefinementTier::Speculative),
+    )
 }
 
 /// Result of a parallel block execution.
@@ -265,10 +267,11 @@ impl AtomicStats {
             broadcast_wakeups: 0,
             steals: self.steals.load(Ordering::Relaxed),
             parks: self.parks.load(Ordering::Relaxed),
-            symbolic_bindings: 0,     // filled from the C-SAGs by the caller
-            speculative_fallbacks: 0, // likewise
-            critical_path_gas: 0,     // filled from the BlockDag by the caller
-            predicted_gas: 0,         // likewise
+            symbolic_bindings: 0,        // filled from the C-SAGs by the caller
+            loop_summarized_bindings: 0, // likewise
+            speculative_fallbacks: 0,    // likewise
+            critical_path_gas: 0,        // filled from the BlockDag by the caller
+            predicted_gas: 0,            // likewise
             rank_inversions: self.rank_inversions.load(Ordering::Relaxed),
             refine_nanos: 0, // filled by execute_block
         }
@@ -958,7 +961,11 @@ impl ParallelExecutor {
 
         let final_writes = shared.sequences.final_writes(snapshot);
         let mut stats = shared.stats.snapshot();
-        (stats.symbolic_bindings, stats.speculative_fallbacks) = tier_counts(csags);
+        (
+            stats.symbolic_bindings,
+            stats.loop_summarized_bindings,
+            stats.speculative_fallbacks,
+        ) = tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;
         stats.predicted_gas = dag.total_gas;
         let mut statuses = Vec::with_capacity(n);

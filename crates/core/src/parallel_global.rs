@@ -475,8 +475,11 @@ impl GlobalLockParallelExecutor {
             .collect();
         let mut stats = inner.stats;
         stats.attempts = inner.slots.iter().map(|s| s.attempts as u64).sum();
-        (stats.symbolic_bindings, stats.speculative_fallbacks) =
-            crate::parallel::tier_counts(csags);
+        (
+            stats.symbolic_bindings,
+            stats.loop_summarized_bindings,
+            stats.speculative_fallbacks,
+        ) = crate::parallel::tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;
         stats.predicted_gas = dag.total_gas;
         ParallelOutcome {

@@ -38,6 +38,9 @@ pub enum Profile {
     EthereumMix,
     /// The skewed hot-contract variant (§V-B high contention).
     HighContention,
+    /// Traffic dominated by summarizable credit loops (airdrop and
+    /// batch-transfer contracts) — exercises bind-time loop unrolling.
+    LoopHeavy,
 }
 
 impl Profile {
@@ -46,6 +49,7 @@ impl Profile {
         match name {
             "ethereum" => Some(Profile::EthereumMix),
             "hot" => Some(Profile::HighContention),
+            "loop" => Some(Profile::LoopHeavy),
             _ => None,
         }
     }
@@ -57,6 +61,11 @@ impl Profile {
         let base = match self {
             Profile::EthereumMix => WorkloadConfig::ethereum_mix(seed),
             Profile::HighContention => WorkloadConfig::high_contention(seed),
+            Profile::LoopHeavy => WorkloadConfig::loop_heavy(seed),
+        };
+        let loopy = |n: usize| match self {
+            Profile::LoopHeavy => n,
+            _ => 1,
         };
         WorkloadConfig {
             accounts: 80,
@@ -69,6 +78,8 @@ impl Profile {
             auction_contracts: 1,
             crowdsale_contracts: 1,
             batch_pay_contracts: 1,
+            airdrop_contracts: loopy(3),
+            batch_transfer_contracts: loopy(3),
             router_contracts: 1,
             ..base
         }

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]
-//!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
+//!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
-//!                  [--profile ethereum|hot] [--mutate skip-release-gas-bound]
+//!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path]
 //! ```
@@ -25,12 +25,12 @@ use dmvcc_dst::{fuzz, run_seed, FuzzConfig, Mutation, Profile};
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!("usage: dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]");
-    eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
+    eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
-    eprintln!("                        [--profile ethereum|hot] [--mutate MUTATION]");
+    eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path]");
     eprintln!("mutations: none, skip-release-gas-bound");

@@ -128,6 +128,34 @@ pub mod batch_pay_fn {
     pub const BALANCE_OF: u64 = 3;
 }
 
+/// Selectors of the [`airdrop`] contract.
+pub mod airdrop_fn {
+    /// `airdrop(start, amount, n)` — credits `amount` to `balances[start]`
+    /// … `balances[start + n − 1]`; reverts unless `n ≤ 32`. The loop body
+    /// is abort-free, so the loop head itself is a release point.
+    pub const AIRDROP: u64 = 1;
+    /// `deposit(amount)` — commutative self-credit.
+    pub const DEPOSIT: u64 = 2;
+    /// `balance_of(owner)` — read-only.
+    pub const BALANCE_OF: u64 = 3;
+    /// The hard recipient cap the contract enforces (`require(n <= 32)`).
+    pub const MAX_RECIPIENTS: u64 = 32;
+}
+
+/// Selectors of the [`batch_transfer`] contract.
+pub mod batch_transfer_fn {
+    /// `batch(start, amount)` — debits `amount × count` from the caller,
+    /// then credits `amount` to `balances[start]` … `balances[start +
+    /// count − 1]`, where `count` is read from storage slot 0.
+    pub const BATCH: u64 = 1;
+    /// `deposit(amount)` — commutative self-credit.
+    pub const DEPOSIT: u64 = 2;
+    /// `set_count(n)` — stores the recipient count in slot 0.
+    pub const SET_COUNT: u64 = 3;
+    /// `balance_of(owner)` — read-only.
+    pub const BALANCE_OF: u64 = 4;
+}
+
 /// Storage slot of a `mapping(key => v)` entry at `base`, i.e.
 /// `keccak256(key ++ base)` — the Solidity addressing rule the paper cites
 /// (§V-A).
@@ -683,6 +711,133 @@ short: JUMPDEST
         ret = RETURN_M128,
     );
     assemble(&source).expect("batch_pay contract must assemble")
+}
+
+/// Calldata-bounded airdrop — the loop-summarization showcase.
+///
+/// Storage: `balances[a]` at `keccak(a ++ 0)`.
+///
+/// `airdrop(start, amount, n)` guards `n ≤ 32` up front and then runs an
+/// abort-free loop of commutative credits over the address range
+/// `start … start + n − 1`. The analyzer recognizes the up-counting
+/// induction variable, reads the trip bound off calldata word 3, clamps it
+/// to 32 via the dominating guard, and summarizes the whole loop: the loop
+/// head is a release point *inside* the summarized loop with a finite gas
+/// bound, and C-SAG refinement unrolls the key family
+/// `keccak((start + i) ++ 0)` at bind time instead of speculating.
+pub fn airdrop() -> Vec<u8> {
+    let source = format!(
+        r"
+{dispatch}
+airdrop: JUMPDEST
+  ; args: start @32, amount @64, n @96
+  PUSH1 0 PUSH1 224 MSTORE                     ; m224 = i = 0
+  PUSH1 32 PUSH1 96 CALLDATALOAD GT            ; n > 32 ?
+  PUSH @toobig JUMPI
+  ; the loop head below is the release point: nothing aborts past here
+aloop: JUMPDEST
+  PUSH1 96 CALLDATALOAD PUSH1 224 MLOAD LT     ; i < n ?
+  ISZERO PUSH @adone JUMPI
+  PUSH1 64 CALLDATALOAD                        ; amount
+  PUSH1 224 MLOAD PUSH1 32 CALLDATALOAD ADD {slot0} ; keccak((start+i) ++ 0)
+  SADD
+  PUSH1 1 PUSH1 224 MLOAD ADD PUSH1 224 MSTORE ; i++
+  PUSH @aloop JUMP
+adone: JUMPDEST
+  STOP
+
+deposit: JUMPDEST
+  PUSH1 32 CALLDATALOAD
+  CALLER {slot0}
+  SADD
+  STOP
+
+balance_of: JUMPDEST
+  PUSH1 32 CALLDATALOAD {slot0}
+  SLOAD PUSH1 128 MSTORE
+  {ret}
+
+toobig: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[
+            (airdrop_fn::AIRDROP, "airdrop"),
+            (airdrop_fn::DEPOSIT, "deposit"),
+            (airdrop_fn::BALANCE_OF, "balance_of"),
+        ]),
+        slot0 = asm_map_slot(0),
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("airdrop contract must assemble")
+}
+
+/// Snapshot-bounded batch transfer.
+///
+/// Storage: slot 0 = recipient count; `balances[a]` at `keccak(a ++ 1)`.
+///
+/// `batch(start, amount)` reads the trip count from storage, debits the
+/// caller `amount × count` behind a balance check, and then credits each
+/// recipient in an abort-free down-counting loop. The trip bound is
+/// snapshot-derived ([`TripSource::Snapshot`] in the analysis crate's
+/// terms): no static cap exists, but C-SAG refinement still unrolls the
+/// loop at bind time against the concrete snapshot value.
+pub fn batch_transfer() -> Vec<u8> {
+    let source = format!(
+        r"
+{dispatch}
+batch: JUMPDEST
+  ; args: start @32, amount @64
+  CALLER {slot1}
+  PUSH1 128 MSTORE                             ; m128 = caller slot
+  PUSH1 0 SLOAD PUSH1 160 MSTORE               ; m160 = count
+  PUSH1 64 CALLDATALOAD PUSH1 160 MLOAD MUL
+  PUSH1 192 MSTORE                             ; m192 = total = amount*count
+  PUSH1 128 MLOAD SLOAD PUSH1 224 MSTORE       ; m224 = caller balance
+  PUSH1 192 MLOAD PUSH1 224 MLOAD LT           ; balance < total ?
+  PUSH @short JUMPI
+  ; release point: debit once, then the abort-free credit loop
+  PUSH1 192 MLOAD PUSH1 224 MLOAD SUB PUSH1 128 MLOAD SSTORE
+  PUSH1 160 MLOAD PUSH2 256 MSTORE             ; m256 = i = count
+bloop: JUMPDEST
+  PUSH1 0 PUSH2 256 MLOAD GT                   ; i > 0 ?
+  ISZERO PUSH @bdone JUMPI
+  PUSH1 64 CALLDATALOAD                        ; amount
+  PUSH1 1 PUSH2 256 MLOAD SUB
+  PUSH1 32 CALLDATALOAD ADD {slot1}            ; keccak((start + i−1) ++ 1)
+  SADD
+  PUSH1 1 PUSH2 256 MLOAD SUB PUSH2 256 MSTORE ; i--
+  PUSH @bloop JUMP
+bdone: JUMPDEST
+  STOP
+
+deposit: JUMPDEST
+  PUSH1 32 CALLDATALOAD
+  CALLER {slot1}
+  SADD
+  STOP
+
+set_count: JUMPDEST
+  PUSH1 32 CALLDATALOAD PUSH1 0 SSTORE
+  STOP
+
+balance_of: JUMPDEST
+  PUSH1 32 CALLDATALOAD {slot1}
+  SLOAD PUSH1 128 MSTORE
+  {ret}
+
+short: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[
+            (batch_transfer_fn::BATCH, "batch"),
+            (batch_transfer_fn::DEPOSIT, "deposit"),
+            (batch_transfer_fn::SET_COUNT, "set_count"),
+            (batch_transfer_fn::BALANCE_OF, "balance_of"),
+        ]),
+        slot1 = asm_map_slot(1),
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("batch_transfer contract must assemble")
 }
 
 /// A DEX router bound to one AMM pool: the cross-contract composition
@@ -1376,12 +1531,147 @@ mod tests {
             auction(),
             crowdsale(),
             batch_pay(),
+            airdrop(),
+            batch_transfer(),
         ] {
             let mut host = MapHost::new();
             let out = call(&mut host, &code, 1, 999, &[]);
             assert!(out.status.is_success());
             assert!(host.iter().count() == 0);
         }
+    }
+
+    #[test]
+    fn airdrop_credits_the_address_range() {
+        let code = airdrop();
+        let mut host = MapHost::new();
+        let start = Address::from_u64(50).to_u256();
+        let out = call(
+            &mut host,
+            &code,
+            1,
+            airdrop_fn::AIRDROP,
+            &[start, U256::from(7u64), U256::from(3u64)],
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        for i in 0..3u64 {
+            assert_eq!(
+                storage(&host, map_slot(start.wrapping_add(U256::from(i)), 0)),
+                U256::from(7u64),
+                "recipient {i}"
+            );
+        }
+        assert_eq!(
+            storage(&host, map_slot(start.wrapping_add(U256::from(3u64)), 0)),
+            U256::ZERO
+        );
+    }
+
+    #[test]
+    fn airdrop_zero_recipients_is_a_noop() {
+        let code = airdrop();
+        let mut host = MapHost::new();
+        let start = Address::from_u64(50).to_u256();
+        let out = call(
+            &mut host,
+            &code,
+            1,
+            airdrop_fn::AIRDROP,
+            &[start, U256::from(7u64), U256::ZERO],
+        );
+        assert!(out.status.is_success());
+        assert_eq!(host.iter().count(), 0);
+    }
+
+    #[test]
+    fn airdrop_over_cap_reverts() {
+        let code = airdrop();
+        let mut host = MapHost::new();
+        let start = Address::from_u64(50).to_u256();
+        let out = call(
+            &mut host,
+            &code,
+            1,
+            airdrop_fn::AIRDROP,
+            &[start, U256::ONE, U256::from(airdrop_fn::MAX_RECIPIENTS + 1)],
+        );
+        assert_eq!(out.status, ExecStatus::Reverted);
+        // Exactly the cap is fine.
+        let out = call(
+            &mut host,
+            &code,
+            1,
+            airdrop_fn::AIRDROP,
+            &[start, U256::ONE, U256::from(airdrop_fn::MAX_RECIPIENTS)],
+        );
+        assert!(out.status.is_success());
+    }
+
+    #[test]
+    fn batch_transfer_debits_once_and_credits_count_recipients() {
+        let code = batch_transfer();
+        let mut host = MapHost::new();
+        let alice = Address::from_u64(1).to_u256();
+        let start = Address::from_u64(60).to_u256();
+        call(
+            &mut host,
+            &code,
+            1,
+            batch_transfer_fn::DEPOSIT,
+            &[U256::from(100u64)],
+        );
+        call(
+            &mut host,
+            &code,
+            9,
+            batch_transfer_fn::SET_COUNT,
+            &[U256::from(4u64)],
+        );
+        let out = call(
+            &mut host,
+            &code,
+            1,
+            batch_transfer_fn::BATCH,
+            &[start, U256::from(5u64)],
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        assert_eq!(storage(&host, map_slot(alice, 1)), U256::from(80u64));
+        for i in 0..4u64 {
+            assert_eq!(
+                storage(&host, map_slot(start.wrapping_add(U256::from(i)), 1)),
+                U256::from(5u64),
+                "recipient {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_transfer_short_balance_reverts() {
+        let code = batch_transfer();
+        let mut host = MapHost::new();
+        let start = Address::from_u64(60).to_u256();
+        call(
+            &mut host,
+            &code,
+            1,
+            batch_transfer_fn::DEPOSIT,
+            &[U256::from(9u64)],
+        );
+        call(
+            &mut host,
+            &code,
+            9,
+            batch_transfer_fn::SET_COUNT,
+            &[U256::from(2u64)],
+        );
+        let out = call(
+            &mut host,
+            &code,
+            1,
+            batch_transfer_fn::BATCH,
+            &[start, U256::from(5u64)],
+        );
+        assert_eq!(out.status, ExecStatus::Reverted);
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub enum ContractKind {
     Crowdsale,
     /// Batched payments (one debit, three commutative credits).
     BatchPay,
+    /// Calldata-bounded airdrop (summarizable credit loop, `n ≤ 32`).
+    Airdrop,
+    /// Snapshot-bounded batch transfer (loop count read from storage).
+    BatchTransfer,
     /// DEX router bound to one AMM (nested CALL frames).
     Router,
 }
@@ -83,6 +87,11 @@ pub struct WorkloadConfig {
     pub crowdsale_contracts: usize,
     /// Batch-payment contracts ("other" category).
     pub batch_pay_contracts: usize,
+    /// Airdrop contracts ("other" category; calldata-bounded loops the
+    /// analyzer summarizes and unrolls at bind time).
+    pub airdrop_contracts: usize,
+    /// Batch-transfer contracts ("other" category; snapshot-bounded loops).
+    pub batch_transfer_contracts: usize,
     /// DEX routers (DeFi category; each binds to an AMM round-robin).
     pub router_contracts: usize,
     /// Fraction of plain Ether transfers (the paper's non-contract 31 %).
@@ -136,6 +145,8 @@ impl WorkloadConfig {
             auction_contracts: 2,
             crowdsale_contracts: 2,
             batch_pay_contracts: 2,
+            airdrop_contracts: 2,
+            batch_transfer_contracts: 2,
             router_contracts: 20,
             transfer_ratio: 0.31,
             erc20_share: 0.60,
@@ -166,6 +177,35 @@ impl WorkloadConfig {
         }
     }
 
+    /// Loop-heavy mix: traffic dominated by the airdrop and batch-transfer
+    /// contracts, exercising loop summarization and bind-time unrolling end
+    /// to end (the `loop` DST profile and the bench's loop axis).
+    pub fn loop_heavy(seed: u64) -> Self {
+        WorkloadConfig {
+            token_contracts: 8,
+            amm_contracts: 2,
+            nft_contracts: 2,
+            counter_contracts: 0,
+            ballot_contracts: 0,
+            fig1_contracts: 2,
+            auction_contracts: 0,
+            crowdsale_contracts: 0,
+            batch_pay_contracts: 0,
+            airdrop_contracts: 8,
+            batch_transfer_contracts: 8,
+            router_contracts: 0,
+            transfer_ratio: 0.10,
+            erc20_share: 0.10,
+            defi_share: 0.05,
+            nft_share: 0.05,
+            // Uniform popularity: zipf would pile the "other" traffic onto
+            // whichever contract deployed first (fig1) instead of the
+            // airdrop/batch-transfer fleet.
+            contract_zipf: 0.0,
+            ..WorkloadConfig::ethereum_mix(seed)
+        }
+    }
+
     /// Total deployed contracts.
     pub fn total_contracts(&self) -> usize {
         self.token_contracts
@@ -177,6 +217,8 @@ impl WorkloadConfig {
             + self.auction_contracts
             + self.crowdsale_contracts
             + self.batch_pay_contracts
+            + self.airdrop_contracts
+            + self.batch_transfer_contracts
             + self.router_contracts
     }
 }
@@ -202,7 +244,7 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Deploys the contract universe and seeds the RNG.
     pub fn new(config: WorkloadConfig) -> Self {
-        type DeployPlan = [(usize, ContractKind, fn() -> Vec<u8>); 9];
+        type DeployPlan = [(usize, ContractKind, fn() -> Vec<u8>); 11];
         let plan: DeployPlan = [
             (
                 config.token_contracts,
@@ -240,6 +282,16 @@ impl WorkloadGenerator {
                 config.batch_pay_contracts,
                 ContractKind::BatchPay,
                 contracts::batch_pay,
+            ),
+            (
+                config.airdrop_contracts,
+                ContractKind::Airdrop,
+                contracts::airdrop,
+            ),
+            (
+                config.batch_transfer_contracts,
+                ContractKind::BatchTransfer,
+                contracts::batch_transfer,
             ),
         ];
         let mut builder = CodeRegistry::builder();
@@ -308,6 +360,8 @@ impl WorkloadGenerator {
                 ContractKind::Auction,
                 ContractKind::Fig1,
                 ContractKind::BatchPay,
+                ContractKind::Airdrop,
+                ContractKind::BatchTransfer,
             ];
             let mut pools: Vec<Vec<usize>> = category_order
                 .iter()
@@ -415,6 +469,18 @@ impl WorkloadGenerator {
                         let owner = Address::from_u64(id).to_u256();
                         entries.push((
                             StateKey::storage(*address, contracts::map_slot(owner, 0)),
+                            U256::from(100_000u64),
+                        ));
+                    }
+                }
+                ContractKind::BatchTransfer => {
+                    // Recipient count in slot 0 (the snapshot-derived trip
+                    // bound) plus sender balances so most batches succeed.
+                    entries.push((StateKey::storage(*address, U256::ZERO), U256::from(5u64)));
+                    for id in 1..=self.config.accounts as u64 {
+                        let owner = Address::from_u64(id).to_u256();
+                        entries.push((
+                            StateKey::storage(*address, contracts::map_slot(owner, 1)),
                             U256::from(100_000u64),
                         ));
                     }
@@ -614,6 +680,44 @@ impl WorkloadGenerator {
                     calldata(contracts::batch_pay_fn::DEPOSIT, &[amount])
                 }
             }
+            ContractKind::Airdrop => {
+                let roll: f64 = self.rng.gen();
+                if roll < 0.85 {
+                    // Bounded credit loops of varied length (0 included:
+                    // degenerate airdrops exist on mainnet too).
+                    let start = self.account().to_u256();
+                    let amount = U256::from(self.rng.gen_range(1..50u64));
+                    let n = U256::from(
+                        self.rng
+                            .gen_range(0..=contracts::airdrop_fn::MAX_RECIPIENTS),
+                    );
+                    calldata(contracts::airdrop_fn::AIRDROP, &[start, amount, n])
+                } else if roll < 0.90 {
+                    // Over-cap attempts revert at the guard.
+                    let start = self.account().to_u256();
+                    let n = U256::from(contracts::airdrop_fn::MAX_RECIPIENTS + 1);
+                    calldata(contracts::airdrop_fn::AIRDROP, &[start, U256::ONE, n])
+                } else {
+                    let amount = U256::from(self.rng.gen_range(1..200u64));
+                    calldata(contracts::airdrop_fn::DEPOSIT, &[amount])
+                }
+            }
+            ContractKind::BatchTransfer => {
+                let roll: f64 = self.rng.gen();
+                if roll < 0.80 {
+                    let start = self.account().to_u256();
+                    let amount = U256::from(self.rng.gen_range(1..20u64));
+                    calldata(contracts::batch_transfer_fn::BATCH, &[start, amount])
+                } else if roll < 0.90 {
+                    let amount = U256::from(self.rng.gen_range(1..200u64));
+                    calldata(contracts::batch_transfer_fn::DEPOSIT, &[amount])
+                } else {
+                    // Re-sizing the batch writes the trip-bound slot: the
+                    // snapshot dependence other C-SAGs must track.
+                    let n = U256::from(self.rng.gen_range(0..12u64));
+                    calldata(contracts::batch_transfer_fn::SET_COUNT, &[n])
+                }
+            }
             _ => unreachable!("other_tx only handles the 'other' kinds"),
         };
         Transaction::call(TxEnv::call(caller, contract, input))
@@ -663,6 +767,8 @@ impl WorkloadGenerator {
                     | ContractKind::Auction
                     | ContractKind::Crowdsale
                     | ContractKind::BatchPay
+                    | ContractKind::Airdrop
+                    | ContractKind::BatchTransfer
             )
         }) {
             let kind = self
@@ -744,7 +850,9 @@ mod tests {
             + config.accounts * config.token_contracts // token balances
             + 2 * config.amm_contracts // reserves
             + config.crowdsale_contracts // caps
-            + config.accounts * config.batch_pay_contracts; // pre-funding
+            + config.accounts * config.batch_pay_contracts // pre-funding
+            + config.batch_transfer_contracts // trip counts
+            + config.accounts * config.batch_transfer_contracts; // balances
         assert_eq!(entries.len(), expected);
         assert!(entries.iter().all(|(_, v)| !v.is_zero()));
     }
@@ -837,6 +945,26 @@ mod tests {
         assert_eq!(sample_cdf(&cdf, 0.99), 4);
         // Degenerate draw exactly 1.0 stays in range.
         assert_eq!(sample_cdf(&cdf, 1.0), 4);
+    }
+
+    #[test]
+    fn loop_heavy_mix_is_dominated_by_loop_contracts() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::loop_heavy(3));
+        let kinds: std::collections::HashMap<Address, ContractKind> =
+            generator.contracts().iter().copied().collect();
+        let block = generator.block(2_000);
+        let calls: Vec<_> = block.iter().filter(|t| t.kind == TxKind::Call).collect();
+        let loopy = calls
+            .iter()
+            .filter(|t| {
+                matches!(
+                    kinds.get(&t.to()),
+                    Some(ContractKind::Airdrop | ContractKind::BatchTransfer)
+                )
+            })
+            .count();
+        let ratio = loopy as f64 / calls.len() as f64;
+        assert!(ratio > 0.5, "loop-contract share {ratio:.2} of calls");
     }
 
     #[test]

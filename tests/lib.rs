@@ -19,6 +19,10 @@ pub const BALLOT: u64 = 10_005;
 pub const FIG1: u64 = 10_006;
 /// DEX router address id (bound to [`AMM`]).
 pub const ROUTER: u64 = 10_007;
+/// Calldata-bounded airdrop loop address id.
+pub const AIRDROP: u64 = 10_008;
+/// Snapshot-bounded batch-transfer loop address id.
+pub const BATCH_TRANSFER: u64 = 10_009;
 
 /// Deploys one contract of every kind.
 pub fn registry() -> CodeRegistry {
@@ -32,6 +36,11 @@ pub fn registry() -> CodeRegistry {
         .deploy(
             Address::from_u64(ROUTER),
             contracts::dex_router(Address::from_u64(AMM)),
+        )
+        .deploy(Address::from_u64(AIRDROP), contracts::airdrop())
+        .deploy(
+            Address::from_u64(BATCH_TRANSFER),
+            contracts::batch_transfer(),
         )
         .build()
 }
@@ -154,5 +163,66 @@ pub fn genesis() -> Vec<(dmvcc_state::StateKey, U256)> {
         StateKey::storage(Address::from_u64(AMM), U256::ONE),
         U256::from(100_000u64),
     ));
+    // Batch-transfer fixture: recipient count in slot 0 plus a balance for
+    // every caller (the batch loop debits `amount × count` up front).
+    entries.push((
+        StateKey::storage(Address::from_u64(BATCH_TRANSFER), U256::ZERO),
+        U256::from(5u64),
+    ));
+    for i in 1..=12u64 {
+        entries.push((
+            StateKey::storage(
+                Address::from_u64(BATCH_TRANSFER),
+                contracts::map_slot(Address::from_u64(i).to_u256(), 1),
+            ),
+            U256::from(100_000u64),
+        ));
+    }
     entries
+}
+
+/// A compact encoding of a *loop-heavy* transaction: every tuple value maps
+/// to a valid call against the airdrop or batch-transfer fixture, spanning
+/// taken loops (1..=32 iterations), zero-trip loops, the over-cap revert
+/// path and the loop-free selectors.
+pub fn decode_loop_tx(selector: u8, caller: u8, a: u8, b: u8) -> Transaction {
+    let caller_addr = Address::from_u64(1 + caller as u64 % 12);
+    let start = Address::from_u64(500 + a as u64 % 48).to_u256();
+    let amount = U256::from(1 + b as u64 % 20);
+    match selector % 8 {
+        // Taken airdrop loop: 0..=32 recipients (n = 0 is a zero-trip loop).
+        0..=2 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(AIRDROP),
+            calldata(
+                contracts::airdrop_fn::AIRDROP,
+                &[start, amount, U256::from(a as u64 % 33)],
+            ),
+        )),
+        // Over-cap revert: the guard clamp (`require(n <= 32)`) aborts.
+        3 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(AIRDROP),
+            calldata(
+                contracts::airdrop_fn::AIRDROP,
+                &[start, amount, U256::from(33 + b as u64 % 8)],
+            ),
+        )),
+        4 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(AIRDROP),
+            calldata(contracts::airdrop_fn::BALANCE_OF, &[start]),
+        )),
+        // Snapshot-bounded batch loop (count read from slot 0 at bind time).
+        5..=6 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(BATCH_TRANSFER),
+            calldata(contracts::batch_transfer_fn::BATCH, &[start, amount]),
+        )),
+        _ => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(BATCH_TRANSFER),
+            calldata(contracts::batch_transfer_fn::DEPOSIT, &[amount]),
+        )),
+    }
 }
