@@ -51,6 +51,7 @@ fn main() {
                 threads: 4,
                 max_attempts: 64,
                 scheduler: dmvcc_core::SchedulerPolicy::CriticalPath,
+                pin_cores: false,
             },
         );
         let mut serial_db = StateDb::with_genesis(generator.genesis_entries());

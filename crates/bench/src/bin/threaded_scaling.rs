@@ -78,6 +78,15 @@ struct ScalingPoint {
     rank_inversions: u64,
     /// C-SAG refinement wall time across the measured blocks.
     refine_ms: f64,
+    /// Heap bytes served from recycled block-arena memory instead of fresh
+    /// allocations (shard tables, per-tx states, touched/published sets).
+    alloc_bytes_saved: u64,
+    /// Shard mutex acquisitions across the measured blocks (sharded
+    /// executor only; zero for the global-lock executor).
+    shard_lock_acquisitions: u64,
+    /// Grouped release/drop publishes — `publishes / publish_batches` is
+    /// the per-lock amortization factor.
+    publish_batches: u64,
 }
 
 #[derive(Debug, Serialize)]
@@ -129,6 +138,20 @@ fn measure(
             "{executor}@{threads} diverged from serial on {workload}"
         );
     }
+    // A single pass over 3 blocks lasts a handful of milliseconds — far
+    // too little to survive a timeslice on a loaded CI host. Each cell is
+    // measured as the fastest of `DMVCC_PASSES` full passes (counters come
+    // from the first timed pass; they are schedule-dependent but their
+    // magnitudes, not exact values, are what the gates check).
+    let passes = env_usize("DMVCC_PASSES", 3).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 1..passes {
+        let start = Instant::now();
+        for block in blocks {
+            run(block);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
     let mut aborts = 0u64;
     let mut stats = dmvcc_core::ExecutorStats::default();
     let mut txs = 0u64;
@@ -151,9 +174,12 @@ fn measure(
         stats.predicted_gas += outcome.stats.predicted_gas;
         stats.rank_inversions += outcome.stats.rank_inversions;
         stats.refine_nanos += outcome.stats.refine_nanos;
+        stats.alloc_bytes_saved += outcome.stats.alloc_bytes_saved;
+        stats.shard_lock_acquisitions += outcome.stats.shard_lock_acquisitions;
+        stats.publish_batches += outcome.stats.publish_batches;
     }
-    let wall = start.elapsed();
-    let wall_ms = wall.as_secs_f64() * 1e3;
+    let wall_secs = start.elapsed().as_secs_f64().min(best);
+    let wall_ms = wall_secs * 1e3;
     let wakeups = if stats.broadcast_wakeups > 0 {
         stats.broadcast_wakeups
     } else {
@@ -165,7 +191,7 @@ fn measure(
         scheduler,
         threads,
         wall_ms,
-        tx_per_s: txs as f64 / wall.as_secs_f64(),
+        tx_per_s: txs as f64 / wall_secs,
         aborts,
         attempts: stats.attempts,
         publishes: stats.publishes,
@@ -187,6 +213,9 @@ fn measure(
         speedup_bound: stats.predicted_gas as f64 / stats.critical_path_gas.max(1) as f64,
         rank_inversions: stats.rank_inversions,
         refine_ms: stats.refine_nanos as f64 / 1e6,
+        alloc_bytes_saved: stats.alloc_bytes_saved,
+        shard_lock_acquisitions: stats.shard_lock_acquisitions,
+        publish_batches: stats.publish_batches,
     }
 }
 
@@ -226,6 +255,7 @@ fn main() {
                     threads,
                     max_attempts: 64,
                     scheduler: policy,
+                    pin_cores: false,
                 };
                 let global = GlobalLockParallelExecutor::new(analyzer.clone(), config);
                 let sharded = ParallelExecutor::new(analyzer.clone(), config);
@@ -266,6 +296,19 @@ fn main() {
         }
     }
 
+    // Hot-path memory-layout counters for the sharded executor: recycled
+    // block-arena bytes, shard-lock traffic and publish amortization.
+    let saved: u64 = report.after.iter().map(|p| p.alloc_bytes_saved).sum();
+    let locks: u64 = report.after.iter().map(|p| p.shard_lock_acquisitions).sum();
+    let publishes: u64 = report.after.iter().map(|p| p.publishes).sum();
+    let batches: u64 = report.after.iter().map(|p| p.publish_batches).sum();
+    println!(
+        "\nsharded hot path: {:.1} MiB served from recycled arenas, \
+         {locks} shard-lock acquisitions, {:.2} publishes per batch",
+        saved as f64 / (1 << 20) as f64,
+        publishes as f64 / batches.max(1) as f64
+    );
+
     // The targeted-wakeup design must do strictly less waking per commit
     // than condvar broadcasts under contention.
     let hot_wakeups = |points: &[ScalingPoint]| {
@@ -287,14 +330,24 @@ fn main() {
     );
 
     // Rank-ordered dispatch must hold its own against FIFO where it
-    // matters: the sharded executor on the contended workload at >=4
-    // workers. Wall clock on a loaded CI host is noisy, so the hard gate
-    // allows 10% slack; the checked-in JSON shows the real margins.
+    // matters: the sharded executor on the contended workload. Wall clock
+    // on a loaded CI host is noisy, so the hard gate allows 10% slack —
+    // and only thread counts the host can actually run in parallel are
+    // compared (oversubscribed cells measure the OS timeslicer, not the
+    // ready-queue policy); the checked-in JSON shows the real margins.
+    let host = report.host_threads.max(1);
+    let gate_tier = THREADS
+        .iter()
+        .copied()
+        .filter(|&t| t <= host)
+        .max()
+        .unwrap_or(1);
+    let gated = |t: usize| t <= host && (t >= 4 || t == gate_tier);
     let hot_tx_per_s = |points: &[ScalingPoint], scheduler: &str| {
         points
             .iter()
             .filter(|p| {
-                p.workload == "high-contention" && p.threads >= 4 && p.scheduler == scheduler
+                p.workload == "high-contention" && gated(p.threads) && p.scheduler == scheduler
             })
             .map(|p| p.tx_per_s)
             .fold(0.0f64, f64::max)
@@ -302,7 +355,7 @@ fn main() {
     let fifo_hot = hot_tx_per_s(&report.after, "fifo");
     let cp_hot = hot_tx_per_s(&report.after, "critical-path");
     println!(
-        "high-contention tx/s (best at >=4 threads, sharded): \
+        "high-contention tx/s (best at parallel-capable threads, sharded): \
          fifo {fifo_hot:.0} vs critical-path {cp_hot:.0}"
     );
     assert!(

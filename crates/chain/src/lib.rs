@@ -208,6 +208,7 @@ pub fn run_testnet(config: &ChainConfig) -> ChainReport {
             threads: config.threads.clamp(1, 8),
             max_attempts: 64,
             scheduler: config.policy,
+            pin_cores: false,
         },
     );
 
@@ -388,6 +389,7 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
             threads: config.threads.clamp(1, 8),
             max_attempts: 64,
             scheduler: config.policy,
+            pin_cores: false,
         },
     );
     let pipeline = BlockPipeline::new(executor);

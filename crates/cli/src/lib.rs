@@ -8,7 +8,9 @@
 //!   exit codes (0 clean, 1 findings, 2 usage);
 //! - `run` — execute generated blocks under a chosen scheduler and print
 //!   speedups;
-//! - `chain` — run the micro testnet and print throughput.
+//! - `chain` — run the micro testnet and print throughput;
+//! - `profile` — flamegraph-friendly hot loop over the sharded executor
+//!   with a hot-path counter breakdown.
 //!
 //! Argument parsing is hand-rolled (the project's dependency policy keeps
 //! the tree to the sanctioned crates); [`parse_args`] is pure and fully
@@ -158,6 +160,13 @@ USAGE:
       threaded executor's ready-queue order; --pipeline executes blocks
       on the real executor with C-SAG refinement overlapped one block
       ahead and reports the refine/execute overlap.
+  dmvcc profile [--hot] [--blocks N] [--size M] [--threads T]
+                [--repeat R] [--policy fifo|critical-path] [--pin-cores]
+                [--seed S]
+      Re-execute the same prepared blocks on the sharded executor in a
+      tight loop (flamegraph-friendly: samples land in the hot path, not
+      in setup) and print the hot-path counters — shard-lock
+      acquisitions, publish batching, recycled-arena bytes, wakeups.
   dmvcc help
       Show this message.
 ";

@@ -102,11 +102,16 @@ impl SourceList {
         SourceList::default()
     }
 
-    /// Appends a source transaction index.
+    /// Appends a source transaction index. The first spill past the inline
+    /// slots draws its buffer from the block arena's spill pool
+    /// ([`crate::arena::take_spill`]) instead of the allocator.
     pub fn push(&mut self, tx: usize) {
         if self.len < INLINE_SOURCES {
             self.inline[self.len] = tx;
         } else {
+            if self.len == INLINE_SOURCES && self.spill.capacity() == 0 {
+                self.spill = crate::arena::take_spill();
+            }
             self.spill.push(tx);
         }
         self.len += 1;
@@ -128,6 +133,14 @@ impl SourceList {
             .iter()
             .copied()
             .chain(self.spill.iter().copied())
+    }
+}
+
+impl Drop for SourceList {
+    fn drop(&mut self) {
+        if self.spill.capacity() > 0 {
+            crate::arena::recycle_spill(std::mem::take(&mut self.spill));
+        }
     }
 }
 
@@ -175,6 +188,23 @@ pub enum ReadResolution {
     },
     /// A preceding predicted write (or delta) is not yet available; the
     /// reader must wait for `writer`.
+    Blocked {
+        /// The transaction whose pending version blocks this read.
+        writer: usize,
+    },
+}
+
+/// How a read resolves on the sharded executor's fast path: the merged
+/// value only, without the [`SourceList`] dependency record.
+///
+/// The sharded executor tracks dependencies through the waiter index and
+/// abort generations, never through `sources`, so its reads skip building
+/// the list entirely ([`AccessSequence::resolve_read_value`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastResolution {
+    /// The merged value the reader observes.
+    Ready(U256),
+    /// A preceding predicted write (or delta) is not yet available.
     Blocked {
         /// The transaction whose pending version blocks this read.
         writer: usize,
@@ -272,6 +302,55 @@ impl AccessSequence {
         }
     }
 
+    /// Allocation-free variant of [`Self::resolve_read`]: identical walk and
+    /// blocking behavior, but returns only the merged value. `base` supplies
+    /// the snapshot value lazily so snapshot-miss reads that resolve to a
+    /// version never probe the snapshot at all.
+    pub fn resolve_read_value(&self, tx: usize, base: impl FnOnce() -> U256) -> FastResolution {
+        let upper = match self.position(tx) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        let mut delta = U256::ZERO;
+        for entry in self.entries[..upper].iter().rev() {
+            match entry.op {
+                AccessOp::Read => continue,
+                AccessOp::Add => match entry.state {
+                    EntryState::Done => {
+                        delta = delta.wrapping_add(entry.value.unwrap_or(U256::ZERO));
+                    }
+                    EntryState::Pending => {
+                        return FastResolution::Blocked { writer: entry.tx };
+                    }
+                    EntryState::Dropped => continue,
+                },
+                AccessOp::Write | AccessOp::ReadWrite => match entry.state {
+                    EntryState::Done => {
+                        let base = entry.value.unwrap_or(U256::ZERO);
+                        return FastResolution::Ready(base.wrapping_add(delta));
+                    }
+                    EntryState::Pending => {
+                        return FastResolution::Blocked { writer: entry.tx };
+                    }
+                    EntryState::Dropped => continue,
+                },
+            }
+        }
+        FastResolution::Ready(base().wrapping_add(delta))
+    }
+
+    /// Empties the sequence, keeping the entry buffer's capacity — block
+    /// arena reuse ([`crate::ShardedSequences`] recycles shard storage
+    /// across blocks).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Heap bytes retained by the entry buffer (arena accounting).
+    pub fn retained_bytes(&self) -> u64 {
+        (self.entries.capacity() * std::mem::size_of::<AccessEntry>()) as u64
+    }
+
     /// Marks transaction `tx`'s read side as performed (inserting a ρ entry
     /// if the read was not predicted).
     pub fn mark_read(&mut self, tx: usize) {
@@ -357,6 +436,29 @@ impl AccessSequence {
         entry.value = None;
         entry.read_done = false;
         if entry.is_write_like() || entry.op == AccessOp::Add {
+            self.downstream_effect(pos)
+        } else {
+            VersionWriteEffect::default()
+        }
+    }
+
+    /// Rolls back `tx`'s entry for a key whose write was *not* predicted:
+    /// the dynamically published version (if any) becomes `Dropped` rather
+    /// than `Pending` — the re-executed attempt may never write this key
+    /// again, and a pending entry nothing will ever fulfill wedges every
+    /// later reader (found by DST schedule fuzzing). A consumed read on
+    /// the entry is cleared exactly like [`Self::reset`]; if the re-run
+    /// does write the key again, [`Self::version_write`] revives the
+    /// dropped entry in place.
+    pub fn rollback_unpredicted(&mut self, tx: usize) -> VersionWriteEffect {
+        let Ok(pos) = self.position(tx) else {
+            return VersionWriteEffect::default();
+        };
+        let entry = &mut self.entries[pos];
+        entry.read_done = false;
+        if entry.is_write_like() || entry.op == AccessOp::Add {
+            entry.state = EntryState::Dropped;
+            entry.value = None;
             self.downstream_effect(pos)
         } else {
             VersionWriteEffect::default()
@@ -741,6 +843,38 @@ mod tests {
     }
 
     #[test]
+    fn rollback_unpredicted_drops_instead_of_pending() {
+        // A dynamically discovered write (no prediction) aborts: the entry
+        // must not return to Pending — the re-run may never write the key
+        // again, and nothing else would ever fulfill or drop it.
+        let mut seq = AccessSequence::new();
+        seq.version_write(1, u(10), false);
+        seq.rollback_unpredicted(1);
+        match seq.resolve_read(3, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, U256::ZERO),
+            blocked => panic!("reader wedged on rolled-back dynamic write: {blocked:?}"),
+        }
+        // If the re-run does write again, the dropped entry revives.
+        seq.version_write(1, u(20), false);
+        match seq.resolve_read(3, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, .. } => assert_eq!(value, u(20)),
+            blocked => panic!("revived write not visible: {blocked:?}"),
+        }
+    }
+
+    #[test]
+    fn rollback_unpredicted_clears_consumed_read() {
+        let mut seq = AccessSequence::new();
+        seq.predict(2, AccessOp::Read);
+        seq.mark_read(2);
+        seq.rollback_unpredicted(2);
+        // The cleared read is no longer a stale-read abort candidate.
+        let effect = seq.version_write(1, u(5), false);
+        assert!(effect.aborted.is_empty());
+        assert_eq!(effect.allowed, vec![2]);
+    }
+
+    #[test]
     fn repeated_adds_by_same_tx_accumulate() {
         let mut seq = AccessSequence::new();
         seq.version_write(1, u(5), true);
@@ -795,6 +929,96 @@ mod tests {
         assert_eq!(seq.entries().len(), 1);
         assert_eq!(seq.entries()[0].op, AccessOp::Read);
         assert!(seq.entries()[0].read_done);
+    }
+
+    #[test]
+    fn source_list_spills_past_inline_slots_via_pool() {
+        // Regression for the 5+-source case: a base write plus five deltas
+        // overflows the four inline slots; the spill buffer must come from
+        // (and return to) the block arena's pool, and iteration order must
+        // cover every source exactly once.
+        crate::arena::recycle_spill(Vec::with_capacity(8));
+        let mut seq = AccessSequence::new();
+        seq.version_write(0, u(100), false);
+        for tx in 1..=5 {
+            seq.version_write(tx, u(1), true);
+        }
+        let pool_before = crate::arena::spill_pool_len();
+        match seq.resolve_read(9, &key(), &Snapshot::empty()) {
+            ReadResolution::Ready { value, sources } => {
+                assert_eq!(value, u(105));
+                assert_eq!(sources.len(), 6);
+                let mut seen: Vec<usize> = sources.iter().collect();
+                seen.sort_unstable();
+                assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+                // The spill drew from the pool...
+                assert_eq!(crate::arena::spill_pool_len(), pool_before - 1);
+                drop(sources);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // ...and went back on drop.
+        assert_eq!(crate::arena::spill_pool_len(), pool_before);
+    }
+
+    #[test]
+    fn fast_resolve_matches_resolve_read() {
+        // resolve_read_value must agree with resolve_read on every state a
+        // sequence can reach: pending/done/dropped writes, adds, resets.
+        let snapshot = Snapshot::from_entries([(key(), u(1000))]);
+        let mut seq = AccessSequence::new();
+        let check = |seq: &AccessSequence, tx: usize| {
+            let slow = seq.resolve_read(tx, &key(), &snapshot);
+            let fast = seq.resolve_read_value(tx, || snapshot.get(&key()));
+            match (slow, fast) {
+                (ReadResolution::Ready { value, .. }, FastResolution::Ready(fast_value)) => {
+                    assert_eq!(value, fast_value)
+                }
+                (
+                    ReadResolution::Blocked { writer },
+                    FastResolution::Blocked {
+                        writer: fast_writer,
+                    },
+                ) => assert_eq!(writer, fast_writer),
+                (slow, fast) => panic!("diverged: {slow:?} vs {fast:?}"),
+            }
+        };
+        for tx in 0..10 {
+            check(&seq, tx);
+        }
+        seq.predict(1, AccessOp::Write);
+        seq.predict(3, AccessOp::Add);
+        seq.predict(6, AccessOp::Write);
+        for tx in 0..10 {
+            check(&seq, tx);
+        }
+        seq.version_write(1, u(10), false);
+        seq.version_write(3, u(5), true);
+        for tx in 0..10 {
+            check(&seq, tx);
+        }
+        seq.version_write(6, u(60), false);
+        seq.drop_version(1);
+        for tx in 0..10 {
+            check(&seq, tx);
+        }
+        seq.reset(6);
+        for tx in 0..10 {
+            check(&seq, tx);
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_reuse() {
+        let mut seq = AccessSequence::new();
+        for tx in 0..8 {
+            seq.predict(tx, AccessOp::Read);
+        }
+        let bytes = seq.retained_bytes();
+        assert!(bytes >= (8 * std::mem::size_of::<AccessEntry>()) as u64);
+        seq.clear();
+        assert!(seq.entries().is_empty());
+        assert_eq!(seq.retained_bytes(), bytes);
     }
 
     #[test]

@@ -50,6 +50,8 @@
 #![warn(missing_docs)]
 
 mod access;
+mod affinity;
+mod arena;
 mod hook;
 mod oracle;
 mod parallel;
@@ -61,9 +63,11 @@ mod sim;
 mod simulator;
 
 pub use access::{
-    AccessEntry, AccessOp, AccessSequence, AccessSequences, EntryState, ReadResolution, SourceList,
-    VersionWriteEffect,
+    AccessEntry, AccessOp, AccessSequence, AccessSequences, EntryState, FastResolution,
+    ReadResolution, SourceList, VersionWriteEffect,
 };
+pub use affinity::pin_current_thread;
+pub use arena::{recycle_spill, spill_pool_len, take_spill, IdSet, SmallMap};
 pub use hook::{NoopHook, SchedHook};
 pub use oracle::{build_csags, execute_block_serial, BlockTrace, ReadRecord, TxTrace};
 pub use parallel::{ExecutorStats, ParallelConfig, ParallelExecutor, ParallelOutcome};

@@ -37,8 +37,8 @@
 //! the serial execution's (Theorem 1) — integration tests compare Merkle
 //! roots over randomized workloads.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -46,15 +46,16 @@ use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 
 use dmvcc_primitives::U256;
-use dmvcc_state::{Snapshot, StateKey, WriteSet};
+use dmvcc_state::{KeyId, KeyInterner, Snapshot, StateKey, WriteSet};
 use dmvcc_vm::{execute, BlockEnv, ExecParams, ExecStatus, Host, HostError, Transaction, TxKind};
 
 use dmvcc_analysis::{Analyzer, CSag};
 
-use crate::access::{AccessOp, ReadResolution, SourceList, VersionWriteEffect};
+use crate::access::{AccessOp, FastResolution, VersionWriteEffect};
+use crate::arena::{IdSet, SmallMap};
 use crate::hook::SchedHook;
 use crate::rank::{BlockDag, SchedulerPolicy, NUM_LANES};
-use crate::sharded::ShardedSequences;
+use crate::sharded::{ShardStorage, ShardedSequences, DEFAULT_SHARDS};
 
 /// Backstop for a read blocked on a pending version: the waiter is signaled
 /// by the publisher, so this only bounds the cost of a (theoretically
@@ -79,6 +80,10 @@ pub struct ParallelConfig {
     /// Ready-queue ordering policy (critical-path rank order by default;
     /// `Fifo` restores the original arrival-order deques).
     pub scheduler: SchedulerPolicy,
+    /// Pin worker `i` to CPU core `i % cores` (Linux `sched_setaffinity`;
+    /// no-op elsewhere). Off by default: pinning helps when workers own
+    /// their shards' cache lines, hurts when the machine is shared.
+    pub pin_cores: bool,
 }
 
 impl Default for ParallelConfig {
@@ -94,6 +99,7 @@ impl Default for ParallelConfig {
             threads,
             max_attempts: 64,
             scheduler: SchedulerPolicy::default(),
+            pin_cores: false,
         }
     }
 }
@@ -141,6 +147,18 @@ pub struct ExecutorStats {
     /// Wall-clock nanoseconds spent refining the block's C-SAGs
     /// (`execute_block` only; zero when precomputed C-SAGs are supplied).
     pub refine_nanos: u64,
+    /// Heap bytes served from the block arena's recycled pools (shard
+    /// storage, per-tx scheduling state) instead of the allocator. Zero for
+    /// the first block an executor runs; the steady state recycles nearly
+    /// everything.
+    pub alloc_bytes_saved: u64,
+    /// Shard mutex acquisitions across the block — the contention surface
+    /// batched publishing shrinks.
+    pub shard_lock_acquisitions: u64,
+    /// Shard-lock grabs that served a publish/drop batch (each batch covers
+    /// every batched key mapping to that shard; `publishes /
+    /// publish_batches` is the per-lock amortization).
+    pub publish_batches: u64,
 }
 
 impl ExecutorStats {
@@ -228,12 +246,30 @@ struct TxCore {
     phase: Phase,
     attempts: u32,
     status: Option<ExecStatus>,
-    /// Keys whose versions this tx materialized in the sequences during
+    /// Key ids whose versions this tx materialized in the sequences during
     /// the current attempt (for rollback on abort).
-    published: HashSet<StateKey>,
-    /// All keys this tx has entries for (predictions plus dynamic
+    published: IdSet,
+    /// All key ids this tx has entries for (predictions plus dynamic
     /// insertions), so aborts can reset them.
-    touched: HashSet<StateKey>,
+    touched: IdSet,
+}
+
+/// Immutable per-transaction execution metadata, interned once per block.
+/// Replaces the per-attempt `HashMap` builds the old `run_attempt` paid on
+/// every (re-)execution.
+#[derive(Debug, Default)]
+struct TxMeta {
+    /// Predicted reads as (id, key) pairs — the readiness probe.
+    reads: Vec<(KeyId, StateKey)>,
+    /// Predicted writes ∪ adds, for dropping unfulfilled versions.
+    predicted_wa: Vec<KeyId>,
+    /// Last predicted write pc per key, sorted by id (binary search).
+    last_write_pc: Vec<(KeyId, usize)>,
+    /// Release points as (pc, gas bound), sorted by pc.
+    release_bounds: Vec<(usize, u64)>,
+    /// pcs where the VM fires `on_release_point` (release points plus
+    /// one-past each key's last predicted write).
+    release_set: HashSet<usize>,
 }
 
 /// One transaction's full concurrent state: the core behind its own small
@@ -244,6 +280,10 @@ struct TxState {
     generation: AtomicU32,
     core: Mutex<TxCore>,
     event: Event,
+    /// Set when the deadlock breaker aborts this transaction's own blocked
+    /// read: subsequent re-admissions enter at the lowest-priority lane so
+    /// the ready work the breaker yielded to actually runs first.
+    demoted: AtomicBool,
 }
 
 /// Monotonic counters shared by all workers (see [`ExecutorStats`]).
@@ -255,6 +295,7 @@ struct AtomicStats {
     steals: AtomicU64,
     parks: AtomicU64,
     rank_inversions: AtomicU64,
+    publish_batches: AtomicU64,
 }
 
 impl AtomicStats {
@@ -273,12 +314,19 @@ impl AtomicStats {
             critical_path_gas: 0,        // filled from the BlockDag by the caller
             predicted_gas: 0,            // likewise
             rank_inversions: self.rank_inversions.load(Ordering::Relaxed),
-            refine_nanos: 0, // filled by execute_block
+            refine_nanos: 0,            // filled by execute_block
+            alloc_bytes_saved: 0,       // filled from the block arena by the caller
+            shard_lock_acquisitions: 0, // filled from ShardedSequences by the caller
+            publish_batches: self.publish_batches.load(Ordering::Relaxed),
         }
     }
 }
 
-type ReadyEntry = (usize, u32);
+/// A queued admission: `(tx, generation, lane)`. The lane the entry was
+/// pushed to travels with it so dequeue-side occupancy accounting stays
+/// exact even when a transaction's lane changes between pushes (breaker
+/// demotion).
+type ReadyEntry = (usize, u32, usize);
 
 struct Shared<'a> {
     sequences: ShardedSequences,
@@ -312,6 +360,9 @@ struct Shared<'a> {
     idle_event: Event,
     snapshot: &'a Snapshot,
     csags: &'a [CSag],
+    /// Interned per-transaction metadata (reads, publishable pcs, release
+    /// bounds), built once per block.
+    metas: Vec<TxMeta>,
     txs: &'a [Transaction],
     config: ParallelConfig,
     /// Optional scheduling hook (`None` in production; see
@@ -337,16 +388,29 @@ impl Shared<'_> {
     /// one (locality), otherwise the shared injector. Critical-path
     /// policy: into the transaction's rank lane — re-admissions after an
     /// abort therefore re-enter at their rank, not at the back.
-    fn push_ready(&self, entry: ReadyEntry, local: Option<&Worker<ReadyEntry>>) {
+    fn push_ready(&self, tx: usize, generation: u32, local: Option<&Worker<ReadyEntry>>) {
+        // Breaker-demoted transactions enter at the lowest priority: the
+        // breaker's self-abort exists to yield the worker to other queued
+        // ready work, and a re-admission at the victim's own (higher) rank
+        // would starve that work forever — the worker's lane scan keeps
+        // finding the victim first, it blocks on the same unpublished
+        // write, and the block storms to `max_attempts` (priority-
+        // inversion livelock, found by DST schedule fuzzing).
+        let lane = if self.states[tx].demoted.load(Ordering::SeqCst) {
+            NUM_LANES - 1
+        } else {
+            self.dag.lane_of(tx)
+        };
+        let entry: ReadyEntry = (tx, generation, lane);
         self.ready_count.fetch_add(1, Ordering::SeqCst);
-        self.lane_counts[self.dag.lane_of(entry.0)].fetch_add(1, Ordering::SeqCst);
+        self.lane_counts[lane].fetch_add(1, Ordering::SeqCst);
         match self.config.scheduler {
             SchedulerPolicy::Fifo => match local {
                 Some(worker) => worker.push(entry),
                 None => self.injector.push(entry),
             },
             SchedulerPolicy::CriticalPath => {
-                self.lanes[self.dag.lane_of(entry.0)].push(entry);
+                self.lanes[lane].push(entry);
             }
         }
         if self.idle.load(Ordering::SeqCst) > 0 {
@@ -357,8 +421,7 @@ impl Shared<'_> {
     /// Bookkeeping for a popped entry: lane occupancy down; if the entry
     /// actually runs while a strictly higher-priority lane still has
     /// queued work, that is a rank inversion.
-    fn note_dequeue(&self, tx: usize, runs: bool) {
-        let lane = self.dag.lane_of(tx);
+    fn note_dequeue(&self, lane: usize, runs: bool) {
         self.lane_counts[lane].fetch_sub(1, Ordering::SeqCst);
         if runs
             && self.lane_counts[..lane]
@@ -372,15 +435,13 @@ impl Shared<'_> {
     /// Checks whether all predicted reads of `tx` resolve right now,
     /// taking one shard lock at a time.
     fn is_ready(&self, tx: usize) -> bool {
-        for key in &self.csags[tx].reads {
-            let shard = self.sequences.shard(key);
-            if let Some(seq) = shard.sequence(key) {
-                if matches!(
-                    seq.resolve_read(tx, key, self.snapshot),
-                    ReadResolution::Blocked { .. }
-                ) {
-                    return false;
-                }
+        for &(id, ref key) in &self.metas[tx].reads {
+            let mut shard = self.sequences.shard_for(id);
+            if matches!(
+                shard.resolve_value(id, tx, key, self.snapshot),
+                FastResolution::Blocked { .. }
+            ) {
+                return false;
             }
         }
         true
@@ -398,7 +459,7 @@ impl Shared<'_> {
         if !self.is_ready(tx) {
             return false;
         }
-        let entry = {
+        let generation = {
             let mut core = self.states[tx].core.lock();
             if core.phase != Phase::Waiting {
                 return false;
@@ -407,9 +468,9 @@ impl Shared<'_> {
             // Generation read under the core lock: an abort (which holds
             // this lock to bump it) cannot interleave, so the queue entry
             // is coherent.
-            (tx, self.generation_of(tx))
+            self.generation_of(tx)
         };
-        self.push_ready(entry, local);
+        self.push_ready(tx, generation, local);
         true
     }
 
@@ -429,7 +490,7 @@ impl Shared<'_> {
             if let Some(hook) = self.hook() {
                 hook.on_abort(root, victim);
             }
-            let (touched, aborted_generation): (Vec<StateKey>, u32) = {
+            let (touched, aborted_generation): (Vec<KeyId>, u32) = {
                 let mut core = self.states[victim].core.lock();
                 if core.phase == Phase::Finished {
                     self.finished.fetch_sub(1, Ordering::SeqCst);
@@ -450,30 +511,49 @@ impl Shared<'_> {
                 core.phase = Phase::Running;
                 core.status = None;
                 core.published.clear();
-                (core.touched.iter().copied().collect(), next)
+                let mut touched: Vec<KeyId> = core.touched.iter().collect();
+                // Batch the resets below by shard: one lock hold per shard
+                // instead of one per key.
+                touched.sort_unstable_by_key(|&id| self.sequences.shard_index_of(id));
+                (touched, next)
             };
             self.aborts.fetch_add(1, Ordering::Relaxed);
             let mut to_wake: Vec<usize> = Vec::new();
-            for key in touched {
-                let (effect, waiters) = {
-                    let mut shard = self.sequences.shard(&key);
-                    // A newer cascade owns the victim now. Its `touched`
-                    // snapshot is a superset of ours (the set only grows),
-                    // so its resets cover the rest — and resetting here
-                    // could clobber a version published by the attempt it
-                    // re-admits.
-                    if self.generation_of(victim) != aborted_generation {
-                        break;
-                    }
-                    let effect = shard.sequence_mut(key).reset(victim);
+            let mut effects: Vec<VersionWriteEffect> = Vec::new();
+            'groups: for group in touched.chunk_by(|a, b| {
+                self.sequences.shard_index_of(*a) == self.sequences.shard_index_of(*b)
+            }) {
+                let mut shard = self.sequences.shard_for(group[0]);
+                // A newer cascade owns the victim now. Its `touched`
+                // snapshot is a superset of ours (the set only grows),
+                // so its resets cover the rest — and resetting here
+                // could clobber a version published by the attempt it
+                // re-admits.
+                if self.generation_of(victim) != aborted_generation {
+                    break 'groups;
+                }
+                for &id in group {
+                    // Predicted writes re-pend (the new attempt re-announces
+                    // them); dynamically discovered writes roll back to
+                    // `Dropped` — the new attempt may never write the key
+                    // again, and a pending entry nothing fulfills wedges
+                    // every later reader.
+                    let seq = shard.sequence_mut(id);
+                    effects.push(
+                        if self.metas[victim].predicted_wa.binary_search(&id).is_ok() {
+                            seq.reset(victim)
+                        } else {
+                            seq.rollback_unpredicted(victim)
+                        },
+                    );
                     // A reset only re-pends the entry, but waiters are
                     // drained and signaled anyway: one of them may be the
                     // victim's own in-flight attempt, which must wake to
                     // observe its stale generation and unwind.
-                    let waiters = shard.drain_waiters(&key);
-                    (effect, waiters)
-                };
-                to_wake.extend(waiters);
+                    to_wake.extend(shard.drain_waiters(id));
+                }
+            }
+            for effect in effects {
                 for reader in effect.aborted {
                     if reader != victim && !seen.contains(&reader) {
                         worklist.push(reader);
@@ -553,22 +633,26 @@ impl Shared<'_> {
     }
 }
 
+/// One key's entry in a publish batch: id, value, and whether the value is
+/// a commutative delta (ω̄) rather than a full write.
+type PublishEntry = (KeyId, U256, bool);
+
 /// Host bridging one VM execution onto the sharded sequences.
 struct ThreadHost<'a, 'b> {
     shared: &'a Shared<'b>,
     local: Option<&'a Worker<ReadyEntry>>,
     tx: usize,
     generation: u32,
-    /// Buffered full writes and commutative deltas of this attempt.
-    writes: BTreeMap<StateKey, U256>,
-    adds: BTreeMap<StateKey, U256>,
+    /// Buffered full writes and commutative deltas of this attempt, keyed
+    /// by interned id.
+    writes: SmallMap,
+    adds: SmallMap,
     /// `true` once a release point passed with sufficient gas.
     released: bool,
-    /// pc → gas bound of this tx's release points.
-    release_bounds: HashMap<usize, u64>,
-    /// Keys may be published once execution is past their last predicted
-    /// write pc.
-    last_write_pc: &'a HashMap<StateKey, usize>,
+    /// Interned metadata: release bounds, publishable pcs, predictions.
+    meta: &'a TxMeta,
+    /// Reusable publish-batch buffer (capacity survives release points).
+    scratch: Vec<PublishEntry>,
 }
 
 impl ThreadHost<'_, '_> {
@@ -576,84 +660,155 @@ impl ThreadHost<'_, '_> {
         self.shared.generation_of(self.tx) != self.generation
     }
 
-    /// Records `key` in this tx's touched set (so an abort resets it) —
+    /// Records `id` in this tx's touched set (so an abort resets it) —
     /// must happen *before* the corresponding sequence mutation, so a
     /// concurrent abort either sees the key or invalidates us first.
-    fn touch(&self, key: StateKey) -> Result<(), HostError> {
+    fn touch(&self, id: KeyId) -> Result<(), HostError> {
         let mut core = self.shared.states[self.tx].core.lock();
         if self.stale() {
             return Err(HostError::Aborted);
         }
-        core.touched.insert(key);
+        core.touched.insert(id);
         Ok(())
     }
 
-    /// Publishes one buffered key into its shard (write versioning,
-    /// Algorithm 3) and wakes exactly the readers blocked on it.
-    fn publish_key(&self, key: StateKey, value: U256, delta: bool) -> Result<(), HostError> {
-        // Publish decision point — observed before any lock so a stalling
+    /// The last predicted write pc for `id`, if predicted.
+    fn last_write_pc(&self, id: KeyId) -> Option<usize> {
+        self.meta
+            .last_write_pc
+            .binary_search_by_key(&id, |&(k, _)| k)
+            .ok()
+            .map(|i| self.meta.last_write_pc[i].1)
+    }
+
+    /// Publishes a batch of buffered keys (write versioning, Algorithm 3),
+    /// taking each involved shard lock **once**: entries are sorted by
+    /// shard, each shard's run is versioned and its waiters drained under a
+    /// single lock hold, and wakeups/effects are applied after unlocking —
+    /// the flat lock discipline is untouched, there are just fewer
+    /// acquisitions. Errors mean the generation went stale; the caller
+    /// unwinds and the abort's resets cover whatever was already written.
+    fn publish_batch(&self, entries: &mut [PublishEntry]) -> Result<(), HostError> {
+        if entries.is_empty() {
+            return Ok(());
+        }
+        let shared = self.shared;
+        // Publish decision points — observed before any lock so a stalling
         // hook models a delayed publish without blocking other workers.
-        if let Some(hook) = self.shared.hook() {
-            hook.on_publish(self.tx, &key, delta);
+        if let Some(hook) = shared.hook() {
+            for &(id, _, delta) in entries.iter() {
+                let key = shared.sequences.interner().resolve(id);
+                hook.on_publish(self.tx, &key, delta);
+            }
         }
         {
-            let mut core = self.shared.states[self.tx].core.lock();
+            let mut core = shared.states[self.tx].core.lock();
             if self.stale() {
                 return Err(HostError::Aborted);
             }
-            core.touched.insert(key);
-            core.published.insert(key);
+            for &(id, _, _) in entries.iter() {
+                core.touched.insert(id);
+                core.published.insert(id);
+            }
         }
-        let (effect, waiters) = {
-            let mut shard = self.shared.sequences.shard(&key);
-            // Re-check under the shard lock: if an abort got in between,
-            // writing now would leak a version the abort's reset already
-            // passed over.
-            if self.stale() {
-                return Err(HostError::Aborted);
+        // Stable sort: same-shard keys keep their buffer order, so the
+        // publication order is deterministic given a deterministic schedule.
+        entries.sort_by_key(|&(id, _, _)| shared.sequences.shard_index_of(id));
+        let mut staged: Vec<(VersionWriteEffect, Vec<usize>)> = Vec::with_capacity(entries.len());
+        for group in entries.chunk_by(|a, b| {
+            shared.sequences.shard_index_of(a.0) == shared.sequences.shard_index_of(b.0)
+        }) {
+            {
+                let mut shard = shared.sequences.shard_for(group[0].0);
+                // Re-check under the shard lock: if an abort got in
+                // between, writing now would leak a version the abort's
+                // reset already passed over.
+                if self.stale() {
+                    return Err(HostError::Aborted);
+                }
+                for &(id, value, delta) in group {
+                    let effect = shard.sequence_mut(id).version_write(self.tx, value, delta);
+                    staged.push((effect, shard.drain_waiters(id)));
+                }
             }
-            let effect = shard.sequence_mut(key).version_write(self.tx, value, delta);
-            let waiters = shard.drain_waiters(&key);
-            (effect, waiters)
-        };
-        self.shared.stats.publishes.fetch_add(1, Ordering::Relaxed);
-        self.shared.wake_waiters(waiters);
-        self.shared.apply_effect(effect, self.local);
+            shared.stats.publish_batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .stats
+                .publishes
+                .fetch_add(group.len() as u64, Ordering::Relaxed);
+            // Wakeups and effects strictly after the shard unlock (the
+            // effects may take core locks and other shard locks).
+            for (effect, waiters) in staged.drain(..) {
+                shared.wake_waiters(waiters);
+                shared.apply_effect(effect, self.local);
+            }
+        }
         Ok(())
     }
 
-    /// Drops this tx's version of `key` (misprediction or deterministic
-    /// abort), unblocking and re-admitting downstream readers.
-    fn drop_key(&self, key: StateKey) -> Result<(), HostError> {
-        let (effect, waiters) = {
-            let mut shard = self.shared.sequences.shard(&key);
-            // Re-check under the shard lock, exactly like `publish_key`: if
-            // an abort cascade got in between, a new attempt of this tx may
-            // already have re-published this key — dropping now would erase
-            // the new attempt's version, which nothing would ever restore
-            // (found by DST schedule fuzzing).
-            if self.stale() {
-                return Err(HostError::Aborted);
+    /// Drops this tx's versions of a batch of keys (misprediction or
+    /// deterministic abort), one shard lock per involved shard, unblocking
+    /// and re-admitting downstream readers.
+    fn drop_batch(&self, ids: &mut [KeyId]) -> Result<(), HostError> {
+        if ids.is_empty() {
+            return Ok(());
+        }
+        let shared = self.shared;
+        ids.sort_unstable_by_key(|&id| shared.sequences.shard_index_of(id));
+        let mut staged: Vec<(VersionWriteEffect, Vec<usize>)> = Vec::with_capacity(ids.len());
+        for group in ids.chunk_by(|a, b| {
+            shared.sequences.shard_index_of(*a) == shared.sequences.shard_index_of(*b)
+        }) {
+            {
+                let mut shard = shared.sequences.shard_for(group[0]);
+                // Re-check under the shard lock, exactly like publishes: if
+                // an abort cascade got in between, a new attempt of this tx
+                // may already have re-published these keys — dropping now
+                // would erase the new attempt's version, which nothing
+                // would ever restore (found by DST schedule fuzzing).
+                if self.stale() {
+                    return Err(HostError::Aborted);
+                }
+                for &id in group {
+                    let effect = shard.sequence_mut(id).drop_version(self.tx);
+                    staged.push((effect, shard.drain_waiters(id)));
+                }
             }
-            let effect = shard.sequence_mut(key).drop_version(self.tx);
-            let waiters = shard.drain_waiters(&key);
-            (effect, waiters)
-        };
-        self.shared.wake_waiters(waiters);
-        self.shared.apply_effect(effect, self.local);
+            shared.stats.publish_batches.fetch_add(1, Ordering::Relaxed);
+            for (effect, waiters) in staged.drain(..) {
+                shared.wake_waiters(waiters);
+                shared.apply_effect(effect, self.local);
+            }
+        }
         Ok(())
     }
 }
 
 impl Host for ThreadHost<'_, '_> {
     fn sload(&mut self, key: StateKey) -> Result<U256, HostError> {
+        let id = self.shared.sequences.intern(key);
         // Own writes win (read-your-writes inside the attempt).
-        if let Some(&v) = self.writes.get(&key) {
-            let merged = v.wrapping_add(self.adds.get(&key).copied().unwrap_or(U256::ZERO));
+        if let Some(v) = self.writes.get(id) {
+            let merged = v.wrapping_add(self.adds.get(id).unwrap_or(U256::ZERO));
             return Ok(merged);
         }
-        let own_delta = self.adds.get(&key).copied().unwrap_or(U256::ZERO);
-        self.touch(key)?;
+        let own_delta = self.adds.get(id).unwrap_or(U256::ZERO);
+        self.touch(id)?;
+        // Fast path: no epoch sampling, one shard lock, the slot's cached
+        // snapshot value. The epoch only matters before *parking*, so it is
+        // sampled exclusively on the blocked path below.
+        {
+            let mut shard = self.shared.sequences.shard_for(id);
+            if self.stale() {
+                return Err(HostError::Aborted);
+            }
+            if let FastResolution::Ready(value) =
+                shard.resolve_value(id, self.tx, &key, self.shared.snapshot)
+            {
+                shard.mark_read(id, self.tx);
+                return Ok(value.wrapping_add(own_delta));
+            }
+        }
         // Consecutive parks whose timeout elapsed with no event signal —
         // the stuckness measure the deadlock breaker below keys off.
         let mut stuck_parks = 0u32;
@@ -662,26 +817,19 @@ impl Host for ThreadHost<'_, '_> {
             // racing the registration below then prevents the sleep.
             let seen_epoch = self.shared.states[self.tx].event.epoch();
             let value = {
-                let mut shard = self.shared.sequences.shard(&key);
+                let mut shard = self.shared.sequences.shard_for(id);
                 if self.stale() {
                     return Err(HostError::Aborted);
                 }
-                let resolution = match shard.sequence(&key) {
-                    Some(seq) => seq.resolve_read(self.tx, &key, self.shared.snapshot),
-                    None => ReadResolution::Ready {
-                        value: self.shared.snapshot.get(&key),
-                        sources: SourceList::new(),
-                    },
-                };
-                match resolution {
-                    ReadResolution::Ready { value, .. } => {
-                        shard.sequence_mut(key).mark_read(self.tx);
+                match shard.resolve_value(id, self.tx, &key, self.shared.snapshot) {
+                    FastResolution::Ready(value) => {
+                        shard.mark_read(id, self.tx);
                         Some(value)
                     }
-                    ReadResolution::Blocked { .. } => {
+                    FastResolution::Blocked { .. } => {
                         // Register in the reverse waiter index under the
                         // same lock hold as the failed resolve.
-                        shard.register_waiter(key, self.tx);
+                        shard.register_waiter(id, self.tx);
                         None
                     }
                 }
@@ -713,11 +861,16 @@ impl Host for ThreadHost<'_, '_> {
                     self.shared.blocked.fetch_sub(1, Ordering::SeqCst);
                     self.shared
                         .sequences
-                        .shard(&key)
-                        .unregister_waiter(&key, self.tx);
+                        .shard_for(id)
+                        .unregister_waiter(id, self.tx);
                     // Re-admissions go to the shared injector (`local:
-                    // None`): this worker's next pop must find the stuck
-                    // writer, not our own just-re-admitted transaction.
+                    // None`) and, under critical-path scheduling, to the
+                    // lowest-priority lane: this worker's next pop must
+                    // find the stuck writer, not our own just-re-admitted
+                    // transaction.
+                    self.shared.states[self.tx]
+                        .demoted
+                        .store(true, Ordering::SeqCst);
                     self.shared.abort_cascade(self.tx, None);
                     return Err(HostError::Aborted);
                 }
@@ -742,23 +895,29 @@ impl Host for ThreadHost<'_, '_> {
     }
 
     fn sstore(&mut self, key: StateKey, value: U256) -> Result<(), HostError> {
-        self.adds.remove(&key);
-        self.writes.insert(key, value);
+        let id = self.shared.sequences.intern(key);
+        self.adds.remove(id);
+        self.writes.insert(id, value);
         Ok(())
     }
 
     fn sadd(&mut self, key: StateKey, delta: U256) -> Result<(), HostError> {
-        if let Some(v) = self.writes.get_mut(&key) {
+        let id = self.shared.sequences.intern(key);
+        if let Some(v) = self.writes.get_mut(id) {
             *v = v.wrapping_add(delta);
         } else {
-            let entry = self.adds.entry(key).or_insert(U256::ZERO);
-            *entry = entry.wrapping_add(delta);
+            self.adds.add(id, delta);
         }
         Ok(())
     }
 
     fn on_release_point(&mut self, pc: usize, gas_left: u64) {
-        if let Some(&bound) = self.release_bounds.get(&pc) {
+        if let Ok(i) = self
+            .meta
+            .release_bounds
+            .binary_search_by_key(&pc, |&(p, _)| p)
+        {
+            let bound = self.meta.release_bounds[i].1;
             let passed = match self.shared.hook() {
                 Some(hook) => hook.release_gate(self.tx, pc, gas_left, bound),
                 None => gas_left >= bound,
@@ -771,21 +930,28 @@ impl Host for ThreadHost<'_, '_> {
             return;
         }
         // Publish buffered keys whose last predicted write is behind us
-        // (Algorithm 2: "no write of I in successor nodes").
-        let publishable: Vec<(StateKey, U256, bool)> = self
-            .writes
-            .iter()
-            .map(|(k, v)| (*k, *v, false))
-            .chain(self.adds.iter().map(|(k, v)| (*k, *v, true)))
-            .filter(|(k, _, _)| self.last_write_pc.get(k).is_some_and(|&last| last < pc))
-            .collect();
-        for (key, value, delta) in publishable {
-            if self.publish_key(key, value, delta).is_err() {
-                return; // stale generation; the VM unwinds at the next access
+        // (Algorithm 2: "no write of I in successor nodes"), batched so
+        // each involved shard lock is taken once.
+        let mut batch = std::mem::take(&mut self.scratch);
+        batch.clear();
+        batch.extend(
+            self.writes
+                .iter()
+                .map(|(id, v)| (id, v, false))
+                .chain(self.adds.iter().map(|(id, v)| (id, v, true)))
+                .filter(|&(id, _, _)| self.last_write_pc(id).is_some_and(|last| last < pc)),
+        );
+        let result = self.publish_batch(&mut batch);
+        if result.is_ok() {
+            for &(id, _, _) in &batch {
+                self.writes.remove(id);
+                self.adds.remove(id);
             }
-            self.writes.remove(&key);
-            self.adds.remove(&key);
         }
+        // Stale generation: keep the buffers; the VM unwinds at the next
+        // access and the abort's resets cover whatever was published.
+        batch.clear();
+        self.scratch = batch;
     }
 }
 
@@ -814,6 +980,37 @@ pub struct ParallelExecutor {
     analyzer: Analyzer,
     config: ParallelConfig,
     hook: Option<Arc<dyn SchedHook>>,
+    /// The executor-level block arena: buffers of the last finished block,
+    /// recycled into the next one (shared across clones on purpose — a
+    /// pipeline's executor clones all feed one pool).
+    pool: Arc<Mutex<BlockPool>>,
+}
+
+/// Recyclable per-block allocations (see the `arena` module docs): the
+/// shard storage and the per-transaction scheduling states of a finished
+/// block, reset in place and reused by the next call.
+#[derive(Debug, Default)]
+struct BlockPool {
+    storage: Option<ShardStorage>,
+    states: Vec<TxState>,
+}
+
+/// Resets a recycled [`TxState`] for a fresh block, returning the heap
+/// bytes whose allocation the reuse avoided.
+fn recycle_state(state: &mut TxState) -> u64 {
+    state.generation = AtomicU32::new(0);
+    let core = state.core.get_mut();
+    let saved = core.published.retained_bytes()
+        + core.touched.retained_bytes()
+        + std::mem::size_of::<TxState>() as u64;
+    core.phase = Phase::Waiting;
+    core.attempts = 0;
+    core.status = None;
+    core.published.clear();
+    core.touched.clear();
+    *state.event.epoch.get_mut() = 0;
+    *state.demoted.get_mut() = false;
+    saved
 }
 
 impl ParallelExecutor {
@@ -823,6 +1020,7 @@ impl ParallelExecutor {
             analyzer,
             config,
             hook: None,
+            pool: Arc::new(Mutex::new(BlockPool::default())),
         }
     }
 
@@ -888,43 +1086,135 @@ impl ParallelExecutor {
             };
         }
 
-        // Build predicted sequences (the preprocessing of §IV-A) —
-        // single-threaded, but already in their shards.
-        let sequences = match &self.hook {
-            Some(hook) => ShardedSequences::new().with_hook(Arc::clone(hook)),
-            None => ShardedSequences::new(),
+        // Block arena: reclaim the previous block's buffers from the pool.
+        let (recycled_storage, mut recycled_states) = {
+            let mut pool = self.pool.lock();
+            (pool.storage.take(), std::mem::take(&mut pool.states))
         };
-        for (i, csag) in csags.iter().enumerate() {
-            for key in &csag.reads {
-                sequences.predict(*key, i, AccessOp::Read);
-            }
-            for key in &csag.writes {
-                sequences.predict(*key, i, AccessOp::Write);
-            }
-            for key in &csag.adds {
-                sequences.predict(*key, i, AccessOp::Add);
+        let mut bytes_saved = 0u64;
+
+        // Intern every predicted key once. The ids are dense, the frozen
+        // tier is probe-free for the rest of the block, and everything
+        // downstream (shards, waiter index, DAG, metas) indexes by u32
+        // instead of hashing 40-byte keys.
+        let mut interner = KeyInterner::new();
+        for csag in csags {
+            for key in csag
+                .reads
+                .iter()
+                .chain(csag.writes.iter())
+                .chain(csag.adds.iter())
+                .chain(csag.last_write_pc.keys())
+            {
+                interner.preintern(*key);
             }
         }
-        let states: Vec<TxState> = (0..n)
-            .map(|i| TxState {
+        let interner = Arc::new(interner);
+
+        // Per-transaction interned metadata, built once — attempts after an
+        // abort re-run with zero rebuild cost.
+        let metas: Vec<TxMeta> = csags
+            .iter()
+            .map(|csag| {
+                let lookup =
+                    |key: &StateKey| interner.lookup(key).expect("predicted key preinterned");
+                let mut last_write_pc: Vec<(KeyId, usize)> = csag
+                    .last_write_pc
+                    .iter()
+                    .map(|(key, &pc)| (lookup(key), pc))
+                    .collect();
+                last_write_pc.sort_unstable_by_key(|&(id, _)| id);
+                let mut release_bounds: Vec<(usize, u64)> = csag
+                    .release_points
+                    .iter()
+                    .map(|rp| (rp.pc, rp.gas_bound))
+                    .collect();
+                release_bounds.sort_unstable_by_key(|&(pc, _)| pc);
+                release_bounds.dedup_by_key(|&mut (pc, _)| pc);
+                // Fire callbacks at release points and right after each
+                // key's last predicted write, so publication happens as
+                // early as Algorithm 2 allows.
+                let mut release_set: HashSet<usize> =
+                    release_bounds.iter().map(|&(pc, _)| pc).collect();
+                for &(_, pc) in &last_write_pc {
+                    release_set.insert(pc.saturating_add(1));
+                }
+                let mut predicted_wa: Vec<KeyId> =
+                    csag.writes.union(&csag.adds).map(lookup).collect();
+                // Sorted so the abort cascade can binary-search membership
+                // (predicted vs dynamically discovered writes roll back
+                // differently).
+                predicted_wa.sort_unstable();
+                TxMeta {
+                    reads: csag.reads.iter().map(|key| (lookup(key), *key)).collect(),
+                    predicted_wa,
+                    last_write_pc,
+                    release_bounds,
+                    release_set,
+                }
+            })
+            .collect();
+
+        // Build predicted sequences (the preprocessing of §IV-A) —
+        // single-threaded, but already in their shards, which are recycled
+        // from the previous block when available.
+        let (sequences, storage_bytes) = ShardedSequences::for_block(
+            Arc::clone(&interner),
+            DEFAULT_SHARDS,
+            recycled_storage,
+            self.hook.clone(),
+        );
+        bytes_saved += storage_bytes;
+        for (i, (csag, meta)) in csags.iter().zip(&metas).enumerate() {
+            for &(id, _) in &meta.reads {
+                sequences.predict_id(id, i, AccessOp::Read);
+            }
+            for key in &csag.writes {
+                sequences.predict_id(
+                    interner.lookup(key).expect("preinterned"),
+                    i,
+                    AccessOp::Write,
+                );
+            }
+            for key in &csag.adds {
+                sequences.predict_id(interner.lookup(key).expect("preinterned"), i, AccessOp::Add);
+            }
+        }
+        recycled_states.truncate(n);
+        let mut states: Vec<TxState> = recycled_states;
+        for state in &mut states {
+            bytes_saved += recycle_state(state);
+        }
+        while states.len() < n {
+            states.push(TxState {
                 generation: AtomicU32::new(0),
                 core: Mutex::new(TxCore {
                     phase: Phase::Waiting,
                     attempts: 0,
                     status: None,
-                    published: HashSet::new(),
-                    touched: csags[i].touched().into_iter().collect(),
+                    published: IdSet::new(),
+                    touched: IdSet::new(),
                 }),
                 event: Event::default(),
-            })
-            .collect();
+                demoted: AtomicBool::new(false),
+            });
+        }
+        for (state, meta) in states.iter_mut().zip(&metas) {
+            let touched = &mut state.core.get_mut().touched;
+            for &(id, _) in &meta.reads {
+                touched.insert(id);
+            }
+            for &id in &meta.predicted_wa {
+                touched.insert(id);
+            }
+        }
 
         let workers: Vec<Worker<ReadyEntry>> = (0..self.config.threads)
             .map(|_| Worker::new_fifo())
             .collect();
         let stealers = workers.iter().map(Worker::stealer).collect();
 
-        let dag = BlockDag::build(csags);
+        let dag = BlockDag::build_with_interner(csags, &interner);
         let shared = Shared {
             sequences,
             states,
@@ -942,6 +1232,7 @@ impl ParallelExecutor {
             idle_event: Event::default(),
             snapshot,
             csags,
+            metas,
             txs,
             config: self.config,
             hook: self.hook.clone(),
@@ -952,10 +1243,19 @@ impl ParallelExecutor {
             shared.try_admit(i, None);
         }
 
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let pin = self.config.pin_cores;
         std::thread::scope(|scope| {
             for (index, local) in workers.into_iter().enumerate() {
                 let shared = &shared;
-                scope.spawn(move || self.worker(shared, block_env, local, index));
+                scope.spawn(move || {
+                    if pin {
+                        crate::affinity::pin_current_thread(index % cores);
+                    }
+                    self.worker(shared, block_env, local, index)
+                });
             }
         });
 
@@ -968,16 +1268,30 @@ impl ParallelExecutor {
         ) = tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;
         stats.predicted_gas = dag.total_gas;
+        stats.alloc_bytes_saved = bytes_saved;
+        stats.shard_lock_acquisitions = shared.sequences.lock_acquisitions();
+        let Shared {
+            sequences,
+            mut states,
+            aborts,
+            ..
+        } = shared;
         let mut statuses = Vec::with_capacity(n);
-        for state in shared.states {
-            let core = state.core.into_inner();
+        for state in &mut states {
+            let core = state.core.get_mut();
             stats.attempts += core.attempts as u64;
-            statuses.push(core.status.unwrap_or(ExecStatus::Interrupted));
+            statuses.push(core.status.clone().unwrap_or(ExecStatus::Interrupted));
+        }
+        // Return the block's buffers to the arena for the next call.
+        {
+            let mut pool = self.pool.lock();
+            pool.storage = Some(sequences.into_storage());
+            pool.states = states;
         }
         ParallelOutcome {
             final_writes,
             statuses,
-            aborts: shared.aborts.into_inner(),
+            aborts: aborts.into_inner(),
             stats,
         }
     }
@@ -1039,7 +1353,7 @@ impl ParallelExecutor {
                 shared.idle_event.signal();
                 return;
             }
-            if let Some((tx, generation)) = self.next_entry(shared, &local, index) {
+            if let Some((tx, generation, lane)) = self.next_entry(shared, &local, index) {
                 shared.ready_count.fetch_sub(1, Ordering::SeqCst);
                 let run: Option<u32> = {
                     let mut core = shared.states[tx].core.lock();
@@ -1064,7 +1378,7 @@ impl ParallelExecutor {
                         }
                     }
                 };
-                shared.note_dequeue(tx, run.is_some());
+                shared.note_dequeue(lane, run.is_some());
                 if let Some(attempt) = run {
                     if let Some(hook) = shared.hook() {
                         hook.on_dequeue(tx, attempt);
@@ -1122,29 +1436,18 @@ impl ParallelExecutor {
     ) {
         let transaction = &shared.txs[tx];
         let csag = &shared.csags[tx];
-        let release_bounds: HashMap<usize, u64> = csag
-            .release_points
-            .iter()
-            .map(|rp| (rp.pc, rp.gas_bound))
-            .collect();
-        // Fire callbacks at release points and right after each key's last
-        // predicted write, so publication happens as early as Algorithm 2
-        // allows.
-        let mut release_set: HashSet<usize> = release_bounds.keys().copied().collect();
-        for &pc in csag.last_write_pc.values() {
-            release_set.insert(pc.saturating_add(1));
-        }
+        let meta = &shared.metas[tx];
 
         let mut host = ThreadHost {
             shared,
             local: Some(local),
             tx,
             generation,
-            writes: BTreeMap::new(),
-            adds: BTreeMap::new(),
+            writes: SmallMap::new(),
+            adds: SmallMap::new(),
             released: false,
-            release_bounds,
-            last_write_pc: &csag.last_write_pc,
+            meta,
+            scratch: Vec::new(),
         };
         // Entry release point: the transaction cannot abort at all.
         if let Some(rp) = csag.release_points.first() {
@@ -1171,7 +1474,7 @@ impl ParallelExecutor {
                         code: &code,
                         tx: &transaction.env,
                         block: block_env,
-                        release_points: Some(&release_set),
+                        release_points: Some(&meta.release_set),
                         registry: Some(self.analyzer.registry()),
                     };
                     execute(&params, &mut host).status
@@ -1220,34 +1523,33 @@ impl ParallelExecutor {
 fn finalize_success(host: &mut ThreadHost<'_, '_>) {
     let shared = host.shared;
     let tx = host.tx;
-    for (key, value) in std::mem::take(&mut host.writes) {
-        if host.publish_key(key, value, false).is_err() {
-            return;
-        }
+    let mut batch: Vec<PublishEntry> = host
+        .writes
+        .iter()
+        .map(|(id, v)| (id, v, false))
+        .chain(host.adds.iter().map(|(id, v)| (id, v, true)))
+        .collect();
+    if host.publish_batch(&mut batch).is_err() {
+        return;
     }
-    for (key, delta) in std::mem::take(&mut host.adds) {
-        if host.publish_key(key, delta, true).is_err() {
-            return;
-        }
-    }
+    host.writes.clear();
+    host.adds.clear();
     // Predicted writes that never materialized: drop so readers pass
     // through (mispredicted branch).
-    let published = {
+    let mut to_drop: Vec<KeyId> = {
         let core = shared.states[tx].core.lock();
         if host.stale() {
             return;
         }
-        core.published.clone()
+        host.meta
+            .predicted_wa
+            .iter()
+            .copied()
+            .filter(|&id| !core.published.contains(id))
+            .collect()
     };
-    let predicted: Vec<StateKey> = shared.csags[tx]
-        .writes
-        .union(&shared.csags[tx].adds)
-        .copied()
-        .collect();
-    for key in predicted {
-        if !published.contains(&key) && host.drop_key(key).is_err() {
-            return;
-        }
+    if host.drop_batch(&mut to_drop).is_err() {
+        return;
     }
     shared.finish(tx, host.generation, ExecStatus::Success);
 }
@@ -1260,45 +1562,44 @@ fn finalize_deterministic_abort(host: &mut ThreadHost<'_, '_>, status: ExecStatu
     let tx = host.tx;
     host.writes.clear();
     host.adds.clear();
-    let published: Vec<StateKey> = {
+    let published: Vec<KeyId> = {
         let mut core = shared.states[tx].core.lock();
         if host.stale() {
             return;
         }
-        core.published.drain().collect()
+        let ids: Vec<KeyId> = core.published.iter().collect();
+        core.published.clear();
+        ids
     };
     // Mutation testing: `skip_rollback` (always false in production) leaks
     // the keys the hook names — they stay `Done` in their sequences and
     // reach the final write set even though the transaction failed.
-    let leaked: HashSet<StateKey> = match shared.hook() {
-        Some(hook) => published
-            .iter()
-            .filter(|key| hook.skip_rollback(tx, key))
-            .copied()
-            .collect(),
-        None => HashSet::new(),
-    };
-    for key in published {
-        if leaked.contains(&key) {
-            continue;
-        }
-        if host.drop_key(key).is_err() {
-            return;
+    let mut leaked = IdSet::new();
+    if let Some(hook) = shared.hook() {
+        for &id in published.iter() {
+            let key = shared.sequences.interner().resolve(id);
+            if hook.skip_rollback(tx, &key) {
+                leaked.insert(id);
+            }
         }
     }
-    // Unfulfilled predictions unblock readers.
-    let predicted: Vec<StateKey> = shared.csags[tx]
-        .writes
-        .union(&shared.csags[tx].adds)
-        .copied()
+    let mut to_drop: Vec<KeyId> = published
+        .into_iter()
+        .filter(|&id| !leaked.contains(id))
         .collect();
-    for key in predicted {
-        if leaked.contains(&key) {
-            continue;
-        }
-        if host.drop_key(key).is_err() {
-            return;
-        }
+    if host.drop_batch(&mut to_drop).is_err() {
+        return;
+    }
+    // Unfulfilled predictions unblock readers.
+    let mut predicted: Vec<KeyId> = host
+        .meta
+        .predicted_wa
+        .iter()
+        .copied()
+        .filter(|&id| !leaked.contains(id))
+        .collect();
+    if host.drop_batch(&mut predicted).is_err() {
+        return;
     }
     shared.finish(tx, host.generation, status);
 }
@@ -1330,6 +1631,7 @@ mod tests {
                 threads,
                 max_attempts: 64,
                 scheduler,
+                pin_cores: false,
             },
         )
     }
@@ -1464,6 +1766,7 @@ mod tests {
                 threads: 4,
                 max_attempts: 64,
                 scheduler: SchedulerPolicy::CriticalPath,
+                pin_cores: false,
             },
         );
         let outcome = exec.execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
@@ -1476,6 +1779,54 @@ mod tests {
         let outcome = executor(2).execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
         assert_eq!(outcome.statuses[0], ExecStatus::Success);
         assert_eq!(outcome.statuses[1], ExecStatus::Reverted);
+    }
+
+    #[test]
+    fn arena_reset_reexecutes_identically() {
+        // Arena-reset safety: one executor re-running the same block must
+        // produce identical final writes — the second run executes entirely
+        // on recycled shard storage and tx states, so any state leaking
+        // across the block boundary (stale versions, uncleared waiter
+        // lists, cached snapshot values) would corrupt the result.
+        let txs = vec![
+            mint(900, 1, 100),
+            transfer(1, 2, 30),
+            transfer(2, 3, 10),
+            mint(901, 2, 7),
+        ];
+        let expected = serial_writes(&txs, &Snapshot::empty());
+        let exec = executor(4);
+        let first = exec.execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        let second = exec.execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        assert_eq!(first.final_writes, expected);
+        assert_eq!(second.final_writes, expected);
+        assert_eq!(first.statuses, second.statuses);
+        // The first block starts cold; the second must report recycled
+        // bytes (shard storage at minimum).
+        assert_eq!(first.stats.alloc_bytes_saved, 0);
+        assert!(second.stats.alloc_bytes_saved > 0);
+        // Lock accounting is wired through.
+        assert!(second.stats.shard_lock_acquisitions > 0);
+        assert!(second.stats.publish_batches > 0);
+    }
+
+    #[test]
+    fn pinned_execution_matches_serial() {
+        // `pin_cores` must not change semantics (and must not fail when the
+        // host rejects affinity calls — pinning failure is a soft no-op).
+        let txs = vec![mint(900, 1, 100), transfer(1, 2, 30), transfer(2, 3, 10)];
+        let expected = serial_writes(&txs, &Snapshot::empty());
+        let exec = ParallelExecutor::new(
+            Analyzer::new(registry()),
+            ParallelConfig {
+                threads: 2,
+                max_attempts: 64,
+                scheduler: SchedulerPolicy::CriticalPath,
+                pin_cores: true,
+            },
+        );
+        let outcome = exec.execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());
+        assert_eq!(outcome.final_writes, expected);
     }
 
     #[test]
@@ -1538,6 +1889,7 @@ mod tests {
                 threads: 4,
                 max_attempts: 64,
                 scheduler: SchedulerPolicy::CriticalPath,
+                pin_cores: false,
             },
         )
         .execute_block(&txs, &Snapshot::empty(), &BlockEnv::default());

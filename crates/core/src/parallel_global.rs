@@ -42,6 +42,11 @@ struct TxSlot {
     /// All keys this tx has entries for (predictions plus dynamic
     /// insertions), so aborts can reset them.
     touched: HashSet<StateKey>,
+    /// Set when the deadlock breaker aborts this transaction's own blocked
+    /// read: re-admissions then rank below everything else, so the ready
+    /// work the breaker yielded to actually runs first instead of the
+    /// victim re-winning the pop and storming to `max_attempts`.
+    demoted: bool,
 }
 
 struct Inner {
@@ -140,7 +145,18 @@ impl Inner {
             self.aborts += 1;
             let touched: Vec<StateKey> = self.slots[victim].touched.iter().copied().collect();
             for key in touched {
-                let effect = self.sequences.sequence_mut(key).reset(victim);
+                // Predicted writes re-pend (the new attempt re-announces
+                // them); dynamically discovered writes roll back to
+                // `Dropped` — the new attempt may never write the key
+                // again, and a pending entry nothing fulfills wedges every
+                // later reader (found by DST schedule fuzzing).
+                let csag = &csags[victim];
+                let seq = self.sequences.sequence_mut(key);
+                let effect = if csag.writes.contains(&key) || csag.adds.contains(&key) {
+                    seq.reset(victim)
+                } else {
+                    seq.rollback_unpredicted(victim)
+                };
                 for reader in effect.aborted {
                     if reader != victim && !seen.contains(&reader) {
                         worklist.push(reader);
@@ -245,6 +261,7 @@ impl Host for ThreadHost<'_, '_> {
                     {
                         inner.blocked -= 1;
                         let (csags, snapshot) = (self.shared.csags, self.shared.snapshot);
+                        inner.slots[self.tx].demoted = true;
                         inner.abort_tx(self.tx, csags, snapshot);
                         self.shared.broadcast(&mut inner);
                         return Err(HostError::Aborted);
@@ -429,6 +446,7 @@ impl GlobalLockParallelExecutor {
                 status: None,
                 published: HashSet::new(),
                 touched: csags[i].touched().into_iter().collect(),
+                demoted: false,
             })
             .collect();
 
@@ -511,8 +529,14 @@ impl GlobalLockParallelExecutor {
                         });
                         match self.config.scheduler {
                             SchedulerPolicy::Fifo => ready.pop_front(),
+                            // Breaker-demoted entries rank below everything
+                            // else regardless of their DAG priority (see
+                            // `TxSlot::demoted`).
                             SchedulerPolicy::CriticalPath => (0..ready.len())
-                                .max_by_key(|&i| shared.dag.priority(ready[i].0))
+                                .max_by_key(|&i| {
+                                    let tx = ready[i].0;
+                                    (!slots[tx].demoted, shared.dag.priority(tx))
+                                })
                                 .and_then(|best| ready.remove(best)),
                         }
                     };
@@ -784,6 +808,7 @@ mod tests {
                 threads,
                 max_attempts: 64,
                 scheduler: SchedulerPolicy::CriticalPath,
+                pin_cores: false,
             },
         )
     }

@@ -21,10 +21,8 @@
 //! sweep with a per-key suffix maximum — O(total accesses), never the
 //! O(n²) edge list a hot key would otherwise produce.
 
-use std::collections::HashMap;
-
 use dmvcc_analysis::CSag;
-use dmvcc_state::StateKey;
+use dmvcc_state::KeyInterner;
 
 /// Number of priority lanes the sharded executor's ready queue is bucketed
 /// into. Lane 0 holds the highest-ranked transactions; workers drain lanes
@@ -92,6 +90,27 @@ impl BlockDag {
     /// predicts zero gas; its weight is clamped to the intrinsic cost so
     /// ranks stay strictly positive and lane math stays meaningful.
     pub fn build(csags: &[CSag]) -> BlockDag {
+        // Standalone entry point (global executor, tests): intern the
+        // block's keys locally so the sweep runs on dense ids.
+        let mut interner = KeyInterner::new();
+        for csag in csags {
+            for key in csag
+                .reads
+                .iter()
+                .chain(csag.writes.iter())
+                .chain(csag.adds.iter())
+            {
+                interner.preintern(*key);
+            }
+        }
+        BlockDag::build_with_interner(csags, &interner)
+    }
+
+    /// Builds the DAG ranks from a block's C-SAGs over an interner already
+    /// holding every predicted key (the sharded executor shares the block's
+    /// bind-time interner). The per-key suffix maximum is a dense vector
+    /// indexed by [`dmvcc_state::KeyId`], not a hash map over 52-byte keys.
+    pub fn build_with_interner(csags: &[CSag], interner: &KeyInterner) -> BlockDag {
         let n = csags.len();
         let mut ranks = vec![
             TxRank {
@@ -101,10 +120,10 @@ impl BlockDag {
             };
             n
         ];
-        // Per key: (max rank, count) over the *readers with a higher index
-        // than the transaction currently being processed* — maintained by
-        // the backward sweep.
-        let mut suffix: HashMap<StateKey, (u64, u64)> = HashMap::new();
+        // Per key id: (max rank, count) over the *readers with a higher
+        // index than the transaction currently being processed* —
+        // maintained by the backward sweep.
+        let mut suffix: Vec<(u64, u64)> = vec![(0, 0); interner.len()];
         let mut critical = 0u64;
         let mut total = 0u64;
         for i in (0..n).rev() {
@@ -113,7 +132,8 @@ impl BlockDag {
             let mut downstream = 0u64;
             let mut dependents = 0u64;
             for key in csags[i].writes.iter().chain(csags[i].adds.iter()) {
-                if let Some(&(max_rank, count)) = suffix.get(key) {
+                if let Some(id) = interner.lookup(key) {
+                    let (max_rank, count) = suffix[id.index()];
                     downstream = downstream.max(max_rank);
                     dependents += count;
                 }
@@ -125,9 +145,11 @@ impl BlockDag {
             // Register this transaction's reads *after* computing its own
             // rank, so an RMW transaction never depends on itself.
             for key in &csags[i].reads {
-                let entry = suffix.entry(*key).or_insert((0, 0));
-                entry.0 = entry.0.max(rank);
-                entry.1 += 1;
+                if let Some(id) = interner.lookup(key) {
+                    let entry = &mut suffix[id.index()];
+                    entry.0 = entry.0.max(rank);
+                    entry.1 += 1;
+                }
             }
         }
         for rank in &mut ranks {
@@ -182,6 +204,7 @@ fn lane_for(rank_gas: u64, critical: u64) -> u8 {
 mod tests {
     use super::*;
     use dmvcc_primitives::Address;
+    use dmvcc_state::StateKey;
 
     fn key(id: u64) -> StateKey {
         StateKey::balance(Address::from_u64(id))

@@ -121,6 +121,9 @@ pub struct FuzzConfig {
     /// rank dispatch by default, matching production; `Fifo` fuzzes the
     /// arrival-order deques).
     pub scheduler: SchedulerPolicy,
+    /// Pin the sharded executor's workers to cores (exercises the
+    /// `ParallelConfig::pin_cores` path under schedule fuzzing).
+    pub pin_cores: bool,
 }
 
 impl Default for FuzzConfig {
@@ -138,6 +141,7 @@ impl Default for FuzzConfig {
             fault_template: None,
             refinement: RefinementMode::TwoTier,
             scheduler: SchedulerPolicy::CriticalPath,
+            pin_cores: false,
         }
     }
 }
@@ -323,6 +327,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
         threads: config.threads,
         max_attempts: 64,
         scheduler: config.scheduler,
+        pin_cores: config.pin_cores,
     };
 
     let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));

@@ -4,12 +4,12 @@
 //! dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]
 //!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
-//!                  [--scheduler fifo|critical-path]
+//!                  [--scheduler fifo|critical-path] [--pin-cores]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
 //!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
-//!                  [--scheduler fifo|critical-path]
+//!                  [--scheduler fifo|critical-path] [--pin-cores]
 //! ```
 //!
 //! `fuzz` runs a seed campaign and exits non-zero on the first divergence,
@@ -27,12 +27,12 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("usage: dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
-    eprintln!("                        [--scheduler fifo|critical-path]");
+    eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
-    eprintln!("                        [--scheduler fifo|critical-path]");
+    eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
     eprintln!("mutations: none, skip-release-gas-bound");
     ExitCode::from(2)
 }
@@ -99,6 +99,7 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                     .map_err(|e| format!("{e}"))?;
                 args.budget = Some(Duration::from_secs(secs));
             }
+            "--pin-cores" => args.config.pin_cores = true,
             "--quiet" => args.config.quiet = true,
             other => return Err(format!("unknown flag {other}")),
         }

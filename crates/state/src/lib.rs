@@ -24,11 +24,13 @@
 
 #![warn(missing_docs)]
 
+mod interner;
 mod key;
 mod mpt;
 mod snapshot;
 mod statedb;
 
+pub use interner::{FxBuildHasher, FxHasher, FxKeyMap, KeyId, KeyInterner};
 pub use key::{StateKey, BALANCE_SLOT, NONCE_SLOT};
 pub use mpt::{empty_root, Mpt};
 pub use snapshot::{Snapshot, WriteSet};

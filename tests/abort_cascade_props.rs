@@ -74,6 +74,7 @@ proptest! {
                     threads: 4,
                     max_attempts: 64,
                     scheduler: SchedulerPolicy::CriticalPath,
+                    pin_cores: false,
                 },
             );
             let outcome = executor.execute_block_with_csags(&txs, &genesis, &env, &csags);

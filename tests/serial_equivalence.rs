@@ -34,6 +34,7 @@ fn check_block(txs: &[Transaction], threads: usize, hide: f64) {
                 threads,
                 max_attempts: 64,
                 scheduler: policy,
+                pin_cores: false,
             },
         );
         let outcome = executor.execute_block(txs, &snapshot, &env);

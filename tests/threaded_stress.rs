@@ -54,6 +54,7 @@ fn run_chain(
             threads,
             max_attempts: 64,
             scheduler: SchedulerPolicy::CriticalPath,
+            pin_cores: false,
         },
     );
     let mut serial_db = StateDb::with_genesis(generator.genesis_entries());
@@ -118,6 +119,7 @@ fn stale_csags_from_previous_snapshot() {
             threads: 4,
             max_attempts: 64,
             scheduler: SchedulerPolicy::CriticalPath,
+            pin_cores: false,
         },
     );
     let mut db = StateDb::with_genesis(generator.genesis_entries());
@@ -172,6 +174,7 @@ fn injected_mispredictions_eight_threads_match_serial() {
             threads: 8,
             max_attempts: 64,
             scheduler: policy,
+            pin_cores: false,
         };
 
         let sharded = ParallelExecutor::new(analyzer.clone(), config)
