@@ -70,6 +70,12 @@ pub enum RefinementTier {
     LoopSummarized,
     /// Full speculative pre-execution against the snapshot.
     Speculative,
+    /// No prediction at all: the transaction is unanalyzable (or was
+    /// routed to the optimistic executor by the hybrid scheduler). Empty
+    /// key sets — readers treat it exactly like an unknown-contract OCC
+    /// fallback, but the tier records that prediction was *withheld*, not
+    /// merely empty.
+    Optimistic,
 }
 
 /// The complete (per-transaction) state access graph.
@@ -150,6 +156,18 @@ impl CSag {
             gas_bound: 0,
         }];
         sag
+    }
+
+    /// The empty prediction of an unanalyzable transaction: no key sets,
+    /// no release points, tier [`RefinementTier::Optimistic`]. The
+    /// predictive executor treats it like an unknown-contract OCC
+    /// fallback (dynamic insertion + stale-read aborts); the hybrid
+    /// dispatcher uses the tier to count and route such transactions.
+    pub fn optimistic() -> CSag {
+        CSag {
+            tier: RefinementTier::Optimistic,
+            ..CSag::default()
+        }
     }
 
     /// All keys the transaction touches.
@@ -376,6 +394,12 @@ impl Analyzer {
     /// contracts yield an empty C-SAG (the scheduler then falls back to
     /// OCC-style handling, as the paper prescribes for missing SAGs).
     pub fn csag(&self, tx: &Transaction, snapshot: &Snapshot, block: &dmvcc_vm::BlockEnv) -> CSag {
+        if !tx.analyzable {
+            // Unanalyzable transactions (pool desync, obfuscated bytecode,
+            // deliberate test poisoning) get no prediction at all — even
+            // transfers, whose key sets would otherwise be trivial.
+            return CSag::optimistic();
+        }
         if tx.kind == TxKind::Transfer {
             return CSag::for_transfer(tx.sender(), tx.to());
         }

@@ -30,8 +30,8 @@ pub use pool::{PoolStats, TxPool};
 use dmvcc_analysis::{Analyzer, CSag};
 use dmvcc_baselines::{simulate_dag, simulate_occ};
 use dmvcc_core::{
-    execute_block_serial, simulate_dmvcc, BlockPipeline, DmvccConfig, ParallelConfig,
-    ParallelExecutor, SchedulerPolicy, SimReport,
+    execute_block_serial, simulate_dmvcc, BlockPipeline, DmvccConfig, HybridExecutor,
+    ParallelConfig, ParallelExecutor, ParallelOutcome, SchedulerPolicy, SimReport, StmExecutor,
 };
 use dmvcc_primitives::H256;
 use dmvcc_state::StateDb;
@@ -67,6 +67,95 @@ impl SchedulerKind {
             SchedulerKind::Dag => "DAG",
             SchedulerKind::Occ => "OCC",
             SchedulerKind::Dmvcc => "DMVCC",
+        }
+    }
+}
+
+/// Which *real threaded engine* backs the chain's cross-checks and the
+/// pipelined front-end (orthogonal to [`SchedulerKind`], which picks the
+/// virtual-time scheduler model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutorKind {
+    /// The predictive sharded DMVCC executor (the default).
+    #[default]
+    Sharded,
+    /// The Block-STM-style optimistic executor (no predictions consumed).
+    Stm,
+    /// The hybrid dispatcher: predictive for well-analyzed transactions,
+    /// optimistic for speculative/unanalyzable ones.
+    Hybrid,
+}
+
+impl ExecutorKind {
+    /// Parses the CLI spelling of an executor kind.
+    pub fn parse(name: &str) -> Option<ExecutorKind> {
+        match name {
+            "sharded" => Some(ExecutorKind::Sharded),
+            "stm" => Some(ExecutorKind::Stm),
+            "hybrid" => Some(ExecutorKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (inverse of [`Self::parse`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutorKind::Sharded => "sharded",
+            ExecutorKind::Stm => "stm",
+            ExecutorKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// The chosen threaded engine behind one dispatch surface (all three share
+/// the `execute_block_with_csags` signature but are distinct types).
+enum ThreadedEngine {
+    Sharded(ParallelExecutor),
+    Stm(StmExecutor),
+    Hybrid(HybridExecutor),
+}
+
+impl ThreadedEngine {
+    fn new(kind: ExecutorKind, analyzer: Analyzer, config: ParallelConfig) -> ThreadedEngine {
+        match kind {
+            ExecutorKind::Sharded => {
+                ThreadedEngine::Sharded(ParallelExecutor::new(analyzer, config))
+            }
+            ExecutorKind::Stm => ThreadedEngine::Stm(StmExecutor::new(analyzer, config)),
+            ExecutorKind::Hybrid => ThreadedEngine::Hybrid(HybridExecutor::new(analyzer, config)),
+        }
+    }
+
+    fn execute_block_with_csags(
+        &self,
+        txs: &[Transaction],
+        snapshot: &dmvcc_state::Snapshot,
+        block_env: &BlockEnv,
+        csags: &[CSag],
+    ) -> ParallelOutcome {
+        match self {
+            ThreadedEngine::Sharded(executor) => {
+                executor.execute_block_with_csags(txs, snapshot, block_env, csags)
+            }
+            ThreadedEngine::Stm(executor) => {
+                executor.execute_block_with_csags(txs, snapshot, block_env, csags)
+            }
+            ThreadedEngine::Hybrid(executor) => {
+                executor.execute_block_with_csags(txs, snapshot, block_env, csags)
+            }
+        }
+    }
+
+    fn execute_block(
+        &self,
+        txs: &[Transaction],
+        snapshot: &dmvcc_state::Snapshot,
+        block_env: &BlockEnv,
+    ) -> ParallelOutcome {
+        match self {
+            ThreadedEngine::Sharded(executor) => executor.execute_block(txs, snapshot, block_env),
+            ThreadedEngine::Stm(executor) => executor.execute_block(txs, snapshot, block_env),
+            ThreadedEngine::Hybrid(executor) => executor.execute_block(txs, snapshot, block_env),
         }
     }
 }
@@ -120,6 +209,9 @@ pub struct ChainConfig {
     /// Execute blocks through the pipelined front-end
     /// ([`run_pipelined_chain`]) instead of the virtual-time testnet.
     pub pipeline: bool,
+    /// Which real threaded engine backs the cross-checks and the pipelined
+    /// front-end (predictive sharded, optimistic STM, or hybrid).
+    pub executor: ExecutorKind,
 }
 
 impl ChainConfig {
@@ -140,6 +232,7 @@ impl ChainConfig {
             rebuild_missing_sags: true,
             policy: SchedulerPolicy::CriticalPath,
             pipeline: false,
+            executor: ExecutorKind::Sharded,
         }
     }
 }
@@ -202,7 +295,8 @@ pub fn run_testnet(config: &ChainConfig) -> ChainReport {
     // Replica DBs for the other validators (cheap: StateDb is persistent).
     let mut replicas: Vec<StateDb> = (1..config.validators.max(1)).map(|_| db.clone()).collect();
 
-    let threaded = ParallelExecutor::new(
+    let threaded = ThreadedEngine::new(
+        config.executor,
         analyzer.clone(),
         ParallelConfig {
             threads: config.threads.clamp(1, 8),
@@ -383,18 +477,46 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
         .collect();
     let env_of = |i: usize| BlockEnv::new(1 + i as u64, 1_700_000_000 + (1 + i as u64) * 12);
 
-    let executor = ParallelExecutor::new(
-        analyzer.clone(),
-        ParallelConfig {
-            threads: config.threads.clamp(1, 8),
-            max_attempts: 64,
-            scheduler: config.policy,
-            pin_cores: false,
-        },
-    );
-    let pipeline = BlockPipeline::new(executor);
+    let parallel_config = ParallelConfig {
+        threads: config.threads.clamp(1, 8),
+        max_attempts: 64,
+        scheduler: config.policy,
+        pin_cores: false,
+    };
     let genesis = db.latest().clone();
-    let (outcomes, _, stats) = pipeline.run_blocks(&blocks, &genesis, env_of);
+    let (outcomes, refine_nanos, execute_nanos, overlap_nanos) = match config.executor {
+        ExecutorKind::Sharded => {
+            let executor = ParallelExecutor::new(analyzer.clone(), parallel_config);
+            let pipeline = BlockPipeline::new(executor);
+            let (outcomes, _, stats) = pipeline.run_blocks(&blocks, &genesis, env_of);
+            (
+                outcomes,
+                stats.refine_nanos,
+                stats.execute_nanos,
+                stats.overlapped_refine_nanos,
+            )
+        }
+        ExecutorKind::Stm | ExecutorKind::Hybrid => {
+            // The optimistic engines take a block at a time: STM has no
+            // refinement to hide and hybrid refines inline, so the
+            // pipelined front-end's overlap is structurally zero here.
+            let engine = ThreadedEngine::new(config.executor, analyzer.clone(), parallel_config);
+            let mut snapshot = genesis.clone();
+            let mut outcomes = Vec::with_capacity(blocks.len());
+            let mut refine_nanos = 0u64;
+            let mut execute_nanos = 0u64;
+            for (i, txs) in blocks.iter().enumerate() {
+                let started = std::time::Instant::now();
+                let outcome = engine.execute_block(txs, &snapshot, &env_of(i));
+                let elapsed = started.elapsed().as_nanos() as u64;
+                refine_nanos += outcome.stats.refine_nanos;
+                execute_nanos += elapsed.saturating_sub(outcome.stats.refine_nanos);
+                snapshot = snapshot.apply(&outcome.final_writes);
+                outcomes.push(outcome);
+            }
+            (outcomes, refine_nanos, execute_nanos, 0)
+        }
+    };
 
     let mut consistent = true;
     let mut committed = 0u64;
@@ -414,9 +536,9 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
     PipelinedChainReport {
         blocks: config.blocks,
         committed_txs: committed,
-        refine_seconds: stats.refine_nanos as f64 / 1e9,
-        execute_seconds: stats.execute_nanos as f64 / 1e9,
-        overlap_seconds: stats.overlapped_refine_nanos as f64 / 1e9,
+        refine_seconds: refine_nanos as f64 / 1e9,
+        execute_seconds: execute_nanos as f64 / 1e9,
+        overlap_seconds: overlap_nanos as f64 / 1e9,
         aborts,
         roots_consistent: consistent,
         final_root: db.current_root(),
@@ -451,6 +573,7 @@ mod tests {
             rebuild_missing_sags: true,
             policy: SchedulerPolicy::CriticalPath,
             pipeline: false,
+            executor: ExecutorKind::Sharded,
         }
     }
 
@@ -554,6 +677,66 @@ mod tests {
         config.pipeline = true;
         let pipelined = run_pipelined_chain(&config);
         assert_eq!(pipelined.final_root, testnet.final_root);
+    }
+
+    #[test]
+    fn stm_and_hybrid_crosschecks_stay_consistent() {
+        // Every block cross-checked on the optimistic and hybrid engines
+        // must match the serial write set, and land on the same root as
+        // the sharded-crosschecked chain.
+        let baseline = run_testnet(&tiny_config(SchedulerKind::Dmvcc));
+        assert!(baseline.roots_consistent);
+        for kind in [ExecutorKind::Stm, ExecutorKind::Hybrid] {
+            let mut config = tiny_config(SchedulerKind::Dmvcc);
+            config.executor = kind;
+            let report = run_testnet(&config);
+            assert!(
+                report.roots_consistent,
+                "{} crosscheck diverged",
+                kind.label()
+            );
+            assert_eq!(report.final_root, baseline.final_root);
+        }
+    }
+
+    #[test]
+    fn stm_and_hybrid_pipelined_chains_match_serial_oracle() {
+        let sharded = {
+            let mut config = tiny_config(SchedulerKind::Dmvcc);
+            config.pipeline = true;
+            run_pipelined_chain(&config)
+        };
+        for kind in [ExecutorKind::Stm, ExecutorKind::Hybrid] {
+            let mut config = tiny_config(SchedulerKind::Dmvcc);
+            config.pipeline = true;
+            config.executor = kind;
+            let report = run_pipelined_chain(&config);
+            assert!(
+                report.roots_consistent,
+                "{} pipelined diverged",
+                kind.label()
+            );
+            assert_eq!(report.final_root, sharded.final_root);
+            // Block-at-a-time engines cannot overlap refine with execute.
+            assert_eq!(report.overlap_seconds, 0.0);
+            if kind == ExecutorKind::Stm {
+                // STM performs no refinement at all.
+                assert_eq!(report.refine_seconds, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn executor_kind_parse_roundtrip() {
+        for kind in [
+            ExecutorKind::Sharded,
+            ExecutorKind::Stm,
+            ExecutorKind::Hybrid,
+        ] {
+            assert_eq!(ExecutorKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(ExecutorKind::parse("optimistic"), None);
+        assert_eq!(ExecutorKind::default(), ExecutorKind::Sharded);
     }
 
     #[test]

@@ -156,10 +156,13 @@ USAGE:
   dmvcc chain [--hot] [--blocks N] [--size M] [--threads T]
               [--scheduler serial|dag|occ|dmvcc] [--interval SECS]
               [--policy fifo|critical-path] [--pipeline]
+              [--executor sharded|stm|hybrid]
       Run the micro testnet and report throughput. --policy picks the
       threaded executor's ready-queue order; --pipeline executes blocks
       on the real executor with C-SAG refinement overlapped one block
-      ahead and reports the refine/execute overlap.
+      ahead and reports the refine/execute overlap; --executor picks the
+      real threaded engine (predictive sharded, optimistic Block-STM, or
+      the hybrid router) behind cross-checks and the pipelined path.
   dmvcc profile [--hot] [--blocks N] [--size M] [--threads T]
                 [--repeat R] [--policy fifo|critical-path] [--pin-cores]
                 [--seed S]

@@ -4,7 +4,7 @@ use dmvcc_analysis::{
     cfg_to_dot, lint_contract, loop_gas_bounds, static_gas_bounds, Analyzer, PSag, Severity,
 };
 use dmvcc_baselines::{simulate_dag, simulate_occ};
-use dmvcc_chain::{run_pipelined_chain, run_testnet, ChainConfig, SchedulerKind};
+use dmvcc_chain::{run_pipelined_chain, run_testnet, ChainConfig, ExecutorKind, SchedulerKind};
 use dmvcc_cli::{contract_by_name, parse_args, ParsedArgs, CONTRACT_NAMES, USAGE};
 use dmvcc_core::{build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig};
 use dmvcc_state::Snapshot;
@@ -278,6 +278,9 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
     let policy_name: String = parsed.get_or("policy", "critical-path".to_string())?;
     let policy = dmvcc_core::SchedulerPolicy::parse(&policy_name)
         .ok_or_else(|| format!("unknown policy `{policy_name}` (fifo | critical-path)"))?;
+    let executor_name: String = parsed.get_or("executor", "sharded".to_string())?;
+    let executor = ExecutorKind::parse(&executor_name)
+        .ok_or_else(|| format!("unknown executor `{executor_name}` (sharded | stm | hybrid)"))?;
     let config = ChainConfig {
         validators: parsed.get_or("validators", 4usize)?,
         block_size: parsed.get_or("size", 500usize)?,
@@ -292,10 +295,12 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
         rebuild_missing_sags: true,
         policy,
         pipeline: parsed.has("pipeline"),
+        executor,
     };
     if config.pipeline {
         let report = run_pipelined_chain(&config);
         println!("policy             : {}", policy.label());
+        println!("executor           : {}", executor.label());
         println!("blocks             : {}", report.blocks);
         println!("transactions       : {}", report.committed_txs);
         println!("refine time        : {:.3}s", report.refine_seconds);
@@ -315,6 +320,7 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
     }
     let report = run_testnet(&config);
     println!("scheduler          : {}", scheduler.label());
+    println!("executor           : {}", executor.label());
     println!("blocks             : {}", report.blocks);
     println!("transactions       : {}", report.committed_txs);
     println!("execution time     : {:.2}s", report.execution_seconds);

@@ -77,6 +77,20 @@ pub trait SchedHook: Send + Sync + std::fmt::Debug {
     /// shard-lock contention.
     fn on_shard_lock(&self, _index: usize) {}
 
+    /// The optimistic (STM) executor resolved a multi-version read for
+    /// `tx` on `key`. `blocked` is `true` when the resolution had to spin
+    /// past an ESTIMATE marker (a lower transaction mid-re-execution).
+    /// Stalling here widens the window in which an optimistic read can
+    /// observe a value that later fails validation.
+    fn on_stm_read(&self, _tx: usize, _key: &StateKey, _blocked: bool) {}
+
+    /// The optimistic (STM) executor validated `tx`'s recorded read set at
+    /// its commit turn (`attempt` counts executions of the transaction so
+    /// far; `ok` is the verdict). Called with the commit lock held — the
+    /// validate/re-execute/commit sequence is atomic with respect to other
+    /// committers, so stalling here serializes the commit tail on purpose.
+    fn on_validate(&self, _tx: usize, _attempt: u32, _ok: bool) {}
+
     /// The release-point gate (Algorithm 2): may `tx` treat the release
     /// point at `pc` as passed with `gas_left` remaining against the
     /// C-SAG's worst-case `bound`? The default is the paper's rule; DST
@@ -135,5 +149,7 @@ mod tests {
         hook.on_abort(0, 0);
         hook.on_commit(0);
         hook.on_shard_lock(3);
+        hook.on_stm_read(0, &key, true);
+        hook.on_validate(0, 1, false);
     }
 }

@@ -18,6 +18,13 @@
 //! - [`GlobalLockParallelExecutor`]: the first-generation executor (one
 //!   global mutex plus condvar broadcasts), kept as a differential-testing
 //!   partner and as the "before" side of the scaling benchmarks.
+//! - [`StmExecutor`]: a Block-STM-style optimistic executor (multi-version
+//!   map over interned keys, optimistic execution, value-based validation
+//!   in serial order) that needs no access predictions at all, plus
+//!   [`HybridExecutor`], which routes well-predicted transactions through
+//!   the sharded predictive engine and strips the predictions of
+//!   speculative/unanalyzable ones so they run optimistically inside the
+//!   same block execution.
 //! - [`SchedHook`]: the observation/perturbation surface both threaded
 //!   executors expose at every scheduling decision point, used by the
 //!   `dmvcc-dst` crate for deterministic schedule fuzzing and fault
@@ -56,6 +63,7 @@ mod hook;
 mod oracle;
 mod parallel;
 mod parallel_global;
+mod parallel_stm;
 mod pipeline;
 mod rank;
 mod sharded;
@@ -72,6 +80,7 @@ pub use hook::{NoopHook, SchedHook};
 pub use oracle::{build_csags, execute_block_serial, BlockTrace, ReadRecord, TxTrace};
 pub use parallel::{ExecutorStats, ParallelConfig, ParallelExecutor, ParallelOutcome};
 pub use parallel_global::GlobalLockParallelExecutor;
+pub use parallel_stm::{HybridExecutor, StmExecutor};
 pub use pipeline::{refine_csags, BlockPipeline, PipelineStats};
 pub use rank::{BlockDag, SchedulerPolicy, TxRank, NUM_LANES};
 pub use sharded::{Shard, ShardedSequences, DEFAULT_SHARDS};

@@ -159,6 +159,17 @@ pub struct ExecutorStats {
     /// every batched key mapping to that shard; `publishes /
     /// publish_batches` is the per-lock amortization).
     pub publish_batches: u64,
+    /// Read-set validations performed at commit turns (optimistic/STM
+    /// executor only; one per committed transaction).
+    pub validations: u64,
+    /// Validations that found a stale read and forced a commit-turn
+    /// re-execution (optimistic/STM executor only).
+    pub validation_failures: u64,
+    /// Transactions executed on the optimistic path: every transaction for
+    /// the STM executor, the routed (speculative-fallback or unanalyzable)
+    /// subset for the hybrid dispatcher, zero for the purely predictive
+    /// executors.
+    pub optimistic_txs: u64,
 }
 
 impl ExecutorStats {
@@ -215,24 +226,24 @@ pub(crate) enum Phase {
 /// `signal` bumps the epoch, so a signal between sampling and sleeping
 /// turns the sleep into a no-op instead of a lost wakeup.
 #[derive(Debug, Default)]
-struct Event {
+pub(crate) struct Event {
     epoch: Mutex<u64>,
     cond: Condvar,
 }
 
 impl Event {
-    fn epoch(&self) -> u64 {
+    pub(crate) fn epoch(&self) -> u64 {
         *self.epoch.lock()
     }
 
-    fn signal(&self) {
+    pub(crate) fn signal(&self) {
         let mut epoch = self.epoch.lock();
         *epoch += 1;
         self.cond.notify_all();
     }
 
     /// Sleeps until the epoch moves past `seen` or the timeout elapses.
-    fn wait_while(&self, seen: u64, timeout: Duration) {
+    pub(crate) fn wait_while(&self, seen: u64, timeout: Duration) {
         let mut epoch = self.epoch.lock();
         if *epoch == seen {
             self.cond.wait_for(&mut epoch, timeout);
@@ -318,6 +329,9 @@ impl AtomicStats {
             alloc_bytes_saved: 0,       // filled from the block arena by the caller
             shard_lock_acquisitions: 0, // filled from ShardedSequences by the caller
             publish_batches: self.publish_batches.load(Ordering::Relaxed),
+            validations: 0,         // STM executor only
+            validation_failures: 0, // likewise
+            optimistic_txs: 0,      // filled by the STM/hybrid dispatchers
         }
     }
 }

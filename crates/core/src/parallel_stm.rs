@@ -1,0 +1,1027 @@
+//! The optimistic (Block-STM-style) threaded executor and the hybrid
+//! predictive/optimistic dispatcher.
+//!
+//! Where [`crate::ParallelExecutor`] *predicts* state accesses (C-SAGs)
+//! and blocks readers on exactly the versions they depend on, this module
+//! assumes nothing: every transaction executes optimistically against a
+//! **multi-version map**, records the values it read, and is validated at
+//! its commit turn against the serial order (the design of Aptos
+//! Block-STM, adapted to this codebase's [`KeyId`] interning and
+//! commutative-add semantics):
+//!
+//! - **Multi-version map** ([`MvMap`]): per-key version lists keyed by the
+//!   block-scoped [`KeyInterner`] ids, sharded by id so disjoint keys
+//!   never contend. A version is a full `Write`, a commutative `Delta`
+//!   (ω̄ — airdrop-style increments merge instead of serializing), or an
+//!   `Estimate` marker while its transaction is being re-executed.
+//! - **Optimistic execution**: workers claim transactions in block order
+//!   from an atomic cursor and run them immediately — no readiness probe,
+//!   no predicted read sets. Reads resolve to the highest version below
+//!   the reader (write plus the deltas above it, or the snapshot plus all
+//!   deltas) and are recorded as `(key, value)` pairs.
+//! - **Lazy validation-ordered commit**: a single commit cursor walks the
+//!   serial order under the commit lock. Each transaction's recorded
+//!   reads are re-resolved; if every value is unchanged the execution is
+//!   equivalent to a serial one and commits as-is. Otherwise its versions
+//!   become `Estimate`s and it re-executes *at its commit turn* — every
+//!   lower transaction is final, so the re-execution is deterministic and
+//!   exactly serial. Each transaction therefore executes at most twice.
+//!
+//! Validation compares **values**, not version identities: a read that
+//! observed the right value through the wrong interleaving commits
+//! without re-execution (the classic OCC argument — a deterministic VM
+//! re-run with identical reads follows the identical path).
+//!
+//! Lock order: commit lock → transaction slot → map shard; the interner
+//! tail mutex is a leaf. Readers blocked on an `Estimate` spin-then-park
+//! on the progress event; the marker's owner is the commit-lock holder,
+//! which is actively re-executing, so the wait is bounded.
+//!
+//! [`HybridExecutor`] composes the two engines the way the paper's
+//! pool-desync discussion suggests: transactions whose C-SAGs bound
+//! symbolically (or loop-summarized) keep their predicted access
+//! sequences and flow through the sharded predictive executor, while
+//! speculative-fallback and unanalyzable transactions have their
+//! predictions stripped to [`CSag::optimistic`] — inside the *same*
+//! sharded execution they run exactly as empty-prediction OCC
+//! transactions (buffered writes, publish at finalize, dynamic insertion
+//! with stale-read aborts as validation), sharing the block's snapshot,
+//! interner, arenas and [`ExecutorStats`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dmvcc_primitives::U256;
+use dmvcc_state::{FxBuildHasher, KeyId, KeyInterner, Snapshot, StateKey, WriteSet};
+use dmvcc_vm::{execute, BlockEnv, ExecParams, ExecStatus, Host, HostError, Transaction, TxKind};
+
+use dmvcc_analysis::{Analyzer, CSag, RefinementTier};
+
+use crate::arena::SmallMap;
+use crate::hook::SchedHook;
+use crate::parallel::{Event, ExecutorStats, ParallelConfig, ParallelExecutor, ParallelOutcome};
+
+/// Shards of the multi-version map. Power of two so the id → shard map is
+/// a mask; comfortably more than the worker count so disjoint keys rarely
+/// share a lock.
+const MV_SHARDS: usize = 64;
+
+/// Backstop for a reader parked on an `Estimate` or an idle worker parked
+/// on the commit tail; both are signaled on every commit, so the timeout
+/// only bounds the cost of a missed wakeup.
+const STM_PARK: Duration = Duration::from_millis(1);
+
+/// Spins (with `yield_now`) before a blocked reader parks on the progress
+/// event — estimate windows are short (the holder is mid-re-execution).
+const ESTIMATE_SPINS: u32 = 16;
+
+/// One version in a key's version list.
+#[derive(Debug, Clone, Copy)]
+enum Cell {
+    /// A full write: readers above see this value plus any deltas between.
+    Write(U256),
+    /// A commutative ω̄ delta: merged into whatever lies below.
+    Delta(U256),
+    /// The owning transaction failed validation and is re-executing at its
+    /// commit turn; readers wait rather than consume a doomed value.
+    Estimate,
+}
+
+/// A version list entry; lists are kept sorted by transaction index.
+#[derive(Debug, Clone, Copy)]
+struct VersionEntry {
+    tx: u32,
+    cell: Cell,
+}
+
+/// What a multi-version read resolved to, before snapshot layering.
+enum Resolution {
+    /// A write below the reader (already merged with the deltas above it).
+    Value(U256),
+    /// No write below the reader: the sum of deltas, to be layered onto
+    /// the snapshot value.
+    BaseDelta(U256),
+    /// The scan hit an `Estimate` — its owner is mid-re-execution.
+    Blocked,
+}
+
+/// The sharded multi-version map. Keys are dense [`KeyId`] indexes; each
+/// shard is an FxHash map from key index to its sorted version list.
+struct MvMap {
+    shards: Vec<Mutex<HashMap<u32, Vec<VersionEntry>, FxBuildHasher>>>,
+}
+
+impl MvMap {
+    fn new() -> MvMap {
+        MvMap {
+            shards: (0..MV_SHARDS)
+                .map(|_| Mutex::new(HashMap::default()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(id: u32) -> usize {
+        id as usize & (MV_SHARDS - 1)
+    }
+
+    /// Resolves `id` for `reader`: the nearest write below it plus the
+    /// deltas between, or the delta sum alone when no write is below.
+    fn read(&self, id: u32, reader: usize) -> Resolution {
+        let shard = self.shards[Self::shard_of(id)].lock();
+        let Some(entries) = shard.get(&id) else {
+            return Resolution::BaseDelta(U256::ZERO);
+        };
+        let mut deltas = U256::ZERO;
+        for entry in entries.iter().rev() {
+            if entry.tx as usize >= reader {
+                continue;
+            }
+            match entry.cell {
+                Cell::Delta(d) => deltas = deltas.wrapping_add(d),
+                Cell::Write(w) => return Resolution::Value(w.wrapping_add(deltas)),
+                Cell::Estimate => return Resolution::Blocked,
+            }
+        }
+        Resolution::BaseDelta(deltas)
+    }
+
+    /// Replaces transaction `tx`'s versions: upserts `entries` (sorted by
+    /// id) and removes its versions of `stale` ids. One lock per involved
+    /// shard.
+    fn publish(&self, tx: usize, entries: &[(KeyId, U256, bool)], stale: &[KeyId]) {
+        enum Op {
+            Upsert(Cell),
+            Remove,
+        }
+        let mut ops: Vec<(u32, Op)> = entries
+            .iter()
+            .map(|&(id, value, delta)| {
+                let cell = if delta {
+                    Cell::Delta(value)
+                } else {
+                    Cell::Write(value)
+                };
+                (id.index() as u32, Op::Upsert(cell))
+            })
+            .chain(stale.iter().map(|id| (id.index() as u32, Op::Remove)))
+            .collect();
+        ops.sort_unstable_by_key(|(id, _)| (Self::shard_of(*id), *id));
+        let mut i = 0;
+        while i < ops.len() {
+            let shard_index = Self::shard_of(ops[i].0);
+            let mut shard = self.shards[shard_index].lock();
+            while i < ops.len() && Self::shard_of(ops[i].0) == shard_index {
+                let (id, ref op) = ops[i];
+                let list = shard.entry(id).or_default();
+                let position = list.binary_search_by_key(&(tx as u32), |e| e.tx);
+                match (op, position) {
+                    (Op::Upsert(cell), Ok(at)) => list[at].cell = *cell,
+                    (Op::Upsert(cell), Err(at)) => list.insert(
+                        at,
+                        VersionEntry {
+                            tx: tx as u32,
+                            cell: *cell,
+                        },
+                    ),
+                    (Op::Remove, Ok(at)) => {
+                        list.remove(at);
+                    }
+                    (Op::Remove, Err(_)) => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Marks every version `tx` has published as an [`Cell::Estimate`], so
+    /// concurrent readers wait for the commit-turn re-execution instead of
+    /// consuming doomed values.
+    fn mark_estimates(&self, tx: usize, published: &[KeyId]) {
+        let mut ids: Vec<u32> = published.iter().map(|id| id.index() as u32).collect();
+        ids.sort_unstable_by_key(|id| (Self::shard_of(*id), *id));
+        let mut i = 0;
+        while i < ids.len() {
+            let shard_index = Self::shard_of(ids[i]);
+            let mut shard = self.shards[shard_index].lock();
+            while i < ids.len() && Self::shard_of(ids[i]) == shard_index {
+                if let Some(list) = shard.get_mut(&ids[i]) {
+                    if let Ok(at) = list.binary_search_by_key(&(tx as u32), |e| e.tx) {
+                        list[at].cell = Cell::Estimate;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+
+    /// Folds every key's version list into the block's final write set:
+    /// the topmost write plus the deltas above it (or the snapshot value
+    /// plus all deltas), skipping keys whose final value equals the
+    /// snapshot — the same rule the serial oracle applies.
+    fn final_writes(&self, interner: &KeyInterner, snapshot: &Snapshot) -> WriteSet {
+        let mut writes = WriteSet::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            for (&id, entries) in shard.iter() {
+                if entries.is_empty() {
+                    continue;
+                }
+                let key = interner.resolve(KeyId::from_index(id as usize));
+                let mut deltas = U256::ZERO;
+                let mut value = None;
+                for entry in entries.iter().rev() {
+                    match entry.cell {
+                        Cell::Delta(d) => deltas = deltas.wrapping_add(d),
+                        Cell::Write(w) => {
+                            value = Some(w.wrapping_add(deltas));
+                            break;
+                        }
+                        Cell::Estimate => {
+                            unreachable!("estimate survived the commit of its transaction")
+                        }
+                    }
+                }
+                let value = value.unwrap_or_else(|| snapshot.get(&key).wrapping_add(deltas));
+                if snapshot.get(&key) != value {
+                    writes.insert(key, value);
+                }
+            }
+        }
+        writes
+    }
+}
+
+/// Per-transaction result slot. `status` turning `Some` is the signal (to
+/// the commit cursor, under the slot lock) that the optimistic execution
+/// finished and its versions are published.
+#[derive(Debug, Default)]
+struct TxSlot {
+    /// Executions so far (1 after the optimistic pass, 2 after a
+    /// commit-turn re-execution).
+    execs: u32,
+    /// Terminal status of the latest execution.
+    status: Option<ExecStatus>,
+    /// External reads `(id, observed value)` of the latest execution, in
+    /// order — the validation set.
+    reads: Vec<(KeyId, U256)>,
+    /// Ids with a live version in the multi-version map.
+    published: Vec<KeyId>,
+}
+
+/// Everything the workers share for one block.
+struct StmShared<'a> {
+    txs: &'a [Transaction],
+    snapshot: &'a Snapshot,
+    block_env: &'a BlockEnv,
+    analyzer: &'a Analyzer,
+    interner: Arc<KeyInterner>,
+    mv: MvMap,
+    slots: Vec<Mutex<TxSlot>>,
+    /// Next transaction to execute optimistically.
+    next_execute: AtomicUsize,
+    /// The commit cursor: next transaction to validate+commit, in serial
+    /// order. Guarded by a mutex so exactly one worker drains the tail.
+    commit_next: Mutex<usize>,
+    /// Transactions committed so far (the termination condition).
+    committed: AtomicUsize,
+    /// Signaled on every execution finish and every commit.
+    progress: Event,
+    hook: Option<&'a Arc<dyn SchedHook>>,
+    attempts: AtomicU64,
+    publishes: AtomicU64,
+    parks: AtomicU64,
+    validations: AtomicU64,
+    validation_failures: AtomicU64,
+    aborts: AtomicU64,
+}
+
+impl StmShared<'_> {
+    /// Resolves the external (non-own) component of a read, waiting out
+    /// `Estimate` markers. The marker's owner is the commit-lock holder
+    /// mid-re-execution, which never waits on this reader — so the spin
+    /// is deadlock-free and short.
+    fn resolve_external(&self, id: KeyId, key: &StateKey, reader: usize) -> U256 {
+        let raw = id.index() as u32;
+        let mut spins = 0u32;
+        loop {
+            let seen = self.progress.epoch();
+            match self.mv.read(raw, reader) {
+                Resolution::Value(value) => {
+                    if let Some(hook) = self.hook {
+                        hook.on_stm_read(reader, key, spins > 0);
+                    }
+                    return value;
+                }
+                Resolution::BaseDelta(deltas) => {
+                    if let Some(hook) = self.hook {
+                        hook.on_stm_read(reader, key, spins > 0);
+                    }
+                    return self.snapshot.get(key).wrapping_add(deltas);
+                }
+                Resolution::Blocked => {
+                    spins += 1;
+                    if spins <= ESTIMATE_SPINS {
+                        std::thread::yield_now();
+                    } else {
+                        if let Some(hook) = self.hook {
+                            hook.on_park(Some(reader));
+                        }
+                        self.parks.fetch_add(1, Ordering::Relaxed);
+                        self.progress.wait_while(seen, STM_PARK);
+                        if let Some(hook) = self.hook {
+                            hook.on_wake(Some(reader));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-resolves `tx`'s recorded reads at its commit turn. Every lower
+    /// transaction is committed, so the resolution is final — equality
+    /// means the optimistic execution already observed the serial values.
+    fn validate(&self, tx: usize, reads: &[(KeyId, U256)]) -> bool {
+        reads.iter().all(|&(id, expected)| {
+            let key = self.interner.resolve(id);
+            self.resolve_external(id, &key, tx) == expected
+        })
+    }
+}
+
+/// Host for one optimistic execution: buffers own writes and ω̄ deltas
+/// (merged on read exactly like the serial oracle's host) and records the
+/// external component of every read for commit-turn validation.
+struct StmHost<'a, 'b> {
+    shared: &'b StmShared<'a>,
+    tx: usize,
+    writes: SmallMap,
+    adds: SmallMap,
+    reads: Vec<(KeyId, U256)>,
+}
+
+impl Host for StmHost<'_, '_> {
+    fn sload(&mut self, key: StateKey) -> Result<U256, HostError> {
+        let id = self.shared.interner.intern(key);
+        // Own buffered write wins (plus own deltas folded on top).
+        if let Some(v) = self.writes.get(id) {
+            let own = self.adds.get(id).unwrap_or(U256::ZERO);
+            return Ok(v.wrapping_add(own));
+        }
+        let external = self.shared.resolve_external(id, &key, self.tx);
+        self.reads.push((id, external));
+        let own = self.adds.get(id).unwrap_or(U256::ZERO);
+        Ok(external.wrapping_add(own))
+    }
+
+    fn sstore(&mut self, key: StateKey, value: U256) -> Result<(), HostError> {
+        let id = self.shared.interner.intern(key);
+        // A full write after own adds folds them in (oracle semantics).
+        self.adds.remove(id);
+        self.writes.insert(id, value);
+        Ok(())
+    }
+
+    fn sadd(&mut self, key: StateKey, delta: U256) -> Result<(), HostError> {
+        let id = self.shared.interner.intern(key);
+        if let Some(v) = self.writes.get_mut(id) {
+            *v = v.wrapping_add(delta);
+        } else {
+            self.adds.add(id, delta);
+        }
+        Ok(())
+    }
+}
+
+/// The result of one optimistic execution.
+struct TxRun {
+    status: ExecStatus,
+    /// The validation read set: every external `(key, value)` observed.
+    reads: Vec<(KeyId, U256)>,
+    /// The versions to publish (empty unless the execution succeeded);
+    /// the `bool` marks commutative deltas.
+    entries: Vec<(KeyId, U256, bool)>,
+}
+
+/// Executes `tx` once against the current multi-version state.
+fn execute_tx(shared: &StmShared<'_>, tx_index: usize) -> TxRun {
+    let tx = &shared.txs[tx_index];
+    let mut host = StmHost {
+        shared,
+        tx: tx_index,
+        writes: SmallMap::new(),
+        adds: SmallMap::new(),
+        reads: Vec::new(),
+    };
+    let status = match tx.kind {
+        TxKind::Transfer => run_transfer(&mut host, tx),
+        TxKind::Call => match shared.analyzer.registry().code(&tx.to()) {
+            Some(code) => {
+                let params = ExecParams {
+                    code: &code,
+                    tx: &tx.env,
+                    block: shared.block_env,
+                    // The optimistic engine never publishes early, so
+                    // release-point callbacks have nothing to gate.
+                    release_points: None,
+                    registry: Some(shared.analyzer.registry()),
+                };
+                execute(&params, &mut host).status
+            }
+            // Unknown contract: trivially succeeds without touching state.
+            None => ExecStatus::Success,
+        },
+    };
+    let entries = if status.is_success() {
+        host.writes
+            .iter()
+            .map(|(id, v)| (id, v, false))
+            .chain(host.adds.iter().map(|(id, v)| (id, v, true)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    TxRun {
+        status,
+        reads: host.reads,
+        entries,
+    }
+}
+
+/// A pure Ether transfer, mirroring the serial oracle's semantics: revert
+/// on insufficient balance, else debit (full write) and credit (ω̄ delta).
+fn run_transfer(host: &mut StmHost<'_, '_>, tx: &Transaction) -> ExecStatus {
+    let from = StateKey::balance(tx.sender());
+    let to = StateKey::balance(tx.to());
+    let balance = host.sload(from).expect("stm host never aborts");
+    if balance < tx.env.value {
+        return ExecStatus::Reverted;
+    }
+    host.sstore(from, balance - tx.env.value)
+        .expect("stm host never aborts");
+    host.sadd(to, tx.env.value).expect("stm host never aborts");
+    ExecStatus::Success
+}
+
+/// Publishes an execution's versions under the slot lock: upserts the new
+/// entries and removes versions the new incarnation no longer produces.
+fn publish(
+    shared: &StmShared<'_>,
+    tx: usize,
+    entries: Vec<(KeyId, U256, bool)>,
+    slot: &mut TxSlot,
+) {
+    let new_ids: Vec<KeyId> = entries.iter().map(|&(id, _, _)| id).collect();
+    // Previously published ids absent from the new incarnation (both lists
+    // are ascending: SmallMap iterates in id order and writes sort before
+    // adds only by id disjointness — merge-diff over sorted sets).
+    let stale: Vec<KeyId> = slot
+        .published
+        .iter()
+        .filter(|id| !new_ids.contains(id))
+        .copied()
+        .collect();
+    if !entries.is_empty() || !stale.is_empty() {
+        shared.mv.publish(tx, &entries, &stale);
+    }
+    shared
+        .publishes
+        .fetch_add(entries.len() as u64, Ordering::Relaxed);
+    if let Some(hook) = shared.hook {
+        for &(id, _, delta) in &entries {
+            hook.on_publish(tx, &shared.interner.resolve(id), delta);
+        }
+    }
+    slot.published = new_ids;
+}
+
+/// Drains the commit tail if the commit lock is free: validate the next
+/// transaction in serial order, re-execute it in place on failure, commit,
+/// advance. Runs until the cursor hits an unexecuted transaction.
+fn try_commit(shared: &StmShared<'_>) {
+    let n = shared.txs.len();
+    let Some(mut next) = shared.commit_next.try_lock() else {
+        return;
+    };
+    while *next < n {
+        let t = *next;
+        let mut slot = shared.slots[t].lock();
+        if slot.status.is_none() {
+            return; // Not yet executed; a later pass resumes here.
+        }
+        let ok = shared.validate(t, &slot.reads);
+        shared.validations.fetch_add(1, Ordering::Relaxed);
+        if let Some(hook) = shared.hook {
+            hook.on_validate(t, slot.execs, ok);
+        }
+        if !ok {
+            shared.validation_failures.fetch_add(1, Ordering::Relaxed);
+            shared.aborts.fetch_add(1, Ordering::Relaxed);
+            if let Some(hook) = shared.hook {
+                hook.on_abort(t, t);
+            }
+            // Doom the stale versions, then re-execute at the commit
+            // turn: everything below is final, so this run is serial.
+            shared.mv.mark_estimates(t, &slot.published);
+            let run = execute_tx(shared, t);
+            shared.attempts.fetch_add(1, Ordering::Relaxed);
+            slot.execs += 1;
+            slot.status = Some(run.status);
+            slot.reads = run.reads;
+            publish(shared, t, run.entries, &mut slot);
+        }
+        if let Some(hook) = shared.hook {
+            hook.on_commit(t);
+        }
+        drop(slot);
+        shared.committed.fetch_add(1, Ordering::Release);
+        *next = t + 1;
+        shared.progress.signal();
+    }
+}
+
+/// One worker: alternate between draining the commit tail and claiming
+/// the next transaction for optimistic execution; park when both are dry.
+fn worker(shared: &StmShared<'_>, index: usize, pin_cores: bool) {
+    if pin_cores {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        crate::affinity::pin_current_thread(index % cores);
+    }
+    let n = shared.txs.len();
+    loop {
+        try_commit(shared);
+        if shared.committed.load(Ordering::Acquire) >= n {
+            return;
+        }
+        let t = shared.next_execute.fetch_add(1, Ordering::Relaxed);
+        if t < n {
+            if let Some(hook) = shared.hook {
+                hook.on_dequeue(t, 1);
+            }
+            let run = execute_tx(shared, t);
+            shared.attempts.fetch_add(1, Ordering::Relaxed);
+            let mut slot = shared.slots[t].lock();
+            publish(shared, t, run.entries, &mut slot);
+            slot.execs = 1;
+            slot.reads = run.reads;
+            // Publish-before-status: the commit cursor only looks at a
+            // slot whose status is set, under the same lock.
+            slot.status = Some(run.status);
+            drop(slot);
+            shared.progress.signal();
+            continue;
+        }
+        // Nothing left to execute: wait for the commit tail to advance.
+        let seen = shared.progress.epoch();
+        if shared.committed.load(Ordering::Acquire) >= n {
+            return;
+        }
+        if let Some(hook) = shared.hook {
+            hook.on_park(None);
+        }
+        shared.parks.fetch_add(1, Ordering::Relaxed);
+        shared.progress.wait_while(seen, STM_PARK);
+        if let Some(hook) = shared.hook {
+            hook.on_wake(None);
+        }
+    }
+}
+
+/// The Block-STM-style optimistic threaded executor.
+///
+/// API-compatible with [`ParallelExecutor`]: `execute_block` /
+/// `execute_block_with_csags` return a [`ParallelOutcome`] whose write
+/// set equals the serial oracle's for any interleaving. Unlike the
+/// predictive executor it needs no C-SAGs — `execute_block` skips
+/// refinement entirely, and `execute_block_with_csags` uses the supplied
+/// predictions only to pre-intern keys (a performance hint; correctness
+/// never depends on them, so fault-perturbed predictions are harmless by
+/// construction).
+pub struct StmExecutor {
+    analyzer: Analyzer,
+    config: ParallelConfig,
+    hook: Option<Arc<dyn SchedHook>>,
+}
+
+impl StmExecutor {
+    /// Creates an optimistic executor. Of [`ParallelConfig`] only
+    /// `threads` and `pin_cores` apply: the engine has no ready-queue
+    /// policy, and its convergence bound (two executions per transaction)
+    /// makes `max_attempts` moot.
+    pub fn new(analyzer: Analyzer, config: ParallelConfig) -> Self {
+        StmExecutor {
+            analyzer,
+            config,
+            hook: None,
+        }
+    }
+
+    /// Installs a scheduler hook (DST observation/perturbation surface).
+    pub fn with_hook(mut self, hook: Arc<dyn SchedHook>) -> Self {
+        self.hook = Some(hook);
+        self
+    }
+
+    /// The analyzer in use (the STM engine only needs its code registry).
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// Executes a block optimistically. No refinement happens — the whole
+    /// point of this engine is running unanalyzable blocks — so only the
+    /// transfers' trivially-known balance keys are pre-interned.
+    pub fn execute_block(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+    ) -> ParallelOutcome {
+        let mut interner = KeyInterner::new();
+        for tx in txs {
+            if tx.kind == TxKind::Transfer {
+                interner.preintern(StateKey::balance(tx.sender()));
+                interner.preintern(StateKey::balance(tx.to()));
+            }
+        }
+        self.run(txs, snapshot, block_env, interner)
+    }
+
+    /// Executes a block optimistically, pre-interning the predicted keys
+    /// of `csags` so most runtime lookups hit the interner's lock-free
+    /// frozen tier. The predictions are *only* an interning hint.
+    pub fn execute_block_with_csags(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+        csags: &[CSag],
+    ) -> ParallelOutcome {
+        assert_eq!(txs.len(), csags.len(), "one C-SAG per transaction");
+        let mut interner = KeyInterner::new();
+        for sag in csags {
+            for key in sag.reads.iter().chain(&sag.writes).chain(&sag.adds) {
+                interner.preintern(*key);
+            }
+        }
+        self.run(txs, snapshot, block_env, interner)
+    }
+
+    fn run(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+        interner: KeyInterner,
+    ) -> ParallelOutcome {
+        if txs.is_empty() {
+            return ParallelOutcome {
+                final_writes: WriteSet::new(),
+                statuses: Vec::new(),
+                aborts: 0,
+                stats: ExecutorStats::default(),
+            };
+        }
+        let shared = StmShared {
+            txs,
+            snapshot,
+            block_env,
+            analyzer: &self.analyzer,
+            interner: Arc::new(interner),
+            mv: MvMap::new(),
+            slots: (0..txs.len())
+                .map(|_| Mutex::new(TxSlot::default()))
+                .collect(),
+            next_execute: AtomicUsize::new(0),
+            commit_next: Mutex::new(0),
+            committed: AtomicUsize::new(0),
+            progress: Event::default(),
+            hook: self.hook.as_ref(),
+            attempts: AtomicU64::new(0),
+            publishes: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            validations: AtomicU64::new(0),
+            validation_failures: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+        };
+        let threads = self.config.threads.clamp(1, txs.len());
+        std::thread::scope(|scope| {
+            for index in 1..threads {
+                let shared = &shared;
+                let pin = self.config.pin_cores;
+                scope.spawn(move || worker(shared, index, pin));
+            }
+            worker(&shared, 0, self.config.pin_cores);
+        });
+        debug_assert_eq!(shared.committed.load(Ordering::Acquire), txs.len());
+
+        let final_writes = shared.mv.final_writes(&shared.interner, snapshot);
+        let statuses: Vec<ExecStatus> = shared
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .status
+                    .clone()
+                    .expect("every transaction committed")
+            })
+            .collect();
+        let stats = ExecutorStats {
+            attempts: shared.attempts.load(Ordering::Relaxed),
+            publishes: shared.publishes.load(Ordering::Relaxed),
+            parks: shared.parks.load(Ordering::Relaxed),
+            validations: shared.validations.load(Ordering::Relaxed),
+            validation_failures: shared.validation_failures.load(Ordering::Relaxed),
+            optimistic_txs: txs.len() as u64,
+            ..ExecutorStats::default()
+        };
+        ParallelOutcome {
+            final_writes,
+            statuses,
+            aborts: shared.aborts.load(Ordering::Relaxed),
+            stats,
+        }
+    }
+}
+
+/// The hybrid predictive/optimistic dispatcher.
+///
+/// Routing rule: transactions whose C-SAGs refined to
+/// [`RefinementTier::Symbolic`], [`RefinementTier::LoopSummarized`] or
+/// [`RefinementTier::Exact`] keep their predicted access sequences;
+/// [`RefinementTier::Speculative`] fallbacks and
+/// [`RefinementTier::Optimistic`] (unanalyzable) transactions have their
+/// predictions stripped to [`CSag::optimistic`]. The whole block then
+/// runs on the *one* sharded predictive executor — stripped transactions
+/// execute exactly as empty-prediction OCC transactions there (buffered
+/// writes published at finalize; dynamic insertion plus stale-read abort
+/// cascades play the role of optimistic validation), so both populations
+/// share the block's snapshot, interner, arenas and [`ExecutorStats`].
+pub struct HybridExecutor {
+    inner: ParallelExecutor,
+}
+
+impl HybridExecutor {
+    /// Creates a hybrid dispatcher over a sharded predictive executor.
+    pub fn new(analyzer: Analyzer, config: ParallelConfig) -> Self {
+        HybridExecutor {
+            inner: ParallelExecutor::new(analyzer, config),
+        }
+    }
+
+    /// Installs a scheduler hook on the underlying sharded executor.
+    pub fn with_hook(mut self, hook: Arc<dyn SchedHook>) -> Self {
+        self.inner = self.inner.with_hook(hook);
+        self
+    }
+
+    /// The analyzer in use.
+    pub fn analyzer(&self) -> &Analyzer {
+        self.inner.analyzer()
+    }
+
+    /// The executor's configuration.
+    pub fn config(&self) -> &ParallelConfig {
+        self.inner.config()
+    }
+
+    /// Applies the routing rule in place: predictions of
+    /// speculative-fallback and unanalyzable transactions are replaced with
+    /// [`CSag::optimistic`]; the well-analyzed tiers are left untouched (no
+    /// clone — routing must not tax the analyzable path). Returns how many
+    /// transactions were sent optimistic.
+    pub fn route_csags(csags: &mut [CSag]) -> u64 {
+        let mut optimistic = 0u64;
+        for sag in csags.iter_mut() {
+            if matches!(
+                sag.tier,
+                RefinementTier::Speculative | RefinementTier::Optimistic
+            ) {
+                optimistic += 1;
+                *sag = CSag::optimistic();
+            }
+        }
+        optimistic
+    }
+
+    /// Refines the block's C-SAGs, routes them in place, and executes.
+    pub fn execute_block(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+    ) -> ParallelOutcome {
+        let refine_start = std::time::Instant::now();
+        let mut csags = crate::pipeline::refine_csags(
+            self.inner.analyzer(),
+            txs,
+            snapshot,
+            block_env,
+            self.inner.config().threads,
+        );
+        let refine_nanos = refine_start.elapsed().as_nanos() as u64;
+        let optimistic = Self::route_csags(&mut csags);
+        let mut outcome = self
+            .inner
+            .execute_block_with_csags(txs, snapshot, block_env, &csags);
+        outcome.stats.refine_nanos = refine_nanos;
+        outcome.stats.optimistic_txs = optimistic;
+        outcome
+    }
+
+    /// Routes pre-refined C-SAGs and executes the block on the sharded
+    /// predictive executor. The input slice is borrowed, so routing clones
+    /// it only when at least one transaction actually needs stripping.
+    pub fn execute_block_with_csags(
+        &self,
+        txs: &[Transaction],
+        snapshot: &Snapshot,
+        block_env: &BlockEnv,
+        csags: &[CSag],
+    ) -> ParallelOutcome {
+        let needs_routing = csags.iter().any(|sag| {
+            matches!(
+                sag.tier,
+                RefinementTier::Speculative | RefinementTier::Optimistic
+            )
+        });
+        let (mut outcome, optimistic) = if needs_routing {
+            let mut routed = csags.to_vec();
+            let optimistic = Self::route_csags(&mut routed);
+            let outcome = self
+                .inner
+                .execute_block_with_csags(txs, snapshot, block_env, &routed);
+            (outcome, optimistic)
+        } else {
+            let outcome = self
+                .inner
+                .execute_block_with_csags(txs, snapshot, block_env, csags);
+            (outcome, 0)
+        };
+        outcome.stats.optimistic_txs = optimistic;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::execute_block_serial;
+    use dmvcc_primitives::Address;
+    use dmvcc_vm::CodeRegistry;
+
+    fn transfer(from: u64, to: u64, value: u64) -> Transaction {
+        Transaction::transfer(
+            Address::from_u64(from),
+            Address::from_u64(to),
+            U256::from(value),
+        )
+    }
+
+    fn genesis(accounts: u64, balance: u64) -> Snapshot {
+        Snapshot::from_entries(
+            (1..=accounts).map(|i| (StateKey::balance(Address::from_u64(i)), U256::from(balance))),
+        )
+    }
+
+    fn check_against_serial(txs: &[Transaction], snapshot: &Snapshot, threads: usize) {
+        let analyzer = Analyzer::new(CodeRegistry::default());
+        let env = BlockEnv::default();
+        let trace = execute_block_serial(txs, snapshot, &analyzer, &env);
+        let config = ParallelConfig {
+            threads,
+            ..ParallelConfig::default()
+        };
+        let stm = StmExecutor::new(analyzer.clone(), config);
+        let outcome = stm.execute_block(txs, snapshot, &env);
+        assert_eq!(outcome.final_writes, trace.final_writes);
+        let statuses: Vec<ExecStatus> = trace.txs.iter().map(|t| t.status.clone()).collect();
+        assert_eq!(outcome.statuses, statuses);
+        assert_eq!(outcome.stats.validations, txs.len() as u64);
+        assert_eq!(outcome.stats.optimistic_txs, txs.len() as u64);
+        assert_eq!(
+            outcome.stats.attempts,
+            txs.len() as u64 + outcome.stats.validation_failures
+        );
+
+        let hybrid = HybridExecutor::new(analyzer, config);
+        let houtcome = hybrid.execute_block(txs, snapshot, &env);
+        assert_eq!(houtcome.final_writes, trace.final_writes);
+        assert_eq!(houtcome.statuses, statuses);
+    }
+
+    #[test]
+    fn dependent_transfer_chain_matches_serial() {
+        // 1 → 2 → 3 → … : every transfer depends on the previous credit.
+        let txs: Vec<Transaction> = (1..=12).map(|i| transfer(i, i + 1, 80 + i)).collect();
+        let snapshot = genesis(13, 100);
+        for threads in [1, 4] {
+            check_against_serial(&txs, &snapshot, threads);
+        }
+    }
+
+    #[test]
+    fn airdrop_style_credits_merge_as_deltas() {
+        // Many senders credit one hot account: ω̄ deltas must merge, and
+        // every validation must pass (nobody reads the hot balance).
+        let txs: Vec<Transaction> = (1..=16).map(|i| transfer(i, 99, 5)).collect();
+        let snapshot = genesis(99, 50);
+        let analyzer = Analyzer::new(CodeRegistry::default());
+        let env = BlockEnv::default();
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &env);
+        let stm = StmExecutor::new(
+            analyzer,
+            ParallelConfig {
+                threads: 4,
+                ..ParallelConfig::default()
+            },
+        );
+        let outcome = stm.execute_block(&txs, &snapshot, &env);
+        assert_eq!(outcome.final_writes, trace.final_writes);
+        // Credits commute: no sender reads another's balance, so the
+        // optimistic pass is conflict-free.
+        assert_eq!(outcome.stats.validation_failures, 0);
+        assert_eq!(outcome.aborts, 0);
+    }
+
+    #[test]
+    fn insufficient_balance_reverts_match_serial() {
+        // Reverting transfers publish nothing; their statuses still match.
+        let txs = vec![
+            transfer(1, 2, 100), // drains 1
+            transfer(1, 3, 1),   // now underfunded → reverted
+            transfer(2, 3, 150), // funded only by tx0's credit
+        ];
+        let snapshot = genesis(3, 100);
+        for threads in [1, 2, 4] {
+            check_against_serial(&txs, &snapshot, threads);
+        }
+    }
+
+    #[test]
+    fn unknown_contract_calls_succeed_without_state() {
+        let mut txs = vec![transfer(1, 2, 10)];
+        txs.push(Transaction::call(dmvcc_vm::TxEnv::call(
+            Address::from_u64(1),
+            Address::from_u64(7777),
+            vec![1, 2, 3],
+        )));
+        let snapshot = genesis(2, 100);
+        check_against_serial(&txs, &snapshot, 2);
+    }
+
+    #[test]
+    fn hybrid_routes_unanalyzable_and_speculative_txs() {
+        let txs = vec![
+            transfer(1, 2, 10),
+            transfer(2, 3, 10).unanalyzable(),
+            transfer(3, 4, 10),
+        ];
+        let snapshot = genesis(4, 100);
+        let analyzer = Analyzer::new(CodeRegistry::default());
+        let env = BlockEnv::default();
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &env);
+        let hybrid = HybridExecutor::new(
+            analyzer,
+            ParallelConfig {
+                threads: 2,
+                ..ParallelConfig::default()
+            },
+        );
+        let outcome = hybrid.execute_block(&txs, &snapshot, &env);
+        assert_eq!(outcome.final_writes, trace.final_writes);
+        assert_eq!(outcome.stats.optimistic_txs, 1);
+
+        // The routing helper itself: speculative and optimistic tiers are
+        // stripped, the others pass through untouched.
+        let mut speculative = CSag::for_transfer(Address::from_u64(1), Address::from_u64(2));
+        speculative.tier = RefinementTier::Speculative;
+        let exact = CSag::for_transfer(Address::from_u64(3), Address::from_u64(4));
+        let mut routed = vec![speculative, CSag::optimistic(), exact.clone()];
+        let optimistic = HybridExecutor::route_csags(&mut routed);
+        assert_eq!(optimistic, 2);
+        assert!(routed[0].reads.is_empty() && routed[0].writes.is_empty());
+        assert_eq!(routed[0].tier, RefinementTier::Optimistic);
+        assert_eq!(routed[2].reads, exact.reads);
+    }
+
+    #[test]
+    fn empty_block_is_a_no_op() {
+        let analyzer = Analyzer::new(CodeRegistry::default());
+        let stm = StmExecutor::new(analyzer, ParallelConfig::default());
+        let outcome = stm.execute_block(&[], &Snapshot::default(), &BlockEnv::default());
+        assert!(outcome.final_writes.is_empty());
+        assert!(outcome.statuses.is_empty());
+        assert_eq!(outcome.stats, ExecutorStats::default());
+    }
+}

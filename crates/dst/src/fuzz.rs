@@ -22,10 +22,11 @@ use std::time::{Duration, Instant};
 use dmvcc_analysis::{AnalysisConfig, Analyzer, RefinementMode};
 use dmvcc_core::{
     build_csags, execute_block_serial, simulate_dmvcc, BlockTrace, DmvccConfig,
-    GlobalLockParallelExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome, SchedulerPolicy,
+    GlobalLockParallelExecutor, HybridExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome,
+    SchedulerPolicy, StmExecutor,
 };
 use dmvcc_state::{Snapshot, StateDb, WriteSet};
-use dmvcc_vm::BlockEnv;
+use dmvcc_vm::{BlockEnv, Transaction};
 use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
 
 use crate::faults::{FaultPlan, Mutation};
@@ -86,6 +87,44 @@ impl Profile {
     }
 }
 
+/// Which engine a fuzz case exercises against the serial oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineUnderTest {
+    /// The original differential pair: the sharded predictive executor and
+    /// the global-lock executor, both on the same perturbed C-SAGs.
+    #[default]
+    Pair,
+    /// The Block-STM-style optimistic executor (the perturbed C-SAGs are
+    /// passed as an interning hint, which must never affect correctness).
+    Stm,
+    /// The hybrid dispatcher: well-predicted transactions stay predictive,
+    /// speculative/unanalyzable ones are stripped to optimistic C-SAGs. A
+    /// seeded quarter of the block is marked unanalyzable to keep both
+    /// populations busy.
+    Hybrid,
+}
+
+impl EngineUnderTest {
+    /// Parses the CLI spelling of an engine.
+    pub fn parse(name: &str) -> Option<EngineUnderTest> {
+        match name {
+            "pair" => Some(EngineUnderTest::Pair),
+            "stm" => Some(EngineUnderTest::Stm),
+            "hybrid" => Some(EngineUnderTest::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (inverse of [`Self::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineUnderTest::Pair => "pair",
+            EngineUnderTest::Stm => "stm",
+            EngineUnderTest::Hybrid => "hybrid",
+        }
+    }
+}
+
 /// One fuzz campaign's fixed parameters (the seed varies per case).
 #[derive(Debug, Clone)]
 pub struct FuzzConfig {
@@ -124,6 +163,8 @@ pub struct FuzzConfig {
     /// Pin the sharded executor's workers to cores (exercises the
     /// `ParallelConfig::pin_cores` path under schedule fuzzing).
     pub pin_cores: bool,
+    /// Which engine the campaign exercises (see [`EngineUnderTest`]).
+    pub engine: EngineUnderTest,
 }
 
 impl Default for FuzzConfig {
@@ -142,6 +183,7 @@ impl Default for FuzzConfig {
             refinement: RefinementMode::TwoTier,
             scheduler: SchedulerPolicy::CriticalPath,
             pin_cores: false,
+            engine: EngineUnderTest::Pair,
         }
     }
 }
@@ -187,6 +229,9 @@ pub struct Divergence {
     /// Ready-queue policy of the diverging run (part of the replay
     /// command — schedule-dependent bugs often reproduce under only one).
     pub policy: &'static str,
+    /// Engine axis of the diverging campaign (`pair`, `stm`, `hybrid`);
+    /// non-default engines are part of the replay command.
+    pub engine: &'static str,
     /// Sorted, deterministic description of the disagreement.
     pub details: Vec<String>,
 }
@@ -206,7 +251,11 @@ impl fmt::Display for Divergence {
             "replay: cargo run -p dmvcc-dst -- replay --seed {} --size {} --threads {} \
              --scheduler {}",
             self.seed, self.size, self.threads, self.policy
-        )
+        )?;
+        if self.engine != "pair" {
+            write!(f, " --executor {}", self.engine)?;
+        }
+        Ok(())
     }
 }
 
@@ -275,8 +324,26 @@ fn check_outcome(
         threads: config.threads,
         executor,
         policy: config.scheduler.label(),
+        engine: config.engine.label(),
         details,
     })
+}
+
+/// Seeded unanalyzable marking for the STM/hybrid campaigns: roughly a
+/// quarter of the block loses its predictions entirely, deterministically
+/// in `(seed, index)` (splitmix64 finalizer, decorrelated from the
+/// scheduler and fault streams).
+fn mark_unanalyzable(txs: &mut [Transaction], seed: u64) {
+    for (i, tx) in txs.iter_mut().enumerate() {
+        let mut x = (seed ^ 0x0B5C_0B5C_0B5C_0B5C)
+            .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        if x.is_multiple_of(4) {
+            tx.analyzable = false;
+        }
+    }
 }
 
 /// Runs one fuzz case end to end; `None` means every executor agreed with
@@ -320,6 +387,12 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
         // including the oracle.
         trace = execute_block_serial(&txs, &live, &analyzer, &env);
     }
+    if config.engine != EngineUnderTest::Pair {
+        // The optimistic campaigns fuzz the pool-desync scenario: a seeded
+        // quarter of the block carries no predictions at all. The flag is
+        // scheduling metadata only — the serial oracle is unaffected.
+        mark_unanalyzable(&mut txs, seed);
+    }
     let mut csags = build_csags(&txs, &prediction_snapshot, &analyzer, &env);
     plan.perturb_csags(&mut csags);
 
@@ -330,18 +403,42 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
         pin_cores: config.pin_cores,
     };
 
-    let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
-    let sharded = ParallelExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
-    let outcome = sharded.execute_block_with_csags(&txs, &live, &env, &csags);
-    if let Some(divergence) = check_outcome("sharded", seed, config, &trace, &outcome) {
-        return Some(divergence);
-    }
+    match config.engine {
+        EngineUnderTest::Pair => {
+            let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
+            let sharded = ParallelExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
+            let outcome = sharded.execute_block_with_csags(&txs, &live, &env, &csags);
+            if let Some(divergence) = check_outcome("sharded", seed, config, &trace, &outcome) {
+                return Some(divergence);
+            }
 
-    let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
-    let global = GlobalLockParallelExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
-    let outcome = global.execute_block_with_csags(&txs, &live, &env, &csags);
-    if let Some(divergence) = check_outcome("global-lock", seed, config, &trace, &outcome) {
-        return Some(divergence);
+            let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
+            let global =
+                GlobalLockParallelExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
+            let outcome = global.execute_block_with_csags(&txs, &live, &env, &csags);
+            if let Some(divergence) = check_outcome("global-lock", seed, config, &trace, &outcome) {
+                return Some(divergence);
+            }
+        }
+        EngineUnderTest::Stm => {
+            // The perturbed predictions ride along as an interning hint:
+            // the engine's correctness must be independent of them, so the
+            // fault plan's mispredictions exercise exactly that claim.
+            let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
+            let stm = StmExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
+            let outcome = stm.execute_block_with_csags(&txs, &live, &env, &csags);
+            if let Some(divergence) = check_outcome("stm", seed, config, &trace, &outcome) {
+                return Some(divergence);
+            }
+        }
+        EngineUnderTest::Hybrid => {
+            let hook = Arc::new(VirtualScheduler::new(config.sched_config(seed)));
+            let hybrid = HybridExecutor::new(analyzer.clone(), parallel_config).with_hook(hook);
+            let outcome = hybrid.execute_block_with_csags(&txs, &live, &env, &csags);
+            if let Some(divergence) = check_outcome("hybrid", seed, config, &trace, &outcome) {
+                return Some(divergence);
+            }
+        }
     }
 
     if config.check_simulator {
@@ -374,6 +471,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
                 threads: config.threads,
                 executor: "simulator",
                 policy: config.scheduler.label(),
+                engine: config.engine.label(),
                 details,
             });
         }
@@ -497,13 +595,75 @@ mod tests {
             threads: 4,
             executor: "sharded",
             policy: "critical-path",
+            engine: "pair",
             details: vec!["missing k: serial=1".into()],
         };
         let text = format!("{divergence}");
         assert!(text.contains("seed=9"));
         assert!(text.contains("replay: cargo run -p dmvcc-dst -- replay --seed 9 --size 12"));
         assert!(text.contains("--scheduler critical-path"));
+        assert!(!text.contains("--executor"));
         assert_eq!(text, format!("{divergence}"));
+
+        let stm = Divergence {
+            engine: "stm",
+            executor: "stm",
+            ..divergence
+        };
+        assert!(format!("{stm}").ends_with("--executor stm"));
+    }
+
+    #[test]
+    fn stm_seeds_agree_under_storm() {
+        let config = FuzzConfig {
+            size: 40,
+            engine: EngineUnderTest::Stm,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..4 {
+            let result = run_seed(seed, &config);
+            assert!(result.is_none(), "stm seed {seed} diverged: {:?}", result);
+        }
+    }
+
+    #[test]
+    fn hybrid_seeds_agree_under_storm() {
+        let config = FuzzConfig {
+            size: 40,
+            engine: EngineUnderTest::Hybrid,
+            ..FuzzConfig::default()
+        };
+        for seed in 0..4 {
+            let result = run_seed(seed, &config);
+            assert!(
+                result.is_none(),
+                "hybrid seed {seed} diverged: {:?}",
+                result
+            );
+        }
+    }
+
+    #[test]
+    fn unanalyzable_marking_is_deterministic_and_partial() {
+        let mut a: Vec<Transaction> = (1..=32)
+            .map(|i| {
+                Transaction::transfer(
+                    dmvcc_primitives::Address::from_u64(i),
+                    dmvcc_primitives::Address::from_u64(i + 1),
+                    dmvcc_primitives::U256::ONE,
+                )
+            })
+            .collect();
+        let mut b = a.clone();
+        mark_unanalyzable(&mut a, 7);
+        mark_unanalyzable(&mut b, 7);
+        assert_eq!(a, b);
+        let marked = a.iter().filter(|t| !t.analyzable).count();
+        assert!(
+            marked > 0 && marked < a.len(),
+            "marked {marked} of {}",
+            a.len()
+        );
     }
 
     #[test]

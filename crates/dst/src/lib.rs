@@ -31,5 +31,7 @@ pub mod fuzz;
 mod sched;
 
 pub use faults::{FaultPlan, Mutation};
-pub use fuzz::{fuzz, run_seed, shrink, Divergence, FuzzConfig, FuzzOutcome, Profile};
+pub use fuzz::{
+    fuzz, run_seed, shrink, Divergence, EngineUnderTest, FuzzConfig, FuzzOutcome, Profile,
+};
 pub use sched::{SchedConfig, SchedStats, VirtualScheduler};

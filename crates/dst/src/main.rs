@@ -5,11 +5,13 @@
 //!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path] [--pin-cores]
+//!                  [--executor pair|stm|hybrid]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
 //!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path] [--pin-cores]
+//!                  [--executor pair|stm|hybrid]
 //! ```
 //!
 //! `fuzz` runs a seed campaign and exits non-zero on the first divergence,
@@ -20,7 +22,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dmvcc_dst::{fuzz, run_seed, FuzzConfig, Mutation, Profile};
+use dmvcc_dst::{fuzz, run_seed, EngineUnderTest, FuzzConfig, Mutation, Profile};
 
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
@@ -28,11 +30,13 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
+    eprintln!("                        [--executor pair|stm|hybrid]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
+    eprintln!("                        [--executor pair|stm|hybrid]");
     eprintln!("mutations: none, skip-release-gas-bound");
     ExitCode::from(2)
 }
@@ -99,6 +103,11 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                     .map_err(|e| format!("{e}"))?;
                 args.budget = Some(Duration::from_secs(secs));
             }
+            "--executor" => {
+                let name = value("--executor")?;
+                args.config.engine = EngineUnderTest::parse(&name)
+                    .ok_or_else(|| format!("unknown executor {name}"))?;
+            }
             "--pin-cores" => args.config.pin_cores = true,
             "--quiet" => args.config.quiet = true,
             other => return Err(format!("unknown flag {other}")),
@@ -117,13 +126,15 @@ fn main() -> ExitCode {
     match command.as_str() {
         "fuzz" => {
             println!(
-                "fuzzing {} seeds from {} (size={}, threads={}, mutation={:?}, scheduler={})",
+                "fuzzing {} seeds from {} (size={}, threads={}, mutation={:?}, scheduler={}, \
+                 executor={})",
                 args.seeds,
                 args.start,
                 args.config.size,
                 args.config.threads,
                 args.config.mutation,
-                args.config.scheduler.label()
+                args.config.scheduler.label(),
+                args.config.engine.label()
             );
             let outcome = fuzz(args.start, args.seeds, &args.config, args.budget, |done| {
                 if done % 50 == 0 {

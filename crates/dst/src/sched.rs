@@ -30,6 +30,8 @@ const SITE_PUBLISH: u64 = 0xD2;
 const SITE_SHARD: u64 = 0xD3;
 const SITE_INJECT: u64 = 0xD4;
 const SITE_RELEASE: u64 = 0xD5;
+const SITE_VALIDATE: u64 = 0xD6;
+const SITE_STM_READ: u64 = 0xD7;
 
 /// Knobs of the virtual scheduler. All probabilities are in parts per
 /// million of the corresponding decision stream.
@@ -115,6 +117,14 @@ pub struct SchedStats {
     pub injected_aborts: AtomicU64,
     /// Release gates forced open.
     pub forced_releases: AtomicU64,
+    /// Multi-version reads observed (STM executor only).
+    pub stm_reads: AtomicU64,
+    /// Multi-version reads that spun past an ESTIMATE marker.
+    pub stm_blocked_reads: AtomicU64,
+    /// Commit-turn validations observed (STM executor only).
+    pub validations: AtomicU64,
+    /// Validations that failed and forced a re-execution.
+    pub failed_validations: AtomicU64,
 }
 
 /// The seeded scheduler. Install with
@@ -219,6 +229,46 @@ impl SchedHook for VirtualScheduler {
         // documented way to force shard-lock contention.
         if self.roll(SITE_SHARD, index as u64, 0, self.config.shard_stall_ppm) {
             self.stall(self.mix(SITE_SHARD, index as u64, 1));
+        }
+    }
+
+    fn on_stm_read(&self, tx: usize, key: &StateKey, blocked: bool) {
+        self.stats.stm_reads.fetch_add(1, Ordering::Relaxed);
+        if blocked {
+            self.stats.stm_blocked_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        // Reuse the delayed-publish probability: stalling a resolved read
+        // widens the window in which the observed value goes stale before
+        // validation — the STM analogue of a delayed publish.
+        let coord = key_coord(key);
+        if self.roll(
+            SITE_STM_READ,
+            tx as u64,
+            coord,
+            self.config.delay_publish_ppm,
+        ) {
+            self.stall(self.mix(SITE_STM_READ, tx as u64, coord));
+        }
+    }
+
+    fn on_validate(&self, tx: usize, attempt: u32, ok: bool) {
+        self.stats.validations.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.stats
+                .failed_validations
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        // Reuse the preemption probability: this stall runs with the commit
+        // lock held, serializing the commit tail while optimistic workers
+        // race ahead — the schedule corner where stale reads accumulate.
+        if self.roll(
+            SITE_VALIDATE,
+            tx as u64,
+            u64::from(attempt),
+            self.config.preempt_ppm,
+        ) {
+            self.stats.preemptions.fetch_add(1, Ordering::Relaxed);
+            self.stall(self.mix(SITE_VALIDATE, tx as u64, u64::from(attempt)));
         }
     }
 

@@ -22,6 +22,7 @@ fn config(scheduler: SchedulerKind) -> ChainConfig {
         rebuild_missing_sags: true,
         policy: dmvcc_core::SchedulerPolicy::CriticalPath,
         pipeline: false,
+        executor: dmvcc_chain::ExecutorKind::Sharded,
     }
 }
 

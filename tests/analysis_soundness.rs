@@ -236,7 +236,8 @@ fn symbolic_tier_binds_most_realistic_transactions() {
             RefinementTier::Symbolic => symbolic += 1,
             RefinementTier::LoopSummarized => loop_summarized += 1,
             RefinementTier::Speculative => speculative += 1,
-            RefinementTier::Exact => {}
+            // Analyzable transactions never land on the withheld tier.
+            RefinementTier::Exact | RefinementTier::Optimistic => {}
         }
     }
     let bound = symbolic + loop_summarized;

@@ -29,6 +29,7 @@ fn config(scheduler: SchedulerKind, seed: u64) -> ChainConfig {
         rebuild_missing_sags: true,
         policy: dmvcc_core::SchedulerPolicy::CriticalPath,
         pipeline: false,
+        executor: dmvcc_chain::ExecutorKind::Sharded,
     }
 }
 

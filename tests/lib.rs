@@ -138,6 +138,27 @@ pub fn decode_tx(choice: u8, selector: u8, caller: u8, a: u8, b: u8) -> Transact
     }
 }
 
+/// [`decode_tx`] with a sixth generated byte controlling *analyzability*:
+/// roughly a quarter of the tuple space marks the transaction
+/// unanalyzable, so property tests exercise blocks where the analyzer must
+/// withhold predictions entirely (the hybrid executor's optimistic
+/// population) while the rest stay predictive.
+pub fn decode_tx_opaque(
+    choice: u8,
+    selector: u8,
+    caller: u8,
+    a: u8,
+    b: u8,
+    opaque: u8,
+) -> Transaction {
+    let tx = decode_tx(choice, selector, caller, a, b);
+    if opaque.is_multiple_of(4) {
+        tx.unanalyzable()
+    } else {
+        tx
+    }
+}
+
 /// Genesis entries funding the fixture accounts and pools.
 pub fn genesis() -> Vec<(dmvcc_state::StateKey, U256)> {
     use dmvcc_state::StateKey;

@@ -7,8 +7,8 @@ use std::sync::Arc;
 
 use dmvcc_analysis::{AnalysisConfig, Analyzer};
 use dmvcc_core::{
-    build_csags, execute_block_serial, GlobalLockParallelExecutor, ParallelConfig,
-    ParallelExecutor, SchedulerPolicy,
+    build_csags, execute_block_serial, GlobalLockParallelExecutor, HybridExecutor, ParallelConfig,
+    ParallelExecutor, SchedulerPolicy, StmExecutor,
 };
 use dmvcc_dst::{FaultPlan, SchedConfig, VirtualScheduler};
 use dmvcc_state::{Snapshot, StateDb};
@@ -105,6 +105,128 @@ fn hot_chain_eight_threads_lossy_analysis() {
     // Same, with a fifth of the keys hidden from the analyzer so dynamic
     // insertions and cascading aborts are exercised under oversubscription.
     run_chain(small(WorkloadConfig::high_contention(26)), 2, 120, 0.2, 8);
+}
+
+#[test]
+fn stm_hot_chain_eight_threads_matches_serial_roots() {
+    // The optimistic executor on oversubscribed high-contention blocks:
+    // no predictions, pure optimism, validation-ordered commit — the MPT
+    // root chain must match serial block for block.
+    let mut generator = WorkloadGenerator::new(small(WorkloadConfig::high_contention(28)));
+    let analyzer = Analyzer::new(generator.registry().clone());
+    let executor = StmExecutor::new(
+        analyzer.clone(),
+        ParallelConfig {
+            threads: 8,
+            max_attempts: 64,
+            scheduler: SchedulerPolicy::CriticalPath,
+            pin_cores: false,
+        },
+    );
+    let mut serial_db = StateDb::with_genesis(generator.genesis_entries());
+    let mut parallel_db = serial_db.clone();
+    for height in 1..=3u64 {
+        let txs = generator.block(150);
+        let env = BlockEnv::new(height, 1_700_000_000 + height * 12);
+        let snapshot = serial_db.latest().clone();
+        let trace = execute_block_serial(&txs, &snapshot, &analyzer, &env);
+        let outcome = executor.execute_block(&txs, &snapshot, &env);
+        let serial_root = serial_db.commit(&trace.final_writes);
+        let parallel_root = parallel_db.commit(&outcome.final_writes);
+        assert_eq!(
+            serial_root, parallel_root,
+            "stm root mismatch at block {height}"
+        );
+        // Convergence bound: each transaction runs at most twice.
+        assert!(
+            outcome.stats.attempts <= 2 * txs.len() as u64,
+            "stm executed more than twice per transaction"
+        );
+    }
+}
+
+#[test]
+fn hybrid_all_unanalyzable_eight_threads_under_storm() {
+    // Every transaction lint-flagged as unanalyzable: the hybrid executor
+    // degenerates to a fully optimistic run (all predictions stripped),
+    // on eight oversubscribed workers, under the stormy virtual scheduler
+    // AND a fault plan grafting phantom/dropped keys onto the (already
+    // withheld) predictions — the serial oracle must still be matched key
+    // for key and status for status.
+    let mut generator = WorkloadGenerator::new(small(WorkloadConfig::high_contention(29)));
+    let analyzer = Analyzer::with_config(
+        generator.registry().clone(),
+        AnalysisConfig {
+            hide_fraction: 0.15,
+            seed: 29,
+            ..Default::default()
+        },
+    );
+    let genesis = Snapshot::from_entries(generator.genesis_entries());
+    let env = BlockEnv::new(1, 1_700_000_000);
+    let txs: Vec<_> = generator
+        .block(120)
+        .into_iter()
+        .map(|tx| tx.unanalyzable())
+        .collect();
+    let trace = execute_block_serial(&txs, &genesis, &analyzer, &env);
+    let serial_statuses: Vec<_> = trace.txs.iter().map(|t| t.status.clone()).collect();
+    let mut csags = build_csags(&txs, &genesis, &analyzer, &env);
+    FaultPlan::standard(0xD58).perturb_csags(&mut csags);
+
+    for policy in [SchedulerPolicy::Fifo, SchedulerPolicy::CriticalPath] {
+        let hybrid = HybridExecutor::new(
+            analyzer.clone(),
+            ParallelConfig {
+                threads: 8,
+                max_attempts: 64,
+                scheduler: policy,
+                pin_cores: false,
+            },
+        )
+        .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(29))));
+        let outcome = hybrid.execute_block_with_csags(&txs, &genesis, &env, &csags);
+        assert_eq!(
+            outcome.final_writes,
+            trace.final_writes,
+            "all-unanalyzable hybrid diverged from serial ({})",
+            policy.label()
+        );
+        assert_eq!(
+            outcome.statuses,
+            serial_statuses,
+            "all-unanalyzable hybrid statuses diverged ({})",
+            policy.label()
+        );
+        assert_eq!(
+            outcome.stats.optimistic_txs,
+            txs.len() as u64,
+            "every transaction must have routed optimistic ({})",
+            policy.label()
+        );
+    }
+
+    // The same flagged block through the pure STM engine under the same
+    // storm (the perturbed C-SAGs ride along as an interning hint only).
+    let stm = StmExecutor::new(
+        analyzer,
+        ParallelConfig {
+            threads: 8,
+            max_attempts: 64,
+            scheduler: SchedulerPolicy::CriticalPath,
+            pin_cores: false,
+        },
+    )
+    .with_hook(Arc::new(VirtualScheduler::new(SchedConfig::stormy(29))));
+    let outcome = stm.execute_block_with_csags(&txs, &genesis, &env, &csags);
+    assert_eq!(
+        outcome.final_writes, trace.final_writes,
+        "stm diverged under storm"
+    );
+    assert_eq!(
+        outcome.statuses, serial_statuses,
+        "stm statuses diverged under storm"
+    );
 }
 
 #[test]
