@@ -40,14 +40,18 @@
 //! Deliberate imprecision points (each one falls back, never mispredicts):
 //! unaligned or non-constant memory addressing, `MSTORE8`/copy opcodes
 //! (they poison the abstract memory), `GAS`/`MSIZE`/`ADDMOD`/`MULMOD`
-//! (always `Unknown`), `CALL` (the callee is outside the plan), and
+//! (always `Unknown`), `CALL` sites that resist summarization — a
+//! dynamic callee address, a value transfer, unaligned argument/return
+//! regions, or no registry in scope (see [`analyze_with`]) — and
 //! loop-carried values whose defining edge is itself `Unknown` (the φ
 //! exists but fails to evaluate, so the walk bails on that path).
+//! Summarizable calls instead become [`PlanCall`] records the C-SAG walk
+//! substitutes the callee's own plan into at bind time.
 
 use std::collections::{BTreeMap, HashMap};
 
-use dmvcc_primitives::U256;
-use dmvcc_vm::{Opcode, MEMORY_LIMIT, STACK_LIMIT};
+use dmvcc_primitives::{Address, U256};
+use dmvcc_vm::{CodeRegistry, Opcode, MEMORY_LIMIT, STACK_LIMIT};
 
 use crate::cfg::{BlockExit, Cfg};
 use crate::psag::AccessKind;
@@ -98,6 +102,33 @@ pub struct PlanAccess {
     pub load: Option<usize>,
 }
 
+/// A summarized cross-contract call site: the block's last instruction is
+/// a `CALL` whose callee address, transferred value and memory layout all
+/// resolved statically. The C-SAG walk substitutes the callee contract's
+/// own plan here at bind time, rebinding `Caller` to the calling contract
+/// and the callee's calldata to [`PlanCall::args`].
+#[derive(Debug, Clone)]
+pub struct PlanCall {
+    /// Program counter of the `CALL` instruction.
+    pub pc: usize,
+    /// Statically-resolved callee address.
+    pub callee: Address,
+    /// Caller-side argument words (the callee's input, word-tiled).
+    pub args: Vec<SymExpr>,
+    /// Argument byte length (truncates the last word when unaligned).
+    pub args_len: usize,
+    /// Return-region offset in the caller's memory (32-byte aligned).
+    pub ret_offset: usize,
+    /// Return-region byte length (a multiple of 32).
+    pub ret_len: usize,
+    /// Load ids bound to the post-call content of each return word.
+    pub ret_loads: Vec<usize>,
+    /// Pre-call content of each return word — it survives when the
+    /// callee's output is shorter than the region (the interpreter
+    /// copies `min(output_len, ret_len)` bytes).
+    pub prev_ret_words: Vec<SymExpr>,
+}
+
 /// Facts about one basic block, sufficient to walk it concretely.
 #[derive(Debug, Clone, Default)]
 pub struct BlockPlan {
@@ -113,10 +144,23 @@ pub struct BlockPlan {
     /// Memory extents `(offset, len)` touched, in execution order, for
     /// exact expansion-gas accounting.
     pub mem_touches: Vec<(usize, usize)>,
+    /// A summarized call site ending this block (see [`PlanCall`]).
+    pub call: Option<PlanCall>,
+    /// For halting blocks: the frame's return payload as word templates
+    /// (`Some(vec![])` for `STOP`). `None` when the `RETURN` operands are
+    /// not a constant word-aligned extent over unpoisoned memory.
+    pub output: Option<Vec<SymExpr>>,
+    /// Pc of a `CALL` whose target address did not fold to a constant
+    /// (surfaced by lint as `unanalyzable-call-target`).
+    pub dynamic_call: Option<usize>,
+    /// A `CALL` to a statically-known address with no deployed code:
+    /// modeled exactly (trivial success, untouched return region), kept
+    /// here so the call graph sees the site.
+    pub no_code_call: Option<(usize, Address)>,
     /// `true` when the walk can execute this block without falling back:
     /// every key/value/condition is a closed template, all memory
     /// addressing is constant, gas is fully accounted, and the block
-    /// neither `CALL`s nor hits `INVALID`.
+    /// hits neither an unsummarizable `CALL` nor `INVALID`.
     pub complete: bool,
 }
 
@@ -246,17 +290,62 @@ struct BlockEffect {
     target: Option<SymExpr>,
 }
 
+/// Stable load-id allocation shared by every expression in a plan: one id
+/// per read instruction (assigned up front in code order) plus one per
+/// `(call pc, return word)` pair, allocated on first use and memoized so
+/// expressions compare equal across fixpoint iterations.
+#[derive(Default)]
+struct LoadIds {
+    reads: BTreeMap<usize, usize>,
+    call_rets: BTreeMap<(usize, usize), usize>,
+    next: usize,
+}
+
+impl LoadIds {
+    fn insert_read(&mut self, pc: usize) {
+        let id = self.next;
+        self.next += 1;
+        self.reads.insert(pc, id);
+    }
+
+    fn read(&self, pc: usize) -> Option<usize> {
+        self.reads.get(&pc).copied()
+    }
+
+    fn call_ret(&mut self, pc: usize, word: usize) -> usize {
+        if let Some(&id) = self.call_rets.get(&(pc, word)) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.call_rets.insert((pc, word), id);
+        id
+    }
+
+    fn count(&self) -> usize {
+        self.next
+    }
+}
+
 /// Runs the abstract interpretation over `cfg`, patching resolvable
 /// `Unknown` jump exits in place, and returns the contract plan.
+/// Cross-contract calls degrade (no registry to resolve callees against);
+/// see [`analyze_with`].
 pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
+    analyze_with(code, cfg, None)
+}
+
+/// [`analyze`] with a code registry in scope: `CALL` sites whose callee
+/// address, value and memory layout fold statically become [`PlanCall`]
+/// summaries instead of degrading the block.
+pub fn analyze_with(code: &[u8], cfg: &mut Cfg, registry: Option<&CodeRegistry>) -> ContractPlan {
     // Stable load ids: one per read instruction, in code order, assigned
     // up front so expressions compare equal across fixpoint iterations.
-    let mut load_ids: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut load_ids = LoadIds::default();
     for block in &cfg.blocks {
         for ins in &block.instructions {
             if matches!(ins.op, Opcode::Sload | Opcode::Balance) {
-                let id = load_ids.len();
-                load_ids.insert(ins.pc, id);
+                load_ids.insert_read(ins.pc);
             }
         }
     }
@@ -300,7 +389,7 @@ pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
         let Some(state) = entry[index].clone() else {
             continue;
         };
-        let effect = interpret_block(code, &cfg.blocks[index], state, &load_ids);
+        let effect = interpret_block(code, &cfg.blocks[index], state, &mut load_ids, registry);
         patch_exit(cfg, index, &effect, &block_of_start);
         // A patched exit can close a cycle whose head was joined as a
         // plain merge point so far: convert its accumulated entry to
@@ -386,7 +475,9 @@ pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
                 return fallback_plan(&cfg.blocks[index], &load_ids);
             }
             match entry[index].clone() {
-                Some(state) => interpret_block(code, &cfg.blocks[index], state, &load_ids).plan,
+                Some(state) => {
+                    interpret_block(code, &cfg.blocks[index], state, &mut load_ids, registry).plan
+                }
                 // Unreachable (or unreached due to an upstream conflict):
                 // keep the access nodes, nothing else is known.
                 None => fallback_plan(&cfg.blocks[index], &load_ids),
@@ -396,7 +487,7 @@ pub fn analyze(code: &[u8], cfg: &mut Cfg) -> ContractPlan {
 
     ContractPlan {
         blocks,
-        load_count: load_ids.len(),
+        load_count: load_ids.count(),
         loop_var_count: phi.count,
         phi_edges: phi
             .edges
@@ -571,7 +662,7 @@ fn patch_exit(
 
 /// Plan for a block the interpretation never reached: its access nodes
 /// with fully-unknown keys, marked incomplete.
-fn fallback_plan(block: &crate::cfg::BasicBlock, load_ids: &BTreeMap<usize, usize>) -> BlockPlan {
+fn fallback_plan(block: &crate::cfg::BasicBlock, load_ids: &LoadIds) -> BlockPlan {
     let accesses = block
         .instructions
         .iter()
@@ -583,7 +674,7 @@ fn fallback_plan(block: &crate::cfg::BasicBlock, load_ids: &BTreeMap<usize, usiz
                 key: key_expr(ins.op, SymExpr::Unknown),
                 value: matches!(kind, AccessKind::Write | AccessKind::Add)
                     .then_some(SymExpr::Unknown),
-                load: load_ids.get(&ins.pc).copied(),
+                load: load_ids.read(ins.pc),
             })
         })
         .collect();
@@ -618,7 +709,8 @@ fn interpret_block(
     code: &[u8],
     block: &crate::cfg::BasicBlock,
     mut state: AbsState,
-    load_ids: &BTreeMap<usize, usize>,
+    load_ids: &mut LoadIds,
+    registry: Option<&CodeRegistry>,
 ) -> BlockEffect {
     let mut plan = BlockPlan {
         complete: true,
@@ -646,7 +738,10 @@ fn interpret_block(
         use Opcode::*;
         plan.static_gas += ins.op.base_gas();
         match ins.op {
-            Stop => halted = true,
+            Stop => {
+                plan.output = Some(Vec::new());
+                halted = true;
+            }
             Add | Mul | Sub | Div | SDiv | Mod | SMod | SignExtend | Lt | Gt | Slt | Sgt | Eq
             | And | Or | Xor | Byte | Shl | Shr | Sar => {
                 let (a, b) = (pop!(), pop!());
@@ -703,7 +798,7 @@ fn interpret_block(
             Address => state.stack.push(SymExpr::SelfAddr),
             Balance | Sload => {
                 let key = pop!();
-                let load = load_ids.get(&ins.pc).copied();
+                let load = load_ids.read(ins.pc);
                 plan.accesses.push(PlanAccess {
                     pc: ins.pc,
                     kind: AccessKind::Read,
@@ -729,7 +824,8 @@ fn interpret_block(
                     load: None,
                 });
             }
-            Origin | Caller => state.stack.push(SymExpr::Caller),
+            Origin => state.stack.push(SymExpr::Origin),
+            Caller => state.stack.push(SymExpr::Caller),
             CallValue => state.stack.push(SymExpr::CallValue),
             CallDataLoad => {
                 let offset = pop!();
@@ -820,14 +916,27 @@ fn interpret_block(
                 }
             }
             Call => {
-                // The callee's accesses and gas are outside the plan.
-                for _ in 0..7 {
-                    pop!();
+                // Pop order mirrors the interpreter; the requested gas is
+                // popped but ignored (the callee gets the 63/64 budget).
+                let (_gas, addr, value) = (pop!(), pop!(), pop!());
+                let (args_off, args_len) = (pop!(), pop!());
+                let (ret_off, ret_len) = (pop!(), pop!());
+                if addr.as_const().is_none() {
+                    plan.dynamic_call = Some(ins.pc);
                 }
-                state.stack.push(SymExpr::Unknown);
-                state.mem.poison();
-                plan.complete = false;
-                halted = true; // stop modelling past the call
+                let args_ext = const_extent(&args_off, &args_len);
+                let ret_ext = const_extent(&ret_off, &ret_len);
+                let summarized = summarize_call(
+                    ins.pc, registry, &addr, &value, args_ext, ret_ext, &mut state, &mut plan,
+                    load_ids,
+                );
+                if !summarized {
+                    // The callee's accesses and gas are outside the plan.
+                    state.stack.push(SymExpr::Unknown);
+                    state.mem.poison();
+                    plan.complete = false;
+                    halted = true; // stop modelling past the call
+                }
             }
             Log(n) => {
                 let (offset, len) = (pop!(), pop!());
@@ -845,7 +954,23 @@ fn interpret_block(
             Return | Revert => {
                 let (offset, len) = (pop!(), pop!());
                 match const_extent(&offset, &len) {
-                    Some((o, l)) => touch(&mut plan, o, l),
+                    Some((o, l)) => {
+                        touch(&mut plan, o, l);
+                        // Capture the return payload as word templates so a
+                        // caller's bind walk can fill its return region.
+                        if ins.op == Return {
+                            if l == 0 {
+                                plan.output = Some(Vec::new());
+                            } else if o % 32 == 0 && l % 32 == 0 && !state.mem.poisoned {
+                                let words: Vec<SymExpr> = (0..l / 32)
+                                    .map(|i| state.mem.load(Some(o + 32 * i)))
+                                    .collect();
+                                if words.iter().all(SymExpr::is_template) {
+                                    plan.output = Some(words);
+                                }
+                            }
+                        }
+                    }
                     None => plan.complete = false,
                 }
                 halted = true;
@@ -887,6 +1012,83 @@ fn interpret_block(
         out: (!halted && !underflow).then_some(state),
         target,
     }
+}
+
+/// Attempts to summarize a `CALL` site into a [`PlanCall`]. Returns `true`
+/// when the site was modeled (summary, push-0 value path, or trivial
+/// no-code success) and the block can continue; `false` degrades the block
+/// exactly as before summaries existed.
+#[allow(clippy::too_many_arguments)]
+fn summarize_call(
+    pc: usize,
+    registry: Option<&CodeRegistry>,
+    addr: &SymExpr,
+    value: &SymExpr,
+    args_ext: Option<(usize, usize)>,
+    ret_ext: Option<(usize, usize)>,
+    state: &mut AbsState,
+    plan: &mut BlockPlan,
+    load_ids: &mut LoadIds,
+) -> bool {
+    let Some(registry) = registry else {
+        return false;
+    };
+    let (Some((ao, al)), Some((ro, rl))) = (args_ext, ret_ext) else {
+        return false;
+    };
+    let (Some(addr), Some(value)) = (addr.as_const(), value.as_const()) else {
+        return false;
+    };
+    // The interpreter expands memory over both regions before the value
+    // and depth checks, so even the push-0 paths account the touches.
+    touch(plan, ao, al);
+    touch(plan, ro, rl);
+    if !value.is_zero() {
+        // Value transfers are unsupported: the machine pushes 0 and
+        // continues without entering the callee.
+        state.stack.push(SymExpr::Const(U256::ZERO));
+        return true;
+    }
+    let callee = Address::from_u256(addr);
+    if registry.code(&callee).is_none() {
+        // No code at the target: trivial success with empty return data;
+        // the return region is left untouched.
+        plan.no_code_call = Some((pc, callee));
+        state.stack.push(SymExpr::Const(U256::ONE));
+        return true;
+    }
+    // A composable frame needs a word-tiled view of both memory regions.
+    if ao % 32 != 0 || ro % 32 != 0 || rl % 32 != 0 || state.mem.poisoned {
+        return false;
+    }
+    let args: Vec<SymExpr> = (0..al.div_ceil(32))
+        .map(|i| state.mem.load(Some(ao + 32 * i)))
+        .collect();
+    if !args.iter().all(SymExpr::is_template) {
+        return false;
+    }
+    let ret_words = rl / 32;
+    let prev_ret_words: Vec<SymExpr> = (0..ret_words)
+        .map(|w| state.mem.load(Some(ro + 32 * w)))
+        .collect();
+    let ret_loads: Vec<usize> = (0..ret_words).map(|w| load_ids.call_ret(pc, w)).collect();
+    for (w, &id) in ret_loads.iter().enumerate() {
+        state.mem.store(Some(ro + 32 * w), SymExpr::Load(id));
+    }
+    plan.call = Some(PlanCall {
+        pc,
+        callee,
+        args,
+        args_len: al,
+        ret_offset: ro,
+        ret_len: rl,
+        ret_loads,
+        prev_ret_words,
+    });
+    // Every continuing caller path saw a successful call: a failing callee
+    // reverts the *caller* at this pc, so the pushed result is statically 1.
+    state.stack.push(SymExpr::Const(U256::ONE));
+    true
 }
 
 fn bin_op(op: Opcode) -> BinOp {

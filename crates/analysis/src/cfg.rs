@@ -132,6 +132,11 @@ impl Cfg {
             if ins.op == Opcode::JumpDest {
                 leaders.insert(ins.pc);
             }
+            // `Call` ends its block so a summarized call site is always the
+            // last instruction of a block: the caller's lump gas charge for
+            // the block then exactly matches the machine's state at the
+            // 63/64 budget computation, and a callee abort maps to the
+            // block boundary.
             let ends_block = matches!(
                 ins.op,
                 Opcode::Jump
@@ -140,6 +145,7 @@ impl Cfg {
                     | Opcode::Return
                     | Opcode::Revert
                     | Opcode::Invalid
+                    | Opcode::Call
             );
             if ends_block {
                 if let Some(next) = instructions.get(i + 1) {
@@ -242,6 +248,16 @@ impl Cfg {
         let mut reach = vec![false; n];
         for block in &self.blocks {
             if matches!(block.exit, BlockExit::Abort | BlockExit::Unknown) {
+                reach[block.index] = true;
+            }
+            // A `CALL` can revert the calling frame at the call pc when the
+            // callee fails, so every call site is conservatively an abort
+            // source (the registry is not visible during CFG construction).
+            if block
+                .instructions
+                .last()
+                .is_some_and(|i| i.op == Opcode::Call)
+            {
                 reach[block.index] = true;
             }
         }

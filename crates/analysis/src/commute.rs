@@ -44,11 +44,18 @@ pub struct IncrementReport {
 
 /// Classifies every `k ← k + e` store of `plan`.
 ///
-/// A store qualifies when its value is `Add(Load(i), e)` (either operand
-/// order) and its key template equals the key of read `i`. It is
-/// [`IncrementClass::Commutable`] iff `Load(i)` occurs exactly once across
-/// *all* plan facts — keys, stored values/deltas, branch conditions and
-/// `EXP` gas terms — i.e. only inside this store's sum.
+/// A store qualifies when its value is an `ADD` chain rooted at `Load(i)`
+/// — `Add(Load(i), e)`, or nested sums like `Add(Add(Load(i), a), b)` —
+/// and its key template equals the key of read `i`. Same-block chains
+/// fold: `k += a; k += b` compiled as one `SLOAD` feeding two `SSTORE`s
+/// reports a *single* candidate at the last store (the earlier stores are
+/// superseded within the straight-line block, and the net effect is one
+/// increment by the summed operand).
+///
+/// A (folded) store is [`IncrementClass::Commutable`] iff `Load(i)`
+/// appears exactly once in each chain store's sum and flows nowhere else
+/// across *all* plan facts — keys, stored values/deltas, branch
+/// conditions and `EXP` gas terms.
 pub fn classify_increments(plan: &ContractPlan) -> Vec<IncrementReport> {
     // Def site of each load id: (pc, key template).
     let mut defs: Vec<Option<&PlanAccess>> = vec![None; plan.load_count];
@@ -83,39 +90,93 @@ pub fn classify_increments(plan: &ContractPlan) -> Vec<IncrementReport> {
     }
 
     let mut reports = Vec::new();
-    for access in plan.accesses() {
-        if access.kind != AccessKind::Write {
-            continue;
+    for block in &plan.blocks {
+        // Chain groups within this straight-line block: the rooting load
+        // id → its increment stores, in program order.
+        let mut groups: Vec<(usize, Vec<ChainStore>)> = Vec::new();
+        for access in &block.accesses {
+            if access.kind != AccessKind::Write {
+                continue;
+            }
+            let Some(value) = &access.value else { continue };
+            if !matches!(value, SymExpr::Binary(BinOp::Add, _, _)) {
+                continue;
+            }
+            let mut leaf_loads = Vec::new();
+            add_chain_loads(value, &mut leaf_loads);
+            // Leaves that re-read the stored key root the chain; loads of
+            // *other* keys are ordinary operands (`k += m` still commutes).
+            // Balance reads can never match a storage store key, and two
+            // unresolved (`Unknown`-bearing) keys are *not* known to be
+            // the same slot even though they compare equal.
+            let matches_key = |id: usize| {
+                defs[id].is_some_and(|def| {
+                    matches!(def.key, KeyExpr::Storage(_))
+                        && access.key.is_template()
+                        && def.key == access.key
+                })
+            };
+            let rooted: Vec<usize> = leaf_loads
+                .iter()
+                .copied()
+                .filter(|&id| matches_key(id))
+                .collect();
+            let Some(&root) = rooted.first() else {
+                continue;
+            };
+            let store = ChainStore {
+                access,
+                occurrences: leaf_loads.iter().filter(|&&id| id == root).count(),
+                // `k ← k + k` (or any sum re-reading the key twice) is not
+                // an increment by an independent operand.
+                clean: rooted.len() == 1,
+            };
+            match groups.iter_mut().find(|(id, _)| *id == root) {
+                Some((_, stores)) => stores.push(store),
+                None => groups.push((root, vec![store])),
+            }
         }
-        let Some(SymExpr::Binary(BinOp::Add, a, b)) = &access.value else {
-            continue;
-        };
-        let load_id = match (a.as_ref(), b.as_ref()) {
-            (SymExpr::Load(id), _) | (_, SymExpr::Load(id)) => *id,
-            _ => continue,
-        };
-        let Some(def) = defs[load_id] else { continue };
-        // Balance reads can never match a storage store key, and two
-        // unresolved (`Unknown`-bearing) keys are *not* known to be the
-        // same slot even though they compare equal.
-        if !matches!(def.key, KeyExpr::Storage(_))
-            || !access.key.is_template()
-            || def.key != access.key
-        {
-            continue;
+        for (root, stores) in groups {
+            let def = defs[root].expect("rooted chains have a def");
+            let last = stores.last().expect("groups are non-empty").access;
+            let in_chain: usize = stores.iter().map(|s| s.occurrences).sum();
+            let commutes = stores.iter().all(|s| s.clean) && uses[root] == in_chain;
+            reports.push(IncrementReport {
+                store_pc: last.pc,
+                load_pc: def.pc,
+                key: last.key.expr().clone(),
+                class: if commutes {
+                    IncrementClass::Commutable
+                } else {
+                    IncrementClass::NonCommutable
+                },
+            });
         }
-        reports.push(IncrementReport {
-            store_pc: access.pc,
-            load_pc: def.pc,
-            key: access.key.expr().clone(),
-            class: if uses[load_id] == 1 {
-                IncrementClass::Commutable
-            } else {
-                IncrementClass::NonCommutable
-            },
-        });
     }
+    reports.sort_by_key(|r| r.store_pc);
     reports
+}
+
+/// One store of a same-block increment chain.
+struct ChainStore<'a> {
+    access: &'a PlanAccess,
+    /// Occurrences of the rooting load in this store's sum.
+    occurrences: usize,
+    /// Exactly one leaf re-reads the stored key.
+    clean: bool,
+}
+
+/// Collects the `Load` leaves of an `ADD` chain (with multiplicity),
+/// flattening nested sums.
+fn add_chain_loads(expr: &SymExpr, out: &mut Vec<usize>) {
+    match expr {
+        SymExpr::Binary(BinOp::Add, a, b) => {
+            add_chain_loads(a, out);
+            add_chain_loads(b, out);
+        }
+        SymExpr::Load(id) => out.push(*id),
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +227,67 @@ mod tests {
         for report in classify_increments(&plan) {
             assert!(report.key.is_template(), "matched an unresolved key");
         }
+    }
+
+    #[test]
+    fn same_block_add_chain_folds_to_one_candidate() {
+        // `k += 1; k += 2` compiled without a reload: one SLOAD feeds two
+        // SSTOREs. The chain folds to a single commutable candidate at the
+        // last store (net effect: one increment by the summed operand).
+        let code = assemble(
+            "PUSH1 0 SLOAD PUSH1 1 ADD DUP1 PUSH1 0 SSTORE \
+             PUSH1 2 ADD PUSH1 0 SSTORE STOP",
+        )
+        .unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1, "{reports:#?}");
+        assert_eq!(reports[0].class, IncrementClass::Commutable);
+        assert_eq!(reports[0].load_pc, 2);
+        // Anchored to the *last* store of the chain.
+        assert_eq!(reports[0].store_pc, 15);
+    }
+
+    #[test]
+    fn nested_sum_store_is_one_candidate_with_folded_operand() {
+        // `k ← (k + 1) + 2`: the nested ADD chain is one increment by 3.
+        let code = assemble("PUSH1 0 SLOAD PUSH1 1 ADD PUSH1 2 ADD PUSH1 0 SSTORE STOP").unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1, "{reports:#?}");
+        assert_eq!(reports[0].class, IncrementClass::Commutable);
+    }
+
+    #[test]
+    fn chain_with_branch_use_stays_non_commutable() {
+        // The loaded value also feeds a JUMPI condition after the chain.
+        let code = assemble(
+            "PUSH1 0 SLOAD DUP1 PUSH1 1 ADD DUP1 PUSH1 0 SSTORE \
+             PUSH1 2 ADD PUSH1 0 SSTORE PUSH @skip JUMPI STOP skip: JUMPDEST STOP",
+        )
+        .unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1, "{reports:#?}");
+        assert_eq!(reports[0].class, IncrementClass::NonCommutable);
+    }
+
+    #[test]
+    fn doubling_store_is_not_a_commutable_increment() {
+        // `k ← k + k`: the operand re-reads the key, so the write does not
+        // commute with other increments.
+        let code = assemble("PUSH1 0 SLOAD DUP1 ADD PUSH1 0 SSTORE STOP").unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1, "{reports:#?}");
+        assert_eq!(reports[0].class, IncrementClass::NonCommutable);
+    }
+
+    #[test]
+    fn increment_by_another_slot_still_commutes() {
+        // `k += m` where m is a different slot: the operand load is an
+        // ordinary operand, not a chain root.
+        let code = assemble("PUSH1 0 SLOAD PUSH1 7 SLOAD ADD PUSH1 0 SSTORE STOP").unwrap();
+        let reports = classify_increments(&plan_of(&code));
+        assert_eq!(reports.len(), 1, "{reports:#?}");
+        assert_eq!(reports[0].class, IncrementClass::Commutable);
+        assert_eq!(reports[0].load_pc, 2);
     }
 
     #[test]

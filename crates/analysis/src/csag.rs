@@ -21,7 +21,7 @@ use dmvcc_primitives::{Address, U256};
 use dmvcc_state::{Snapshot, StateKey};
 use dmvcc_vm::{
     execute_traced, BlockEnv, CodeRegistry, ExecParams, ExecStatus, Host, HostError, Opcode,
-    Tracer, Transaction, TxKind, INTRINSIC_GAS, MEMORY_LIMIT,
+    Tracer, Transaction, TxEnv, TxKind, CALL_DEPTH_LIMIT, INTRINSIC_GAS, MEMORY_LIMIT,
 };
 
 use crate::absint::KeyExpr;
@@ -68,6 +68,12 @@ pub enum RefinementTier {
     /// loop-carried φ variables ([`crate::SymExpr::LoopVar`]) on loop-head
     /// edges, unrolling the loop at bind time instead of falling back.
     LoopSummarized,
+    /// Bound symbolically across at least one cross-contract call edge:
+    /// the walk substituted callee plan summaries at their call sites
+    /// ([`crate::PlanCall`]), rebinding `Caller` and calldata per frame —
+    /// composition, not execution. Takes precedence over
+    /// [`RefinementTier::LoopSummarized`] when a path does both.
+    Interprocedural,
     /// Full speculative pre-execution against the snapshot.
     Speculative,
     /// No prediction at all: the transaction is unanalyzable (or was
@@ -378,7 +384,7 @@ impl Analyzer {
             return Some(cached.clone());
         }
         let code = self.registry.code(address)?;
-        let sag = std::sync::Arc::new(crate::PSag::build(&code));
+        let sag = std::sync::Arc::new(crate::PSag::build_with(&code, Some(&self.registry)));
         self.psags.lock().insert(*address, sag.clone());
         Some(sag)
     }
@@ -410,8 +416,13 @@ impl Analyzer {
         let release_set: HashSet<usize> = psag.release_pcs.iter().copied().collect();
 
         if self.config.refinement == RefinementMode::TwoTier {
-            if let Some((raw, looped)) = bind_symbolic(&psag, tx, block, snapshot, &release_set) {
-                let tier = if looped {
+            let resolver = |addr: &Address| self.psag(addr);
+            if let Some((raw, looped, called)) =
+                bind_symbolic(&psag, tx, block, snapshot, &release_set, &resolver)
+            {
+                let tier = if called {
+                    RefinementTier::Interprocedural
+                } else if looped {
                     RefinementTier::LoopSummarized
                 } else {
                     RefinementTier::Symbolic
@@ -562,6 +573,46 @@ struct RawPrediction {
     gas_used: u64,
 }
 
+/// Loop-unroll budget shared by every frame of one symbolic walk: beyond
+/// this many block visits the walk is cheaper to redo speculatively.
+const MAX_BLOCK_VISITS: usize = 4096;
+
+/// What one call frame of the symbolic walk produced.
+struct BoundFrame {
+    /// Gas left out of the frame's budget when it halted. A reverting
+    /// frame keeps its remainder (the interpreter's revert semantics);
+    /// the caller charges `budget - gas_left`.
+    gas_left: u64,
+    /// `true` for a clean halt, `false` for a revert — which, at a call
+    /// site, reverts the calling frame at the call pc.
+    success: bool,
+    /// Return payload as 32-byte words, when the halting block's plan
+    /// could shape it (`None` otherwise — call sites that need the bytes
+    /// fall back).
+    output: Option<Vec<U256>>,
+}
+
+/// State shared by every frame of one symbolic walk. Per-frame state —
+/// `Load` bindings, φ variables, gas, the memory high-water mark — lives
+/// on [`BindWalk::frame`]'s stack, mirroring the machine's frame-fresh
+/// memory and per-frame gas budgets.
+struct BindWalk<'a> {
+    block: &'a BlockEnv,
+    snapshot: &'a Snapshot,
+    release_set: &'a HashSet<usize>,
+    resolver: &'a dyn Fn(&Address) -> Option<std::sync::Arc<PSag>>,
+    /// Top-level transaction sender (`ORIGIN`), invariant across frames.
+    origin: Address,
+    overlay: HashMap<StateKey, U256>,
+    deltas: HashMap<StateKey, U256>,
+    snapshot_deps: BTreeMap<StateKey, U256>,
+    events: Vec<(AccessEvent, usize)>,
+    releases: Vec<(usize, u64)>,
+    visits: usize,
+    looped: bool,
+    called: bool,
+}
+
 /// The symbolic fast tier: walks the contract's block plans, evaluating
 /// key/value/condition templates against the concrete transaction and
 /// reading only the snapshot values named by `Load` holes — no bytecode
@@ -571,197 +622,323 @@ struct RawPrediction {
 /// re-binds the head's loop-carried variables from the plan's per-edge
 /// assignments (all right-hand sides evaluated before any commit —
 /// parallel copy), so loop-variant keys, values and trip conditions
-/// evaluate concretely on every iteration. The returned flag is `true`
-/// when at least one φ was bound (the walk crossed a loop), which the
-/// caller surfaces as [`RefinementTier::LoopSummarized`].
+/// evaluate concretely on every iteration.
+///
+/// Calls are composed *at bind time*: a summarized call site
+/// ([`crate::PlanCall`]) opens a fresh frame over the callee's own plan
+/// (resolved through `resolver`), with the caller's evaluated argument
+/// words as calldata and the interpreter's 63/64 gas budget; the callee's
+/// return words bind the caller's ret-region `Load` holes. State (overlay,
+/// deltas, snapshot deps) and the access-event stream are shared across
+/// frames, so cross-contract flows like flash-mint-and-repay bind exactly.
 ///
 /// Returns `None` (fall back to speculative pre-execution) the moment the
 /// walked path leaves the statically-planned region: an incomplete block
 /// plan, an unresolved jump, out-of-gas or a memory fault on the walked
-/// path, a φ assignment that fails to evaluate, or a loop running past
-/// the unroll budget. A successful walk reproduces the speculative tier's
-/// observations *exactly*, including block-boundary gas (release gas
-/// bounds are load-bearing: the scheduler releases locks against them).
+/// path, a φ assignment that fails to evaluate, a loop running past the
+/// unroll budget, a call past the machine's depth limit, or a callee
+/// output the plan could not shape. A successful walk reproduces the
+/// speculative tier's observations *exactly*, including block-boundary
+/// gas (release gas bounds are load-bearing: the scheduler releases locks
+/// against them). The returned flags are `(looped, called)`: whether any
+/// φ was bound and whether any call frame was composed.
 fn bind_symbolic(
     psag: &PSag,
     tx: &Transaction,
     block: &BlockEnv,
     snapshot: &Snapshot,
     release_set: &HashSet<usize>,
-) -> Option<(RawPrediction, bool)> {
-    use crate::cfg::BlockExit;
-    /// Loop-unroll budget: beyond this many block visits the walk is
-    /// cheaper to redo speculatively than to keep simulating.
-    const MAX_BLOCK_VISITS: usize = 4096;
-
+    resolver: &dyn Fn(&Address) -> Option<std::sync::Arc<PSag>>,
+) -> Option<(RawPrediction, bool, bool)> {
     let env = &tx.env;
-    let contract = tx.to();
     if env.gas_limit < INTRINSIC_GAS {
         return None; // the interpreter prices this edge case
     }
-    let mut gas_left = env.gas_limit - INTRINSIC_GAS;
-    // Memory high-water mark in 32-byte words, for expansion gas.
-    let mut mem_words: u64 = 0;
-    let mut loads: Vec<Option<U256>> = vec![None; psag.plan.load_count];
-    let mut loop_vars: Vec<Option<U256>> = vec![None; psag.plan.loop_var_count];
-    let mut looped = false;
-    let mut overlay: HashMap<StateKey, U256> = HashMap::new();
-    let mut deltas: HashMap<StateKey, U256> = HashMap::new();
-    let mut snapshot_deps: BTreeMap<StateKey, U256> = BTreeMap::new();
-    let mut events: Vec<(AccessEvent, usize)> = Vec::new();
-    let mut releases: Vec<(usize, u64)> = Vec::new();
+    let mut walk = BindWalk {
+        block,
+        snapshot,
+        release_set,
+        resolver,
+        origin: env.caller,
+        overlay: HashMap::new(),
+        deltas: HashMap::new(),
+        snapshot_deps: BTreeMap::new(),
+        events: Vec::new(),
+        releases: Vec::new(),
+        visits: 0,
+        looped: false,
+        called: false,
+    };
+    let frame = walk.frame(psag, env, env.gas_limit - INTRINSIC_GAS, 0)?;
+    Some((
+        RawPrediction {
+            events: walk.events,
+            releases: walk.releases,
+            snapshot_deps: walk.snapshot_deps,
+            predicted_success: frame.success,
+            gas_used: env.gas_limit - frame.gas_left,
+        },
+        walk.looped,
+        walk.called,
+    ))
+}
 
-    let mut index = 0usize;
-    let mut visits = 0usize;
-    let predicted_success = loop {
-        visits += 1;
-        if visits > MAX_BLOCK_VISITS {
-            return None;
-        }
-        let bb = &psag.cfg.blocks[index];
-        let plan = &psag.plan.blocks[index];
-        if !plan.complete {
-            return None;
-        }
+impl BindWalk<'_> {
+    /// Walks one call frame over `psag`'s plan with the frame environment
+    /// `env` and gas budget `budget` (the top frame's limit net of
+    /// intrinsic gas; a callee's 63/64 allowance — nested frames get no
+    /// intrinsic deduction, matching the machine).
+    fn frame(&mut self, psag: &PSag, env: &TxEnv, budget: u64, depth: usize) -> Option<BoundFrame> {
+        use crate::cfg::BlockExit;
 
-        // Gas: static base + bound EXP exponents + memory expansion,
-        // charged at block granularity. gas_left only ever decreases, so a
-        // boundary check detects out-of-gas on the walked path (the exact
-        // faulting pc does not matter — an unfinishable walk falls back).
-        let mut charge = plan.static_gas;
-        for term in &plan.exp_terms {
-            let ctx = BindCtx {
-                tx: env,
-                block,
-                loads: &loads,
-                loop_vars: &loop_vars,
-            };
-            let exponent = term.eval(&ctx)?;
-            charge += 50 * exponent.bits().div_ceil(8) as u64;
-        }
-        for &(offset, len) in &plan.mem_touches {
-            let end = offset.checked_add(len).filter(|&e| e <= MEMORY_LIMIT)?;
-            let end_words = end.div_ceil(32) as u64;
-            if end_words > mem_words {
-                charge += 3 * (end_words - mem_words);
-                mem_words = end_words;
+        let contract = env.contract;
+        let mut gas_left = budget;
+        // Memory high-water mark in 32-byte words, for expansion gas.
+        // Every frame starts with fresh, empty memory.
+        let mut mem_words: u64 = 0;
+        let mut loads: Vec<Option<U256>> = vec![None; psag.plan.load_count];
+        let mut loop_vars: Vec<Option<U256>> = vec![None; psag.plan.loop_var_count];
+
+        let mut index = 0usize;
+        let (success, output) = loop {
+            self.visits += 1;
+            if self.visits > MAX_BLOCK_VISITS {
+                return None;
             }
-        }
-        if charge > gas_left {
-            return None;
-        }
-        gas_left -= charge;
-
-        for access in &plan.accesses {
-            let ctx = BindCtx {
-                tx: env,
-                block,
-                loads: &loads,
-                loop_vars: &loop_vars,
-            };
-            let key_value = access.key.expr().eval(&ctx)?;
-            let key = match access.key {
-                KeyExpr::Storage(_) => StateKey::storage(contract, key_value),
-                KeyExpr::Balance(_) => StateKey::balance(Address::from_u256(key_value)),
-            };
-            // Mirror SpecHost's merge semantics: reads see own writes plus
-            // pending commutative deltas; a full write folds the delta.
-            match access.kind {
-                AccessKind::Read => {
-                    let delta = deltas.get(&key).copied().unwrap_or(U256::ZERO);
-                    let value = match overlay.get(&key) {
-                        Some(&v) => v.wrapping_add(delta),
-                        None => {
-                            let base = snapshot.get(&key);
-                            snapshot_deps.insert(key, base);
-                            base.wrapping_add(delta)
-                        }
-                    };
-                    loads[access.load?] = Some(value);
-                }
-                AccessKind::Write => {
-                    let value = access.value.as_ref()?.eval(&ctx)?;
-                    deltas.remove(&key);
-                    overlay.insert(key, value);
-                }
-                AccessKind::Add => {
-                    let delta = access.value.as_ref()?.eval(&ctx)?;
-                    let entry = deltas.entry(key).or_insert(U256::ZERO);
-                    *entry = entry.wrapping_add(delta);
-                }
+            let bb = &psag.cfg.blocks[index];
+            let plan = &psag.plan.blocks[index];
+            if !plan.complete {
+                return None;
             }
-            events.push((
-                AccessEvent {
-                    pc: access.pc,
-                    kind: access.kind,
-                    key,
-                },
-                0,
-            ));
-        }
 
-        let next = match bb.exit {
-            BlockExit::Halt => break true,
-            BlockExit::Abort => break false,
-            BlockExit::FallThrough(succ) | BlockExit::Jump(succ) => succ,
-            BlockExit::Branch(taken, fall) => {
+            // Gas: static base + bound EXP exponents + memory expansion,
+            // charged at block granularity. gas_left only ever decreases,
+            // so a boundary check detects out-of-gas on the walked path
+            // (the exact faulting pc does not matter — an unfinishable
+            // walk falls back).
+            let mut charge = plan.static_gas;
+            for term in &plan.exp_terms {
                 let ctx = BindCtx {
                     tx: env,
-                    block,
+                    origin: self.origin,
+                    block: self.block,
                     loads: &loads,
                     loop_vars: &loop_vars,
                 };
-                let cond = plan.cond.as_ref()?.eval(&ctx)?;
-                if cond.is_zero() {
-                    fall
-                } else {
-                    taken
+                let exponent = term.eval(&ctx)?;
+                charge += 50 * exponent.bits().div_ceil(8) as u64;
+            }
+            for &(offset, len) in &plan.mem_touches {
+                let end = offset.checked_add(len).filter(|&e| e <= MEMORY_LIMIT)?;
+                let end_words = end.div_ceil(32) as u64;
+                if end_words > mem_words {
+                    charge += 3 * (end_words - mem_words);
+                    mem_words = end_words;
                 }
             }
-            BlockExit::Unknown => return None,
-        };
-        // Same observation point as the interpreter's release callback:
-        // landing on a release pc, with the gas left at that moment.
-        let next_pc = psag.cfg.blocks[next].start_pc;
-        if release_set.contains(&next_pc) {
-            releases.push((next_pc, gas_left));
-        }
-        // Crossing an edge into a φ head re-binds the head's loop-carried
-        // variables: every assignment's right-hand side is evaluated
-        // against the pre-edge state, then all are committed at once
-        // (parallel copy). An edge that misses a variable, or a
-        // right-hand side that fails to evaluate, falls back.
-        if let Some(vars) = psag.plan.phi_heads.get(&next) {
-            let assigns = psag.plan.phi_edges.get(&(index, next))?;
-            let ctx = BindCtx {
-                tx: env,
-                block,
-                loads: &loads,
-                loop_vars: &loop_vars,
-            };
-            let mut committed = Vec::with_capacity(vars.len());
-            for var in vars {
-                let (_, expr) = assigns.iter().find(|(v, _)| v == var)?;
-                committed.push((*var, expr.eval(&ctx)?));
+            if charge > gas_left {
+                return None;
             }
-            for (var, value) in committed {
-                loop_vars[var] = Some(value);
-            }
-            looped = true;
-        }
-        index = next;
-    };
+            gas_left -= charge;
 
-    Some((
-        RawPrediction {
-            events,
-            releases,
-            snapshot_deps,
-            predicted_success,
-            gas_used: env.gas_limit - gas_left,
-        },
-        looped,
-    ))
+            for access in &plan.accesses {
+                let ctx = BindCtx {
+                    tx: env,
+                    origin: self.origin,
+                    block: self.block,
+                    loads: &loads,
+                    loop_vars: &loop_vars,
+                };
+                let key_value = access.key.expr().eval(&ctx)?;
+                let key = match access.key {
+                    KeyExpr::Storage(_) => StateKey::storage(contract, key_value),
+                    KeyExpr::Balance(_) => StateKey::balance(Address::from_u256(key_value)),
+                };
+                // Mirror SpecHost's merge semantics: reads see own writes
+                // plus pending commutative deltas; a full write folds the
+                // delta. The overlay is shared across frames, so a callee
+                // observes its caller's earlier writes and vice versa.
+                match access.kind {
+                    AccessKind::Read => {
+                        let delta = self.deltas.get(&key).copied().unwrap_or(U256::ZERO);
+                        let value = match self.overlay.get(&key) {
+                            Some(&v) => v.wrapping_add(delta),
+                            None => {
+                                let base = self.snapshot.get(&key);
+                                self.snapshot_deps.insert(key, base);
+                                base.wrapping_add(delta)
+                            }
+                        };
+                        loads[access.load?] = Some(value);
+                    }
+                    AccessKind::Write => {
+                        let value = access.value.as_ref()?.eval(&ctx)?;
+                        self.deltas.remove(&key);
+                        self.overlay.insert(key, value);
+                    }
+                    AccessKind::Add => {
+                        let delta = access.value.as_ref()?.eval(&ctx)?;
+                        let entry = self.deltas.entry(key).or_insert(U256::ZERO);
+                        *entry = entry.wrapping_add(delta);
+                    }
+                }
+                self.events.push((
+                    AccessEvent {
+                        pc: access.pc,
+                        kind: access.kind,
+                        key,
+                    },
+                    depth,
+                ));
+            }
+
+            // A summarized call is always its block's last instruction
+            // (the CFG splits blocks at `CALL`), so the lump charge above
+            // is exactly what the machine had charged when it computed the
+            // 63/64 budget.
+            if let Some(call) = &plan.call {
+                self.called = true;
+                if depth + 1 > CALL_DEPTH_LIMIT {
+                    // The machine pushes 0 here where the plan assumed
+                    // success; let speculation price that path.
+                    return None;
+                }
+                let ctx = BindCtx {
+                    tx: env,
+                    origin: self.origin,
+                    block: self.block,
+                    loads: &loads,
+                    loop_vars: &loop_vars,
+                };
+                let mut input = Vec::with_capacity(call.args.len() * 32);
+                for word in &call.args {
+                    input.extend_from_slice(&word.eval(&ctx)?.to_be_bytes());
+                }
+                input.truncate(call.args_len);
+                let callee_psag = (self.resolver)(&call.callee)?;
+                let callee_budget = gas_left - gas_left / 64;
+                let callee_env = TxEnv {
+                    caller: contract,
+                    contract: call.callee,
+                    value: U256::ZERO,
+                    input,
+                    gas_limit: callee_budget,
+                };
+                let frame = self.frame(&callee_psag, &callee_env, callee_budget, depth + 1)?;
+                gas_left -= callee_budget - frame.gas_left;
+                if !frame.success {
+                    // A failing callee reverts the calling frame at the
+                    // call pc; the revert propagates through every
+                    // ancestor frame (and keeps each frame's gas).
+                    break (false, None);
+                }
+                if call.ret_len > 0 {
+                    let out = frame.output.as_ref()?;
+                    let copy = (out.len() * 32).min(call.ret_len);
+                    let ctx = BindCtx {
+                        tx: env,
+                        origin: self.origin,
+                        block: self.block,
+                        loads: &loads,
+                        loop_vars: &loop_vars,
+                    };
+                    let mut bound = Vec::with_capacity(call.ret_loads.len());
+                    for (w, prev) in call.prev_ret_words.iter().enumerate() {
+                        bound.push(if 32 * (w + 1) <= copy {
+                            out[w]
+                        } else if 32 * w >= copy {
+                            // Short callee output: the word keeps its
+                            // pre-call memory content.
+                            prev.eval(&ctx)?
+                        } else {
+                            return None; // copy boundary splits the word
+                        });
+                    }
+                    for (&id, value) in call.ret_loads.iter().zip(bound) {
+                        loads[id] = Some(value);
+                    }
+                }
+            }
+
+            let next = match bb.exit {
+                BlockExit::Halt => {
+                    // Shape the return payload for the caller, when the
+                    // halting block's plan captured one and every word
+                    // binds. `None` only hurts call sites that need the
+                    // bytes (ret_len > 0) — they fall back.
+                    let output = plan.output.as_ref().and_then(|words| {
+                        let ctx = BindCtx {
+                            tx: env,
+                            origin: self.origin,
+                            block: self.block,
+                            loads: &loads,
+                            loop_vars: &loop_vars,
+                        };
+                        words.iter().map(|w| w.eval(&ctx)).collect()
+                    });
+                    break (true, output);
+                }
+                BlockExit::Abort => break (false, None),
+                BlockExit::FallThrough(succ) | BlockExit::Jump(succ) => succ,
+                BlockExit::Branch(taken, fall) => {
+                    let ctx = BindCtx {
+                        tx: env,
+                        origin: self.origin,
+                        block: self.block,
+                        loads: &loads,
+                        loop_vars: &loop_vars,
+                    };
+                    let cond = plan.cond.as_ref()?.eval(&ctx)?;
+                    if cond.is_zero() {
+                        fall
+                    } else {
+                        taken
+                    }
+                }
+                BlockExit::Unknown => return None,
+            };
+            // Same observation point as the interpreter's release
+            // callback: landing on a release pc, with the gas left at
+            // that moment. The machine only fires release callbacks in
+            // the outermost frame.
+            let next_pc = psag.cfg.blocks[next].start_pc;
+            if depth == 0 && self.release_set.contains(&next_pc) {
+                self.releases.push((next_pc, gas_left));
+            }
+            // Crossing an edge into a φ head re-binds the head's
+            // loop-carried variables: every assignment's right-hand side
+            // is evaluated against the pre-edge state, then all are
+            // committed at once (parallel copy). An edge that misses a
+            // variable, or a right-hand side that fails to evaluate,
+            // falls back.
+            if let Some(vars) = psag.plan.phi_heads.get(&next) {
+                let assigns = psag.plan.phi_edges.get(&(index, next))?;
+                let ctx = BindCtx {
+                    tx: env,
+                    origin: self.origin,
+                    block: self.block,
+                    loads: &loads,
+                    loop_vars: &loop_vars,
+                };
+                let mut committed = Vec::with_capacity(vars.len());
+                for var in vars {
+                    let (_, expr) = assigns.iter().find(|(v, _)| v == var)?;
+                    committed.push((*var, expr.eval(&ctx)?));
+                }
+                for (var, value) in committed {
+                    loop_vars[var] = Some(value);
+                }
+                self.looped = true;
+            }
+            index = next;
+        };
+
+        Some(BoundFrame {
+            gas_left,
+            success,
+            output,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -773,14 +950,48 @@ mod tests {
     const TOKEN: u64 = 100;
     const COUNTER: u64 = 101;
     const FIG1: u64 = 102;
+    const AMM: u64 = 103;
+    const ROUTER: u64 = 104;
+    const TOKEN_A: u64 = 105;
+    const TOKEN_B: u64 = 106;
+    const ROUTER2: u64 = 107;
+    const FLASH: u64 = 108;
+    const ORACLE: u64 = 109;
+    const CONSUMER1: u64 = 110;
+    const CONSUMER2: u64 = 111;
 
     fn analyzer() -> Analyzer {
+        let amm_addr = Address::from_u64(AMM);
+        let token_a = Address::from_u64(TOKEN_A);
+        let token_b = Address::from_u64(TOKEN_B);
+        let consumers = [Address::from_u64(CONSUMER1), Address::from_u64(CONSUMER2)];
         let registry = CodeRegistry::builder()
             .deploy(Address::from_u64(TOKEN), contracts::token())
             .deploy(Address::from_u64(COUNTER), contracts::counter())
             .deploy(Address::from_u64(FIG1), contracts::fig1_example())
+            .deploy(amm_addr, contracts::amm())
+            .deploy(Address::from_u64(ROUTER), contracts::dex_router(amm_addr))
+            .deploy(token_a, contracts::token())
+            .deploy(token_b, contracts::token())
+            .deploy(
+                Address::from_u64(ROUTER2),
+                contracts::dex_router2(amm_addr, token_a, token_b),
+            )
+            .deploy(Address::from_u64(FLASH), contracts::flash_mint(token_a))
+            .deploy(Address::from_u64(ORACLE), contracts::oracle(&consumers))
+            .deploy(consumers[0], contracts::price_consumer())
+            .deploy(consumers[1], contracts::price_consumer())
             .build();
         Analyzer::new(registry)
+    }
+
+    /// AMM pool seeded with reserves 1000/4000.
+    fn amm_snapshot() -> Snapshot {
+        let amm_addr = Address::from_u64(AMM);
+        Snapshot::from_entries([
+            (StateKey::storage(amm_addr, U256::ZERO), U256::from(1000u64)),
+            (StateKey::storage(amm_addr, U256::ONE), U256::from(4000u64)),
+        ])
     }
 
     fn call_tx(contract: u64, caller: u64, selector: u64, args: &[U256]) -> Transaction {
@@ -1107,6 +1318,308 @@ mod tests {
         assert_eq!(p.tier, RefinementTier::Speculative);
         assert!(s.predicted_success);
         assert_same_prediction(&s, &p, "fig1 loop");
+    }
+
+    /// Every router path — the read-only quote (whose return data feeds
+    /// the caller's arithmetic), the two-frame swap, the caller-side
+    /// slippage revert between the two calls — must bind on the
+    /// interprocedural tier and agree bit-for-bit with speculation.
+    #[test]
+    fn router_calls_bind_interprocedural_and_match_speculation() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let snapshot = amm_snapshot();
+        let block = BlockEnv::default();
+        let cases = [
+            (
+                "router quote",
+                call_tx(
+                    ROUTER,
+                    1,
+                    contracts::router_fn::QUOTE,
+                    &[U256::from(100u64)],
+                ),
+                true,
+            ),
+            (
+                "router swap (succeeds)",
+                call_tx(
+                    ROUTER,
+                    1,
+                    contracts::router_fn::SWAP_EXACT,
+                    &[U256::from(100u64), U256::from(300u64)],
+                ),
+                true,
+            ),
+            (
+                "router swap (slippage revert between calls)",
+                call_tx(
+                    ROUTER,
+                    1,
+                    contracts::router_fn::SWAP_EXACT,
+                    &[U256::from(100u64), U256::from(10_000u64)],
+                ),
+                false,
+            ),
+        ];
+        for (what, tx, expect_success) in cases {
+            let s = two_tier.csag(&tx, &snapshot, &block);
+            let p = speculative.csag(&tx, &snapshot, &block);
+            assert_eq!(
+                s.tier,
+                RefinementTier::Interprocedural,
+                "{what}: expected a composed bind"
+            );
+            assert_eq!(p.tier, RefinementTier::Speculative);
+            assert_eq!(s.predicted_success, expect_success, "{what}");
+            assert_same_prediction(&s, &p, what);
+        }
+    }
+
+    /// The successful swap's prediction sees *through* the call: the
+    /// callee's reserve writes and the router's credit show up under the
+    /// pool's address, with nested-frame write pcs opaque to early-write
+    /// visibility (a caller pc cannot order a callee's write).
+    #[test]
+    fn interprocedural_bind_predicts_callee_state_effects() {
+        let a = analyzer();
+        let amm_addr = Address::from_u64(AMM);
+        let tx = call_tx(
+            ROUTER,
+            1,
+            contracts::router_fn::SWAP_EXACT,
+            &[U256::from(100u64), U256::from(300u64)],
+        );
+        let sag = a.csag(&tx, &amm_snapshot(), &BlockEnv::default());
+        assert_eq!(sag.tier, RefinementTier::Interprocedural);
+        assert!(sag.predicted_success);
+        let r0 = StateKey::storage(amm_addr, U256::ZERO);
+        let r1 = StateKey::storage(amm_addr, U256::ONE);
+        assert!(sag.writes.contains(&r0), "reserve A write-through");
+        assert!(sag.writes.contains(&r1), "reserve B write-through");
+        // The swap credits CALLER — which in the nested frame is the
+        // *router*, not the transaction sender.
+        let credit = StateKey::storage(
+            amm_addr,
+            contracts::map_slot(Address::from_u64(ROUTER).to_u256(), 2),
+        );
+        assert!(sag.adds.contains(&credit), "router credited inside pool");
+        // Both reserves were consumed from the snapshot.
+        assert_eq!(sag.snapshot_deps.get(&r0), Some(&U256::from(1000u64)));
+        assert_eq!(sag.snapshot_deps.get(&r1), Some(&U256::from(4000u64)));
+        // Callee-frame writes must not advertise caller-frame pcs.
+        assert_eq!(sag.last_write_pc.get(&r0), Some(&usize::MAX));
+    }
+
+    /// A callee that reverts (the AMM rejects zero-amount swaps) reverts
+    /// the *caller's* frame at the call pc; the bound prediction must
+    /// mirror the interpreter's revert-frame semantics — same verdict,
+    /// same gas, same access trace — which the speculative tier measures
+    /// on the real machine.
+    #[test]
+    fn reverting_callee_matches_interpreter_revert_semantics() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        // amount_in = 0 passes the router's slippage check (0 < 0 is
+        // false) and reverts inside the AMM's swap frame.
+        let tx = call_tx(
+            ROUTER,
+            1,
+            contracts::router_fn::SWAP_EXACT,
+            &[U256::ZERO, U256::ZERO],
+        );
+        let snapshot = amm_snapshot();
+        let block = BlockEnv::default();
+        let s = two_tier.csag(&tx, &snapshot, &block);
+        let p = speculative.csag(&tx, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(!s.predicted_success, "callee revert fails the whole tx");
+        assert_same_prediction(&s, &p, "callee revert");
+    }
+
+    /// The aggregator swap spans four frames (router → pool reserves →
+    /// tokenA.transferFrom → pool swap → tokenB.transfer): the deepest
+    /// stress case for composed binding. The walk must thread the
+    /// callee's return data into the caller's arithmetic, rebind CALLER
+    /// per frame, and stay bit-identical to speculation — on the happy
+    /// path and when the unapproved trader makes a mid-chain callee
+    /// revert.
+    #[test]
+    fn aggregator_swap_binds_across_four_frames() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let trader = Address::from_u64(1);
+        let amm_addr = Address::from_u64(AMM);
+        let token_a = Address::from_u64(TOKEN_A);
+        let token_b = Address::from_u64(TOKEN_B);
+        let router2 = Address::from_u64(ROUTER2);
+        let snapshot = Snapshot::from_entries([
+            (StateKey::storage(amm_addr, U256::ZERO), U256::from(1000u64)),
+            (StateKey::storage(amm_addr, U256::ONE), U256::from(4000u64)),
+            (
+                StateKey::storage(token_a, contracts::map_slot(trader.to_u256(), 1)),
+                U256::from(500u64),
+            ),
+            (
+                StateKey::storage(
+                    token_a,
+                    contracts::map_slot2(trader.to_u256(), router2.to_u256(), 2),
+                ),
+                U256::from(500u64),
+            ),
+            (
+                StateKey::storage(token_b, contracts::map_slot(router2.to_u256(), 1)),
+                U256::from(10_000u64),
+            ),
+        ]);
+        let block = BlockEnv::default();
+        let tx = call_tx(
+            ROUTER2,
+            1,
+            contracts::router2_fn::SWAP,
+            &[U256::from(100u64), U256::from(300u64)],
+        );
+        let s = two_tier.csag(&tx, &snapshot, &block);
+        let p = speculative.csag(&tx, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(s.predicted_success);
+        assert_same_prediction(&s, &p, "aggregator swap");
+        // One transaction, keys under three distinct contracts.
+        assert!(s.writes.contains(&StateKey::storage(amm_addr, U256::ZERO)));
+        assert!(s.writes.contains(&StateKey::storage(
+            token_a,
+            contracts::map_slot(trader.to_u256(), 1)
+        )));
+        assert!(s.adds.contains(&StateKey::storage(
+            token_b,
+            contracts::map_slot(trader.to_u256(), 1)
+        )));
+        // An unapproved trader fails inside tokenA.transferFrom (frame 2
+        // of 4) — still bound, still bit-identical.
+        let broke = call_tx(
+            ROUTER2,
+            2,
+            contracts::router2_fn::SWAP,
+            &[U256::from(100u64), U256::ZERO],
+        );
+        let s = two_tier.csag(&broke, &snapshot, &block);
+        let p = speculative.csag(&broke, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(!s.predicted_success);
+        assert_same_prediction(&s, &p, "aggregator swap (unapproved)");
+    }
+
+    /// Flash-mint's repay only binds because sub-frames share one
+    /// overlay: tokenA.transferFrom in frame 2 must see the balance that
+    /// tokenA.mint credited in frame 1, else the walk would predict an
+    /// insufficient-balance revert that the machine never takes.
+    #[test]
+    fn flash_mint_repay_sees_minted_balance_across_frames() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let borrower = Address::from_u64(1);
+        let token_a = Address::from_u64(TOKEN_A);
+        let flash = Address::from_u64(FLASH);
+        // Only the approval is pre-seeded — the principal exists solely
+        // inside the transaction.
+        let snapshot = Snapshot::from_entries([(
+            StateKey::storage(
+                token_a,
+                contracts::map_slot2(borrower.to_u256(), flash.to_u256(), 2),
+            ),
+            U256::from(1_000_000u64),
+        )]);
+        let block = BlockEnv::default();
+        let tx = call_tx(
+            FLASH,
+            1,
+            contracts::flash_fn::FLASH,
+            &[U256::from(5_000u64)],
+        );
+        let s = two_tier.csag(&tx, &snapshot, &block);
+        let p = speculative.csag(&tx, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(s.predicted_success, "repay must see the minted balance");
+        assert_same_prediction(&s, &p, "flash mint");
+        // The fee tab is an add under the flash contract itself.
+        assert!(s.adds.contains(&StateKey::storage(
+            flash,
+            contracts::map_slot(borrower.to_u256(), 0)
+        )));
+        // Without the approval the repay pull reverts in frame 2 and the
+        // prediction tracks that too.
+        let s = two_tier.csag(&tx, &Snapshot::empty(), &block);
+        let p = speculative.csag(&tx, &Snapshot::empty(), &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(!s.predicted_success);
+        assert_same_prediction(&s, &p, "flash mint (unapproved)");
+    }
+
+    /// An oracle update fans out one call per subscribed consumer; the
+    /// composed prediction covers every consumer's slots so the
+    /// scheduler sees the full conflict footprint up front.
+    #[test]
+    fn oracle_fanout_predicts_every_consumer() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let block = BlockEnv::default();
+        let tx = call_tx(
+            ORACLE,
+            1,
+            contracts::oracle_fn::UPDATE,
+            &[U256::from(777u64)],
+        );
+        let s = two_tier.csag(&tx, &Snapshot::empty(), &block);
+        let p = speculative.csag(&tx, &Snapshot::empty(), &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(s.predicted_success);
+        assert_same_prediction(&s, &p, "oracle fanout");
+        for consumer in [CONSUMER1, CONSUMER2] {
+            let addr = Address::from_u64(consumer);
+            assert!(
+                s.writes.contains(&StateKey::storage(addr, U256::ZERO)),
+                "consumer {consumer} price write predicted"
+            );
+            assert!(
+                s.adds.contains(&StateKey::storage(addr, U256::ONE)),
+                "consumer {consumer} counter add predicted"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,440 @@
+//! Interprocedural call-graph analysis over a contract registry.
+//!
+//! The per-contract abstract interpreter ([`crate::absint`]) already turns
+//! statically-resolvable `CALL` sites into [`PlanCall`] summaries; this
+//! module lifts those site-level facts to the registry level. It builds
+//! the static call graph (an edge per summarized or dynamic call site),
+//! condenses it with Tarjan's SCC algorithm, and classifies every site
+//! and contract:
+//!
+//! - the SCC condensation yields a **bottom-up order** — callees before
+//!   callers — which is the order summaries must be computed in so a
+//!   caller's template can substitute fully-summarized callee plans
+//!   (the [`crate::Analyzer`] P-SAG cache is warmed in this order);
+//! - sites whose callee sits in the same SCC (including self-loops) are
+//!   **recursive** — composing them would not terminate, so the bind
+//!   walk's frame budget would blow and speculation takes over;
+//! - chains nesting deeper than [`CALL_DEPTH_LIMIT`] are flagged, since
+//!   the interpreter fails such calls at runtime (pushing 0) while the
+//!   static plan assumed success;
+//! - dynamic-target sites (callee address not a foldable constant) are
+//!   the paper's unanalyzable residue, surfaced by `dmvcc lint` as
+//!   `unanalyzable-call-target`.
+//!
+//! The verdicts are *advisory*: the C-SAG walk re-checks everything at
+//! bind time and falls back to speculative pre-execution on any mismatch,
+//! so a wrong verdict can cost performance, never correctness.
+
+use std::collections::BTreeMap;
+
+use dmvcc_primitives::Address;
+use dmvcc_vm::{CodeRegistry, CALL_DEPTH_LIMIT};
+
+use crate::absint;
+use crate::cfg::Cfg;
+
+/// Classification of one `CALL` site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallSiteVerdict {
+    /// The callee summary composes into the caller's template.
+    Summarizable,
+    /// Statically-known target with no deployed code: the call trivially
+    /// succeeds with empty return data (modeled exactly, nothing to
+    /// compose).
+    NoCode,
+    /// The callee address does not fold to a constant; the block degrades
+    /// to speculative fallback.
+    DynamicTarget,
+    /// The callee reaches back into the caller's SCC; composition would
+    /// not terminate.
+    Recursive,
+    /// The static call chain below this site nests past
+    /// [`CALL_DEPTH_LIMIT`], where the interpreter fails the call.
+    DepthExceeded,
+}
+
+/// One call site of a contract, as seen by the call graph.
+#[derive(Debug, Clone, Copy)]
+pub struct CallSite {
+    /// Program counter of the `CALL` instruction.
+    pub pc: usize,
+    /// Statically-resolved callee, when the address folded.
+    pub callee: Option<Address>,
+    /// The site's classification.
+    pub verdict: CallSiteVerdict,
+}
+
+/// Aggregate verdict for one deployed contract.
+#[derive(Debug, Clone)]
+pub struct ContractVerdict {
+    /// All call sites, in code order.
+    pub sites: Vec<CallSite>,
+    /// Height of the static call tree rooted here: 0 for leaf contracts,
+    /// `1 + max(callee heights)` otherwise; `usize::MAX` inside a cycle.
+    pub height: usize,
+    /// `true` when every site is [`CallSiteVerdict::Summarizable`] or
+    /// [`CallSiteVerdict::NoCode`] — the contract's own transactions can
+    /// bind across every call edge.
+    pub summarizable: bool,
+}
+
+/// The static call graph of a registry, with its SCC condensation and
+/// per-site verdicts.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Deployed addresses in bottom-up (callees-first) summary order.
+    pub bottom_up: Vec<Address>,
+    /// Strongly connected components, in the same bottom-up order;
+    /// components with more than one member (or a self-loop) are
+    /// recursive.
+    pub sccs: Vec<Vec<Address>>,
+    /// Per-contract classification.
+    pub verdicts: BTreeMap<Address, ContractVerdict>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `registry` by running the per-contract
+    /// abstract interpretation and linking its summarized call sites.
+    pub fn build(registry: &CodeRegistry) -> CallGraph {
+        let mut addrs: Vec<Address> = registry.iter().map(|(a, _)| *a).collect();
+        addrs.sort();
+        let index_of: BTreeMap<Address, usize> =
+            addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+        // Per contract: (pc, Option<callee>) for every call site.
+        let mut raw_sites: Vec<Vec<(usize, Option<Address>)>> = Vec::with_capacity(addrs.len());
+        for addr in &addrs {
+            let code = registry.code(addr).expect("address came from the registry");
+            let mut cfg = Cfg::build(&code);
+            let plan = absint::analyze_with(&code, &mut cfg, Some(registry));
+            let mut sites = Vec::new();
+            for block in &plan.blocks {
+                if let Some(call) = &block.call {
+                    sites.push((call.pc, Some(call.callee)));
+                }
+                if let Some((pc, callee)) = block.no_code_call {
+                    sites.push((pc, Some(callee)));
+                }
+                if let Some(pc) = block.dynamic_call {
+                    sites.push((pc, None));
+                }
+            }
+            sites.sort_by_key(|&(pc, _)| pc);
+            raw_sites.push(sites);
+        }
+
+        // Edges restricted to deployed callees (a no-code target has no
+        // node to point at).
+        let succs: Vec<Vec<usize>> = raw_sites
+            .iter()
+            .map(|sites| {
+                sites
+                    .iter()
+                    .filter_map(|(_, callee)| callee.and_then(|c| index_of.get(&c).copied()))
+                    .collect()
+            })
+            .collect();
+
+        let sccs = tarjan_sccs(&succs);
+        // Tarjan emits components in reverse topological order of the
+        // condensation — callees before callers — exactly the bottom-up
+        // summary order.
+        let mut scc_of = vec![0usize; addrs.len()];
+        for (scc_index, component) in sccs.iter().enumerate() {
+            for &node in component {
+                scc_of[node] = scc_index;
+            }
+        }
+        let recursive_scc: Vec<bool> = sccs
+            .iter()
+            .map(|component| {
+                component.len() > 1 || component.iter().any(|&n| succs[n].contains(&n))
+            })
+            .collect();
+
+        // Heights bottom-up over the condensation DAG.
+        let mut height = vec![0usize; addrs.len()];
+        for component in &sccs {
+            for &node in component {
+                if recursive_scc[scc_of[node]] {
+                    height[node] = usize::MAX;
+                    continue;
+                }
+                let mut h = 0usize;
+                for &succ in &succs[node] {
+                    let below = height[succ];
+                    h = h.max(below.saturating_add(1));
+                }
+                height[node] = h;
+            }
+        }
+
+        let mut verdicts = BTreeMap::new();
+        for (i, addr) in addrs.iter().enumerate() {
+            let sites: Vec<CallSite> = raw_sites[i]
+                .iter()
+                .map(|&(pc, callee)| {
+                    let verdict = match callee {
+                        None => CallSiteVerdict::DynamicTarget,
+                        Some(c) => match index_of.get(&c) {
+                            None => CallSiteVerdict::NoCode,
+                            Some(&j) if scc_of[j] == scc_of[i] || recursive_scc[scc_of[j]] => {
+                                CallSiteVerdict::Recursive
+                            }
+                            Some(&j) if height[j].saturating_add(1) > CALL_DEPTH_LIMIT => {
+                                CallSiteVerdict::DepthExceeded
+                            }
+                            Some(_) => CallSiteVerdict::Summarizable,
+                        },
+                    };
+                    CallSite {
+                        pc,
+                        callee,
+                        verdict,
+                    }
+                })
+                .collect();
+            let summarizable = sites.iter().all(|s| {
+                matches!(
+                    s.verdict,
+                    CallSiteVerdict::Summarizable | CallSiteVerdict::NoCode
+                )
+            });
+            verdicts.insert(
+                *addr,
+                ContractVerdict {
+                    sites,
+                    height: height[i],
+                    summarizable,
+                },
+            );
+        }
+
+        CallGraph {
+            bottom_up: sccs.iter().flatten().map(|&n| addrs[n]).collect(),
+            sccs: sccs
+                .iter()
+                .map(|component| component.iter().map(|&n| addrs[n]).collect())
+                .collect(),
+            verdicts,
+        }
+    }
+
+    /// Sites with the given verdict across the whole registry, as
+    /// `(contract, pc)` pairs in address order.
+    pub fn sites_with(&self, verdict: CallSiteVerdict) -> Vec<(Address, usize)> {
+        self.verdicts
+            .iter()
+            .flat_map(|(addr, v)| {
+                v.sites
+                    .iter()
+                    .filter(move |s| s.verdict == verdict)
+                    .map(move |s| (*addr, s.pc))
+            })
+            .collect()
+    }
+}
+
+/// Iterative Tarjan SCC over an adjacency list; components are emitted in
+/// reverse topological order (every edge leaves a later component).
+fn tarjan_sccs(succs: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let n = succs.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (node, ref mut pos)) = frames.last_mut() {
+            if *pos == 0 {
+                index[node] = next_index;
+                lowlink[node] = next_index;
+                next_index += 1;
+                stack.push(node);
+                on_stack[node] = true;
+            }
+            if let Some(&succ) = succs[node].get(*pos) {
+                *pos += 1;
+                if index[succ] == UNVISITED {
+                    frames.push((succ, 0));
+                } else if on_stack[succ] {
+                    lowlink[node] = lowlink[node].min(index[succ]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                lowlink[parent] = lowlink[parent].min(lowlink[node]);
+            }
+            if lowlink[node] == index[node] {
+                let mut component = Vec::new();
+                loop {
+                    let member = stack.pop().expect("stack holds the component");
+                    on_stack[member] = false;
+                    component.push(member);
+                    if member == node {
+                        break;
+                    }
+                }
+                component.sort_unstable();
+                components.push(component);
+            }
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmvcc_vm::{assemble, contracts};
+
+    /// A contract that CALLs `target` with a static address and stops.
+    fn caller_of(target: Address) -> Vec<u8> {
+        let hex: String = target
+            .to_u256()
+            .to_be_bytes()
+            .iter()
+            .skip(12)
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS CALL POP STOP"
+        ))
+        .expect("valid assembly")
+    }
+
+    /// A contract whose CALL target comes off calldata → dynamic at
+    /// analysis time (constant arithmetic would fold away).
+    fn dynamic_caller() -> Vec<u8> {
+        assemble(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 \
+             PUSH1 0 CALLDATALOAD GAS CALL POP STOP",
+        )
+        .expect("valid assembly")
+    }
+
+    #[test]
+    fn linear_chain_orders_bottom_up() {
+        let leaf = Address::from_u64(1);
+        let mid = Address::from_u64(2);
+        let top = Address::from_u64(3);
+        let registry = CodeRegistry::builder()
+            .deploy(leaf, contracts::counter())
+            .deploy(mid, caller_of(leaf))
+            .deploy(top, caller_of(mid))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let pos = |a: Address| graph.bottom_up.iter().position(|&x| x == a).unwrap();
+        assert!(pos(leaf) < pos(mid), "callee before caller");
+        assert!(pos(mid) < pos(top));
+        assert_eq!(graph.verdicts[&leaf].height, 0);
+        assert_eq!(graph.verdicts[&mid].height, 1);
+        assert_eq!(graph.verdicts[&top].height, 2);
+        assert!(graph.verdicts[&top].summarizable);
+        assert_eq!(
+            graph.verdicts[&top].sites[0].verdict,
+            CallSiteVerdict::Summarizable
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_scc() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(2);
+        let registry = CodeRegistry::builder()
+            .deploy(a, caller_of(b))
+            .deploy(b, caller_of(a))
+            .build();
+        let graph = CallGraph::build(&registry);
+        assert!(graph.sccs.iter().any(|c| c.len() == 2));
+        assert_eq!(
+            graph.verdicts[&a].sites[0].verdict,
+            CallSiteVerdict::Recursive
+        );
+        assert!(!graph.verdicts[&a].summarizable);
+        assert_eq!(graph.verdicts[&a].height, usize::MAX);
+    }
+
+    #[test]
+    fn self_call_is_recursive() {
+        let a = Address::from_u64(1);
+        let registry = CodeRegistry::builder().deploy(a, caller_of(a)).build();
+        let graph = CallGraph::build(&registry);
+        assert_eq!(
+            graph.verdicts[&a].sites[0].verdict,
+            CallSiteVerdict::Recursive
+        );
+    }
+
+    #[test]
+    fn dynamic_target_flagged() {
+        let a = Address::from_u64(1);
+        let registry = CodeRegistry::builder().deploy(a, dynamic_caller()).build();
+        let graph = CallGraph::build(&registry);
+        assert_eq!(
+            graph.verdicts[&a].sites[0].verdict,
+            CallSiteVerdict::DynamicTarget
+        );
+        assert_eq!(graph.sites_with(CallSiteVerdict::DynamicTarget).len(), 1);
+    }
+
+    #[test]
+    fn no_code_target_is_benign() {
+        let a = Address::from_u64(1);
+        let registry = CodeRegistry::builder()
+            .deploy(a, caller_of(Address::from_u64(99)))
+            .build();
+        let graph = CallGraph::build(&registry);
+        assert_eq!(graph.verdicts[&a].sites[0].verdict, CallSiteVerdict::NoCode);
+        assert!(graph.verdicts[&a].summarizable);
+    }
+
+    #[test]
+    fn depth_limit_chain_flagged() {
+        // A chain of CALL_DEPTH_LIMIT + 1 contracts: the top site's static
+        // chain nests past the interpreter's frame limit.
+        let addr = |i: usize| Address::from_u64(100 + i as u64);
+        let mut builder = CodeRegistry::builder().deploy(addr(0), contracts::counter());
+        for i in 1..=CALL_DEPTH_LIMIT + 1 {
+            builder = builder.deploy(addr(i), caller_of(addr(i - 1)));
+        }
+        let graph = CallGraph::build(&builder.build());
+        let top = addr(CALL_DEPTH_LIMIT + 1);
+        assert_eq!(
+            graph.verdicts[&top].sites[0].verdict,
+            CallSiteVerdict::DepthExceeded
+        );
+        // One level down still fits.
+        assert_eq!(
+            graph.verdicts[&addr(CALL_DEPTH_LIMIT)].sites[0].verdict,
+            CallSiteVerdict::Summarizable
+        );
+    }
+
+    #[test]
+    fn fixture_universe_routers_summarizable() {
+        let amm = Address::from_u64(1);
+        let router = Address::from_u64(2);
+        let registry = CodeRegistry::builder()
+            .deploy(amm, contracts::amm())
+            .deploy(router, contracts::dex_router(amm))
+            .build();
+        let graph = CallGraph::build(&registry);
+        assert!(
+            graph.verdicts[&router].summarizable,
+            "router sites: {:?}",
+            graph.verdicts[&router].sites
+        );
+        assert!(!graph.verdicts[&router].sites.is_empty());
+    }
+}

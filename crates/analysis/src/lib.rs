@@ -28,19 +28,21 @@ mod cfg;
 mod commute;
 mod csag;
 mod gas;
+mod interproc;
 mod lint;
 mod loops;
 mod psag;
 mod symbolic;
 
-pub use absint::{analyze, BlockPlan, ContractPlan, KeyExpr, PlanAccess};
+pub use absint::{analyze, analyze_with, BlockPlan, ContractPlan, KeyExpr, PlanAccess, PlanCall};
 pub use cfg::{decode, BasicBlock, BlockExit, Cfg, Instruction};
 pub use commute::{classify_increments, IncrementClass, IncrementReport};
 pub use csag::{
     AccessEvent, AnalysisConfig, Analyzer, CSag, RefinementMode, RefinementTier, ReleasePoint,
 };
 pub use gas::{cfg_to_dot, loop_gas_bounds, static_gas_bounds};
-pub use lint::{lint_contract, ContractLint, Finding, Severity};
+pub use interproc::{CallGraph, CallSiteVerdict, ContractVerdict};
+pub use lint::{call_site_findings, lint_contract, lint_deployed, ContractLint, Finding, Severity};
 pub use loops::{
     analyze_loops, InductionVar, KeyFamily, LoopInfo, LoopSummary, Step, TripCount, TripSource,
 };

@@ -8,10 +8,14 @@
 //! so contract authors (and CI) can see prediction quality *before*
 //! anything executes; the `dmvcc lint` subcommand renders them.
 
+use dmvcc_primitives::Address;
+use dmvcc_vm::{CodeRegistry, CALL_DEPTH_LIMIT};
+
 use crate::absint::ContractPlan;
 use crate::cfg::Cfg;
 use crate::commute::{classify_increments, IncrementClass};
 use crate::gas::loop_gas_bounds;
+use crate::interproc::{CallGraph, CallSiteVerdict, ContractVerdict};
 use crate::loops::LoopInfo;
 use crate::psag::PSag;
 
@@ -72,7 +76,11 @@ impl ContractLint {
 /// of which resolve to a template, and a contract with no release points
 /// at all — both defeat the point of static analysis.
 pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
-    let psag = PSag::build(code);
+    lint_from_psag(name, &PSag::build(code))
+}
+
+/// Shared lint body over an already-built P-SAG (registry-aware or not).
+fn lint_from_psag(name: &str, psag: &PSag) -> ContractLint {
     let plan = &psag.plan;
     let access_ops = psag.ops.len();
     let template_resolved = psag.template_resolved().count();
@@ -116,6 +124,20 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
         }
     }
 
+    for block_plan in &plan.blocks {
+        if let Some(pc) = block_plan.dynamic_call {
+            findings.push(Finding {
+                severity: Severity::Warning,
+                code: "unanalyzable-call-target",
+                pc: Some(pc),
+                message: format!(
+                    "CALL at pc {pc} has a dynamic callee address; the callee's accesses \
+                     cannot be summarized and paths through it refine speculatively"
+                ),
+            });
+        }
+    }
+
     unbounded_gas_findings(&psag.cfg, plan, &psag.loops, &mut findings);
     loop_findings(&psag.cfg, plan, &psag.loops, &mut findings);
 
@@ -153,6 +175,70 @@ pub fn lint_contract(name: &str, code: &[u8]) -> ContractLint {
         release_points: psag.release_pcs.len(),
         findings,
     }
+}
+
+/// Call-graph findings for one deployed contract: sites the
+/// interprocedural summarizer had to bail out on, from the
+/// [`CallGraph`]'s per-site verdicts.
+///
+/// `Summarizable` and `NoCode` sites are silent (both bind statically),
+/// and `DynamicTarget` is skipped here because the plan-level scan in
+/// [`lint_contract`] already reports it as `unanalyzable-call-target`.
+pub fn call_site_findings(verdict: &ContractVerdict) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in &verdict.sites {
+        match site.verdict {
+            CallSiteVerdict::Recursive => findings.push(Finding {
+                severity: Severity::Warning,
+                code: "recursive-call",
+                pc: Some(site.pc),
+                message: format!(
+                    "CALL at pc {} re-enters its own strongly-connected component; \
+                     recursive chains are never summarized and refine speculatively",
+                    site.pc
+                ),
+            }),
+            CallSiteVerdict::DepthExceeded => findings.push(Finding {
+                severity: Severity::Warning,
+                code: "call-depth-bailout",
+                pc: Some(site.pc),
+                message: format!(
+                    "CALL at pc {} heads a static chain nesting deeper than the \
+                     interpreter's frame limit ({CALL_DEPTH_LIMIT}); the summary \
+                     walk bails out and the site refines speculatively",
+                    site.pc
+                ),
+            }),
+            CallSiteVerdict::Summarizable
+            | CallSiteVerdict::NoCode
+            | CallSiteVerdict::DynamicTarget => {}
+        }
+    }
+    findings
+}
+
+/// Lints one deployed contract against its whole universe: the base
+/// [`lint_contract`] pass runs registry-aware (so summarizable `CALL`
+/// sites don't degrade to `opaque-block`), then the [`CallGraph`]'s
+/// per-site bailout verdicts (`recursive-call`, `call-depth-bailout`)
+/// are folded in.
+pub fn lint_deployed(
+    name: &str,
+    address: Address,
+    registry: &CodeRegistry,
+    graph: &CallGraph,
+) -> ContractLint {
+    let code = registry
+        .code(&address)
+        .expect("lint_deployed: address has no code in the registry")
+        .to_vec();
+    let psag = PSag::build_with(&code, Some(registry));
+    let mut lint = lint_from_psag(name, &psag);
+    if let Some(verdict) = graph.verdicts.get(&address) {
+        lint.findings.extend(call_site_findings(verdict));
+    }
+    lint.findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    lint
 }
 
 /// Warns on release points whose gas bound is unknown even after loop
@@ -379,6 +465,130 @@ mod tests {
             .find(|f| f.code == "irreducible-loop")
             .expect("irreducible region must be flagged");
         assert!(finding.pc.is_some());
+    }
+
+    /// A contract that CALLs `target` with a static address and stops.
+    fn caller_of(target: Address) -> Vec<u8> {
+        let hex: String = target
+            .to_u256()
+            .to_be_bytes()
+            .iter()
+            .skip(12)
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS CALL POP \
+             PUSH1 1 PUSH1 0 SSTORE STOP"
+        ))
+        .expect("valid assembly")
+    }
+
+    #[test]
+    fn dynamic_call_target_is_flagged() {
+        let code = assemble(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 \
+             PUSH1 0 CALLDATALOAD GAS CALL POP PUSH1 1 PUSH1 0 SSTORE STOP",
+        )
+        .unwrap();
+        let lint = lint_contract("dynamic", &code);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "unanalyzable-call-target")
+            .expect("dynamic callee must be flagged");
+        assert_eq!(finding.severity, Severity::Warning);
+        assert!(finding.pc.is_some());
+    }
+
+    #[test]
+    fn recursive_pair_is_flagged_in_deployed_lint() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(2);
+        let registry = dmvcc_vm::CodeRegistry::builder()
+            .deploy(a, caller_of(b))
+            .deploy(b, caller_of(a))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let lint = lint_deployed("a", a, &registry, &graph);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "recursive-call")
+            .expect("recursive site must be flagged");
+        assert_eq!(finding.severity, Severity::Warning);
+        assert!(finding.pc.is_some());
+        // The plan-level scan stays quiet: the callee address is static.
+        assert!(!lint
+            .findings
+            .iter()
+            .any(|f| f.code == "unanalyzable-call-target"));
+    }
+
+    #[test]
+    fn deep_chain_is_flagged_in_deployed_lint() {
+        let addr = |i: usize| Address::from_u64(100 + i as u64);
+        let mut builder = dmvcc_vm::CodeRegistry::builder().deploy(addr(0), contracts::counter());
+        for i in 1..=CALL_DEPTH_LIMIT + 1 {
+            builder = builder.deploy(addr(i), caller_of(addr(i - 1)));
+        }
+        let registry = builder.build();
+        let graph = CallGraph::build(&registry);
+        let top = addr(CALL_DEPTH_LIMIT + 1);
+        let lint = lint_deployed("top", top, &registry, &graph);
+        assert!(lint
+            .findings
+            .iter()
+            .any(|f| f.code == "call-depth-bailout" && f.severity == Severity::Warning));
+        // One level down still summarizes cleanly.
+        let below = lint_deployed("below", addr(CALL_DEPTH_LIMIT), &registry, &graph);
+        assert!(!below
+            .findings
+            .iter()
+            .any(|f| f.code == "call-depth-bailout"));
+    }
+
+    #[test]
+    fn deployed_call_universe_lints_clean() {
+        // The router/flash/oracle scenarios summarize end to end: no call
+        // bailouts and no opaque blocks at their CALL sites.
+        let amm = Address::from_u64(1);
+        let token_a = Address::from_u64(2);
+        let token_b = Address::from_u64(3);
+        let router2 = Address::from_u64(4);
+        let flash = Address::from_u64(5);
+        let c1 = Address::from_u64(6);
+        let c2 = Address::from_u64(7);
+        let oracle = Address::from_u64(8);
+        let registry = dmvcc_vm::CodeRegistry::builder()
+            .deploy(amm, contracts::amm())
+            .deploy(token_a, contracts::token())
+            .deploy(token_b, contracts::token())
+            .deploy(router2, contracts::dex_router2(amm, token_a, token_b))
+            .deploy(flash, contracts::flash_mint(token_a))
+            .deploy(c1, contracts::price_consumer())
+            .deploy(c2, contracts::price_consumer())
+            .deploy(oracle, contracts::oracle(&[c1, c2]))
+            .build();
+        let graph = CallGraph::build(&registry);
+        for (name, address) in [
+            ("router2", router2),
+            ("flash_mint", flash),
+            ("oracle", oracle),
+        ] {
+            let lint = lint_deployed(name, address, &registry, &graph);
+            assert!(!lint.has_errors(), "{name}: {:#?}", lint.findings);
+            for code in [
+                "unanalyzable-call-target",
+                "recursive-call",
+                "call-depth-bailout",
+            ] {
+                assert!(
+                    !lint.findings.iter().any(|f| f.code == code),
+                    "{name} unexpectedly hit {code}: {:#?}",
+                    lint.findings
+                );
+            }
+        }
     }
 
     #[test]

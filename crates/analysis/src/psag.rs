@@ -7,6 +7,7 @@
 //! after the last reachable abortable statement.
 
 use dmvcc_primitives::U256;
+use dmvcc_vm::CodeRegistry;
 
 use crate::absint::{self, ContractPlan};
 use crate::cfg::Cfg;
@@ -65,10 +66,18 @@ pub struct PSag {
 }
 
 impl PSag {
-    /// Builds the P-SAG of `code`.
+    /// Builds the P-SAG of `code`. Cross-contract calls degrade to
+    /// speculative fallback; see [`PSag::build_with`].
     pub fn build(code: &[u8]) -> PSag {
+        PSag::build_with(code, None)
+    }
+
+    /// Builds the P-SAG of `code` with a code registry in scope, so
+    /// statically-resolvable `CALL` sites become composable summaries
+    /// instantiated across call edges at bind time.
+    pub fn build_with(code: &[u8], registry: Option<&CodeRegistry>) -> PSag {
         let mut cfg = Cfg::build(code);
-        let plan = absint::analyze(code, &mut cfg);
+        let plan = absint::analyze_with(code, &mut cfg, registry);
         // One SagOp per access node, in code order (blocks are sorted by
         // start pc, plan accesses by instruction order). `slot` keeps its
         // historical meaning — a key the code names as a literal constant;

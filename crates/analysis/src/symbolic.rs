@@ -15,7 +15,7 @@
 
 use core::fmt;
 
-use dmvcc_primitives::{keccak256, U256};
+use dmvcc_primitives::{keccak256, Address, U256};
 use dmvcc_vm::{word_at, BlockEnv, TxEnv};
 
 /// Unary operators of the symbolic domain.
@@ -88,9 +88,13 @@ pub enum SymExpr {
     CallDataWord(usize),
     /// The calldata length in bytes.
     CallDataSize,
-    /// The transaction sender (`CALLER`/`ORIGIN` coincide at the top
-    /// frame, the only frame plans are built for).
+    /// The current frame's sender (`CALLER`). At the top frame this is
+    /// the transaction sender; in a composed callee frame the caller
+    /// contract's address is substituted at the call site.
     Caller,
+    /// The top-level transaction sender (`ORIGIN`), invariant across
+    /// nested call frames.
+    Origin,
     /// The executing contract's address.
     SelfAddr,
     /// The transaction's attached value.
@@ -119,8 +123,10 @@ pub enum SymExpr {
 
 /// Everything needed to evaluate a template against one transaction.
 pub struct BindCtx<'a> {
-    /// The transaction being bound.
+    /// The frame environment being bound (synthetic for callee frames).
     pub tx: &'a TxEnv,
+    /// The top-level transaction sender (`ORIGIN` across every frame).
+    pub origin: Address,
     /// The block environment.
     pub block: &'a BlockEnv,
     /// Values produced by read accesses earlier in the walk, by load id.
@@ -248,6 +254,7 @@ impl SymExpr {
             SymExpr::CallDataWord(offset) => Some(word_at(&ctx.tx.input, *offset)),
             SymExpr::CallDataSize => Some(U256::from(ctx.tx.input.len())),
             SymExpr::Caller => Some(ctx.tx.caller.to_u256()),
+            SymExpr::Origin => Some(ctx.origin.to_u256()),
             SymExpr::SelfAddr => Some(ctx.tx.contract.to_u256()),
             SymExpr::CallValue => Some(ctx.tx.value),
             SymExpr::BlockNumber => Some(U256::from(ctx.block.number)),
@@ -281,6 +288,7 @@ impl fmt::Display for SymExpr {
             SymExpr::CallDataWord(offset) => write!(f, "calldata[{offset}]"),
             SymExpr::CallDataSize => write!(f, "calldatasize"),
             SymExpr::Caller => write!(f, "caller"),
+            SymExpr::Origin => write!(f, "origin"),
             SymExpr::SelfAddr => write!(f, "address(this)"),
             SymExpr::CallValue => write!(f, "callvalue"),
             SymExpr::BlockNumber => write!(f, "block.number"),
@@ -339,6 +347,7 @@ mod tests {
     fn ctx<'a>(tx: &'a TxEnv, block: &'a BlockEnv, loads: &'a [Option<U256>]) -> BindCtx<'a> {
         BindCtx {
             tx,
+            origin: tx.caller,
             block,
             loads,
             loop_vars: &[],

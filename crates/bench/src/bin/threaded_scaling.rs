@@ -5,10 +5,13 @@
 //! all access sequences, every publish a condvar broadcast. The "after"
 //! series is the sharded [`ParallelExecutor`] — per-shard locks, a reverse
 //! waiter index with targeted wakeups, and work-stealing ready deques.
-//! Both run the same prepared blocks on a realistic, a high-contention and
-//! a loop-heavy workload (the last dominated by summarizable credit
-//! loops, exercising bind-time loop unrolling); every outcome is checked against the serial write set before
-//! it is timed into the report (a wrong-but-fast executor scores zero).
+//! Both run the same prepared blocks on a realistic, a high-contention, a
+//! loop-heavy workload (dominated by summarizable credit loops, exercising
+//! bind-time loop unrolling) and a call-heavy workload (dominated by
+//! cross-contract router/flash-mint/oracle chains, exercising bind-time
+//! summary substitution); every outcome is checked against the serial
+//! write set before it is timed into the report (a wrong-but-fast executor
+//! scores zero).
 //!
 //! Every (executor, workload, threads) cell is measured under both
 //! ready-queue policies — `fifo` and `critical-path` — and each point
@@ -60,10 +63,12 @@ struct ScalingPoint {
     parks: u64,
     symbolic_bindings: u64,
     loop_summarized_bindings: u64,
+    interprocedural_bindings: u64,
     speculative_fallbacks: u64,
     /// Fraction of refined C-SAGs served without speculative pre-execution
-    /// — straight symbolic bindings plus bind-time loop unrolls (transfers,
-    /// which need neither, are excluded from the denominator).
+    /// — straight symbolic bindings plus bind-time loop unrolls and
+    /// cross-contract summary substitutions (transfers, which need none of
+    /// these, are excluded from the denominator).
     symbolic_hit_rate: f64,
     /// Wakeups issued per committed transaction: broadcasts for the
     /// global-lock executor, targeted signals for the sharded one.
@@ -182,6 +187,7 @@ fn measure(
         stats.parks += outcome.stats.parks;
         stats.symbolic_bindings += outcome.stats.symbolic_bindings;
         stats.loop_summarized_bindings += outcome.stats.loop_summarized_bindings;
+        stats.interprocedural_bindings += outcome.stats.interprocedural_bindings;
         stats.speculative_fallbacks += outcome.stats.speculative_fallbacks;
         stats.critical_path_gas += outcome.stats.critical_path_gas;
         stats.predicted_gas += outcome.stats.predicted_gas;
@@ -218,10 +224,14 @@ fn measure(
         parks: stats.parks,
         symbolic_bindings: stats.symbolic_bindings,
         loop_summarized_bindings: stats.loop_summarized_bindings,
+        interprocedural_bindings: stats.interprocedural_bindings,
         speculative_fallbacks: stats.speculative_fallbacks,
-        symbolic_hit_rate: (stats.symbolic_bindings + stats.loop_summarized_bindings) as f64
+        symbolic_hit_rate: (stats.symbolic_bindings
+            + stats.loop_summarized_bindings
+            + stats.interprocedural_bindings) as f64
             / (stats.symbolic_bindings
                 + stats.loop_summarized_bindings
+                + stats.interprocedural_bindings
                 + stats.speculative_fallbacks)
                 .max(1) as f64,
         wakeups_per_commit: wakeups as f64 / txs.max(1) as f64,
@@ -268,6 +278,7 @@ fn main() {
         ("realistic", WorkloadConfig::ethereum_mix(31)),
         ("high-contention", WorkloadConfig::high_contention(31)),
         ("loop-heavy", WorkloadConfig::loop_heavy(31)),
+        ("call-heavy", WorkloadConfig::call_heavy(31)),
     ] {
         let (analyzer, chain) = prepare(workload, blocks, block_size);
         for threads in THREADS {
@@ -471,8 +482,10 @@ fn main() {
     // Loop summarization must carry the loop-heavy workload: speculative
     // pre-execution is the exception there, not the rule.
     for point in report.after.iter().filter(|p| p.workload == "loop-heavy") {
-        let refinements =
-            point.symbolic_bindings + point.loop_summarized_bindings + point.speculative_fallbacks;
+        let refinements = point.symbolic_bindings
+            + point.loop_summarized_bindings
+            + point.interprocedural_bindings
+            + point.speculative_fallbacks;
         assert!(
             (point.speculative_fallbacks as f64) < 0.10 * refinements.max(1) as f64,
             "loop-heavy workload fell back to speculation {}x of {} refinements",
@@ -482,6 +495,26 @@ fn main() {
         assert!(
             point.loop_summarized_bindings > 0,
             "loop-heavy workload produced no loop-summarized bindings"
+        );
+    }
+
+    // Interprocedural summaries must carry the call-heavy workload the
+    // same way: the cross-contract chains bind from composed templates,
+    // not via speculative pre-execution.
+    for point in report.after.iter().filter(|p| p.workload == "call-heavy") {
+        let refinements = point.symbolic_bindings
+            + point.loop_summarized_bindings
+            + point.interprocedural_bindings
+            + point.speculative_fallbacks;
+        assert!(
+            (point.speculative_fallbacks as f64) < 0.10 * refinements.max(1) as f64,
+            "call-heavy workload fell back to speculation {}x of {} refinements",
+            point.speculative_fallbacks,
+            refinements
+        );
+        assert!(
+            point.interprocedural_bindings > 0,
+            "call-heavy workload produced no interprocedural bindings"
         );
     }
 

@@ -101,6 +101,11 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
 }
 
 /// The built-in contract library by name.
+///
+/// The call-bearing contracts (`router`, `router2`, `flash_mint`,
+/// `oracle`) are parameterized over callee addresses at build time; here
+/// they are bound to the fixture universe of [`fixture_registry`], so the
+/// bytecode returned for them matches what that registry deploys.
 pub fn contract_by_name(name: &str) -> Option<Vec<u8>> {
     use dmvcc_vm::contracts;
     Some(match name {
@@ -115,12 +120,24 @@ pub fn contract_by_name(name: &str) -> Option<Vec<u8>> {
         "batch_pay" => contracts::batch_pay(),
         "airdrop" => contracts::airdrop(),
         "batch_transfer" => contracts::batch_transfer(),
+        "router" => contracts::dex_router(fixture_address("amm").expect("amm fixture")),
+        "router2" => contracts::dex_router2(
+            fixture_address("amm").expect("amm fixture"),
+            fixture_address("token").expect("token fixture"),
+            fixture_token_b(),
+        ),
+        "flash_mint" => contracts::flash_mint(fixture_address("token").expect("token fixture")),
+        "oracle" => contracts::oracle(&[
+            fixture_address("price_consumer").expect("consumer fixture"),
+            fixture_consumer_b(),
+        ]),
+        "price_consumer" => contracts::price_consumer(),
         _ => return None,
     })
 }
 
 /// Names of the built-in contracts.
-pub const CONTRACT_NAMES: [&str; 11] = [
+pub const CONTRACT_NAMES: [&str; 16] = [
     "token",
     "counter",
     "amm",
@@ -132,7 +149,48 @@ pub const CONTRACT_NAMES: [&str; 11] = [
     "batch_pay",
     "airdrop",
     "batch_transfer",
+    "router",
+    "router2",
+    "flash_mint",
+    "oracle",
+    "price_consumer",
 ];
+
+/// The fixture address each named library contract deploys at in
+/// [`fixture_registry`]; `None` for unknown names.
+pub fn fixture_address(name: &str) -> Option<dmvcc_primitives::Address> {
+    CONTRACT_NAMES
+        .iter()
+        .position(|&n| n == name)
+        .map(|i| dmvcc_primitives::Address::from_u64(9_000 + i as u64))
+}
+
+/// A second token the fixture `router2` swaps into (same `token` code,
+/// its own address — a swap must touch two distinct token contracts).
+fn fixture_token_b() -> dmvcc_primitives::Address {
+    dmvcc_primitives::Address::from_u64(9_100)
+}
+
+/// A second price consumer so the fixture `oracle` fans out to more than
+/// one subscriber.
+fn fixture_consumer_b() -> dmvcc_primitives::Address {
+    dmvcc_primitives::Address::from_u64(9_101)
+}
+
+/// Deploys the whole library at its fixture addresses (plus the second
+/// token and consumer the parameterized contracts are bound to), so
+/// `analyze` and `lint` can resolve cross-contract `CALL` targets.
+pub fn fixture_registry() -> dmvcc_vm::CodeRegistry {
+    let mut builder = dmvcc_vm::CodeRegistry::builder();
+    for name in CONTRACT_NAMES {
+        let code = contract_by_name(name).expect("listed contracts exist");
+        builder = builder.deploy(fixture_address(name).expect("listed fixture"), code);
+    }
+    builder
+        .deploy(fixture_token_b(), dmvcc_vm::contracts::token())
+        .deploy(fixture_consumer_b(), dmvcc_vm::contracts::price_consumer())
+        .build()
+}
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -147,9 +205,11 @@ USAGE:
   dmvcc lint [<contract>…|--all] [--json]
       Check prediction quality of library contracts: unresolved keys,
       missing release points, unbounded blocks, unbounded or
-      irreducible loops, non-commutable increments. --json emits one
-      finding object per line (contract, severity, code, pc, message).
-      Exits nonzero when any contract has lint errors.
+      irreducible loops, non-commutable increments, and call-site
+      bailouts (unanalyzable-call-target, recursive-call,
+      call-depth-bailout) against the fixture call graph. --json emits
+      one finding object per line (contract, severity, code, pc,
+      message). Exits nonzero when any contract has lint errors.
   dmvcc run [--hot] [--blocks N] [--size M] [--threads T]
             [--scheduler serial|dag|occ|dmvcc|all] [--seed S]
       Generate blocks and report scheduler speedups (virtual time).
@@ -232,5 +292,28 @@ mod tests {
             assert!(contract_by_name(name).is_some(), "{name} missing");
         }
         assert!(contract_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn fixture_registry_deploys_every_contract() {
+        let registry = fixture_registry();
+        for name in CONTRACT_NAMES {
+            let addr = fixture_address(name).expect("listed fixture");
+            assert!(registry.code(&addr).is_some(), "{name} not deployed");
+        }
+        assert!(fixture_address("nope").is_none());
+    }
+
+    #[test]
+    fn fixture_call_sites_all_summarizable() {
+        // The registry binding is coherent: every CALL site in the fixture
+        // universe resolves to deployed code and summarizes.
+        let registry = fixture_registry();
+        let graph = dmvcc_analysis::CallGraph::build(&registry);
+        for name in ["router", "router2", "flash_mint", "oracle"] {
+            let verdict = &graph.verdicts[&fixture_address(name).unwrap()];
+            assert!(verdict.summarizable, "{name}: {:?}", verdict.sites);
+            assert!(!verdict.sites.is_empty(), "{name} has no call sites");
+        }
     }
 }

@@ -1,11 +1,15 @@
 //! The `dmvcc` command-line tool.
 
 use dmvcc_analysis::{
-    cfg_to_dot, lint_contract, loop_gas_bounds, static_gas_bounds, Analyzer, PSag, Severity,
+    cfg_to_dot, lint_deployed, loop_gas_bounds, static_gas_bounds, Analyzer, CallGraph, PSag,
+    Severity,
 };
 use dmvcc_baselines::{simulate_dag, simulate_occ};
 use dmvcc_chain::{run_pipelined_chain, run_testnet, ChainConfig, ExecutorKind, SchedulerKind};
-use dmvcc_cli::{contract_by_name, parse_args, ParsedArgs, CONTRACT_NAMES, USAGE};
+use dmvcc_cli::{
+    contract_by_name, fixture_address, fixture_registry, parse_args, ParsedArgs, CONTRACT_NAMES,
+    USAGE,
+};
 use dmvcc_core::{build_csags, execute_block_serial, simulate_dmvcc, DmvccConfig};
 use dmvcc_state::Snapshot;
 use dmvcc_vm::BlockEnv;
@@ -65,6 +69,17 @@ fn cmd_contracts() -> Result<(), String> {
             "batch_transfer",
             "snapshot-bounded transfer loop (count in slot 0)",
         ),
+        ("router", "thin DEX router CALLing the fixture AMM"),
+        (
+            "router2",
+            "aggregator router: pull token, swap on AMM, pay out",
+        ),
+        (
+            "flash_mint",
+            "flash-mint-and-repay against the fixture token",
+        ),
+        ("oracle", "price oracle fanning updates out to consumers"),
+        ("price_consumer", "stores the last pushed oracle price"),
     ];
     for (name, description) in descriptions {
         let code = contract_by_name(name).expect("listed contracts exist");
@@ -80,7 +95,10 @@ fn cmd_analyze(parsed: &ParsedArgs) -> Result<(), String> {
         .ok_or_else(|| format!("analyze needs a contract name (one of {CONTRACT_NAMES:?})"))?;
     let code = contract_by_name(name)
         .ok_or_else(|| format!("unknown contract `{name}` (one of {CONTRACT_NAMES:?})"))?;
-    let sag = PSag::build(&code);
+    // Registry-aware build: CALL sites into the fixture universe summarize
+    // instead of degrading the block to opaque.
+    let registry = fixture_registry();
+    let sag = PSag::build_with(&code, Some(&registry));
     println!("== P-SAG of `{name}` ({} bytes of code) ==", code.len());
     println!("basic blocks        : {}", sag.cfg.blocks.len());
     println!("state-access nodes  : {}", sag.ops.len());
@@ -147,11 +165,16 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), String> {
     } else {
         parsed.positional.clone()
     };
+    // Lint each contract as deployed in the fixture universe so call
+    // sites classify (summarizable / recursive / depth-bailout) instead
+    // of degrading every CALL-bearing block to opaque.
+    let registry = fixture_registry();
+    let graph = CallGraph::build(&registry);
     let mut failed: Vec<String> = Vec::new();
     for name in &names {
-        let code = contract_by_name(name)
+        let address = fixture_address(name)
             .ok_or_else(|| format!("unknown contract `{name}` (one of {CONTRACT_NAMES:?})"))?;
-        let lint = lint_contract(name, &code);
+        let lint = lint_deployed(name, address, &registry, &graph);
         if json {
             for finding in &lint.findings {
                 println!("{}", finding_json(name, finding));

@@ -130,6 +130,10 @@ pub struct ExecutorStats {
     /// C-SAGs bound symbolically *through a loop*: the binder unrolled one
     /// or more summarized loops at bind time instead of speculating.
     pub loop_summarized_bindings: u64,
+    /// C-SAGs bound symbolically *through one or more cross-contract
+    /// calls*: the binder substituted callee summaries at bind time
+    /// instead of speculating.
+    pub interprocedural_bindings: u64,
     /// C-SAGs that fell back to speculative pre-execution.
     pub speculative_fallbacks: u64,
     /// Gas of the block's heaviest predicted dependency chain (the max
@@ -185,13 +189,14 @@ impl ExecutorStats {
 }
 
 /// Counts how each block C-SAG was refined, for [`ExecutorStats`]:
-/// `(symbolic, loop_summarized, speculative)`.
-pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64, u64) {
+/// `(symbolic, loop_summarized, interprocedural, speculative)`.
+pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64, u64, u64) {
     use dmvcc_analysis::RefinementTier;
     let count = |tier: RefinementTier| csags.iter().filter(|c| c.tier == tier).count() as u64;
     (
         count(RefinementTier::Symbolic),
         count(RefinementTier::LoopSummarized),
+        count(RefinementTier::Interprocedural),
         count(RefinementTier::Speculative),
     )
 }
@@ -321,6 +326,7 @@ impl AtomicStats {
             parks: self.parks.load(Ordering::Relaxed),
             symbolic_bindings: 0,        // filled from the C-SAGs by the caller
             loop_summarized_bindings: 0, // likewise
+            interprocedural_bindings: 0, // likewise
             speculative_fallbacks: 0,    // likewise
             critical_path_gas: 0,        // filled from the BlockDag by the caller
             predicted_gas: 0,            // likewise
@@ -1278,6 +1284,7 @@ impl ParallelExecutor {
         (
             stats.symbolic_bindings,
             stats.loop_summarized_bindings,
+            stats.interprocedural_bindings,
             stats.speculative_fallbacks,
         ) = tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;

@@ -496,6 +496,7 @@ impl GlobalLockParallelExecutor {
         (
             stats.symbolic_bindings,
             stats.loop_summarized_bindings,
+            stats.interprocedural_bindings,
             stats.speculative_fallbacks,
         ) = crate::parallel::tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;

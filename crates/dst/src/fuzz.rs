@@ -42,6 +42,9 @@ pub enum Profile {
     /// Traffic dominated by summarizable credit loops (airdrop and
     /// batch-transfer contracts) — exercises bind-time loop unrolling.
     LoopHeavy,
+    /// Traffic dominated by cross-contract calls (aggregator routers,
+    /// flash mints, oracle fanout) — exercises interprocedural binding.
+    CallHeavy,
 }
 
 impl Profile {
@@ -51,6 +54,7 @@ impl Profile {
             "ethereum" => Some(Profile::EthereumMix),
             "hot" => Some(Profile::HighContention),
             "loop" => Some(Profile::LoopHeavy),
+            "call" => Some(Profile::CallHeavy),
             _ => None,
         }
     }
@@ -63,9 +67,14 @@ impl Profile {
             Profile::EthereumMix => WorkloadConfig::ethereum_mix(seed),
             Profile::HighContention => WorkloadConfig::high_contention(seed),
             Profile::LoopHeavy => WorkloadConfig::loop_heavy(seed),
+            Profile::CallHeavy => WorkloadConfig::call_heavy(seed),
         };
         let loopy = |n: usize| match self {
             Profile::LoopHeavy => n,
+            _ => 1,
+        };
+        let cally = |n: usize| match self {
+            Profile::CallHeavy => n,
             _ => 1,
         };
         WorkloadConfig {
@@ -82,6 +91,9 @@ impl Profile {
             airdrop_contracts: loopy(3),
             batch_transfer_contracts: loopy(3),
             router_contracts: 1,
+            router2_contracts: cally(3),
+            flash_contracts: cally(2),
+            oracle_contracts: cally(2),
             ..base
         }
     }
@@ -664,6 +676,31 @@ mod tests {
             "marked {marked} of {}",
             a.len()
         );
+    }
+
+    #[test]
+    fn call_heavy_seeds_agree_on_every_engine() {
+        for engine in [
+            EngineUnderTest::Pair,
+            EngineUnderTest::Stm,
+            EngineUnderTest::Hybrid,
+        ] {
+            let config = FuzzConfig {
+                size: 40,
+                profile: Profile::CallHeavy,
+                engine,
+                ..FuzzConfig::default()
+            };
+            for seed in 0..3 {
+                let result = run_seed(seed, &config);
+                assert!(
+                    result.is_none(),
+                    "call-heavy {} seed {seed} diverged: {:?}",
+                    engine.label(),
+                    result
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //!
 //! ```text
 //! dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]
-//!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
+//!                  [--profile ethereum|hot|loop|call] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path] [--pin-cores]
 //!                  [--executor pair|stm|hybrid]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
-//!                  [--profile ethereum|hot|loop] [--mutate skip-release-gas-bound]
+//!                  [--profile ethereum|hot|loop|call] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path] [--pin-cores]
 //!                  [--executor pair|stm|hybrid]
@@ -27,13 +27,13 @@ use dmvcc_dst::{fuzz, run_seed, EngineUnderTest, FuzzConfig, Mutation, Profile};
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
     eprintln!("usage: dmvcc-dst fuzz   [--seeds N] [--start S] [--size N] [--threads N]");
-    eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
+    eprintln!("                        [--profile ethereum|hot|loop|call] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
     eprintln!("                        [--executor pair|stm|hybrid]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
-    eprintln!("                        [--profile ethereum|hot|loop] [--mutate MUTATION]");
+    eprintln!("                        [--profile ethereum|hot|loop|call] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
     eprintln!("                        [--executor pair|stm|hybrid]");

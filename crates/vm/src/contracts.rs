@@ -117,6 +117,40 @@ pub mod router_fn {
     pub const SWAP_EXACT: u64 = 2;
 }
 
+/// Selectors of the [`dex_router2`] contract.
+pub mod router2_fn {
+    /// `swap(amount_in, min_out)` — the full aggregator flow across four
+    /// frames: quote the pool, pull the input token from the trader
+    /// (`transferFrom`), swap on the pool, pay the trader from the
+    /// router's output-token inventory.
+    pub const SWAP: u64 = 1;
+}
+
+/// Selectors of the [`flash_mint`] contract.
+pub mod flash_fn {
+    /// `flash(amount)` — mints `amount` to the caller, accrues a 0.1 %
+    /// fee (commutative), then pulls the principal back via
+    /// `transferFrom`; a borrower who cannot repay reverts the mint too.
+    pub const FLASH: u64 = 1;
+}
+
+/// Selectors of the [`oracle`] contract.
+pub mod oracle_fn {
+    /// `update(price)` — stores the price, then fans the update out to
+    /// every registered consumer with one `CALL` each.
+    pub const UPDATE: u64 = 1;
+    /// `get()` — read-only.
+    pub const GET: u64 = 2;
+}
+
+/// Selectors of the [`price_consumer`] contract.
+pub mod consumer_fn {
+    /// `on_price(price)` — stores the price and bumps an update counter.
+    pub const ON_PRICE: u64 = 1;
+    /// `last()` — read-only.
+    pub const LAST: u64 = 2;
+}
+
 /// Selectors of the [`batch_pay`] contract.
 pub mod batch_pay_fn {
     /// `pay3(to1, a1, to2, a2, to3, a3)` — one debit, three commutative
@@ -906,6 +940,201 @@ fail: JUMPDEST
     assemble(&source).expect("dex_router contract must assemble")
 }
 
+/// Full DEX aggregator: one `swap` touches four contracts.
+///
+/// `swap(amount_in, min_out)` quotes the pool, enforces slippage, pulls
+/// the input token from the trader into the pool's custody
+/// (`token_a.transferFrom(trader, pool, amount_in)` — the trader must have
+/// approved the router), executes the swap, and pays the trader from the
+/// router's own inventory of the output token
+/// (`token_b.transfer(trader, out)`). The write set spans the router's
+/// callees: both token balance maps, both pool reserves, and the pool's
+/// credit map.
+pub fn dex_router2(
+    amm: dmvcc_primitives::Address,
+    token_a: dmvcc_primitives::Address,
+    token_b: dmvcc_primitives::Address,
+) -> Vec<u8> {
+    let amm_hex = dmvcc_primitives::encode_hex(amm.as_bytes());
+    let token_a_hex = dmvcc_primitives::encode_hex(token_a.as_bytes());
+    let token_b_hex = dmvcc_primitives::encode_hex(token_b.as_bytes());
+    let source = format!(
+        r"
+{dispatch}
+swap: JUMPDEST
+  PUSH1 32 CALLDATALOAD PUSH1 224 MSTORE      ; m224 = amount_in
+  PUSH1 64 CALLDATALOAD PUSH2 256 MSTORE      ; m256 = min_out
+  ; 1. quote: amm.reserves() -> m64 = r0, m96 = r1
+  PUSH {reserves} PUSH1 0 MSTORE
+  PUSH1 64 PUSH1 64                           ; ret_len, ret_off
+  PUSH1 32 PUSH1 0                            ; args_len, args_off
+  PUSH1 0 PUSH20 0x{amm_hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+  PUSH1 224 MLOAD PUSH1 64 MLOAD ADD
+  PUSH1 224 MLOAD PUSH1 96 MLOAD MUL
+  DIV
+  PUSH2 288 MSTORE                            ; m288 = out
+  PUSH2 256 MLOAD PUSH2 288 MLOAD LT PUSH @fail JUMPI
+  ; 2. pull the input token from the trader into the pool's custody:
+  ;    token_a.transfer_from(trader, pool, amount_in)
+  PUSH {transfer_from} PUSH1 0 MSTORE
+  CALLER PUSH1 32 MSTORE
+  PUSH20 0x{amm_hex} PUSH1 64 MSTORE
+  PUSH1 224 MLOAD PUSH1 96 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 128 PUSH1 0                           ; args_len, args_off
+  PUSH1 0 PUSH20 0x{token_a_hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+  ; 3. swap on the pool (credits the router inside the pool)
+  PUSH {swap_a_for_b} PUSH1 0 MSTORE
+  PUSH1 224 MLOAD PUSH1 32 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 64 PUSH1 0                            ; args_len, args_off
+  PUSH1 0 PUSH20 0x{amm_hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+  ; 4. pay the trader from the router's output-token inventory:
+  ;    token_b.transfer(trader, out)
+  PUSH {transfer} PUSH1 0 MSTORE
+  CALLER PUSH1 32 MSTORE
+  PUSH2 288 MLOAD PUSH1 64 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 96 PUSH1 0                            ; args_len, args_off
+  PUSH1 0 PUSH20 0x{token_b_hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+  PUSH2 288 MLOAD PUSH1 128 MSTORE
+  {ret}
+
+fail: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[(router2_fn::SWAP, "swap")]),
+        reserves = amm_fn::RESERVES,
+        transfer_from = token_fn::TRANSFER_FROM,
+        swap_a_for_b = amm_fn::SWAP_A_FOR_B,
+        transfer = token_fn::TRANSFER,
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("dex_router2 contract must assemble")
+}
+
+/// Flash-mint facility over a [`token`].
+///
+/// Storage: `fees[borrower]` at `keccak(borrower ++ 0)`.
+///
+/// `flash(amount)` mints `amount` to the borrower, accrues a 0.1 % fee to
+/// the borrower's tab (commutative), then repays the principal with
+/// `token.transferFrom(borrower, self, amount)` — the borrower must have
+/// approved this contract. A borrower who cannot repay (allowance too
+/// small) reverts the whole transaction, mint included: the nested revert
+/// must unwind the caller's earlier callee effects.
+pub fn flash_mint(token: dmvcc_primitives::Address) -> Vec<u8> {
+    let token_hex = dmvcc_primitives::encode_hex(token.as_bytes());
+    let source = format!(
+        r"
+{dispatch}
+flash: JUMPDEST
+  PUSH1 32 CALLDATALOAD PUSH1 224 MSTORE      ; m224 = amount
+  ; 1. mint the loan to the borrower: token.mint(borrower, amount)
+  PUSH {mint} PUSH1 0 MSTORE
+  CALLER PUSH1 32 MSTORE
+  PUSH1 224 MLOAD PUSH1 64 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 96 PUSH1 0                            ; args_len, args_off
+  PUSH1 0 PUSH20 0x{token_hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+  ; 2. accrue the 0.1 % fee commutatively: fees[borrower] += amount/1000
+  PUSH 1000 PUSH1 224 MLOAD DIV
+  CALLER {slot0}
+  SADD
+  ; 3. repay: token.transfer_from(borrower, self, amount)
+  PUSH {transfer_from} PUSH1 0 MSTORE
+  CALLER PUSH1 32 MSTORE
+  ADDRESS PUSH1 64 MSTORE
+  PUSH1 224 MLOAD PUSH1 96 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 128 PUSH1 0                           ; args_len, args_off
+  PUSH1 0 PUSH20 0x{token_hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+  STOP
+
+fail: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[(flash_fn::FLASH, "flash")]),
+        mint = token_fn::MINT,
+        transfer_from = token_fn::TRANSFER_FROM,
+        slot0 = asm_map_slot(0),
+    );
+    assemble(&source).expect("flash_mint contract must assemble")
+}
+
+/// Price oracle fanning updates out to registered consumers.
+///
+/// Storage: slot 0 = last price. `update(price)` stores the price and
+/// `CALL`s every consumer's `on_price(price)` in registration order — a
+/// one-to-many write fanout whose access set spans all consumers.
+pub fn oracle(consumers: &[dmvcc_primitives::Address]) -> Vec<u8> {
+    let fanout: String = consumers
+        .iter()
+        .map(|consumer| {
+            let hex = dmvcc_primitives::encode_hex(consumer.as_bytes());
+            format!(
+                r"
+  PUSH {on_price} PUSH1 0 MSTORE
+  PUSH1 32 CALLDATALOAD PUSH1 32 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 64 PUSH1 0                            ; args_len, args_off
+  PUSH1 0 PUSH20 0x{hex} GAS CALL
+  ISZERO PUSH @fail JUMPI
+",
+                on_price = consumer_fn::ON_PRICE,
+            )
+        })
+        .collect();
+    let source = format!(
+        r"
+{dispatch}
+update: JUMPDEST
+  PUSH1 32 CALLDATALOAD PUSH1 0 SSTORE        ; price
+{fanout}
+  STOP
+get: JUMPDEST
+  PUSH1 0 SLOAD PUSH1 128 MSTORE
+  {ret}
+
+fail: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[(oracle_fn::UPDATE, "update"), (oracle_fn::GET, "get")]),
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("oracle contract must assemble")
+}
+
+/// Consumer of [`oracle`] price updates.
+///
+/// Storage: slot 0 = last observed price, slot 1 = update counter.
+pub fn price_consumer() -> Vec<u8> {
+    let source = format!(
+        r"
+{dispatch}
+on_price: JUMPDEST
+  PUSH1 32 CALLDATALOAD PUSH1 0 SSTORE
+  PUSH1 1 PUSH1 1 SADD
+  STOP
+last: JUMPDEST
+  PUSH1 0 SLOAD PUSH1 128 MSTORE
+  {ret}
+",
+        dispatch = dispatch(&[
+            (consumer_fn::ON_PRICE, "on_price"),
+            (consumer_fn::LAST, "last"),
+        ]),
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("price_consumer contract must assemble")
+}
+
 /// Slot of `B[i]` in [`fig1_example`].
 pub fn fig1_b_slot(i: u64) -> U256 {
     keccak256(&U256::ONE.to_be_bytes())
@@ -1672,6 +1901,276 @@ mod tests {
             &[start, U256::from(5u64)],
         );
         assert_eq!(out.status, ExecStatus::Reverted);
+    }
+
+    /// Deploys the aggregator universe: pool, two tokens, router.
+    fn router2_universe() -> (
+        crate::registry::CodeRegistry,
+        Address, // amm
+        Address, // token_a
+        Address, // token_b
+        Address, // router
+    ) {
+        use crate::registry::CodeRegistry;
+        let amm_addr = Address::from_u64(2_000);
+        let token_a = Address::from_u64(2_002);
+        let token_b = Address::from_u64(2_003);
+        let router = Address::from_u64(2_004);
+        let registry = CodeRegistry::builder()
+            .deploy(amm_addr, amm())
+            .deploy(token_a, token())
+            .deploy(token_b, token())
+            .deploy(router, dex_router2(amm_addr, token_a, token_b))
+            .build();
+        (registry, amm_addr, token_a, token_b, router)
+    }
+
+    #[test]
+    fn router2_swap_moves_all_three_contracts() {
+        let (registry, amm_addr, token_a, token_b, router) = router2_universe();
+        let trader = Address::from_u64(1);
+        let mut host = MapHost::new();
+        // Pool reserves, trader's input tokens + approval, router's
+        // output-token inventory.
+        host.sstore(StateKey::storage(amm_addr, U256::ZERO), U256::from(1000u64))
+            .unwrap();
+        host.sstore(StateKey::storage(amm_addr, U256::ONE), U256::from(4000u64))
+            .unwrap();
+        host.sstore(
+            StateKey::storage(token_a, map_slot(trader.to_u256(), 1)),
+            U256::from(500u64),
+        )
+        .unwrap();
+        host.sstore(
+            StateKey::storage(token_a, map_slot2(trader.to_u256(), router.to_u256(), 2)),
+            U256::from(500u64),
+        )
+        .unwrap();
+        host.sstore(
+            StateKey::storage(token_b, map_slot(router.to_u256(), 1)),
+            U256::from(10_000u64),
+        )
+        .unwrap();
+        let code = registry.code(&router).unwrap();
+        let tx = TxEnv::call(
+            trader,
+            router,
+            calldata(router2_fn::SWAP, &[U256::from(100u64), U256::from(300u64)]),
+        );
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        // out = 4000 * 100 / 1100 = 363.
+        assert_eq!(out.output_word(), U256::from(363u64));
+        // Input token: trader debited, pool custody credited, allowance spent.
+        assert_eq!(
+            host.get(&StateKey::storage(token_a, map_slot(trader.to_u256(), 1))),
+            U256::from(400u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(token_a, map_slot(amm_addr.to_u256(), 1))),
+            U256::from(100u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(
+                token_a,
+                map_slot2(trader.to_u256(), router.to_u256(), 2)
+            )),
+            U256::from(400u64)
+        );
+        // Pool: reserves moved, router credited.
+        assert_eq!(
+            host.get(&StateKey::storage(amm_addr, U256::ZERO)),
+            U256::from(1100u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(amm_addr, U256::ONE)),
+            U256::from(3637u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(amm_addr, map_slot(router.to_u256(), 2))),
+            U256::from(363u64)
+        );
+        // Output token: trader paid from the router's inventory.
+        assert_eq!(
+            host.get(&StateKey::storage(token_b, map_slot(trader.to_u256(), 1))),
+            U256::from(363u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(token_b, map_slot(router.to_u256(), 1))),
+            U256::from(10_000u64 - 363)
+        );
+    }
+
+    #[test]
+    fn router2_unapproved_trader_reverts_whole_swap() {
+        let (registry, amm_addr, _token_a, _token_b, router) = router2_universe();
+        let trader = Address::from_u64(1);
+        let mut host = MapHost::new();
+        host.sstore(StateKey::storage(amm_addr, U256::ZERO), U256::from(1000u64))
+            .unwrap();
+        host.sstore(StateKey::storage(amm_addr, U256::ONE), U256::from(4000u64))
+            .unwrap();
+        // No token_a balance or approval → the transferFrom callee
+        // reverts, which must unwind the whole transaction.
+        let code = registry.code(&router).unwrap();
+        let tx = TxEnv::call(
+            trader,
+            router,
+            calldata(router2_fn::SWAP, &[U256::from(100u64), U256::ZERO]),
+        );
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert_eq!(out.status, ExecStatus::Reverted);
+        assert_eq!(
+            host.get(&StateKey::storage(amm_addr, U256::ZERO)),
+            U256::from(1000u64),
+            "reserves untouched after revert"
+        );
+    }
+
+    #[test]
+    fn flash_mint_accrues_fee_and_repays() {
+        use crate::registry::CodeRegistry;
+        let token_addr = Address::from_u64(2_000);
+        let flash_addr = Address::from_u64(2_001);
+        let registry = CodeRegistry::builder()
+            .deploy(token_addr, token())
+            .deploy(flash_addr, flash_mint(token_addr))
+            .build();
+        let borrower = Address::from_u64(1);
+        let mut host = MapHost::new();
+        // The borrower pre-approves the facility for the principal.
+        host.sstore(
+            StateKey::storage(
+                token_addr,
+                map_slot2(borrower.to_u256(), flash_addr.to_u256(), 2),
+            ),
+            U256::from(1_000_000u64),
+        )
+        .unwrap();
+        let code = registry.code(&flash_addr).unwrap();
+        let tx = TxEnv::call(
+            borrower,
+            flash_addr,
+            calldata(flash_fn::FLASH, &[U256::from(5_000u64)]),
+        );
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        // Minted 5000 to the borrower, then pulled all 5000 back.
+        assert_eq!(
+            host.get(&StateKey::storage(
+                token_addr,
+                map_slot(borrower.to_u256(), 1)
+            )),
+            U256::ZERO
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(
+                token_addr,
+                map_slot(flash_addr.to_u256(), 1)
+            )),
+            U256::from(5_000u64)
+        );
+        // totalSupply grew by the principal; the fee tab grew by 0.1 %.
+        assert_eq!(
+            host.get(&StateKey::storage(token_addr, U256::ZERO)),
+            U256::from(5_000u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(
+                flash_addr,
+                map_slot(borrower.to_u256(), 0)
+            )),
+            U256::from(5u64)
+        );
+    }
+
+    #[test]
+    fn flash_mint_without_approval_unwinds_the_mint() {
+        use crate::registry::CodeRegistry;
+        let token_addr = Address::from_u64(2_000);
+        let flash_addr = Address::from_u64(2_001);
+        let registry = CodeRegistry::builder()
+            .deploy(token_addr, token())
+            .deploy(flash_addr, flash_mint(token_addr))
+            .build();
+        let borrower = Address::from_u64(1);
+        let mut host = MapHost::new();
+        let code = registry.code(&flash_addr).unwrap();
+        let tx = TxEnv::call(
+            borrower,
+            flash_addr,
+            calldata(flash_fn::FLASH, &[U256::from(5_000u64)]),
+        );
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert_eq!(out.status, ExecStatus::Reverted);
+        // The raw interpreter has no per-frame write journal: the mint
+        // landed on the host before the repay reverted. Discarding a
+        // failed transaction's writes is the executor's job, so the
+        // host-level residue here is the mint itself.
+        assert_eq!(
+            host.get(&StateKey::storage(
+                token_addr,
+                map_slot(borrower.to_u256(), 1)
+            )),
+            U256::from(5_000u64)
+        );
+    }
+
+    #[test]
+    fn oracle_update_fans_out_to_all_consumers() {
+        use crate::registry::CodeRegistry;
+        let oracle_addr = Address::from_u64(2_000);
+        let consumers: Vec<Address> = (0..3).map(|i| Address::from_u64(2_010 + i)).collect();
+        let mut builder = CodeRegistry::builder().deploy(oracle_addr, oracle(&consumers));
+        for &c in &consumers {
+            builder = builder.deploy(c, price_consumer());
+        }
+        let registry = builder.build();
+        let mut host = MapHost::new();
+        let code = registry.code(&oracle_addr).unwrap();
+        let tx = TxEnv::call(
+            Address::from_u64(1),
+            oracle_addr,
+            calldata(oracle_fn::UPDATE, &[U256::from(777u64)]),
+        );
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        assert_eq!(
+            host.get(&StateKey::storage(oracle_addr, U256::ZERO)),
+            U256::from(777u64)
+        );
+        for &c in &consumers {
+            assert_eq!(
+                host.get(&StateKey::storage(c, U256::ZERO)),
+                U256::from(777u64),
+                "consumer {c:?} saw the price"
+            );
+            assert_eq!(
+                host.get(&StateKey::storage(c, U256::ONE)),
+                U256::ONE,
+                "consumer {c:?} counted the update"
+            );
+        }
     }
 
     #[test]

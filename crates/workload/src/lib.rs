@@ -59,7 +59,19 @@ pub enum ContractKind {
     BatchTransfer,
     /// DEX router bound to one AMM (nested CALL frames).
     Router,
+    /// Aggregator router bound to an AMM and a token pair (four-frame
+    /// swaps: reserve quote, transferFrom pull, pool swap, payout).
+    Router2,
+    /// Flash-mint facility bound to one token (mint + same-tx repay).
+    Flash,
+    /// Price oracle fanning out one call per subscribed consumer.
+    Oracle,
+    /// Price consumer (called by an oracle; receives no direct traffic).
+    Consumer,
 }
+
+/// Consumers subscribed to each deployed oracle.
+const ORACLE_CONSUMERS: usize = 3;
 
 /// Workload shape parameters.
 #[derive(Debug, Clone)]
@@ -94,6 +106,14 @@ pub struct WorkloadConfig {
     pub batch_transfer_contracts: usize,
     /// DEX routers (DeFi category; each binds to an AMM round-robin).
     pub router_contracts: usize,
+    /// Aggregator routers (DeFi category; each binds an AMM and an
+    /// input/output token pair round-robin).
+    pub router2_contracts: usize,
+    /// Flash-mint facilities (DeFi category; each binds one token).
+    pub flash_contracts: usize,
+    /// Price oracles ("other" category; each deploys its own
+    /// [`ORACLE_CONSUMERS`] consumers and fans out to them).
+    pub oracle_contracts: usize,
     /// Fraction of plain Ether transfers (the paper's non-contract 31 %).
     pub transfer_ratio: f64,
     /// Within contract calls: fraction hitting tokens (~0.60).
@@ -148,6 +168,9 @@ impl WorkloadConfig {
             airdrop_contracts: 2,
             batch_transfer_contracts: 2,
             router_contracts: 20,
+            router2_contracts: 4,
+            flash_contracts: 2,
+            oracle_contracts: 2,
             transfer_ratio: 0.31,
             erc20_share: 0.60,
             defi_share: 0.29,
@@ -194,6 +217,9 @@ impl WorkloadConfig {
             airdrop_contracts: 8,
             batch_transfer_contracts: 8,
             router_contracts: 0,
+            router2_contracts: 0,
+            flash_contracts: 0,
+            oracle_contracts: 0,
             transfer_ratio: 0.10,
             erc20_share: 0.10,
             defi_share: 0.05,
@@ -201,6 +227,38 @@ impl WorkloadConfig {
             // Uniform popularity: zipf would pile the "other" traffic onto
             // whichever contract deployed first (fig1) instead of the
             // airdrop/batch-transfer fleet.
+            contract_zipf: 0.0,
+            ..WorkloadConfig::ethereum_mix(seed)
+        }
+    }
+
+    /// Call-heavy mix: traffic dominated by the aggregator routers,
+    /// flash-mint facilities and oracle fanouts, exercising composed
+    /// interprocedural binding end to end (the `call` DST profile and the
+    /// bench's call axis).
+    pub fn call_heavy(seed: u64) -> Self {
+        WorkloadConfig {
+            token_contracts: 8,
+            amm_contracts: 4,
+            nft_contracts: 2,
+            counter_contracts: 0,
+            ballot_contracts: 0,
+            fig1_contracts: 2,
+            auction_contracts: 0,
+            crowdsale_contracts: 0,
+            batch_pay_contracts: 0,
+            airdrop_contracts: 0,
+            batch_transfer_contracts: 0,
+            router_contracts: 4,
+            router2_contracts: 8,
+            flash_contracts: 4,
+            oracle_contracts: 4,
+            transfer_ratio: 0.10,
+            erc20_share: 0.10,
+            defi_share: 0.60,
+            nft_share: 0.05,
+            // Uniform popularity so traffic spreads across the call fleet
+            // instead of piling onto the first deployment.
             contract_zipf: 0.0,
             ..WorkloadConfig::ethereum_mix(seed)
         }
@@ -220,6 +278,9 @@ impl WorkloadConfig {
             + self.airdrop_contracts
             + self.batch_transfer_contracts
             + self.router_contracts
+            + self.router2_contracts
+            + self.flash_contracts
+            + self.oracle_contracts * (1 + ORACLE_CONSUMERS)
     }
 }
 
@@ -236,6 +297,10 @@ pub struct WorkloadGenerator {
     by_kind: Vec<(Address, ContractKind)>,
     tokens: Vec<Address>,
     amms: Vec<Address>,
+    /// `(router, input_token, output_token)` per aggregator deployment.
+    router2_bindings: Vec<(Address, Address, Address)>,
+    /// `(facility, token)` per flash-mint deployment.
+    flash_bindings: Vec<(Address, Address)>,
     hot: Vec<usize>,
     cold: Vec<usize>,
     account_cdf: Vec<f64>,
@@ -323,6 +388,54 @@ impl WorkloadGenerator {
             builder = builder.deploy(address, contracts::dex_router(amm));
             by_kind.push((address, ContractKind::Router));
         }
+        // Aggregator routers bind an AMM plus an input/output token pair,
+        // all round-robin.
+        let token_addresses: Vec<Address> = by_kind
+            .iter()
+            .filter(|(_, k)| *k == ContractKind::Token)
+            .map(|(a, _)| *a)
+            .collect();
+        let mut router2_bindings = Vec::new();
+        for i in 0..config.router2_contracts {
+            if amm_addresses.is_empty() || token_addresses.is_empty() {
+                break;
+            }
+            let address = Address::from_u64(next_id);
+            next_id += 1;
+            let amm = amm_addresses[i % amm_addresses.len()];
+            let token_a = token_addresses[(2 * i) % token_addresses.len()];
+            let token_b = token_addresses[(2 * i + 1) % token_addresses.len()];
+            builder = builder.deploy(address, contracts::dex_router2(amm, token_a, token_b));
+            by_kind.push((address, ContractKind::Router2));
+            router2_bindings.push((address, token_a, token_b));
+        }
+        let mut flash_bindings = Vec::new();
+        for i in 0..config.flash_contracts {
+            if token_addresses.is_empty() {
+                break;
+            }
+            let address = Address::from_u64(next_id);
+            next_id += 1;
+            let token = token_addresses[i % token_addresses.len()];
+            builder = builder.deploy(address, contracts::flash_mint(token));
+            by_kind.push((address, ContractKind::Flash));
+            flash_bindings.push((address, token));
+        }
+        // Each oracle deploys its own consumers, then itself.
+        for _ in 0..config.oracle_contracts {
+            let mut consumers = Vec::with_capacity(ORACLE_CONSUMERS);
+            for _ in 0..ORACLE_CONSUMERS {
+                let address = Address::from_u64(next_id);
+                next_id += 1;
+                builder = builder.deploy(address, contracts::price_consumer());
+                by_kind.push((address, ContractKind::Consumer));
+                consumers.push(address);
+            }
+            let address = Address::from_u64(next_id);
+            next_id += 1;
+            builder = builder.deploy(address, contracts::oracle(&consumers));
+            by_kind.push((address, ContractKind::Oracle));
+        }
         let registry = builder.build();
 
         let tokens = by_kind
@@ -354,6 +467,9 @@ impl WorkloadGenerator {
                 ContractKind::Amm,
                 ContractKind::Nft,
                 ContractKind::Router,
+                ContractKind::Router2,
+                ContractKind::Flash,
+                ContractKind::Oracle,
                 ContractKind::Crowdsale,
                 ContractKind::Counter,
                 ContractKind::Ballot,
@@ -403,6 +519,8 @@ impl WorkloadGenerator {
             by_kind,
             tokens,
             amms,
+            router2_bindings,
+            flash_bindings,
             hot,
             cold,
             account_cdf,
@@ -486,6 +604,33 @@ impl WorkloadGenerator {
                     }
                 }
                 _ => {}
+            }
+        }
+        // Aggregator routers: every account pre-approves the router on the
+        // input token (the transferFrom pull), and the router holds
+        // output-token inventory for the payout leg.
+        let approval = U256::from(1_000_000_000u64);
+        for (router, token_a, token_b) in &self.router2_bindings {
+            for id in 1..=self.config.accounts as u64 {
+                let owner = Address::from_u64(id).to_u256();
+                entries.push((
+                    StateKey::storage(*token_a, contracts::map_slot2(owner, router.to_u256(), 2)),
+                    approval,
+                ));
+            }
+            entries.push((
+                StateKey::storage(*token_b, contracts::map_slot(router.to_u256(), 1)),
+                U256::from(100_000_000u64),
+            ));
+        }
+        // Flash facilities: every account pre-approves the repay pull.
+        for (flash, token) in &self.flash_bindings {
+            for id in 1..=self.config.accounts as u64 {
+                let owner = Address::from_u64(id).to_u256();
+                entries.push((
+                    StateKey::storage(*token, contracts::map_slot2(owner, flash.to_u256(), 2)),
+                    approval,
+                ));
             }
         }
         entries
@@ -608,6 +753,33 @@ impl WorkloadGenerator {
         Transaction::call(TxEnv::call(caller, contract, input))
     }
 
+    fn router2_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        let amount = U256::from(self.rng.gen_range(1..1_000u64));
+        // Mostly permissive slippage; 10 % of swaps set an impossible bound
+        // and revert between the reserve quote and the transfer legs.
+        let min_out = if self.rng.gen_bool(0.9) {
+            U256::ZERO
+        } else {
+            U256::from(u64::MAX)
+        };
+        Transaction::call(TxEnv::call(
+            caller,
+            contract,
+            calldata(contracts::router2_fn::SWAP, &[amount, min_out]),
+        ))
+    }
+
+    fn flash_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        let amount = U256::from(self.rng.gen_range(1..10_000u64));
+        Transaction::call(TxEnv::call(
+            caller,
+            contract,
+            calldata(contracts::flash_fn::FLASH, &[amount]),
+        ))
+    }
+
     fn nft_tx(&mut self, contract: Address) -> Transaction {
         let caller = self.account();
         // Mostly mints (drops/launches dominate NFT traffic).
@@ -718,6 +890,15 @@ impl WorkloadGenerator {
                     calldata(contracts::batch_transfer_fn::SET_COUNT, &[n])
                 }
             }
+            ContractKind::Oracle => {
+                if self.rng.gen_bool(0.7) {
+                    // Price pushes fan out one call per consumer.
+                    let price = U256::from(self.rng.gen_range(1..100_000u64));
+                    calldata(contracts::oracle_fn::UPDATE, &[price])
+                } else {
+                    calldata(contracts::oracle_fn::GET, &[])
+                }
+            }
             _ => unreachable!("other_tx only handles the 'other' kinds"),
         };
         Transaction::call(TxEnv::call(caller, contract, input))
@@ -740,9 +921,15 @@ impl WorkloadGenerator {
                 return self.token_tx(c);
             }
         } else if roll < defi {
-            if let Some(c) =
-                self.pick_contract(|k| matches!(k, ContractKind::Amm | ContractKind::Router))
-            {
+            if let Some(c) = self.pick_contract(|k| {
+                matches!(
+                    k,
+                    ContractKind::Amm
+                        | ContractKind::Router
+                        | ContractKind::Router2
+                        | ContractKind::Flash
+                )
+            }) {
                 let kind = self
                     .by_kind
                     .iter()
@@ -751,6 +938,8 @@ impl WorkloadGenerator {
                     .expect("picked contract is deployed");
                 return match kind {
                     ContractKind::Router => self.router_tx(c),
+                    ContractKind::Router2 => self.router2_tx(c),
+                    ContractKind::Flash => self.flash_tx(c),
                     _ => self.amm_tx(c),
                 };
             }
@@ -769,6 +958,7 @@ impl WorkloadGenerator {
                     | ContractKind::BatchPay
                     | ContractKind::Airdrop
                     | ContractKind::BatchTransfer
+                    | ContractKind::Oracle
             )
         }) {
             let kind = self
@@ -852,7 +1042,10 @@ mod tests {
             + config.crowdsale_contracts // caps
             + config.accounts * config.batch_pay_contracts // pre-funding
             + config.batch_transfer_contracts // trip counts
-            + config.accounts * config.batch_transfer_contracts; // balances
+            + config.accounts * config.batch_transfer_contracts // balances
+            + config.accounts * config.router2_contracts // swap approvals
+            + config.router2_contracts // payout inventory
+            + config.accounts * config.flash_contracts; // repay approvals
         assert_eq!(entries.len(), expected);
         assert!(entries.iter().all(|(_, v)| !v.is_zero()));
     }
@@ -965,6 +1158,31 @@ mod tests {
             .count();
         let ratio = loopy as f64 / calls.len() as f64;
         assert!(ratio > 0.5, "loop-contract share {ratio:.2} of calls");
+    }
+
+    #[test]
+    fn call_heavy_mix_is_dominated_by_call_contracts() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::call_heavy(3));
+        let kinds: std::collections::HashMap<Address, ContractKind> =
+            generator.contracts().iter().copied().collect();
+        let block = generator.block(2_000);
+        let calls: Vec<_> = block.iter().filter(|t| t.kind == TxKind::Call).collect();
+        let call_bearing = calls
+            .iter()
+            .filter(|t| {
+                matches!(
+                    kinds.get(&t.to()),
+                    Some(
+                        ContractKind::Router
+                            | ContractKind::Router2
+                            | ContractKind::Flash
+                            | ContractKind::Oracle
+                    )
+                )
+            })
+            .count();
+        let ratio = call_bearing as f64 / calls.len() as f64;
+        assert!(ratio > 0.4, "call-contract share {ratio:.2} of calls");
     }
 
     #[test]

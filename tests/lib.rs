@@ -23,9 +23,24 @@ pub const ROUTER: u64 = 10_007;
 pub const AIRDROP: u64 = 10_008;
 /// Snapshot-bounded batch-transfer loop address id.
 pub const BATCH_TRANSFER: u64 = 10_009;
+/// Input token of the aggregator router.
+pub const TOKEN_A: u64 = 10_010;
+/// Output token of the aggregator router.
+pub const TOKEN_B: u64 = 10_011;
+/// Aggregator router address id (binds [`AMM`], [`TOKEN_A`], [`TOKEN_B`]).
+pub const ROUTER2: u64 = 10_012;
+/// Flash-mint facility address id (binds [`TOKEN_A`]).
+pub const FLASH: u64 = 10_013;
+/// Price oracle address id (fans out to the consumers).
+pub const ORACLE: u64 = 10_014;
+/// First price-consumer address id.
+pub const CONSUMER1: u64 = 10_015;
+/// Second price-consumer address id.
+pub const CONSUMER2: u64 = 10_016;
 
 /// Deploys one contract of every kind.
 pub fn registry() -> CodeRegistry {
+    let consumers = [Address::from_u64(CONSUMER1), Address::from_u64(CONSUMER2)];
     CodeRegistry::builder()
         .deploy(Address::from_u64(TOKEN), contracts::token())
         .deploy(Address::from_u64(AMM), contracts::amm())
@@ -42,6 +57,23 @@ pub fn registry() -> CodeRegistry {
             Address::from_u64(BATCH_TRANSFER),
             contracts::batch_transfer(),
         )
+        .deploy(Address::from_u64(TOKEN_A), contracts::token())
+        .deploy(Address::from_u64(TOKEN_B), contracts::token())
+        .deploy(
+            Address::from_u64(ROUTER2),
+            contracts::dex_router2(
+                Address::from_u64(AMM),
+                Address::from_u64(TOKEN_A),
+                Address::from_u64(TOKEN_B),
+            ),
+        )
+        .deploy(
+            Address::from_u64(FLASH),
+            contracts::flash_mint(Address::from_u64(TOKEN_A)),
+        )
+        .deploy(Address::from_u64(ORACLE), contracts::oracle(&consumers))
+        .deploy(consumers[0], contracts::price_consumer())
+        .deploy(consumers[1], contracts::price_consumer())
         .build()
 }
 
@@ -199,7 +231,81 @@ pub fn genesis() -> Vec<(dmvcc_state::StateKey, U256)> {
             U256::from(100_000u64),
         ));
     }
+    // Aggregator/flash universe: every caller holds the input token and
+    // pre-approves both the router (swap pull) and the flash facility
+    // (repay pull); the router holds output-token inventory.
+    for i in 1..=12u64 {
+        let who = Address::from_u64(i).to_u256();
+        entries.push((
+            StateKey::storage(Address::from_u64(TOKEN_A), contracts::map_slot(who, 1)),
+            U256::from(5_000u64),
+        ));
+        entries.push((
+            StateKey::storage(
+                Address::from_u64(TOKEN_A),
+                contracts::map_slot2(who, Address::from_u64(ROUTER2).to_u256(), 2),
+            ),
+            U256::from(1_000_000u64),
+        ));
+        entries.push((
+            StateKey::storage(
+                Address::from_u64(TOKEN_A),
+                contracts::map_slot2(who, Address::from_u64(FLASH).to_u256(), 2),
+            ),
+            U256::from(1_000_000u64),
+        ));
+    }
+    entries.push((
+        StateKey::storage(
+            Address::from_u64(TOKEN_B),
+            contracts::map_slot(Address::from_u64(ROUTER2).to_u256(), 1),
+        ),
+        U256::from(1_000_000u64),
+    ));
     entries
+}
+
+/// A compact encoding of a *call-heavy* transaction: every tuple value
+/// maps to a valid cross-contract call — aggregator swaps through four
+/// frames (happy path and slippage revert), flash mints with in-tx
+/// repayment, oracle fanout updates, and the single-hop router quotes —
+/// so property tests drive the interprocedural bind path end to end.
+pub fn decode_router_tx(selector: u8, caller: u8, a: u8, b: u8) -> Transaction {
+    let caller_addr = Address::from_u64(1 + caller as u64 % 12);
+    let amount = U256::from(1 + a as u64 % 40);
+    match selector % 8 {
+        // Aggregator swap, generous slippage bound: four frames deep.
+        0..=2 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(ROUTER2),
+            calldata(contracts::router2_fn::SWAP, &[amount, U256::ZERO]),
+        )),
+        // Impossible slippage bound: the caller-side check reverts
+        // between the reserve read and the state-moving calls.
+        3 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(ROUTER2),
+            calldata(contracts::router2_fn::SWAP, &[amount, U256::MAX]),
+        )),
+        // Flash mint: the repay pull must observe the minted balance.
+        4..=5 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(FLASH),
+            calldata(contracts::flash_fn::FLASH, &[amount]),
+        )),
+        // Oracle update: one call frame per subscribed consumer.
+        6 => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(ORACLE),
+            calldata(contracts::oracle_fn::UPDATE, &[U256::from(b as u64)]),
+        )),
+        // Single-hop quote through the original router.
+        _ => Transaction::call(TxEnv::call(
+            caller_addr,
+            Address::from_u64(ROUTER),
+            calldata(contracts::router_fn::QUOTE, &[amount]),
+        )),
+    }
 }
 
 /// A compact encoding of a *loop-heavy* transaction: every tuple value maps
