@@ -34,9 +34,10 @@ use dmvcc_core::{
     ParallelConfig, ParallelExecutor, ParallelOutcome, SchedulerPolicy, SimReport, StmExecutor,
 };
 use dmvcc_primitives::H256;
-use dmvcc_state::StateDb;
+use dmvcc_state::{LsmBackend, LsmOptions, MemBackend, RootHandle, StateBackend, StateDb};
 use dmvcc_vm::{BlockEnv, Transaction};
 use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
+use std::sync::Arc;
 
 /// Which scheduler a validator runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +105,52 @@ impl ExecutorKind {
             ExecutorKind::Stm => "stm",
             ExecutorKind::Hybrid => "hybrid",
         }
+    }
+}
+
+/// Which persistent state backend the chain's [`StateDb`] commits to.
+///
+/// Orthogonal to both [`SchedulerKind`] and [`ExecutorKind`]: the backend
+/// only changes where committed versions live (RAM vs the log-structured
+/// store), never execution results — every configuration must land on the
+/// same roots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// In-memory versioned map (the default).
+    #[default]
+    Mem,
+    /// Log-structured on-disk store (append-only segments + compaction).
+    Lsm,
+}
+
+impl BackendKind {
+    /// Parses the CLI spelling of a backend kind.
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name {
+            "mem" => Some(BackendKind::Mem),
+            "lsm" => Some(BackendKind::Lsm),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (inverse of [`Self::parse`]).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendKind::Mem => "mem",
+            BackendKind::Lsm => "lsm",
+        }
+    }
+
+    /// Builds a [`StateDb`] over this backend, seeded with `entries`.
+    pub fn build_db(
+        &self,
+        entries: Vec<(dmvcc_state::StateKey, dmvcc_primitives::U256)>,
+    ) -> StateDb {
+        let backend: Arc<dyn StateBackend> = match self {
+            BackendKind::Mem => Arc::new(MemBackend::new()),
+            BackendKind::Lsm => Arc::new(LsmBackend::new(LsmOptions::default())),
+        };
+        StateDb::with_backend(backend, entries)
     }
 }
 
@@ -212,6 +259,8 @@ pub struct ChainConfig {
     /// Which real threaded engine backs the cross-checks and the pipelined
     /// front-end (predictive sharded, optimistic STM, or hybrid).
     pub executor: ExecutorKind,
+    /// Which persistent state backend the chain commits to.
+    pub backend: BackendKind,
 }
 
 impl ChainConfig {
@@ -233,6 +282,7 @@ impl ChainConfig {
             policy: SchedulerPolicy::CriticalPath,
             pipeline: false,
             executor: ExecutorKind::Sharded,
+            backend: BackendKind::Mem,
         }
     }
 }
@@ -291,8 +341,9 @@ pub fn run_testnet(config: &ChainConfig) -> ChainReport {
     use rand::{Rng, SeedableRng};
     let mut generator = WorkloadGenerator::new(config.workload.clone());
     let analyzer = Analyzer::new(generator.registry().clone());
-    let mut db = StateDb::with_genesis(generator.genesis_entries());
-    // Replica DBs for the other validators (cheap: StateDb is persistent).
+    let mut db = config.backend.build_db(generator.genesis_entries());
+    // Replica DBs for the other validators (cheap: StateDb is persistent;
+    // clones share the backend Arc and re-commits are idempotent).
     let mut replicas: Vec<StateDb> = (1..config.validators.max(1)).map(|_| db.clone()).collect();
 
     let threaded = ThreadedEngine::new(
@@ -436,13 +487,22 @@ pub struct PipelinedChainReport {
     /// Refinement seconds hidden behind execution of the previous block
     /// (zero without pipelining; the whole point of the front-end).
     pub overlap_seconds: f64,
+    /// Wall-clock seconds spent hashing state roots (background commit
+    /// threads; all blocks).
+    pub commit_seconds: f64,
+    /// Root-hashing seconds hidden behind execution of subsequent blocks —
+    /// commit work that never stalled the chain.
+    pub commit_hidden_seconds: f64,
     /// Executor aborts over all blocks (stale pipelined predictions show
     /// up here, absorbed by the abort path).
     pub aborts: u64,
-    /// `true` if every block's write set matched the serial oracle.
+    /// `true` if every block's write set matched the serial oracle *and*
+    /// every per-block async root matched the sync-commit oracle root.
     pub roots_consistent: bool,
     /// Final state root after committing every block.
     pub final_root: H256,
+    /// CLI label of the state backend the chain committed to.
+    pub backend: &'static str,
 }
 
 impl PipelinedChainReport {
@@ -452,6 +512,15 @@ impl PipelinedChainReport {
             0.0
         } else {
             self.overlap_seconds / self.refine_seconds
+        }
+    }
+
+    /// Fraction of root-hashing wall-time hidden off the critical path.
+    pub fn commit_hidden_fraction(&self) -> f64 {
+        if self.commit_seconds == 0.0 {
+            0.0
+        } else {
+            self.commit_hidden_seconds / self.commit_seconds
         }
     }
 }
@@ -468,7 +537,9 @@ impl PipelinedChainReport {
 pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
     let mut generator = WorkloadGenerator::new(config.workload.clone());
     let analyzer = Analyzer::new(generator.registry().clone());
-    let mut db = StateDb::with_genesis(generator.genesis_entries());
+    let genesis_entries = generator.genesis_entries();
+    let mut db = config.backend.build_db(genesis_entries.clone());
+    db.set_hash_threads(config.threads.clamp(1, 8));
     // The generator emits transactions independent of execution state, so
     // the whole chain's blocks can be drawn up front — the pipeline needs
     // block N+1's transactions while block N runs.
@@ -484,11 +555,18 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
         pin_cores: false,
     };
     let genesis = db.latest().clone();
+    // Block N's root hashing is launched off-thread the moment its writes
+    // are known, so it overlaps block N+1's refinement and execution; the
+    // handles resolve later and any residual wait is the un-hidden stall.
+    let mut handles: Vec<RootHandle> = Vec::with_capacity(config.blocks);
     let (outcomes, refine_nanos, execute_nanos, overlap_nanos) = match config.executor {
         ExecutorKind::Sharded => {
             let executor = ParallelExecutor::new(analyzer.clone(), parallel_config);
             let pipeline = BlockPipeline::new(executor);
-            let (outcomes, _, stats) = pipeline.run_blocks(&blocks, &genesis, env_of);
+            let (outcomes, _, stats) =
+                pipeline.run_blocks_with(&blocks, &genesis, env_of, |_, outcome| {
+                    handles.push(db.commit_async(&outcome.final_writes));
+                });
             (
                 outcomes,
                 stats.refine_nanos,
@@ -499,7 +577,8 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
         ExecutorKind::Stm | ExecutorKind::Hybrid => {
             // The optimistic engines take a block at a time: STM has no
             // refinement to hide and hybrid refines inline, so the
-            // pipelined front-end's overlap is structurally zero here.
+            // pipelined front-end's overlap is structurally zero here —
+            // but root hashing still overlaps the next block's execution.
             let engine = ThreadedEngine::new(config.executor, analyzer.clone(), parallel_config);
             let mut snapshot = genesis.clone();
             let mut outcomes = Vec::with_capacity(blocks.len());
@@ -512,23 +591,41 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
                 refine_nanos += outcome.stats.refine_nanos;
                 execute_nanos += elapsed.saturating_sub(outcome.stats.refine_nanos);
                 snapshot = snapshot.apply(&outcome.final_writes);
+                handles.push(db.commit_async(&outcome.final_writes));
                 outcomes.push(outcome);
             }
             (outcomes, refine_nanos, execute_nanos, 0)
         }
     };
 
+    // Resolve every block's root. The residual wait here is commit work
+    // the pipeline failed to hide; hash time minus that stall is hidden.
+    let mut commit_nanos = 0u64;
+    let mut stalled_nanos = 0u64;
+    for handle in &handles {
+        let started = std::time::Instant::now();
+        handle.wait();
+        stalled_nanos += started.elapsed().as_nanos() as u64;
+        commit_nanos += handle.hash_nanos();
+    }
+    let hidden_nanos = commit_nanos.saturating_sub(stalled_nanos);
+
+    // Serial oracle: write sets must match block by block, and the async
+    // per-block roots must match a synchronously-committed StateDb.
+    let mut oracle_db = StateDb::with_genesis(genesis_entries);
     let mut consistent = true;
     let mut committed = 0u64;
     let mut aborts = 0u64;
-    let mut oracle = genesis;
     for (i, (txs, outcome)) in blocks.iter().zip(&outcomes).enumerate() {
-        let trace = execute_block_serial(txs, &oracle, &analyzer, &env_of(i));
+        let oracle_snapshot = oracle_db.latest().clone();
+        let trace = execute_block_serial(txs, &oracle_snapshot, &analyzer, &env_of(i));
         if outcome.final_writes != trace.final_writes {
             consistent = false;
         }
-        oracle = oracle.apply(&trace.final_writes);
-        db.commit(&outcome.final_writes);
+        let oracle_root = oracle_db.commit(&trace.final_writes);
+        if db.root_at(1 + i as u64) != Some(oracle_root) {
+            consistent = false;
+        }
         committed += txs.len() as u64;
         aborts += outcome.aborts;
     }
@@ -539,9 +636,12 @@ pub fn run_pipelined_chain(config: &ChainConfig) -> PipelinedChainReport {
         refine_seconds: refine_nanos as f64 / 1e9,
         execute_seconds: execute_nanos as f64 / 1e9,
         overlap_seconds: overlap_nanos as f64 / 1e9,
+        commit_seconds: commit_nanos as f64 / 1e9,
+        commit_hidden_seconds: hidden_nanos as f64 / 1e9,
         aborts,
         roots_consistent: consistent,
         final_root: db.current_root(),
+        backend: db.backend_name().unwrap_or("none"),
     }
 }
 
@@ -574,6 +674,7 @@ mod tests {
             policy: SchedulerPolicy::CriticalPath,
             pipeline: false,
             executor: ExecutorKind::Sharded,
+            backend: BackendKind::Mem,
         }
     }
 
@@ -724,6 +825,46 @@ mod tests {
                 assert_eq!(report.refine_seconds, 0.0);
             }
         }
+    }
+
+    #[test]
+    fn pipelined_commit_accounting_is_sane() {
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.pipeline = true;
+        let report = run_pipelined_chain(&config);
+        assert!(report.roots_consistent);
+        assert!(report.commit_seconds > 0.0);
+        assert!(report.commit_hidden_seconds <= report.commit_seconds + 1e-12);
+        assert!((0.0..=1.0).contains(&report.commit_hidden_fraction()));
+        assert_eq!(report.backend, "mem");
+    }
+
+    #[test]
+    fn lsm_backend_chains_match_mem_backend() {
+        // The backend only changes where committed versions live: both the
+        // virtual testnet and the pipelined chain must land on identical
+        // roots over the log-structured store.
+        let mem_testnet = run_testnet(&tiny_config(SchedulerKind::Dmvcc));
+        let mut config = tiny_config(SchedulerKind::Dmvcc);
+        config.backend = BackendKind::Lsm;
+        let lsm_testnet = run_testnet(&config);
+        assert!(lsm_testnet.roots_consistent);
+        assert_eq!(lsm_testnet.final_root, mem_testnet.final_root);
+
+        config.pipeline = true;
+        let lsm_pipelined = run_pipelined_chain(&config);
+        assert!(lsm_pipelined.roots_consistent);
+        assert_eq!(lsm_pipelined.final_root, mem_testnet.final_root);
+        assert_eq!(lsm_pipelined.backend, "lsm");
+    }
+
+    #[test]
+    fn backend_kind_parse_roundtrip() {
+        for kind in [BackendKind::Mem, BackendKind::Lsm] {
+            assert_eq!(BackendKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("rocksdb"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Mem);
     }
 
     #[test]

@@ -216,13 +216,16 @@ USAGE:
   dmvcc chain [--hot] [--blocks N] [--size M] [--threads T]
               [--scheduler serial|dag|occ|dmvcc] [--interval SECS]
               [--policy fifo|critical-path] [--pipeline]
-              [--executor sharded|stm|hybrid]
+              [--executor sharded|stm|hybrid] [--backend mem|lsm]
       Run the micro testnet and report throughput. --policy picks the
       threaded executor's ready-queue order; --pipeline executes blocks
       on the real executor with C-SAG refinement overlapped one block
-      ahead and reports the refine/execute overlap; --executor picks the
+      ahead and reports the refine/execute overlap plus the fraction of
+      root hashing hidden off the critical path; --executor picks the
       real threaded engine (predictive sharded, optimistic Block-STM, or
-      the hybrid router) behind cross-checks and the pipelined path.
+      the hybrid router) behind cross-checks and the pipelined path;
+      --backend picks the persistent state store the chain commits to
+      (in-memory versioned map or the log-structured on-disk store).
   dmvcc profile [--hot] [--blocks N] [--size M] [--threads T]
                 [--repeat R] [--policy fifo|critical-path] [--pin-cores]
                 [--seed S]

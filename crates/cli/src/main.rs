@@ -5,7 +5,9 @@ use dmvcc_analysis::{
     Severity,
 };
 use dmvcc_baselines::{simulate_dag, simulate_occ};
-use dmvcc_chain::{run_pipelined_chain, run_testnet, ChainConfig, ExecutorKind, SchedulerKind};
+use dmvcc_chain::{
+    run_pipelined_chain, run_testnet, BackendKind, ChainConfig, ExecutorKind, SchedulerKind,
+};
 use dmvcc_cli::{
     contract_by_name, fixture_address, fixture_registry, parse_args, ParsedArgs, CONTRACT_NAMES,
     USAGE,
@@ -304,6 +306,9 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
     let executor_name: String = parsed.get_or("executor", "sharded".to_string())?;
     let executor = ExecutorKind::parse(&executor_name)
         .ok_or_else(|| format!("unknown executor `{executor_name}` (sharded | stm | hybrid)"))?;
+    let backend_name: String = parsed.get_or("backend", "mem".to_string())?;
+    let backend = BackendKind::parse(&backend_name)
+        .ok_or_else(|| format!("unknown backend `{backend_name}` (mem | lsm)"))?;
     let config = ChainConfig {
         validators: parsed.get_or("validators", 4usize)?,
         block_size: parsed.get_or("size", 500usize)?,
@@ -319,11 +324,13 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
         policy,
         pipeline: parsed.has("pipeline"),
         executor,
+        backend,
     };
     if config.pipeline {
         let report = run_pipelined_chain(&config);
         println!("policy             : {}", policy.label());
         println!("executor           : {}", executor.label());
+        println!("backend            : {}", report.backend);
         println!("blocks             : {}", report.blocks);
         println!("transactions       : {}", report.committed_txs);
         println!("refine time        : {:.3}s", report.refine_seconds);
@@ -332,6 +339,11 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
             "refine overlapped  : {:.3}s ({:.0}% hidden)",
             report.overlap_seconds,
             report.overlap_fraction() * 100.0
+        );
+        println!(
+            "root commit        : {:.3}s ({:.0}% off critical path)",
+            report.commit_seconds,
+            report.commit_hidden_fraction() * 100.0
         );
         println!("executor aborts    : {}", report.aborts);
         println!("roots consistent   : {}", report.roots_consistent);
@@ -344,6 +356,7 @@ fn cmd_chain(parsed: &ParsedArgs) -> Result<(), String> {
     let report = run_testnet(&config);
     println!("scheduler          : {}", scheduler.label());
     println!("executor           : {}", executor.label());
+    println!("backend            : {}", backend.label());
     println!("blocks             : {}", report.blocks);
     println!("transactions       : {}", report.committed_txs);
     println!("execution time     : {:.2}s", report.execution_seconds);

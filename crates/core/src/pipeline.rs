@@ -153,6 +153,25 @@ impl BlockPipeline {
         snapshot: &Snapshot,
         env_of: impl Fn(usize) -> BlockEnv,
     ) -> (Vec<ParallelOutcome>, Snapshot, PipelineStats) {
+        self.run_blocks_with(blocks, snapshot, env_of, |_, _| {})
+    }
+
+    /// [`BlockPipeline::run_blocks`] with a per-block hook.
+    ///
+    /// `on_block(i, outcome)` fires after block `i`'s writes are applied
+    /// to the pipeline snapshot and **before** block `i+1` executes —
+    /// the seam where a chain driver launches asynchronous state
+    /// commitment (`StateDb::commit_async`), so block `i`'s root hashing
+    /// overlaps block `i+1`'s refinement and execution. Keep the hook
+    /// cheap: it runs on the pipeline's critical path, and anything slow
+    /// belongs on the background side of the handle it launches.
+    pub fn run_blocks_with(
+        &self,
+        blocks: &[Vec<Transaction>],
+        snapshot: &Snapshot,
+        env_of: impl Fn(usize) -> BlockEnv,
+        mut on_block: impl FnMut(usize, &ParallelOutcome),
+    ) -> (Vec<ParallelOutcome>, Snapshot, PipelineStats) {
         let mut outcomes = Vec::with_capacity(blocks.len());
         let mut stats = PipelineStats {
             blocks: blocks.len() as u64,
@@ -214,6 +233,7 @@ impl BlockPipeline {
             stats.refine_nanos += refine_nanos;
             stats.overlapped_refine_nanos += refine_nanos.min(exec_nanos);
             snapshot = snapshot.apply(&outcome.final_writes);
+            on_block(i, &outcome);
             outcomes.push(outcome);
             if let Some(next) = next_csags {
                 csags = next;

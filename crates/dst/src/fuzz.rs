@@ -25,7 +25,7 @@ use dmvcc_core::{
     GlobalLockParallelExecutor, HybridExecutor, ParallelConfig, ParallelExecutor, ParallelOutcome,
     SchedulerPolicy, StmExecutor,
 };
-use dmvcc_state::{Snapshot, StateDb, WriteSet};
+use dmvcc_state::{LsmBackend, LsmOptions, MemBackend, Snapshot, StateBackend, StateDb, WriteSet};
 use dmvcc_vm::{BlockEnv, Transaction};
 use dmvcc_workload::{WorkloadConfig, WorkloadGenerator};
 
@@ -137,6 +137,41 @@ impl EngineUnderTest {
     }
 }
 
+/// Which persistent state backend the campaign cross-checks against the
+/// plain snapshot-stack [`StateDb`] (the root oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendUnderTest {
+    /// No backend axis (the default): only the executors are fuzzed.
+    #[default]
+    None,
+    /// In-memory versioned backend behind the flat-state cache.
+    Mem,
+    /// Log-structured on-disk store with tiny thresholds, so every case
+    /// crosses segment flushes and compactions.
+    Lsm,
+}
+
+impl BackendUnderTest {
+    /// Parses the CLI spelling of a backend axis.
+    pub fn parse(name: &str) -> Option<BackendUnderTest> {
+        match name {
+            "plain" => Some(BackendUnderTest::None),
+            "mem" => Some(BackendUnderTest::Mem),
+            "lsm" => Some(BackendUnderTest::Lsm),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling (inverse of [`Self::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendUnderTest::None => "plain",
+            BackendUnderTest::Mem => "mem",
+            BackendUnderTest::Lsm => "lsm",
+        }
+    }
+}
+
 /// One fuzz campaign's fixed parameters (the seed varies per case).
 #[derive(Debug, Clone)]
 pub struct FuzzConfig {
@@ -177,6 +212,10 @@ pub struct FuzzConfig {
     pub pin_cores: bool,
     /// Which engine the campaign exercises (see [`EngineUnderTest`]).
     pub engine: EngineUnderTest,
+    /// Persistent-backend cross-check: replay each case's serial history
+    /// through a backend-backed [`StateDb`] with async root commits and
+    /// compare per-height roots and reads (see [`BackendUnderTest`]).
+    pub backend: BackendUnderTest,
 }
 
 impl Default for FuzzConfig {
@@ -196,6 +235,7 @@ impl Default for FuzzConfig {
             scheduler: SchedulerPolicy::CriticalPath,
             pin_cores: false,
             engine: EngineUnderTest::Pair,
+            backend: BackendUnderTest::None,
         }
     }
 }
@@ -244,6 +284,9 @@ pub struct Divergence {
     /// Engine axis of the diverging campaign (`pair`, `stm`, `hybrid`);
     /// non-default engines are part of the replay command.
     pub engine: &'static str,
+    /// Backend axis of the diverging campaign (`plain`, `mem`, `lsm`);
+    /// non-default backends are part of the replay command.
+    pub backend: &'static str,
     /// Sorted, deterministic description of the disagreement.
     pub details: Vec<String>,
 }
@@ -266,6 +309,9 @@ impl fmt::Display for Divergence {
         )?;
         if self.engine != "pair" {
             write!(f, " --executor {}", self.engine)?;
+        }
+        if self.backend != "plain" {
+            write!(f, " --backend {}", self.backend)?;
         }
         Ok(())
     }
@@ -337,6 +383,7 @@ fn check_outcome(
         executor,
         policy: config.scheduler.label(),
         engine: config.engine.label(),
+        backend: config.backend.label(),
         details,
     })
 }
@@ -376,7 +423,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
     // built against the previous block's snapshot, execution runs on the
     // current one.
     let stale = config.stale_every != 0 && seed.is_multiple_of(config.stale_every);
-    let (live, prediction_snapshot, env) = if stale {
+    let (live, prediction_snapshot, env, warmup_writes) = if stale {
         let warmup = generator.block(config.size / 2 + 1);
         let env1 = BlockEnv::new(1, 1_700_000_000);
         let warmup_trace = execute_block_serial(&warmup, &genesis, &analyzer, &env1);
@@ -386,9 +433,15 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
             db.latest().clone(),
             genesis.clone(),
             BlockEnv::new(2, 1_700_000_012),
+            Some(warmup_trace.final_writes),
         )
     } else {
-        (genesis.clone(), genesis, BlockEnv::new(1, 1_700_000_000))
+        (
+            genesis.clone(),
+            genesis,
+            BlockEnv::new(1, 1_700_000_000),
+            None,
+        )
     };
 
     let mut txs = generator.block(config.size);
@@ -453,6 +506,67 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
         }
     }
 
+    // State-backend differential: replay the case's serial history through
+    // a backend-backed StateDb (async root commits, flat-state reads, and —
+    // for the LSM — segment flushes and compactions at tiny thresholds) and
+    // compare every per-height root and final read against the plain
+    // snapshot-stack StateDb.
+    if config.backend != BackendUnderTest::None {
+        let entries = generator.genesis_entries();
+        let backend: Arc<dyn StateBackend> = match config.backend {
+            BackendUnderTest::Mem => Arc::new(MemBackend::new()),
+            _ => Arc::new(LsmBackend::new(LsmOptions::tiny())),
+        };
+        let mut plain = StateDb::with_genesis(entries.clone());
+        let mut backed = StateDb::with_backend(backend, entries);
+        let mut details = Vec::new();
+        if backed.current_root() != plain.current_root() {
+            details.push(format!(
+                "genesis root: plain={} backend={}",
+                plain.current_root(),
+                backed.current_root()
+            ));
+        }
+        let history: Vec<&WriteSet> = warmup_writes
+            .iter()
+            .chain(std::iter::once(&trace.final_writes))
+            .collect();
+        for (i, writes) in history.iter().enumerate() {
+            let height = 1 + i as u64;
+            let expected = plain.commit(writes);
+            let got = backed.commit_async(writes).wait();
+            if got != expected {
+                details.push(format!(
+                    "root at height {height}: plain={expected} backend={got}"
+                ));
+            }
+            if backed.root_at(height) != Some(expected) {
+                details.push(format!("root_at({height}) disagrees with sync oracle"));
+            }
+        }
+        for (key, value) in &trace.final_writes {
+            if details.len() >= MAX_DETAIL_LINES {
+                break;
+            }
+            let got = backed.latest().get(key);
+            if got != *value {
+                details.push(format!("read {key}: serial={value} backend={got}"));
+            }
+        }
+        if !details.is_empty() {
+            return Some(Divergence {
+                seed,
+                size: config.size,
+                threads: config.threads,
+                executor: "state-backend",
+                policy: config.scheduler.label(),
+                engine: config.engine.label(),
+                backend: config.backend.label(),
+                details,
+            });
+        }
+    }
+
     if config.check_simulator {
         let report = simulate_dmvcc(&trace, &csags, &DmvccConfig::new(config.threads));
         let mut details = Vec::new();
@@ -484,6 +598,7 @@ pub fn run_seed(seed: u64, config: &FuzzConfig) -> Option<Divergence> {
                 executor: "simulator",
                 policy: config.scheduler.label(),
                 engine: config.engine.label(),
+                backend: config.backend.label(),
                 details,
             });
         }
@@ -608,6 +723,7 @@ mod tests {
             executor: "sharded",
             policy: "critical-path",
             engine: "pair",
+            backend: "plain",
             details: vec!["missing k: serial=1".into()],
         };
         let text = format!("{divergence}");
@@ -615,14 +731,56 @@ mod tests {
         assert!(text.contains("replay: cargo run -p dmvcc-dst -- replay --seed 9 --size 12"));
         assert!(text.contains("--scheduler critical-path"));
         assert!(!text.contains("--executor"));
+        assert!(!text.contains("--backend"));
         assert_eq!(text, format!("{divergence}"));
 
         let stm = Divergence {
             engine: "stm",
             executor: "stm",
-            ..divergence
+            ..divergence.clone()
         };
         assert!(format!("{stm}").ends_with("--executor stm"));
+
+        let lsm = Divergence {
+            executor: "state-backend",
+            backend: "lsm",
+            ..divergence
+        };
+        assert!(format!("{lsm}").ends_with("--backend lsm"));
+    }
+
+    #[test]
+    fn backend_cross_check_seeds_agree() {
+        // Seed 0 hits the stale-snapshot path (stale_every=4), so both
+        // backends replay a two-block history; the LSM's tiny thresholds
+        // force segment flushes and compactions inside the case.
+        for backend in [BackendUnderTest::Mem, BackendUnderTest::Lsm] {
+            let config = FuzzConfig {
+                size: 30,
+                backend,
+                ..FuzzConfig::default()
+            };
+            for seed in 0..3 {
+                let result = run_seed(seed, &config);
+                assert!(
+                    result.is_none(),
+                    "{} backend seed {seed} diverged: {result:?}",
+                    backend.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backend_under_test_parse_roundtrip() {
+        for backend in [
+            BackendUnderTest::None,
+            BackendUnderTest::Mem,
+            BackendUnderTest::Lsm,
+        ] {
+            assert_eq!(BackendUnderTest::parse(backend.label()), Some(backend));
+        }
+        assert_eq!(BackendUnderTest::parse("rocksdb"), None);
     }
 
     #[test]

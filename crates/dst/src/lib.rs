@@ -32,6 +32,7 @@ mod sched;
 
 pub use faults::{FaultPlan, Mutation};
 pub use fuzz::{
-    fuzz, run_seed, shrink, Divergence, EngineUnderTest, FuzzConfig, FuzzOutcome, Profile,
+    fuzz, run_seed, shrink, BackendUnderTest, Divergence, EngineUnderTest, FuzzConfig, FuzzOutcome,
+    Profile,
 };
 pub use sched::{SchedConfig, SchedStats, VirtualScheduler};

@@ -5,13 +5,13 @@
 //!                  [--profile ethereum|hot|loop|call] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path] [--pin-cores]
-//!                  [--executor pair|stm|hybrid]
+//!                  [--executor pair|stm|hybrid] [--backend plain|mem|lsm]
 //!                  [--budget-secs N] [--quiet]
 //! dmvcc-dst replay --seed S [--size N] [--threads N]
 //!                  [--profile ethereum|hot|loop|call] [--mutate skip-release-gas-bound]
 //!                  [--refinement two-tier|speculative]
 //!                  [--scheduler fifo|critical-path] [--pin-cores]
-//!                  [--executor pair|stm|hybrid]
+//!                  [--executor pair|stm|hybrid] [--backend plain|mem|lsm]
 //! ```
 //!
 //! `fuzz` runs a seed campaign and exits non-zero on the first divergence,
@@ -22,7 +22,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use dmvcc_dst::{fuzz, run_seed, EngineUnderTest, FuzzConfig, Mutation, Profile};
+use dmvcc_dst::{fuzz, run_seed, BackendUnderTest, EngineUnderTest, FuzzConfig, Mutation, Profile};
 
 fn usage(error: &str) -> ExitCode {
     eprintln!("error: {error}");
@@ -30,13 +30,13 @@ fn usage(error: &str) -> ExitCode {
     eprintln!("                        [--profile ethereum|hot|loop|call] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
-    eprintln!("                        [--executor pair|stm|hybrid]");
+    eprintln!("                        [--executor pair|stm|hybrid] [--backend plain|mem|lsm]");
     eprintln!("                        [--budget-secs N] [--quiet]");
     eprintln!("       dmvcc-dst replay --seed S [--size N] [--threads N]");
     eprintln!("                        [--profile ethereum|hot|loop|call] [--mutate MUTATION]");
     eprintln!("                        [--refinement two-tier|speculative]");
     eprintln!("                        [--scheduler fifo|critical-path] [--pin-cores]");
-    eprintln!("                        [--executor pair|stm|hybrid]");
+    eprintln!("                        [--executor pair|stm|hybrid] [--backend plain|mem|lsm]");
     eprintln!("mutations: none, skip-release-gas-bound");
     ExitCode::from(2)
 }
@@ -108,6 +108,11 @@ fn parse(mut argv: std::env::Args) -> Result<(String, Args), String> {
                 args.config.engine = EngineUnderTest::parse(&name)
                     .ok_or_else(|| format!("unknown executor {name}"))?;
             }
+            "--backend" => {
+                let name = value("--backend")?;
+                args.config.backend = BackendUnderTest::parse(&name)
+                    .ok_or_else(|| format!("unknown backend {name}"))?;
+            }
             "--pin-cores" => args.config.pin_cores = true,
             "--quiet" => args.config.quiet = true,
             other => return Err(format!("unknown flag {other}")),
@@ -127,14 +132,15 @@ fn main() -> ExitCode {
         "fuzz" => {
             println!(
                 "fuzzing {} seeds from {} (size={}, threads={}, mutation={:?}, scheduler={}, \
-                 executor={})",
+                 executor={}, backend={})",
                 args.seeds,
                 args.start,
                 args.config.size,
                 args.config.threads,
                 args.config.mutation,
                 args.config.scheduler.label(),
-                args.config.engine.label()
+                args.config.engine.label(),
+                args.config.backend.label()
             );
             let outcome = fuzz(args.start, args.seeds, &args.config, args.budget, |done| {
                 if done % 50 == 0 {

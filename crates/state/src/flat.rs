@@ -1,0 +1,310 @@
+//! The flat-state cache: O(1) hot SLOADs over any [`StateBackend`].
+//!
+//! Trie walks and LSM segment searches are fine for cold reads but far
+//! too slow for the SLOAD inner loop. [`FlatCached`] wraps a backend with
+//! a sharded hash map holding each key's **latest** version as a
+//! `(height, value)` pair, so a warm read is one FxHash probe.
+//!
+//! # Invalidation
+//!
+//! A cache entry `(h, v)` asserts "`v` is the newest version of this key,
+//! and it was written at (or observed as latest at) height `h`". That
+//! assertion stays true because every write is routed through
+//! [`FlatCached::apply_batch`], which refreshes the entry for each
+//! written key before any reader can observe the new tip. A read at
+//! `as_of ≥ h` can therefore be served from the cache; a read at
+//! `as_of < h` is historical and falls through to the backend (and is not
+//! cached — only latest-state reads fill the cache). Entry updates are
+//! height-guarded (`insert only if newer`), so a racing miss-fill can
+//! never clobber a fresher write.
+//!
+//! Zero values are cached like any other: a tombstone hit answers "this
+//! key was cleared" without consulting the backend.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use dmvcc_primitives::U256;
+
+use crate::backend::{BackendStats, StateBackend};
+use crate::interner::{FxBuildHasher, FxHasher};
+use crate::snapshot::WriteSet;
+use crate::StateKey;
+
+use std::collections::HashMap;
+use std::hash::Hasher as _;
+
+/// Shard count; power of two so shard selection is a mask.
+const SHARDS: usize = 16;
+
+/// Counters specific to the flat cache (backend I/O counters live in
+/// [`BackendStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlatStats {
+    /// Reads answered from the cache.
+    pub hits: u64,
+    /// Reads that fell through to the backend.
+    pub misses: u64,
+    /// Entries refreshed by write batches or miss-fills.
+    pub fills: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Current number of cached entries.
+    pub entries: u64,
+}
+
+type Shard = RwLock<HashMap<StateKey, (u64, U256), FxBuildHasher>>;
+
+/// A [`StateBackend`] wrapper adding the flat-state read path.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dmvcc_primitives::{Address, U256};
+/// use dmvcc_state::{FlatCached, MemBackend, StateBackend, StateKey};
+///
+/// let flat = FlatCached::new(Arc::new(MemBackend::new()));
+/// let key = StateKey::balance(Address::from_u64(1));
+/// flat.apply_batch(1, &[(key, U256::from(5u64))].into_iter().collect());
+/// assert_eq!(flat.get(&key, 1), Some(U256::from(5u64))); // cache hit
+/// assert_eq!(flat.flat_stats().hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct FlatCached {
+    inner: Arc<dyn StateBackend>,
+    shards: Vec<Shard>,
+    /// Entries per shard before the shard is evicted wholesale.
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    fills: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Default total cache capacity (entries across all shards).
+pub const DEFAULT_FLAT_CAPACITY: usize = 1 << 20;
+
+impl FlatCached {
+    /// Wraps `inner` with the default cache capacity.
+    pub fn new(inner: Arc<dyn StateBackend>) -> Self {
+        FlatCached::with_capacity(inner, DEFAULT_FLAT_CAPACITY)
+    }
+
+    /// Wraps `inner` with room for ~`capacity` cached entries.
+    pub fn with_capacity(inner: Arc<dyn StateBackend>, capacity: usize) -> Self {
+        let capacity_per_shard = (capacity / SHARDS).max(1);
+        FlatCached {
+            inner,
+            shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            fills: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &Arc<dyn StateBackend> {
+        &self.inner
+    }
+
+    /// Cache-local counters.
+    pub fn flat_stats(&self) -> FlatStats {
+        FlatStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            fills: self.fills.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("flat lock poisoned").len() as u64)
+                .sum(),
+        }
+    }
+
+    fn shard(&self, key: &StateKey) -> &Shard {
+        let mut hasher = FxHasher::default();
+        hasher.write(&key.to_bytes());
+        &self.shards[(hasher.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Installs `(height, value)` unless a fresher entry is present.
+    fn fill(&self, key: &StateKey, height: u64, value: U256) {
+        let mut shard = self.shard(key).write().expect("flat lock poisoned");
+        match shard.get(key) {
+            Some(&(h, _)) if h > height => return, // racing fill lost to a newer write
+            _ => {}
+        }
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(key) {
+            // Wholesale shard eviction: crude, O(1) amortized, and always
+            // safe (the cache is a pure accelerator).
+            self.evictions
+                .fetch_add(shard.len() as u64, Ordering::Relaxed);
+            shard.clear();
+        }
+        shard.insert(*key, (height, value));
+        self.fills.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl StateBackend for FlatCached {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn get(&self, key: &StateKey, as_of: u64) -> Option<U256> {
+        if let Some(&(height, value)) = self.shard(key).read().expect("flat lock poisoned").get(key)
+        {
+            if as_of >= height {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(value);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tip = self.inner.tip();
+        let value = self.inner.get(key, as_of);
+        if as_of >= tip {
+            // Latest-state read: what we fetched is the key's newest
+            // version, so it may seed the cache (height-guarded against
+            // races with concurrent batches).
+            if let Some(value) = value {
+                self.fill(key, tip, value);
+            }
+        }
+        value
+    }
+
+    fn apply_batch(&self, height: u64, writes: &WriteSet) {
+        let pre_tip = self.inner.tip();
+        self.inner.apply_batch(height, writes);
+        if height > pre_tip || height == 0 {
+            for (key, value) in writes {
+                self.fill(key, height, *value);
+            }
+        }
+    }
+
+    fn tip(&self) -> u64 {
+        self.inner.tip()
+    }
+
+    fn iter_as_of(&self, as_of: u64) -> Vec<(StateKey, U256)> {
+        self.inner.iter_as_of(as_of)
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemBackend;
+    use dmvcc_primitives::Address;
+
+    fn key(i: u64) -> StateKey {
+        StateKey::storage(Address::from_u64(3), U256::from(i))
+    }
+
+    fn batch(pairs: &[(u64, u64)]) -> WriteSet {
+        pairs
+            .iter()
+            .map(|&(k, v)| (key(k), U256::from(v)))
+            .collect()
+    }
+
+    fn flat() -> FlatCached {
+        FlatCached::new(Arc::new(MemBackend::new()))
+    }
+
+    #[test]
+    fn writes_prime_the_cache() {
+        let flat = flat();
+        flat.apply_batch(1, &batch(&[(1, 10)]));
+        assert_eq!(flat.get(&key(1), 1), Some(U256::from(10u64)));
+        let stats = flat.flat_stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn historical_reads_bypass_the_cache() {
+        let flat = flat();
+        flat.apply_batch(1, &batch(&[(1, 10)]));
+        flat.apply_batch(2, &batch(&[(1, 20)]));
+        // as_of below the entry height must not be served the new value.
+        assert_eq!(flat.get(&key(1), 1), Some(U256::from(10u64)));
+        assert_eq!(flat.get(&key(1), 2), Some(U256::from(20u64)));
+        assert_eq!(flat.flat_stats().misses, 1);
+    }
+
+    #[test]
+    fn miss_fill_then_hit() {
+        let backend = Arc::new(MemBackend::new());
+        backend.apply_batch(1, &batch(&[(1, 10)]));
+        // Wrap AFTER the write so the cache starts cold.
+        let flat = FlatCached::new(backend);
+        assert_eq!(flat.get(&key(1), 1), Some(U256::from(10u64))); // miss
+        assert_eq!(flat.get(&key(1), 1), Some(U256::from(10u64))); // hit
+        let stats = flat.flat_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn tombstones_are_cached() {
+        let flat = flat();
+        flat.apply_batch(1, &batch(&[(1, 10)]));
+        flat.apply_batch(2, &batch(&[(1, 0)]));
+        assert_eq!(flat.get(&key(1), 2), Some(U256::ZERO));
+        assert_eq!(flat.flat_stats().hits, 1);
+    }
+
+    #[test]
+    fn eviction_keeps_reads_correct() {
+        let backend = Arc::new(MemBackend::new());
+        let flat = FlatCached::with_capacity(backend, SHARDS); // 1 entry/shard
+        let writes: WriteSet = (0..200).map(|i| (key(i), U256::from(i + 1))).collect();
+        flat.apply_batch(1, &writes);
+        assert!(flat.flat_stats().evictions > 0);
+        for i in 0..200 {
+            assert_eq!(flat.get(&key(i), 1), Some(U256::from(i + 1)), "key {i}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_uncached_backend_everywhere() {
+        let plain = MemBackend::new();
+        let flat = flat();
+        let mut seed = 0xdeadbeefu64;
+        let mut next = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for height in 1..=40u64 {
+            let mut writes = WriteSet::new();
+            for _ in 0..(next() % 5 + 1) {
+                writes.insert(
+                    key(next() % 25),
+                    if next() % 4 == 0 {
+                        U256::ZERO
+                    } else {
+                        U256::from(next() % 100)
+                    },
+                );
+            }
+            plain.apply_batch(height, &writes);
+            flat.apply_batch(height, &writes);
+            // Interleave reads at varying heights while writing.
+            for i in 0..25 {
+                let as_of = next() % (height + 1);
+                assert_eq!(flat.get(&key(i), as_of), plain.get(&key(i), as_of));
+            }
+        }
+    }
+}

@@ -24,14 +24,20 @@
 
 #![warn(missing_docs)]
 
+mod backend;
+mod flat;
 mod interner;
 mod key;
+mod lsm;
 mod mpt;
 mod snapshot;
 mod statedb;
 
+pub use backend::{BackendStats, MemBackend, StateBackend};
+pub use flat::{FlatCached, FlatStats, DEFAULT_FLAT_CAPACITY};
 pub use interner::{FxBuildHasher, FxHasher, FxKeyMap, KeyId, KeyInterner};
 pub use key::{StateKey, BALANCE_SLOT, NONCE_SLOT};
+pub use lsm::{LsmBackend, LsmOptions};
 pub use mpt::{empty_root, Mpt};
 pub use snapshot::{Snapshot, WriteSet};
-pub use statedb::StateDb;
+pub use statedb::{RootHandle, StateDb, DEFAULT_ROOT_WINDOW};

@@ -208,15 +208,43 @@ impl Mpt {
         }
     }
 
-    /// Looks up the value stored at `key`.
+    /// Looks up the value stored at `key`, copying it out.
+    ///
+    /// Prefer [`Mpt::get_ref`] on hot paths — it borrows the value from
+    /// the shared node instead of allocating a fresh `Vec` per read.
     pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
-        let nibbles = to_nibbles(key);
+        self.get_ref(key).map(<[u8]>::to_vec)
+    }
+
+    /// Looks up the value stored at `key`, borrowing it from the trie.
+    ///
+    /// Allocation-free for keys up to 32 bytes (every trie key in this
+    /// repo is a 32-byte Keccak digest): the nibble expansion lives in a
+    /// stack buffer and the returned slice aliases the `Arc`-shared node,
+    /// so an oracle-path SLOAD compare costs zero heap traffic.
+    pub fn get_ref(&self, key: &[u8]) -> Option<&[u8]> {
+        let mut stack = [0u8; 64];
+        let heap; // spill for oversized keys only
+        let nibbles: &[u8] = if key.len() <= 32 {
+            for (i, &b) in key.iter().enumerate() {
+                stack[2 * i] = b >> 4;
+                stack[2 * i + 1] = b & 0x0f;
+            }
+            &stack[..key.len() * 2]
+        } else {
+            heap = to_nibbles(key);
+            &heap
+        };
         let mut node = self.root.as_deref()?;
-        let mut path: &[u8] = &nibbles;
+        let mut path: &[u8] = nibbles;
         loop {
             match &node.kind {
                 NodeKind::Leaf { path: p, value } => {
-                    return if p == path { Some(value.clone()) } else { None };
+                    return if p == path {
+                        Some(value.as_slice())
+                    } else {
+                        None
+                    };
                 }
                 NodeKind::Extension { path: p, child } => {
                     path = path.strip_prefix(p.as_slice())?;
@@ -224,13 +252,97 @@ impl Mpt {
                 }
                 NodeKind::Branch { children, value } => {
                     if path.is_empty() {
-                        return value.clone();
+                        return value.as_deref();
                     }
                     node = children[path[0] as usize].as_deref()?;
                     path = &path[1..];
                 }
             }
         }
+    }
+
+    /// The top-level branch node (descending through a root extension),
+    /// if any: the fanout that parallel hashing partitions across workers.
+    fn top_branch(&self) -> Option<&Arc<Node>> {
+        let mut node = self.root.as_ref()?;
+        loop {
+            match &node.kind {
+                NodeKind::Branch { .. } => return Some(node),
+                NodeKind::Extension { child, .. } => node = child,
+                NodeKind::Leaf { .. } => return None,
+            }
+        }
+    }
+
+    /// Number of top-level subtrees whose hashes must be recomputed for
+    /// the next [`Mpt::root`] call.
+    ///
+    /// Dirty tracking falls out of the persistent structure for free:
+    /// mutations build fresh nodes with empty `OnceLock` caches, so a
+    /// cached reference proves the entire subtree beneath it is clean.
+    pub fn dirty_top_subtrees(&self) -> usize {
+        match self.top_branch() {
+            Some(branch) => match &branch.kind {
+                NodeKind::Branch { children, .. } => children
+                    .iter()
+                    .flatten()
+                    .filter(|c| c.reference.get().is_none())
+                    .count(),
+                _ => unreachable!("top_branch returns branches only"),
+            },
+            None => usize::from(
+                self.root
+                    .as_ref()
+                    .is_some_and(|n| n.reference.get().is_none()),
+            ),
+        }
+    }
+
+    /// Returns `true` if the root hash is fully cached (a [`Mpt::root`]
+    /// call would be a pure cache read).
+    pub fn root_cached(&self) -> bool {
+        self.root
+            .as_ref()
+            .is_none_or(|node| node.encoded.get().is_some())
+    }
+
+    /// Computes the root, hashing dirty top-level subtrees on up to
+    /// `threads` worker threads.
+    ///
+    /// Identical to [`Mpt::root`] by construction — both force the same
+    /// thread-safe `OnceLock` caches, only the forcing order differs.
+    /// Keccak-derived keys spread uniformly over the 16-way fanout, so
+    /// partitioning the dirty children of the top branch balances well.
+    /// Serial fallback when `threads <= 1` or fewer than two subtrees are
+    /// dirty.
+    pub fn root_parallel(&self, threads: usize) -> H256 {
+        let Some(root) = self.root.as_ref() else {
+            return empty_root();
+        };
+        if threads > 1 {
+            if let Some(branch) = self.top_branch() {
+                if let NodeKind::Branch { children, .. } = &branch.kind {
+                    let dirty: Vec<&Arc<Node>> = children
+                        .iter()
+                        .flatten()
+                        .filter(|c| c.reference.get().is_none())
+                        .collect();
+                    if dirty.len() > 1 {
+                        let per_worker = dirty.len().div_ceil(threads.min(dirty.len()));
+                        std::thread::scope(|scope| {
+                            for chunk in dirty.chunks(per_worker) {
+                                scope.spawn(move || {
+                                    for child in chunk {
+                                        child.reference();
+                                    }
+                                });
+                            }
+                        });
+                    }
+                }
+            }
+        }
+        root.hash()
     }
 }
 
@@ -597,6 +709,69 @@ mod tests {
         assert_eq!(b.get(b"y"), None);
         assert_eq!(a.get(b"y"), Some(b"2".to_vec()));
         assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn get_ref_matches_get_without_copying() {
+        let mut trie = Mpt::new();
+        trie.insert(b"alpha", b"1".to_vec());
+        trie.insert(b"beta", b"2".to_vec());
+        trie.insert(b"alphabet", b"3".to_vec());
+        for key in [b"alpha".as_slice(), b"beta", b"alphabet", b"alph", b"zz"] {
+            assert_eq!(trie.get_ref(key).map(<[u8]>::to_vec), trie.get(key));
+        }
+        // Oversized keys take the heap spill path.
+        let long = vec![7u8; 48];
+        trie.insert(&long, b"long".to_vec());
+        assert_eq!(trie.get_ref(&long), Some(b"long".as_slice()));
+    }
+
+    #[test]
+    fn dirty_tracking_follows_mutation_and_hashing() {
+        let mut trie = Mpt::new();
+        for i in 0u32..64 {
+            trie.insert(keccak256(&i.to_be_bytes()).as_bytes(), vec![1, 2, 3]);
+        }
+        assert!(!trie.root_cached());
+        assert!(trie.dirty_top_subtrees() > 0);
+        trie.root();
+        assert!(trie.root_cached());
+        assert_eq!(trie.dirty_top_subtrees(), 0);
+        // One more insert dirties exactly the touched path's subtree.
+        trie.insert(keccak256(&99u32.to_be_bytes()).as_bytes(), vec![9]);
+        assert!(!trie.root_cached());
+        assert_eq!(trie.dirty_top_subtrees(), 1);
+    }
+
+    #[test]
+    fn parallel_root_equals_serial_root() {
+        // Two independently-built tries with identical contents: one
+        // hashed serially, one in parallel.
+        for threads in [1usize, 2, 4, 8] {
+            let mut serial = Mpt::new();
+            let mut parallel = Mpt::new();
+            for i in 0u32..300 {
+                let key = keccak256(&i.to_be_bytes());
+                let value = i.to_be_bytes().to_vec();
+                serial.insert(key.as_bytes(), value.clone());
+                parallel.insert(key.as_bytes(), value);
+            }
+            assert_eq!(serial.root(), parallel.root_parallel(threads));
+            // Incremental re-dirtying hashes identically too.
+            let key = keccak256(&1234u32.to_be_bytes());
+            serial.insert(key.as_bytes(), b"x".to_vec());
+            parallel.insert(key.as_bytes(), b"x".to_vec());
+            assert_eq!(serial.root(), parallel.root_parallel(threads));
+        }
+    }
+
+    #[test]
+    fn parallel_root_handles_small_tries() {
+        let trie = Mpt::new();
+        assert_eq!(trie.root_parallel(8), empty_root());
+        let mut one = Mpt::new();
+        one.insert(b"k", b"v".to_vec());
+        assert_eq!(one.root_parallel(8), one.root());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use dmvcc_primitives::U256;
 
+use crate::backend::StateBackend;
 use crate::StateKey;
 
 /// The set of final writes a block execution produces, keyed
@@ -51,11 +52,27 @@ const MAX_OVERLAYS: usize = 8;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Snapshot {
-    /// The flattened bottom layer. Never contains zero values.
+    /// The flattened bottom layer. Never contains zero values unless a
+    /// cold backend sits beneath, in which case zeros are tombstones
+    /// shadowing backend versions.
     base: Arc<HashMap<StateKey, U256>>,
     /// Write layers, oldest → newest. Zero values are tombstones.
     overlays: Vec<Arc<HashMap<StateKey, U256>>>,
     height: u64,
+    /// Persistent backend beneath the in-memory layers, pinned to the
+    /// version the snapshot was taken at.
+    cold: Option<ColdBase>,
+}
+
+/// A [`StateBackend`] read through at a fixed height.
+///
+/// Pinning `as_of` is what keeps snapshots immutable over a *shared*
+/// mutable backend: newer batches land in the backend, but this snapshot
+/// keeps resolving every fallthrough read at its own height.
+#[derive(Debug, Clone)]
+struct ColdBase {
+    backend: Arc<dyn StateBackend>,
+    as_of: u64,
 }
 
 impl Snapshot {
@@ -77,6 +94,24 @@ impl Snapshot {
             base: Arc::new(map),
             overlays: Vec::new(),
             height: 0,
+            cold: None,
+        }
+    }
+
+    /// Builds a snapshot whose bottom layer is a persistent backend read
+    /// at height `as_of`.
+    ///
+    /// The in-memory layers start empty: reads fall through to
+    /// `backend.get(key, as_of)`, and [`Snapshot::apply`] layers block
+    /// writes above the backend exactly as it does above an in-memory
+    /// base. The snapshot stays immutable even as newer batches land in
+    /// the shared backend, because `as_of` is pinned.
+    pub fn from_backend(backend: Arc<dyn StateBackend>, as_of: u64) -> Self {
+        Snapshot {
+            base: Arc::new(HashMap::new()),
+            overlays: Vec::new(),
+            height: as_of,
+            cold: Some(ColdBase { backend, as_of }),
         }
     }
 
@@ -87,7 +122,19 @@ impl Snapshot {
                 return value; // a stored zero is a tombstone — reads as zero
             }
         }
-        self.base.get(key).copied().unwrap_or(U256::ZERO)
+        if let Some(&value) = self.base.get(key) {
+            return value; // with a cold base, a stored zero is a tombstone
+        }
+        match &self.cold {
+            Some(cold) => cold.backend.get(key, cold.as_of).unwrap_or(U256::ZERO),
+            None => U256::ZERO,
+        }
+    }
+
+    /// Returns `true` if a persistent backend sits beneath the in-memory
+    /// layers.
+    pub fn has_cold_base(&self) -> bool {
+        self.cold.is_some()
     }
 
     /// Returns `true` if the key holds a nonzero value.
@@ -131,26 +178,51 @@ impl Snapshot {
             base: Arc::clone(&self.base),
             overlays: self.overlays.clone(),
             height: self.height + 1,
+            cold: self.cold.clone(),
         };
         let layer: HashMap<StateKey, U256> = writes.iter().map(|(k, v)| (*k, *v)).collect();
         next.overlays.push(Arc::new(layer));
         if next.overlays.len() > MAX_OVERLAYS {
-            next.base = Arc::new(next.merged());
+            // Flatten only the in-memory layers; the cold backend (if
+            // any) stays beneath, untouched, so flattening never
+            // materializes the full persistent state into RAM.
+            next.base = Arc::new(next.flattened_layers());
             next.overlays.clear();
         }
         next
     }
 
-    /// The fully-merged view: base plus overlays, tombstones resolved.
-    fn merged(&self) -> HashMap<StateKey, U256> {
+    /// Base plus overlays merged into one map, *excluding* the cold
+    /// backend. Without a cold base, zeros are dropped (absence and zero
+    /// are identical); with one, zeros are kept as tombstones so deleted
+    /// keys do not resurface from the backend.
+    fn flattened_layers(&self) -> HashMap<StateKey, U256> {
+        let keep_zeros = self.cold.is_some();
         let mut map = (*self.base).clone();
         for overlay in &self.overlays {
             for (key, value) in overlay.iter() {
-                if value.is_zero() {
+                if value.is_zero() && !keep_zeros {
                     map.remove(key);
                 } else {
                     map.insert(*key, *value);
                 }
+            }
+        }
+        map
+    }
+
+    /// The fully-merged view: cold backend, base and overlays, tombstones
+    /// resolved. Materializes everything — cold path only.
+    fn merged(&self) -> HashMap<StateKey, U256> {
+        let mut map: HashMap<StateKey, U256> = match &self.cold {
+            Some(cold) => cold.backend.iter_as_of(cold.as_of).into_iter().collect(),
+            None => return self.flattened_layers(),
+        };
+        for (key, value) in self.flattened_layers() {
+            if value.is_zero() {
+                map.remove(&key);
+            } else {
+                map.insert(key, value);
             }
         }
         map
@@ -233,6 +305,61 @@ mod tests {
         assert!(Arc::ptr_eq(&s0.base, &s1.base));
         assert_eq!(s1.overlay_depth(), 1);
         assert_eq!(s1.get(&key(1)), U256::from(5u64));
+    }
+
+    #[test]
+    fn cold_base_reads_fall_through_at_pinned_height() {
+        use crate::MemBackend;
+        let backend = Arc::new(MemBackend::new());
+        let mut w = WriteSet::new();
+        w.insert(key(1), U256::from(10u64));
+        backend.apply_batch(1, &w);
+        let snapshot = Snapshot::from_backend(backend.clone(), 1);
+        assert!(snapshot.has_cold_base());
+        assert_eq!(snapshot.height(), 1);
+        assert_eq!(snapshot.get(&key(1)), U256::from(10u64));
+        assert_eq!(snapshot.get(&key(2)), U256::ZERO);
+        // A newer batch in the shared backend must stay invisible.
+        let mut w2 = WriteSet::new();
+        w2.insert(key(1), U256::from(99u64));
+        backend.apply_batch(2, &w2);
+        assert_eq!(snapshot.get(&key(1)), U256::from(10u64));
+        // But overlays applied on top win as usual.
+        let mut w3 = WriteSet::new();
+        w3.insert(key(1), U256::from(50u64));
+        let next = snapshot.apply(&w3);
+        assert_eq!(next.get(&key(1)), U256::from(50u64));
+        assert_eq!(snapshot.get(&key(1)), U256::from(10u64));
+    }
+
+    #[test]
+    fn cold_base_tombstones_survive_flattening() {
+        use crate::MemBackend;
+        let backend = Arc::new(MemBackend::new());
+        let mut genesis = WriteSet::new();
+        genesis.insert(key(1), U256::from(10u64));
+        genesis.insert(key(2), U256::from(20u64));
+        backend.apply_batch(1, &genesis);
+        let mut snapshot = Snapshot::from_backend(backend, 1);
+        // Delete key 1, then push enough layers to force a flatten.
+        let mut del = WriteSet::new();
+        del.insert(key(1), U256::ZERO);
+        snapshot = snapshot.apply(&del);
+        for i in 0..(MAX_OVERLAYS as u64 + 2) {
+            let mut w = WriteSet::new();
+            w.insert(key(100 + i), U256::from(i + 1));
+            snapshot = snapshot.apply(&w);
+        }
+        assert!(snapshot.overlay_depth() < MAX_OVERLAYS);
+        // The deletion must not resurface from the backend.
+        assert_eq!(snapshot.get(&key(1)), U256::ZERO);
+        assert!(!snapshot.contains(&key(1)));
+        assert_eq!(snapshot.get(&key(2)), U256::from(20u64));
+        let live: Vec<_> = snapshot.iter().collect();
+        assert!(live.iter().all(|(k, _)| *k != key(1)));
+        assert!(live
+            .iter()
+            .any(|(k, v)| *k == key(2) && *v == U256::from(20u64)));
     }
 
     #[test]

@@ -1,25 +1,173 @@
-//! The `StateDB`: snapshots plus the Merkle Patricia Trie commitment.
+//! The `StateDB`: snapshots, the MPT commitment, and async root handles.
 //!
 //! Mirrors the paper's architecture (§II-A, §V-A): after a block executes,
 //! the validator flushes the final write of every access sequence into the
 //! MPT, producing a new snapshot `S^l` whose root hash is the RQ1
 //! correctness oracle — parallel and serial execution must yield identical
 //! roots for every block.
+//!
+//! Two things changed since the first version of this module:
+//!
+//! - **Pluggable persistence.** [`StateDb::with_backend`] puts a
+//!   [`StateBackend`] (in-memory or LSM) under the snapshots, wrapped in
+//!   the [`FlatCached`] flat-state cache so hot SLOADs are one hash probe.
+//!   Each commit lands the block's batch in the backend and rebases
+//!   `latest` onto it, so snapshot RAM stays O(recent writes) rather than
+//!   O(total state).
+//! - **Off-critical-path roots.** [`StateDb::commit_async`] applies the
+//!   block's structural trie updates (cheap: they build fresh unhashed
+//!   nodes) and returns a [`RootHandle`] immediately; the Keccak work —
+//!   the expensive part — runs on a background thread via
+//!   [`Mpt::root_parallel`], overlapping the next block's execution. The
+//!   handle stalls only a caller that demands the root before it
+//!   resolves, and records how long hashing took so callers can report
+//!   how much of it they hid.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use dmvcc_primitives::rlp::encode_bytes;
 use dmvcc_primitives::{keccak256, H256, U256};
 
+use crate::backend::{BackendStats, StateBackend};
+use crate::flat::{FlatCached, FlatStats};
 use crate::mpt::Mpt;
 use crate::snapshot::{Snapshot, WriteSet};
 use crate::StateKey;
 
+/// Default number of recent per-block roots [`StateDb`] retains.
+///
+/// Headers older than this are sealed and gossiped long ago; keeping the
+/// window bounded stops root history from growing by 32 bytes per block
+/// forever.
+pub const DEFAULT_ROOT_WINDOW: usize = 1024;
+
+/// A handle to a state root that may still be computing on a background
+/// thread.
+///
+/// Cloneable and shareable; every clone resolves to the same root.
+/// [`RootHandle::wait`] blocks until the root is ready (the "header
+/// demanded before the root resolved" stall), [`RootHandle::try_root`]
+/// never blocks, and [`RootHandle::hash_nanos`] reports how long the
+/// hashing actually took once resolved — the latency a pipelined caller
+/// had the opportunity to hide.
+#[derive(Debug, Clone)]
+pub struct RootHandle {
+    slot: Arc<RootSlot>,
+}
+
+#[derive(Debug)]
+struct RootSlot {
+    /// `(root, hash_nanos)` once resolved.
+    state: Mutex<Option<(H256, u64)>>,
+    ready: Condvar,
+}
+
+impl RootHandle {
+    /// A handle that is already resolved (synchronous commits).
+    pub fn ready(root: H256) -> Self {
+        RootHandle {
+            slot: Arc::new(RootSlot {
+                state: Mutex::new(Some((root, 0))),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    fn pending() -> Self {
+        RootHandle {
+            slot: Arc::new(RootSlot {
+                state: Mutex::new(None),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    fn fulfill(&self, root: H256, hash_nanos: u64) {
+        let mut state = self.slot.state.lock().expect("root slot poisoned");
+        *state = Some((root, hash_nanos));
+        self.slot.ready.notify_all();
+    }
+
+    /// The root if already resolved; never blocks.
+    pub fn try_root(&self) -> Option<H256> {
+        self.slot
+            .state
+            .lock()
+            .expect("root slot poisoned")
+            .map(|(root, _)| root)
+    }
+
+    /// Blocks until the background hash completes and returns the root.
+    pub fn wait(&self) -> H256 {
+        let mut state = self.slot.state.lock().expect("root slot poisoned");
+        while state.is_none() {
+            state = self.slot.ready.wait(state).expect("root slot poisoned");
+        }
+        state.expect("resolved").0
+    }
+
+    /// Nanoseconds the background hashing took. Blocks like
+    /// [`RootHandle::wait`] if not yet resolved; `0` for handles created
+    /// already-resolved.
+    pub fn hash_nanos(&self) -> u64 {
+        let mut state = self.slot.state.lock().expect("root slot poisoned");
+        while state.is_none() {
+            state = self.slot.ready.wait(state).expect("root slot poisoned");
+        }
+        state.expect("resolved").1
+    }
+}
+
+/// Bounded per-block root history: a sliding window of the most recent
+/// [`StateDb::root_window`] roots (some possibly still resolving).
+#[derive(Debug, Clone)]
+struct RootHistory {
+    /// Height of `entries[0]`.
+    base: u64,
+    entries: VecDeque<RootHandle>,
+    window: usize,
+}
+
+impl RootHistory {
+    fn new(genesis: H256, window: usize) -> Self {
+        assert!(window >= 1, "root window must hold at least one root");
+        let mut entries = VecDeque::new();
+        entries.push_back(RootHandle::ready(genesis));
+        RootHistory {
+            base: 0,
+            entries,
+            window,
+        }
+    }
+
+    fn push(&mut self, handle: RootHandle) {
+        self.entries.push_back(handle);
+        while self.entries.len() > self.window {
+            self.entries.pop_front();
+            self.base += 1;
+        }
+    }
+
+    fn at(&self, height: u64) -> Option<&RootHandle> {
+        let index = height.checked_sub(self.base)?;
+        self.entries.get(index as usize)
+    }
+
+    fn newest(&self) -> &RootHandle {
+        self.entries.back().expect("roots never empty")
+    }
+}
+
 /// The versioned state store of a single validator.
 ///
-/// Holds the latest [`Snapshot`], the trie over all state items and the
-/// history of per-block root hashes. A *flat* trie layout is used — the key
-/// is `keccak256(address ++ slot)` — rather than Ethereum's two-level
-/// account/storage trie; root equality between two executions remains an
-/// equally strong oracle (documented in `DESIGN.md`).
+/// Holds the latest [`Snapshot`], the trie over all state items, a
+/// bounded window of per-block root hashes, and optionally a persistent
+/// [`StateBackend`] under the snapshots. A *flat* trie layout is used —
+/// the key is `keccak256(address ++ slot)` — rather than Ethereum's
+/// two-level account/storage trie; root equality between two executions
+/// remains an equally strong oracle (documented in `DESIGN.md`).
 ///
 /// # Examples
 ///
@@ -34,11 +182,32 @@ use crate::StateKey;
 /// assert_eq!(db.height(), 1);
 /// assert_eq!(db.root_at(1), Some(root));
 /// ```
+///
+/// Asynchronous commitment overlaps hashing with whatever the caller does
+/// next:
+///
+/// ```
+/// use dmvcc_primitives::{Address, U256};
+/// use dmvcc_state::{StateDb, StateKey, WriteSet};
+///
+/// let mut db = StateDb::new();
+/// let mut writes = WriteSet::new();
+/// writes.insert(StateKey::balance(Address::from_u64(1)), U256::from(10u64));
+/// let handle = db.commit_async(&writes);
+/// // ... execute the next block here while the root hashes ...
+/// let root = handle.wait();
+/// assert_eq!(db.root_at(1), Some(root));
+/// ```
 #[derive(Debug, Clone)]
 pub struct StateDb {
     latest: Snapshot,
     trie: Mpt,
-    roots: Vec<H256>,
+    roots: RootHistory,
+    /// Persistent store + flat cache; `None` keeps the classic pure
+    /// in-memory snapshot chain.
+    backend: Option<Arc<FlatCached>>,
+    /// Worker threads for background/parallel subtree hashing.
+    hash_threads: usize,
 }
 
 impl Default for StateDb {
@@ -53,8 +222,10 @@ impl StateDb {
         let trie = Mpt::new();
         StateDb {
             latest: Snapshot::empty(),
-            roots: vec![trie.root()],
+            roots: RootHistory::new(trie.root(), DEFAULT_ROOT_WINDOW),
             trie,
+            backend: None,
+            hash_threads: default_hash_threads(),
         }
     }
 
@@ -72,9 +243,43 @@ impl StateDb {
             );
         }
         StateDb {
-            roots: vec![trie.root()],
+            roots: RootHistory::new(trie.root(), DEFAULT_ROOT_WINDOW),
             latest: snapshot,
             trie,
+            backend: None,
+            hash_threads: default_hash_threads(),
+        }
+    }
+
+    /// Creates a StateDB over a persistent backend, seeding `entries` as
+    /// the height-0 genesis batch.
+    ///
+    /// The backend is wrapped in the [`FlatCached`] flat-state cache, and
+    /// `latest` reads fall through the (empty) in-memory layers to it.
+    /// The trie is built from the backend's genesis view, so the genesis
+    /// root matches [`StateDb::with_genesis`] for the same entries.
+    pub fn with_backend<I>(backend: Arc<dyn StateBackend>, entries: I) -> Self
+    where
+        I: IntoIterator<Item = (StateKey, U256)>,
+    {
+        let flat = Arc::new(FlatCached::new(backend));
+        let genesis: WriteSet = entries.into_iter().filter(|(_, v)| !v.is_zero()).collect();
+        if !genesis.is_empty() {
+            flat.apply_batch(0, &genesis);
+        }
+        let mut trie = Mpt::new();
+        for (key, value) in flat.iter_as_of(0) {
+            trie.insert(
+                keccak256(&key.to_bytes()).as_bytes(),
+                encode_bytes(&value.to_be_bytes_trimmed()),
+            );
+        }
+        StateDb {
+            latest: Snapshot::from_backend(Arc::clone(&flat) as Arc<dyn StateBackend>, 0),
+            roots: RootHistory::new(trie.root(), DEFAULT_ROOT_WINDOW),
+            trie,
+            backend: Some(flat),
+            hash_threads: default_hash_threads(),
         }
     }
 
@@ -88,14 +293,54 @@ impl StateDb {
         self.latest.height()
     }
 
-    /// Root hash after block `height` (`0` = genesis root).
-    pub fn root_at(&self, height: u64) -> Option<H256> {
-        self.roots.get(height as usize).copied()
+    /// Short label of the persistent backend (`"mem"`, `"lsm"`), if any.
+    pub fn backend_name(&self) -> Option<&'static str> {
+        self.backend.as_ref().map(|b| b.name())
     }
 
-    /// The current state root.
+    /// Persistent-backend I/O counters, if a backend is attached.
+    pub fn backend_stats(&self) -> Option<BackendStats> {
+        self.backend.as_ref().map(|b| b.stats())
+    }
+
+    /// Flat-state cache counters, if a backend is attached.
+    pub fn flat_stats(&self) -> Option<FlatStats> {
+        self.backend.as_ref().map(|b| b.flat_stats())
+    }
+
+    /// Sets how many worker threads parallel/background root hashing may
+    /// use (clamped to at least 1).
+    pub fn set_hash_threads(&mut self, threads: usize) {
+        self.hash_threads = threads.max(1);
+    }
+
+    /// Shrinks (or grows) the root-history window, pruning immediately.
+    pub fn set_root_window(&mut self, window: usize) {
+        self.roots.window = window.max(1);
+        while self.roots.entries.len() > self.roots.window {
+            self.roots.entries.pop_front();
+            self.roots.base += 1;
+        }
+    }
+
+    /// The current root-history window size.
+    pub fn root_window(&self) -> usize {
+        self.roots.window
+    }
+
+    /// Root hash after block `height` (`0` = genesis root).
+    ///
+    /// Returns `None` for heights never committed *and* for heights that
+    /// fell out of the bounded history window. Blocks if the root at
+    /// `height` is still resolving — this is the only place a demanded
+    /// header stalls on background hashing.
+    pub fn root_at(&self, height: u64) -> Option<H256> {
+        self.roots.at(height).map(RootHandle::wait)
+    }
+
+    /// The current state root (blocks if still resolving).
     pub fn current_root(&self) -> H256 {
-        *self.roots.last().expect("roots never empty")
+        self.roots.newest().wait()
     }
 
     /// Convenience read from the latest snapshot.
@@ -103,9 +348,10 @@ impl StateDb {
         self.latest.get(key)
     }
 
-    /// Commits a block's final writes: updates the trie, produces the next
-    /// snapshot and records its root hash, which is returned.
-    pub fn commit(&mut self, writes: &WriteSet) -> H256 {
+    /// Applies a block's writes to the trie (structural inserts/removes
+    /// only — no hashing) and advances `latest`, landing the batch in the
+    /// backend when one is attached. Returns the new height.
+    fn apply_writes(&mut self, writes: &WriteSet) -> u64 {
         for (key, value) in writes {
             let trie_key = keccak256(&key.to_bytes());
             if value.is_zero() {
@@ -117,11 +363,66 @@ impl StateDb {
                 );
             }
         }
-        self.latest = self.latest.apply(writes);
+        let height = self.latest.height() + 1;
+        match &self.backend {
+            Some(flat) => {
+                flat.apply_batch(height, writes);
+                // Rebase onto the backend: keeps in-memory layer RAM at
+                // O(1) per block instead of accumulating every write.
+                self.latest =
+                    Snapshot::from_backend(Arc::clone(flat) as Arc<dyn StateBackend>, height);
+            }
+            None => self.latest = self.latest.apply(writes),
+        }
+        height
+    }
+
+    /// Commits a block's final writes synchronously: updates the trie,
+    /// produces the next snapshot and records its root hash, which is
+    /// returned.
+    pub fn commit(&mut self, writes: &WriteSet) -> H256 {
+        self.apply_writes(writes);
         let root = self.trie.root();
-        self.roots.push(root);
+        self.roots.push(RootHandle::ready(root));
         root
     }
+
+    /// Commits a block's final writes with root hashing off the critical
+    /// path.
+    ///
+    /// The structural trie update, snapshot advance and backend batch all
+    /// happen synchronously — the returned [`RootHandle`] resolves to the
+    /// root once a background thread finishes the Keccak work (parallel
+    /// subtree hashing across [`StateDb::set_hash_threads`] workers).
+    /// Equivalent to [`StateDb::commit`] root-for-root: both force the
+    /// same shared node caches.
+    ///
+    /// Back-to-back async commits are safe: the persistent trie is
+    /// cloned (O(1), `Arc`-shared) per commit, mutation never alters
+    /// existing nodes, and `OnceLock` hash caches tolerate concurrent
+    /// forcing.
+    pub fn commit_async(&mut self, writes: &WriteSet) -> RootHandle {
+        self.apply_writes(writes);
+        let handle = RootHandle::pending();
+        self.roots.push(handle.clone());
+        let trie = self.trie.clone();
+        let threads = self.hash_threads;
+        let fulfill = handle.clone();
+        std::thread::spawn(move || {
+            let started = Instant::now();
+            let root = trie.root_parallel(threads);
+            fulfill.fulfill(root, started.elapsed().as_nanos() as u64);
+        });
+        handle
+    }
+}
+
+/// Default hashing parallelism: the host's, capped at the 16-way trie
+/// fanout the partitioning operates on.
+fn default_hash_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(16))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]
@@ -197,5 +498,121 @@ mod tests {
         b.commit(&writes(&[(1, 10)]));
         assert_eq!(a.current_root(), b.current_root());
         assert_ne!(a.root_at(1), b.root_at(1));
+    }
+
+    #[test]
+    fn root_history_window_prunes_old_heights() {
+        let mut db = StateDb::new();
+        db.set_root_window(4);
+        let mut roots = vec![db.current_root()];
+        for i in 1..=10u64 {
+            roots.push(db.commit(&writes(&[(i, i)])));
+        }
+        assert_eq!(db.height(), 10);
+        // Heights 0..=6 fell out of the 4-entry window.
+        for height in 0..=6u64 {
+            assert_eq!(db.root_at(height), None, "height {height}");
+        }
+        for height in 7..=10u64 {
+            assert_eq!(db.root_at(height), Some(roots[height as usize]));
+        }
+        // Shrinking further prunes immediately.
+        db.set_root_window(1);
+        assert_eq!(db.root_at(9), None);
+        assert_eq!(db.root_at(10), Some(roots[10]));
+        assert_eq!(db.current_root(), roots[10]);
+    }
+
+    #[test]
+    fn async_commit_matches_sync_commit_roots() {
+        let mut sync_db = StateDb::new();
+        let mut async_db = StateDb::new();
+        for block in 1..=12u64 {
+            let w = writes(&[(block, block * 7), (block % 5, block), (40 + block % 3, 1)]);
+            let expected = sync_db.commit(&w);
+            let handle = async_db.commit_async(&w);
+            assert_eq!(handle.wait(), expected, "block {block}");
+            assert_eq!(async_db.root_at(block), Some(expected));
+        }
+        assert_eq!(sync_db.current_root(), async_db.current_root());
+    }
+
+    #[test]
+    fn back_to_back_async_commits_resolve_independently() {
+        let mut db = StateDb::new();
+        let h1 = db.commit_async(&writes(&[(1, 10)]));
+        let h2 = db.commit_async(&writes(&[(2, 20)]));
+        let h3 = db.commit_async(&writes(&[(1, 0)]));
+        let (r1, r2, r3) = (h1.wait(), h2.wait(), h3.wait());
+        assert_ne!(r1, r2);
+        assert_ne!(r2, r3);
+        let mut oracle = StateDb::new();
+        oracle.commit(&writes(&[(1, 10)]));
+        oracle.commit(&writes(&[(2, 20)]));
+        assert_eq!(oracle.commit(&writes(&[(1, 0)])), r3);
+        assert_eq!(db.root_at(1), Some(r1));
+        assert_eq!(db.root_at(2), Some(r2));
+        assert_eq!(db.root_at(3), Some(r3));
+    }
+
+    #[test]
+    fn try_root_resolves_eventually() {
+        let mut db = StateDb::new();
+        let handle = db.commit_async(&writes(&[(1, 10)]));
+        let root = handle.wait();
+        assert_eq!(handle.try_root(), Some(root));
+        assert_eq!(RootHandle::ready(root).try_root(), Some(root));
+    }
+
+    #[test]
+    fn backend_db_matches_plain_db() {
+        use crate::{LsmBackend, LsmOptions, MemBackend};
+        let genesis = vec![(key(1), U256::from(5u64)), (key(2), U256::from(6u64))];
+        let mut plain = StateDb::with_genesis(genesis.clone());
+        let mut mem = StateDb::with_backend(
+            Arc::new(MemBackend::new()) as Arc<dyn StateBackend>,
+            genesis.clone(),
+        );
+        let mut lsm = StateDb::with_backend(
+            Arc::new(LsmBackend::new(LsmOptions::tiny())) as Arc<dyn StateBackend>,
+            genesis,
+        );
+        assert_eq!(plain.current_root(), mem.current_root());
+        assert_eq!(plain.current_root(), lsm.current_root());
+        assert_eq!(mem.backend_name(), Some("mem"));
+        assert_eq!(lsm.backend_name(), Some("lsm"));
+        for block in 1..=20u64 {
+            let w = writes(&[(block % 7, block), (block % 3, block * 2), (50 + block, 1)]);
+            let r = plain.commit(&w);
+            assert_eq!(mem.commit(&w), r, "mem block {block}");
+            assert_eq!(lsm.commit(&w), r, "lsm block {block}");
+            for i in 0..8u64 {
+                assert_eq!(mem.get(&key(i)), plain.get(&key(i)), "mem key {i}");
+                assert_eq!(lsm.get(&key(i)), plain.get(&key(i)), "lsm key {i}");
+            }
+        }
+        assert!(lsm.backend_stats().expect("stats").writes > 0);
+        assert!(mem.flat_stats().expect("stats").fills > 0);
+    }
+
+    #[test]
+    fn backend_replicas_share_storage_idempotently() {
+        use crate::MemBackend;
+        let genesis = vec![(key(1), U256::from(5u64))];
+        let mut db = StateDb::with_backend(
+            Arc::new(MemBackend::new()) as Arc<dyn StateBackend>,
+            genesis,
+        );
+        // A replica cloned from the validator shares the backend Arc and
+        // re-commits identical batches — apply_batch must be idempotent.
+        let mut replica = db.clone();
+        for block in 1..=5u64 {
+            let w = writes(&[(block, block * 10)]);
+            let r1 = db.commit(&w);
+            let r2 = replica.commit(&w);
+            assert_eq!(r1, r2, "block {block}");
+        }
+        assert_eq!(db.get(&key(3)), U256::from(30u64));
+        assert_eq!(replica.get(&key(3)), U256::from(30u64));
     }
 }

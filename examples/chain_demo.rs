@@ -23,6 +23,7 @@ fn config(scheduler: SchedulerKind) -> ChainConfig {
         policy: dmvcc_core::SchedulerPolicy::CriticalPath,
         pipeline: false,
         executor: dmvcc_chain::ExecutorKind::Sharded,
+        backend: dmvcc_chain::BackendKind::Mem,
     }
 }
 

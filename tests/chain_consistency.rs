@@ -30,6 +30,7 @@ fn config(scheduler: SchedulerKind, seed: u64) -> ChainConfig {
         policy: dmvcc_core::SchedulerPolicy::CriticalPath,
         pipeline: false,
         executor: dmvcc_chain::ExecutorKind::Sharded,
+        backend: dmvcc_chain::BackendKind::Mem,
     }
 }
 
