@@ -102,17 +102,66 @@ pub struct PlanAccess {
     pub load: Option<usize>,
 }
 
+/// Which call-family instruction a summarized site is. The kind decides
+/// the context the callee's summary is substituted in: a delegate frame
+/// keeps the caller's storage address, `CALLER` and `CALLVALUE`; a static
+/// frame carries a write-freedom obligation (any store inside it reverts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanCallKind {
+    /// Plain `CALL` (possibly value-transferring — see [`PlanCall::value`]).
+    Call,
+    /// `DELEGATECALL`: the callee's code runs in the caller's context.
+    Delegate,
+    /// `STATICCALL`: a read-only frame.
+    Static,
+}
+
+/// The callee of a summarized call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallTarget {
+    /// The callee address folded to a constant.
+    Fixed(Address),
+    /// Dynamic-but-bounded dispatch: the callee address is the value of an
+    /// earlier storage read (a registry slot), so the candidate set is
+    /// enumerable from deployed state. The C-SAG walk resolves the actual
+    /// candidate from the load's bound value — the registry-slot read is
+    /// the guard that picks the per-candidate template.
+    RegistrySlot {
+        /// Load id of the read that produced the address.
+        load: usize,
+    },
+}
+
+impl CallTarget {
+    /// The constant callee address, when the target folded statically.
+    pub fn fixed(&self) -> Option<Address> {
+        match self {
+            CallTarget::Fixed(addr) => Some(*addr),
+            CallTarget::RegistrySlot { .. } => None,
+        }
+    }
+}
+
 /// A summarized cross-contract call site: the block's last instruction is
-/// a `CALL` whose callee address, transferred value and memory layout all
-/// resolved statically. The C-SAG walk substitutes the callee contract's
-/// own plan here at bind time, rebinding `Caller` to the calling contract
-/// and the callee's calldata to [`PlanCall::args`].
+/// a call-family instruction whose callee, transferred value and memory
+/// layout all resolved to bindable templates. The C-SAG walk substitutes
+/// the callee contract's own plan here at bind time, rebinding the frame
+/// environment per [`PlanCallKind`] and the callee's calldata to
+/// [`PlanCall::args`]. Value-bearing calls additionally emit the implicit
+/// sender-debit / recipient-credit balance accesses at bind time (the
+/// credit never observes the old balance, so it stays a commutative
+/// increment).
 #[derive(Debug, Clone)]
 pub struct PlanCall {
-    /// Program counter of the `CALL` instruction.
+    /// Program counter of the call instruction.
     pub pc: usize,
-    /// Statically-resolved callee address.
-    pub callee: Address,
+    /// Which call-family instruction this is.
+    pub kind: PlanCallKind,
+    /// The callee (fixed address or bounded dynamic dispatch).
+    pub target: CallTarget,
+    /// Transferred value template (`Const(0)` for zero-value, delegate and
+    /// static calls).
+    pub value: SymExpr,
     /// Caller-side argument words (the callee's input, word-tiled).
     pub args: Vec<SymExpr>,
     /// Argument byte length (truncates the last word when unaligned).
@@ -127,6 +176,10 @@ pub struct PlanCall {
     /// callee's output is shorter than the region (the interpreter
     /// copies `min(output_len, ret_len)` bytes).
     pub prev_ret_words: Vec<SymExpr>,
+    /// Load id bound to the pushed call result when it is not statically
+    /// 1: a value-bearing call pushes 0 on insufficient sender balance and
+    /// continues, so the result is data-dependent.
+    pub result_load: Option<usize>,
 }
 
 /// Facts about one basic block, sufficient to walk it concretely.
@@ -153,10 +206,10 @@ pub struct BlockPlan {
     /// Pc of a `CALL` whose target address did not fold to a constant
     /// (surfaced by lint as `unanalyzable-call-target`).
     pub dynamic_call: Option<usize>,
-    /// A `CALL` to a statically-known address with no deployed code:
-    /// modeled exactly (trivial success, untouched return region), kept
-    /// here so the call graph sees the site.
-    pub no_code_call: Option<(usize, Address)>,
+    /// A zero-value call to a statically-known address with no deployed
+    /// code: modeled exactly (trivial success, untouched return region),
+    /// kept here so the call graph sees the site.
+    pub no_code_call: Option<(usize, PlanCallKind, Address)>,
     /// `true` when the walk can execute this block without falling back:
     /// every key/value/condition is a closed template, all memory
     /// addressing is constant, gas is fully accounted, and the block
@@ -298,6 +351,7 @@ struct BlockEffect {
 struct LoadIds {
     reads: BTreeMap<usize, usize>,
     call_rets: BTreeMap<(usize, usize), usize>,
+    call_results: BTreeMap<usize, usize>,
     next: usize,
 }
 
@@ -319,6 +373,16 @@ impl LoadIds {
         let id = self.next;
         self.next += 1;
         self.call_rets.insert((pc, word), id);
+        id
+    }
+
+    fn call_result(&mut self, pc: usize) -> usize {
+        if let Some(&id) = self.call_results.get(&pc) {
+            return id;
+        }
+        let id = self.next;
+        self.next += 1;
+        self.call_results.insert(pc, id);
         id
     }
 
@@ -915,20 +979,32 @@ fn interpret_block(
                     state.stack.swap(top, top - n);
                 }
             }
-            Call => {
+            Call | DelegateCall | StaticCall => {
+                let kind = match ins.op {
+                    Call => PlanCallKind::Call,
+                    DelegateCall => PlanCallKind::Delegate,
+                    _ => PlanCallKind::Static,
+                };
                 // Pop order mirrors the interpreter; the requested gas is
                 // popped but ignored (the callee gets the 63/64 budget).
-                let (_gas, addr, value) = (pop!(), pop!(), pop!());
+                let (_gas, addr) = (pop!(), pop!());
+                let value = if ins.op == Call {
+                    pop!()
+                } else {
+                    SymExpr::Const(U256::ZERO)
+                };
                 let (args_off, args_len) = (pop!(), pop!());
                 let (ret_off, ret_len) = (pop!(), pop!());
-                if addr.as_const().is_none() {
+                // A `Load(i)` address is bounded dynamic dispatch through a
+                // registry slot — analyzable, so not flagged here.
+                if addr.as_const().is_none() && !matches!(addr, SymExpr::Load(_)) {
                     plan.dynamic_call = Some(ins.pc);
                 }
                 let args_ext = const_extent(&args_off, &args_len);
                 let ret_ext = const_extent(&ret_off, &ret_len);
                 let summarized = summarize_call(
-                    ins.pc, registry, &addr, &value, args_ext, ret_ext, &mut state, &mut plan,
-                    load_ids,
+                    ins.pc, registry, kind, &addr, &value, args_ext, ret_ext, &mut state,
+                    &mut plan, load_ids,
                 );
                 if !summarized {
                     // The callee's accesses and gas are outside the plan.
@@ -1014,14 +1090,15 @@ fn interpret_block(
     }
 }
 
-/// Attempts to summarize a `CALL` site into a [`PlanCall`]. Returns `true`
-/// when the site was modeled (summary, push-0 value path, or trivial
-/// no-code success) and the block can continue; `false` degrades the block
-/// exactly as before summaries existed.
+/// Attempts to summarize a call-family site into a [`PlanCall`]. Returns
+/// `true` when the site was modeled (summary or trivial no-code success)
+/// and the block can continue; `false` degrades the block exactly as
+/// before summaries existed.
 #[allow(clippy::too_many_arguments)]
 fn summarize_call(
     pc: usize,
     registry: Option<&CodeRegistry>,
+    kind: PlanCallKind,
     addr: &SymExpr,
     value: &SymExpr,
     args_ext: Option<(usize, usize)>,
@@ -1036,26 +1113,37 @@ fn summarize_call(
     let (Some((ao, al)), Some((ro, rl))) = (args_ext, ret_ext) else {
         return false;
     };
-    let (Some(addr), Some(value)) = (addr.as_const(), value.as_const()) else {
-        return false;
+    let target = match addr.as_const() {
+        Some(addr) => CallTarget::Fixed(Address::from_u256(addr)),
+        None => match addr {
+            // Bounded dynamic dispatch: the address came straight out of a
+            // storage slot, so the bind walk can resolve the candidate from
+            // the slot's bound value (the earlier `SLOAD` already guards the
+            // template with a snapshot dependency on that slot).
+            SymExpr::Load(id) => CallTarget::RegistrySlot { load: *id },
+            _ => return false,
+        },
     };
+    // The bind walk replays the transfer concretely, so the value must be
+    // a closed template. A statically-zero value skips the balance events.
+    let value_is_zero = value.as_const().is_some_and(|v| v.is_zero());
+    if !value.is_template() {
+        return false;
+    }
     // The interpreter expands memory over both regions before the value
     // and depth checks, so even the push-0 paths account the touches.
     touch(plan, ao, al);
     touch(plan, ro, rl);
-    if !value.is_zero() {
-        // Value transfers are unsupported: the machine pushes 0 and
-        // continues without entering the callee.
-        state.stack.push(SymExpr::Const(U256::ZERO));
-        return true;
-    }
-    let callee = Address::from_u256(addr);
-    if registry.code(&callee).is_none() {
-        // No code at the target: trivial success with empty return data;
-        // the return region is left untouched.
-        plan.no_code_call = Some((pc, callee));
-        state.stack.push(SymExpr::Const(U256::ONE));
-        return true;
+    if value_is_zero {
+        if let CallTarget::Fixed(callee) = target {
+            if registry.code(&callee).is_none() {
+                // No code at the target: trivial success with empty return
+                // data; the return region is left untouched.
+                plan.no_code_call = Some((pc, kind, callee));
+                state.stack.push(SymExpr::Const(U256::ONE));
+                return true;
+            }
+        }
     }
     // A composable frame needs a word-tiled view of both memory regions.
     if ao % 32 != 0 || ro % 32 != 0 || rl % 32 != 0 || state.mem.poisoned {
@@ -1075,19 +1163,29 @@ fn summarize_call(
     for (w, &id) in ret_loads.iter().enumerate() {
         state.mem.store(Some(ro + 32 * w), SymExpr::Load(id));
     }
+    // A value-bearing call can fail at runtime on insufficient sender
+    // balance (push 0, skip the callee, continue), so its result is
+    // data-dependent and binds through a load id. A zero-value summarized
+    // call statically pushes 1: a failing callee reverts the *caller* at
+    // this pc instead of returning 0.
+    let result_load = (!value_is_zero).then(|| load_ids.call_result(pc));
     plan.call = Some(PlanCall {
         pc,
-        callee,
+        kind,
+        target,
+        value: value.clone(),
         args,
         args_len: al,
         ret_offset: ro,
         ret_len: rl,
         ret_loads,
         prev_ret_words,
+        result_load,
     });
-    // Every continuing caller path saw a successful call: a failing callee
-    // reverts the *caller* at this pc, so the pushed result is statically 1.
-    state.stack.push(SymExpr::Const(U256::ONE));
+    state.stack.push(match result_load {
+        Some(id) => SymExpr::Load(id),
+        None => SymExpr::Const(U256::ONE),
+    });
     true
 }
 

@@ -132,11 +132,11 @@ impl Cfg {
             if ins.op == Opcode::JumpDest {
                 leaders.insert(ins.pc);
             }
-            // `Call` ends its block so a summarized call site is always the
-            // last instruction of a block: the caller's lump gas charge for
-            // the block then exactly matches the machine's state at the
-            // 63/64 budget computation, and a callee abort maps to the
-            // block boundary.
+            // Call-family instructions end their block so a summarized
+            // call site is always the last instruction of a block: the
+            // caller's lump gas charge for the block then exactly matches
+            // the machine's state at the 63/64 budget computation, and a
+            // callee abort maps to the block boundary.
             let ends_block = matches!(
                 ins.op,
                 Opcode::Jump
@@ -146,6 +146,8 @@ impl Cfg {
                     | Opcode::Revert
                     | Opcode::Invalid
                     | Opcode::Call
+                    | Opcode::DelegateCall
+                    | Opcode::StaticCall
             );
             if ends_block {
                 if let Some(next) = instructions.get(i + 1) {
@@ -250,14 +252,16 @@ impl Cfg {
             if matches!(block.exit, BlockExit::Abort | BlockExit::Unknown) {
                 reach[block.index] = true;
             }
-            // A `CALL` can revert the calling frame at the call pc when the
-            // callee fails, so every call site is conservatively an abort
-            // source (the registry is not visible during CFG construction).
-            if block
-                .instructions
-                .last()
-                .is_some_and(|i| i.op == Opcode::Call)
-            {
+            // A call can revert the calling frame at the call pc when the
+            // callee fails, so every call-family site is conservatively an
+            // abort source (the registry is not visible during CFG
+            // construction).
+            if block.instructions.last().is_some_and(|i| {
+                matches!(
+                    i.op,
+                    Opcode::Call | Opcode::DelegateCall | Opcode::StaticCall
+                )
+            }) {
                 reach[block.index] = true;
             }
         }

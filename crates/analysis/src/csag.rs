@@ -24,7 +24,7 @@ use dmvcc_vm::{
     Tracer, Transaction, TxEnv, TxKind, CALL_DEPTH_LIMIT, INTRINSIC_GAS, MEMORY_LIMIT,
 };
 
-use crate::absint::KeyExpr;
+use crate::absint::{CallTarget, KeyExpr, PlanCallKind};
 use crate::psag::{AccessKind, PSag};
 use crate::symbolic::BindCtx;
 
@@ -74,6 +74,12 @@ pub enum RefinementTier {
     /// composition, not execution. Takes precedence over
     /// [`RefinementTier::LoopSummarized`] when a path does both.
     Interprocedural,
+    /// Bound symbolically through at least one dynamic-but-bounded call
+    /// site ([`crate::CallTarget::RegistrySlot`]): the callee address was
+    /// resolved from the bound value of a registry storage slot and the
+    /// matching candidate summary composed under that slot's snapshot
+    /// guard. Takes precedence over [`RefinementTier::Interprocedural`].
+    BoundedDynamic,
     /// Full speculative pre-execution against the snapshot.
     Speculative,
     /// No prediction at all: the transaction is unanalyzable (or was
@@ -379,12 +385,26 @@ impl Analyzer {
 
     /// Returns (building and caching on first use) the P-SAG of the
     /// contract deployed at `address`.
+    ///
+    /// P-SAGs depend only on the bytecode and the registry, never on the
+    /// deployment address (storage keys are relative to the *executing*
+    /// contract), so they are memoized in the registry's code-hash-keyed
+    /// [`dmvcc_vm::SummaryCache`]: N deployments of one token body share
+    /// one analysis, and every clone of the registry (one per executor
+    /// thread) shares the memo. The per-address map here only short-cuts
+    /// the hash lookup.
     pub fn psag(&self, address: &Address) -> Option<std::sync::Arc<crate::PSag>> {
         if let Some(cached) = self.psags.lock().get(address) {
             return Some(cached.clone());
         }
         let code = self.registry.code(address)?;
-        let sag = std::sync::Arc::new(crate::PSag::build_with(&code, Some(&self.registry)));
+        let hash = self
+            .registry
+            .code_hash(address)
+            .expect("deployed code has a hash");
+        let (sag, _hit) = self.registry.summaries().get_or_insert_with(hash, || {
+            std::sync::Arc::new(crate::PSag::build_with(&code, Some(&self.registry)))
+        });
         self.psags.lock().insert(*address, sag.clone());
         Some(sag)
     }
@@ -417,10 +437,12 @@ impl Analyzer {
 
         if self.config.refinement == RefinementMode::TwoTier {
             let resolver = |addr: &Address| self.psag(addr);
-            if let Some((raw, looped, called)) =
+            if let Some((raw, looped, called, bounded)) =
                 bind_symbolic(&psag, tx, block, snapshot, &release_set, &resolver)
             {
-                let tier = if called {
+                let tier = if bounded {
+                    RefinementTier::BoundedDynamic
+                } else if called {
                     RefinementTier::Interprocedural
                 } else if looped {
                     RefinementTier::LoopSummarized
@@ -611,6 +633,7 @@ struct BindWalk<'a> {
     visits: usize,
     looped: bool,
     called: bool,
+    bounded: bool,
 }
 
 /// The symbolic fast tier: walks the contract's block plans, evaluating
@@ -649,7 +672,7 @@ fn bind_symbolic(
     snapshot: &Snapshot,
     release_set: &HashSet<usize>,
     resolver: &dyn Fn(&Address) -> Option<std::sync::Arc<PSag>>,
-) -> Option<(RawPrediction, bool, bool)> {
+) -> Option<(RawPrediction, bool, bool, bool)> {
     let env = &tx.env;
     if env.gas_limit < INTRINSIC_GAS {
         return None; // the interpreter prices this edge case
@@ -668,8 +691,9 @@ fn bind_symbolic(
         visits: 0,
         looped: false,
         called: false,
+        bounded: false,
     };
-    let frame = walk.frame(psag, env, env.gas_limit - INTRINSIC_GAS, 0)?;
+    let frame = walk.frame(psag, env, env.gas_limit - INTRINSIC_GAS, 0, false)?;
     Some((
         RawPrediction {
             events: walk.events,
@@ -680,6 +704,7 @@ fn bind_symbolic(
         },
         walk.looped,
         walk.called,
+        walk.bounded,
     ))
 }
 
@@ -687,8 +712,18 @@ impl BindWalk<'_> {
     /// Walks one call frame over `psag`'s plan with the frame environment
     /// `env` and gas budget `budget` (the top frame's limit net of
     /// intrinsic gas; a callee's 63/64 allowance — nested frames get no
-    /// intrinsic deduction, matching the machine).
-    fn frame(&mut self, psag: &PSag, env: &TxEnv, budget: u64, depth: usize) -> Option<BoundFrame> {
+    /// intrinsic deduction, matching the machine). `read_only` marks a
+    /// `STATICCALL` frame (or anything nested below one): the machine
+    /// reverts such a frame on any store, so a walked path that writes
+    /// cannot bind block-granular gas exactly and falls back.
+    fn frame(
+        &mut self,
+        psag: &PSag,
+        env: &TxEnv,
+        budget: u64,
+        depth: usize,
+        read_only: bool,
+    ) -> Option<BoundFrame> {
         use crate::cfg::BlockExit;
 
         let contract = env.contract;
@@ -742,6 +777,12 @@ impl BindWalk<'_> {
             gas_left -= charge;
 
             for access in &plan.accesses {
+                // A store in a read-only frame reverts the machine mid-
+                // block; the lump gas charge above no longer matches, so
+                // the walk cannot replicate it — speculation prices it.
+                if read_only && matches!(access.kind, AccessKind::Write | AccessKind::Add) {
+                    return None;
+                }
                 let ctx = BindCtx {
                     tx: env,
                     origin: self.origin,
@@ -810,52 +851,181 @@ impl BindWalk<'_> {
                     loads: &loads,
                     loop_vars: &loop_vars,
                 };
+                let value = call.value.eval(&ctx)?;
+                if !value.is_zero() && read_only {
+                    // Value transfer inside a static frame: the machine
+                    // reverts this frame at the call pc. The call ends its
+                    // block, so the lump charge matches the machine's and
+                    // the revert binds exactly.
+                    break (false, None);
+                }
+                // Resolve the callee: a fixed address, or the bound value
+                // of the registry slot the dispatch reads from (that slot's
+                // earlier `SLOAD` already guards the prediction with a
+                // snapshot dependency).
+                let callee = match call.target {
+                    CallTarget::Fixed(addr) => addr,
+                    CallTarget::RegistrySlot { load } => {
+                        self.bounded = true;
+                        Address::from_u256(loads[load]?)
+                    }
+                };
                 let mut input = Vec::with_capacity(call.args.len() * 32);
                 for word in &call.args {
                     input.extend_from_slice(&word.eval(&ctx)?.to_be_bytes());
                 }
                 input.truncate(call.args_len);
-                let callee_psag = (self.resolver)(&call.callee)?;
-                let callee_budget = gas_left - gas_left / 64;
-                let callee_env = TxEnv {
-                    caller: contract,
-                    contract: call.callee,
-                    value: U256::ZERO,
-                    input,
-                    gas_limit: callee_budget,
-                };
-                let frame = self.frame(&callee_psag, &callee_env, callee_budget, depth + 1)?;
-                gas_left -= callee_budget - frame.gas_left;
-                if !frame.success {
-                    // A failing callee reverts the calling frame at the
-                    // call pc; the revert propagates through every
-                    // ancestor frame (and keeps each frame's gas).
-                    break (false, None);
-                }
-                if call.ret_len > 0 {
-                    let out = frame.output.as_ref()?;
-                    let copy = (out.len() * 32).min(call.ret_len);
-                    let ctx = BindCtx {
-                        tx: env,
-                        origin: self.origin,
-                        block: self.block,
-                        loads: &loads,
-                        loop_vars: &loop_vars,
+                // Value plumbing, exactly as the machine does it: traced
+                // read of the sending contract's balance, then either a
+                // failed call (push 0, no transfer, callee not entered) or
+                // a full-write debit plus a commutative credit that never
+                // observes the recipient's old balance.
+                let mut entered = true;
+                if !value.is_zero() {
+                    let sender_key = StateKey::balance(contract);
+                    let delta = self.deltas.get(&sender_key).copied().unwrap_or(U256::ZERO);
+                    let balance = match self.overlay.get(&sender_key) {
+                        Some(&v) => v.wrapping_add(delta),
+                        None => {
+                            let base = self.snapshot.get(&sender_key);
+                            self.snapshot_deps.insert(sender_key, base);
+                            base.wrapping_add(delta)
+                        }
                     };
-                    let mut bound = Vec::with_capacity(call.ret_loads.len());
-                    for (w, prev) in call.prev_ret_words.iter().enumerate() {
-                        bound.push(if 32 * (w + 1) <= copy {
-                            out[w]
-                        } else if 32 * w >= copy {
-                            // Short callee output: the word keeps its
-                            // pre-call memory content.
-                            prev.eval(&ctx)?
-                        } else {
-                            return None; // copy boundary splits the word
-                        });
+                    self.events.push((
+                        AccessEvent {
+                            pc: call.pc,
+                            kind: AccessKind::Read,
+                            key: sender_key,
+                        },
+                        depth,
+                    ));
+                    if balance < value {
+                        entered = false;
+                    } else {
+                        self.deltas.remove(&sender_key);
+                        self.overlay.insert(sender_key, balance.wrapping_sub(value));
+                        self.events.push((
+                            AccessEvent {
+                                pc: call.pc,
+                                kind: AccessKind::Write,
+                                key: sender_key,
+                            },
+                            depth,
+                        ));
+                        let recipient_key = StateKey::balance(callee);
+                        let entry = self.deltas.entry(recipient_key).or_insert(U256::ZERO);
+                        *entry = entry.wrapping_add(value);
+                        self.events.push((
+                            AccessEvent {
+                                pc: call.pc,
+                                kind: AccessKind::Add,
+                                key: recipient_key,
+                            },
+                            depth,
+                        ));
                     }
-                    for (&id, value) in call.ret_loads.iter().zip(bound) {
-                        loads[id] = Some(value);
+                }
+                let callee_psag = if entered { (self.resolver)(&callee) } else { None };
+                match callee_psag {
+                    Some(callee_psag) => {
+                        let callee_budget = gas_left - gas_left / 64;
+                        let callee_env = match call.kind {
+                            // Delegate frames keep the caller's identity:
+                            // same storage context, caller and value.
+                            PlanCallKind::Delegate => TxEnv {
+                                caller: env.caller,
+                                contract: env.contract,
+                                value: env.value,
+                                input,
+                                gas_limit: callee_budget,
+                            },
+                            // A transferred value moved at the balance
+                            // level above; the callee frame observes
+                            // CALLVALUE = 0, as in the machine.
+                            _ => TxEnv {
+                                caller: contract,
+                                contract: callee,
+                                value: U256::ZERO,
+                                input,
+                                gas_limit: callee_budget,
+                            },
+                        };
+                        let child_read_only = read_only || call.kind == PlanCallKind::Static;
+                        let frame = self.frame(
+                            &callee_psag,
+                            &callee_env,
+                            callee_budget,
+                            depth + 1,
+                            child_read_only,
+                        )?;
+                        gas_left -= callee_budget - frame.gas_left;
+                        if !frame.success {
+                            // A failing callee reverts the calling frame at
+                            // the call pc; the revert propagates through
+                            // every ancestor frame (and keeps each frame's
+                            // gas).
+                            break (false, None);
+                        }
+                        if let Some(id) = call.result_load {
+                            loads[id] = Some(U256::ONE);
+                        }
+                        if call.ret_len > 0 {
+                            let out = frame.output.as_ref()?;
+                            let copy = (out.len() * 32).min(call.ret_len);
+                            let ctx = BindCtx {
+                                tx: env,
+                                origin: self.origin,
+                                block: self.block,
+                                loads: &loads,
+                                loop_vars: &loop_vars,
+                            };
+                            let mut bound = Vec::with_capacity(call.ret_loads.len());
+                            for (w, prev) in call.prev_ret_words.iter().enumerate() {
+                                bound.push(if 32 * (w + 1) <= copy {
+                                    out[w]
+                                } else if 32 * w >= copy {
+                                    // Short callee output: the word keeps
+                                    // its pre-call memory content.
+                                    prev.eval(&ctx)?
+                                } else {
+                                    return None; // copy boundary splits the word
+                                });
+                            }
+                            for (&id, value) in call.ret_loads.iter().zip(bound) {
+                                loads[id] = Some(value);
+                            }
+                        }
+                    }
+                    None => {
+                        // A failed value call, or a callee with no deployed
+                        // code (trivial success): either way the callee is
+                        // not entered — result 0 or 1, return region left
+                        // with its pre-call contents.
+                        let ctx = BindCtx {
+                            tx: env,
+                            origin: self.origin,
+                            block: self.block,
+                            loads: &loads,
+                            loop_vars: &loop_vars,
+                        };
+                        let mut bound = Vec::with_capacity(call.ret_loads.len());
+                        for prev in &call.prev_ret_words {
+                            bound.push(prev.eval(&ctx)?);
+                        }
+                        for (&id, value) in call.ret_loads.iter().zip(bound) {
+                            loads[id] = Some(value);
+                        }
+                        let result = if entered { U256::ONE } else { U256::ZERO };
+                        match call.result_load {
+                            Some(id) => loads[id] = Some(result),
+                            // A zero-value no-code site is modeled as
+                            // `no_code_call` at plan time, so a composed
+                            // site without a result hole statically pushed
+                            // 1 — only reachable here when the result is 1.
+                            None if result == U256::ONE => {}
+                            None => return None,
+                        }
                     }
                 }
             }
@@ -959,13 +1129,21 @@ mod tests {
     const ORACLE: u64 = 109;
     const CONSUMER1: u64 = 110;
     const CONSUMER2: u64 = 111;
+    const DROP: u64 = 112;
+    const SPLITTER: u64 = 113;
+    const FLOOR: u64 = 114;
 
     fn analyzer() -> Analyzer {
         let amm_addr = Address::from_u64(AMM);
         let token_a = Address::from_u64(TOKEN_A);
         let token_b = Address::from_u64(TOKEN_B);
         let consumers = [Address::from_u64(CONSUMER1), Address::from_u64(CONSUMER2)];
+        let splitter = Address::from_u64(SPLITTER);
+        let floor = Address::from_u64(FLOOR);
         let registry = CodeRegistry::builder()
+            .deploy(Address::from_u64(DROP), contracts::nft_drop(splitter, floor))
+            .deploy(splitter, contracts::royalty_splitter())
+            .deploy(floor, contracts::floor_oracle())
             .deploy(Address::from_u64(TOKEN), contracts::token())
             .deploy(Address::from_u64(COUNTER), contracts::counter())
             .deploy(Address::from_u64(FIG1), contracts::fig1_example())
@@ -1636,5 +1814,136 @@ mod tests {
         let second = a.psag(&addr).expect("cached");
         assert!(std::sync::Arc::ptr_eq(&first, &second));
         assert!(a.psag(&Address::from_u64(999)).is_none());
+    }
+
+    #[test]
+    fn psag_summaries_are_shared_by_code_hash() {
+        // TOKEN, TOKEN_A and TOKEN_B deploy the same bytecode: the first
+        // summary build is a miss, the other two addresses hit the
+        // code-hash memo and share the same Arc.
+        let a = analyzer();
+        let first = a.psag(&Address::from_u64(TOKEN)).unwrap();
+        let hits_before = a.registry().summaries().hits();
+        let second = a.psag(&Address::from_u64(TOKEN_A)).unwrap();
+        let third = a.psag(&Address::from_u64(TOKEN_B)).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&first, &second));
+        assert!(std::sync::Arc::ptr_eq(&first, &third));
+        assert_eq!(a.registry().summaries().hits(), hits_before + 2);
+    }
+
+    /// The mint-rush snapshot: drop priced at 100 with a funded treasury,
+    /// creator registered in slot 2, floor oracle at 55.
+    fn mint_rush_snapshot(treasury: u64) -> Snapshot {
+        let drop_addr = Address::from_u64(DROP);
+        Snapshot::from_entries([
+            (StateKey::storage(drop_addr, U256::ONE), U256::from(100u64)),
+            (
+                StateKey::storage(drop_addr, U256::from(2u64)),
+                Address::from_u64(777).to_u256(),
+            ),
+            (StateKey::balance(drop_addr), U256::from(treasury)),
+            (
+                StateKey::storage(Address::from_u64(FLOOR), U256::ZERO),
+                U256::from(55u64),
+            ),
+        ])
+    }
+
+    /// `mint()` chains every new call shape: a DELEGATECALL into the
+    /// splitter (whose writes land in the *drop's* storage), a
+    /// value-transferring CALL (implicit balance keys), and a registry-slot
+    /// recipient (bounded dynamic dispatch). The bind must carry the
+    /// bounded tier and agree bit-for-bit with speculation.
+    #[test]
+    fn nft_mint_binds_bounded_dynamic_and_matches_speculation() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let block = BlockEnv::default();
+        let snapshot = mint_rush_snapshot(1000);
+        let tx = call_tx(DROP, 1, contracts::drop_fn::MINT, &[]);
+        let s = two_tier.csag(&tx, &snapshot, &block);
+        let p = speculative.csag(&tx, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::BoundedDynamic);
+        assert_eq!(p.tier, RefinementTier::Speculative);
+        assert!(s.predicted_success);
+        assert_same_prediction(&s, &p, "nft mint");
+
+        let drop_addr = Address::from_u64(DROP);
+        // Context rebinding: the borrowed splitter body writes the drop's
+        // fee tab, never its own storage.
+        assert!(s
+            .adds
+            .contains(&StateKey::storage(drop_addr, U256::from(3u64))));
+        assert!(!s
+            .trace
+            .iter()
+            .any(|event| event.key.address == Address::from_u64(SPLITTER)));
+        // The value transfer shows up as implicit balance keys: debit on
+        // the drop's treasury, commutative credit on the creator.
+        assert!(s.writes.contains(&StateKey::balance(drop_addr)));
+        assert!(s.adds.contains(&StateKey::balance(Address::from_u64(777))));
+    }
+
+    /// A treasury too small for the royalty pays out nothing: the inner
+    /// value call fails, the splitter reverts, and the revert must
+    /// propagate out of the DELEGATECALL in the bind exactly as the
+    /// machine does it.
+    #[test]
+    fn nft_mint_with_short_treasury_predicts_revert() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let block = BlockEnv::default();
+        let snapshot = mint_rush_snapshot(5);
+        let tx = call_tx(DROP, 1, contracts::drop_fn::MINT, &[]);
+        let s = two_tier.csag(&tx, &snapshot, &block);
+        let p = speculative.csag(&tx, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::BoundedDynamic);
+        assert!(!s.predicted_success);
+        assert_same_prediction(&s, &p, "nft mint (short treasury)");
+        // The failed transfer never credits the creator.
+        assert!(!s.adds.contains(&StateKey::balance(Address::from_u64(777))));
+    }
+
+    /// `preview()` STATICCALLs the write-free floor oracle: a read-only
+    /// composed frame that binds on the interprocedural tier (the callee
+    /// is a fixed address) with the oracle's slot in the read set.
+    #[test]
+    fn nft_preview_staticcall_binds_and_matches_speculation() {
+        let registry = analyzer().registry().clone();
+        let two_tier = Analyzer::new(registry.clone());
+        let speculative = Analyzer::with_config(
+            registry,
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let block = BlockEnv::default();
+        let snapshot = mint_rush_snapshot(1000);
+        let tx = call_tx(DROP, 1, contracts::drop_fn::PREVIEW, &[]);
+        let s = two_tier.csag(&tx, &snapshot, &block);
+        let p = speculative.csag(&tx, &snapshot, &block);
+        assert_eq!(s.tier, RefinementTier::Interprocedural);
+        assert!(s.predicted_success);
+        assert_same_prediction(&s, &p, "nft preview");
+        assert!(s
+            .reads
+            .contains(&StateKey::storage(Address::from_u64(FLOOR), U256::ZERO)));
+        assert!(s.writes.is_empty());
+        assert!(s.adds.is_empty());
     }
 }

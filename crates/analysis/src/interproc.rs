@@ -28,12 +28,13 @@
 use std::collections::BTreeMap;
 
 use dmvcc_primitives::Address;
-use dmvcc_vm::{CodeRegistry, CALL_DEPTH_LIMIT};
+use dmvcc_vm::{CodeRegistry, Opcode, CALL_DEPTH_LIMIT};
 
-use crate::absint;
+use crate::absint::{self, CallTarget, PlanCallKind};
 use crate::cfg::Cfg;
+use crate::psag::AccessKind;
 
-/// Classification of one `CALL` site.
+/// Classification of one call-family site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CallSiteVerdict {
     /// The callee summary composes into the caller's template.
@@ -42,9 +43,17 @@ pub enum CallSiteVerdict {
     /// succeeds with empty return data (modeled exactly, nothing to
     /// compose).
     NoCode,
-    /// The callee address does not fold to a constant; the block degrades
-    /// to speculative fallback.
+    /// Dynamic-but-bounded dispatch: the callee address is read from a
+    /// registry storage slot, so the bind walk enumerates the candidate
+    /// and composes its summary under the slot's snapshot guard.
+    BoundedDynamic,
+    /// The callee address neither folds to a constant nor comes from a
+    /// registry slot; the block degrades to speculative fallback.
     DynamicTarget,
+    /// A `STATICCALL` whose target is not provably write-free: the callee
+    /// can reach a store, which reverts inside the read-only frame.
+    /// Surfaced by `dmvcc lint` as the `staticcall-writes` error.
+    StaticWrites,
     /// The callee reaches back into the caller's SCC; composition would
     /// not terminate.
     Recursive,
@@ -56,8 +65,10 @@ pub enum CallSiteVerdict {
 /// One call site of a contract, as seen by the call graph.
 #[derive(Debug, Clone, Copy)]
 pub struct CallSite {
-    /// Program counter of the `CALL` instruction.
+    /// Program counter of the call instruction.
     pub pc: usize,
+    /// Which call-family instruction sits at the site.
+    pub kind: PlanCallKind,
     /// Statically-resolved callee, when the address folded.
     pub callee: Option<Address>,
     /// The site's classification.
@@ -72,10 +83,23 @@ pub struct ContractVerdict {
     /// Height of the static call tree rooted here: 0 for leaf contracts,
     /// `1 + max(callee heights)` otherwise; `usize::MAX` inside a cycle.
     pub height: usize,
-    /// `true` when every site is [`CallSiteVerdict::Summarizable`] or
-    /// [`CallSiteVerdict::NoCode`] — the contract's own transactions can
-    /// bind across every call edge.
+    /// `true` when every site is [`CallSiteVerdict::Summarizable`],
+    /// [`CallSiteVerdict::NoCode`] or [`CallSiteVerdict::BoundedDynamic`]
+    /// — the contract's own transactions can bind across every call edge.
     pub summarizable: bool,
+    /// Statically-verified write freedom: no storage write, commutative
+    /// increment, or balance-moving value transfer is reachable from this
+    /// contract's code, transitively through its fixed call targets. This
+    /// is the proof obligation a `STATICCALL` target must discharge.
+    pub write_free: bool,
+}
+
+/// How a raw call site's target resolved during abstract interpretation.
+#[derive(Debug, Clone, Copy)]
+enum RawTarget {
+    Fixed(Address),
+    Registry,
+    Dynamic,
 }
 
 /// The static call graph of a registry, with its SCC condensation and
@@ -101,36 +125,88 @@ impl CallGraph {
         let index_of: BTreeMap<Address, usize> =
             addrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
 
-        // Per contract: (pc, Option<callee>) for every call site.
-        let mut raw_sites: Vec<Vec<(usize, Option<Address>)>> = Vec::with_capacity(addrs.len());
-        for addr in &addrs {
+        // Per contract: (pc, kind, target) for every call site, plus the
+        // local write facts the write-freedom fixpoint starts from.
+        let mut raw_sites: Vec<Vec<(usize, PlanCallKind, RawTarget)>> =
+            Vec::with_capacity(addrs.len());
+        let mut writes_possible = vec![false; addrs.len()];
+        for (i, addr) in addrs.iter().enumerate() {
             let code = registry.code(addr).expect("address came from the registry");
             let mut cfg = Cfg::build(&code);
             let plan = absint::analyze_with(&code, &mut cfg, Some(registry));
             let mut sites = Vec::new();
+            let mut modeled_call_pcs = Vec::new();
             for block in &plan.blocks {
                 if let Some(call) = &block.call {
-                    sites.push((call.pc, Some(call.callee)));
+                    let target = match call.target {
+                        CallTarget::Fixed(callee) => RawTarget::Fixed(callee),
+                        CallTarget::RegistrySlot { .. } => RawTarget::Registry,
+                    };
+                    sites.push((call.pc, call.kind, target));
+                    modeled_call_pcs.push(call.pc);
+                    // A value transfer debits the sender and credits the
+                    // recipient balance — storage writes either way.
+                    if !call.value.as_const().is_some_and(|v| v.is_zero()) {
+                        writes_possible[i] = true;
+                    }
+                    // The candidate set of a registry slot is unknown at
+                    // graph-build time; assume the worst for write freedom.
+                    if matches!(call.target, CallTarget::RegistrySlot { .. }) {
+                        writes_possible[i] = true;
+                    }
                 }
-                if let Some((pc, callee)) = block.no_code_call {
-                    sites.push((pc, Some(callee)));
+                if let Some((pc, kind, callee)) = block.no_code_call {
+                    sites.push((pc, kind, RawTarget::Fixed(callee)));
+                    modeled_call_pcs.push(pc);
                 }
                 if let Some(pc) = block.dynamic_call {
-                    sites.push((pc, None));
+                    let kind = code
+                        .get(pc)
+                        .and_then(|&b| Opcode::from_byte(b))
+                        .map_or(PlanCallKind::Call, plan_call_kind);
+                    sites.push((pc, kind, RawTarget::Dynamic));
+                    modeled_call_pcs.push(pc);
+                    // Unknown callee → unknown writes.
+                    writes_possible[i] = true;
+                }
+                if block
+                    .accesses
+                    .iter()
+                    .any(|a| matches!(a.kind, AccessKind::Write | AccessKind::Add))
+                {
+                    writes_possible[i] = true;
                 }
             }
-            sites.sort_by_key(|&(pc, _)| pc);
+            // A call-family instruction the abstract interpreter could not
+            // summarize at all (e.g. unaligned memory regions) reaches an
+            // unknown callee: no graph edge, but writes are possible.
+            for block in &cfg.blocks {
+                if let Some(ins) = block.instructions.last() {
+                    if matches!(
+                        ins.op,
+                        Opcode::Call | Opcode::DelegateCall | Opcode::StaticCall
+                    ) && !modeled_call_pcs.contains(&ins.pc)
+                    {
+                        writes_possible[i] = true;
+                    }
+                }
+            }
+            sites.sort_by_key(|&(pc, _, _)| pc);
             raw_sites.push(sites);
         }
 
-        // Edges restricted to deployed callees (a no-code target has no
-        // node to point at).
+        // Edges restricted to fixed, deployed callees (a no-code target has
+        // no node to point at; dynamic candidates are resolved at bind
+        // time, not graph-build time).
         let succs: Vec<Vec<usize>> = raw_sites
             .iter()
             .map(|sites| {
                 sites
                     .iter()
-                    .filter_map(|(_, callee)| callee.and_then(|c| index_of.get(&c).copied()))
+                    .filter_map(|(_, _, target)| match target {
+                        RawTarget::Fixed(c) => index_of.get(c).copied(),
+                        RawTarget::Registry | RawTarget::Dynamic => None,
+                    })
                     .collect()
             })
             .collect();
@@ -169,14 +245,38 @@ impl CallGraph {
             }
         }
 
+        // Write-freedom fixpoint: a write anywhere below a contract (along
+        // fixed, deployed call edges) makes the contract itself capable of
+        // writing. Least fixpoint of OR — recursion converges naturally.
+        loop {
+            let mut changed = false;
+            for i in 0..addrs.len() {
+                if writes_possible[i] {
+                    continue;
+                }
+                if succs[i].iter().any(|&j| writes_possible[j]) {
+                    writes_possible[i] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
         let mut verdicts = BTreeMap::new();
         for (i, addr) in addrs.iter().enumerate() {
             let sites: Vec<CallSite> = raw_sites[i]
                 .iter()
-                .map(|&(pc, callee)| {
-                    let verdict = match callee {
-                        None => CallSiteVerdict::DynamicTarget,
-                        Some(c) => match index_of.get(&c) {
+                .map(|&(pc, kind, target)| {
+                    let callee = match target {
+                        RawTarget::Fixed(c) => Some(c),
+                        RawTarget::Registry | RawTarget::Dynamic => None,
+                    };
+                    let verdict = match target {
+                        RawTarget::Dynamic => CallSiteVerdict::DynamicTarget,
+                        RawTarget::Registry => CallSiteVerdict::BoundedDynamic,
+                        RawTarget::Fixed(c) => match index_of.get(&c) {
                             None => CallSiteVerdict::NoCode,
                             Some(&j) if scc_of[j] == scc_of[i] || recursive_scc[scc_of[j]] => {
                                 CallSiteVerdict::Recursive
@@ -184,11 +284,15 @@ impl CallGraph {
                             Some(&j) if height[j].saturating_add(1) > CALL_DEPTH_LIMIT => {
                                 CallSiteVerdict::DepthExceeded
                             }
+                            Some(&j) if kind == PlanCallKind::Static && writes_possible[j] => {
+                                CallSiteVerdict::StaticWrites
+                            }
                             Some(_) => CallSiteVerdict::Summarizable,
                         },
                     };
                     CallSite {
                         pc,
+                        kind,
                         callee,
                         verdict,
                     }
@@ -197,7 +301,9 @@ impl CallGraph {
             let summarizable = sites.iter().all(|s| {
                 matches!(
                     s.verdict,
-                    CallSiteVerdict::Summarizable | CallSiteVerdict::NoCode
+                    CallSiteVerdict::Summarizable
+                        | CallSiteVerdict::NoCode
+                        | CallSiteVerdict::BoundedDynamic
                 )
             });
             verdicts.insert(
@@ -206,6 +312,7 @@ impl CallGraph {
                     sites,
                     height: height[i],
                     summarizable,
+                    write_free: !writes_possible[i],
                 },
             );
         }
@@ -232,6 +339,15 @@ impl CallGraph {
                     .map(move |s| (*addr, s.pc))
             })
             .collect()
+    }
+}
+
+/// Maps a call-family opcode to its plan kind.
+fn plan_call_kind(op: Opcode) -> PlanCallKind {
+    match op {
+        Opcode::DelegateCall => PlanCallKind::Delegate,
+        Opcode::StaticCall => PlanCallKind::Static,
+        _ => PlanCallKind::Call,
     }
 }
 
@@ -436,5 +552,103 @@ mod tests {
             graph.verdicts[&router].sites
         );
         assert!(!graph.verdicts[&router].sites.is_empty());
+    }
+
+    /// A contract that STATICCALLs `target` and stops.
+    fn static_caller_of(target: Address) -> Vec<u8> {
+        let hex = dmvcc_primitives::encode_hex(target.as_bytes());
+        assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS STATICCALL POP STOP"
+        ))
+        .expect("valid assembly")
+    }
+
+    #[test]
+    fn write_freedom_is_a_transitive_proof() {
+        let floor = Address::from_u64(1);
+        let viewer = Address::from_u64(2);
+        let token = Address::from_u64(3);
+        let registry = CodeRegistry::builder()
+            .deploy(floor, contracts::floor_oracle())
+            .deploy(viewer, static_caller_of(floor))
+            .deploy(token, contracts::token())
+            .build();
+        let graph = CallGraph::build(&registry);
+        // The oracle stores nothing; a wrapper that only STATICCALLs it
+        // inherits the proof. The token writes balances.
+        assert!(graph.verdicts[&floor].write_free);
+        assert!(graph.verdicts[&viewer].write_free);
+        assert!(!graph.verdicts[&token].write_free);
+        assert_eq!(
+            graph.verdicts[&viewer].sites[0].verdict,
+            CallSiteVerdict::Summarizable
+        );
+    }
+
+    #[test]
+    fn staticcall_into_writer_is_flagged() {
+        let token = Address::from_u64(1);
+        let viewer = Address::from_u64(2);
+        let registry = CodeRegistry::builder()
+            .deploy(token, contracts::token())
+            .deploy(viewer, static_caller_of(token))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let site = &graph.verdicts[&viewer].sites[0];
+        assert_eq!(site.kind, PlanCallKind::Static);
+        assert_eq!(site.verdict, CallSiteVerdict::StaticWrites);
+        assert!(!graph.verdicts[&viewer].summarizable);
+    }
+
+    #[test]
+    fn registry_slot_dispatch_is_bounded_dynamic() {
+        let splitter = Address::from_u64(1);
+        let registry = CodeRegistry::builder()
+            .deploy(splitter, contracts::royalty_splitter())
+            .build();
+        let graph = CallGraph::build(&registry);
+        let verdict = &graph.verdicts[&splitter];
+        let site = verdict
+            .sites
+            .iter()
+            .find(|s| s.verdict == CallSiteVerdict::BoundedDynamic)
+            .expect("registry-slot site gets the bounded verdict");
+        assert_eq!(site.callee, None, "candidate set is per-transaction");
+        // Bounded dispatch stays summarizable (it binds per candidate) but
+        // poisons the write-freedom proof: the candidate set is unknown.
+        assert!(verdict.summarizable);
+        assert!(!verdict.write_free);
+    }
+
+    #[test]
+    fn delegate_site_kind_and_write_taint_propagate() {
+        let splitter = Address::from_u64(1);
+        let floor = Address::from_u64(2);
+        let drop = Address::from_u64(3);
+        let registry = CodeRegistry::builder()
+            .deploy(splitter, contracts::royalty_splitter())
+            .deploy(floor, contracts::floor_oracle())
+            .deploy(drop, contracts::nft_drop(splitter, floor))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let verdict = &graph.verdicts[&drop];
+        let delegate = verdict
+            .sites
+            .iter()
+            .find(|s| s.kind == PlanCallKind::Delegate)
+            .expect("mint's delegatecall site");
+        assert_eq!(delegate.callee, Some(splitter));
+        assert_eq!(delegate.verdict, CallSiteVerdict::Summarizable);
+        // The static preview site targets the write-free oracle.
+        let preview = verdict
+            .sites
+            .iter()
+            .find(|s| s.kind == PlanCallKind::Static)
+            .expect("preview's staticcall site");
+        assert_eq!(preview.verdict, CallSiteVerdict::Summarizable);
+        // The drop writes locally (and borrows a writing body): not
+        // write-free, but every site still summarizes.
+        assert!(verdict.summarizable);
+        assert!(!verdict.write_free);
     }
 }

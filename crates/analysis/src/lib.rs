@@ -34,7 +34,11 @@ mod loops;
 mod psag;
 mod symbolic;
 
-pub use absint::{analyze, analyze_with, BlockPlan, ContractPlan, KeyExpr, PlanAccess, PlanCall};
+pub use absint::{
+    analyze, analyze_with, BlockPlan, CallTarget, ContractPlan, KeyExpr, PlanAccess, PlanCall,
+    PlanCallKind,
+};
+pub use interproc::CallSite;
 pub use cfg::{decode, BasicBlock, BlockExit, Cfg, Instruction};
 pub use commute::{classify_increments, IncrementClass, IncrementReport};
 pub use csag::{

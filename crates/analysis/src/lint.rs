@@ -11,7 +11,7 @@
 use dmvcc_primitives::Address;
 use dmvcc_vm::{CodeRegistry, CALL_DEPTH_LIMIT};
 
-use crate::absint::ContractPlan;
+use crate::absint::{CallTarget, ContractPlan, PlanCallKind};
 use crate::cfg::Cfg;
 use crate::commute::{classify_increments, IncrementClass};
 use crate::gas::loop_gas_bounds;
@@ -125,16 +125,36 @@ fn lint_from_psag(name: &str, psag: &PSag) -> ContractLint {
     }
 
     for block_plan in &plan.blocks {
+        // Registry-slot dispatch (`CallTarget::RegistrySlot`) never lands
+        // here: the abstract interpreter keeps it analyzable, so this code
+        // only fires on targets that are *truly* unknown (calldata-derived,
+        // arithmetic the interpreter lost, ...).
         if let Some(pc) = block_plan.dynamic_call {
             findings.push(Finding {
                 severity: Severity::Warning,
                 code: "unanalyzable-call-target",
                 pc: Some(pc),
                 message: format!(
-                    "CALL at pc {pc} has a dynamic callee address; the callee's accesses \
+                    "call at pc {pc} has a dynamic callee address; the callee's accesses \
                      cannot be summarized and paths through it refine speculatively"
                 ),
             });
+        }
+        if let Some(call) = &block_plan.call {
+            let value_may_move = !call.value.as_const().is_some_and(|v| v.is_zero());
+            if value_may_move && !matches!(call.target, CallTarget::Fixed(_)) {
+                findings.push(Finding {
+                    severity: Severity::Warning,
+                    code: "value-call-unbounded-recipient",
+                    pc: Some(call.pc),
+                    message: format!(
+                        "value-transferring call at pc {} credits a recipient balance that \
+                         only resolves per transaction (registry-slot dispatch); the credit \
+                         key cannot be enumerated statically",
+                        call.pc
+                    ),
+                });
+            }
         }
     }
 
@@ -178,12 +198,16 @@ fn lint_from_psag(name: &str, psag: &PSag) -> ContractLint {
 }
 
 /// Call-graph findings for one deployed contract: sites the
-/// interprocedural summarizer had to bail out on, from the
-/// [`CallGraph`]'s per-site verdicts.
+/// interprocedural summarizer had to bail out on (or proved facts about),
+/// from the [`CallGraph`]'s per-site verdicts.
 ///
-/// `Summarizable` and `NoCode` sites are silent (both bind statically),
-/// and `DynamicTarget` is skipped here because the plan-level scan in
-/// [`lint_contract`] already reports it as `unanalyzable-call-target`.
+/// `Summarizable` and `NoCode` sites are silent (both bind statically) —
+/// except delegate sites, which get the `delegatecall-into-selfdestruct-
+/// free` note recording the verified absence of self-destructing
+/// instructions in the borrowed body. `DynamicTarget` adds the graph-level
+/// `dynamic-dispatch-unbounded` on top of the plan-level
+/// `unanalyzable-call-target`, to contrast with `BoundedDynamic` sites
+/// (registry-slot dispatch), which are analyzable and stay silent.
 pub fn call_site_findings(verdict: &ContractVerdict) -> Vec<Finding> {
     let mut findings = Vec::new();
     for site in &verdict.sites {
@@ -193,7 +217,7 @@ pub fn call_site_findings(verdict: &ContractVerdict) -> Vec<Finding> {
                 code: "recursive-call",
                 pc: Some(site.pc),
                 message: format!(
-                    "CALL at pc {} re-enters its own strongly-connected component; \
+                    "call at pc {} re-enters its own strongly-connected component; \
                      recursive chains are never summarized and refine speculatively",
                     site.pc
                 ),
@@ -203,15 +227,53 @@ pub fn call_site_findings(verdict: &ContractVerdict) -> Vec<Finding> {
                 code: "call-depth-bailout",
                 pc: Some(site.pc),
                 message: format!(
-                    "CALL at pc {} heads a static chain nesting deeper than the \
+                    "call at pc {} heads a static chain nesting deeper than the \
                      interpreter's frame limit ({CALL_DEPTH_LIMIT}); the summary \
                      walk bails out and the site refines speculatively",
                     site.pc
                 ),
             }),
+            CallSiteVerdict::StaticWrites => findings.push(Finding {
+                severity: Severity::Error,
+                code: "staticcall-writes",
+                pc: Some(site.pc),
+                message: format!(
+                    "STATICCALL at pc {} targets {}, which is not provably write-free: \
+                     a reachable store reverts the read-only frame at runtime",
+                    site.pc,
+                    site.callee
+                        .map_or_else(|| "an unknown callee".to_string(), |c| format!("{c:?}")),
+                ),
+            }),
+            CallSiteVerdict::DynamicTarget => findings.push(Finding {
+                severity: Severity::Warning,
+                code: "dynamic-dispatch-unbounded",
+                pc: Some(site.pc),
+                message: format!(
+                    "dispatch at pc {} has a statically-unbounded callee set (the target \
+                     is neither a constant nor a registry-slot read); compare with \
+                     registry-slot dispatch, which binds per candidate",
+                    site.pc
+                ),
+            }),
+            CallSiteVerdict::Summarizable | CallSiteVerdict::NoCode
+                if site.kind == PlanCallKind::Delegate =>
+            {
+                findings.push(Finding {
+                    severity: Severity::Note,
+                    code: "delegatecall-into-selfdestruct-free",
+                    pc: Some(site.pc),
+                    message: format!(
+                        "DELEGATECALL at pc {} borrows a body verified to contain no \
+                         self-destructing instruction; the caller's code cannot be \
+                         destroyed through this site",
+                        site.pc
+                    ),
+                });
+            }
             CallSiteVerdict::Summarizable
             | CallSiteVerdict::NoCode
-            | CallSiteVerdict::DynamicTarget => {}
+            | CallSiteVerdict::BoundedDynamic => {}
         }
     }
     findings
@@ -593,6 +655,8 @@ mod tests {
 
     #[test]
     fn library_contracts_lint_clean() {
+        let splitter = Address::from_u64(1);
+        let floor = Address::from_u64(2);
         for (name, code) in [
             ("token", contracts::token()),
             ("counter", contracts::counter()),
@@ -605,6 +669,9 @@ mod tests {
             ("batch_pay", contracts::batch_pay()),
             ("airdrop", contracts::airdrop()),
             ("batch_transfer", contracts::batch_transfer()),
+            ("royalty_splitter", contracts::royalty_splitter()),
+            ("nft_drop", contracts::nft_drop(splitter, floor)),
+            ("floor_oracle", contracts::floor_oracle()),
         ] {
             let lint = lint_contract(name, &code);
             assert!(
@@ -613,5 +680,121 @@ mod tests {
                 lint.findings
             );
         }
+    }
+
+    /// A contract that STATICCALLs `target` and stops.
+    fn static_caller_of(target: Address) -> Vec<u8> {
+        let hex: String = target
+            .to_u256()
+            .to_be_bytes()
+            .iter()
+            .skip(12)
+            .map(|b| format!("{b:02x}"))
+            .collect();
+        assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS STATICCALL POP STOP"
+        ))
+        .expect("valid assembly")
+    }
+
+    #[test]
+    fn staticcall_into_writer_is_a_lint_error() {
+        let token = Address::from_u64(1);
+        let viewer = Address::from_u64(2);
+        let registry = dmvcc_vm::CodeRegistry::builder()
+            .deploy(token, contracts::token())
+            .deploy(viewer, static_caller_of(token))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let lint = lint_deployed("viewer", viewer, &registry, &graph);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "staticcall-writes")
+            .expect("writing STATICCALL target must be flagged");
+        assert_eq!(finding.severity, Severity::Error);
+        assert!(finding.pc.is_some());
+        assert!(lint.has_errors());
+        // A write-free target stays silent.
+        let floor = Address::from_u64(3);
+        let clean_viewer = Address::from_u64(4);
+        let registry = dmvcc_vm::CodeRegistry::builder()
+            .deploy(floor, contracts::floor_oracle())
+            .deploy(clean_viewer, static_caller_of(floor))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let lint = lint_deployed("clean_viewer", clean_viewer, &registry, &graph);
+        assert!(
+            !lint.findings.iter().any(|f| f.code == "staticcall-writes"),
+            "{:#?}",
+            lint.findings
+        );
+    }
+
+    #[test]
+    fn registry_slot_value_call_warns_but_stays_analyzable() {
+        // The plan-level scan needs a registry-aware plan: without one no
+        // call summarizes at all, so lint via the deployed entry point.
+        let splitter = Address::from_u64(1);
+        let registry = dmvcc_vm::CodeRegistry::builder()
+            .deploy(splitter, contracts::royalty_splitter())
+            .build();
+        let graph = CallGraph::build(&registry);
+        let lint = lint_deployed("splitter", splitter, &registry, &graph);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "value-call-unbounded-recipient")
+            .expect("registry-slot value recipient must be flagged");
+        assert_eq!(finding.severity, Severity::Warning);
+        // Bounded dispatch is *not* an unanalyzable target: the plan keeps
+        // the site and the bind enumerates candidates per transaction.
+        assert!(!lint
+            .findings
+            .iter()
+            .any(|f| f.code == "unanalyzable-call-target"));
+    }
+
+    #[test]
+    fn dynamic_dispatch_gets_graph_level_warning() {
+        let a = Address::from_u64(1);
+        let code = assemble(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 \
+             PUSH1 0 CALLDATALOAD GAS CALL POP PUSH1 1 PUSH1 0 SSTORE STOP",
+        )
+        .unwrap();
+        let registry = dmvcc_vm::CodeRegistry::builder().deploy(a, code).build();
+        let graph = CallGraph::build(&registry);
+        let lint = lint_deployed("dynamic", a, &registry, &graph);
+        for code in ["dynamic-dispatch-unbounded", "unanalyzable-call-target"] {
+            assert!(
+                lint.findings
+                    .iter()
+                    .any(|f| f.code == code && f.severity == Severity::Warning),
+                "expected {code}: {:#?}",
+                lint.findings
+            );
+        }
+    }
+
+    #[test]
+    fn delegatecall_site_notes_selfdestruct_freedom() {
+        let splitter = Address::from_u64(1);
+        let floor = Address::from_u64(2);
+        let drop = Address::from_u64(3);
+        let registry = dmvcc_vm::CodeRegistry::builder()
+            .deploy(splitter, contracts::royalty_splitter())
+            .deploy(floor, contracts::floor_oracle())
+            .deploy(drop, contracts::nft_drop(splitter, floor))
+            .build();
+        let graph = CallGraph::build(&registry);
+        let lint = lint_deployed("drop", drop, &registry, &graph);
+        assert!(!lint.has_errors(), "{:#?}", lint.findings);
+        let finding = lint
+            .findings
+            .iter()
+            .find(|f| f.code == "delegatecall-into-selfdestruct-free")
+            .expect("delegate site must carry the note");
+        assert_eq!(finding.severity, Severity::Note);
     }
 }

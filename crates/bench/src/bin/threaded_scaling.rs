@@ -7,11 +7,14 @@
 //! waiter index with targeted wakeups, and work-stealing ready deques.
 //! Both run the same prepared blocks on a realistic, a high-contention, a
 //! loop-heavy workload (dominated by summarizable credit loops, exercising
-//! bind-time loop unrolling) and a call-heavy workload (dominated by
+//! bind-time loop unrolling), a call-heavy workload (dominated by
 //! cross-contract router/flash-mint/oracle chains, exercising bind-time
-//! summary substitution); every outcome is checked against the serial
-//! write set before it is timed into the report (a wrong-but-fast executor
-//! scores zero).
+//! summary substitution) and an NFT mint-rush workload (DELEGATECALL
+//! royalty splitters, STATICCALL floor reads and value-transferring
+//! payouts, exercising the full call family plus bounded dynamic
+//! dispatch); every outcome is checked against the serial write set
+//! before it is timed into the report (a wrong-but-fast executor scores
+//! zero).
 //!
 //! Every (executor, workload, threads) cell is measured under both
 //! ready-queue policies — `fifo` and `critical-path` — and each point
@@ -64,11 +67,18 @@ struct ScalingPoint {
     symbolic_bindings: u64,
     loop_summarized_bindings: u64,
     interprocedural_bindings: u64,
+    /// C-SAGs bound through a bounded dynamic-dispatch site (call target
+    /// loaded from a registry slot and resolved against the snapshot).
+    bounded_dynamic_bindings: u64,
+    /// Code-hash summary-memo hits during refinement: P-SAG summaries
+    /// reused across deployments that share one bytecode body.
+    summary_cache_hits: u64,
     speculative_fallbacks: u64,
     /// Fraction of refined C-SAGs served without speculative pre-execution
-    /// — straight symbolic bindings plus bind-time loop unrolls and
-    /// cross-contract summary substitutions (transfers, which need none of
-    /// these, are excluded from the denominator).
+    /// — straight symbolic bindings plus bind-time loop unrolls,
+    /// cross-contract summary substitutions and bounded-dynamic binds
+    /// (transfers, which need none of these, are excluded from the
+    /// denominator).
     symbolic_hit_rate: f64,
     /// Wakeups issued per committed transaction: broadcasts for the
     /// global-lock executor, targeted signals for the sharded one.
@@ -101,6 +111,18 @@ struct ScalingPoint {
     optimistic_txs: u64,
 }
 
+/// Code-hash summary-memo traffic for one workload's whole run (each
+/// workload has its own registry, so the counters start at zero). Hits
+/// land during the first cold analysis of each deployment — the
+/// per-address P-SAG cache front-ends the memo afterwards — so they are
+/// reported per workload, not per measured cell.
+#[derive(Debug, Serialize)]
+struct WorkloadCacheTraffic {
+    workload: &'static str,
+    summary_cache_hits: u64,
+    summary_cache_misses: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct ScalingReport {
     blocks: usize,
@@ -114,6 +136,8 @@ struct ScalingReport {
     /// The hybrid predictive/optimistic dispatcher over the sharded
     /// executor.
     hybrid: Vec<ScalingPoint>,
+    /// Per-workload code-hash summary-memo traffic.
+    summary_cache: Vec<WorkloadCacheTraffic>,
 }
 
 /// Prepares a chain of blocks with their serial reference write sets, so
@@ -188,6 +212,8 @@ fn measure(
         stats.symbolic_bindings += outcome.stats.symbolic_bindings;
         stats.loop_summarized_bindings += outcome.stats.loop_summarized_bindings;
         stats.interprocedural_bindings += outcome.stats.interprocedural_bindings;
+        stats.bounded_dynamic_bindings += outcome.stats.bounded_dynamic_bindings;
+        stats.summary_cache_hits += outcome.stats.summary_cache_hits;
         stats.speculative_fallbacks += outcome.stats.speculative_fallbacks;
         stats.critical_path_gas += outcome.stats.critical_path_gas;
         stats.predicted_gas += outcome.stats.predicted_gas;
@@ -225,13 +251,17 @@ fn measure(
         symbolic_bindings: stats.symbolic_bindings,
         loop_summarized_bindings: stats.loop_summarized_bindings,
         interprocedural_bindings: stats.interprocedural_bindings,
+        bounded_dynamic_bindings: stats.bounded_dynamic_bindings,
+        summary_cache_hits: stats.summary_cache_hits,
         speculative_fallbacks: stats.speculative_fallbacks,
         symbolic_hit_rate: (stats.symbolic_bindings
             + stats.loop_summarized_bindings
-            + stats.interprocedural_bindings) as f64
+            + stats.interprocedural_bindings
+            + stats.bounded_dynamic_bindings) as f64
             / (stats.symbolic_bindings
                 + stats.loop_summarized_bindings
                 + stats.interprocedural_bindings
+                + stats.bounded_dynamic_bindings
                 + stats.speculative_fallbacks)
                 .max(1) as f64,
         wakeups_per_commit: wakeups as f64 / txs.max(1) as f64,
@@ -259,6 +289,7 @@ fn main() {
         after: Vec::new(),
         stm: Vec::new(),
         hybrid: Vec::new(),
+        summary_cache: Vec::new(),
     };
 
     println!(
@@ -279,6 +310,7 @@ fn main() {
         ("high-contention", WorkloadConfig::high_contention(31)),
         ("loop-heavy", WorkloadConfig::loop_heavy(31)),
         ("call-heavy", WorkloadConfig::call_heavy(31)),
+        ("nft-mint-rush", WorkloadConfig::nft_mint_rush(31)),
     ] {
         let (analyzer, chain) = prepare(workload, blocks, block_size);
         for threads in THREADS {
@@ -370,6 +402,11 @@ fn main() {
             );
             report.stm.push(point);
         }
+        report.summary_cache.push(WorkloadCacheTraffic {
+            workload: name,
+            summary_cache_hits: analyzer.registry().summaries().hits(),
+            summary_cache_misses: analyzer.registry().summaries().misses(),
+        });
     }
 
     // Hot-path memory-layout counters for the sharded executor: recycled
@@ -485,6 +522,7 @@ fn main() {
         let refinements = point.symbolic_bindings
             + point.loop_summarized_bindings
             + point.interprocedural_bindings
+            + point.bounded_dynamic_bindings
             + point.speculative_fallbacks;
         assert!(
             (point.speculative_fallbacks as f64) < 0.10 * refinements.max(1) as f64,
@@ -505,6 +543,7 @@ fn main() {
         let refinements = point.symbolic_bindings
             + point.loop_summarized_bindings
             + point.interprocedural_bindings
+            + point.bounded_dynamic_bindings
             + point.speculative_fallbacks;
         assert!(
             (point.speculative_fallbacks as f64) < 0.10 * refinements.max(1) as f64,
@@ -515,6 +554,54 @@ fn main() {
         assert!(
             point.interprocedural_bindings > 0,
             "call-heavy workload produced no interprocedural bindings"
+        );
+    }
+
+    // The full call family must carry the mint rush: DELEGATECALL royalty
+    // splits, STATICCALL floor reads and the bounded-dynamic payout
+    // target all bind from composed summaries. The hard gate is on the
+    // call-bearing population — transactions whose C-SAG refined through a
+    // call tier or fell back to speculation — of which >=90% must bind
+    // non-speculatively.
+    for point in report
+        .after
+        .iter()
+        .filter(|p| p.workload == "nft-mint-rush")
+    {
+        let call_bearing = point.interprocedural_bindings
+            + point.bounded_dynamic_bindings
+            + point.speculative_fallbacks;
+        let bound = point.interprocedural_bindings + point.bounded_dynamic_bindings;
+        assert!(
+            bound as f64 >= 0.90 * call_bearing.max(1) as f64,
+            "nft-mint-rush: only {bound} of {call_bearing} call-bearing \
+             transactions bound non-speculatively"
+        );
+        assert!(
+            point.bounded_dynamic_bindings > 0,
+            "nft-mint-rush produced no bounded-dynamic bindings"
+        );
+    }
+
+    // Code-hash memoization must actually deduplicate analysis on the
+    // mint rush: the drops deploy many copies of the same three bodies
+    // (drop, splitter, floor oracle), so cold analysis sees far more
+    // cache hits than distinct-body misses.
+    for traffic in report
+        .summary_cache
+        .iter()
+        .filter(|t| t.workload == "nft-mint-rush")
+    {
+        println!(
+            "nft-mint-rush summary memo: {} hits / {} misses",
+            traffic.summary_cache_hits, traffic.summary_cache_misses
+        );
+        assert!(
+            traffic.summary_cache_hits > traffic.summary_cache_misses,
+            "nft-mint-rush summary memo should be hit-dominated \
+             ({} hits vs {} misses)",
+            traffic.summary_cache_hits,
+            traffic.summary_cache_misses
         );
     }
 

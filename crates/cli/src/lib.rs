@@ -132,12 +132,18 @@ pub fn contract_by_name(name: &str) -> Option<Vec<u8>> {
             fixture_consumer_b(),
         ]),
         "price_consumer" => contracts::price_consumer(),
+        "royalty_splitter" => contracts::royalty_splitter(),
+        "nft_drop" => contracts::nft_drop(
+            fixture_address("royalty_splitter").expect("splitter fixture"),
+            fixture_address("floor_oracle").expect("floor fixture"),
+        ),
+        "floor_oracle" => contracts::floor_oracle(),
         _ => return None,
     })
 }
 
 /// Names of the built-in contracts.
-pub const CONTRACT_NAMES: [&str; 16] = [
+pub const CONTRACT_NAMES: [&str; 19] = [
     "token",
     "counter",
     "amm",
@@ -154,6 +160,9 @@ pub const CONTRACT_NAMES: [&str; 16] = [
     "flash_mint",
     "oracle",
     "price_consumer",
+    "royalty_splitter",
+    "nft_drop",
+    "floor_oracle",
 ];
 
 /// The fixture address each named library contract deploys at in
@@ -205,11 +214,14 @@ USAGE:
   dmvcc lint [<contract>…|--all] [--json]
       Check prediction quality of library contracts: unresolved keys,
       missing release points, unbounded blocks, unbounded or
-      irreducible loops, non-commutable increments, and call-site
+      irreducible loops, non-commutable increments, call-site
       bailouts (unanalyzable-call-target, recursive-call,
-      call-depth-bailout) against the fixture call graph. --json emits
-      one finding object per line (contract, severity, code, pc,
-      message). Exits nonzero when any contract has lint errors.
+      call-depth-bailout), and call-family findings
+      (staticcall-writes, value-call-unbounded-recipient,
+      dynamic-dispatch-unbounded, delegatecall-into-selfdestruct-free)
+      against the fixture call graph. --json emits one finding object
+      per line (contract, severity, code, pc, message). Exits nonzero
+      when any contract has lint errors.
   dmvcc run [--hot] [--blocks N] [--size M] [--threads T]
             [--scheduler serial|dag|occ|dmvcc|all] [--seed S]
       Generate blocks and report scheduler speedups (virtual time).
@@ -313,10 +325,20 @@ mod tests {
         // universe resolves to deployed code and summarizes.
         let registry = fixture_registry();
         let graph = dmvcc_analysis::CallGraph::build(&registry);
-        for name in ["router", "router2", "flash_mint", "oracle"] {
+        for name in [
+            "router",
+            "router2",
+            "flash_mint",
+            "oracle",
+            "nft_drop",
+            "royalty_splitter",
+        ] {
             let verdict = &graph.verdicts[&fixture_address(name).unwrap()];
             assert!(verdict.summarizable, "{name}: {:?}", verdict.sites);
             assert!(!verdict.sites.is_empty(), "{name} has no call sites");
         }
+        // The floor oracle carries the write-freedom proof the drop's
+        // STATICCALL site relies on.
+        assert!(graph.verdicts[&fixture_address("floor_oracle").unwrap()].write_free);
     }
 }

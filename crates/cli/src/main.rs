@@ -82,6 +82,15 @@ fn cmd_contracts() -> Result<(), String> {
         ),
         ("oracle", "price oracle fanning updates out to consumers"),
         ("price_consumer", "stores the last pushed oracle price"),
+        (
+            "royalty_splitter",
+            "DELEGATECALL library: fee tab + value-CALL payout",
+        ),
+        (
+            "nft_drop",
+            "mint-rush drop: DELEGATECALL royalties, STATICCALL floor",
+        ),
+        ("floor_oracle", "write-free floor price read (STATICCALL target)"),
     ];
     for (name, description) in descriptions {
         let code = contract_by_name(name).expect("listed contracts exist");

@@ -134,6 +134,15 @@ pub struct ExecutorStats {
     /// calls*: the binder substituted callee summaries at bind time
     /// instead of speculating.
     pub interprocedural_bindings: u64,
+    /// C-SAGs bound symbolically through a *bounded dynamic dispatch*
+    /// site: the call target was loaded from a registry slot, the binder
+    /// resolved it against the snapshot, and the bind stayed
+    /// non-speculative.
+    pub bounded_dynamic_bindings: u64,
+    /// Code-hash summary-memo hits during this block's refinement: P-SAG
+    /// summaries reused across deployments sharing one bytecode body
+    /// (zero when the block was executed with precomputed C-SAGs).
+    pub summary_cache_hits: u64,
     /// C-SAGs that fell back to speculative pre-execution.
     pub speculative_fallbacks: u64,
     /// Gas of the block's heaviest predicted dependency chain (the max
@@ -189,14 +198,16 @@ impl ExecutorStats {
 }
 
 /// Counts how each block C-SAG was refined, for [`ExecutorStats`]:
-/// `(symbolic, loop_summarized, interprocedural, speculative)`.
-pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64, u64, u64) {
+/// `(symbolic, loop_summarized, interprocedural, bounded_dynamic,
+/// speculative)`.
+pub(crate) fn tier_counts(csags: &[CSag]) -> (u64, u64, u64, u64, u64) {
     use dmvcc_analysis::RefinementTier;
     let count = |tier: RefinementTier| csags.iter().filter(|c| c.tier == tier).count() as u64;
     (
         count(RefinementTier::Symbolic),
         count(RefinementTier::LoopSummarized),
         count(RefinementTier::Interprocedural),
+        count(RefinementTier::BoundedDynamic),
         count(RefinementTier::Speculative),
     )
 }
@@ -327,6 +338,8 @@ impl AtomicStats {
             symbolic_bindings: 0,        // filled from the C-SAGs by the caller
             loop_summarized_bindings: 0, // likewise
             interprocedural_bindings: 0, // likewise
+            bounded_dynamic_bindings: 0, // likewise
+            summary_cache_hits: 0,       // filled by the refining caller
             speculative_fallbacks: 0,    // likewise
             critical_path_gas: 0,        // filled from the BlockDag by the caller
             predicted_gas: 0,            // likewise
@@ -1070,6 +1083,7 @@ impl ParallelExecutor {
         block_env: &BlockEnv,
     ) -> ParallelOutcome {
         let refine_start = std::time::Instant::now();
+        let hits_before = self.analyzer.registry().summaries().hits();
         let csags = crate::pipeline::refine_csags(
             &self.analyzer,
             txs,
@@ -1078,8 +1092,10 @@ impl ParallelExecutor {
             self.config.threads,
         );
         let refine_nanos = refine_start.elapsed().as_nanos() as u64;
+        let summary_hits = self.analyzer.registry().summaries().hits() - hits_before;
         let mut outcome = self.execute_block_with_csags(txs, snapshot, block_env, &csags);
         outcome.stats.refine_nanos = refine_nanos;
+        outcome.stats.summary_cache_hits = summary_hits;
         outcome
     }
 
@@ -1285,6 +1301,7 @@ impl ParallelExecutor {
             stats.symbolic_bindings,
             stats.loop_summarized_bindings,
             stats.interprocedural_bindings,
+            stats.bounded_dynamic_bindings,
             stats.speculative_fallbacks,
         ) = tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;

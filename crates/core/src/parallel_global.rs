@@ -389,6 +389,7 @@ impl GlobalLockParallelExecutor {
         block_env: &BlockEnv,
     ) -> ParallelOutcome {
         let refine_start = std::time::Instant::now();
+        let hits_before = self.analyzer.registry().summaries().hits();
         let csags = crate::pipeline::refine_csags(
             &self.analyzer,
             txs,
@@ -397,8 +398,10 @@ impl GlobalLockParallelExecutor {
             self.config.threads,
         );
         let refine_nanos = refine_start.elapsed().as_nanos() as u64;
+        let summary_hits = self.analyzer.registry().summaries().hits() - hits_before;
         let mut outcome = self.execute_block_with_csags(txs, snapshot, block_env, &csags);
         outcome.stats.refine_nanos = refine_nanos;
+        outcome.stats.summary_cache_hits = summary_hits;
         outcome
     }
 
@@ -497,6 +500,7 @@ impl GlobalLockParallelExecutor {
             stats.symbolic_bindings,
             stats.loop_summarized_bindings,
             stats.interprocedural_bindings,
+            stats.bounded_dynamic_bindings,
             stats.speculative_fallbacks,
         ) = crate::parallel::tier_counts(csags);
         stats.critical_path_gas = dag.critical_path_gas;

@@ -822,6 +822,7 @@ impl HybridExecutor {
         block_env: &BlockEnv,
     ) -> ParallelOutcome {
         let refine_start = std::time::Instant::now();
+        let hits_before = self.inner.analyzer().registry().summaries().hits();
         let mut csags = crate::pipeline::refine_csags(
             self.inner.analyzer(),
             txs,
@@ -830,12 +831,14 @@ impl HybridExecutor {
             self.inner.config().threads,
         );
         let refine_nanos = refine_start.elapsed().as_nanos() as u64;
+        let summary_hits = self.inner.analyzer().registry().summaries().hits() - hits_before;
         let optimistic = Self::route_csags(&mut csags);
         let mut outcome = self
             .inner
             .execute_block_with_csags(txs, snapshot, block_env, &csags);
         outcome.stats.refine_nanos = refine_nanos;
         outcome.stats.optimistic_txs = optimistic;
+        outcome.stats.summary_cache_hits = summary_hits;
         outcome
     }
 

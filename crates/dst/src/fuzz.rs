@@ -45,6 +45,10 @@ pub enum Profile {
     /// Traffic dominated by cross-contract calls (aggregator routers,
     /// flash mints, oracle fanout) — exercises interprocedural binding.
     CallHeavy,
+    /// Traffic dominated by NFT drop mints (delegatecalled royalty
+    /// payouts, value-transferring creator credits through a registry
+    /// slot, staticcalled floor checks) — exercises the full call family.
+    NftMintRush,
 }
 
 impl Profile {
@@ -55,6 +59,7 @@ impl Profile {
             "hot" => Some(Profile::HighContention),
             "loop" => Some(Profile::LoopHeavy),
             "call" => Some(Profile::CallHeavy),
+            "nft" => Some(Profile::NftMintRush),
             _ => None,
         }
     }
@@ -68,6 +73,7 @@ impl Profile {
             Profile::HighContention => WorkloadConfig::high_contention(seed),
             Profile::LoopHeavy => WorkloadConfig::loop_heavy(seed),
             Profile::CallHeavy => WorkloadConfig::call_heavy(seed),
+            Profile::NftMintRush => WorkloadConfig::nft_mint_rush(seed),
         };
         let loopy = |n: usize| match self {
             Profile::LoopHeavy => n,
@@ -76,6 +82,13 @@ impl Profile {
         let cally = |n: usize| match self {
             Profile::CallHeavy => n,
             _ => 1,
+        };
+        let drops = match self {
+            Profile::NftMintRush => 3,
+            // One drop rides along in the call mix so the call family is
+            // always under fuzz, even outside the dedicated profile.
+            Profile::CallHeavy => 1,
+            _ => 0,
         };
         WorkloadConfig {
             accounts: 80,
@@ -94,6 +107,7 @@ impl Profile {
             router2_contracts: cally(3),
             flash_contracts: cally(2),
             oracle_contracts: cally(2),
+            drop_contracts: drops,
             ..base
         }
     }
@@ -854,6 +868,31 @@ mod tests {
                 assert!(
                     result.is_none(),
                     "call-heavy {} seed {seed} diverged: {:?}",
+                    engine.label(),
+                    result
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nft_mint_rush_seeds_agree_on_every_engine() {
+        for engine in [
+            EngineUnderTest::Pair,
+            EngineUnderTest::Stm,
+            EngineUnderTest::Hybrid,
+        ] {
+            let config = FuzzConfig {
+                size: 40,
+                profile: Profile::NftMintRush,
+                engine,
+                ..FuzzConfig::default()
+            };
+            for seed in 0..3 {
+                let result = run_seed(seed, &config);
+                assert!(
+                    result.is_none(),
+                    "nft {} seed {seed} diverged: {:?}",
                     engine.label(),
                     result
                 );

@@ -136,6 +136,8 @@ fn mnemonic_to_opcode(token: &str) -> Option<Opcode> {
         "RETURNDATASIZE" => ReturnDataSize,
         "RETURNDATACOPY" => ReturnDataCopy,
         "CALL" => Call,
+        "DELEGATECALL" => DelegateCall,
+        "STATICCALL" => StaticCall,
         "TIMESTAMP" => Timestamp,
         "NUMBER" => Number,
         "POP" => Pop,
@@ -366,6 +368,12 @@ mod tests {
         assert_eq!(assemble("DUP1").expect("valid"), vec![0x80]);
         assert_eq!(assemble("DUP16").expect("valid"), vec![0x8f]);
         assert_eq!(assemble("SWAP3").expect("valid"), vec![0x92]);
+    }
+
+    #[test]
+    fn call_family_parse() {
+        assert_eq!(assemble("DELEGATECALL").expect("valid"), vec![0xf4]);
+        assert_eq!(assemble("STATICCALL").expect("valid"), vec![0xfa]);
     }
 
     #[test]

@@ -190,6 +190,36 @@ pub mod batch_transfer_fn {
     pub const BALANCE_OF: u64 = 4;
 }
 
+/// Selectors of the [`royalty_splitter`] contract.
+pub mod splitter_fn {
+    /// `payout(price)` — the DELEGATECALL body: accrues the platform's cut
+    /// into the *calling* collection's fee tab (commutative) and forwards
+    /// the creator's share as a value-transferring CALL to the creator
+    /// address registered in the caller's storage.
+    pub const PAYOUT: u64 = 1;
+    /// Platform fee divisor: the platform keeps `price / FEE_DIVISOR`.
+    pub const FEE_DIVISOR: u64 = 10;
+}
+
+/// Selectors of the [`nft_drop`] contract.
+pub mod drop_fn {
+    /// `mint()` — takes the next id from the hot sequence counter, records
+    /// the minter as owner, then DELEGATECALLs the royalty splitter to pay
+    /// the creator out of the collection's treasury balance.
+    pub const MINT: u64 = 1;
+    /// `preview()` — STATICCALLs the floor oracle's `get()`; read-only.
+    pub const PREVIEW: u64 = 2;
+    /// `owner_of(id)` — read-only.
+    pub const OWNER_OF: u64 = 3;
+}
+
+/// Selectors of the [`floor_oracle`] contract.
+pub mod floor_fn {
+    /// `get()` — returns the floor price in slot 0; the contract has no
+    /// store anywhere, so it is provably write-free (STATICCALL-safe).
+    pub const GET: u64 = 1;
+}
+
 /// Storage slot of a `mapping(key => v)` entry at `base`, i.e.
 /// `keccak256(key ++ base)` — the Solidity addressing rule the paper cites
 /// (§V-A).
@@ -1133,6 +1163,126 @@ last: JUMPDEST
         ret = RETURN_M128,
     );
     assemble(&source).expect("price_consumer contract must assemble")
+}
+
+/// Royalty-splitter library body, meant to run under DELEGATECALL.
+///
+/// The storage it touches belongs to the *calling* collection
+/// ([`nft_drop`] layout): slot 2 holds the creator's address, slot 3 the
+/// platform's accrued fees. `payout(price)` accrues `price / 10` into
+/// slot 3 (commutative) and forwards the remainder as a value-transferring
+/// CALL to the creator address read from slot 2 — a registry-slot
+/// recipient that only resolves per transaction (bounded dynamic
+/// dispatch), debiting the calling collection's treasury balance.
+pub fn royalty_splitter() -> Vec<u8> {
+    let source = format!(
+        r"
+{dispatch}
+payout: JUMPDEST
+  PUSH1 32 CALLDATALOAD PUSH1 224 MSTORE      ; m224 = price
+  PUSH {fee_div} PUSH1 224 MLOAD DIV
+  PUSH1 192 MSTORE                            ; m192 = platform cut
+  PUSH1 192 MLOAD PUSH1 3 SADD                ; fees += cut (caller's slot 3)
+  ; pay the creator: value call to the address in the caller's slot 2
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 0 PUSH1 0                             ; args_len, args_off
+  PUSH1 192 MLOAD PUSH1 224 MLOAD SUB         ; value = price - cut
+  PUSH1 2 SLOAD                               ; recipient = registry slot 2
+  GAS CALL
+  ISZERO PUSH @fail JUMPI
+  STOP
+
+fail: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[(splitter_fn::PAYOUT, "payout")]),
+        fee_div = splitter_fn::FEE_DIVISOR,
+    );
+    assemble(&source).expect("royalty_splitter contract must assemble")
+}
+
+/// NFT drop collection: the mint-rush scenario with royalty payouts.
+///
+/// Storage: slot 0 = next token id (the hot sequence counter), slot 1 =
+/// mint price, slot 2 = creator address (the splitter's payout registry
+/// slot), slot 3 = accrued platform fees, `owners[id]` at
+/// `keccak(id ++ 4)`.
+///
+/// `mint()` bumps the counter, records the minter, then DELEGATECALLs
+/// [`royalty_splitter`]`::payout(price)` — the borrowed body writes this
+/// collection's fee tab and pays the creator from this collection's
+/// treasury balance. `preview()` STATICCALLs the [`floor_oracle`], whose
+/// write-freedom the analyzer proves.
+pub fn nft_drop(
+    splitter: dmvcc_primitives::Address,
+    oracle: dmvcc_primitives::Address,
+) -> Vec<u8> {
+    let splitter_hex = dmvcc_primitives::encode_hex(splitter.as_bytes());
+    let oracle_hex = dmvcc_primitives::encode_hex(oracle.as_bytes());
+    let source = format!(
+        r"
+{dispatch}
+mint: JUMPDEST
+  PUSH1 1 SLOAD PUSH1 224 MSTORE              ; m224 = mint price
+  PUSH1 0 SLOAD PUSH1 192 MSTORE              ; m192 = next id
+  PUSH1 1 PUSH1 192 MLOAD ADD PUSH1 0 SSTORE  ; bump the sequence counter
+  CALLER PUSH1 192 MLOAD {slot4} SSTORE       ; owners[id] = minter
+  ; royalty payout runs in *this* contract's storage context
+  PUSH {payout} PUSH1 0 MSTORE
+  PUSH1 224 MLOAD PUSH1 32 MSTORE
+  PUSH1 0 PUSH1 0                             ; ret_len, ret_off
+  PUSH1 64 PUSH1 0                            ; args_len, args_off
+  PUSH20 0x{splitter_hex} GAS DELEGATECALL
+  ISZERO PUSH @fail JUMPI
+  PUSH1 192 MLOAD PUSH1 128 MSTORE            ; return the minted id
+  {ret}
+
+preview: JUMPDEST
+  PUSH {get} PUSH1 0 MSTORE
+  PUSH1 32 PUSH1 128                          ; ret_len, ret_off (m128)
+  PUSH1 32 PUSH1 0                            ; args_len, args_off
+  PUSH20 0x{oracle_hex} GAS STATICCALL
+  ISZERO PUSH @fail JUMPI
+  {ret}
+
+owner_of: JUMPDEST
+  PUSH1 32 CALLDATALOAD {slot4} SLOAD PUSH1 128 MSTORE
+  {ret}
+
+fail: JUMPDEST
+  PUSH1 0 PUSH1 0 REVERT
+",
+        dispatch = dispatch(&[
+            (drop_fn::MINT, "mint"),
+            (drop_fn::PREVIEW, "preview"),
+            (drop_fn::OWNER_OF, "owner_of"),
+        ]),
+        slot4 = asm_map_slot(4),
+        payout = splitter_fn::PAYOUT,
+        get = floor_fn::GET,
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("nft_drop contract must assemble")
+}
+
+/// Write-free floor-price feed: the STATICCALL target of
+/// [`nft_drop`]`::preview`.
+///
+/// Storage: slot 0 = floor price (seeded at genesis). No path contains a
+/// store, so the interprocedural pass proves the contract write-free and
+/// STATICCALL sites into it summarize without a `staticcall-writes` error.
+pub fn floor_oracle() -> Vec<u8> {
+    let source = format!(
+        r"
+{dispatch}
+get: JUMPDEST
+  PUSH1 0 SLOAD PUSH1 128 MSTORE
+  {ret}
+",
+        dispatch = dispatch(&[(floor_fn::GET, "get")]),
+        ret = RETURN_M128,
+    );
+    assemble(&source).expect("floor_oracle contract must assemble")
 }
 
 /// Slot of `B[i]` in [`fig1_example`].
@@ -2171,6 +2321,115 @@ mod tests {
                 "consumer {c:?} counted the update"
             );
         }
+    }
+
+    /// Deploys the mint-rush universe: drop + splitter + floor oracle,
+    /// with the drop's storage and treasury seeded.
+    fn mint_rush_universe() -> (crate::registry::CodeRegistry, Address, Address, MapHost) {
+        use crate::registry::CodeRegistry;
+        let drop_addr = Address::from_u64(2_000);
+        let splitter_addr = Address::from_u64(2_001);
+        let oracle_addr = Address::from_u64(2_002);
+        let registry = CodeRegistry::builder()
+            .deploy(drop_addr, nft_drop(splitter_addr, oracle_addr))
+            .deploy(splitter_addr, royalty_splitter())
+            .deploy(oracle_addr, floor_oracle())
+            .build();
+        let mut host = MapHost::new();
+        let creator = Address::from_u64(777);
+        // price = 100, creator in slot 2, treasury = 1000, floor = 55.
+        host.sstore(StateKey::storage(drop_addr, U256::ONE), U256::from(100u64))
+            .unwrap();
+        host.sstore(
+            StateKey::storage(drop_addr, U256::from(2u64)),
+            creator.to_u256(),
+        )
+        .unwrap();
+        host.sstore(StateKey::balance(drop_addr), U256::from(1000u64))
+            .unwrap();
+        host.sstore(
+            StateKey::storage(oracle_addr, U256::ZERO),
+            U256::from(55u64),
+        )
+        .unwrap();
+        (registry, drop_addr, creator, host)
+    }
+
+    #[test]
+    fn nft_drop_mint_pays_royalties_through_delegatecall() {
+        let (registry, drop_addr, creator, mut host) = mint_rush_universe();
+        let code = registry.code(&drop_addr).unwrap();
+        let minter = Address::from_u64(1);
+        let tx = TxEnv::call(minter, drop_addr, calldata(drop_fn::MINT, &[]));
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        assert_eq!(out.output_word(), U256::ZERO); // first minted id
+        assert_eq!(host.get(&StateKey::storage(drop_addr, U256::ZERO)), U256::ONE);
+        assert_eq!(
+            host.get(&StateKey::storage(drop_addr, map_slot(U256::ZERO, 4))),
+            minter.to_u256()
+        );
+        // The delegatecalled splitter wrote the *drop's* storage and moved
+        // the drop's treasury: fee tab 100/10 = 10 in slot 3, 90 to the
+        // creator's balance.
+        assert_eq!(
+            host.get(&StateKey::storage(drop_addr, U256::from(3u64))),
+            U256::from(10u64)
+        );
+        assert_eq!(host.get(&StateKey::balance(creator)), U256::from(90u64));
+        assert_eq!(host.get(&StateKey::balance(drop_addr)), U256::from(910u64));
+        // The splitter's own storage stayed untouched.
+        let splitter_addr = Address::from_u64(2_001);
+        assert_eq!(
+            host.get(&StateKey::storage(splitter_addr, U256::from(3u64))),
+            U256::ZERO
+        );
+    }
+
+    #[test]
+    fn nft_drop_mint_reverts_when_treasury_short() {
+        let (registry, drop_addr, creator, mut host) = mint_rush_universe();
+        host.sstore(StateKey::balance(drop_addr), U256::from(5u64))
+            .unwrap();
+        let code = registry.code(&drop_addr).unwrap();
+        let tx = TxEnv::call(Address::from_u64(1), drop_addr, calldata(drop_fn::MINT, &[]));
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        // The inner value call fails (balance 5 < 90), the splitter
+        // reverts, and the revert propagates out of the DELEGATECALL to
+        // fail the whole mint. The recipient was never credited: an
+        // insufficient-balance call pushes 0 without touching it. (As in
+        // flash_mint_without_approval_unwinds_the_mint, the raw
+        // interpreter has no write journal — discarding the failed tx's
+        // counter bump is the executor's job.)
+        assert_eq!(out.status, ExecStatus::Reverted);
+        assert_eq!(host.get(&StateKey::balance(creator)), U256::ZERO);
+        assert_eq!(host.get(&StateKey::balance(drop_addr)), U256::from(5u64));
+    }
+
+    #[test]
+    fn nft_drop_preview_staticcalls_floor_oracle() {
+        let (registry, drop_addr, _creator, mut host) = mint_rush_universe();
+        let code = registry.code(&drop_addr).unwrap();
+        let tx = TxEnv::call(
+            Address::from_u64(1),
+            drop_addr,
+            calldata(drop_fn::PREVIEW, &[]),
+        );
+        let block = BlockEnv::default();
+        let out = execute(
+            &ExecParams::new(&code, &tx, &block).with_registry(&registry),
+            &mut host,
+        );
+        assert!(out.status.is_success(), "{:?}", out.status);
+        assert_eq!(out.output_word(), U256::from(55u64));
     }
 
     #[test]

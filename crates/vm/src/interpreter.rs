@@ -130,6 +130,9 @@ struct Machine<'a> {
     /// Frame-local environment (caller/contract/input swap per frame).
     tx: TxEnv,
     depth: usize,
+    /// Set inside a `STATICCALL` frame (and every frame nested below it):
+    /// storage writes and value transfers revert deterministically.
+    read_only: bool,
     params: &'a ExecParams<'a>,
 }
 
@@ -215,6 +218,7 @@ pub fn execute_traced(
         params,
         0,
         gas_limit - INTRINSIC_GAS,
+        false,
         host,
         tracer,
     );
@@ -247,6 +251,7 @@ fn run_frame(
     params: &ExecParams<'_>,
     depth: usize,
     gas_budget: u64,
+    read_only: bool,
     host: &mut dyn Host,
     tracer: &mut dyn Tracer,
 ) -> FrameOutput {
@@ -260,6 +265,7 @@ fn run_frame(
         code,
         tx,
         depth,
+        read_only,
         params,
     };
 
@@ -480,12 +486,19 @@ fn step(
         }
         Sstore => {
             let (slot, value) = (m.pop()?, m.pop()?);
+            if m.read_only {
+                // A write inside a static frame reverts deterministically.
+                return Ok(Control::Halt(ExecStatus::Reverted, Vec::new()));
+            }
             let key = StateKey::storage(m.tx.contract, slot);
             host.sstore(key, value)?;
             tracer.on_sstore(pc, key, value);
         }
         Sadd => {
             let (slot, delta) = (m.pop()?, m.pop()?);
+            if m.read_only {
+                return Ok(Control::Halt(ExecStatus::Reverted, Vec::new()));
+            }
             let key = StateKey::storage(m.tx.contract, slot);
             host.sadd(key, delta)?;
             tracer.on_sadd(pc, key, delta);
@@ -546,8 +559,12 @@ fn step(
                     .unwrap_or(0);
             }
         }
-        Call => {
-            let (_gas_req, addr_word, value) = (m.pop()?, m.pop()?, m.pop()?);
+        Call | DelegateCall | StaticCall => {
+            let _gas_req = m.pop()?;
+            let addr_word = m.pop()?;
+            // Only plain CALL carries a value operand; DELEGATECALL
+            // inherits the caller's, STATICCALL forbids one.
+            let value = if op == Call { m.pop()? } else { U256::ZERO };
             let (args_offset, args_len) = (to_offset(m.pop()?)?, to_offset(m.pop()?)?);
             let (ret_offset, ret_len) = (to_offset(m.pop()?)?, to_offset(m.pop()?)?);
             let callee = dmvcc_primitives::Address::from_u256(addr_word);
@@ -555,9 +572,34 @@ fn step(
             m.touch_memory(ret_offset, ret_len)?;
             m.return_data.clear();
 
-            // Ether-carrying calls and over-deep calls fail (push 0); the
-            // VM models contract composition, not value plumbing.
-            if !value.is_zero() || m.depth + 1 > CALL_DEPTH_LIMIT {
+            if !value.is_zero() && m.read_only {
+                // Value transfer is a balance write; static frames revert.
+                return Ok(Control::Halt(ExecStatus::Reverted, Vec::new()));
+            }
+            if m.depth + 1 > CALL_DEPTH_LIMIT {
+                // Over-deep calls fail (push 0), as in the EVM.
+                m.push(U256::ZERO)?;
+            } else if !value.is_zero() && {
+                // Value plumbing: debit the sending contract's balance,
+                // credit the recipient's. The credit never observes the
+                // old balance, so it stays a commutative increment
+                // (mergeable like SADD). Insufficient funds fail the call
+                // (push 0) without touching the recipient.
+                let sender_key = StateKey::balance(m.tx.contract);
+                let balance = host.sload(sender_key)?;
+                tracer.on_sload(pc, sender_key, balance);
+                if balance < value {
+                    true
+                } else {
+                    let debited = balance.wrapping_sub(value);
+                    host.sstore(sender_key, debited)?;
+                    tracer.on_sstore(pc, sender_key, debited);
+                    let recipient_key = StateKey::balance(callee);
+                    host.sadd(recipient_key, value)?;
+                    tracer.on_sadd(pc, recipient_key, value);
+                    false
+                }
+            } {
                 m.push(U256::ZERO)?;
             } else {
                 let code = m
@@ -566,18 +608,33 @@ fn step(
                     .and_then(|registry| registry.code(&callee));
                 match code {
                     // Calls to code-less accounts trivially succeed, as in
-                    // the EVM.
+                    // the EVM (plain transfers to EOAs land here).
                     None => m.push(U256::ONE)?,
                     Some(code) => {
                         // 63/64 rule: the caller always retains a sliver.
                         let budget = m.gas_left - m.gas_left / 64;
-                        let callee_tx = TxEnv {
-                            caller: m.tx.contract,
-                            contract: callee,
-                            value: U256::ZERO,
-                            input: args,
-                            gas_limit: budget,
+                        let callee_tx = match op {
+                            // Delegate frames keep the caller's identity:
+                            // same storage context, caller and value.
+                            DelegateCall => TxEnv {
+                                caller: m.tx.caller,
+                                contract: m.tx.contract,
+                                value: m.tx.value,
+                                input: args,
+                                gas_limit: budget,
+                            },
+                            // The transferred value is credited above at
+                            // the balance level; the callee frame itself
+                            // observes CALLVALUE = 0.
+                            _ => TxEnv {
+                                caller: m.tx.contract,
+                                contract: callee,
+                                value: U256::ZERO,
+                                input: args,
+                                gas_limit: budget,
+                            },
                         };
+                        let child_read_only = m.read_only || op == StaticCall;
                         tracer.on_enter_call(m.depth + 1, callee);
                         let frame = run_frame(
                             &code,
@@ -585,6 +642,7 @@ fn step(
                             m.params,
                             m.depth + 1,
                             budget,
+                            child_read_only,
                             host,
                             tracer,
                         );
@@ -1088,6 +1146,220 @@ mod tests {
         assert!(without_registry.status.is_success());
         // The callee's ~600 gas of pushes shows up in the caller's bill.
         assert!(with_call.gas_used > without_registry.gas_used + 500);
+    }
+
+    fn call_args(kind: &str, callee: Address) -> String {
+        let hex = dmvcc_primitives::encode_hex(callee.as_bytes());
+        match kind {
+            // ret_len ret_offset args_len args_offset [value] addr gas
+            "CALL" => format!("PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS CALL"),
+            "DELEGATECALL" => {
+                format!("PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS DELEGATECALL")
+            }
+            "STATICCALL" => {
+                format!("PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS STATICCALL")
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn delegatecall_writes_caller_storage() {
+        use crate::registry::CodeRegistry;
+        // Library writes slot 7; the proxy delegatecalls it, so the write
+        // must land in the proxy's storage, with the proxy's CALLER.
+        let library = Address::from_u64(3_010);
+        let proxy = Address::from_u64(3_011);
+        let lib_code = assemble("PUSH1 55 PUSH1 7 SSTORE CALLER PUSH1 8 SSTORE STOP").unwrap();
+        let proxy_code = assemble(&format!("{} STOP", call_args("DELEGATECALL", library))).unwrap();
+        let registry = CodeRegistry::builder()
+            .deploy(library, lib_code)
+            .deploy(proxy, proxy_code.clone())
+            .build();
+        let sender = Address::from_u64(1);
+        let tx = TxEnv::call(sender, proxy, vec![]);
+        let block = BlockEnv::default();
+        let mut host = MapHost::new();
+        let params = ExecParams::new(&proxy_code, &tx, &block).with_registry(&registry);
+        let outcome = execute(&params, &mut host);
+        assert!(outcome.status.is_success(), "{:?}", outcome.status);
+        // Write landed in the *proxy's* namespace, not the library's.
+        assert_eq!(
+            host.get(&StateKey::storage(proxy, U256::from(7u64))),
+            U256::from(55u64)
+        );
+        assert_eq!(
+            host.get(&StateKey::storage(library, U256::from(7u64))),
+            U256::ZERO
+        );
+        // CALLER inside the delegate frame is the original sender.
+        assert_eq!(
+            host.get(&StateKey::storage(proxy, U256::from(8u64))),
+            sender.to_u256()
+        );
+    }
+
+    #[test]
+    fn staticcall_write_reverts() {
+        use crate::registry::CodeRegistry;
+        let target = Address::from_u64(3_020);
+        let caller_addr = Address::from_u64(3_021);
+        let target_code = assemble("PUSH1 1 PUSH1 0 SSTORE STOP").unwrap();
+        let caller_code =
+            assemble(&format!("{} STOP", call_args("STATICCALL", target))).unwrap();
+        let registry = CodeRegistry::builder()
+            .deploy(target, target_code)
+            .deploy(caller_addr, caller_code.clone())
+            .build();
+        let tx = TxEnv::call(Address::from_u64(1), caller_addr, vec![]);
+        let block = BlockEnv::default();
+        let mut host = MapHost::new();
+        let params = ExecParams::new(&caller_code, &tx, &block).with_registry(&registry);
+        let outcome = execute(&params, &mut host);
+        // The static frame reverts, which aborts the caller (this VM has
+        // no per-frame rollback).
+        assert_eq!(outcome.status, ExecStatus::Reverted);
+    }
+
+    #[test]
+    fn staticcall_read_succeeds() {
+        use crate::registry::CodeRegistry;
+        let target = Address::from_u64(3_022);
+        let caller_addr = Address::from_u64(3_023);
+        // Pure read + return; no writes.
+        let target_code =
+            assemble("PUSH1 3 SLOAD PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN").unwrap();
+        let hex = dmvcc_primitives::encode_hex(target.as_bytes());
+        // ret_len=32 ret_offset=0 args_len=0 args_offset=0 addr gas
+        let caller_code = assemble(&format!(
+            "PUSH1 32 PUSH1 0 PUSH1 0 PUSH1 0 PUSH20 0x{hex} GAS STATICCALL \
+             PUSH1 0 MLOAD PUSH1 0 MSTORE PUSH1 32 PUSH1 0 RETURN"
+        ))
+        .unwrap();
+        let registry = CodeRegistry::builder()
+            .deploy(target, target_code)
+            .deploy(caller_addr, caller_code.clone())
+            .build();
+        let tx = TxEnv::call(Address::from_u64(1), caller_addr, vec![]);
+        let block = BlockEnv::default();
+        let mut host = MapHost::from_entries([(
+            StateKey::storage(target, U256::from(3u64)),
+            U256::from(77u64),
+        )]);
+        let params = ExecParams::new(&caller_code, &tx, &block).with_registry(&registry);
+        let outcome = execute(&params, &mut host);
+        assert!(outcome.status.is_success(), "{:?}", outcome.status);
+        assert_eq!(outcome.output_word(), U256::from(77u64));
+    }
+
+    #[test]
+    fn value_call_moves_balance() {
+        let sender_contract = Address::from_u64(3_030);
+        let recipient = Address::from_u64(3_031);
+        let hex = dmvcc_primitives::encode_hex(recipient.as_bytes());
+        // Transfer 40 to a code-less account; push result to storage slot 0.
+        let code = assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 40 PUSH20 0x{hex} GAS CALL \
+             PUSH1 0 SSTORE STOP"
+        ))
+        .unwrap();
+        let tx = TxEnv::call(Address::from_u64(1), sender_contract, vec![]);
+        let block = BlockEnv::default();
+        let mut host =
+            MapHost::from_entries([(StateKey::balance(sender_contract), U256::from(100u64))]);
+        let outcome = execute(&ExecParams::new(&code, &tx, &block), &mut host);
+        assert!(outcome.status.is_success(), "{:?}", outcome.status);
+        assert_eq!(
+            host.get(&StateKey::balance(sender_contract)),
+            U256::from(60u64)
+        );
+        assert_eq!(host.get(&StateKey::balance(recipient)), U256::from(40u64));
+        // The CALL pushed 1 (success).
+        assert_eq!(
+            host.get(&StateKey::storage(sender_contract, U256::ZERO)),
+            U256::ONE
+        );
+    }
+
+    #[test]
+    fn value_call_insufficient_balance_fails_without_transfer() {
+        let sender_contract = Address::from_u64(3_032);
+        let recipient = Address::from_u64(3_033);
+        let hex = dmvcc_primitives::encode_hex(recipient.as_bytes());
+        let code = assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 40 PUSH20 0x{hex} GAS CALL \
+             PUSH1 0 SSTORE STOP"
+        ))
+        .unwrap();
+        let tx = TxEnv::call(Address::from_u64(1), sender_contract, vec![]);
+        let block = BlockEnv::default();
+        let mut host =
+            MapHost::from_entries([(StateKey::balance(sender_contract), U256::from(10u64))]);
+        let outcome = execute(&ExecParams::new(&code, &tx, &block), &mut host);
+        assert!(outcome.status.is_success(), "{:?}", outcome.status);
+        // No transfer happened and the CALL pushed 0.
+        assert_eq!(
+            host.get(&StateKey::balance(sender_contract)),
+            U256::from(10u64)
+        );
+        assert_eq!(host.get(&StateKey::balance(recipient)), U256::ZERO);
+        assert_eq!(
+            host.get(&StateKey::storage(sender_contract, U256::ZERO)),
+            U256::ZERO
+        );
+    }
+
+    #[test]
+    fn value_call_enters_callee_after_transfer() {
+        use crate::registry::CodeRegistry;
+        // Callee records that it ran; caller attaches value 5.
+        let sender_contract = Address::from_u64(3_034);
+        let callee = Address::from_u64(3_035);
+        let callee_code = assemble("PUSH1 9 PUSH1 1 SSTORE STOP").unwrap();
+        let hex = dmvcc_primitives::encode_hex(callee.as_bytes());
+        let caller_code = assemble(&format!(
+            "PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 0 PUSH1 5 PUSH20 0x{hex} GAS CALL STOP"
+        ))
+        .unwrap();
+        let registry = CodeRegistry::builder()
+            .deploy(callee, callee_code)
+            .deploy(sender_contract, caller_code.clone())
+            .build();
+        let tx = TxEnv::call(Address::from_u64(1), sender_contract, vec![]);
+        let block = BlockEnv::default();
+        let mut host =
+            MapHost::from_entries([(StateKey::balance(sender_contract), U256::from(8u64))]);
+        let params = ExecParams::new(&caller_code, &tx, &block).with_registry(&registry);
+        let outcome = execute(&params, &mut host);
+        assert!(outcome.status.is_success(), "{:?}", outcome.status);
+        assert_eq!(host.get(&StateKey::balance(callee)), U256::from(5u64));
+        assert_eq!(
+            host.get(&StateKey::storage(callee, U256::ONE)),
+            U256::from(9u64)
+        );
+    }
+
+    #[test]
+    fn static_frame_blocks_nested_writes() {
+        use crate::registry::CodeRegistry;
+        // outer -STATICCALL-> mid -CALL-> inner (which writes): the
+        // read-only flag must propagate through the plain CALL.
+        let inner = Address::from_u64(3_040);
+        let mid = Address::from_u64(3_041);
+        let outer_addr = Address::from_u64(3_042);
+        let inner_code = assemble("PUSH1 1 PUSH1 0 SSTORE STOP").unwrap();
+        let mid_code = assemble(&format!("{} STOP", call_args("CALL", inner))).unwrap();
+        let outer_code = assemble(&format!("{} STOP", call_args("STATICCALL", mid))).unwrap();
+        let registry = CodeRegistry::builder()
+            .deploy(inner, inner_code)
+            .deploy(mid, mid_code)
+            .deploy(outer_addr, outer_code.clone())
+            .build();
+        let tx = TxEnv::call(Address::from_u64(1), outer_addr, vec![]);
+        let block = BlockEnv::default();
+        let params = ExecParams::new(&outer_code, &tx, &block).with_registry(&registry);
+        let outcome = execute(&params, &mut MapHost::new());
+        assert_eq!(outcome.status, ExecStatus::Reverted);
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use interpreter::{
     MEMORY_LIMIT, STACK_LIMIT,
 };
 pub use opcode::Opcode;
-pub use registry::{CodeRegistry, CodeRegistryBuilder};
+pub use registry::{CodeRegistry, CodeRegistryBuilder, SummaryCache};
 pub use tx::{Transaction, TxKind};

@@ -138,6 +138,17 @@ pub enum Opcode {
     /// success. A reverting callee aborts the whole transaction (see the
     /// interpreter docs), so `CALL` is an abortable statement.
     Call,
+    /// Message call that runs the callee's code in the *caller's* storage
+    /// context (same `ADDRESS`, `CALLER`, `CALLVALUE` as the current
+    /// frame): pops `gas`, `addr`, `args_offset`, `args_len`,
+    /// `ret_offset`, `ret_len`; pushes 1 on success. Used by proxy /
+    /// library patterns — storage keys resolve against the caller.
+    DelegateCall,
+    /// Read-only message call: pops `gas`, `addr`, `args_offset`,
+    /// `args_len`, `ret_offset`, `ret_len`; pushes 1 on success. Any
+    /// storage write inside the static frame (or a frame nested below it)
+    /// reverts deterministically.
+    StaticCall,
     /// Halts returning a memory range: pops `offset`, `len`.
     Return,
     /// Aborts reverting all state changes: pops `offset`, `len`.
@@ -211,6 +222,8 @@ impl Opcode {
             0xa0..=0xa2 => Log(byte - 0xa0),
             0xf1 => Call,
             0xf3 => Return,
+            0xf4 => DelegateCall,
+            0xfa => StaticCall,
             0xfd => Revert,
             0xfe => Invalid,
             _ => return None,
@@ -281,6 +294,8 @@ impl Opcode {
             Log(n) => 0xa0 + n,
             Call => 0xf1,
             Return => 0xf3,
+            DelegateCall => 0xf4,
+            StaticCall => 0xfa,
             Revert => 0xfd,
             Invalid => 0xfe,
         }
@@ -306,7 +321,7 @@ impl Opcode {
             | CodeSize => 3,
             CallDataCopy | CodeCopy | ReturnDataCopy => 3,
             ReturnDataSize => 2,
-            Call => 700,
+            Call | DelegateCall | StaticCall => 700,
             Log(n) => 375 * (1 + n as u64),
             AddMod | MulMod => 8,
             Exp => 10,
@@ -326,8 +341,15 @@ impl Opcode {
     /// instruction.
     pub fn is_abortable(self) -> bool {
         // A reverting callee aborts the caller in this VM (no partial
-        // rollback), so CALL is abortable too.
-        matches!(self, Opcode::Revert | Opcode::Invalid | Opcode::Call)
+        // rollback), so every call variant is abortable too.
+        matches!(
+            self,
+            Opcode::Revert
+                | Opcode::Invalid
+                | Opcode::Call
+                | Opcode::DelegateCall
+                | Opcode::StaticCall
+        )
     }
 
     /// Stack effect: `(pops, pushes)`. `Swap(n)` reports the depth it
@@ -350,6 +372,9 @@ impl Opcode {
             Swap(n) => (n as usize + 1, n as usize + 1),
             Log(n) => (2 + n as usize, 0),
             Call => (7, 1),
+            // No `value` operand: delegate inherits the caller's, static
+            // forbids one.
+            DelegateCall | StaticCall => (6, 1),
         }
     }
 
@@ -370,6 +395,8 @@ impl Opcode {
             Swap(n) => format!("SWAP{n}"),
             Log(n) => format!("LOG{n}"),
             Call => "CALL".into(),
+            DelegateCall => "DELEGATECALL".into(),
+            StaticCall => "STATICCALL".into(),
             Stop => "STOP".into(),
             Add => "ADD".into(),
             Mul => "MUL".into(),
@@ -475,6 +502,17 @@ mod tests {
     }
 
     #[test]
+    fn call_family_round_trip() {
+        assert_eq!(Opcode::from_byte(0xf4), Some(Opcode::DelegateCall));
+        assert_eq!(Opcode::from_byte(0xfa), Some(Opcode::StaticCall));
+        assert_eq!(Opcode::DelegateCall.mnemonic(), "DELEGATECALL");
+        assert_eq!(Opcode::StaticCall.mnemonic(), "STATICCALL");
+        assert!(Opcode::DelegateCall.is_abortable());
+        assert!(Opcode::StaticCall.is_abortable());
+        assert!(!Opcode::StaticCall.is_terminator());
+    }
+
+    #[test]
     fn abortable_classification() {
         assert!(Opcode::Revert.is_abortable());
         assert!(Opcode::Invalid.is_abortable());
@@ -505,6 +543,8 @@ mod tests {
         assert_eq!(Opcode::Swap(2).stack_io(), (3, 3));
         assert_eq!(Opcode::Log(2).stack_io(), (4, 0));
         assert_eq!(Opcode::Call.stack_io(), (7, 1));
+        assert_eq!(Opcode::DelegateCall.stack_io(), (6, 1));
+        assert_eq!(Opcode::StaticCall.stack_io(), (6, 1));
         assert_eq!(Opcode::Push(32).stack_io(), (0, 1));
     }
 

@@ -68,6 +68,15 @@ pub enum ContractKind {
     Oracle,
     /// Price consumer (called by an oracle; receives no direct traffic).
     Consumer,
+    /// NFT drop collection (mint-rush hot counter + delegatecalled
+    /// royalty payouts + staticcalled floor checks).
+    Drop,
+    /// Royalty-splitter library body (delegatecalled by drops; receives no
+    /// direct traffic).
+    Splitter,
+    /// Write-free floor-price feed (staticcalled by drops; receives no
+    /// direct traffic).
+    FloorOracle,
 }
 
 /// Consumers subscribed to each deployed oracle.
@@ -114,6 +123,11 @@ pub struct WorkloadConfig {
     /// Price oracles ("other" category; each deploys its own
     /// [`ORACLE_CONSUMERS`] consumers and fans out to them).
     pub oracle_contracts: usize,
+    /// NFT drop collections (NFT category; each deploys its own royalty
+    /// splitter and floor oracle — the call-family trio: DELEGATECALL
+    /// payouts, value-transferring creator credits through a registry
+    /// slot, and STATICCALL floor checks).
+    pub drop_contracts: usize,
     /// Fraction of plain Ether transfers (the paper's non-contract 31 %).
     pub transfer_ratio: f64,
     /// Within contract calls: fraction hitting tokens (~0.60).
@@ -171,6 +185,7 @@ impl WorkloadConfig {
             router2_contracts: 4,
             flash_contracts: 2,
             oracle_contracts: 2,
+            drop_contracts: 0,
             transfer_ratio: 0.31,
             erc20_share: 0.60,
             defi_share: 0.29,
@@ -264,6 +279,40 @@ impl WorkloadConfig {
         }
     }
 
+    /// NFT mint-rush mix: traffic dominated by drop collections whose
+    /// mints chain a DELEGATECALL into the royalty splitter and a
+    /// value-transferring creator payout through a registry slot, with
+    /// STATICCALL floor checks on the side — exercising every call-family
+    /// tier end to end (the `nft` DST profile and the bench's nft axis).
+    pub fn nft_mint_rush(seed: u64) -> Self {
+        WorkloadConfig {
+            token_contracts: 8,
+            amm_contracts: 2,
+            nft_contracts: 4,
+            counter_contracts: 0,
+            ballot_contracts: 0,
+            fig1_contracts: 0,
+            auction_contracts: 0,
+            crowdsale_contracts: 0,
+            batch_pay_contracts: 0,
+            airdrop_contracts: 0,
+            batch_transfer_contracts: 0,
+            router_contracts: 0,
+            router2_contracts: 0,
+            flash_contracts: 0,
+            oracle_contracts: 0,
+            drop_contracts: 8,
+            transfer_ratio: 0.10,
+            erc20_share: 0.15,
+            defi_share: 0.05,
+            nft_share: 0.65,
+            // Uniform popularity so the mint rush spreads over the drop
+            // fleet instead of piling onto the first deployment.
+            contract_zipf: 0.0,
+            ..WorkloadConfig::ethereum_mix(seed)
+        }
+    }
+
     /// Total deployed contracts.
     pub fn total_contracts(&self) -> usize {
         self.token_contracts
@@ -281,6 +330,7 @@ impl WorkloadConfig {
             + self.router2_contracts
             + self.flash_contracts
             + self.oracle_contracts * (1 + ORACLE_CONSUMERS)
+            + self.drop_contracts * 3
     }
 }
 
@@ -301,6 +351,8 @@ pub struct WorkloadGenerator {
     router2_bindings: Vec<(Address, Address, Address)>,
     /// `(facility, token)` per flash-mint deployment.
     flash_bindings: Vec<(Address, Address)>,
+    /// `(drop, floor_oracle, creator)` per NFT drop deployment.
+    drop_bindings: Vec<(Address, Address, Address)>,
     hot: Vec<usize>,
     cold: Vec<usize>,
     account_cdf: Vec<f64>,
@@ -421,6 +473,27 @@ impl WorkloadGenerator {
             by_kind.push((address, ContractKind::Flash));
             flash_bindings.push((address, token));
         }
+        // Each NFT drop deploys its own royalty splitter and floor oracle,
+        // then itself bound to both. The splitter/floor images repeat
+        // byte-for-byte across drops, so their summaries share one
+        // code-hash cache entry.
+        let mut drop_bindings = Vec::new();
+        for i in 0..config.drop_contracts {
+            let splitter = Address::from_u64(next_id);
+            next_id += 1;
+            builder = builder.deploy(splitter, contracts::royalty_splitter());
+            by_kind.push((splitter, ContractKind::Splitter));
+            let floor = Address::from_u64(next_id);
+            next_id += 1;
+            builder = builder.deploy(floor, contracts::floor_oracle());
+            by_kind.push((floor, ContractKind::FloorOracle));
+            let address = Address::from_u64(next_id);
+            next_id += 1;
+            builder = builder.deploy(address, contracts::nft_drop(splitter, floor));
+            by_kind.push((address, ContractKind::Drop));
+            let creator = Address::from_u64(1 + (i as u64 % config.accounts.max(1) as u64));
+            drop_bindings.push((address, floor, creator));
+        }
         // Each oracle deploys its own consumers, then itself.
         for _ in 0..config.oracle_contracts {
             let mut consumers = Vec::with_capacity(ORACLE_CONSUMERS);
@@ -466,6 +539,7 @@ impl WorkloadGenerator {
                 ContractKind::Token,
                 ContractKind::Amm,
                 ContractKind::Nft,
+                ContractKind::Drop,
                 ContractKind::Router,
                 ContractKind::Router2,
                 ContractKind::Flash,
@@ -521,6 +595,7 @@ impl WorkloadGenerator {
             amms,
             router2_bindings,
             flash_bindings,
+            drop_bindings,
             hot,
             cold,
             account_cdf,
@@ -632,6 +707,20 @@ impl WorkloadGenerator {
                     approval,
                 ));
             }
+        }
+        // NFT drops: mint price, the creator's registry slot, a treasury
+        // deep enough for the royalty stream, and a seeded floor quote.
+        for (drop, floor, creator) in &self.drop_bindings {
+            entries.push((StateKey::storage(*drop, U256::ONE), U256::from(100u64)));
+            entries.push((
+                StateKey::storage(*drop, U256::from(2u64)),
+                creator.to_u256(),
+            ));
+            entries.push((StateKey::balance(*drop), U256::from(1_000_000_000u64)));
+            entries.push((
+                StateKey::storage(*floor, U256::ZERO),
+                U256::from(75u64),
+            ));
         }
         entries
     }
@@ -793,6 +882,22 @@ impl WorkloadGenerator {
         Transaction::call(TxEnv::call(caller, contract, input))
     }
 
+    fn drop_tx(&mut self, contract: Address) -> Transaction {
+        let caller = self.account();
+        let roll: f64 = self.rng.gen();
+        // Mint rushes dominate; floor checks (STATICCALL) and ownership
+        // reads make up the rest.
+        let input = if roll < 0.80 {
+            calldata(contracts::drop_fn::MINT, &[])
+        } else if roll < 0.95 {
+            calldata(contracts::drop_fn::PREVIEW, &[])
+        } else {
+            let id = U256::from(self.rng.gen_range(0..50u64));
+            calldata(contracts::drop_fn::OWNER_OF, &[id])
+        };
+        Transaction::call(TxEnv::call(caller, contract, input))
+    }
+
     fn other_tx(&mut self, contract: Address, kind: ContractKind) -> Transaction {
         let caller = self.account();
         let input = match kind {
@@ -944,7 +1049,12 @@ impl WorkloadGenerator {
                 };
             }
         } else if roll < nft {
-            if let Some(c) = self.pick_contract(|k| k == ContractKind::Nft) {
+            if let Some(c) =
+                self.pick_contract(|k| matches!(k, ContractKind::Nft | ContractKind::Drop))
+            {
+                if self.by_kind.iter().any(|(a, k)| *a == c && *k == ContractKind::Drop) {
+                    return self.drop_tx(c);
+                }
                 return self.nft_tx(c);
             }
         } else if let Some(c) = self.pick_contract(|k| {
@@ -1066,6 +1176,34 @@ mod tests {
         // ~50 % of contract calls should hit the (tiny) hot set; wide
         // tolerance because category filtering can fall back to cold.
         assert!(ratio > 0.25, "hot ratio {ratio}");
+    }
+
+    #[test]
+    fn nft_mint_rush_is_dominated_by_drop_mints() {
+        let mut generator = WorkloadGenerator::new(WorkloadConfig::nft_mint_rush(3));
+        let drops: std::collections::HashSet<Address> = generator
+            .contracts()
+            .iter()
+            .filter(|(_, k)| *k == ContractKind::Drop)
+            .map(|(a, _)| *a)
+            .collect();
+        assert_eq!(drops.len(), 8);
+        // Genesis seeds each drop's treasury and creator registry slot so
+        // the royalty stream flows.
+        let entries = generator.genesis_entries();
+        for drop in &drops {
+            assert!(entries.iter().any(|(k, _)| *k == StateKey::balance(*drop)));
+            assert!(entries
+                .iter()
+                .any(|(k, _)| *k == StateKey::storage(*drop, U256::from(2u64))));
+        }
+        let block = generator.block(2_000);
+        let drop_calls = block
+            .iter()
+            .filter(|t| t.kind == TxKind::Call && drops.contains(&t.to()))
+            .count();
+        let ratio = drop_calls as f64 / block.len() as f64;
+        assert!(ratio > 0.30, "drop share {ratio}");
     }
 
     #[test]

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use dmvcc_analysis::{AnalysisConfig, Analyzer, RefinementMode, RefinementTier};
 use dmvcc_core::execute_block_serial;
 use dmvcc_integration_tests::{
-    analyzer, decode_loop_tx, decode_router_tx, decode_tx, genesis, registry,
+    analyzer, decode_drop_tx, decode_loop_tx, decode_router_tx, decode_tx, genesis, registry,
 };
 use dmvcc_state::Snapshot;
 use dmvcc_vm::{BlockEnv, ExecStatus, Transaction, TxKind};
@@ -214,6 +214,88 @@ proptest! {
         }
     }
 
+    /// The full call family — DELEGATECALL context rebinding, STATICCALL
+    /// write-freedom, value-transferring CALLs with their implicit
+    /// balance accesses, and bounded dynamic dispatch through a registry
+    /// slot — is held to the same standard: bit-identical to speculation
+    /// on every field except the `tier` tag, never needing the
+    /// speculative fallback, and mints land on the bounded-dynamic tier
+    /// (the payout target is loaded from storage, not hard-coded).
+    #[test]
+    fn call_family_two_tier_and_speculative_only_predictions_agree(
+        (s, k, a) in (0u8..=255, 0u8..=255, 0u8..=255),
+    ) {
+        let tx = decode_drop_tx(s, k, a);
+        let snapshot = Snapshot::from_entries(genesis());
+        let env = BlockEnv::new(1, 1_700_000_000);
+        let two_tier = Analyzer::with_config(registry(), AnalysisConfig::default());
+        let spec_only = Analyzer::with_config(
+            registry(),
+            AnalysisConfig {
+                refinement: RefinementMode::SpeculativeOnly,
+                ..AnalysisConfig::default()
+            },
+        );
+        let fast = two_tier.csag(&tx, &snapshot, &env);
+        let slow = spec_only.csag(&tx, &snapshot, &env);
+
+        prop_assert_eq!(&fast.reads, &slow.reads);
+        prop_assert_eq!(&fast.writes, &slow.writes);
+        prop_assert_eq!(&fast.adds, &slow.adds);
+        prop_assert_eq!(&fast.trace, &slow.trace);
+        prop_assert_eq!(&fast.release_points, &slow.release_points);
+        prop_assert_eq!(&fast.last_write_pc, &slow.last_write_pc);
+        prop_assert_eq!(&fast.snapshot_deps, &slow.snapshot_deps);
+        prop_assert_eq!(fast.predicted_success, slow.predicted_success);
+        prop_assert_eq!(fast.predicted_gas, slow.predicted_gas);
+        prop_assert_ne!(fast.tier, RefinementTier::Speculative);
+        prop_assert_eq!(slow.tier, RefinementTier::Speculative);
+        if s % 8 <= 4 {
+            // Mints route the royalty payout through the registry-slot
+            // recipient: the bind is bounded-dynamic, not plain
+            // interprocedural.
+            prop_assert_eq!(fast.tier, RefinementTier::BoundedDynamic);
+        }
+    }
+
+    /// Bounded-dynamic and call-family binds are concrete, so the
+    /// position-0 exactness contract extends to mint-rush transactions
+    /// unchanged.
+    #[test]
+    fn call_family_csag_predicts_first_position_execution_exactly(
+        (s, k, a) in (0u8..=255, 0u8..=255, 0u8..=255),
+    ) {
+        let tx = decode_drop_tx(s, k, a);
+        let snapshot = Snapshot::from_entries(genesis());
+        let env = BlockEnv::new(1, 1_700_000_000);
+        let reference = analyzer();
+        let sag = reference.csag(&tx, &snapshot, &env);
+        let trace = execute_block_serial(
+            std::slice::from_ref(&tx),
+            &snapshot,
+            &reference,
+            &env,
+        );
+        let actual = &trace.txs[0];
+        prop_assert_eq!(sag.predicted_success, actual.status.is_success());
+        prop_assert_eq!(sag.predicted_gas, actual.gas_used);
+        if actual.status.is_success() {
+            let actual_writes: std::collections::BTreeSet<_> =
+                actual.writes.keys().copied().collect();
+            let actual_adds: std::collections::BTreeSet<_> =
+                actual.adds.keys().copied().collect();
+            prop_assert_eq!(&sag.writes, &actual_writes);
+            prop_assert_eq!(&sag.adds, &actual_adds);
+            for read in &actual.reads {
+                prop_assert!(
+                    sag.reads.contains(&read.key),
+                    "unpredicted read of {:?}",
+                    read.key
+                );
+            }
+        }
+    }
+
     /// Bind-time loop unrolling is concrete, so the position-0 exactness
     /// contract extends to loopy transactions unchanged: key sets, gas and
     /// the success verdict must match a real first-position execution.
@@ -313,7 +395,9 @@ fn symbolic_tier_binds_most_realistic_transactions() {
         match analyzer.csag(tx, &snapshot, &env).tier {
             RefinementTier::Symbolic => symbolic += 1,
             RefinementTier::LoopSummarized => loop_summarized += 1,
-            RefinementTier::Interprocedural => interprocedural += 1,
+            RefinementTier::Interprocedural | RefinementTier::BoundedDynamic => {
+                interprocedural += 1
+            }
             RefinementTier::Speculative => speculative += 1,
             // Analyzable transactions never land on the withheld tier.
             RefinementTier::Exact | RefinementTier::Optimistic => {}

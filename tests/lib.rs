@@ -37,6 +37,14 @@ pub const ORACLE: u64 = 10_014;
 pub const CONSUMER1: u64 = 10_015;
 /// Second price-consumer address id.
 pub const CONSUMER2: u64 = 10_016;
+/// NFT drop address id (DELEGATECALLs [`SPLITTER`], STATICCALLs [`FLOOR`]).
+pub const DROP: u64 = 10_017;
+/// Royalty-splitter library address id (runs in the drop's storage).
+pub const SPLITTER: u64 = 10_018;
+/// Write-free floor-price oracle address id.
+pub const FLOOR: u64 = 10_019;
+/// Creator account paid by the drop's royalty value-CALL.
+pub const CREATOR: u64 = 7;
 
 /// Deploys one contract of every kind.
 pub fn registry() -> CodeRegistry {
@@ -74,6 +82,12 @@ pub fn registry() -> CodeRegistry {
         .deploy(Address::from_u64(ORACLE), contracts::oracle(&consumers))
         .deploy(consumers[0], contracts::price_consumer())
         .deploy(consumers[1], contracts::price_consumer())
+        .deploy(
+            Address::from_u64(DROP),
+            contracts::nft_drop(Address::from_u64(SPLITTER), Address::from_u64(FLOOR)),
+        )
+        .deploy(Address::from_u64(SPLITTER), contracts::royalty_splitter())
+        .deploy(Address::from_u64(FLOOR), contracts::floor_oracle())
         .build()
 }
 
@@ -262,6 +276,24 @@ pub fn genesis() -> Vec<(dmvcc_state::StateKey, U256)> {
         ),
         U256::from(1_000_000u64),
     ));
+    // Mint-rush universe: mint price, creator registry slot, a treasury
+    // able to cover many royalty payouts, and a published floor price.
+    entries.push((
+        StateKey::storage(Address::from_u64(DROP), U256::ONE),
+        U256::from(100u64),
+    ));
+    entries.push((
+        StateKey::storage(Address::from_u64(DROP), U256::from(2u64)),
+        Address::from_u64(CREATOR).to_u256(),
+    ));
+    entries.push((
+        StateKey::balance(Address::from_u64(DROP)),
+        U256::from(1_000_000u64),
+    ));
+    entries.push((
+        StateKey::storage(Address::from_u64(FLOOR), U256::ZERO),
+        U256::from(55u64),
+    ));
     entries
 }
 
@@ -306,6 +338,28 @@ pub fn decode_router_tx(selector: u8, caller: u8, a: u8, b: u8) -> Transaction {
             calldata(contracts::router_fn::QUOTE, &[amount]),
         )),
     }
+}
+
+/// A compact encoding of a *call-family* transaction against the
+/// mint-rush fixtures: every tuple value maps to a valid call that
+/// exercises DELEGATECALL context rebinding (mint royalties run the
+/// splitter in the drop's storage), value-transferring CALLs with their
+/// implicit balance accesses (the creator payout), bounded dynamic
+/// dispatch (the payout target is loaded from registry slot 2),
+/// STATICCALL write-freedom (floor preview), or the plain storage read of
+/// `owner_of` — so property tests drive the whole call family end to end.
+pub fn decode_drop_tx(selector: u8, caller: u8, a: u8) -> Transaction {
+    let caller_addr = Address::from_u64(1 + caller as u64 % 12);
+    let input = match selector % 8 {
+        // The mint rush itself: sequence-counter RMW, owner write,
+        // DELEGATECALL royalty split, bounded-dynamic value payout.
+        0..=4 => calldata(contracts::drop_fn::MINT, &[]),
+        // Floor preview: STATICCALL into the write-free oracle.
+        5..=6 => calldata(contracts::drop_fn::PREVIEW, &[]),
+        // Plain read of a (usually unminted) token's owner slot.
+        _ => calldata(contracts::drop_fn::OWNER_OF, &[U256::from(a as u64 % 50)]),
+    };
+    Transaction::call(TxEnv::call(caller_addr, Address::from_u64(DROP), input))
 }
 
 /// A compact encoding of a *loop-heavy* transaction: every tuple value maps
